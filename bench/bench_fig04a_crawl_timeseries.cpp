@@ -1,0 +1,49 @@
+// Figure 4a: total crawled peers over time, split into dialable and
+// undialable fractions. The crawler runs every 30 simulated minutes.
+#include <cstdio>
+#include <memory>
+
+#include "common.h"
+
+using namespace ipfs;
+
+int main() {
+  bench::print_header(
+      "Figure 4a: crawled peers over time (dialable vs undialable)",
+      "~200k peers total, ~55 % dialable at any snapshot, 1-day periodicity");
+
+  world::World world(bench::default_world_config(bench::scaled(2500, 400)));
+  const int rounds = static_cast<int>(bench::scaled(16, 4));
+  const sim::Duration interval = sim::minutes(30);
+
+  sim::NodeConfig crawler_config;
+  crawler_config.region = world::kEuCentral;
+  crawler_config.upload_bytes_per_sec = 100.0 * 1024 * 1024;
+  crawler_config.download_bytes_per_sec = 100.0 * 1024 * 1024;
+  const sim::NodeId self = world.network().add_node(crawler_config);
+
+  std::printf("%-12s %10s %10s %12s %10s\n", "sim_time", "total",
+              "dialable", "undialable", "dialable%");
+
+  for (int round = 0; round < rounds; ++round) {
+    crawler::Crawler crawler(world.network(), self, world.bootstrap_refs());
+    crawler::CrawlResult result;
+    crawler.crawl([&](crawler::CrawlResult r) { result = std::move(r); });
+    world.simulator().run();
+
+    std::printf("%-12s %10zu %10zu %12zu %9.1f%%\n",
+                stats::format_seconds(sim::to_seconds(result.started_at))
+                    .c_str(),
+                result.total(), result.dialable(), result.undialable(),
+                100.0 * static_cast<double>(result.dialable()) /
+                    static_cast<double>(std::max<std::size_t>(1,
+                                                              result.total())));
+
+    world.simulator().run_until(world.simulator().now() + interval);
+  }
+
+  std::printf(
+      "\nshape check: totals stay near the population size while the\n"
+      "dialable share hovers around the paper's ~55%% snapshot value.\n");
+  return 0;
+}

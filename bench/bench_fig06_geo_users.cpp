@@ -1,0 +1,58 @@
+// Figure 6: geographical distribution of users requesting content via
+// the gateway.
+#include <cstdio>
+
+#include "gateway_common.h"
+#include "world/geography.h"
+
+using namespace ipfs;
+
+int main() {
+  bench::print_header(
+      "Figure 6: gateway users by country",
+      "US 50.4 %, CN 31.9 %, HK 6.6 %, CA 4.6 %, JP 1.7 % "
+      "(the sampled instance is in the US)");
+
+  auto experiment = bench::setup_gateway_experiment(
+      bench::scaled(700, 250), bench::scaled(120, 40),
+      bench::scaled(8000, 1500));
+  auto& world = *experiment.world;
+
+  experiment.workload->run(*experiment.gateway);
+  world.simulator().run_until(world.simulator().now() + sim::hours(24));
+  world.simulator().run();
+
+  const auto& log = experiment.workload->log();
+  std::map<std::string, std::size_t> by_country;
+  for (const auto& entry : log)
+    ++by_country[std::string(
+        world::countries()[entry.user_country].code)];
+
+  const std::map<std::string, double> paper = {{"US", 0.504},
+                                               {"CN", 0.319},
+                                               {"HK", 0.066},
+                                               {"CA", 0.046},
+                                               {"JP", 0.017}};
+
+  std::vector<std::pair<std::string, std::size_t>> sorted(by_country.begin(),
+                                                          by_country.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+
+  std::printf("%-10s %10s %12s %10s\n", "country", "requests", "measured",
+              "paper");
+  for (const auto& [code, count] : sorted) {
+    const double share =
+        static_cast<double>(count) / static_cast<double>(log.size());
+    const auto it = paper.find(code);
+    if (share < 0.005 && it == paper.end()) continue;
+    std::printf("%-10s %10zu %11.1f%% %9s\n", code.c_str(), count,
+                share * 100.0,
+                it == paper.end()
+                    ? "-"
+                    : (std::to_string(it->second * 100.0).substr(0, 4) + "%")
+                          .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 10: retrieval stretch (IPFS retrieval time vs estimated HTTPS
+// time, Equation 2), (a) with and (b) without the initial Bitswap
+// timeout.
+#include <cstdio>
+
+#include "perf_common.h"
+
+using namespace ipfs;
+
+namespace {
+
+void print_stretch_block(
+    const char* title,
+    const std::map<std::string, std::vector<double>>& by_region) {
+  std::printf("\n--- %s ---\n", title);
+  std::printf("%-16s %6s %8s %8s %8s %12s\n", "region", "n", "p50", "p80",
+              "p95", "frac < 2");
+  for (const auto& [region, samples] : by_region) {
+    if (samples.empty()) continue;
+    const stats::Cdf cdf(samples);
+    std::printf("%-16s %6zu %8.2f %8.2f %8.2f %11.1f%%\n", region.c_str(),
+                samples.size(), cdf.percentile(50), cdf.percentile(80),
+                cdf.percentile(95), cdf.at(2.0) * 100.0);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 10: retrieval stretch vs HTTPS, with/without Bitswap delay",
+      "(a) majority of retrievals stretch >= 4 (median ~4.3); (b) without "
+      "the 1 s Bitswap window, eu_central_1 reaches stretch < 2 for 80 %");
+
+  auto run = bench::run_perf_experiment(bench::scaled(1500, 300),
+                                        bench::scaled(30, 6));
+  const auto& results = run.experiment->results();
+
+  std::map<std::string, std::vector<double>> with_bitswap, without_bitswap;
+  std::vector<double> all_with;
+  for (const auto& [region, traces] : results.retrievals) {
+    for (const auto& trace : traces) {
+      if (!trace.ok) continue;
+      with_bitswap[region].push_back(trace.stretch());
+      without_bitswap[region].push_back(trace.stretch_without_bitswap());
+      all_with.push_back(trace.stretch());
+    }
+  }
+
+  print_stretch_block("(a) stretch including the Bitswap timeout",
+                      with_bitswap);
+  print_stretch_block("(b) stretch excluding the Bitswap timeout",
+                      without_bitswap);
+
+  if (!all_with.empty()) {
+    std::printf("\noverall median stretch: %.2f (paper ~4.3)\n",
+                stats::percentile(all_with, 50));
+  }
+  const auto eu = without_bitswap.find("eu_central_1");
+  if (eu != without_bitswap.end() && !eu->second.empty()) {
+    std::printf("eu_central_1 without Bitswap delay, stretch < 2: %.1f%% "
+                "(paper ~80%%)\n",
+                stats::Cdf(eu->second).at(2.0) * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 11: (a) distributions of upstream response latency and of bytes
+// downloaded per gateway request; (b) cached vs non-cached traffic over
+// the day in 30-minute bins.
+#include <cstdio>
+
+#include "gateway_common.h"
+
+using namespace ipfs;
+
+int main() {
+  bench::print_header(
+      "Figure 11: gateway latency/size distributions and cache timeline",
+      "(a) 46 % zero-latency nginx hits, node-store hits < 24 ms, "
+      "76 % of requests < 250 ms; object median 664.59 kB; "
+      "(b) nginx hit rate swings 32.3-65.6 % over the day");
+
+  auto experiment = bench::setup_gateway_experiment(
+      bench::scaled(1000, 250), bench::scaled(180, 40),
+      bench::scaled(14000, 1500));
+  auto& world = *experiment.world;
+
+  experiment.workload->run(*experiment.gateway);
+  world.simulator().run_until(world.simulator().now() + sim::hours(24));
+  world.simulator().run();
+
+  const auto& log = experiment.workload->log();
+  std::printf("requests: %zu\n", log.size());
+
+  // --- (a) latency distribution ---------------------------------------------
+  std::vector<double> latencies_ms, sizes_kb;
+  std::size_t under_250ms = 0;
+  for (const auto& entry : log) {
+    if (entry.source == gateway::ServedFrom::kFailed) continue;
+    latencies_ms.push_back(sim::to_millis(entry.latency));
+    sizes_kb.push_back(static_cast<double>(entry.bytes) / 1024.0);
+    if (entry.latency < sim::milliseconds(250)) ++under_250ms;
+  }
+  if (latencies_ms.empty()) {
+    std::printf("no successful requests\n");
+    return 1;
+  }
+  const stats::Cdf latency_cdf(latencies_ms);
+  const stats::Cdf size_cdf(sizes_kb);
+
+  std::printf("\n(a) upstream latency:\n");
+  std::printf("    p25 %-10s p50 %-10s p75 %-10s p95 %s\n",
+              bench::secs(latency_cdf.percentile(25) / 1000).c_str(),
+              bench::secs(latency_cdf.percentile(50) / 1000).c_str(),
+              bench::secs(latency_cdf.percentile(75) / 1000).c_str(),
+              bench::secs(latency_cdf.percentile(95) / 1000).c_str());
+  std::printf("    under 250 ms: %.1f%% (paper 76%%)\n",
+              100.0 * static_cast<double>(under_250ms) /
+                  static_cast<double>(latencies_ms.size()));
+
+  std::printf("\n(a) object sizes (bytes downloaded per request):\n");
+  std::printf("    p25 %.0f kB   p50 %.0f kB (paper 664.59 kB)   p75 %.0f kB\n",
+              size_cdf.percentile(25), size_cdf.percentile(50),
+              size_cdf.percentile(75));
+  std::size_t above_100kb = 0;
+  for (const auto size : sizes_kb)
+    if (size > 100.0) ++above_100kb;
+  std::printf("    above 100 kB: %.1f%% (paper 79.1%%)\n",
+              100.0 * static_cast<double>(above_100kb) /
+                  static_cast<double>(sizes_kb.size()));
+  std::printf("    latency/size Pearson correlation: %.3f (paper 0.13)\n",
+              stats::pearson_correlation(latencies_ms, sizes_kb));
+
+  // --- (b) cached vs non-cached traffic per 30 min ---------------------------
+  constexpr int kBins = 48;
+  std::vector<std::uint64_t> cached(kBins, 0), uncached(kBins, 0);
+  for (const auto& entry : log) {
+    const auto bin = std::min<std::size_t>(
+        static_cast<std::size_t>((entry.timestamp % sim::hours(24)) /
+                                 sim::minutes(30)),
+        kBins - 1);
+    if (entry.source == gateway::ServedFrom::kP2p ||
+        entry.source == gateway::ServedFrom::kFailed) {
+      uncached[bin] += entry.bytes;
+    } else {
+      cached[bin] += entry.bytes;
+    }
+  }
+  std::printf("\n(b) cached vs non-cached traffic (30-minute bins):\n");
+  std::printf("%-8s %12s %12s %10s\n", "time", "cached", "non-cached",
+              "cached%");
+  for (int i = 0; i < kBins; i += 4) {  // print every 2 hours
+    const double total = static_cast<double>(cached[i] + uncached[i]);
+    std::printf("%02d:%02d    %12s %12s %9.1f%%\n", i / 2, (i % 2) * 30,
+                stats::format_bytes(static_cast<double>(cached[i])).c_str(),
+                stats::format_bytes(static_cast<double>(uncached[i])).c_str(),
+                total == 0 ? 0.0 : 100.0 * cached[i] / total);
+  }
+  return 0;
+}

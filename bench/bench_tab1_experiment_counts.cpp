@@ -1,0 +1,34 @@
+// Table 1: number of publication and retrieval operations per AWS
+// region in the controlled performance experiment.
+#include <cstdio>
+
+#include "perf_common.h"
+
+using namespace ipfs;
+
+int main() {
+  bench::print_header(
+      "Table 1: publication and retrieval counts per AWS region",
+      "547 publications and 2047-2708 retrievals per region "
+      "(3281 / 14564 total)");
+
+  auto run = bench::run_perf_experiment(bench::scaled(1200, 300),
+                                        bench::scaled(24, 6));
+  const auto& results = run.experiment->results();
+
+  std::printf("%-16s %14s %12s\n", "AWS Region", "Publications",
+              "Retrievals");
+  for (const auto& region : workload::aws_regions()) {
+    const auto pub = results.publishes.find(region.name);
+    const auto ret = results.retrievals.find(region.name);
+    std::printf("%-16s %14zu %12zu\n", region.name.c_str(),
+                pub == results.publishes.end() ? 0 : pub->second.size(),
+                ret == results.retrievals.end() ? 0 : ret->second.size());
+  }
+  std::printf("%-16s %14zu %12zu\n", "Total", results.publish_count(),
+              results.retrieval_count());
+  std::printf("\nretrieval success rate: %.1f%% (paper: 100%%)\n",
+              100.0 * static_cast<double>(results.retrieval_successes()) /
+                  static_cast<double>(results.retrieval_count()));
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Table 3: percentage of nodes hosted on cloud providers.
+#include <cstdio>
+
+#include "common.h"
+#include "crawler/census.h"
+
+using namespace ipfs;
+
+int main() {
+  bench::print_header(
+      "Table 3: share of nodes hosted on cloud providers",
+      "Contabo 0.44 %, AWS 0.39 %, Azure 0.33 %, ... non-cloud 97.71 %");
+
+  world::World world(bench::default_world_config(bench::scaled(4000, 500)));
+  const auto crawl = bench::crawl_world(world);
+  const auto clouds = crawler::cloud_distribution(crawl, world.geodb());
+
+  std::printf("%-4s %-28s %12s %14s\n", "rank", "provider", "IPs", "share");
+  int rank = 1;
+  double cloud_total = 0.0;
+  for (const auto& entry : clouds) {
+    if (entry.provider == "Non-Cloud") {
+      std::printf("%-4s %-28s %12zu %13.2f%%\n", "-", entry.provider.c_str(),
+                  entry.ip_count, entry.share * 100.0);
+      continue;
+    }
+    cloud_total += entry.share;
+    std::printf("%-4d %-28s %12zu %13.2f%%\n", rank++, entry.provider.c_str(),
+                entry.ip_count, entry.share * 100.0);
+  }
+  std::printf("\ntotal cloud share: %.2f%% (paper: ~2.3%%)\n",
+              cloud_total * 100.0);
+  return 0;
+}

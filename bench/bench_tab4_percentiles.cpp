@@ -1,0 +1,49 @@
+// Table 4: latency percentiles of the overall DHT publication and
+// retrieval operations from each AWS region.
+#include <cstdio>
+
+#include "perf_common.h"
+
+using namespace ipfs;
+
+int main() {
+  bench::print_header(
+      "Table 4: publication / retrieval percentiles per AWS region",
+      "publish p50 27.7-42.3 s; retrieve p50 1.81 s (eu_central_1) to "
+      "3.76 s (ap_southeast_2)");
+
+  auto run = bench::run_perf_experiment(bench::scaled(1500, 300),
+                                        bench::scaled(30, 6));
+  const auto& results = run.experiment->results();
+
+  std::printf("%-16s | %9s %9s %9s | %9s %9s %9s\n", "", "pub p50",
+              "pub p90", "pub p95", "ret p50", "ret p90", "ret p95");
+  for (const auto& region : workload::aws_regions()) {
+    std::vector<double> pub, ret;
+    if (const auto it = results.publishes.find(region.name);
+        it != results.publishes.end()) {
+      for (const auto& trace : it->second)
+        pub.push_back(sim::to_seconds(trace.total));
+    }
+    if (const auto it = results.retrievals.find(region.name);
+        it != results.retrievals.end()) {
+      for (const auto& trace : it->second)
+        if (trace.ok) ret.push_back(sim::to_seconds(trace.total));
+    }
+    if (pub.empty() || ret.empty()) continue;
+    std::printf("%-16s | %9s %9s %9s | %9s %9s %9s\n", region.name.c_str(),
+                bench::secs(stats::percentile(pub, 50)).c_str(),
+                bench::secs(stats::percentile(pub, 90)).c_str(),
+                bench::secs(stats::percentile(pub, 95)).c_str(),
+                bench::secs(stats::percentile(ret, 50)).c_str(),
+                bench::secs(stats::percentile(ret, 90)).c_str(),
+                bench::secs(stats::percentile(ret, 95)).c_str());
+  }
+
+  // The paper's headline ordering: eu_central_1 retrieves fastest,
+  // af_south_1 / ap_southeast_2 slowest.
+  std::printf("\nshape check: eu_central_1 should show the lowest retrieval "
+              "p50,\nwith af_south_1 and ap_southeast_2 at the high end "
+              "(Section 6.2).\n");
+  return 0;
+}

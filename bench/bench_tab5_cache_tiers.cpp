@@ -1,0 +1,80 @@
+// Table 5: traffic and latencies by serving tier — nginx cache, the
+// gateway node's store (pinned content), and the P2P network.
+#include <cstdio>
+
+#include "gateway_common.h"
+
+using namespace ipfs;
+
+int main() {
+  bench::print_header(
+      "Table 5: gateway serving tiers",
+      "nginx: 0 s median / 46.0 % of requests; node store: 8 ms / 40.2 %; "
+      "non-cached: 4.04 s / 13.8 %");
+
+  auto experiment = bench::setup_gateway_experiment(
+      bench::scaled(1000, 250), bench::scaled(180, 40),
+      bench::scaled(14000, 1500));
+  auto& world = *experiment.world;
+
+  experiment.workload->run(*experiment.gateway);
+  world.simulator().run_until(world.simulator().now() + sim::hours(24));
+  world.simulator().run();
+
+  const auto& log = experiment.workload->log();
+
+  struct Tier {
+    const char* name;
+    gateway::ServedFrom source;
+  };
+  const Tier tiers[] = {
+      {"nginx cache", gateway::ServedFrom::kNginxCache},
+      {"IPFS node store", gateway::ServedFrom::kNodeStore},
+      {"Non-cached (P2P)", gateway::ServedFrom::kP2p},
+  };
+
+  std::uint64_t total_bytes = 0;
+  std::size_t total_requests = 0;
+  for (const auto& entry : log) {
+    if (entry.source == gateway::ServedFrom::kFailed) continue;
+    total_bytes += entry.bytes;
+    ++total_requests;
+  }
+
+  std::printf("%-18s %14s %16s %16s\n", "", "latency p50", "traffic served",
+              "requests served");
+  for (const auto& tier : tiers) {
+    std::vector<double> latencies;
+    std::uint64_t bytes = 0;
+    std::size_t requests = 0;
+    for (const auto& entry : log) {
+      if (entry.source != tier.source) continue;
+      latencies.push_back(sim::to_seconds(entry.latency));
+      bytes += entry.bytes;
+      ++requests;
+    }
+    if (latencies.empty()) {
+      std::printf("%-18s %14s %15.1f%% %15.1f%%\n", tier.name, "-", 0.0, 0.0);
+      continue;
+    }
+    std::printf("%-18s %14s %15.1f%% %15.1f%%\n", tier.name,
+                bench::secs(stats::percentile(latencies, 50)).c_str(),
+                100.0 * static_cast<double>(bytes) /
+                    static_cast<double>(total_bytes),
+                100.0 * static_cast<double>(requests) /
+                    static_cast<double>(total_requests));
+  }
+
+  const double hit_requests =
+      static_cast<double>(experiment.gateway->stats(
+                              gateway::ServedFrom::kNginxCache).requests +
+                          experiment.gateway->stats(
+                              gateway::ServedFrom::kNodeStore).requests);
+  std::printf("\ncombined cache hit rate: %.1f%% (paper: >80%% of requests)\n",
+              100.0 * hit_requests /
+                  static_cast<double>(experiment.gateway->total_requests()));
+  std::printf("nginx cache evictions: %llu\n",
+              static_cast<unsigned long long>(
+                  experiment.gateway->nginx_cache().evictions()));
+  return 0;
+}

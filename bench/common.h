@@ -1,0 +1,79 @@
+// Shared scaffolding for the experiment benches: run-seed handling,
+// standard world sizes, crawl helpers, and paper-vs-measured printing.
+//
+// Every bench prints its seed; rerunning with IPFS_BENCH_SEED=<n> and the
+// same build reproduces the output bit-for-bit.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "crawler/crawler.h"
+#include "stats/stats.h"
+#include "world/world.h"
+
+namespace ipfs::bench {
+
+inline std::uint64_t run_seed() {
+  if (const char* env = std::getenv("IPFS_BENCH_SEED"))
+    return std::strtoull(env, nullptr, 10);
+  return 42;
+}
+
+// Smaller worlds when IPFS_BENCH_FAST=1 (CI smoke runs).
+inline bool fast_mode() {
+  const char* env = std::getenv("IPFS_BENCH_FAST");
+  return env != nullptr && env[0] == '1';
+}
+
+inline std::size_t scaled(std::size_t full, std::size_t fast) {
+  return fast_mode() ? fast : full;
+}
+
+inline void print_header(const std::string& experiment,
+                         const std::string& paper_summary) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper:    %s\n", paper_summary.c_str());
+  std::printf("seed:     %llu%s\n",
+              static_cast<unsigned long long>(run_seed()),
+              fast_mode() ? "  (fast mode)" : "");
+  std::printf("------------------------------------------------------------------\n");
+}
+
+inline void print_row(const std::string& label, const std::string& value) {
+  std::printf("%-28s %s\n", (label + ":").c_str(), value.c_str());
+}
+
+// Runs one crawl of `world` from a well-connected vantage point in
+// Germany (Section 4.1) and returns the result.
+inline crawler::CrawlResult crawl_world(world::World& world) {
+  sim::NodeConfig config;
+  config.region = world::kEuCentral;
+  config.upload_bytes_per_sec = 100.0 * 1024 * 1024;
+  config.download_bytes_per_sec = 100.0 * 1024 * 1024;
+  const sim::NodeId self = world.network().add_node(config);
+  crawler::Crawler crawler(world.network(), self, world.bootstrap_refs());
+  crawler::CrawlResult result;
+  crawler.crawl([&](crawler::CrawlResult r) { result = std::move(r); });
+  world.simulator().run();
+  return result;
+}
+
+inline world::WorldConfig default_world_config(std::size_t peers) {
+  world::WorldConfig config;
+  config.population.peer_count = peers;
+  config.seed = run_seed();
+  return config;
+}
+
+inline std::string pct(double fraction) {
+  return stats::format_percent(fraction);
+}
+
+inline std::string secs(double seconds) {
+  return stats::format_seconds(seconds);
+}
+
+}  // namespace ipfs::bench

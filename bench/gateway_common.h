@@ -1,0 +1,121 @@
+// Shared setup for the gateway benches (Figures 4b, 6, 11a/b, Table 5):
+// a world, a gateway in the US (where the sampled ipfs.io instance
+// lives), a handful of content-host nodes serving the catalog, and one
+// simulated day of client traffic.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common.h"
+#include "gateway/gateway.h"
+#include "workload/gateway_workload.h"
+
+namespace ipfs::bench {
+
+struct GatewayExperiment {
+  std::unique_ptr<world::World> world;
+  std::unique_ptr<gateway::Gateway> gateway;
+  std::vector<std::unique_ptr<node::IpfsNode>> hosts;
+  std::unique_ptr<workload::GatewayWorkload> workload;
+};
+
+// Seeds provider records for `key` directly onto the 20 closest world
+// peers — the steady state after a (re)publication, without simulating
+// hundreds of publication walks the gateway figures do not measure.
+inline void seed_provider_records(world::World& world, const dht::Key& key,
+                                  const dht::PeerRef& provider) {
+  struct Scored {
+    std::array<std::uint8_t, 32> distance;
+    std::size_t index;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(world.size());
+  for (std::size_t i = 0; i < world.size(); ++i) {
+    scored.push_back(
+        {dht::Key::for_peer(world.ref(i).id).distance_to(key), i});
+  }
+  const std::size_t take = std::min<std::size_t>(dht::kReplication,
+                                                 scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
+                    [](const Scored& a, const Scored& b) {
+                      return a.distance < b.distance;
+                    });
+  const sim::Time now = world.simulator().now();
+  for (std::size_t i = 0; i < take; ++i) {
+    world.dht(scored[i].index)
+        .record_store()
+        .add_provider(key, dht::ProviderRecord{provider, now});
+  }
+}
+
+inline GatewayExperiment setup_gateway_experiment(
+    std::size_t world_peers, std::size_t catalog_size,
+    std::uint64_t requests, sim::Duration duration = sim::hours(24)) {
+  GatewayExperiment experiment;
+  experiment.world = std::make_unique<world::World>(
+      default_world_config(world_peers));
+  auto& world = *experiment.world;
+
+  // The gateway: a beefy, reliable US node (Section 4.2: the sampled
+  // instance is located in the US).
+  gateway::GatewayConfig gateway_config;
+  gateway_config.node.net.region = world::kUsEast;
+  gateway_config.node.net.upload_bytes_per_sec = 200.0 * 1024 * 1024;
+  gateway_config.node.net.download_bytes_per_sec = 200.0 * 1024 * 1024;
+  gateway_config.node.identity_seed = 0x6A7E;
+  gateway_config.node.provide_after_fetch = false;
+  gateway_config.nginx_cache_bytes = 18ull * 1024 * 1024;
+  experiment.gateway = std::make_unique<gateway::Gateway>(world.network(),
+                                                          gateway_config);
+
+  workload::GatewayWorkloadConfig workload_config;
+  workload_config.catalog_size = catalog_size;
+  workload_config.requests_total = requests;
+  workload_config.duration = duration;
+  experiment.workload = std::make_unique<workload::GatewayWorkload>(
+      workload_config, sim::Rng(run_seed()).fork("gateway-workload"));
+
+  // Content hosts spread over the world's regions.
+  const int host_regions[] = {world::kUsEast, world::kEuCentral,
+                              world::kAsiaEast, world::kUsWest};
+  for (int i = 0; i < 4; ++i) {
+    node::IpfsNodeConfig host_config;
+    host_config.net.region = host_regions[i];
+    host_config.net.upload_bytes_per_sec = 30.0 * 1024 * 1024;
+    host_config.net.download_bytes_per_sec = 30.0 * 1024 * 1024;
+    host_config.identity_seed = 0x405700 + i;
+    experiment.hosts.push_back(
+        std::make_unique<node::IpfsNode>(world.network(), host_config));
+  }
+
+  experiment.gateway->bootstrap(world.bootstrap_refs(), [](bool) {});
+  for (auto& host : experiment.hosts)
+    host->bootstrap(world.bootstrap_refs(), [](bool) {});
+  world.simulator().run();
+
+  // Import the catalog: hosts hold everything; the pinned share also
+  // lives in the gateway's node store (Web3/NFT Storage content).
+  auto& catalog = experiment.workload->catalog();
+  for (std::size_t rank = 0; rank < catalog.size(); ++rank) {
+    const auto bytes = experiment.workload->object_bytes(rank);
+    auto& host = *experiment.hosts[rank % experiment.hosts.size()];
+    const auto import = host.add(bytes);
+    catalog[rank].cid = import.root;
+    catalog[rank].host = rank % experiment.hosts.size();
+    if (catalog[rank].pinned) experiment.gateway->pin_object(bytes);
+
+    // Provider records as a fresh publication would have left them,
+    // refreshed again mid-day (the 12 h republish).
+    const dht::Key key = dht::Key::for_cid(import.root);
+    seed_provider_records(world, key, host.self());
+    world.simulator().schedule_daemon_after(
+        sim::hours(11.5), [&world, key, ref = host.self()] {
+          seed_provider_records(world, key, ref);
+        });
+  }
+
+  return experiment;
+}
+
+}  // namespace ipfs::bench

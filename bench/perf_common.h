@@ -1,0 +1,43 @@
+// Shared setup for the DHT-performance benches (Table 1, Figures 9/10,
+// Table 4): builds a world and runs the Section 4.3 controlled
+// experiment, returning the per-region publish/retrieval traces.
+#pragma once
+
+#include "common.h"
+#include "workload/perf_experiment.h"
+
+namespace ipfs::bench {
+
+struct PerfRun {
+  std::unique_ptr<world::World> world;
+  std::unique_ptr<workload::PerfExperiment> experiment;
+};
+
+inline PerfRun run_perf_experiment(std::size_t world_peers,
+                                   std::size_t cycles,
+                                   bool bitswap_early_exit = false) {
+  PerfRun run;
+  run.world =
+      std::make_unique<world::World>(default_world_config(world_peers));
+
+  workload::PerfExperimentConfig config;
+  config.cycles = cycles;
+  config.bitswap_early_exit = bitswap_early_exit;
+  run.experiment =
+      std::make_unique<workload::PerfExperiment>(*run.world, config);
+
+  bool done = false;
+  run.experiment->run([&] { done = true; });
+  run.world->simulator().run();
+  if (!done) std::printf("WARNING: experiment did not complete\n");
+  return run;
+}
+
+inline std::vector<double> to_seconds(const std::vector<sim::Duration>& in) {
+  std::vector<double> out;
+  out.reserve(in.size());
+  for (const auto d : in) out.push_back(sim::to_seconds(d));
+  return out;
+}
+
+}  // namespace ipfs::bench

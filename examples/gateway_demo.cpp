@@ -1,0 +1,112 @@
+// Gateway demo (paper Section 3.4): HTTP clients fetch IPFS content
+// through a gateway without running IPFS themselves. Shows the three
+// serving tiers and the effect of caching on latency.
+//
+// Build & run:  ./build/examples/gateway_demo
+#include <cstdio>
+
+#include "gateway/gateway.h"
+#include "world/world.h"
+
+using namespace ipfs;
+
+namespace {
+
+const char* tier_name(gateway::ServedFrom source) {
+  switch (source) {
+    case gateway::ServedFrom::kNginxCache:
+      return "nginx cache";
+    case gateway::ServedFrom::kNodeStore:
+      return "node store ";
+    case gateway::ServedFrom::kP2p:
+      return "p2p network";
+    case gateway::ServedFrom::kFailed:
+      return "FAILED     ";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> make_object(std::size_t size, std::uint8_t tag) {
+  std::vector<std::uint8_t> out(size, tag);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  world::WorldConfig world_config;
+  world_config.population.peer_count = 350;
+  world_config.seed = 23;
+  world::World world(world_config);
+
+  // The gateway bridges HTTP and the P2P network.
+  gateway::GatewayConfig config;
+  config.node.net.region = world::kUsEast;
+  config.node.identity_seed = 31;
+  config.node.provide_after_fetch = false;
+  config.nginx_cache_bytes = 4 * 1024 * 1024;
+  gateway::Gateway gateway(world.network(), config);
+
+  // A regular peer somewhere in Asia hosts some content.
+  node::IpfsNodeConfig host_config;
+  host_config.net.region = world::kAsiaEast;
+  host_config.identity_seed = 32;
+  node::IpfsNode host(world.network(), host_config);
+
+  gateway.bootstrap(world.bootstrap_refs(), [](bool) {});
+  host.bootstrap(world.bootstrap_refs(), [](bool) {});
+  world.simulator().run();
+
+  // Pinned content: uploaded through the Web3/NFT Storage initiatives,
+  // persistently available from the gateway's own node store.
+  const auto pinned = make_object(300 * 1024, 0x11);
+  gateway.pin_object(pinned);
+  const auto pinned_cid =
+      merkledag::import_bytes(host.store(), pinned).root;  // same CID
+
+  // Remote content: published by the Asian host, only reachable via P2P.
+  const auto remote = make_object(512 * 1024, 0x22);
+  node::PublishTrace publish_trace;
+  host.publish(remote, [&](node::PublishTrace t) { publish_trace = t; });
+  world.simulator().run();
+
+  std::printf("pinned CID: %s\n", pinned_cid.to_string().c_str());
+  std::printf("remote CID: %s\n\n", publish_trace.cid.to_string().c_str());
+
+  // Simulated browser requests: GET /ipfs/{cid}.
+  struct Request {
+    const char* label;
+    multiformats::Cid cid;
+  };
+  const Request requests[] = {
+      {"GET pinned   (first)", pinned_cid},
+      {"GET pinned   (again)", pinned_cid},
+      {"GET remote   (first)", publish_trace.cid},
+      {"GET remote   (again)", publish_trace.cid},
+      {"GET remote   (third)", publish_trace.cid},
+  };
+
+  for (const auto& request : requests) {
+    gateway::GatewayResponse response;
+    gateway.handle_get(request.cid, [&](gateway::GatewayResponse r) {
+      response = r;
+    });
+    world.simulator().run();
+    std::printf("%s  ->  %s  %8.1f ms  %7llu bytes\n", request.label,
+                tier_name(response.source),
+                sim::to_millis(response.latency),
+                static_cast<unsigned long long>(response.bytes));
+  }
+
+  std::printf("\ntier totals: nginx=%llu node-store=%llu p2p=%llu\n",
+              static_cast<unsigned long long>(
+                  gateway.stats(gateway::ServedFrom::kNginxCache).requests),
+              static_cast<unsigned long long>(
+                  gateway.stats(gateway::ServedFrom::kNodeStore).requests),
+              static_cast<unsigned long long>(
+                  gateway.stats(gateway::ServedFrom::kP2p).requests));
+  std::printf("\nnote how the first remote GET pays seconds (Bitswap window "
+              "+ DHT walks +\nfetch) while repeats are served from the nginx "
+              "cache in sub-millisecond\ntime — the effect behind Table 5.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Mutable content with IPNS (paper Section 3.3): a website publishes
+// version 1, a reader resolves it through the publisher's permanent
+// name, then the site updates to version 2 under the same name.
+//
+// Build & run:  ./build/examples/mutable_website
+#include <cstdio>
+#include <string>
+
+#include "ipns/ipns.h"
+#include "node/ipfs_node.h"
+#include "world/world.h"
+
+using namespace ipfs;
+
+namespace {
+
+std::vector<std::uint8_t> page(const std::string& html) {
+  return std::vector<std::uint8_t>(html.begin(), html.end());
+}
+
+}  // namespace
+
+int main() {
+  world::WorldConfig world_config;
+  world_config.population.peer_count = 350;
+  world_config.seed = 17;
+  world::World world(world_config);
+
+  node::IpfsNodeConfig site_config;
+  site_config.net.region = world::kUsWest;
+  site_config.identity_seed = 11;
+  node::IpfsNode site(world.network(), site_config);
+
+  node::IpfsNodeConfig reader_config;
+  reader_config.net.region = world::kEuCentral;
+  reader_config.identity_seed = 12;
+  node::IpfsNode reader(world.network(), reader_config);
+
+  site.bootstrap(world.bootstrap_refs(), [](bool) {});
+  reader.bootstrap(world.bootstrap_refs(), [](bool) {});
+  world.simulator().run();
+
+  // The permanent name: the hash of the site's public key.
+  const auto site_name = site.self().id;
+  std::printf("site name (IPNS): /ipns/%s\n\n", site_name.to_base58().c_str());
+
+  // --- version 1 -------------------------------------------------------------
+  const auto v1 = page("<html>My blog, first post!</html>");
+  node::PublishTrace publish_v1;
+  site.publish(v1, [&](node::PublishTrace t) { publish_v1 = t; });
+  world.simulator().run();
+  std::printf("v1 content CID: %s\n", publish_v1.cid.to_string().c_str());
+
+  // Bind name -> v1, signed with the site's key (sequence 1).
+  ipns::publish(site.dht(), site.keypair(), publish_v1.cid, 1,
+                [](bool ok, int replicas) {
+                  std::printf("IPNS record v1 published: %s (%d replicas)\n",
+                              ok ? "ok" : "FAILED", replicas);
+                });
+  world.simulator().run();
+
+  // The reader knows only the name.
+  ipns::resolve(reader.dht(), site_name,
+                [&](std::optional<multiformats::Cid> cid) {
+                  std::printf("reader resolved /ipns/... -> %s\n",
+                              cid ? cid->to_string().c_str() : "(nothing)");
+                });
+  world.simulator().run();
+
+  // --- version 2: same name, new content --------------------------------------
+  const auto v2 = page("<html>My blog, second post! (now with updates)</html>");
+  node::PublishTrace publish_v2;
+  site.publish(v2, [&](node::PublishTrace t) { publish_v2 = t; });
+  world.simulator().run();
+  std::printf("\nv2 content CID: %s\n", publish_v2.cid.to_string().c_str());
+
+  ipns::publish(site.dht(), site.keypair(), publish_v2.cid, 2,
+                [](bool ok, int) {
+                  std::printf("IPNS record v2 published: %s\n",
+                              ok ? "ok" : "FAILED");
+                });
+  world.simulator().run();
+
+  std::optional<multiformats::Cid> resolved;
+  ipns::resolve(reader.dht(), site_name,
+                [&](std::optional<multiformats::Cid> cid) { resolved = cid; });
+  world.simulator().run();
+
+  if (!resolved) {
+    std::printf("resolution failed\n");
+    return 1;
+  }
+  std::printf("reader resolved the SAME name -> %s\n",
+              resolved->to_string().c_str());
+  std::printf("name now points at v2: %s\n",
+              *resolved == publish_v2.cid ? "yes" : "NO");
+
+  // Fetch the current version through the resolved CID.
+  node::RetrievalTrace retrieval;
+  reader.retrieve(*resolved, [&](node::RetrievalTrace t) { retrieval = t; });
+  world.simulator().run();
+  if (retrieval.ok) {
+    const auto bytes = merkledag::cat(reader.store(), *resolved);
+    std::printf("\nfetched current site (%zu bytes): %.50s...\n",
+                bytes->size(), reinterpret_cast<const char*>(bytes->data()));
+  }
+
+  // Old content remains addressable forever under its own CID — names
+  // are mutable, content is immutable.
+  return *resolved == publish_v2.cid ? 0 : 1;
+}

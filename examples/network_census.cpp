@@ -1,0 +1,82 @@
+// Network census (paper Sections 4.1 and 5): run the crawler and the
+// uptime prober against a simulated deployment and print the kind of
+// census the paper's measurement study reports.
+//
+// Build & run:  ./build/examples/network_census
+#include <cstdio>
+
+#include "crawler/census.h"
+#include "crawler/crawler.h"
+#include "crawler/uptime_prober.h"
+#include "world/world.h"
+
+using namespace ipfs;
+
+int main() {
+  world::WorldConfig world_config;
+  world_config.population.peer_count = 1200;
+  world_config.seed = 29;
+  world::World world(world_config);
+
+  // The crawler machine (the paper runs it from a server in Germany).
+  sim::NodeConfig crawler_config;
+  crawler_config.region = world::kEuCentral;
+  crawler_config.upload_bytes_per_sec = 100.0 * 1024 * 1024;
+  crawler_config.download_bytes_per_sec = 100.0 * 1024 * 1024;
+  const sim::NodeId self = world.network().add_node(crawler_config);
+
+  crawler::Crawler crawler(world.network(), self, world.bootstrap_refs());
+  crawler::CrawlResult crawl;
+  crawler.crawl([&](crawler::CrawlResult r) { crawl = std::move(r); });
+  world.simulator().run();
+
+  std::printf("crawl finished in %.1f s (simulated)\n",
+              sim::to_seconds(crawl.finished_at - crawl.started_at));
+  std::printf("  peers discovered:  %zu\n", crawl.total());
+  std::printf("  dialable now:      %zu (%.1f%%)\n", crawl.dialable(),
+              100.0 * static_cast<double>(crawl.dialable()) /
+                  static_cast<double>(crawl.total()));
+  std::printf("  unique IPs:        %zu\n", crawl.unique_ip_count());
+  std::printf("  multiaddresses:    %zu\n\n", crawl.multiaddress_count());
+
+  std::printf("top countries (GeoIP over crawled addresses):\n");
+  int rows = 0;
+  for (const auto& share :
+       crawler::country_distribution(crawl, world.geodb())) {
+    std::printf("  %-8s %6zu peers  (%.1f%%)\n", share.code.c_str(),
+                share.count, share.share * 100.0);
+    if (++rows >= 6) break;
+  }
+
+  std::printf("\ntop autonomous systems:\n");
+  rows = 0;
+  for (const auto& entry : crawler::as_distribution(crawl, world.geodb())) {
+    std::printf("  AS%-7u %-30s %5zu IPs (%.1f%%)\n", entry.asn,
+                entry.name.c_str(), entry.ip_count, entry.share * 100.0);
+    if (++rows >= 5) break;
+  }
+
+  // A short probing window for churn statistics.
+  crawler::UptimeProber prober(world.network(), self);
+  for (const auto& obs : crawl.observations) prober.track(obs.peer);
+  const sim::Time window_start = world.simulator().now();
+  world.simulator().run_until(window_start + sim::hours(3));
+  prober.finish();
+
+  std::vector<double> session_hours;
+  for (const auto& [country, sessions] : crawler::session_lengths_by_country(
+           prober.sessions(), world.geodb(), window_start,
+           world.simulator().now())) {
+    session_hours.insert(session_hours.end(), sessions.begin(),
+                         sessions.end());
+  }
+  if (!session_hours.empty()) {
+    std::sort(session_hours.begin(), session_hours.end());
+    std::printf("\nchurn (3 h probing window): %zu sessions, median %.0f min\n",
+                session_hours.size(),
+                session_hours[session_hours.size() / 2] * 60.0);
+  }
+  std::printf("\nthis is the same tooling the deployment benches\n"
+              "(bench_fig04a/05/07/08, bench_tab2/3) are built on.\n");
+  return 0;
+}

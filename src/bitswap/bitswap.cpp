@@ -1,0 +1,216 @@
+#include "bitswap/bitswap.h"
+
+#include "merkledag/merkledag.h"
+
+namespace ipfs::bitswap {
+
+namespace {
+constexpr std::size_t kWantMessageBytes = 48;
+constexpr std::size_t kHaveMessageBytes = 40;
+constexpr std::size_t kBlockOverheadBytes = 64;
+}  // namespace
+
+Bitswap::Bitswap(sim::Network& network, sim::NodeId node,
+                 blockstore::BlockStore& store)
+    : network_(network), node_(node), store_(store) {}
+
+std::string Bitswap::want_key(const Cid& cid) {
+  const auto bytes = cid.encode();
+  return std::string(bytes.begin(), bytes.end());
+}
+
+bool Bitswap::handle_request(
+    sim::NodeId from, const sim::MessagePtr& message,
+    const std::function<void(sim::MessagePtr, std::size_t)>& respond) {
+  if (const auto* want_have =
+          dynamic_cast<const WantHaveRequest*>(message.get())) {
+    auto response = std::make_shared<HaveResponse>();
+    response->have = store_.has(want_have->cid);
+    respond(std::move(response), kHaveMessageBytes);
+    return true;
+  }
+  if (const auto* want_block =
+          dynamic_cast<const WantBlockRequest*>(message.get())) {
+    auto response = std::make_shared<BlockResponse>();
+    response->block = store_.get(want_block->cid);
+    std::size_t size = kBlockOverheadBytes;
+    if (response->block) {
+      size += response->block->data.size();
+      Ledger& ledger = ledgers_[from];
+      ledger.bytes_sent += response->block->data.size();
+      ++ledger.blocks_sent;
+    }
+    respond(std::move(response), size);
+    return true;
+  }
+  return false;
+}
+
+void Bitswap::discover(const Cid& cid, sim::Duration timeout,
+                       std::function<void(std::optional<sim::NodeId>)> done,
+                       bool early_exit) {
+  ++discovery_attempts_;
+  const auto peers = network_.connections_of(node_);
+  if (peers.empty()) {
+    done(std::nullopt);
+    return;
+  }
+
+  wantlist_.insert(want_key(cid));
+  struct State {
+    bool finished = false;
+    std::size_t answered = 0;
+    std::size_t total = 0;
+    sim::Timer timer;
+  };
+  auto state = std::make_shared<State>();
+  state->total = peers.size();
+
+  auto finish = [this, cid, state,
+                 done = std::move(done)](std::optional<sim::NodeId> peer) {
+    if (state->finished) return;
+    state->finished = true;
+    state->timer.cancel();
+    wantlist_.erase(want_key(cid));
+    if (peer) ++discovery_hits_;
+    done(peer);
+  };
+
+  state->timer = network_.simulator().schedule_after(
+      timeout, [finish] { finish(std::nullopt); });
+
+  for (const sim::NodeId peer : peers) {
+    auto request = std::make_shared<WantHaveRequest>();
+    request->cid = cid;
+    network_.request(
+        node_, peer, std::move(request), kWantMessageBytes, timeout,
+        [state, finish, peer, early_exit](sim::RpcStatus status,
+                                          const sim::MessagePtr& message) {
+          if (state->finished) return;
+          ++state->answered;
+          if (status == sim::RpcStatus::kOk) {
+            const auto* have = dynamic_cast<const HaveResponse*>(message.get());
+            if (have != nullptr && have->have) {
+              finish(peer);
+              return;
+            }
+          }
+          if (early_exit && state->answered == state->total)
+            finish(std::nullopt);
+        });
+  }
+}
+
+void Bitswap::fetch_block(sim::NodeId peer, const Cid& cid,
+                          std::function<void(std::optional<Block>)> done) {
+  wantlist_.insert(want_key(cid));
+  auto request = std::make_shared<WantBlockRequest>();
+  request->cid = cid;
+  network_.request(
+      node_, peer, std::move(request), kWantMessageBytes, kBlockTimeout,
+      [this, peer, cid, done = std::move(done)](sim::RpcStatus status,
+                                                const sim::MessagePtr& message) {
+        wantlist_.erase(want_key(cid));
+        if (status != sim::RpcStatus::kOk) {
+          done(std::nullopt);
+          return;
+        }
+        const auto* response =
+            dynamic_cast<const BlockResponse*>(message.get());
+        if (response == nullptr || !response->block) {
+          done(std::nullopt);
+          return;
+        }
+        // Verify against the CID before accepting (Section 2.1:
+        // self-certification removes the need to trust the provider).
+        if (!response->block->cid.hash().verifies(response->block->data) ||
+            response->block->cid != cid) {
+          done(std::nullopt);
+          return;
+        }
+        Ledger& ledger = ledgers_[peer];
+        ledger.bytes_received += response->block->data.size();
+        ++ledger.blocks_received;
+        store_.put(*response->block);
+        done(response->block);
+      });
+}
+
+struct Bitswap::DagFetch {
+  std::vector<Cid> pending;
+  int in_flight = 0;
+  bool failed = false;
+  bool finished = false;
+  FetchStats stats;
+  sim::Time started = 0;
+  std::function<void(FetchStats)> done;
+};
+
+void Bitswap::fetch_dag(sim::NodeId peer, const Cid& root,
+                        std::function<void(FetchStats)> done) {
+  auto state = std::make_shared<DagFetch>();
+  state->started = network_.simulator().now();
+  state->pending.push_back(root);
+  state->done = std::move(done);
+  pump_dag_fetch(peer, std::move(state));
+}
+
+void Bitswap::pump_dag_fetch(sim::NodeId peer,
+                             std::shared_ptr<DagFetch> state) {
+  if (state->finished) return;
+
+  // Resolve local hits (deduplicated chunks) without network traffic.
+  while (!state->pending.empty()) {
+    const Cid next = state->pending.back();
+    const auto local = store_.get(next);
+    if (!local) break;
+    state->pending.pop_back();
+    if (next.content_codec() == multiformats::Multicodec::kDagPb) {
+      if (const auto node = merkledag::DagNode::decode(local->data)) {
+        for (const auto& link : node->links)
+          state->pending.push_back(link.cid);
+      }
+    }
+  }
+
+  if (state->failed ||
+      (state->pending.empty() && state->in_flight == 0)) {
+    state->finished = true;
+    state->stats.ok = !state->failed;
+    state->stats.elapsed = network_.simulator().now() - state->started;
+    state->done(state->stats);
+    return;
+  }
+
+  while (!state->pending.empty() && state->in_flight < kFetchWindow) {
+    const Cid next = state->pending.back();
+    state->pending.pop_back();
+    ++state->in_flight;
+    fetch_block(peer, next,
+                [this, peer, next, state](std::optional<Block> block) {
+                  --state->in_flight;
+                  if (state->finished) return;
+                  if (!block) {
+                    state->failed = true;
+                  } else {
+                    ++state->stats.blocks;
+                    state->stats.bytes += block->data.size();
+                    if (next.content_codec() ==
+                        multiformats::Multicodec::kDagPb) {
+                      if (const auto node =
+                              merkledag::DagNode::decode(block->data)) {
+                        for (const auto& link : node->links)
+                          state->pending.push_back(link.cid);
+                      } else {
+                        state->failed = true;
+                      }
+                    }
+                  }
+                  pump_dag_fetch(peer, state);
+                });
+  }
+}
+
+const Ledger& Bitswap::ledger_for(sim::NodeId peer) { return ledgers_[peer]; }
+
+}  // namespace ipfs::bitswap

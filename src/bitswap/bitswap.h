@@ -1,0 +1,120 @@
+// Bitswap (paper Section 3.2, "Content Exchange"): a chunk exchange
+// protocol. Requests announce interest in CIDs via wantlists: WANT_HAVE
+// probes who holds a block, HAVE/DONT_HAVE answer, WANT_BLOCK pulls the
+// block itself.
+//
+// Bitswap is also IPFS's opportunistic discovery mechanism: before a DHT
+// walk, a requester broadcasts WANT_HAVE to every *connected* peer and
+// waits up to 1 s (kDiscoveryTimeout) for a HAVE.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "blockstore/blockstore.h"
+#include "multiformats/cid.h"
+#include "sim/network.h"
+
+namespace ipfs::bitswap {
+
+using blockstore::Block;
+using multiformats::Cid;
+
+// Discovery falls back to the DHT after this timeout (Section 3.2).
+constexpr sim::Duration kDiscoveryTimeout = sim::seconds(1);
+// Per-block transfer timeout inside a session.
+constexpr sim::Duration kBlockTimeout = sim::seconds(30);
+
+struct WantHaveRequest : sim::Message {
+  Cid cid;
+};
+
+struct HaveResponse : sim::Message {
+  bool have = false;  // HAVE or DONT_HAVE
+};
+
+struct WantBlockRequest : sim::Message {
+  Cid cid;
+};
+
+struct BlockResponse : sim::Message {
+  std::optional<Block> block;
+};
+
+// Per-peer accounting of exchanged bytes (the Bitswap "ledger").
+struct Ledger {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t blocks_sent = 0;
+  std::uint64_t blocks_received = 0;
+};
+
+struct FetchStats {
+  bool ok = false;
+  sim::Duration elapsed = 0;
+  std::size_t blocks = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Bitswap {
+ public:
+  Bitswap(sim::Network& network, sim::NodeId node,
+          blockstore::BlockStore& store);
+
+  // Protocol dispatch; returns false for non-Bitswap messages.
+  bool handle_request(
+      sim::NodeId from, const sim::MessagePtr& message,
+      const std::function<void(sim::MessagePtr, std::size_t)>& respond);
+
+  // Opportunistic discovery: WANT_HAVE to all connected peers; reports the
+  // first peer answering HAVE, or nullopt after `timeout`. Fires exactly
+  // once. With no connected peers it reports failure immediately.
+  //
+  // By default the full timeout is always paid on a miss, matching go-ipfs
+  // (and footnote 4 of the paper: every DHT-resolved retrieval carries the
+  // 1 s Bitswap delay). `early_exit` lets a miss complete as soon as all
+  // connected peers answered DONT_HAVE — the optimization the paper's
+  // Section 6.4 discussion contemplates.
+  void discover(const Cid& cid, sim::Duration timeout,
+                std::function<void(std::optional<sim::NodeId>)> done,
+                bool early_exit = false);
+
+  // Pulls one block from `peer` (WANT_BLOCK). Verified against the CID and
+  // stored locally on success.
+  void fetch_block(sim::NodeId peer, const Cid& cid,
+                   std::function<void(std::optional<Block>)> done);
+
+  // Fetches the whole DAG below `root` from `peer`, pipelining up to
+  // kFetchWindow outstanding WANT_BLOCKs (sessions keep the pipe full so
+  // per-block round trips are hidden behind the transfer).
+  void fetch_dag(sim::NodeId peer, const Cid& root,
+                 std::function<void(FetchStats)> done);
+
+  static constexpr int kFetchWindow = 8;
+
+  const Ledger& ledger_for(sim::NodeId peer);
+  blockstore::BlockStore& store() { return store_; }
+  const std::unordered_set<std::string>& wantlist() const { return wantlist_; }
+
+  std::uint64_t discovery_attempts() const { return discovery_attempts_; }
+  std::uint64_t discovery_hits() const { return discovery_hits_; }
+
+ private:
+  struct DagFetch;
+  void pump_dag_fetch(sim::NodeId peer, std::shared_ptr<DagFetch> state);
+
+  static std::string want_key(const Cid& cid);
+
+  sim::Network& network_;
+  sim::NodeId node_;
+  blockstore::BlockStore& store_;
+  std::unordered_set<std::string> wantlist_;
+  std::unordered_map<sim::NodeId, Ledger> ledgers_;
+  std::uint64_t discovery_attempts_ = 0;
+  std::uint64_t discovery_hits_ = 0;
+};
+
+}  // namespace ipfs::bitswap

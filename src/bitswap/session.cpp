@@ -1,0 +1,167 @@
+#include "bitswap/session.h"
+
+#include <algorithm>
+
+#include "merkledag/merkledag.h"
+
+namespace ipfs::bitswap {
+
+Session::Session(Bitswap& bitswap, sim::Network& network)
+    : bitswap_(bitswap), network_(network) {}
+
+void Session::add_peer(sim::NodeId peer) {
+  for (const auto& existing : peers_)
+    if (existing.node == peer) return;
+  PeerState state;
+  state.node = peer;
+  peers_.push_back(state);
+}
+
+// One block in flight, with the peers already tried for it.
+struct Session::Fetch {
+  std::vector<multiformats::Cid> pending;
+  // Per-CID list of peers that already failed it (string-keyed).
+  std::map<std::string, std::vector<sim::NodeId>> failed_on;
+  int in_flight = 0;
+  bool finished = false;
+  bool failed = false;
+  SessionFetchStats stats;
+  sim::Time started = 0;
+  std::function<void(SessionFetchStats)> done;
+
+  static std::string key_of(const multiformats::Cid& cid) {
+    const auto bytes = cid.encode();
+    return std::string(bytes.begin(), bytes.end());
+  }
+};
+
+Session::PeerState* Session::pick_peer(
+    const std::vector<sim::NodeId>& exclude) {
+  PeerState* best = nullptr;
+  for (auto& peer : peers_) {
+    if (peer.dead) continue;
+    if (std::find(exclude.begin(), exclude.end(), peer.node) !=
+        exclude.end())
+      continue;
+    if (best == nullptr) {
+      best = &peer;
+      continue;
+    }
+    // Least load first; break ties by observed latency.
+    if (peer.in_flight < best->in_flight ||
+        (peer.in_flight == best->in_flight &&
+         peer.stats.ewma_latency_ms < best->stats.ewma_latency_ms)) {
+      best = &peer;
+    }
+  }
+  return best;
+}
+
+void Session::fetch_dag(const multiformats::Cid& root,
+                        std::function<void(SessionFetchStats)> done) {
+  auto fetch = std::make_shared<Fetch>();
+  fetch->started = network_.simulator().now();
+  fetch->pending.push_back(root);
+  fetch->done = std::move(done);
+  if (peers_.empty()) {
+    fetch->stats.ok = false;
+    fetch->done(fetch->stats);
+    return;
+  }
+  pump(std::move(fetch));
+}
+
+void Session::pump(std::shared_ptr<Fetch> fetch) {
+  if (fetch->finished) return;
+
+  // Termination / failure checks.
+  if ((fetch->failed || fetch->pending.empty()) && fetch->in_flight == 0) {
+    fetch->finished = true;
+    fetch->stats.ok = !fetch->failed && fetch->pending.empty();
+    fetch->stats.elapsed = network_.simulator().now() - fetch->started;
+    for (const auto& peer : peers_)
+      fetch->stats.per_peer[peer.node] = peer.stats;
+    fetch->done(fetch->stats);
+    return;
+  }
+
+  while (!fetch->pending.empty() &&
+         fetch->in_flight < Bitswap::kFetchWindow && !fetch->failed) {
+    const multiformats::Cid next = fetch->pending.back();
+
+    // Local hits (deduplicated chunks) resolve without network traffic.
+    if (const auto local = bitswap_.store().get(next)) {
+      fetch->pending.pop_back();
+      if (next.content_codec() == multiformats::Multicodec::kDagPb) {
+        if (const auto dag_node = merkledag::DagNode::decode(local->data)) {
+          for (const auto& link : dag_node->links)
+            fetch->pending.push_back(link.cid);
+        }
+      }
+      continue;
+    }
+
+    const auto& tried = fetch->failed_on[Fetch::key_of(next)];
+    PeerState* peer = pick_peer(tried);
+    if (peer == nullptr) {
+      // Every session peer failed this block.
+      fetch->failed = true;
+      break;
+    }
+    fetch->pending.pop_back();
+    ++fetch->in_flight;
+    ++peer->in_flight;
+    const sim::NodeId node = peer->node;
+    const sim::Time sent_at = network_.simulator().now();
+
+    bitswap_.fetch_block(
+        node, next,
+        [this, fetch, next, node, sent_at](std::optional<Block> block) {
+          --fetch->in_flight;
+          for (auto& peer : peers_) {
+            if (peer.node != node) continue;
+            --peer.in_flight;
+            const double latency_ms = sim::to_millis(
+                network_.simulator().now() - sent_at);
+            if (block) {
+              ++peer.stats.blocks;
+              peer.stats.bytes += block->data.size();
+              peer.stats.ewma_latency_ms =
+                  peer.stats.ewma_latency_ms == 0.0
+                      ? latency_ms
+                      : 0.7 * peer.stats.ewma_latency_ms + 0.3 * latency_ms;
+            } else {
+              ++peer.stats.failures;
+              if (peer.stats.failures >= 3) peer.dead = true;
+            }
+          }
+          if (fetch->finished) return;
+
+          if (!block) {
+            // Requeue on the remaining peers.
+            fetch->failed_on[Fetch::key_of(next)].push_back(node);
+            fetch->pending.push_back(next);
+            ++fetch->stats.retried_blocks;
+          } else {
+            ++fetch->stats.blocks;
+            fetch->stats.bytes += block->data.size();
+            if (next.content_codec() == multiformats::Multicodec::kDagPb) {
+              if (const auto dag_node =
+                      merkledag::DagNode::decode(block->data)) {
+                for (const auto& link : dag_node->links)
+                  fetch->pending.push_back(link.cid);
+              } else {
+                fetch->failed = true;
+              }
+            }
+          }
+          pump(fetch);
+        });
+  }
+
+  // If the window is empty but nothing could be scheduled, re-check the
+  // termination condition (e.g. everything pending is unservable).
+  if (fetch->in_flight == 0) pump(fetch);
+}
+
+}  // namespace ipfs::bitswap

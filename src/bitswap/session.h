@@ -1,0 +1,63 @@
+// Bitswap sessions with multi-path transfer (the optimization line of
+// the paper's references [20, 21]: "Accelerating Content Routing with
+// Bitswap: A Multi-Path File Transfer Protocol").
+//
+// A session tracks a set of peers known (or believed) to hold an object
+// and stripes WANT_BLOCK requests across them, preferring peers that
+// answer fastest. Blocks a peer fails to deliver are retried on the
+// remaining peers, so a session survives individual provider failures.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "bitswap/bitswap.h"
+
+namespace ipfs::bitswap {
+
+struct SessionPeerStats {
+  std::uint64_t blocks = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t failures = 0;
+  double ewma_latency_ms = 0.0;  // exponential moving average
+};
+
+struct SessionFetchStats : FetchStats {
+  std::map<sim::NodeId, SessionPeerStats> per_peer;
+  std::size_t retried_blocks = 0;
+};
+
+class Session {
+ public:
+  Session(Bitswap& bitswap, sim::Network& network);
+
+  // Adds a candidate provider. Duplicates are ignored.
+  void add_peer(sim::NodeId peer);
+  std::size_t peer_count() const { return peers_.size(); }
+
+  // Fetches the DAG below `root`, striping block requests over the
+  // session peers (up to Bitswap::kFetchWindow in flight in total,
+  // assigned to the least-loaded / fastest peers). Fails only when a
+  // block cannot be delivered by ANY session peer.
+  void fetch_dag(const multiformats::Cid& root,
+                 std::function<void(SessionFetchStats)> done);
+
+ private:
+  struct PeerState {
+    sim::NodeId node;
+    int in_flight = 0;
+    bool dead = false;  // exhausted: repeated failures
+    SessionPeerStats stats;
+  };
+
+  struct Fetch;
+  void pump(std::shared_ptr<Fetch> fetch);
+  PeerState* pick_peer(const std::vector<sim::NodeId>& exclude);
+
+  Bitswap& bitswap_;
+  sim::Network& network_;
+  std::vector<PeerState> peers_;
+};
+
+}  // namespace ipfs::bitswap

@@ -1,0 +1,108 @@
+#include "blockstore/blockstore.h"
+
+namespace ipfs::blockstore {
+
+Block Block::from_data(multiformats::Multicodec codec,
+                       std::span<const std::uint8_t> data) {
+  return Block{Cid::from_data(codec, data),
+               std::vector<std::uint8_t>(data.begin(), data.end())};
+}
+
+std::string BlockStore::key_of(const Cid& cid) {
+  const auto bytes = cid.encode();
+  return std::string(bytes.begin(), bytes.end());
+}
+
+PutStatus BlockStore::put(Block block) {
+  if (!block.cid.hash().verifies(block.data)) return PutStatus::kCidMismatch;
+  const auto [it, inserted] =
+      blocks_.try_emplace(block.cid, std::move(block.data));
+  if (!inserted) return PutStatus::kAlreadyPresent;
+  total_bytes_ += it->second.size();
+  return PutStatus::kStored;
+}
+
+std::optional<Block> BlockStore::get(const Cid& cid) const {
+  const auto it = blocks_.find(cid);
+  if (it == blocks_.end()) return std::nullopt;
+  return Block{cid, it->second};
+}
+
+bool BlockStore::has(const Cid& cid) const { return blocks_.contains(cid); }
+
+bool BlockStore::remove(const Cid& cid) {
+  if (pinned(cid)) return false;
+  const auto it = blocks_.find(cid);
+  if (it == blocks_.end()) return false;
+  total_bytes_ -= it->second.size();
+  blocks_.erase(it);
+  return true;
+}
+
+void BlockStore::pin(const Cid& cid) { pinned_.insert(key_of(cid)); }
+
+void BlockStore::unpin(const Cid& cid) { pinned_.erase(key_of(cid)); }
+
+bool BlockStore::pinned(const Cid& cid) const {
+  return pinned_.contains(key_of(cid));
+}
+
+std::uint64_t BlockStore::collect_garbage() {
+  std::uint64_t reclaimed = 0;
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    if (pinned(it->first)) {
+      ++it;
+      continue;
+    }
+    reclaimed += it->second.size();
+    total_bytes_ -= it->second.size();
+    it = blocks_.erase(it);
+  }
+  return reclaimed;
+}
+
+LruBlockStore::LruBlockStore(std::uint64_t capacity_bytes)
+    : capacity_(capacity_bytes) {}
+
+bool LruBlockStore::put(Block block) {
+  if (block.data.size() > capacity_) return false;
+
+  const auto it = entries_.find(block.cid);
+  if (it != entries_.end()) {
+    // Refresh recency; content is immutable so the bytes are identical.
+    recency_.erase(it->second.recency);
+    recency_.push_front(block.cid);
+    it->second.recency = recency_.begin();
+    return true;
+  }
+
+  while (used_ + block.data.size() > capacity_) evict_one();
+
+  const Cid cid = block.cid;  // keep the key valid while the block moves
+  recency_.push_front(cid);
+  used_ += block.data.size();
+  entries_.emplace(cid, Entry{std::move(block), recency_.begin()});
+  return true;
+}
+
+std::optional<Block> LruBlockStore::get(const Cid& cid) {
+  const auto it = entries_.find(cid);
+  if (it == entries_.end()) return std::nullopt;
+  recency_.erase(it->second.recency);
+  recency_.push_front(cid);
+  it->second.recency = recency_.begin();
+  return it->second.block;
+}
+
+bool LruBlockStore::has(const Cid& cid) const { return entries_.contains(cid); }
+
+void LruBlockStore::evict_one() {
+  const Cid victim = recency_.back();
+  recency_.pop_back();
+  const auto it = entries_.find(victim);
+  used_ -= it->second.block.data.size();
+  entries_.erase(it);
+  ++evictions_;
+}
+
+}  // namespace ipfs::blockstore

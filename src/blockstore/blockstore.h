@@ -1,0 +1,93 @@
+// Content-addressed block storage. Every IPFS node owns a BlockStore; the
+// gateway additionally uses an LRU-capped store as its nginx-style cache.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "multiformats/cid.h"
+
+namespace ipfs::blockstore {
+
+using multiformats::Cid;
+
+struct Block {
+  Cid cid;
+  std::vector<std::uint8_t> data;
+
+  // Builds a block from raw bytes, deriving its CID (sha2-256, given codec).
+  static Block from_data(multiformats::Multicodec codec,
+                         std::span<const std::uint8_t> data);
+};
+
+enum class PutStatus { kStored, kAlreadyPresent, kCidMismatch };
+
+// In-memory content-addressed store with pinning and GC, mirroring the
+// go-ipfs node store semantics the paper relies on (Section 3.4).
+class BlockStore {
+ public:
+  // Verifies the CID against the data before storing.
+  PutStatus put(Block block);
+
+  std::optional<Block> get(const Cid& cid) const;
+  bool has(const Cid& cid) const;
+  bool remove(const Cid& cid);  // refuses to remove pinned blocks
+
+  void pin(const Cid& cid);
+  void unpin(const Cid& cid);
+  bool pinned(const Cid& cid) const;
+
+  // Drops every unpinned block; returns bytes reclaimed.
+  std::uint64_t collect_garbage();
+
+  std::size_t block_count() const { return blocks_.size(); }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  std::map<Cid, std::vector<std::uint8_t>> blocks_;
+  std::unordered_set<std::string> pinned_;  // keyed by binary CID string
+  std::uint64_t total_bytes_ = 0;
+
+  static std::string key_of(const Cid& cid);
+};
+
+// Byte-capped LRU store (the gateway's nginx web cache, Least Recently
+// Used replacement; paper Section 3.4).
+class LruBlockStore {
+ public:
+  explicit LruBlockStore(std::uint64_t capacity_bytes);
+
+  // Inserts (or refreshes) a block, evicting least-recently-used entries
+  // until the new block fits. Blocks larger than the capacity are refused.
+  bool put(Block block);
+
+  // A hit refreshes recency.
+  std::optional<Block> get(const Cid& cid);
+  bool has(const Cid& cid) const;
+
+  std::uint64_t capacity_bytes() const { return capacity_; }
+  std::uint64_t used_bytes() const { return used_; }
+  std::size_t block_count() const { return entries_.size(); }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    Block block;
+    std::list<Cid>::iterator recency;  // position in recency list
+  };
+
+  void evict_one();
+
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::list<Cid> recency_;  // front = most recent
+  std::map<Cid, Entry> entries_;
+};
+
+}  // namespace ipfs::blockstore

@@ -1,0 +1,76 @@
+// Census analysis over crawl and probe data — the aggregations behind the
+// paper's deployment figures: geography (Figure 5), reliable/unreachable
+// splits (Figure 7a/b), PeerIDs per IP (Figure 7c), AS distribution
+// (Figure 7d, Table 2), cloud share (Table 3) and churn (Figure 8).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crawler/crawler.h"
+#include "crawler/uptime_prober.h"
+#include "world/population.h"
+
+namespace ipfs::crawler {
+
+struct CountryShare {
+  std::string code;
+  std::size_t count = 0;
+  double share = 0.0;
+};
+
+// Country distribution of crawled peers by geolocating their addresses;
+// multihomed peers are counted once per country (Figure 5's note).
+std::vector<CountryShare> country_distribution(
+    const CrawlResult& crawl, const world::GeoDatabase& geodb);
+
+// Same aggregation over an arbitrary peer subset (Figure 7a/7b use the
+// reliable and never-reachable subsets).
+std::vector<CountryShare> country_distribution_of(
+    const std::vector<PeerObservation>& observations,
+    const world::GeoDatabase& geodb);
+
+// PeerIDs per IP address, descending (Figure 7c's CDF input).
+std::vector<std::size_t> peers_per_ip(const CrawlResult& crawl);
+
+struct AsShare {
+  std::uint32_t asn = 0;
+  std::string name;
+  int caida_rank = 0;
+  std::size_t ip_count = 0;
+  double share = 0.0;
+};
+
+// Unique IPs per AS, heaviest first (Figure 7d, Table 2).
+std::vector<AsShare> as_distribution(const CrawlResult& crawl,
+                                     const world::GeoDatabase& geodb);
+
+struct CloudShare {
+  std::string provider;  // "Non-Cloud" for the remainder row
+  std::size_t ip_count = 0;
+  double share = 0.0;
+};
+
+// Cloud-provider share of unique IPs (Table 3).
+std::vector<CloudShare> cloud_distribution(const CrawlResult& crawl,
+                                           const world::GeoDatabase& geodb);
+
+// --- Churn (Figure 8) ------------------------------------------------------
+
+// Session-length samples per country, following the long-session handling
+// of the paper's references: only sessions that STARTED in the first half
+// of [window_start, window_end] are counted, and sessions still alive at
+// the window end enter at their censored (observed) length.
+std::map<std::string, std::vector<double>> session_lengths_by_country(
+    const std::vector<SessionRecord>& sessions,
+    const world::GeoDatabase& geodb, sim::Time window_start,
+    sim::Time window_end);
+
+// Peers seen online for more than `threshold` fraction of probes across
+// the window — the "reliable" subset of Figure 7a.
+std::vector<PeerObservation> reliable_peers(
+    const CrawlResult& crawl, const std::vector<SessionRecord>& sessions,
+    sim::Time window_start, sim::Time window_end, double threshold = 0.9);
+
+}  // namespace ipfs::crawler

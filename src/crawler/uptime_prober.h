@@ -1,0 +1,64 @@
+// Uptime prober (paper Section 4.1): periodically revisits discovered
+// peers and records their sessions (distinct, continuous periods online).
+// The probe interval adapts to 0.5x the currently observed uptime,
+// clamped to [30 s, 15 min] — peers observed online for a long time are
+// probed less often.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "dht/messages.h"
+#include "sim/network.h"
+
+namespace ipfs::crawler {
+
+constexpr sim::Duration kMinProbeInterval = sim::seconds(30);
+constexpr sim::Duration kMaxProbeInterval = sim::minutes(15);
+
+struct SessionRecord {
+  dht::PeerRef peer;
+  sim::Time start = 0;
+  sim::Time end = 0;
+  bool censored = false;  // still online when probing stopped
+
+  sim::Duration length() const { return end - start; }
+};
+
+class UptimeProber {
+ public:
+  UptimeProber(sim::Network& network, sim::NodeId self);
+
+  // Starts probing `peer` (idempotent per PeerID).
+  void track(const dht::PeerRef& peer);
+
+  // Ends the measurement: closes censored sessions at `now` and stops
+  // all probe timers.
+  void finish();
+
+  const std::vector<SessionRecord>& sessions() const { return sessions_; }
+  std::uint64_t probes_sent() const { return probes_sent_; }
+
+ private:
+  struct Tracked {
+    dht::PeerRef peer;
+    bool online = false;
+    sim::Time session_start = 0;
+    sim::Timer timer;
+  };
+
+  void schedule_probe(std::size_t index);
+  void probe(std::size_t index);
+  void on_probe_result(std::size_t index, bool reachable);
+
+  sim::Network& network_;
+  sim::NodeId self_;
+  bool finished_ = false;
+  std::vector<Tracked> tracked_;
+  std::map<std::vector<std::uint8_t>, std::size_t> index_by_peer_;
+  std::vector<SessionRecord> sessions_;
+  std::uint64_t probes_sent_ = 0;
+};
+
+}  // namespace ipfs::crawler

@@ -1,0 +1,534 @@
+#include "crypto/ed25519.h"
+
+#include <cstring>
+
+#include "crypto/sha512.h"
+
+namespace ipfs::crypto {
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+// ---------------------------------------------------------------------------
+// Field arithmetic modulo p = 2^255 - 19, radix 2^51 (5 limbs).
+// Limbs are kept below ~2^52 between operations; mul/square fully reduce.
+// ---------------------------------------------------------------------------
+
+constexpr u64 kMask51 = (u64{1} << 51) - 1;
+
+struct Fe {
+  u64 v[5];
+};
+
+constexpr Fe fe_zero() { return {{0, 0, 0, 0, 0}}; }
+constexpr Fe fe_one() { return {{1, 0, 0, 0, 0}}; }
+
+Fe fe_add(const Fe& a, const Fe& b) {
+  Fe r;
+  for (int i = 0; i < 5; ++i) r.v[i] = a.v[i] + b.v[i];
+  return r;
+}
+
+// a - b, offset by 4p so limbs never go negative (inputs < 2^52.5).
+Fe fe_sub(const Fe& a, const Fe& b) {
+  // 4p in radix 2^51: limb0 = 4*(2^51-19), others = 4*(2^51-1).
+  constexpr u64 kFourP0 = 0x1fffffffffffb4ULL;  // 4*(2^51-19) = 2^53 - 76
+  constexpr u64 kFourPi = 0x1ffffffffffffcULL;  // 4*(2^51-1)  = 2^53 - 4
+  Fe r;
+  r.v[0] = a.v[0] + kFourP0 - b.v[0];
+  for (int i = 1; i < 5; ++i) r.v[i] = a.v[i] + kFourPi - b.v[i];
+  return r;
+}
+
+// Carry chain bringing all limbs below 2^51 (+ small epsilon on limb 0).
+void fe_carry(Fe& f) {
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < 4; ++i) {
+      f.v[i + 1] += f.v[i] >> 51;
+      f.v[i] &= kMask51;
+    }
+    f.v[0] += 19 * (f.v[4] >> 51);
+    f.v[4] &= kMask51;
+  }
+}
+
+Fe fe_mul(const Fe& a, const Fe& b) {
+  const u64 a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3], a4 = a.v[4];
+  const u64 b0 = b.v[0], b1 = b.v[1], b2 = b.v[2], b3 = b.v[3], b4 = b.v[4];
+  const u64 b1_19 = 19 * b1, b2_19 = 19 * b2, b3_19 = 19 * b3, b4_19 = 19 * b4;
+
+  u128 t0 = (u128)a0 * b0 + (u128)a1 * b4_19 + (u128)a2 * b3_19 +
+            (u128)a3 * b2_19 + (u128)a4 * b1_19;
+  u128 t1 = (u128)a0 * b1 + (u128)a1 * b0 + (u128)a2 * b4_19 +
+            (u128)a3 * b3_19 + (u128)a4 * b2_19;
+  u128 t2 = (u128)a0 * b2 + (u128)a1 * b1 + (u128)a2 * b0 +
+            (u128)a3 * b4_19 + (u128)a4 * b3_19;
+  u128 t3 = (u128)a0 * b3 + (u128)a1 * b2 + (u128)a2 * b1 + (u128)a3 * b0 +
+            (u128)a4 * b4_19;
+  u128 t4 = (u128)a0 * b4 + (u128)a1 * b3 + (u128)a2 * b2 + (u128)a3 * b1 +
+            (u128)a4 * b0;
+
+  Fe r;
+  u64 carry;
+  r.v[0] = (u64)t0 & kMask51;
+  carry = (u64)(t0 >> 51);
+  t1 += carry;
+  r.v[1] = (u64)t1 & kMask51;
+  carry = (u64)(t1 >> 51);
+  t2 += carry;
+  r.v[2] = (u64)t2 & kMask51;
+  carry = (u64)(t2 >> 51);
+  t3 += carry;
+  r.v[3] = (u64)t3 & kMask51;
+  carry = (u64)(t3 >> 51);
+  t4 += carry;
+  r.v[4] = (u64)t4 & kMask51;
+  carry = (u64)(t4 >> 51);
+  r.v[0] += 19 * carry;
+  r.v[1] += r.v[0] >> 51;
+  r.v[0] &= kMask51;
+  return r;
+}
+
+Fe fe_sq(const Fe& a) { return fe_mul(a, a); }
+
+Fe fe_neg(const Fe& a) { return fe_sub(fe_zero(), a); }
+
+// Canonical little-endian 32-byte encoding (value fully reduced mod p).
+void fe_to_bytes(std::uint8_t out[32], const Fe& in) {
+  Fe f = in;
+  fe_carry(f);
+  // Subtract p if the value is >= p.
+  // First fold potential tiny excess on limb 0 once more.
+  f.v[1] += f.v[0] >> 51;
+  f.v[0] &= kMask51;
+  f.v[2] += f.v[1] >> 51;
+  f.v[1] &= kMask51;
+  f.v[3] += f.v[2] >> 51;
+  f.v[2] &= kMask51;
+  f.v[4] += f.v[3] >> 51;
+  f.v[3] &= kMask51;
+  f.v[0] += 19 * (f.v[4] >> 51);
+  f.v[4] &= kMask51;
+
+  // Compute f - p; if no borrow, use it.
+  u64 t[5];
+  t[0] = f.v[0] + 19;
+  t[1] = f.v[1] + (t[0] >> 51);
+  t[0] &= kMask51;
+  t[2] = f.v[2] + (t[1] >> 51);
+  t[1] &= kMask51;
+  t[3] = f.v[3] + (t[2] >> 51);
+  t[2] &= kMask51;
+  t[4] = f.v[4] + (t[3] >> 51);
+  t[3] &= kMask51;
+  // If t[4] has bit 51 set, original value was >= p: keep t (mod 2^255).
+  if (t[4] >> 51) {
+    t[4] &= kMask51;
+    f.v[0] = t[0];
+    f.v[1] = t[1];
+    f.v[2] = t[2];
+    f.v[3] = t[3];
+    f.v[4] = t[4];
+  }
+
+  u64 lo0 = f.v[0] | (f.v[1] << 51);
+  u64 lo1 = (f.v[1] >> 13) | (f.v[2] << 38);
+  u64 lo2 = (f.v[2] >> 26) | (f.v[3] << 25);
+  u64 lo3 = (f.v[3] >> 39) | (f.v[4] << 12);
+  for (int i = 0; i < 8; ++i) out[i] = (std::uint8_t)(lo0 >> (8 * i));
+  for (int i = 0; i < 8; ++i) out[8 + i] = (std::uint8_t)(lo1 >> (8 * i));
+  for (int i = 0; i < 8; ++i) out[16 + i] = (std::uint8_t)(lo2 >> (8 * i));
+  for (int i = 0; i < 8; ++i) out[24 + i] = (std::uint8_t)(lo3 >> (8 * i));
+}
+
+Fe fe_from_bytes(const std::uint8_t in[32]) {
+  auto load64 = [](const std::uint8_t* p) {
+    u64 v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+    return v;
+  };
+  const u64 x0 = load64(in);
+  const u64 x1 = load64(in + 8);
+  const u64 x2 = load64(in + 16);
+  const u64 x3 = load64(in + 24);
+  Fe r;
+  r.v[0] = x0 & kMask51;
+  r.v[1] = ((x0 >> 51) | (x1 << 13)) & kMask51;
+  r.v[2] = ((x1 >> 38) | (x2 << 26)) & kMask51;
+  r.v[3] = ((x2 >> 25) | (x3 << 39)) & kMask51;
+  r.v[4] = (x3 >> 12) & kMask51;  // drops the sign bit, per RFC 8032
+  return r;
+}
+
+bool fe_is_zero(const Fe& a) {
+  std::uint8_t bytes[32];
+  fe_to_bytes(bytes, a);
+  std::uint8_t acc = 0;
+  for (auto b : bytes) acc |= b;
+  return acc == 0;
+}
+
+bool fe_is_negative(const Fe& a) {
+  std::uint8_t bytes[32];
+  fe_to_bytes(bytes, a);
+  return bytes[0] & 1;
+}
+
+bool fe_equal(const Fe& a, const Fe& b) { return fe_is_zero(fe_sub(a, b)); }
+
+// Generic square-and-multiply with a little-endian exponent.
+Fe fe_pow(const Fe& base, const std::uint8_t exp_le[32]) {
+  Fe result = fe_one();
+  for (int bit = 254; bit >= 0; --bit) {
+    result = fe_sq(result);
+    if ((exp_le[bit / 8] >> (bit % 8)) & 1) result = fe_mul(result, base);
+  }
+  return result;
+}
+
+Fe fe_invert(const Fe& a) {
+  // p - 2 = 2^255 - 21: little-endian 0xeb, 0xff * 30, 0x7f.
+  std::uint8_t exp[32];
+  std::memset(exp, 0xff, sizeof(exp));
+  exp[0] = 0xeb;
+  exp[31] = 0x7f;
+  return fe_pow(a, exp);
+}
+
+Fe fe_pow2523(const Fe& a) {
+  // (p - 5) / 8 = 2^252 - 3: little-endian 0xfd, 0xff * 30, 0x0f.
+  std::uint8_t exp[32];
+  std::memset(exp, 0xff, sizeof(exp));
+  exp[0] = 0xfd;
+  exp[31] = 0x0f;
+  return fe_pow(a, exp);
+}
+
+// ---------------------------------------------------------------------------
+// Curve constants, computed once (and cross-checked by RFC test vectors).
+// ---------------------------------------------------------------------------
+
+struct CurveConstants {
+  Fe d;         // -121665/121666
+  Fe d2;        // 2*d
+  Fe sqrt_m1;   // sqrt(-1) = 2^((p-1)/4)
+};
+
+const CurveConstants& constants() {
+  static const CurveConstants c = [] {
+    CurveConstants out;
+    Fe n121665 = {{121665, 0, 0, 0, 0}};
+    Fe n121666 = {{121666, 0, 0, 0, 0}};
+    out.d = fe_mul(fe_neg(n121665), fe_invert(n121666));
+    out.d2 = fe_add(out.d, out.d);
+    // sqrt(-1) = 2^((p-1)/4); exponent (p-1)/4 = 2^253 - 5.
+    std::uint8_t exp[32];
+    std::memset(exp, 0xff, sizeof(exp));
+    exp[0] = 0xfb;
+    exp[31] = 0x1f;
+    Fe two = {{2, 0, 0, 0, 0}};
+    out.sqrt_m1 = fe_pow(two, exp);
+    return out;
+  }();
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Group element in extended homogeneous coordinates (X:Y:Z:T), x = X/Z,
+// y = Y/Z, x*y = T/Z. Formulas from RFC 8032 section 5.1.4.
+// ---------------------------------------------------------------------------
+
+struct Ge {
+  Fe x, y, z, t;
+};
+
+Ge ge_identity() { return {fe_zero(), fe_one(), fe_one(), fe_zero()}; }
+
+Ge ge_add(const Ge& p, const Ge& q) {
+  const Fe a = fe_mul(fe_sub(p.y, p.x), fe_sub(q.y, q.x));
+  const Fe b = fe_mul(fe_add(p.y, p.x), fe_add(q.y, q.x));
+  const Fe c = fe_mul(fe_mul(p.t, constants().d2), q.t);
+  const Fe d = fe_mul(fe_add(p.z, p.z), q.z);
+  const Fe e = fe_sub(b, a);
+  const Fe f = fe_sub(d, c);
+  const Fe g = fe_add(d, c);
+  const Fe h = fe_add(b, a);
+  return {fe_mul(e, f), fe_mul(g, h), fe_mul(f, g), fe_mul(e, h)};
+}
+
+Ge ge_double(const Ge& p) {
+  const Fe a = fe_sq(p.x);
+  const Fe b = fe_sq(p.y);
+  const Fe c = fe_add(fe_sq(p.z), fe_sq(p.z));
+  const Fe h = fe_add(a, b);
+  const Fe xy = fe_add(p.x, p.y);
+  const Fe e = fe_sub(h, fe_sq(xy));
+  const Fe g = fe_sub(a, b);
+  const Fe f = fe_add(c, g);
+  return {fe_mul(e, f), fe_mul(g, h), fe_mul(f, g), fe_mul(e, h)};
+}
+
+Ge ge_neg(const Ge& p) { return {fe_neg(p.x), p.y, p.z, fe_neg(p.t)}; }
+
+// Plain double-and-add; variable time is fine inside the simulator.
+Ge ge_scalarmult(const std::uint8_t scalar_le[32], const Ge& p) {
+  Ge r = ge_identity();
+  for (int bit = 255; bit >= 0; --bit) {
+    r = ge_double(r);
+    if ((scalar_le[bit / 8] >> (bit % 8)) & 1) r = ge_add(r, p);
+  }
+  return r;
+}
+
+void ge_to_bytes(std::uint8_t out[32], const Ge& p) {
+  const Fe zi = fe_invert(p.z);
+  const Fe x = fe_mul(p.x, zi);
+  const Fe y = fe_mul(p.y, zi);
+  fe_to_bytes(out, y);
+  if (fe_is_negative(x)) out[31] |= 0x80;
+}
+
+// Decompression per RFC 8032 section 5.1.3. Returns nullopt for invalid
+// encodings (no square root, or x=0 with sign bit set).
+std::optional<Ge> ge_from_bytes(const std::uint8_t in[32]) {
+  const int sign = in[31] >> 7;
+  const Fe y = fe_from_bytes(in);
+
+  const Fe y2 = fe_sq(y);
+  const Fe u = fe_sub(y2, fe_one());
+  const Fe v = fe_add(fe_mul(constants().d, y2), fe_one());
+
+  // Candidate root x = u * v^3 * (u * v^7)^((p-5)/8).
+  const Fe v3 = fe_mul(fe_sq(v), v);
+  const Fe v7 = fe_mul(fe_sq(v3), v);
+  Fe x = fe_mul(fe_mul(u, v3), fe_pow2523(fe_mul(u, v7)));
+
+  const Fe vx2 = fe_mul(v, fe_sq(x));
+  if (!fe_equal(vx2, u)) {
+    if (fe_equal(vx2, fe_neg(u))) {
+      x = fe_mul(x, constants().sqrt_m1);
+    } else {
+      return std::nullopt;
+    }
+  }
+
+  if (fe_is_zero(x) && sign == 1) return std::nullopt;
+  if (fe_is_negative(x) != (sign == 1)) x = fe_neg(x);
+
+  Ge p;
+  p.x = x;
+  p.y = y;
+  p.z = fe_one();
+  p.t = fe_mul(x, y);
+  return p;
+}
+
+const Ge& base_point() {
+  static const Ge b = [] {
+    // B has y = 4/5 and even ("positive") x, so sign bit 0.
+    Fe four = {{4, 0, 0, 0, 0}};
+    Fe five = {{5, 0, 0, 0, 0}};
+    const Fe y = fe_mul(four, fe_invert(five));
+    std::uint8_t enc[32];
+    fe_to_bytes(enc, y);
+    auto p = ge_from_bytes(enc);
+    return *p;
+  }();
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar arithmetic modulo the group order
+// L = 2^252 + 27742317777372353535851937790883648493.
+// Simple bignum long-reduction; performance is irrelevant here.
+// ---------------------------------------------------------------------------
+
+// L as little-endian u64 limbs.
+constexpr u64 kOrder[4] = {0x5812631a5cf5d3edULL, 0x14def9dea2f79cd6ULL, 0ULL,
+                           0x1000000000000000ULL};
+
+struct Scalar256 {
+  u64 v[4] = {0, 0, 0, 0};
+};
+
+bool scalar_gte_order(const Scalar256& a) {
+  for (int i = 3; i >= 0; --i) {
+    if (a.v[i] > kOrder[i]) return true;
+    if (a.v[i] < kOrder[i]) return false;
+  }
+  return true;  // equal
+}
+
+void scalar_sub_order(Scalar256& a) {
+  u64 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u64 sub = kOrder[i] + borrow;
+    borrow = (a.v[i] < sub || (borrow && kOrder[i] == ~u64{0})) ? 1 : 0;
+    a.v[i] -= sub;
+  }
+}
+
+// Reduces an up-to-512-bit little-endian value modulo L by scanning bits
+// from the top: r = 2r + bit, subtract L on overflow past it.
+Scalar256 scalar_mod_order(std::span<const std::uint8_t> le_bytes) {
+  Scalar256 r;
+  for (int bit = static_cast<int>(le_bytes.size()) * 8 - 1; bit >= 0; --bit) {
+    // r <<= 1 (r < L < 2^253, so this cannot overflow 256 bits).
+    u64 carry = 0;
+    for (int i = 0; i < 4; ++i) {
+      const u64 next_carry = r.v[i] >> 63;
+      r.v[i] = (r.v[i] << 1) | carry;
+      carry = next_carry;
+    }
+    const int byte = bit / 8;
+    if ((le_bytes[byte] >> (bit % 8)) & 1) {
+      // r += 1
+      for (int i = 0; i < 4 && ++r.v[i] == 0; ++i) {
+      }
+    }
+    if (scalar_gte_order(r)) scalar_sub_order(r);
+  }
+  return r;
+}
+
+void scalar_to_bytes(std::uint8_t out[32], const Scalar256& s) {
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 8; ++j)
+      out[8 * i + j] = (std::uint8_t)(s.v[i] >> (8 * j));
+}
+
+// (a*b + c) mod L, all inputs 32-byte little-endian scalars.
+Scalar256 scalar_muladd(const std::uint8_t a[32], const std::uint8_t b[32],
+                        const std::uint8_t c[32]) {
+  // Schoolbook 256x256 -> 512 bit multiply over 8 u64 limbs.
+  u64 al[4], bl[4];
+  for (int i = 0; i < 4; ++i) {
+    al[i] = 0;
+    bl[i] = 0;
+    for (int j = 7; j >= 0; --j) {
+      al[i] = (al[i] << 8) | a[8 * i + j];
+      bl[i] = (bl[i] << 8) | b[8 * i + j];
+    }
+  }
+  u64 prod[8] = {0};
+  for (int i = 0; i < 4; ++i) {
+    u64 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const u128 t = (u128)al[i] * bl[j] + prod[i + j] + carry;
+      prod[i + j] = (u64)t;
+      carry = (u64)(t >> 64);
+    }
+    prod[i + 4] += carry;
+  }
+  // Add c.
+  u64 carry = 0;
+  for (int i = 0; i < 8; ++i) {
+    u64 limb = (i < 4) ? [&] {
+      u64 cl = 0;
+      for (int j = 7; j >= 0; --j) cl = (cl << 8) | c[8 * i + j];
+      return cl;
+    }()
+                       : 0;
+    const u128 t = (u128)prod[i] + limb + carry;
+    prod[i] = (u64)t;
+    carry = (u64)(t >> 64);
+  }
+  std::uint8_t wide[64];
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 8; ++j)
+      wide[8 * i + j] = (std::uint8_t)(prod[i] >> (8 * j));
+  return scalar_mod_order(wide);
+}
+
+void clamp(std::uint8_t scalar[32]) {
+  scalar[0] &= 248;
+  scalar[31] &= 127;
+  scalar[31] |= 64;
+}
+
+}  // namespace
+
+Ed25519KeyPair ed25519_keypair(const Ed25519Seed& seed) {
+  const Sha512Digest h = sha512(std::span<const std::uint8_t>(seed));
+  std::uint8_t s[32];
+  std::memcpy(s, h.data(), 32);
+  clamp(s);
+  const Ge a = ge_scalarmult(s, base_point());
+  Ed25519KeyPair kp;
+  kp.seed = seed;
+  ge_to_bytes(kp.public_key.data(), a);
+  return kp;
+}
+
+Ed25519Signature ed25519_sign(const Ed25519KeyPair& key,
+                              std::span<const std::uint8_t> message) {
+  const Sha512Digest h = sha512(std::span<const std::uint8_t>(key.seed));
+  std::uint8_t s[32];
+  std::memcpy(s, h.data(), 32);
+  clamp(s);
+
+  // r = SHA512(prefix || M) mod L
+  Sha512 rctx;
+  rctx.update(std::span<const std::uint8_t>(h.data() + 32, 32));
+  rctx.update(message);
+  const Sha512Digest r_wide = rctx.finish();
+  const Scalar256 r = scalar_mod_order(r_wide);
+  std::uint8_t r_bytes[32];
+  scalar_to_bytes(r_bytes, r);
+
+  const Ge r_point = ge_scalarmult(r_bytes, base_point());
+  Ed25519Signature sig{};
+  ge_to_bytes(sig.data(), r_point);
+
+  // k = SHA512(R || A || M) mod L
+  Sha512 kctx;
+  kctx.update(std::span<const std::uint8_t>(sig.data(), 32));
+  kctx.update(std::span<const std::uint8_t>(key.public_key));
+  kctx.update(message);
+  const Sha512Digest k_wide = kctx.finish();
+  const Scalar256 k = scalar_mod_order(k_wide);
+  std::uint8_t k_bytes[32];
+  scalar_to_bytes(k_bytes, k);
+
+  // S = (r + k*s) mod L
+  const Scalar256 big_s = scalar_muladd(k_bytes, s, r_bytes);
+  scalar_to_bytes(sig.data() + 32, big_s);
+  return sig;
+}
+
+bool ed25519_verify(const Ed25519PublicKey& public_key,
+                    std::span<const std::uint8_t> message,
+                    const Ed25519Signature& signature) {
+  // Reject S >= L (strict / non-malleable verification).
+  Scalar256 s_val;
+  for (int i = 0; i < 4; ++i)
+    for (int j = 7; j >= 0; --j)
+      s_val.v[i] = (s_val.v[i] << 8) | signature[32 + 8 * i + j];
+  if (scalar_gte_order(s_val)) return false;
+
+  const auto a = ge_from_bytes(public_key.data());
+  if (!a) return false;
+
+  Sha512 kctx;
+  kctx.update(std::span<const std::uint8_t>(signature.data(), 32));
+  kctx.update(std::span<const std::uint8_t>(public_key));
+  kctx.update(message);
+  const Scalar256 k = scalar_mod_order(kctx.finish());
+  std::uint8_t k_bytes[32];
+  scalar_to_bytes(k_bytes, k);
+
+  // Check s*B == R + k*A  <=>  R == s*B + k*(-A).
+  std::uint8_t s_bytes[32];
+  std::memcpy(s_bytes, signature.data() + 32, 32);
+  const Ge sb = ge_scalarmult(s_bytes, base_point());
+  const Ge ka = ge_scalarmult(k_bytes, ge_neg(*a));
+  const Ge r_check = ge_add(sb, ka);
+
+  std::uint8_t r_bytes[32];
+  ge_to_bytes(r_bytes, r_check);
+  return std::memcmp(r_bytes, signature.data(), 32) == 0;
+}
+
+}  // namespace ipfs::crypto

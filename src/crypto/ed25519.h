@@ -1,0 +1,38 @@
+// Ed25519 signatures (RFC 8032), implemented from scratch on a 51-bit-limb
+// curve25519 field. PeerIDs hash Ed25519 public keys; IPNS records are
+// signed with the corresponding private keys.
+//
+// This implementation favours clarity over speed and is NOT constant-time;
+// inside the simulator there is no side channel to defend against.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace ipfs::crypto {
+
+using Ed25519Seed = std::array<std::uint8_t, 32>;        // RFC 8032 private key
+using Ed25519PublicKey = std::array<std::uint8_t, 32>;   // compressed point A
+using Ed25519Signature = std::array<std::uint8_t, 64>;   // R || S
+
+struct Ed25519KeyPair {
+  Ed25519Seed seed;
+  Ed25519PublicKey public_key;
+};
+
+// Derives the public key for a 32-byte seed (deterministic).
+Ed25519KeyPair ed25519_keypair(const Ed25519Seed& seed);
+
+Ed25519Signature ed25519_sign(const Ed25519KeyPair& key,
+                              std::span<const std::uint8_t> message);
+
+// Strict verification: rejects non-canonical S (S >= L) and undecodable
+// points. Returns true iff the signature is valid for (public_key, message).
+bool ed25519_verify(const Ed25519PublicKey& public_key,
+                    std::span<const std::uint8_t> message,
+                    const Ed25519Signature& signature);
+
+}  // namespace ipfs::crypto

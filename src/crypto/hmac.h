@@ -1,0 +1,13 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+#pragma once
+
+#include <span>
+
+#include "crypto/sha256.h"
+
+namespace ipfs::crypto {
+
+Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
+                         std::span<const std::uint8_t> message);
+
+}  // namespace ipfs::crypto

@@ -1,0 +1,34 @@
+// SHA-512 (FIPS 180-4), required by Ed25519 (RFC 8032).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace ipfs::crypto {
+
+using Sha512Digest = std::array<std::uint8_t, 64>;
+
+class Sha512 {
+ public:
+  Sha512();
+
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view data);
+  Sha512Digest finish();
+  void reset();
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint64_t, 8> state_{};
+  std::array<std::uint8_t, 128> buffer_{};
+  std::uint64_t total_bytes_ = 0;  // 2^64 bytes is ample for this codebase
+  std::size_t buffered_ = 0;
+};
+
+Sha512Digest sha512(std::span<const std::uint8_t> data);
+Sha512Digest sha512(std::string_view data);
+
+}  // namespace ipfs::crypto

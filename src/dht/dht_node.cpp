@@ -1,0 +1,458 @@
+#include "dht/dht_node.h"
+
+#include <algorithm>
+
+namespace ipfs::dht {
+
+DhtNode::DhtNode(sim::Network& network, sim::NodeId node,
+                 multiformats::PeerId id,
+                 std::vector<multiformats::Multiaddr> addresses,
+                 RecordStore* shared_store)
+    : network_(network),
+      self_{std::move(id), node, std::move(addresses)},
+      routing_table_(Key::for_peer(self_.id)),
+      records_(shared_store != nullptr ? shared_store : &own_records_) {
+  schedule_expiry_sweep();
+}
+
+DhtNode::~DhtNode() {
+  republish_timer_.cancel();
+  expiry_timer_.cancel();
+}
+
+void DhtNode::attach_to_network() {
+  network_.set_request_handler(
+      self_.node, [this](sim::NodeId from, const sim::MessagePtr& message,
+                         auto respond) {
+        handle_request(from, message, respond);
+      });
+  network_.set_message_handler(
+      self_.node, [this](sim::NodeId from, const sim::MessagePtr& message) {
+        handle_message(from, message);
+      });
+}
+
+void DhtNode::force_mode(Mode mode) { mode_ = mode; }
+
+void DhtNode::answer_closer_peers(const Key& target,
+                                  std::vector<PeerRef>& out) const {
+  out = routing_table_.closest(target, kReplication);
+}
+
+bool DhtNode::handle_request(
+    sim::NodeId from, const sim::MessagePtr& message,
+    const std::function<void(sim::MessagePtr, std::size_t)>& respond) {
+  // Clients do not serve DHT requests.
+  if (mode_ != Mode::kServer) {
+    if (dynamic_cast<const DialBackRequest*>(message.get()) == nullptr &&
+        dynamic_cast<const FindNodeRequest*>(message.get()) == nullptr &&
+        dynamic_cast<const GetProvidersRequest*>(message.get()) == nullptr &&
+        dynamic_cast<const GetValueRequest*>(message.get()) == nullptr &&
+        dynamic_cast<const AddProviderRequest*>(message.get()) == nullptr &&
+        dynamic_cast<const PutValueRequest*>(message.get()) == nullptr &&
+        dynamic_cast<const ListBucketsRequest*>(message.get()) == nullptr)
+      return false;
+    // DialBack must still be answered so AutoNAT works for others; the
+    // rest are politely ignored (the requester times out and moves on).
+    if (const auto* dial_back =
+            dynamic_cast<const DialBackRequest*>(message.get())) {
+      (void)dial_back;
+      // A client cannot help with dial-backs either; report unreachable.
+      auto response = std::make_shared<DialBackResponse>();
+      response->reachable = false;
+      respond(std::move(response), kRequestBaseBytes);
+    }
+    return true;
+  }
+
+  // Learn about server-mode requesters (the identify-protocol side
+  // effect that makes freshly joined servers routable).
+  if (const auto* lookup_request =
+          dynamic_cast<const LookupRequestBase*>(message.get())) {
+    if (lookup_request->requester_is_server &&
+        !lookup_request->requester.id.empty() &&
+        lookup_request->requester.node != sim::kInvalidNode) {
+      routing_table_.upsert(lookup_request->requester);
+    }
+  }
+
+  if (const auto* find_node =
+          dynamic_cast<const FindNodeRequest*>(message.get())) {
+    auto response = std::make_shared<FindNodeResponse>();
+    answer_closer_peers(find_node->target, response->closer);
+    const std::size_t size = response_size_for(response->closer.size());
+    respond(std::move(response), size);
+  } else if (const auto* get_providers =
+                 dynamic_cast<const GetProvidersRequest*>(message.get())) {
+    auto response = std::make_shared<GetProvidersResponse>();
+    response->providers = records_->providers(
+        get_providers->key, network_.simulator().now());
+    // Providers come back with their Multiaddress only when this peer
+    // still tracks them in its routing table; otherwise the requester has
+    // to resolve the PeerID with a second DHT walk (Section 3.2).
+    for (auto& record : response->providers) {
+      if (!routing_table_.contains(record.provider.id)) {
+        record.provider.node = sim::kInvalidNode;
+        record.provider.addresses.clear();
+      }
+    }
+    answer_closer_peers(get_providers->key, response->closer);
+    const std::size_t size = response_size_for(
+        response->closer.size() + response->providers.size());
+    respond(std::move(response), size);
+  } else if (const auto* add_provider =
+                 dynamic_cast<const AddProviderRequest*>(message.get())) {
+    ProviderRecord record{add_provider->provider, network_.simulator().now()};
+    records_->add_provider(add_provider->key, std::move(record));
+    // No response needed: the publisher fires and forgets (Section 3.1).
+  } else if (const auto* put_value =
+                 dynamic_cast<const PutValueRequest*>(message.get())) {
+    ValueRecord record = put_value->record;
+    record.received_at = network_.simulator().now();
+    records_->put_value(put_value->key, std::move(record));
+    respond(std::make_shared<GetValueResponse>(), kRequestBaseBytes);
+  } else if (const auto* get_value =
+                 dynamic_cast<const GetValueRequest*>(message.get())) {
+    auto response = std::make_shared<GetValueResponse>();
+    response->record = records_->get_value(get_value->key);
+    answer_closer_peers(get_value->key, response->closer);
+    const std::size_t payload =
+        response->record ? response->record->value.size() : 0;
+    const std::size_t size =
+        response_size_for(response->closer.size(), payload);
+    respond(std::move(response), size);
+  } else if (dynamic_cast<const ListBucketsRequest*>(message.get()) !=
+             nullptr) {
+    auto response = std::make_shared<ListBucketsResponse>();
+    response->peers = routing_table_.all_peers();
+    respond(std::move(response), response_size_for(response->peers.size()));
+  } else if (dynamic_cast<const DialBackRequest*>(message.get()) != nullptr) {
+    // AutoNAT: try to dial the requester back on a fresh connection.
+    const bool already_connected = network_.connected(self_.node, from);
+    if (already_connected) {
+      // The inbound connection proves nothing about reachability; a real
+      // implementation dials a fresh address. Approximate with a dial
+      // attempt that honours the requester's dialability.
+      auto response = std::make_shared<DialBackResponse>();
+      response->reachable = network_.config(from).dialable;
+      respond(std::move(response), kRequestBaseBytes);
+    } else {
+      network_.connect(
+          self_.node, from,
+          [this, from, respond](bool ok, sim::Duration) {
+            auto response = std::make_shared<DialBackResponse>();
+            response->reachable = ok;
+            respond(std::move(response), kRequestBaseBytes);
+            if (ok) network_.disconnect(self_.node, from);
+          });
+    }
+  } else {
+    return false;
+  }
+
+  return true;
+}
+
+bool DhtNode::handle_message(sim::NodeId from, const sim::MessagePtr& message) {
+  // ADD_PROVIDER also arrives as a fire-and-forget datagram.
+  if (const auto* add_provider =
+          dynamic_cast<const AddProviderRequest*>(message.get())) {
+    if (mode_ == Mode::kServer) {
+      ProviderRecord record{add_provider->provider,
+                            network_.simulator().now()};
+      records_->add_provider(add_provider->key, std::move(record));
+    }
+    (void)from;
+    return true;
+  }
+  return false;
+}
+
+LookupHost DhtNode::make_lookup_host() {
+  LookupHost host;
+  host.network = &network_;
+  host.self = self_.node;
+  host.self_ref = self_;
+  host.server_mode = mode_ == Mode::kServer;
+  host.on_peer_responded = [this](const PeerRef& peer) {
+    routing_table_.upsert(peer);
+  };
+  host.on_peer_failed = [this](const PeerRef& peer) {
+    // Evict unresponsive peers so the table self-heals under churn.
+    routing_table_.remove(peer.id);
+  };
+  return host;
+}
+
+void DhtNode::start_lookup(LookupType type, const Key& target,
+                           std::vector<PeerRef> seeds, Lookup::Callback cb,
+                           std::optional<multiformats::PeerId> target_peer) {
+  auto wrapped = [this, cb = std::move(cb)](LookupResult result) {
+    cb(std::move(result));
+  };
+  auto lookup = Lookup::start(make_lookup_host(), type, target,
+                              std::move(seeds), std::move(wrapped),
+                              std::move(target_peer));
+  // Keep it alive until its callback has fired.
+  active_lookups_[lookup.get()] = lookup;
+  network_.simulator().schedule_daemon_after(kLookupDeadline + sim::seconds(1),
+                                      [this, raw = lookup.get()] {
+                                        active_lookups_.erase(raw);
+                                      });
+}
+
+void DhtNode::run_autonat(std::vector<PeerRef> probes,
+                          std::function<void()> done) {
+  if (probes.size() > static_cast<std::size_t>(kAutonatProbes))
+    probes.resize(kAutonatProbes);
+  auto state = std::make_shared<std::pair<int, int>>(0, 0);  // done, reachable
+  const int total = static_cast<int>(probes.size());
+  if (total == 0) {
+    done();
+    return;
+  }
+  auto finish_one = [this, state, total, done](bool reachable) {
+    ++state->first;
+    if (reachable) ++state->second;
+    if (state->first == total) {
+      mode_ = state->second > kAutonatThreshold ? Mode::kServer : Mode::kClient;
+      done();
+    }
+  };
+  for (const auto& probe : probes) {
+    network_.request(
+        self_.node, probe.node, std::make_shared<DialBackRequest>(),
+        kRequestBaseBytes, kRpcTimeout,
+        [finish_one](sim::RpcStatus status, const sim::MessagePtr& message) {
+          if (status != sim::RpcStatus::kOk) {
+            finish_one(false);
+            return;
+          }
+          const auto* response =
+              dynamic_cast<const DialBackResponse*>(message.get());
+          finish_one(response != nullptr && response->reachable);
+        });
+  }
+}
+
+void DhtNode::bootstrap(std::vector<PeerRef> seeds,
+                        std::function<void(bool)> done) {
+  auto state = std::make_shared<std::pair<int, std::vector<PeerRef>>>();
+  const int total = static_cast<int>(seeds.size());
+  if (total == 0) {
+    done(false);
+    return;
+  }
+
+  auto after_connections = [this, done = std::move(done)](
+                               std::vector<PeerRef> connected) {
+    if (connected.empty()) {
+      done(false);
+      return;
+    }
+    for (const auto& peer : connected) routing_table_.upsert(peer);
+    run_autonat(connected, [this, connected, done] {
+      // Self-lookup to populate the routing table (standard Kademlia join).
+      start_lookup(LookupType::kFindNode, routing_table_.local_key(),
+                   connected, [done](LookupResult result) {
+                     done(!result.closest.empty());
+                   });
+    });
+  };
+
+  for (const auto& seed : seeds) {
+    network_.connect(
+        self_.node, seed.node,
+        [state, total, seed, after_connections](bool ok, sim::Duration) {
+          if (ok) state->second.push_back(seed);
+          if (++state->first == total) after_connections(state->second);
+        });
+  }
+}
+
+void DhtNode::store_provider_records(
+    const Key& key, std::vector<PeerRef> targets,
+    std::function<void(StoreBatchResult)> done) {
+  const sim::Time start = network_.simulator().now();
+  auto result = std::make_shared<StoreBatchResult>();
+  result->attempted = static_cast<int>(targets.size());
+  if (targets.empty()) {
+    done(*result);
+    return;
+  }
+
+  // Fire-and-forget ADD_PROVIDER to each target. Dials run through a
+  // bounded window (the libp2p dialer limits concurrent outbound dials),
+  // so a slow target stalls the tail of the batch — the mechanism behind
+  // Figure 9c's accumulation past the 5 s / 45 s timeouts. The batch is
+  // complete when every dial has either delivered the record or given up.
+  struct BatchState {
+    std::vector<PeerRef> queue;
+    std::size_t next = 0;
+    int in_flight = 0;
+  };
+  constexpr int kDialWindow = 20;
+  auto state = std::make_shared<BatchState>();
+  state->queue = std::move(targets);
+
+  auto pump = std::make_shared<std::function<void()>>();
+  *pump = [this, key, state, result, start, done, pump] {
+    if (state->next >= state->queue.size() && state->in_flight == 0) {
+      result->elapsed = network_.simulator().now() - start;
+      done(*result);
+      return;
+    }
+    while (state->next < state->queue.size() &&
+           state->in_flight < kDialWindow) {
+      const PeerRef peer = state->queue[state->next++];
+      ++state->in_flight;
+      network_.connect(self_.node, peer.node,
+                       [this, key, peer, state, result,
+                        pump](bool ok, sim::Duration) {
+                         --state->in_flight;
+                         if (ok) {
+                           auto add = std::make_shared<AddProviderRequest>();
+                           add->key = key;
+                           add->provider = self_;
+                           network_.send(self_.node, peer.node,
+                                         std::move(add),
+                                         kRequestBaseBytes + kPeerRefBytes);
+                           ++result->sent;
+                         }
+                         (*pump)();
+                       });
+    }
+  };
+  (*pump)();
+}
+
+void DhtNode::provide(const Key& key, std::function<void(ProvideResult)> done) {
+  const sim::Time start = network_.simulator().now();
+  const auto seeds = routing_table_.closest(key, kReplication);
+
+  start_lookup(
+      LookupType::kFindNode, key, seeds,
+      [this, key, start, done = std::move(done)](LookupResult walk) {
+        const sim::Time walk_end = network_.simulator().now();
+        auto result = std::make_shared<ProvideResult>();
+        result->walk = walk_end - start;
+        result->walk_result = walk;
+        result->stores_attempted = static_cast<int>(walk.closest.size());
+
+        if (walk.closest.empty()) {
+          result->total = result->walk;
+          done(*result);
+          return;
+        }
+
+        store_provider_records(
+            key, walk.closest, [result, done](StoreBatchResult batch) {
+              result->rpc_batch = batch.elapsed;
+              result->stores_sent = batch.sent;
+              result->total = result->walk + result->rpc_batch;
+              result->ok = batch.sent > 0;
+              done(*result);
+            });
+      });
+}
+
+void DhtNode::start_reproviding(const Key& key) {
+  reprovide_keys_.insert(key);
+  if (!republish_timer_.active()) schedule_republish();
+}
+
+void DhtNode::stop_reproviding(const Key& key) { reprovide_keys_.erase(key); }
+
+void DhtNode::schedule_republish() {
+  republish_timer_ =
+      network_.simulator().schedule_daemon_after(kRepublishInterval, [this] {
+        if (network_.online(self_.node)) {
+          for (const auto& key : reprovide_keys_)
+            provide(key, [](ProvideResult) {});
+        }
+        schedule_republish();
+      });
+}
+
+void DhtNode::schedule_expiry_sweep() {
+  expiry_timer_ =
+      network_.simulator().schedule_daemon_after(kExpirySweepInterval, [this] {
+        records_->expire_providers(network_.simulator().now());
+        schedule_expiry_sweep();
+      });
+}
+
+void DhtNode::find_providers(const Key& key, Lookup::Callback done) {
+  start_lookup(LookupType::kGetProviders, key,
+               routing_table_.closest(key, kReplication), std::move(done));
+}
+
+void DhtNode::find_peer(
+    const multiformats::PeerId& peer,
+    std::function<void(std::optional<PeerRef>, LookupResult)> done) {
+  const Key target = Key::for_peer(peer);
+  start_lookup(
+      LookupType::kFindNode, target, routing_table_.closest(target, kReplication),
+      [done = std::move(done)](LookupResult result) {
+        auto target = result.target_peer;
+        done(std::move(target), std::move(result));
+      },
+      peer);
+}
+
+void DhtNode::lookup_closest(const Key& key, Lookup::Callback done) {
+  start_lookup(LookupType::kFindNode, key,
+               routing_table_.closest(key, kReplication), std::move(done));
+}
+
+void DhtNode::put_value(const Key& key, ValueRecord record,
+                        std::function<void(bool, int)> done) {
+  start_lookup(
+      LookupType::kFindNode, key, routing_table_.closest(key, kReplication),
+      [this, key, record = std::move(record),
+       done = std::move(done)](LookupResult walk) {
+        if (walk.closest.empty()) {
+          done(false, 0);
+          return;
+        }
+        auto stored = std::make_shared<int>(0);
+        auto remaining =
+            std::make_shared<int>(static_cast<int>(walk.closest.size()));
+        for (const auto& peer : walk.closest) {
+          network_.connect(
+              self_.node, peer.node,
+              [this, key, record, peer, stored, remaining,
+               done](bool ok, sim::Duration) {
+                auto finish = [stored, remaining, done] {
+                  if (--*remaining == 0) done(*stored > 0, *stored);
+                };
+                if (!ok) {
+                  finish();
+                  return;
+                }
+                auto put = std::make_shared<PutValueRequest>();
+                put->key = key;
+                put->record = record;
+                network_.request(
+                    self_.node, peer.node, std::move(put),
+                    kRequestBaseBytes + record.value.size(), kRpcTimeout,
+                    [stored, finish](sim::RpcStatus status,
+                                     const sim::MessagePtr&) {
+                      if (status == sim::RpcStatus::kOk) ++*stored;
+                      finish();
+                    });
+              });
+        }
+      });
+}
+
+void DhtNode::get_value(const Key& key,
+                        std::function<void(std::optional<ValueRecord>)> done) {
+  start_lookup(LookupType::kGetValue, key,
+               routing_table_.closest(key, kReplication),
+               [done = std::move(done)](LookupResult result) {
+                 done(result.value);
+               });
+}
+
+}  // namespace ipfs::dht

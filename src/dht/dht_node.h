@@ -1,0 +1,146 @@
+// A Kademlia DHT participant (paper Sections 2.3, 3.1, 3.2).
+//
+// DHT *servers* store provider/value records and answer queries; DHT
+// *clients* (NAT'ed peers) only issue queries. New peers start as clients
+// and upgrade to servers when AutoNAT dial-backs show them reachable.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dht/key.h"
+#include "dht/lookup.h"
+#include "dht/messages.h"
+#include "dht/record_store.h"
+#include "dht/routing_table.h"
+#include "sim/network.h"
+
+namespace ipfs::dht {
+
+// AutoNAT upgrade threshold: "if more than three peers can connect...
+// the new peer upgrades its participation to act as a server node".
+constexpr int kAutonatThreshold = 3;
+constexpr int kAutonatProbes = 5;
+
+// Periodic sweep for expired provider records.
+constexpr sim::Duration kExpirySweepInterval = sim::hours(1);
+
+class DhtNode {
+ public:
+  enum class Mode { kClient, kServer };
+
+  // `shared_store`: optional external record store. Hydra boosters run
+  // many DHT "heads" (distinct PeerIDs) over one common record database
+  // so a record stored with any head is served by all of them.
+  DhtNode(sim::Network& network, sim::NodeId node, multiformats::PeerId id,
+          std::vector<multiformats::Multiaddr> addresses,
+          RecordStore* shared_store = nullptr);
+  ~DhtNode();
+
+  DhtNode(const DhtNode&) = delete;
+  DhtNode& operator=(const DhtNode&) = delete;
+
+  // Installs this node's request/message handlers directly on the network
+  // fabric. Full IPFS nodes use an external dispatcher instead and route
+  // into handle_request()/handle_message().
+  void attach_to_network();
+
+  // Dispatches a DHT request; returns false if the message type is not a
+  // DHT message (so a multiplexer can try other protocols).
+  bool handle_request(
+      sim::NodeId from, const sim::MessagePtr& message,
+      const std::function<void(sim::MessagePtr, std::size_t)>& respond);
+  bool handle_message(sim::NodeId from, const sim::MessagePtr& message);
+
+  // Joins the network: connects to `seeds`, runs AutoNAT, performs the
+  // self-lookup that populates the routing table, then reports success.
+  void bootstrap(std::vector<PeerRef> seeds, std::function<void(bool)> done);
+
+  // --- Publication (Section 3.1) -----------------------------------------
+
+  struct ProvideResult {
+    bool ok = false;
+    sim::Duration walk = 0;       // DHT walk to find the k closest peers
+    sim::Duration rpc_batch = 0;  // fire-and-forget ADD_PROVIDER batch
+    sim::Duration total = 0;
+    int stores_attempted = 0;
+    int stores_sent = 0;  // dials that succeeded and got the record pushed
+    LookupResult walk_result;
+  };
+
+  void provide(const Key& key, std::function<void(ProvideResult)> done);
+
+  struct StoreBatchResult {
+    sim::Duration elapsed = 0;
+    int attempted = 0;
+    int sent = 0;
+  };
+
+  // The fire-and-forget ADD_PROVIDER batch on its own: dials every target
+  // and pushes the record where the dial succeeds. Exposed separately so
+  // the node layer can run its connection manager between the walk and
+  // the batch (the sequence Figure 9a/9b/9c decomposes).
+  void store_provider_records(const Key& key, std::vector<PeerRef> targets,
+                              std::function<void(StoreBatchResult)> done);
+
+  // Registers `key` for republication every kRepublishInterval (12 h).
+  void start_reproviding(const Key& key);
+  void stop_reproviding(const Key& key);
+
+  // --- Retrieval support (Section 3.2) ------------------------------------
+
+  void find_providers(const Key& key, Lookup::Callback done);
+  void find_peer(const multiformats::PeerId& peer,
+                 std::function<void(std::optional<PeerRef>, LookupResult)> done);
+  void lookup_closest(const Key& key, Lookup::Callback done);
+
+  // --- Mutable records (IPNS substrate, Section 3.3) ----------------------
+
+  void put_value(const Key& key, ValueRecord record,
+                 std::function<void(bool ok, int stored_on)> done);
+  void get_value(const Key& key,
+                 std::function<void(std::optional<ValueRecord>)> done);
+
+  // --- Introspection -------------------------------------------------------
+
+  Mode mode() const { return mode_; }
+  void force_mode(Mode mode);
+  PeerRef self() const { return self_; }
+  RoutingTable& routing_table() { return routing_table_; }
+  const RoutingTable& routing_table() const { return routing_table_; }
+  RecordStore& record_store() { return *records_; }
+  sim::NodeId node() const { return self_.node; }
+
+  // Peers the crawler can enumerate (Section 4.1): the full k-bucket
+  // contents, as the crawler's per-bucket FIND_NODE sweep would recover.
+  std::vector<PeerRef> crawlable_peers() const {
+    return routing_table_.all_peers();
+  }
+
+ private:
+  void start_lookup(LookupType type, const Key& target,
+                    std::vector<PeerRef> seeds, Lookup::Callback cb,
+                    std::optional<multiformats::PeerId> target_peer =
+                        std::nullopt);
+  LookupHost make_lookup_host();
+  void run_autonat(std::vector<PeerRef> probes, std::function<void()> done);
+  void schedule_republish();
+  void schedule_expiry_sweep();
+  void answer_closer_peers(const Key& target, std::vector<PeerRef>& out) const;
+
+  sim::Network& network_;
+  PeerRef self_;
+  Mode mode_ = Mode::kClient;
+  RoutingTable routing_table_;
+  RecordStore own_records_;
+  RecordStore* records_;  // &own_records_ unless a shared store is used
+  std::unordered_set<Key, KeyHasher> reprovide_keys_;
+  sim::Timer republish_timer_;
+  sim::Timer expiry_timer_;
+  // Keeps in-flight lookups alive.
+  std::unordered_map<const Lookup*, std::shared_ptr<Lookup>> active_lookups_;
+};
+
+}  // namespace ipfs::dht

@@ -1,0 +1,47 @@
+#include "dht/key.h"
+
+#include <bit>
+
+#include "crypto/sha256.h"
+
+namespace ipfs::dht {
+
+Key Key::for_cid(const multiformats::Cid& cid) {
+  return hash_of(cid.encode());
+}
+
+Key Key::for_peer(const multiformats::PeerId& peer) {
+  return hash_of(peer.encode());
+}
+
+Key Key::hash_of(std::span<const std::uint8_t> data) {
+  return Key(crypto::sha256(data));
+}
+
+std::array<std::uint8_t, 32> Key::distance_to(const Key& other) const {
+  std::array<std::uint8_t, 32> out;
+  for (std::size_t i = 0; i < 32; ++i) out[i] = bytes_[i] ^ other.bytes_[i];
+  return out;
+}
+
+int Key::common_prefix_len(const Key& other) const {
+  const auto distance = distance_to(other);
+  int bits = 0;
+  for (const std::uint8_t byte : distance) {
+    if (byte == 0) {
+      bits += 8;
+      continue;
+    }
+    bits += std::countl_zero(byte);
+    break;
+  }
+  return bits;
+}
+
+bool Key::closer_to(const Key& target, const Key& other) const {
+  return distance_to(target) < other.distance_to(target);
+}
+
+std::string Key::to_hex() const { return crypto::to_hex(bytes_); }
+
+}  // namespace ipfs::dht

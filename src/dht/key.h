@@ -1,0 +1,58 @@
+// DHT keyspace (paper Section 2.3): CIDs and PeerIDs are indexed by the
+// SHA-256 hash of their binary representations, giving a common 256-bit
+// key space ordered by XOR distance.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "multiformats/cid.h"
+#include "multiformats/peerid.h"
+
+namespace ipfs::dht {
+
+class Key {
+ public:
+  static constexpr std::size_t kBits = 256;
+
+  Key() = default;
+  explicit Key(const std::array<std::uint8_t, 32>& bytes) : bytes_(bytes) {}
+
+  static Key for_cid(const multiformats::Cid& cid);
+  static Key for_peer(const multiformats::PeerId& peer);
+  static Key hash_of(std::span<const std::uint8_t> data);
+
+  const std::array<std::uint8_t, 32>& bytes() const { return bytes_; }
+
+  // XOR distance to another key.
+  std::array<std::uint8_t, 32> distance_to(const Key& other) const;
+
+  // Number of leading zero bits of the XOR distance; 256 when equal.
+  // The bucket index for a peer at this distance is (255 - cpl).
+  int common_prefix_len(const Key& other) const;
+
+  // True if *this is strictly closer to `target` than `other` is.
+  bool closer_to(const Key& target, const Key& other) const;
+
+  std::string to_hex() const;
+
+  bool operator==(const Key&) const = default;
+  auto operator<=>(const Key&) const = default;
+
+ private:
+  std::array<std::uint8_t, 32> bytes_{};
+};
+
+struct KeyHasher {
+  std::size_t operator()(const Key& key) const {
+    std::size_t h = 0;
+    for (int i = 0; i < 8; ++i)
+      h = (h << 8) | key.bytes()[i];
+    return h;
+  }
+};
+
+}  // namespace ipfs::dht

@@ -1,0 +1,205 @@
+#include "dht/lookup.h"
+
+#include <algorithm>
+
+namespace ipfs::dht {
+
+std::shared_ptr<Lookup> Lookup::start(
+    LookupHost host, LookupType type, Key target, std::vector<PeerRef> seeds,
+    Callback cb, std::optional<multiformats::PeerId> target_peer) {
+  auto lookup = std::shared_ptr<Lookup>(new Lookup(
+      std::move(host), type, std::move(target), std::move(cb),
+      std::move(target_peer)));
+  lookup->started_at_ = lookup->host_.network->simulator().now();
+  lookup->deadline_timer_ =
+      lookup->host_.network->simulator().schedule_after(
+          kLookupDeadline, [weak = std::weak_ptr<Lookup>(lookup)] {
+            if (auto self = weak.lock()) self->finish(false);
+          });
+  for (const auto& seed : seeds) lookup->add_candidate(seed);
+  if (lookup->candidates_.empty()) {
+    lookup->finish(true);
+  } else {
+    lookup->pump();
+  }
+  return lookup;
+}
+
+Lookup::Lookup(LookupHost host, LookupType type, Key target, Callback cb,
+               std::optional<multiformats::PeerId> target_peer)
+    : host_(std::move(host)),
+      type_(type),
+      target_(std::move(target)),
+      cb_(std::move(cb)),
+      target_peer_(std::move(target_peer)) {}
+
+void Lookup::add_candidate(const PeerRef& peer) {
+  if (peer.node == host_.self) return;
+  const Key key = Key::for_peer(peer.id);
+  if (index_.contains(key)) return;
+  const auto distance = key.distance_to(target_);
+  index_.emplace(key, distance);
+  candidates_.emplace(distance, Candidate{peer, CandidateState::kUnqueried});
+
+  // Early peer-discovery match: someone handed us the target's addresses.
+  if (target_peer_ && peer.id == *target_peer_) {
+    result_.target_peer = peer;
+  }
+}
+
+bool Lookup::should_terminate() const {
+  if (type_ == LookupType::kGetProviders && !result_.providers.empty())
+    return true;
+  if (type_ == LookupType::kGetValue && result_.value.has_value()) return true;
+  if (target_peer_ && result_.target_peer.has_value()) return true;
+
+  // FindNode termination: the k closest non-failed candidates have all
+  // responded (no closer unqueried or in-flight candidate remains).
+  std::size_t seen = 0;
+  for (const auto& [distance, candidate] : candidates_) {
+    if (candidate.state == CandidateState::kFailed) continue;
+    if (candidate.state != CandidateState::kResponded) return false;
+    if (++seen >= kReplication) break;
+  }
+  return true;
+}
+
+void Lookup::pump() {
+  if (finished_) return;
+  if (should_terminate()) {
+    // Any straggler queries are abandoned; their routing-table feedback
+    // was best-effort anyway.
+    finish(true);
+    return;
+  }
+
+  for (auto& [distance, candidate] : candidates_) {
+    if (in_flight_ >= kAlpha) break;
+    if (candidate.state != CandidateState::kUnqueried) continue;
+    candidate.state = CandidateState::kInFlight;
+    ++in_flight_;
+    query(Key::for_peer(candidate.peer.id));
+  }
+
+  // No queries possible and none in flight: candidate space exhausted.
+  if (in_flight_ == 0) finish(true);
+}
+
+void Lookup::query(const Key& candidate_key) {
+  const auto it = index_.find(candidate_key);
+  const PeerRef peer = candidates_.at(it->second).peer;
+  auto self = shared_from_this();
+  host_.network->connect(host_.self, peer.node,
+                         [self, candidate_key](bool ok, sim::Duration) {
+                           self->on_dial_result(candidate_key, ok);
+                         });
+}
+
+void Lookup::on_dial_result(const Key& candidate_key, bool ok) {
+  if (finished_) return;
+  const auto it = index_.find(candidate_key);
+  Candidate& candidate = candidates_.at(it->second);
+  if (!ok) {
+    candidate.state = CandidateState::kFailed;
+    --in_flight_;
+    ++result_.dials_failed;
+    if (host_.on_peer_failed) host_.on_peer_failed(candidate.peer);
+    pump();
+    return;
+  }
+
+  sim::MessagePtr request;
+  switch (type_) {
+    case LookupType::kFindNode: {
+      auto msg = std::make_shared<FindNodeRequest>();
+      msg->target = target_;
+      msg->requester = host_.self_ref;
+      msg->requester_is_server = host_.server_mode;
+      request = std::move(msg);
+      break;
+    }
+    case LookupType::kGetProviders: {
+      auto msg = std::make_shared<GetProvidersRequest>();
+      msg->key = target_;
+      msg->requester = host_.self_ref;
+      msg->requester_is_server = host_.server_mode;
+      request = std::move(msg);
+      break;
+    }
+    case LookupType::kGetValue: {
+      auto msg = std::make_shared<GetValueRequest>();
+      msg->key = target_;
+      msg->requester = host_.self_ref;
+      msg->requester_is_server = host_.server_mode;
+      request = std::move(msg);
+      break;
+    }
+  }
+
+  ++result_.rpcs_sent;
+  auto self = shared_from_this();
+  host_.network->request(
+      host_.self, candidate.peer.node, std::move(request), kRequestBaseBytes,
+      kRpcTimeout,
+      [self, candidate_key](sim::RpcStatus status,
+                            const sim::MessagePtr& message) {
+        self->on_response(candidate_key, status, message);
+      });
+}
+
+void Lookup::on_response(const Key& candidate_key, sim::RpcStatus status,
+                         const sim::MessagePtr& message) {
+  if (finished_) return;
+  const auto it = index_.find(candidate_key);
+  Candidate& candidate = candidates_.at(it->second);
+  --in_flight_;
+
+  if (status != sim::RpcStatus::kOk) {
+    candidate.state = CandidateState::kFailed;
+    ++result_.rpcs_failed;
+    if (host_.on_peer_failed) host_.on_peer_failed(candidate.peer);
+    pump();
+    return;
+  }
+
+  candidate.state = CandidateState::kResponded;
+  if (host_.on_peer_responded) host_.on_peer_responded(candidate.peer);
+
+  std::vector<PeerRef> closer;
+  if (const auto* find_node = dynamic_cast<const FindNodeResponse*>(
+          message.get())) {
+    closer = find_node->closer;
+  } else if (const auto* providers = dynamic_cast<const GetProvidersResponse*>(
+                 message.get())) {
+    closer = providers->closer;
+    for (const auto& record : providers->providers)
+      result_.providers.push_back(record);
+  } else if (const auto* value = dynamic_cast<const GetValueResponse*>(
+                 message.get())) {
+    closer = value->closer;
+    if (value->record &&
+        (!result_.value || value->record->sequence > result_.value->sequence))
+      result_.value = value->record;
+  }
+
+  for (const auto& peer : closer) add_candidate(peer);
+  pump();
+}
+
+void Lookup::finish(bool completed) {
+  if (finished_) return;
+  finished_ = true;
+  deadline_timer_.cancel();
+  result_.completed = completed;
+  result_.elapsed = host_.network->simulator().now() - started_at_;
+
+  // Assemble the closest responded set.
+  for (const auto& [distance, candidate] : candidates_) {
+    if (candidate.state != CandidateState::kResponded) continue;
+    result_.closest.push_back(candidate.peer);
+    if (result_.closest.size() >= kReplication) break;
+  }
+  cb_(std::move(result_));
+}
+
+}  // namespace ipfs::dht

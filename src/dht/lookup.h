@@ -1,0 +1,103 @@
+// Multi-round iterative DHT lookup — the "DHT walk" of paper Section 3.2.
+//
+// Queries proceed with concurrency alpha = 3 towards the target key. Each
+// step dials the peer (paying handshake or dial-timeout cost), issues the
+// RPC, and merges returned closer-peers into the candidate set. FindNode
+// walks terminate when the k closest discovered peers have all answered
+// (publication needs the full closest set); provider/value walks
+// terminate as soon as a record is found (retrieval needs just one).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dht/key.h"
+#include "dht/messages.h"
+#include "sim/network.h"
+
+namespace ipfs::dht {
+
+constexpr int kAlpha = 3;           // lookup concurrency (Section 3.2)
+constexpr std::size_t kReplication = 20;  // k (Section 3.1)
+constexpr sim::Duration kRpcTimeout = sim::seconds(10);
+constexpr sim::Duration kLookupDeadline = sim::minutes(3);
+
+enum class LookupType { kFindNode, kGetProviders, kGetValue };
+
+struct LookupResult {
+  bool completed = false;  // false when the deadline cut the walk short
+  std::vector<PeerRef> closest;            // responsive peers, closest first
+  std::vector<ProviderRecord> providers;   // kGetProviders
+  std::optional<ValueRecord> value;        // kGetValue
+  std::optional<PeerRef> target_peer;      // kFindNode early match
+  sim::Duration elapsed = 0;
+  int rpcs_sent = 0;
+  int rpcs_failed = 0;
+  int dials_failed = 0;
+};
+
+// Hooks back into the owning DHT node.
+struct LookupHost {
+  sim::Network* network = nullptr;
+  sim::NodeId self = sim::kInvalidNode;
+  // Requester identity stamped onto outgoing RPCs (see LookupRequestBase).
+  PeerRef self_ref;
+  bool server_mode = false;
+  // Routing-table feedback.
+  std::function<void(const PeerRef&)> on_peer_responded;
+  std::function<void(const PeerRef&)> on_peer_failed;
+};
+
+class Lookup : public std::enable_shared_from_this<Lookup> {
+ public:
+  using Callback = std::function<void(LookupResult)>;
+
+  // `target_peer` enables early termination when looking up a specific
+  // PeerID (peer discovery, Section 3.2).
+  static std::shared_ptr<Lookup> start(
+      LookupHost host, LookupType type, Key target,
+      std::vector<PeerRef> seeds, Callback cb,
+      std::optional<multiformats::PeerId> target_peer = std::nullopt);
+
+ private:
+  Lookup(LookupHost host, LookupType type, Key target, Callback cb,
+         std::optional<multiformats::PeerId> target_peer);
+
+  enum class CandidateState { kUnqueried, kInFlight, kResponded, kFailed };
+
+  struct Candidate {
+    PeerRef peer;
+    CandidateState state = CandidateState::kUnqueried;
+  };
+
+  void add_candidate(const PeerRef& peer);
+  void pump();                       // launch queries up to alpha
+  void query(const Key& candidate_key);
+  void on_dial_result(const Key& candidate_key, bool ok);
+  void on_response(const Key& candidate_key, sim::RpcStatus status,
+                   const sim::MessagePtr& message);
+  bool should_terminate() const;
+  void finish(bool completed);
+
+  LookupHost host_;
+  LookupType type_;
+  Key target_;
+  Callback cb_;
+  std::optional<multiformats::PeerId> target_peer_;
+
+  // Candidates keyed by XOR distance to the target (closest first).
+  std::map<std::array<std::uint8_t, 32>, Candidate> candidates_;
+  std::unordered_map<Key, std::array<std::uint8_t, 32>, KeyHasher> index_;
+
+  LookupResult result_;
+  sim::Time started_at_ = 0;
+  sim::Timer deadline_timer_;
+  int in_flight_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace ipfs::dht

@@ -1,0 +1,64 @@
+#include "dht/record_store.h"
+
+#include <algorithm>
+
+namespace ipfs::dht {
+
+void RecordStore::add_provider(const Key& key, ProviderRecord record) {
+  auto& records = providers_[key];
+  const auto it = std::find_if(records.begin(), records.end(),
+                               [&](const ProviderRecord& existing) {
+                                 return existing.provider.id ==
+                                        record.provider.id;
+                               });
+  if (it != records.end()) {
+    *it = std::move(record);  // refresh timestamp and addresses
+    return;
+  }
+  records.push_back(std::move(record));
+}
+
+std::vector<ProviderRecord> RecordStore::providers(const Key& key,
+                                                   sim::Time now) {
+  const auto it = providers_.find(key);
+  if (it == providers_.end()) return {};
+  auto& records = it->second;
+  std::erase_if(records, [&](const ProviderRecord& record) {
+    return now - record.received_at > provider_expiry_;
+  });
+  if (records.empty()) {
+    providers_.erase(it);
+    return {};
+  }
+  return records;
+}
+
+bool RecordStore::put_value(const Key& key, ValueRecord record) {
+  const auto it = values_.find(key);
+  if (it != values_.end() && it->second.sequence > record.sequence)
+    return false;
+  values_[key] = std::move(record);
+  return true;
+}
+
+std::optional<ValueRecord> RecordStore::get_value(const Key& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t RecordStore::expire_providers(sim::Time now) {
+  std::size_t removed = 0;
+  for (auto it = providers_.begin(); it != providers_.end();) {
+    removed += std::erase_if(it->second, [&](const ProviderRecord& record) {
+      return now - record.received_at > provider_expiry_;
+    });
+    if (it->second.empty())
+      it = providers_.erase(it);
+    else
+      ++it;
+  }
+  return removed;
+}
+
+}  // namespace ipfs::dht

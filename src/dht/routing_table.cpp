@@ -1,0 +1,93 @@
+#include "dht/routing_table.h"
+
+#include <algorithm>
+
+namespace ipfs::dht {
+
+RoutingTable::RoutingTable(Key local_key)
+    : local_key_(std::move(local_key)), buckets_(kBucketCount) {}
+
+std::size_t RoutingTable::bucket_index(const Key& key) const {
+  const int cpl = local_key_.common_prefix_len(key);
+  // cpl == 256 means key == local key; it never enters the table.
+  return std::min<std::size_t>(cpl, kBucketCount - 1);
+}
+
+bool RoutingTable::upsert(const PeerRef& peer) {
+  const Key key = Key::for_peer(peer.id);
+  if (key == local_key_) return false;
+  auto& bucket = buckets_[bucket_index(key)];
+
+  const auto it = std::find_if(bucket.begin(), bucket.end(),
+                               [&](const Entry& entry) {
+                                 return entry.peer.id == peer.id;
+                               });
+  if (it != bucket.end()) {
+    // Refresh: move to the tail (most recently seen) and update addresses.
+    Entry refreshed = *it;
+    refreshed.peer = peer;
+    bucket.erase(it);
+    bucket.push_back(std::move(refreshed));
+    return true;
+  }
+
+  if (bucket.size() >= kBucketSize) return false;
+  bucket.push_back(Entry{peer, key});
+  ++size_;
+  return true;
+}
+
+void RoutingTable::remove(const multiformats::PeerId& peer) {
+  const Key key = Key::for_peer(peer);
+  auto& bucket = buckets_[bucket_index(key)];
+  const auto it = std::find_if(bucket.begin(), bucket.end(),
+                               [&](const Entry& entry) {
+                                 return entry.peer.id == peer;
+                               });
+  if (it != bucket.end()) {
+    bucket.erase(it);
+    --size_;
+  }
+}
+
+bool RoutingTable::contains(const multiformats::PeerId& peer) const {
+  const Key key = Key::for_peer(peer);
+  const auto& bucket = buckets_[bucket_index(key)];
+  return std::any_of(bucket.begin(), bucket.end(), [&](const Entry& entry) {
+    return entry.peer.id == peer;
+  });
+}
+
+std::vector<PeerRef> RoutingTable::closest(const Key& target,
+                                           std::size_t count) const {
+  struct Candidate {
+    std::array<std::uint8_t, 32> distance;
+    const PeerRef* peer;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(size_);
+  for (const auto& bucket : buckets_)
+    for (const auto& entry : bucket)
+      candidates.push_back({entry.key.distance_to(target), &entry.peer});
+
+  const std::size_t take = std::min(count, candidates.size());
+  std::partial_sort(candidates.begin(), candidates.begin() + take,
+                    candidates.end(),
+                    [](const Candidate& a, const Candidate& b) {
+                      return a.distance < b.distance;
+                    });
+  std::vector<PeerRef> out;
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) out.push_back(*candidates[i].peer);
+  return out;
+}
+
+std::vector<PeerRef> RoutingTable::all_peers() const {
+  std::vector<PeerRef> out;
+  out.reserve(size_);
+  for (const auto& bucket : buckets_)
+    for (const auto& entry : bucket) out.push_back(entry.peer);
+  return out;
+}
+
+}  // namespace ipfs::dht

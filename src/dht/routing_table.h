@@ -1,0 +1,58 @@
+// Kademlia routing table with the paper's parameters: i = 256 buckets of
+// k = 20 peers, bucket index chosen by the common prefix length between
+// the local key and the peer's key (Section 2.3).
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <vector>
+
+#include "dht/key.h"
+#include "dht/messages.h"
+
+namespace ipfs::dht {
+
+constexpr std::size_t kBucketSize = 20;   // k
+constexpr std::size_t kBucketCount = 256; // i
+
+class RoutingTable {
+ public:
+  explicit RoutingTable(Key local_key);
+
+  // Inserts or refreshes a peer. Full buckets reject newcomers (original
+  // Kademlia bias towards long-lived peers, which the paper's churn data
+  // justifies). Returns true if the peer is (now) in the table.
+  bool upsert(const PeerRef& peer);
+
+  void remove(const multiformats::PeerId& peer);
+  bool contains(const multiformats::PeerId& peer) const;
+
+  // Up to `count` peers closest to `target` by XOR distance.
+  std::vector<PeerRef> closest(const Key& target, std::size_t count) const;
+
+  // All peers across all buckets (crawler surface: the paper's crawler
+  // asks peers for all entries in their k-buckets, Section 4.1).
+  std::vector<PeerRef> all_peers() const;
+
+  std::size_t size() const { return size_; }
+  std::size_t bucket_size(std::size_t index) const {
+    return buckets_[index].size();
+  }
+
+  const Key& local_key() const { return local_key_; }
+
+ private:
+  struct Entry {
+    PeerRef peer;
+    Key key;  // cached SHA-256 of the PeerID
+  };
+
+  std::size_t bucket_index(const Key& key) const;
+
+  Key local_key_;
+  std::vector<std::list<Entry>> buckets_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ipfs::dht

@@ -1,0 +1,92 @@
+// IPFS HTTP gateway (paper Section 3.4): a bridge between plain HTTP
+// clients and the P2P network. Requests traverse three tiers:
+//
+//   1. the nginx web cache (LRU over whole objects)      — ~0 latency
+//   2. the co-located IPFS node's store (pinned content) — few ms
+//   3. the P2P network via the full retrieval pipeline   — seconds
+//
+// matching the three rows of Table 5.
+#pragma once
+
+#include <functional>
+
+#include "blockstore/blockstore.h"
+#include "node/ipfs_node.h"
+
+namespace ipfs::gateway {
+
+using multiformats::Cid;
+
+struct GatewayConfig {
+  node::IpfsNodeConfig node;
+  std::uint64_t nginx_cache_bytes = 64ull * 1024 * 1024;
+  // Latency model of the local tiers.
+  sim::Duration nginx_hit_latency = sim::microseconds(300);
+  sim::Duration node_store_base_latency = sim::milliseconds(5);
+  double node_store_bytes_per_sec = 500.0 * 1024 * 1024;
+};
+
+enum class ServedFrom { kNginxCache, kNodeStore, kP2p, kFailed };
+
+struct GatewayResponse {
+  ServedFrom source = ServedFrom::kFailed;
+  sim::Duration latency = 0;  // upstream latency as logged by nginx
+  std::uint64_t bytes = 0;
+};
+
+// Aggregate counters per tier (Table 5 inputs).
+struct TierStats {
+  std::uint64_t requests = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Gateway {
+ public:
+  Gateway(sim::Network& network, const GatewayConfig& config);
+
+  // Joins the P2P network like any node.
+  void bootstrap(std::vector<dht::PeerRef> seeds,
+                 std::function<void(bool)> done);
+
+  // Pins an object (all its blocks) into the gateway node's store — the
+  // Web3/NFT Storage path that makes content persistently available.
+  void pin_object(std::span<const std::uint8_t> data);
+
+  // Handles GET /ipfs/{cid}. The callback receives the tier that served
+  // the request and the upstream latency.
+  void handle_get(const Cid& cid, std::function<void(GatewayResponse)> done);
+
+  // Handles GET /ipfs/{cid}/{path}: resolves the UnixFS path below the
+  // root (fetching the tree from the network when it is not local) and
+  // serves the addressed file.
+  void handle_get_path(const Cid& root, const std::string& path,
+                       std::function<void(GatewayResponse)> done);
+
+  // Parses a gateway URL path of the form "/ipfs/{cid}[/sub/path]".
+  // Returns the root CID and the remainder path.
+  static std::optional<std::pair<Cid, std::string>> parse_url_path(
+      std::string_view url_path);
+
+  node::IpfsNode& node() { return node_; }
+  const TierStats& stats(ServedFrom source) const;
+  std::uint64_t total_requests() const { return total_requests_; }
+  blockstore::LruBlockStore& nginx_cache() { return nginx_cache_; }
+
+ private:
+  void serve_from_cache(const Cid& cid,
+                        const std::vector<std::uint8_t>& bytes,
+                        ServedFrom source, sim::Duration latency,
+                        std::function<void(GatewayResponse)> done);
+
+  sim::Network& network_;
+  GatewayConfig config_;
+  node::IpfsNode node_;
+  blockstore::LruBlockStore nginx_cache_;  // whole objects by root CID
+  TierStats nginx_stats_;
+  TierStats node_store_stats_;
+  TierStats p2p_stats_;
+  TierStats failed_stats_;
+  std::uint64_t total_requests_ = 0;
+};
+
+}  // namespace ipfs::gateway

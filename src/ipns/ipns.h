@@ -1,0 +1,64 @@
+// IPNS (paper Section 3.3): mutable naming on top of immutable CIDs.
+// A name is the hash of the publisher's public key (its PeerID); the
+// record maps that name to a CID path and is signed with the matching
+// private key, so any peer can verify it without trusting the DHT.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "crypto/ed25519.h"
+#include "dht/dht_node.h"
+#include "multiformats/cid.h"
+#include "multiformats/peerid.h"
+#include "sim/time.h"
+
+namespace ipfs::ipns {
+
+// Default record lifetime used by go-ipfs.
+constexpr sim::Duration kDefaultValidity = sim::hours(24);
+
+struct IpnsRecord {
+  std::vector<std::uint8_t> value;  // "/ipfs/<cid>" path bytes
+  std::uint64_t sequence = 0;
+  std::uint64_t validity_us = 0;  // lifetime in microseconds
+  crypto::Ed25519PublicKey public_key{};
+  crypto::Ed25519Signature signature{};
+
+  // Builds and signs a record pointing at `target`.
+  static IpnsRecord create(const crypto::Ed25519KeyPair& keypair,
+                           const multiformats::Cid& target,
+                           std::uint64_t sequence,
+                           sim::Duration validity = kDefaultValidity);
+
+  std::vector<std::uint8_t> encode() const;
+  static std::optional<IpnsRecord> decode(std::span<const std::uint8_t> data);
+
+  // Verifies the signature AND that the embedded key hashes to `name`
+  // (self-certification: the name owner is the only valid signer).
+  bool verify(const multiformats::PeerId& name) const;
+
+  // The CID the record points at, if the value parses.
+  std::optional<multiformats::Cid> target() const;
+
+ private:
+  std::vector<std::uint8_t> signed_payload() const;
+};
+
+// The DHT key an IPNS record for `name` lives under.
+dht::Key ipns_key(const multiformats::PeerId& name);
+
+// Publishes a signed record mapping the keypair's PeerID to `target`.
+void publish(dht::DhtNode& dht, const crypto::Ed25519KeyPair& keypair,
+             const multiformats::Cid& target, std::uint64_t sequence,
+             std::function<void(bool ok, int replicas)> done);
+
+// Resolves `name` to its current target CID, rejecting records that fail
+// verification.
+void resolve(dht::DhtNode& dht, const multiformats::PeerId& name,
+             std::function<void(std::optional<multiformats::Cid>)> done);
+
+}  // namespace ipfs::ipns

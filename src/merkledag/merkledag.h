@@ -1,0 +1,73 @@
+// Merkle-DAG layer (paper Section 2.1): content is split into chunks
+// (default 256 kB), each chunk gets its own CID, and a balanced DAG of
+// dag-pb-like nodes links them, with the root CID naming the whole object.
+// Identical chunks deduplicate through the content-addressed block store.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "blockstore/blockstore.h"
+#include "multiformats/cid.h"
+
+namespace ipfs::merkledag {
+
+using blockstore::Block;
+using blockstore::BlockStore;
+using multiformats::Cid;
+
+// Default chunk size used when content is added to IPFS (Section 2.1).
+constexpr std::size_t kDefaultChunkSize = 256 * 1024;
+
+// Maximum children per internal DAG node (the go-ipfs balanced builder
+// default of 174 links).
+constexpr std::size_t kMaxLinkDegree = 174;
+
+struct DagLink {
+  Cid cid;
+  std::uint64_t content_size = 0;  // cumulative payload below this link
+};
+
+// A node of the DAG: either a leaf (raw chunk, no links) or an internal
+// node (links only). Encoded with a compact deterministic binary format
+// standing in for dag-pb.
+struct DagNode {
+  std::vector<DagLink> links;
+  std::vector<std::uint8_t> data;
+
+  std::vector<std::uint8_t> encode() const;
+  static std::optional<DagNode> decode(std::span<const std::uint8_t> bytes);
+
+  std::uint64_t total_content_size() const;
+};
+
+struct ImportResult {
+  Cid root;
+  std::size_t chunk_count = 0;
+  std::size_t new_blocks = 0;          // blocks actually written
+  std::size_t deduplicated_blocks = 0; // chunks that already existed
+  std::uint64_t content_bytes = 0;
+};
+
+// Splits `data` into fixed-size chunks. Exposed separately for tests.
+std::vector<std::span<const std::uint8_t>> chunk(
+    std::span<const std::uint8_t> data, std::size_t chunk_size);
+
+// Imports content into `store`, building the Merkle DAG and returning its
+// root CID. Single-chunk content becomes one raw block (raw-leaves style).
+ImportResult import_bytes(BlockStore& store, std::span<const std::uint8_t> data,
+                          std::size_t chunk_size = kDefaultChunkSize);
+
+// Reassembles the full content below `root`, or nullopt if any block is
+// missing or fails verification.
+std::optional<std::vector<std::uint8_t>> cat(const BlockStore& store,
+                                             const Cid& root);
+
+// All block CIDs reachable from `root` (root first, depth-first), or
+// nullopt if the DAG is incomplete in `store`.
+std::optional<std::vector<Cid>> enumerate(const BlockStore& store,
+                                          const Cid& root);
+
+}  // namespace ipfs::merkledag

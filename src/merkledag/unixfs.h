@@ -1,0 +1,50 @@
+// UnixFS-style directories: DAG nodes whose links carry names, so whole
+// file trees share one root CID and gateway URLs can address
+// /ipfs/{CID}/path/to/file.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "merkledag/merkledag.h"
+
+namespace ipfs::merkledag {
+
+struct DirectoryEntry {
+  std::string name;
+  Cid cid;
+  std::uint64_t size = 0;  // cumulative content size below the entry
+
+  bool operator==(const DirectoryEntry&) const = default;
+};
+
+// Builds a directory node over `entries` (sorted by name for a canonical
+// CID) and stores it. Entry names must be non-empty, unique, and free of
+// '/'; returns nullopt otherwise.
+std::optional<Cid> make_directory(BlockStore& store,
+                                  std::vector<DirectoryEntry> entries);
+
+// Reads a directory node; nullopt if `cid` is missing or not a directory.
+std::optional<std::vector<DirectoryEntry>> read_directory(
+    const BlockStore& store, const Cid& cid);
+
+bool is_directory(const BlockStore& store, const Cid& cid);
+
+// Resolves a slash-separated path ("a/b/c.txt", leading/trailing slashes
+// ignored) below `root`. An empty path resolves to `root` itself.
+std::optional<Cid> resolve_path(const BlockStore& store, const Cid& root,
+                                std::string_view path);
+
+// Convenience: import a whole file tree. Each input file becomes a
+// chunked file DAG; directories are built bottom-up from the paths.
+struct TreeFile {
+  std::string path;  // "docs/readme.md"
+  std::vector<std::uint8_t> content;
+};
+
+std::optional<Cid> import_tree(BlockStore& store,
+                               const std::vector<TreeFile>& files);
+
+}  // namespace ipfs::merkledag

@@ -1,0 +1,81 @@
+#include "multiformats/cid.h"
+
+#include "multiformats/varint.h"
+
+namespace ipfs::multiformats {
+
+Cid Cid::v0(Multihash hash) {
+  Cid cid;
+  cid.version_ = 0;
+  cid.content_codec_ = Multicodec::kDagPb;
+  cid.hash_ = std::move(hash);
+  return cid;
+}
+
+Cid Cid::v1(Multicodec content_codec, Multihash hash) {
+  Cid cid;
+  cid.version_ = 1;
+  cid.content_codec_ = content_codec;
+  cid.hash_ = std::move(hash);
+  return cid;
+}
+
+Cid Cid::from_data(Multicodec content_codec,
+                   std::span<const std::uint8_t> data) {
+  return v1(content_codec, Multihash::sha2_256(data));
+}
+
+std::optional<Cid> Cid::decode(std::span<const std::uint8_t> data) {
+  // CIDv0 heuristic per spec: 34 bytes starting 0x12 0x20 is a bare
+  // sha2-256 multihash (0x12 would otherwise be an invalid version).
+  if (data.size() == 34 && data[0] == 0x12 && data[1] == 0x20) {
+    auto hash = Multihash::decode(data);
+    if (!hash) return std::nullopt;
+    return v0(std::move(*hash));
+  }
+
+  const auto version = varint_decode(data);
+  if (!version || version->value != 1) return std::nullopt;
+  auto rest = data.subspan(version->consumed);
+  const auto codec = varint_decode(rest);
+  if (!codec || !multicodec_is_known(codec->value)) return std::nullopt;
+  rest = rest.subspan(codec->consumed);
+  std::size_t consumed = 0;
+  auto hash = Multihash::decode(rest, &consumed);
+  if (!hash || consumed != rest.size()) return std::nullopt;
+  return v1(static_cast<Multicodec>(codec->value), std::move(*hash));
+}
+
+std::optional<Cid> Cid::parse(std::string_view text) {
+  if (text.size() == 46 && text.starts_with("Qm")) {
+    const auto bytes = base58btc_decode(text);
+    if (!bytes) return std::nullopt;
+    return decode(*bytes);
+  }
+  const auto bytes = multibase_decode(text);
+  if (!bytes) return std::nullopt;
+  return decode(*bytes);
+}
+
+std::vector<std::uint8_t> Cid::encode() const {
+  if (version_ == 0) return hash_.encode();
+  std::vector<std::uint8_t> out;
+  varint_encode(1, out);
+  varint_encode(static_cast<std::uint64_t>(content_codec_), out);
+  const auto hash_bytes = hash_.encode();
+  out.insert(out.end(), hash_bytes.begin(), hash_bytes.end());
+  return out;
+}
+
+std::string Cid::to_string(Multibase base) const {
+  const auto bytes = encode();
+  if (version_ == 0) return base58btc_encode(bytes);
+  return multibase_encode(base, bytes);
+}
+
+Cid Cid::as_v1() const {
+  if (version_ == 1) return *this;
+  return v1(Multicodec::kDagPb, hash_);
+}
+
+}  // namespace ipfs::multiformats

@@ -1,0 +1,59 @@
+// Content Identifiers (paper Section 2.1, Figure 1).
+//
+// CIDv0: bare sha2-256 multihash of a dag-pb node, rendered base58btc
+//        ("Qm...", no multibase prefix).
+// CIDv1: <version varint><content-codec varint><multihash>, rendered with a
+//        multibase prefix (default base32, "b...").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "multiformats/multibase.h"
+#include "multiformats/multicodec.h"
+#include "multiformats/multihash.h"
+
+namespace ipfs::multiformats {
+
+class Cid {
+ public:
+  Cid() = default;
+
+  static Cid v0(Multihash hash);  // hash must be sha2-256
+  static Cid v1(Multicodec content_codec, Multihash hash);
+
+  // Convenience: hash `data` with sha2-256 and wrap as CIDv1 of `codec`.
+  static Cid from_data(Multicodec content_codec,
+                       std::span<const std::uint8_t> data);
+
+  // Parses either a binary CID or its textual form.
+  static std::optional<Cid> decode(std::span<const std::uint8_t> data);
+  static std::optional<Cid> parse(std::string_view text);
+
+  // Binary encoding. CIDv0 encodes as the bare multihash.
+  std::vector<std::uint8_t> encode() const;
+
+  // Canonical textual form: base58btc for v0, multibase (default base32)
+  // for v1.
+  std::string to_string(Multibase base = Multibase::kBase32) const;
+
+  // Converts a CIDv0 to its CIDv1 (dag-pb) equivalent; identity on v1.
+  Cid as_v1() const;
+
+  int version() const { return version_; }
+  Multicodec content_codec() const { return content_codec_; }
+  const Multihash& hash() const { return hash_; }
+
+  bool operator==(const Cid& other) const = default;
+  auto operator<=>(const Cid& other) const = default;
+
+ private:
+  int version_ = 1;
+  Multicodec content_codec_ = Multicodec::kRaw;
+  Multihash hash_;
+};
+
+}  // namespace ipfs::multiformats

@@ -1,0 +1,332 @@
+#include "multiformats/multiaddr.h"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+
+#include "multiformats/multibase.h"
+#include "multiformats/multihash.h"
+#include "multiformats/varint.h"
+
+namespace ipfs::multiformats {
+namespace {
+
+enum class PayloadKind { kNone, kFixed, kLengthPrefixed };
+
+struct ProtocolSpec {
+  MultiaddrProtocol protocol;
+  std::string_view name;
+  PayloadKind kind;
+  std::size_t fixed_bytes;  // for kFixed
+};
+
+constexpr std::array<ProtocolSpec, 13> kProtocols = {{
+    {MultiaddrProtocol::kIp4, "ip4", PayloadKind::kFixed, 4},
+    {MultiaddrProtocol::kTcp, "tcp", PayloadKind::kFixed, 2},
+    {MultiaddrProtocol::kIp6, "ip6", PayloadKind::kFixed, 16},
+    {MultiaddrProtocol::kDns4, "dns4", PayloadKind::kLengthPrefixed, 0},
+    {MultiaddrProtocol::kDns6, "dns6", PayloadKind::kLengthPrefixed, 0},
+    {MultiaddrProtocol::kDnsaddr, "dnsaddr", PayloadKind::kLengthPrefixed, 0},
+    {MultiaddrProtocol::kUdp, "udp", PayloadKind::kFixed, 2},
+    {MultiaddrProtocol::kP2pCircuit, "p2p-circuit", PayloadKind::kNone, 0},
+    {MultiaddrProtocol::kP2p, "p2p", PayloadKind::kLengthPrefixed, 0},
+    {MultiaddrProtocol::kQuic, "quic", PayloadKind::kNone, 0},
+    {MultiaddrProtocol::kQuicV1, "quic-v1", PayloadKind::kNone, 0},
+    {MultiaddrProtocol::kWs, "ws", PayloadKind::kNone, 0},
+    {MultiaddrProtocol::kWss, "wss", PayloadKind::kNone, 0},
+}};
+
+const ProtocolSpec* spec_by_name(std::string_view name) {
+  for (const auto& spec : kProtocols)
+    if (spec.name == name) return &spec;
+  return nullptr;
+}
+
+const ProtocolSpec* spec_by_code(std::uint64_t code) {
+  for (const auto& spec : kProtocols)
+    if (static_cast<std::uint64_t>(spec.protocol) == code) return &spec;
+  return nullptr;
+}
+
+std::optional<std::vector<std::uint8_t>> parse_ip4(std::string_view text) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4);
+  std::size_t start = 0;
+  for (int i = 0; i < 4; ++i) {
+    const std::size_t dot = (i < 3) ? text.find('.', start) : text.size();
+    if (dot == std::string_view::npos) return std::nullopt;
+    unsigned value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data() + start, text.data() + dot, value);
+    if (ec != std::errc{} || ptr != text.data() + dot || value > 255)
+      return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>(value));
+    start = dot + 1;
+  }
+  return out;
+}
+
+std::string ip4_to_string(std::span<const std::uint8_t> bytes) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", bytes[0], bytes[1], bytes[2],
+                bytes[3]);
+  return buf;
+}
+
+// Minimal IPv6 textual parser supporting one "::" compression.
+std::optional<std::vector<std::uint8_t>> parse_ip6(std::string_view text) {
+  std::vector<std::uint16_t> head;
+  std::vector<std::uint16_t> tail;
+  bool seen_gap = false;
+
+  auto parse_groups = [](std::string_view part,
+                         std::vector<std::uint16_t>& out) -> bool {
+    if (part.empty()) return true;
+    std::size_t start = 0;
+    while (start <= part.size()) {
+      const std::size_t colon = part.find(':', start);
+      const std::size_t end =
+          (colon == std::string_view::npos) ? part.size() : colon;
+      unsigned value = 0;
+      const auto [ptr, ec] = std::from_chars(part.data() + start,
+                                             part.data() + end, value, 16);
+      if (ec != std::errc{} || ptr != part.data() + end || value > 0xffff)
+        return false;
+      out.push_back(static_cast<std::uint16_t>(value));
+      if (colon == std::string_view::npos) break;
+      start = colon + 1;
+    }
+    return true;
+  };
+
+  const std::size_t gap = text.find("::");
+  if (gap != std::string_view::npos) {
+    seen_gap = true;
+    if (!parse_groups(text.substr(0, gap), head)) return std::nullopt;
+    if (!parse_groups(text.substr(gap + 2), tail)) return std::nullopt;
+  } else {
+    if (!parse_groups(text, head)) return std::nullopt;
+  }
+
+  const std::size_t total = head.size() + tail.size();
+  if ((seen_gap && total >= 8) || (!seen_gap && total != 8))
+    return std::nullopt;
+
+  std::vector<std::uint16_t> groups = head;
+  groups.insert(groups.end(), 8 - total, 0);
+  groups.insert(groups.end(), tail.begin(), tail.end());
+
+  std::vector<std::uint8_t> out;
+  out.reserve(16);
+  for (const std::uint16_t g : groups) {
+    out.push_back(static_cast<std::uint8_t>(g >> 8));
+    out.push_back(static_cast<std::uint8_t>(g & 0xff));
+  }
+  return out;
+}
+
+std::string ip6_to_string(std::span<const std::uint8_t> bytes) {
+  // Canonical-enough form: full groups, lowercase hex, no compression.
+  std::string out;
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    const unsigned group = (unsigned{bytes[2 * i]} << 8) | bytes[2 * i + 1];
+    std::snprintf(buf, sizeof(buf), "%x", group);
+    if (i > 0) out.push_back(':');
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace
+
+Multiaddr::Multiaddr(std::vector<MultiaddrComponent> components)
+    : components_(std::move(components)) {}
+
+std::optional<Multiaddr> Multiaddr::parse(std::string_view text) {
+  if (text.empty() || text[0] != '/') return std::nullopt;
+  std::vector<MultiaddrComponent> components;
+
+  std::size_t pos = 1;
+  while (pos <= text.size()) {
+    const std::size_t slash = text.find('/', pos);
+    const std::size_t end =
+        (slash == std::string_view::npos) ? text.size() : slash;
+    const std::string_view name = text.substr(pos, end - pos);
+    if (name.empty()) {
+      if (end == text.size()) break;  // trailing slash
+      return std::nullopt;
+    }
+    const ProtocolSpec* spec = spec_by_name(name);
+    if (spec == nullptr) return std::nullopt;
+
+    MultiaddrComponent component{spec->protocol, {}};
+    if (spec->kind != PayloadKind::kNone) {
+      if (end == text.size()) return std::nullopt;  // missing value
+      const std::size_t value_start = end + 1;
+      const std::size_t value_slash = text.find('/', value_start);
+      const std::size_t value_end =
+          (value_slash == std::string_view::npos) ? text.size() : value_slash;
+      const std::string_view value = text.substr(value_start,
+                                                 value_end - value_start);
+      switch (spec->protocol) {
+        case MultiaddrProtocol::kIp4: {
+          auto bytes = parse_ip4(value);
+          if (!bytes) return std::nullopt;
+          component.value = std::move(*bytes);
+          break;
+        }
+        case MultiaddrProtocol::kIp6: {
+          auto bytes = parse_ip6(value);
+          if (!bytes) return std::nullopt;
+          component.value = std::move(*bytes);
+          break;
+        }
+        case MultiaddrProtocol::kTcp:
+        case MultiaddrProtocol::kUdp: {
+          unsigned port = 0;
+          const auto [ptr, ec] = std::from_chars(
+              value.data(), value.data() + value.size(), port);
+          if (ec != std::errc{} || ptr != value.data() + value.size() ||
+              port > 65535)
+            return std::nullopt;
+          component.value = {static_cast<std::uint8_t>(port >> 8),
+                             static_cast<std::uint8_t>(port & 0xff)};
+          break;
+        }
+        case MultiaddrProtocol::kP2p: {
+          // PeerIDs render as base58btc multihashes.
+          auto bytes = base58btc_decode(value);
+          if (!bytes || !Multihash::decode(*bytes)) return std::nullopt;
+          component.value = std::move(*bytes);
+          break;
+        }
+        default:  // dns names: raw UTF-8 bytes
+          component.value.assign(value.begin(), value.end());
+          break;
+      }
+      pos = value_end + 1;
+    } else {
+      pos = end + 1;
+    }
+    components.push_back(std::move(component));
+    if (end == text.size() ||
+        (spec->kind != PayloadKind::kNone && pos > text.size()))
+      break;
+  }
+
+  if (components.empty()) return std::nullopt;
+  return Multiaddr(std::move(components));
+}
+
+std::optional<Multiaddr> Multiaddr::decode(
+    std::span<const std::uint8_t> data) {
+  std::vector<MultiaddrComponent> components;
+  while (!data.empty()) {
+    const auto code = varint_decode(data);
+    if (!code) return std::nullopt;
+    data = data.subspan(code->consumed);
+    const ProtocolSpec* spec = spec_by_code(code->value);
+    if (spec == nullptr) return std::nullopt;
+
+    MultiaddrComponent component{spec->protocol, {}};
+    switch (spec->kind) {
+      case PayloadKind::kNone:
+        break;
+      case PayloadKind::kFixed:
+        if (data.size() < spec->fixed_bytes) return std::nullopt;
+        component.value.assign(data.begin(), data.begin() + spec->fixed_bytes);
+        data = data.subspan(spec->fixed_bytes);
+        break;
+      case PayloadKind::kLengthPrefixed: {
+        const auto length = varint_decode(data);
+        if (!length) return std::nullopt;
+        data = data.subspan(length->consumed);
+        if (data.size() < length->value) return std::nullopt;
+        component.value.assign(data.begin(), data.begin() + length->value);
+        data = data.subspan(length->value);
+        break;
+      }
+    }
+    components.push_back(std::move(component));
+  }
+  if (components.empty()) return std::nullopt;
+  return Multiaddr(std::move(components));
+}
+
+std::vector<std::uint8_t> Multiaddr::encode() const {
+  std::vector<std::uint8_t> out;
+  for (const auto& component : components_) {
+    varint_encode(static_cast<std::uint64_t>(component.protocol), out);
+    const ProtocolSpec* spec =
+        spec_by_code(static_cast<std::uint64_t>(component.protocol));
+    if (spec->kind == PayloadKind::kLengthPrefixed)
+      varint_encode(component.value.size(), out);
+    out.insert(out.end(), component.value.begin(), component.value.end());
+  }
+  return out;
+}
+
+std::string Multiaddr::to_string() const {
+  std::string out;
+  for (const auto& component : components_) {
+    const ProtocolSpec* spec =
+        spec_by_code(static_cast<std::uint64_t>(component.protocol));
+    out.push_back('/');
+    out += spec->name;
+    if (spec->kind == PayloadKind::kNone) continue;
+    out.push_back('/');
+    switch (component.protocol) {
+      case MultiaddrProtocol::kIp4:
+        out += ip4_to_string(component.value);
+        break;
+      case MultiaddrProtocol::kIp6:
+        out += ip6_to_string(component.value);
+        break;
+      case MultiaddrProtocol::kTcp:
+      case MultiaddrProtocol::kUdp:
+        out += std::to_string((unsigned{component.value[0]} << 8) |
+                              component.value[1]);
+        break;
+      case MultiaddrProtocol::kP2p:
+        out += base58btc_encode(component.value);
+        break;
+      default:
+        out.append(component.value.begin(), component.value.end());
+        break;
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> Multiaddr::value_for(
+    MultiaddrProtocol protocol) const {
+  for (const auto& component : components_)
+    if (component.protocol == protocol) return component.value;
+  return std::nullopt;
+}
+
+Multiaddr Multiaddr::with(MultiaddrProtocol protocol,
+                          std::vector<std::uint8_t> value) const {
+  auto components = components_;
+  components.push_back({protocol, std::move(value)});
+  return Multiaddr(std::move(components));
+}
+
+bool Multiaddr::is_relayed() const {
+  return value_for(MultiaddrProtocol::kP2pCircuit).has_value();
+}
+
+Multiaddr make_tcp_multiaddr(std::string_view ip4, std::uint16_t port) {
+  auto addr = Multiaddr::parse("/ip4/" + std::string(ip4) + "/tcp/" +
+                               std::to_string(port));
+  return addr ? *addr : Multiaddr{};
+}
+
+Multiaddr make_quic_multiaddr(std::string_view ip4, std::uint16_t port) {
+  auto addr = Multiaddr::parse("/ip4/" + std::string(ip4) + "/udp/" +
+                               std::to_string(port) + "/quic");
+  return addr ? *addr : Multiaddr{};
+}
+
+}  // namespace ipfs::multiformats

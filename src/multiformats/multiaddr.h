@@ -1,0 +1,76 @@
+// Multiaddresses (paper Section 2.2, Figure 2): self-describing,
+// hierarchical peer addresses such as /ip4/1.2.3.4/tcp/3333/p2p/QmZyWQ14...
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ipfs::multiformats {
+
+enum class MultiaddrProtocol : std::uint64_t {
+  kIp4 = 0x04,
+  kTcp = 0x06,
+  kIp6 = 0x29,
+  kDns4 = 0x36,
+  kDns6 = 0x37,
+  kDnsaddr = 0x38,
+  kUdp = 0x0111,
+  kP2pCircuit = 0x0122,
+  kP2p = 0x01a5,
+  kQuic = 0x01cc,
+  kQuicV1 = 0x01cd,
+  kWs = 0x01dd,
+  kWss = 0x01de,
+};
+
+struct MultiaddrComponent {
+  MultiaddrProtocol protocol;
+  std::vector<std::uint8_t> value;  // binary address payload (may be empty)
+
+  bool operator==(const MultiaddrComponent&) const = default;
+};
+
+class Multiaddr {
+ public:
+  Multiaddr() = default;
+  explicit Multiaddr(std::vector<MultiaddrComponent> components);
+
+  // Parses the human-readable path form. nullopt on any malformed segment.
+  static std::optional<Multiaddr> parse(std::string_view text);
+
+  // Parses the packed binary form.
+  static std::optional<Multiaddr> decode(std::span<const std::uint8_t> data);
+
+  std::vector<std::uint8_t> encode() const;
+  std::string to_string() const;
+
+  const std::vector<MultiaddrComponent>& components() const {
+    return components_;
+  }
+  bool empty() const { return components_.empty(); }
+
+  // First component payload for `protocol`, if present.
+  std::optional<std::vector<std::uint8_t>> value_for(
+      MultiaddrProtocol protocol) const;
+
+  // Appends a component (builder style).
+  Multiaddr with(MultiaddrProtocol protocol,
+                 std::vector<std::uint8_t> value = {}) const;
+
+  // True if the address contains a relay hop (p2p-circuit).
+  bool is_relayed() const;
+
+  bool operator==(const Multiaddr&) const = default;
+
+ private:
+  std::vector<MultiaddrComponent> components_;
+};
+
+// Convenience constructors used across the simulator.
+Multiaddr make_tcp_multiaddr(std::string_view ip4, std::uint16_t port);
+Multiaddr make_quic_multiaddr(std::string_view ip4, std::uint16_t port);
+
+}  // namespace ipfs::multiformats

@@ -1,0 +1,237 @@
+#include "multiformats/multibase.h"
+
+#include <algorithm>
+#include <array>
+
+namespace ipfs::multiformats {
+namespace {
+
+constexpr std::string_view kBase32Alphabet = "abcdefghijklmnopqrstuvwxyz234567";
+constexpr std::string_view kBase58Alphabet =
+    "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+constexpr std::string_view kBase64Alphabet =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+constexpr std::string_view kBase64UrlAlphabet =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+
+// Builds a 256-entry reverse lookup; -1 marks invalid characters.
+std::array<std::int8_t, 256> reverse_table(std::string_view alphabet) {
+  std::array<std::int8_t, 256> table;
+  table.fill(-1);
+  for (std::size_t i = 0; i < alphabet.size(); ++i)
+    table[static_cast<std::uint8_t>(alphabet[i])] =
+        static_cast<std::int8_t>(i);
+  return table;
+}
+
+}  // namespace
+
+std::string base16_encode(std::span<const std::uint8_t> data) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (const std::uint8_t b : data) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0x0f]);
+  }
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> base16_decode(std::string_view text) {
+  if (text.size() % 2 != 0) return std::nullopt;
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::vector<std::uint8_t> out(text.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const int hi = nibble(text[2 * i]);
+    const int lo = nibble(text[2 * i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return out;
+}
+
+std::string base32_encode(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve((data.size() * 8 + 4) / 5);
+  std::uint32_t buffer = 0;
+  int bits = 0;
+  for (const std::uint8_t b : data) {
+    buffer = (buffer << 8) | b;
+    bits += 8;
+    while (bits >= 5) {
+      out.push_back(kBase32Alphabet[(buffer >> (bits - 5)) & 0x1f]);
+      bits -= 5;
+    }
+  }
+  if (bits > 0) out.push_back(kBase32Alphabet[(buffer << (5 - bits)) & 0x1f]);
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> base32_decode(std::string_view text) {
+  static const auto kTable = reverse_table(kBase32Alphabet);
+  std::vector<std::uint8_t> out;
+  out.reserve(text.size() * 5 / 8);
+  std::uint32_t buffer = 0;
+  int bits = 0;
+  for (const char c : text) {
+    const std::int8_t v = kTable[static_cast<std::uint8_t>(c)];
+    if (v < 0) return std::nullopt;
+    buffer = (buffer << 5) | static_cast<std::uint32_t>(v);
+    bits += 5;
+    if (bits >= 8) {
+      out.push_back(static_cast<std::uint8_t>(buffer >> (bits - 8)));
+      bits -= 8;
+    }
+  }
+  // Leftover bits must be zero padding.
+  if (bits > 0 && (buffer & ((1u << bits) - 1)) != 0) return std::nullopt;
+  return out;
+}
+
+std::string base58btc_encode(std::span<const std::uint8_t> data) {
+  // Count leading zero bytes; each maps to a '1'.
+  std::size_t zeros = 0;
+  while (zeros < data.size() && data[zeros] == 0) ++zeros;
+
+  // Base conversion via repeated division (digits little-endian).
+  std::vector<std::uint8_t> digits;
+  for (std::size_t i = zeros; i < data.size(); ++i) {
+    std::uint32_t carry = data[i];
+    for (auto& d : digits) {
+      const std::uint32_t value = (static_cast<std::uint32_t>(d) << 8) | carry;
+      d = static_cast<std::uint8_t>(value % 58);
+      carry = value / 58;
+    }
+    while (carry > 0) {
+      digits.push_back(static_cast<std::uint8_t>(carry % 58));
+      carry /= 58;
+    }
+  }
+
+  std::string out(zeros, '1');
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it)
+    out.push_back(kBase58Alphabet[*it]);
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> base58btc_decode(
+    std::string_view text) {
+  static const auto kTable = reverse_table(kBase58Alphabet);
+  std::size_t zeros = 0;
+  while (zeros < text.size() && text[zeros] == '1') ++zeros;
+
+  std::vector<std::uint8_t> bytes;
+  for (std::size_t i = zeros; i < text.size(); ++i) {
+    const std::int8_t v = kTable[static_cast<std::uint8_t>(text[i])];
+    if (v < 0) return std::nullopt;
+    std::uint32_t carry = static_cast<std::uint32_t>(v);
+    for (auto& b : bytes) {
+      const std::uint32_t value = static_cast<std::uint32_t>(b) * 58 + carry;
+      b = static_cast<std::uint8_t>(value & 0xff);
+      carry = value >> 8;
+    }
+    while (carry > 0) {
+      bytes.push_back(static_cast<std::uint8_t>(carry & 0xff));
+      carry >>= 8;
+    }
+  }
+
+  std::vector<std::uint8_t> out(zeros, 0);
+  out.insert(out.end(), bytes.rbegin(), bytes.rend());
+  return out;
+}
+
+std::string base64_encode(std::span<const std::uint8_t> data, bool url_safe) {
+  const std::string_view alphabet =
+      url_safe ? kBase64UrlAlphabet : kBase64Alphabet;
+  std::string out;
+  out.reserve((data.size() * 4 + 2) / 3);
+  std::uint32_t buffer = 0;
+  int bits = 0;
+  for (const std::uint8_t b : data) {
+    buffer = (buffer << 8) | b;
+    bits += 8;
+    while (bits >= 6) {
+      out.push_back(alphabet[(buffer >> (bits - 6)) & 0x3f]);
+      bits -= 6;
+    }
+  }
+  if (bits > 0) out.push_back(alphabet[(buffer << (6 - bits)) & 0x3f]);
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> base64_decode(std::string_view text,
+                                                       bool url_safe) {
+  static const auto kStd = reverse_table(kBase64Alphabet);
+  static const auto kUrl = reverse_table(kBase64UrlAlphabet);
+  const auto& table = url_safe ? kUrl : kStd;
+  std::vector<std::uint8_t> out;
+  out.reserve(text.size() * 3 / 4);
+  std::uint32_t buffer = 0;
+  int bits = 0;
+  for (const char c : text) {
+    const std::int8_t v = table[static_cast<std::uint8_t>(c)];
+    if (v < 0) return std::nullopt;
+    buffer = (buffer << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      out.push_back(static_cast<std::uint8_t>(buffer >> (bits - 8)));
+      bits -= 8;
+    }
+  }
+  if (bits > 0 && (buffer & ((1u << bits) - 1)) != 0) return std::nullopt;
+  return out;
+}
+
+std::string multibase_encode(Multibase base,
+                             std::span<const std::uint8_t> data) {
+  switch (base) {
+    case Multibase::kIdentity: {
+      std::string out(1, '\0');
+      out.append(reinterpret_cast<const char*>(data.data()), data.size());
+      return out;
+    }
+    case Multibase::kBase16:
+      return "f" + base16_encode(data);
+    case Multibase::kBase32:
+      return "b" + base32_encode(data);
+    case Multibase::kBase58Btc:
+      return "z" + base58btc_encode(data);
+    case Multibase::kBase64:
+      return "m" + base64_encode(data, /*url_safe=*/false);
+    case Multibase::kBase64Url:
+      return "u" + base64_encode(data, /*url_safe=*/true);
+  }
+  return {};
+}
+
+std::optional<std::vector<std::uint8_t>> multibase_decode(
+    std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  const char prefix = text.front();
+  const std::string_view payload = text.substr(1);
+  switch (prefix) {
+    case '\0':
+      return std::vector<std::uint8_t>(payload.begin(), payload.end());
+    case 'f':
+    case 'F':
+      return base16_decode(payload);
+    case 'b':
+      return base32_decode(payload);
+    case 'z':
+      return base58btc_decode(payload);
+    case 'm':
+      return base64_decode(payload, /*url_safe=*/false);
+    case 'u':
+      return base64_decode(payload, /*url_safe=*/true);
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace ipfs::multiformats

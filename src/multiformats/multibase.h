@@ -1,0 +1,42 @@
+// Multibase (self-describing base encodings). Supports the bases IPFS uses
+// in practice: identity, base16, base32 (default for CIDv1), base58btc
+// (CIDv0 / PeerIDs), base64 and base64url.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ipfs::multiformats {
+
+enum class Multibase : char {
+  kIdentity = '\0',
+  kBase16 = 'f',
+  kBase32 = 'b',       // RFC 4648 lowercase, no padding
+  kBase58Btc = 'z',
+  kBase64 = 'm',       // RFC 4648, no padding
+  kBase64Url = 'u',    // RFC 4648 url-safe, no padding
+};
+
+// Encodes bytes with the given base, including the one-character prefix.
+std::string multibase_encode(Multibase base, std::span<const std::uint8_t> data);
+
+// Decodes a multibase string (prefix included). nullopt on unknown prefix
+// or malformed payload.
+std::optional<std::vector<std::uint8_t>> multibase_decode(std::string_view text);
+
+// Raw encoders (no prefix) — exposed for CIDv0/base58 PeerIDs.
+std::string base16_encode(std::span<const std::uint8_t> data);
+std::string base32_encode(std::span<const std::uint8_t> data);
+std::string base58btc_encode(std::span<const std::uint8_t> data);
+std::string base64_encode(std::span<const std::uint8_t> data, bool url_safe);
+
+std::optional<std::vector<std::uint8_t>> base16_decode(std::string_view text);
+std::optional<std::vector<std::uint8_t>> base32_decode(std::string_view text);
+std::optional<std::vector<std::uint8_t>> base58btc_decode(std::string_view text);
+std::optional<std::vector<std::uint8_t>> base64_decode(std::string_view text,
+                                                       bool url_safe);
+
+}  // namespace ipfs::multiformats

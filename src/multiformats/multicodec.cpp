@@ -1,0 +1,42 @@
+#include "multiformats/multicodec.h"
+
+namespace ipfs::multiformats {
+
+std::string_view multicodec_name(Multicodec codec) {
+  switch (codec) {
+    case Multicodec::kIdentity:
+      return "identity";
+    case Multicodec::kSha2_256:
+      return "sha2-256";
+    case Multicodec::kSha2_512:
+      return "sha2-512";
+    case Multicodec::kRaw:
+      return "raw";
+    case Multicodec::kDagPb:
+      return "dag-pb";
+    case Multicodec::kDagCbor:
+      return "dag-cbor";
+    case Multicodec::kLibp2pKey:
+      return "libp2p-key";
+    case Multicodec::kDagJson:
+      return "dag-json";
+  }
+  return "unknown";
+}
+
+bool multicodec_is_known(std::uint64_t code) {
+  switch (static_cast<Multicodec>(code)) {
+    case Multicodec::kIdentity:
+    case Multicodec::kSha2_256:
+    case Multicodec::kSha2_512:
+    case Multicodec::kRaw:
+    case Multicodec::kDagPb:
+    case Multicodec::kDagCbor:
+    case Multicodec::kLibp2pKey:
+    case Multicodec::kDagJson:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace ipfs::multiformats

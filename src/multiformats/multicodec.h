@@ -1,0 +1,27 @@
+// Multicodec table (subset of https://github.com/multiformats/multicodec
+// that IPFS uses on its hot paths).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ipfs::multiformats {
+
+enum class Multicodec : std::uint64_t {
+  kIdentity = 0x00,
+  kSha2_256 = 0x12,
+  kSha2_512 = 0x13,
+  kRaw = 0x55,
+  kDagPb = 0x70,
+  kDagCbor = 0x71,
+  kLibp2pKey = 0x72,
+  kDagJson = 0x0129,
+};
+
+// Human-readable codec name ("raw", "dag-pb", ...); "unknown" if absent.
+std::string_view multicodec_name(Multicodec codec);
+
+// True for codecs this library can carry inside a CID.
+bool multicodec_is_known(std::uint64_t code);
+
+}  // namespace ipfs::multiformats

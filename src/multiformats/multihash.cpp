@@ -1,0 +1,73 @@
+#include "multiformats/multihash.h"
+
+#include <algorithm>
+
+#include "crypto/sha256.h"
+#include "crypto/sha512.h"
+#include "multiformats/varint.h"
+
+namespace ipfs::multiformats {
+
+Multihash::Multihash(Multicodec code, std::vector<std::uint8_t> digest)
+    : code_(code), digest_(std::move(digest)) {}
+
+Multihash Multihash::sha2_256(std::span<const std::uint8_t> data) {
+  const auto digest = crypto::sha256(data);
+  return Multihash(Multicodec::kSha2_256,
+                   std::vector<std::uint8_t>(digest.begin(), digest.end()));
+}
+
+Multihash Multihash::identity(std::span<const std::uint8_t> data) {
+  return Multihash(Multicodec::kIdentity,
+                   std::vector<std::uint8_t>(data.begin(), data.end()));
+}
+
+std::optional<Multihash> Multihash::decode(std::span<const std::uint8_t> data,
+                                           std::size_t* consumed) {
+  const auto code = varint_decode(data);
+  if (!code) return std::nullopt;
+  auto rest = data.subspan(code->consumed);
+  const auto length = varint_decode(rest);
+  if (!length) return std::nullopt;
+  rest = rest.subspan(length->consumed);
+  if (rest.size() < length->value) return std::nullopt;
+  // Defensive cap: digests beyond 512 bits are not legal in this codebase.
+  if (length->value > 64) return std::nullopt;
+
+  Multihash out;
+  out.code_ = static_cast<Multicodec>(code->value);
+  out.digest_.assign(rest.begin(), rest.begin() + length->value);
+  if (consumed != nullptr)
+    *consumed = code->consumed + length->consumed + length->value;
+  return out;
+}
+
+std::vector<std::uint8_t> Multihash::encode() const {
+  std::vector<std::uint8_t> out;
+  varint_encode(static_cast<std::uint64_t>(code_), out);
+  varint_encode(digest_.size(), out);
+  out.insert(out.end(), digest_.begin(), digest_.end());
+  return out;
+}
+
+bool Multihash::verifies(std::span<const std::uint8_t> data) const {
+  switch (code_) {
+    case Multicodec::kSha2_256: {
+      const auto digest = crypto::sha256(data);
+      return digest_.size() == digest.size() &&
+             std::equal(digest_.begin(), digest_.end(), digest.begin());
+    }
+    case Multicodec::kSha2_512: {
+      const auto digest = crypto::sha512(data);
+      return digest_.size() == digest.size() &&
+             std::equal(digest_.begin(), digest_.end(), digest.begin());
+    }
+    case Multicodec::kIdentity:
+      return digest_.size() == data.size() &&
+             std::equal(digest_.begin(), digest_.end(), data.begin());
+    default:
+      return false;
+  }
+}
+
+}  // namespace ipfs::multiformats

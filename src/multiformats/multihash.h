@@ -1,0 +1,48 @@
+// Multihash: self-describing hash digests — <fn-code varint><length
+// varint><digest>. The paper's Figure 1 shows a Multihash embedded in a CID.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "multiformats/multicodec.h"
+
+namespace ipfs::multiformats {
+
+class Multihash {
+ public:
+  Multihash() = default;
+  Multihash(Multicodec code, std::vector<std::uint8_t> digest);
+
+  // Hashes data with sha2-256 (the IPFS default).
+  static Multihash sha2_256(std::span<const std::uint8_t> data);
+
+  // Wraps data verbatim (identity hash, used for small inline keys such as
+  // Ed25519 public keys in libp2p PeerIDs).
+  static Multihash identity(std::span<const std::uint8_t> data);
+
+  // Parses the binary form. Returns nullopt on truncation or length
+  // mismatch; `consumed` reports how many bytes the multihash occupied.
+  static std::optional<Multihash> decode(std::span<const std::uint8_t> data,
+                                         std::size_t* consumed = nullptr);
+
+  std::vector<std::uint8_t> encode() const;
+
+  Multicodec code() const { return code_; }
+  const std::vector<std::uint8_t>& digest() const { return digest_; }
+
+  // True if this multihash matches `data` (re-hashes with the same
+  // function). Identity hashes compare bytes directly.
+  bool verifies(std::span<const std::uint8_t> data) const;
+
+  bool operator==(const Multihash& other) const = default;
+  auto operator<=>(const Multihash& other) const = default;
+
+ private:
+  Multicodec code_ = Multicodec::kIdentity;
+  std::vector<std::uint8_t> digest_;
+};
+
+}  // namespace ipfs::multiformats

@@ -1,0 +1,47 @@
+#include "multiformats/peerid.h"
+
+#include "multiformats/multibase.h"
+
+namespace ipfs::multiformats {
+namespace {
+
+// libp2p PublicKey protobuf: field 1 (key_type) = Ed25519(1),
+// field 2 (data) = 32 key bytes.
+constexpr std::uint8_t kProtobufHeader[] = {0x08, 0x01, 0x12, 0x20};
+
+}  // namespace
+
+PeerId PeerId::from_public_key(const crypto::Ed25519PublicKey& key) {
+  std::vector<std::uint8_t> framed;
+  framed.reserve(sizeof(kProtobufHeader) + key.size());
+  framed.insert(framed.end(), std::begin(kProtobufHeader),
+                std::end(kProtobufHeader));
+  framed.insert(framed.end(), key.begin(), key.end());
+  return PeerId(Multihash::identity(framed));
+}
+
+std::optional<PeerId> PeerId::parse(std::string_view text) {
+  const auto bytes = base58btc_decode(text);
+  if (!bytes) return std::nullopt;
+  std::size_t consumed = 0;
+  auto hash = Multihash::decode(*bytes, &consumed);
+  if (!hash || consumed != bytes->size()) return std::nullopt;
+  return PeerId(std::move(*hash));
+}
+
+std::string PeerId::to_base58() const { return base58btc_encode(encode()); }
+
+std::optional<crypto::Ed25519PublicKey> PeerId::public_key() const {
+  if (hash_.code() != Multicodec::kIdentity) return std::nullopt;
+  const auto& framed = hash_.digest();
+  if (framed.size() != sizeof(kProtobufHeader) + 32) return std::nullopt;
+  if (!std::equal(std::begin(kProtobufHeader), std::end(kProtobufHeader),
+                  framed.begin()))
+    return std::nullopt;
+  crypto::Ed25519PublicKey key;
+  std::copy(framed.begin() + sizeof(kProtobufHeader), framed.end(),
+            key.begin());
+  return key;
+}
+
+}  // namespace ipfs::multiformats

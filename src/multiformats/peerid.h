@@ -1,0 +1,46 @@
+// PeerIDs (paper Section 2.2): the multihash of a peer's public key.
+// Ed25519 keys are small, so libp2p inlines them with the identity
+// multihash — producing the familiar "12D3KooW..." base58 form.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "crypto/ed25519.h"
+#include "multiformats/multihash.h"
+
+namespace ipfs::multiformats {
+
+class PeerId {
+ public:
+  PeerId() = default;
+  explicit PeerId(Multihash hash) : hash_(std::move(hash)) {}
+
+  // Derives the PeerID from an Ed25519 public key via the libp2p
+  // PublicKey protobuf framing (key_type=Ed25519, data=key).
+  static PeerId from_public_key(const crypto::Ed25519PublicKey& key);
+
+  // Parses the base58btc textual form.
+  static std::optional<PeerId> parse(std::string_view text);
+
+  std::vector<std::uint8_t> encode() const { return hash_.encode(); }
+  std::string to_base58() const;
+
+  const Multihash& hash() const { return hash_; }
+
+  // The Ed25519 public key, recoverable when the PeerID uses the identity
+  // multihash (as all simulator peers do).
+  std::optional<crypto::Ed25519PublicKey> public_key() const;
+
+  bool empty() const { return hash_.digest().empty(); }
+
+  bool operator==(const PeerId&) const = default;
+  auto operator<=>(const PeerId&) const = default;
+
+ private:
+  Multihash hash_;
+};
+
+}  // namespace ipfs::multiformats

@@ -1,0 +1,31 @@
+#include "multiformats/varint.h"
+
+namespace ipfs::multiformats {
+
+void varint_encode(std::uint64_t value, std::vector<std::uint8_t>& out) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::vector<std::uint8_t> varint_encode(std::uint64_t value) {
+  std::vector<std::uint8_t> out;
+  varint_encode(value, out);
+  return out;
+}
+
+std::optional<VarintResult> varint_decode(std::span<const std::uint8_t> data) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < data.size() && i < 9; ++i) {
+    value |= std::uint64_t{data[i] & 0x7fu} << (7 * i);
+    if ((data[i] & 0x80) == 0) {
+      if (i > 0 && data[i] == 0) return std::nullopt;  // non-minimal
+      return VarintResult{value, i + 1};
+    }
+  }
+  return std::nullopt;  // truncated or over 9 bytes
+}
+
+}  // namespace ipfs::multiformats

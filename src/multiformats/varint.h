@@ -1,0 +1,25 @@
+// Unsigned varint (multiformats/unsigned-varint): LEB128, max 9 bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace ipfs::multiformats {
+
+// Appends the varint encoding of value to out.
+void varint_encode(std::uint64_t value, std::vector<std::uint8_t>& out);
+
+std::vector<std::uint8_t> varint_encode(std::uint64_t value);
+
+struct VarintResult {
+  std::uint64_t value;
+  std::size_t consumed;
+};
+
+// Decodes a varint from the front of data. Returns nullopt on truncated
+// input, non-minimal encodings, or values exceeding 63 bits (spec limit).
+std::optional<VarintResult> varint_decode(std::span<const std::uint8_t> data);
+
+}  // namespace ipfs::multiformats

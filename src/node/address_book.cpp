@@ -1,0 +1,42 @@
+#include "node/address_book.h"
+
+namespace ipfs::node {
+
+void AddressBook::insert(const dht::PeerRef& peer) {
+  const auto it = entries_.find(peer.id);
+  if (it != entries_.end()) {
+    recency_.erase(it->second.recency);
+    recency_.push_front(peer.id);
+    it->second.peer = peer;
+    it->second.recency = recency_.begin();
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    entries_.erase(recency_.back());
+    recency_.pop_back();
+  }
+  recency_.push_front(peer.id);
+  entries_.emplace(peer.id, Entry{peer, recency_.begin()});
+}
+
+std::optional<dht::PeerRef> AddressBook::find(const multiformats::PeerId& id) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  recency_.erase(it->second.recency);
+  recency_.push_front(id);
+  it->second.recency = recency_.begin();
+  return it->second.peer;
+}
+
+void AddressBook::remove(const multiformats::PeerId& id) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  recency_.erase(it->second.recency);
+  entries_.erase(it);
+}
+
+}  // namespace ipfs::node

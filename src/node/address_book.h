@@ -1,0 +1,48 @@
+// Address book (paper Section 3.2, "Peer Discovery"): each IPFS node
+// keeps the addresses of up to 900 recently seen peers, consulted before
+// spending a second DHT walk on peer discovery.
+#pragma once
+
+#include <list>
+#include <map>
+#include <optional>
+
+#include "dht/messages.h"
+#include "multiformats/peerid.h"
+
+namespace ipfs::node {
+
+constexpr std::size_t kAddressBookCapacity = 900;
+
+class AddressBook {
+ public:
+  explicit AddressBook(std::size_t capacity = kAddressBookCapacity)
+      : capacity_(capacity) {}
+
+  // Inserts or refreshes a peer (refresh moves it to most-recent).
+  void insert(const dht::PeerRef& peer);
+
+  // A hit also refreshes recency.
+  std::optional<dht::PeerRef> find(const multiformats::PeerId& id);
+
+  void remove(const multiformats::PeerId& id);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    dht::PeerRef peer;
+    std::list<multiformats::PeerId>::iterator recency;
+  };
+
+  std::size_t capacity_;
+  std::list<multiformats::PeerId> recency_;  // front = most recent
+  std::map<multiformats::PeerId, Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace ipfs::node

@@ -1,0 +1,38 @@
+#include "node/connection_manager.h"
+
+namespace ipfs::node {
+
+ConnectionManager::ConnectionManager(sim::Network& network, sim::NodeId self,
+                                     ConnManagerConfig config)
+    : network_(network), self_(self), config_(config) {}
+
+std::size_t ConnectionManager::trim() {
+  const auto connections = network_.connections_of(self_);
+  if (connections.size() <= config_.high_water) return 0;
+
+  // The fabric does not expose per-connection open times, so eviction
+  // order is the fabric's iteration order — effectively arbitrary among
+  // unprotected peers, a fair stand-in for "least valuable first".
+  std::size_t closed = 0;
+  std::size_t remaining = connections.size();
+  for (const sim::NodeId peer : connections) {
+    if (remaining <= config_.low_water) break;
+    if (protected_.contains(peer)) continue;
+    network_.disconnect(self_, peer);
+    ++closed;
+    --remaining;
+  }
+  return closed;
+}
+
+std::size_t ConnectionManager::disconnect_all() {
+  std::size_t closed = 0;
+  for (const sim::NodeId peer : network_.connections_of(self_)) {
+    if (protected_.contains(peer)) continue;
+    network_.disconnect(self_, peer);
+    ++closed;
+  }
+  return closed;
+}
+
+}  // namespace ipfs::node

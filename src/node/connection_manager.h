@@ -1,0 +1,49 @@
+// Connection manager, modelled on the go-libp2p watermark design: when a
+// node holds more than `high_water` connections, the least valuable ones
+// are closed until `low_water` remain. Long DHT walks open dozens of
+// short-lived connections; trimming them is why the provider-record RPC
+// batch re-dials peers (and occasionally hits the Figure 9c timeouts).
+#pragma once
+
+#include <unordered_set>
+
+#include "sim/network.h"
+
+namespace ipfs::node {
+
+struct ConnManagerConfig {
+  std::size_t low_water = 32;
+  std::size_t high_water = 96;
+  sim::Duration grace_period = sim::seconds(20);
+};
+
+class ConnectionManager {
+ public:
+  ConnectionManager(sim::Network& network, sim::NodeId self,
+                    ConnManagerConfig config);
+
+  // Never trim these peers (bootstrap peers, active transfer partners).
+  void protect(sim::NodeId peer) { protected_.insert(peer); }
+  void unprotect(sim::NodeId peer) { protected_.erase(peer); }
+
+  // Closes unprotected connections down to low_water if the node exceeds
+  // high_water. Returns how many were closed.
+  std::size_t trim();
+
+  // Closes every unprotected connection (the experiment harness does this
+  // between retrievals, Section 4.3).
+  std::size_t disconnect_all();
+
+  std::size_t connection_count() const {
+    return network_.connections_of(self_).size();
+  }
+  const ConnManagerConfig& config() const { return config_; }
+
+ private:
+  sim::Network& network_;
+  sim::NodeId self_;
+  ConnManagerConfig config_;
+  std::unordered_set<sim::NodeId> protected_;
+};
+
+}  // namespace ipfs::node

@@ -1,0 +1,318 @@
+#include "node/ipfs_node.h"
+
+namespace ipfs::node {
+namespace {
+
+multiformats::PeerId peer_id_for(const crypto::Ed25519KeyPair& keypair) {
+  return multiformats::PeerId::from_public_key(keypair.public_key);
+}
+
+}  // namespace
+
+double RetrievalTrace::stretch() const {
+  const double https = sim::to_seconds(dial + negotiate + fetch);
+  if (https <= 0.0) return 1.0;
+  return sim::to_seconds(discover() + dial + negotiate + fetch) / https;
+}
+
+double RetrievalTrace::stretch_without_bitswap() const {
+  const double https = sim::to_seconds(dial + negotiate + fetch);
+  if (https <= 0.0) return 1.0;
+  return sim::to_seconds(provider_walk + peer_walk + dial + negotiate + fetch) /
+         https;
+}
+
+crypto::Ed25519KeyPair IpfsNode::derive_keypair(std::uint64_t seed) {
+  crypto::Ed25519Seed bytes{};
+  for (int i = 0; i < 8; ++i)
+    bytes[i] = static_cast<std::uint8_t>(seed >> (8 * i));
+  bytes[8] = 0x1f;  // domain separation from other seed uses
+  return crypto::ed25519_keypair(bytes);
+}
+
+IpfsNode::IpfsNode(sim::Network& network, const IpfsNodeConfig& config)
+    : network_(network),
+      node_(network.add_node(config.net)),
+      config_(config),
+      keypair_(derive_keypair(config.identity_seed)),
+      dht_(network, node_, peer_id_for(keypair_),
+           {multiformats::make_tcp_multiaddr("10.0.0.1", 4001)}),
+      bitswap_(network, node_, store_),
+      conn_manager_(network, node_, config.conn_manager) {
+  // Protocol multiplexer: route requests to the DHT, then Bitswap.
+  network_.set_request_handler(
+      node_, [this](sim::NodeId from, const sim::MessagePtr& message,
+                    auto respond) {
+        if (dht_.handle_request(from, message, respond)) return;
+        bitswap_.handle_request(from, message, respond);
+      });
+  network_.set_message_handler(
+      node_, [this](sim::NodeId from, const sim::MessagePtr& message) {
+        dht_.handle_message(from, message);
+      });
+}
+
+void IpfsNode::bootstrap(std::vector<dht::PeerRef> seeds,
+                         std::function<void(bool)> done) {
+  for (const auto& seed : seeds) {
+    address_book_.insert(seed);
+    conn_manager_.protect(seed.node);
+  }
+  dht_.bootstrap(std::move(seeds), std::move(done));
+}
+
+merkledag::ImportResult IpfsNode::add(std::span<const std::uint8_t> data) {
+  auto result = merkledag::import_bytes(store_, data);
+  store_.pin(result.root);
+  return result;
+}
+
+void IpfsNode::provide(const Cid& cid, std::function<void(PublishTrace)> done,
+                       std::size_t max_records) {
+  const dht::Key key = dht::Key::for_cid(cid);
+  const sim::Time start = network_.simulator().now();
+
+  dht_.lookup_closest(key, [this, cid, key, start, max_records,
+                            done = std::move(done)](dht::LookupResult walk) {
+    const sim::Time walk_end = network_.simulator().now();
+    // The walk held dozens of connections open; the connection manager
+    // has trimmed down by the time the store batch begins, so most of
+    // the 20 targets need a fresh dial (Section 6.1's timeout spikes).
+    conn_manager_.trim();
+
+    auto targets = walk.closest;
+    if (targets.size() > max_records) targets.resize(max_records);
+    dht_.store_provider_records(
+        key, targets,
+        [this, cid, start, walk_end,
+         done = std::move(done)](dht::DhtNode::StoreBatchResult batch) {
+          PublishTrace trace;
+          trace.cid = cid;
+          trace.walk = walk_end - start;
+          trace.rpc_batch = batch.elapsed;
+          trace.total = trace.walk + trace.rpc_batch;
+          trace.provider_records_sent = batch.sent;
+          trace.ok = batch.sent > 0;
+          if (trace.ok) dht_.start_reproviding(dht::Key::for_cid(cid));
+          done(trace);
+        });
+  });
+}
+
+void IpfsNode::publish(std::span<const std::uint8_t> data,
+                       std::function<void(PublishTrace)> done) {
+  const auto import = add(data);
+  provide(import.root, std::move(done));
+}
+
+void IpfsNode::retrieve(const Cid& cid,
+                        std::function<void(RetrievalTrace)> done) {
+  auto trace = std::make_shared<RetrievalTrace>();
+  trace->cid = cid;
+  retrieval_started_ = network_.simulator().now();
+
+  // Phase 0: the object may be complete locally.
+  if (merkledag::cat(store_, cid).has_value()) {
+    trace->ok = true;
+    trace->local_hit = true;
+    done(*trace);
+    return;
+  }
+
+  if (config_.parallel_dht_lookup) {
+    retrieve_parallel(trace, std::move(done));
+    return;
+  }
+
+  // Phase 1: opportunistic Bitswap to already connected peers (step 4).
+  const sim::Time bitswap_start = network_.simulator().now();
+  bitswap_.discover(
+      cid, config_.bitswap_timeout,
+      [this, cid, trace, bitswap_start,
+       done = std::move(done)](std::optional<sim::NodeId> holder) {
+        trace->bitswap_discovery =
+            network_.simulator().now() - bitswap_start;
+        if (holder) {
+          trace->bitswap_hit = true;
+          fetch_from(trace, *holder, std::move(done));
+          return;
+        }
+
+        // Phase 2: content discovery via DHT walk #1 (step 5).
+        const sim::Time walk_start = network_.simulator().now();
+        dht_.find_providers(
+            dht::Key::for_cid(cid),
+            [this, trace, walk_start,
+             done = std::move(done)](dht::LookupResult result) {
+              trace->provider_walk =
+                  network_.simulator().now() - walk_start;
+              if (result.providers.empty()) {
+                trace->total =
+                    network_.simulator().now() - retrieval_started_;
+                done(*trace);
+                return;
+              }
+              finish_retrieval(trace, result.providers.front().provider,
+                               network_.simulator().now(), std::move(done));
+            });
+      },
+      config_.bitswap_early_exit);
+}
+
+void IpfsNode::retrieve_parallel(std::shared_ptr<RetrievalTrace> trace,
+                                 std::function<void(RetrievalTrace)> done) {
+  // Section 6.4's proposed optimization: race the Bitswap probe against
+  // the DHT walk; whichever yields a source first drives the fetch. The
+  // loser's result is discarded (extra network requests traded for
+  // latency).
+  struct Race {
+    bool fetching = false;        // a source won; ignore the other path
+    bool bitswap_done = false;
+    bool walk_done = false;
+  };
+  auto race = std::make_shared<Race>();
+  auto done_shared =
+      std::make_shared<std::function<void(RetrievalTrace)>>(std::move(done));
+  const sim::Time start = network_.simulator().now();
+
+  auto fail_if_both_missed = [this, race, trace, done_shared] {
+    if (race->fetching || !race->bitswap_done || !race->walk_done) return;
+    trace->total = network_.simulator().now() - retrieval_started_;
+    (*done_shared)(*trace);
+  };
+
+  bitswap_.discover(
+      trace->cid, config_.bitswap_timeout,
+      [this, race, trace, start, done_shared,
+       fail_if_both_missed](std::optional<sim::NodeId> holder) {
+        race->bitswap_done = true;
+        if (race->fetching) return;
+        if (holder) {
+          race->fetching = true;
+          trace->bitswap_hit = true;
+          trace->bitswap_discovery = network_.simulator().now() - start;
+          fetch_from(trace, *holder, *done_shared);
+          return;
+        }
+        fail_if_both_missed();
+      },
+      config_.bitswap_early_exit);
+
+  dht_.find_providers(
+      dht::Key::for_cid(trace->cid),
+      [this, race, trace, start, done_shared,
+       fail_if_both_missed](dht::LookupResult result) {
+        race->walk_done = true;
+        if (race->fetching) return;
+        if (!result.providers.empty()) {
+          race->fetching = true;
+          trace->provider_walk = network_.simulator().now() - start;
+          finish_retrieval(trace, result.providers.front().provider,
+                           network_.simulator().now(), *done_shared);
+          return;
+        }
+        fail_if_both_missed();
+      });
+}
+
+void IpfsNode::finish_retrieval(std::shared_ptr<RetrievalTrace> trace,
+                                const dht::PeerRef& provider,
+                                sim::Time phase_start,
+                                std::function<void(RetrievalTrace)> done) {
+  // Phase 3: peer discovery. Use the provider's address if the record
+  // carried one or the address book knows it; otherwise DHT walk #2.
+  dht::PeerRef resolved = provider;
+  if (resolved.node == sim::kInvalidNode) {
+    if (const auto known = address_book_.find(provider.id)) {
+      resolved = *known;
+    }
+  }
+
+  if (resolved.node != sim::kInvalidNode) {
+    address_book_.insert(resolved);
+    fetch_from(trace, resolved.node, std::move(done));
+    return;
+  }
+
+  trace->used_peer_walk = true;
+  dht_.find_peer(provider.id,
+                 [this, trace, phase_start, done = std::move(done)](
+                     std::optional<dht::PeerRef> peer,
+                     dht::LookupResult) {
+                   trace->peer_walk =
+                       network_.simulator().now() - phase_start;
+                   if (!peer) {
+                     trace->total =
+                         network_.simulator().now() - retrieval_started_;
+                     done(*trace);
+                     return;
+                   }
+                   address_book_.insert(*peer);
+                   fetch_from(trace, peer->node, std::move(done));
+                 });
+}
+
+void IpfsNode::fetch_from(std::shared_ptr<RetrievalTrace> trace,
+                          sim::NodeId peer,
+                          std::function<void(RetrievalTrace)> done) {
+  // Phase 4: peer routing (dial + negotiate), then content exchange.
+  const sim::Time dial_start = network_.simulator().now();
+  network_.connect(
+      node_, peer,
+      [this, trace, peer, dial_start,
+       done = std::move(done)](bool ok, sim::Duration elapsed) {
+        if (!ok) {
+          trace->total = network_.simulator().now() - retrieval_started_;
+          done(*trace);
+          return;
+        }
+        // Split the handshake into its transport (Dial) and security/mux
+        // (Negotiate) parts by round-trip share — Equation 2 needs both.
+        const int round_trips =
+            sim::handshake_round_trips(network_.config(peer).transport);
+        trace->dial = elapsed / round_trips;
+        trace->negotiate = elapsed - trace->dial;
+        conn_manager_.protect(peer);
+        (void)dial_start;
+
+        const sim::Time fetch_start = network_.simulator().now();
+        bitswap_.fetch_dag(
+            peer, trace->cid,
+            [this, trace, peer, fetch_start,
+             done = std::move(done)](bitswap::FetchStats stats) {
+              conn_manager_.unprotect(peer);
+              trace->provider_node = peer;
+              trace->fetch = network_.simulator().now() - fetch_start;
+              trace->bytes = stats.bytes;
+              trace->ok = stats.ok;
+              trace->total =
+                  network_.simulator().now() - retrieval_started_;
+              if (trace->ok && config_.provide_after_fetch) {
+                // Become a temporary provider (Section 3.1), without
+                // affecting the measured retrieval.
+                store_.pin(trace->cid);
+                dht_.provide(dht::Key::for_cid(trace->cid),
+                             [](dht::DhtNode::ProvideResult) {});
+              }
+              done(*trace);
+            });
+      });
+}
+
+void IpfsNode::reset_for_next_measurement() {
+  conn_manager_.disconnect_all();
+  // Forget cached addresses so peer discovery exercises the DHT again
+  // (the paper's controlled nodes disconnect between iterations for the
+  // same reason, Section 4.3).
+  address_book_ = AddressBook(address_book_.capacity());
+}
+
+void IpfsNode::disconnect_from(sim::NodeId peer) {
+  network_.disconnect(node_, peer);
+}
+
+void IpfsNode::forget_peer_addresses() {
+  address_book_ = AddressBook(address_book_.capacity());
+}
+
+}  // namespace ipfs::node

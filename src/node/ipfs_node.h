@@ -1,0 +1,157 @@
+// The full IPFS node: block store + Merkle-DAG + Kademlia DHT + Bitswap,
+// with the address book and connection manager on top. Implements the
+// paper's publication pipeline (Section 3.1, steps 1-3 of Figure 3) and
+// the four-phase retrieval pipeline (Section 3.2, steps 4-6), capturing
+// per-phase timing traces for the Figure 9/10 experiments.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "bitswap/bitswap.h"
+#include "blockstore/blockstore.h"
+#include "crypto/ed25519.h"
+#include "dht/dht_node.h"
+#include "merkledag/merkledag.h"
+#include "node/address_book.h"
+#include "node/connection_manager.h"
+
+namespace ipfs::node {
+
+using multiformats::Cid;
+
+struct IpfsNodeConfig {
+  sim::NodeConfig net;
+  ConnManagerConfig conn_manager;
+  std::uint64_t identity_seed = 0;
+  // Become a temporary provider after a successful retrieval
+  // (Section 3.1: "any peer that later retrieves the data becomes a
+  // temporary content provider themselves").
+  bool provide_after_fetch = true;
+  // Bitswap discovery window before falling back to the DHT.
+  sim::Duration bitswap_timeout = bitswap::kDiscoveryTimeout;
+  // Skip the remainder of the Bitswap window once every connected peer
+  // answered DONT_HAVE (the optimization discussed in Section 6.4).
+  bool bitswap_early_exit = false;
+  // Launch the DHT provider walk in parallel with the Bitswap window
+  // instead of after it — the paper's proposed future-work optimization
+  // ("running DHT lookups in parallel to Bitswap could be superior, by
+  // trading additional network requests for faster retrieval times").
+  bool parallel_dht_lookup = false;
+};
+
+// Timing decomposition of one publication (Figure 9a-c).
+struct PublishTrace {
+  bool ok = false;
+  Cid cid;
+  sim::Duration walk = 0;       // DHT walk to the 20 closest peers (9b)
+  sim::Duration rpc_batch = 0;  // provider-record store batch (9c)
+  sim::Duration total = 0;      // (9a)
+  int provider_records_sent = 0;
+};
+
+// Timing decomposition of one retrieval (Figures 9d-f and 10).
+struct RetrievalTrace {
+  bool ok = false;
+  Cid cid;
+  bool local_hit = false;
+  bool bitswap_hit = false;
+  bool used_peer_walk = false;  // address book missed; second walk needed
+
+  sim::Duration bitswap_discovery = 0;  // opportunistic phase (<= 1 s)
+  sim::Duration provider_walk = 0;      // DHT walk #1: provider record
+  sim::Duration peer_walk = 0;          // DHT walk #2: peer record
+  sim::Duration dial = 0;               // transport handshake (TCP-equivalent)
+  sim::Duration negotiate = 0;          // security/mux (TLS-equivalent)
+  sim::Duration fetch = 0;              // Bitswap content exchange (9f)
+  sim::Duration total = 0;              // (9d)
+  std::uint64_t bytes = 0;
+  // The peer the content was fetched from (for connection management).
+  sim::NodeId provider_node = sim::kInvalidNode;
+
+  sim::Duration dht_walks() const { return provider_walk + peer_walk; }  // 9e
+  sim::Duration discover() const {
+    return bitswap_discovery + provider_walk + peer_walk;
+  }
+
+  // Retrieval stretch vs. an HTTPS GET of the same object (Equation 2).
+  double stretch() const;
+  // Stretch with the initial Bitswap window excluded (Figure 10b).
+  double stretch_without_bitswap() const;
+};
+
+class IpfsNode {
+ public:
+  IpfsNode(sim::Network& network, const IpfsNodeConfig& config);
+
+  // Joins the network (Section 2.2-2.3): dials the bootstrap peers, runs
+  // AutoNAT, and populates the routing table via a self-lookup.
+  void bootstrap(std::vector<dht::PeerRef> seeds,
+                 std::function<void(bool)> done);
+
+  // Imports content locally (step 1 of Figure 3): chunk, hash, build the
+  // Merkle DAG. No network activity.
+  merkledag::ImportResult add(std::span<const std::uint8_t> data);
+
+  // Announces a locally stored object (steps 2-3): walk to the 20 closest
+  // peers, then fire-and-forget provider records. Registers the CID for
+  // 12 h republication. `max_records` caps how many of the closest peers
+  // receive the record (k = 20 by default; the replication ablation bench
+  // sweeps this).
+  void provide(const Cid& cid, std::function<void(PublishTrace)> done,
+               std::size_t max_records = dht::kReplication);
+
+  // add() + provide() in one call.
+  void publish(std::span<const std::uint8_t> data,
+               std::function<void(PublishTrace)> done);
+
+  // The four-phase retrieval (steps 4-6): opportunistic Bitswap, provider
+  // discovery, peer discovery, peer routing, content exchange.
+  void retrieve(const Cid& cid, std::function<void(RetrievalTrace)> done);
+
+  // Experiment-harness helper (Section 4.3): drop every connection and
+  // forget cached peer addresses so the next retrieval exercises the DHT.
+  void reset_for_next_measurement();
+
+  // Softer variants used between measurement iterations: the paper's
+  // nodes disconnect from each other (so Bitswap cannot resolve the next
+  // object) but keep their ambient DHT connections.
+  void disconnect_from(sim::NodeId peer);
+  void forget_peer_addresses();
+
+  dht::DhtNode& dht() { return dht_; }
+  bitswap::Bitswap& bitswap() { return bitswap_; }
+  blockstore::BlockStore& store() { return store_; }
+  AddressBook& address_book() { return address_book_; }
+  ConnectionManager& connection_manager() { return conn_manager_; }
+
+  sim::Network& network() { return network_; }
+  dht::PeerRef self() const { return dht_.self(); }
+  const crypto::Ed25519KeyPair& keypair() const { return keypair_; }
+  sim::NodeId node() const { return node_; }
+
+ private:
+  void retrieve_parallel(std::shared_ptr<RetrievalTrace> trace,
+                         std::function<void(RetrievalTrace)> done);
+  void finish_retrieval(std::shared_ptr<RetrievalTrace> trace,
+                        const dht::PeerRef& provider, sim::Time phase_start,
+                        std::function<void(RetrievalTrace)> done);
+  void fetch_from(std::shared_ptr<RetrievalTrace> trace, sim::NodeId peer,
+                  std::function<void(RetrievalTrace)> done);
+
+  static crypto::Ed25519KeyPair derive_keypair(std::uint64_t seed);
+
+  sim::Network& network_;
+  sim::NodeId node_;
+  IpfsNodeConfig config_;
+  crypto::Ed25519KeyPair keypair_;
+  blockstore::BlockStore store_;
+  dht::DhtNode dht_;
+  bitswap::Bitswap bitswap_;
+  AddressBook address_book_;
+  ConnectionManager conn_manager_;
+  sim::Time retrieval_started_ = 0;
+};
+
+}  // namespace ipfs::node

@@ -1,0 +1,48 @@
+// Pinning service (paper Section 3.1): "peers behind NATs cannot host
+// content themselves. Thus, third party hosts, commonly called pinning
+// services, are used to publish content on behalf of NAT'ed end-users."
+//
+// A pinning service wraps an always-on, publicly reachable IPFS node and
+// exposes a pin API: clients hand it content (or a CID to fetch), and the
+// service imports, pins, announces and keeps republishing it.
+#pragma once
+
+#include <functional>
+
+#include "node/ipfs_node.h"
+
+namespace ipfs::node {
+
+class PinningService {
+ public:
+  explicit PinningService(IpfsNode& node) : node_(node) {}
+
+  struct PinResult {
+    bool ok = false;
+    Cid cid;
+    sim::Duration publish_time = 0;
+    int provider_records = 0;
+  };
+
+  // Pins raw content uploaded by a client: import + pin + announce +
+  // schedule 12 h republishing.
+  void pin_bytes(std::span<const std::uint8_t> data,
+                 std::function<void(PinResult)> done);
+
+  // Pins existing network content by CID: retrieve it, then pin and
+  // announce from this service (the "pin by CID" API of real services).
+  void pin_cid(const Cid& cid, std::function<void(PinResult)> done);
+
+  void unpin(const Cid& cid);
+
+  std::size_t pinned_count() const { return pinned_; }
+  IpfsNode& node() { return node_; }
+
+ private:
+  void announce(const Cid& cid, std::function<void(PinResult)> done);
+
+  IpfsNode& node_;
+  std::size_t pinned_ = 0;
+};
+
+}  // namespace ipfs::node

@@ -1,0 +1,274 @@
+#include "sim/network.h"
+
+#include <cassert>
+
+namespace ipfs::sim {
+
+Duration dial_timeout(Transport transport) {
+  switch (transport) {
+    case Transport::kTcp:
+    case Transport::kQuic:
+      return seconds(5);  // transport-level dial timeout (paper Section 6.1)
+    case Transport::kWebSocket:
+      return seconds(45);  // websocket handshake timeout (paper Section 6.1)
+  }
+  return seconds(5);
+}
+
+int handshake_round_trips(Transport transport) {
+  switch (transport) {
+    case Transport::kTcp:
+      return 2;  // TCP + Noise/TLS1.3; muxer piggybacks on the last flight
+    case Transport::kQuic:
+      return 1;  // combined transport/crypto handshake
+    case Transport::kWebSocket:
+      return 3;  // TCP + TLS + HTTP upgrade
+  }
+  return 2;
+}
+
+LatencyModel::LatencyModel(std::vector<std::vector<double>> one_way_ms,
+                           double jitter_low, double jitter_high)
+    : matrix_(std::move(one_way_ms)),
+      jitter_low_(jitter_low),
+      jitter_high_(jitter_high) {
+  assert(!matrix_.empty());
+  for (const auto& row : matrix_) {
+    assert(row.size() == matrix_.size());
+    (void)row;
+  }
+}
+
+Duration LatencyModel::sample(int region_a, int region_b, Rng& rng) const {
+  const double base = matrix_[region_a][region_b];
+  const double jitter = rng.uniform(jitter_low_, jitter_high_);
+  return milliseconds(base * jitter);
+}
+
+Network::Network(Simulator& simulator, const LatencyModel& latency,
+                 std::uint64_t seed)
+    : simulator_(simulator), latency_(latency), rng_(Rng(seed).fork("network")) {}
+
+NodeId Network::add_node(const NodeConfig& config) {
+  assert(config.region >= 0 && config.region < latency_.regions());
+  nodes_.push_back(NodeState{config, true, 0, nullptr, nullptr, {}});
+  uplink_free_at_.push_back(0);
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Network::set_online(NodeId id, bool online) {
+  NodeState& node = nodes_[id];
+  if (node.online == online) return;
+  node.online = online;
+  if (!online) {
+    ++node.epoch;  // mute callbacks the node still has in flight
+    // Tear down connections from both sides.
+    const auto connections = node.connections;
+    for (const NodeId peer : connections) {
+      nodes_[peer].connections.erase(id);
+    }
+    node.connections.clear();
+  }
+}
+
+void Network::set_responsive(NodeId id, bool responsive) {
+  nodes_[id].config.responsive = responsive;
+}
+
+void Network::set_dialable(NodeId id, bool dialable) {
+  nodes_[id].config.dialable = dialable;
+}
+
+void Network::set_request_handler(NodeId id, RequestHandler handler) {
+  nodes_[id].request_handler = std::move(handler);
+}
+
+void Network::set_message_handler(NodeId id, MessageHandler handler) {
+  nodes_[id].message_handler = std::move(handler);
+}
+
+Duration Network::one_way(NodeId a, NodeId b) {
+  return latency_.sample(nodes_[a].config.region, nodes_[b].config.region,
+                         rng_);
+}
+
+Duration Network::sample_latency(NodeId a, NodeId b) { return one_way(a, b); }
+
+Duration Network::transfer_time(NodeId from, NodeId to,
+                                std::size_t bytes) const {
+  const double rate = std::min(nodes_[from].config.upload_bytes_per_sec,
+                               nodes_[to].config.download_bytes_per_sec);
+  return seconds(static_cast<double>(bytes) / rate);
+}
+
+Duration Network::queued_transfer_delay(NodeId from, NodeId to,
+                                        std::size_t bytes) {
+  const Duration service = transfer_time(from, to, bytes);
+  const Time start = std::max(simulator_.now(), uplink_free_at_[from]);
+  uplink_free_at_[from] = start + service;
+  return (start + service) - simulator_.now();
+}
+
+void Network::connect(NodeId from, NodeId to, DialCallback cb) {
+  assert(from != to);
+  ++dials_attempted_;
+  NodeState& src = nodes_[from];
+  if (!src.online) return;  // an offline node cannot observe anything
+
+  if (connected(from, to)) {
+    cb(true, 0);
+    return;
+  }
+
+  const NodeState& dst = nodes_[to];
+  const Transport transport = dst.config.transport;
+  const std::uint64_t epoch = src.epoch;
+  const Time start = simulator_.now();
+
+  // NAT'ed peers with a relay are reachable via the relay (DCUtR): the
+  // dial traverses both legs, then tries to hole-punch a direct path.
+  if (!dst.config.dialable && dst.online &&
+      dst.config.relay != kInvalidNode && nodes_[dst.config.relay].online) {
+    const NodeId relay = dst.config.relay;
+    const Duration via_relay =
+        (one_way(from, relay) + one_way(relay, to)) * 2 *
+        handshake_round_trips(transport);
+    const bool upgraded = rng_.chance(dst.config.dcutr_success_prob);
+    // A failed hole punch still yields a (relayed) connection; only the
+    // latency differs. Model both as a connection after the setup time,
+    // with an extra round of coordination when the punch succeeds.
+    const Duration setup =
+        via_relay + (upgraded ? one_way(from, to) * 2 : 0);
+    simulator_.schedule_after(setup, [this, from, to, epoch, cb, start] {
+      if (!callback_alive(from, epoch)) return;
+      if (!nodes_[to].online) {
+        ++dials_failed_;
+        cb(false, simulator_.now() - start);
+        return;
+      }
+      nodes_[from].connections.insert(to);
+      nodes_[to].connections.insert(from);
+      cb(true, simulator_.now() - start);
+    });
+    return;
+  }
+
+  if (!dst.online || !dst.config.dialable ||
+      !rng_.chance(dst.config.dial_success_prob)) {
+    ++dials_failed_;
+    // Offline-but-dialable hosts usually refuse quickly (RST / ICMP);
+    // NAT'ed and flaky targets hang until the transport gives up.
+    Duration fail_after =
+        dial_timeout(transport) +
+        milliseconds(rng_.uniform(20, 150));  // scheduler/teardown slack
+    if (!dst.online && dst.config.dialable &&
+        rng_.chance(kFastFailProbability)) {
+      fail_after = one_way(from, to) * 2;  // one round trip to the RST
+    }
+    simulator_.schedule_after(fail_after, [this, from, epoch, cb, start] {
+      if (!callback_alive(from, epoch)) return;
+      cb(false, simulator_.now() - start);
+    });
+    return;
+  }
+
+  const Duration rtt = one_way(from, to) * 2;
+  const Duration handshake = rtt * handshake_round_trips(transport);
+  simulator_.schedule_after(handshake, [this, from, to, epoch, cb, start] {
+    if (!callback_alive(from, epoch)) return;
+    if (!nodes_[to].online) {
+      // Peer churned out mid-handshake; surface as a (slow) failure.
+      ++dials_failed_;
+      cb(false, simulator_.now() - start);
+      return;
+    }
+    nodes_[from].connections.insert(to);
+    nodes_[to].connections.insert(from);
+    cb(true, simulator_.now() - start);
+  });
+}
+
+void Network::disconnect(NodeId from, NodeId to) {
+  nodes_[from].connections.erase(to);
+  nodes_[to].connections.erase(from);
+}
+
+bool Network::connected(NodeId a, NodeId b) const {
+  return nodes_[a].connections.contains(b);
+}
+
+std::vector<NodeId> Network::connections_of(NodeId id) const {
+  const auto& set = nodes_[id].connections;
+  return std::vector<NodeId>(set.begin(), set.end());
+}
+
+void Network::send(NodeId from, NodeId to, MessagePtr message,
+                   std::size_t bytes) {
+  if (!nodes_[from].online || !connected(from, to)) return;
+  const Duration delay =
+      one_way(from, to) + queued_transfer_delay(from, to, bytes);
+  simulator_.schedule_after(delay, [this, from, to, message = std::move(message)] {
+    const NodeState& dst = nodes_[to];
+    if (!dst.online || !dst.config.responsive) return;
+    ++messages_delivered_;
+    if (dst.message_handler) dst.message_handler(from, message);
+  });
+}
+
+void Network::request(NodeId from, NodeId to, MessagePtr request,
+                      std::size_t request_bytes, Duration timeout,
+                      ResponseCallback cb) {
+  NodeState& src = nodes_[from];
+  if (!src.online) return;
+  if (!connected(from, to)) {
+    cb(RpcStatus::kUnreachable, nullptr);
+    return;
+  }
+
+  const std::uint64_t request_id = next_request_id_++;
+  PendingRequest pending;
+  pending.from = from;
+  pending.from_epoch = src.epoch;
+  pending.cb = std::move(cb);
+  pending.timeout_timer =
+      simulator_.schedule_after(timeout, [this, request_id] {
+        const auto it = pending_.find(request_id);
+        if (it == pending_.end()) return;
+        PendingRequest entry = std::move(it->second);
+        pending_.erase(it);
+        if (!callback_alive(entry.from, entry.from_epoch)) return;
+        entry.cb(RpcStatus::kTimeout, nullptr);
+      });
+  pending_.emplace(request_id, std::move(pending));
+
+  const Duration delay =
+      one_way(from, to) + queued_transfer_delay(from, to, request_bytes);
+  simulator_.schedule_after(
+      delay, [this, from, to, request_id, request = std::move(request)] {
+        const NodeState& dst = nodes_[to];
+        // Offline or stalled peers swallow the request; the timeout fires.
+        if (!dst.online || !dst.config.responsive || !dst.request_handler)
+          return;
+        ++messages_delivered_;
+        auto respond = [this, to, from, request_id](MessagePtr response,
+                                                    std::size_t bytes) {
+          // Response travels back if the responder is still online.
+          if (!nodes_[to].online) return;
+          const Duration back =
+              one_way(to, from) + queued_transfer_delay(to, from, bytes);
+          simulator_.schedule_after(
+              back, [this, request_id, response = std::move(response)] {
+                const auto it = pending_.find(request_id);
+                if (it == pending_.end()) return;  // already timed out
+                PendingRequest entry = std::move(it->second);
+                pending_.erase(it);
+                entry.timeout_timer.cancel();
+                if (!callback_alive(entry.from, entry.from_epoch)) return;
+                entry.cb(RpcStatus::kOk, response);
+              });
+        };
+        dst.request_handler(from, request, std::move(respond));
+      });
+}
+
+}  // namespace ipfs::sim

@@ -1,0 +1,197 @@
+// Message-level network fabric for the simulator.
+//
+// Models the parts of the real Internet the paper's measurements depend on:
+//   - per-region one-way latencies with jitter (a global RTT matrix),
+//   - bandwidth-limited transfers (publication is size-independent, content
+//     fetch is not),
+//   - dial + security/mux negotiation handshakes per transport, with the
+//     transport-specific timeouts that produce the 5 s and 45 s spikes in
+//     paper Figure 9c,
+//   - NAT'ed (undialable) peers and unresponsive peers,
+//   - connection state (Bitswap broadcasts to *connected* peers only).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace ipfs::sim {
+
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = 0xffffffffu;
+
+enum class Transport { kTcp, kQuic, kWebSocket };
+
+// Dial timeout observed by a peer trying to reach an unresponsive address
+// (paper Section 6.1: 5 s TCP/QUIC dial timeouts, 45 s WebSocket handshake).
+Duration dial_timeout(Transport transport);
+
+// Dials to a churned-out peer usually fail fast (the host answers with a
+// TCP RST or an ICMP unreachable); only a minority hang until the
+// transport timeout. NAT'ed peers always hang: their packets vanish.
+constexpr double kFastFailProbability = 0.7;
+
+// Round trips needed to establish a secured, multiplexed connection.
+int handshake_round_trips(Transport transport);
+
+struct NodeConfig {
+  int region = 0;
+  bool dialable = true;      // false models NAT'ed peers (DHT clients)
+  bool responsive = true;    // false models stalled peers that never reply
+  Transport transport = Transport::kTcp;
+  double upload_bytes_per_sec = 4.0 * 1024 * 1024;
+  double download_bytes_per_sec = 12.0 * 1024 * 1024;
+  // Probability that a dial to this (online, dialable) peer succeeds.
+  // Below 1.0 models flaky reachability: overloaded hosts, half-broken
+  // NAT setups, relay addresses. Failed dials hang until the transport
+  // timeout — the mechanism behind the 5 s / 45 s spikes in Figure 9c.
+  double dial_success_prob = 1.0;
+  // Relay support for NAT'ed peers (DCUtR, the hole-punching upgrade the
+  // paper notes as under test). kInvalidNode = no relay: dials to an
+  // undialable peer simply time out. With a relay, dials reach the peer
+  // through it (both legs' latency), then attempt a hole-punched direct
+  // upgrade that succeeds with dcutr_success_prob.
+  std::uint32_t relay = 0xffffffffu;  // NodeId of the relay, if any
+  double dcutr_success_prob = 0.7;
+};
+
+// Base class for all protocol messages exchanged over the fabric.
+class Message {
+ public:
+  virtual ~Message() = default;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+enum class RpcStatus { kOk, kTimeout, kUnreachable };
+
+using ResponseCallback = std::function<void(RpcStatus, MessagePtr)>;
+// respond() may be invoked at most once, synchronously or later.
+using RequestHandler = std::function<void(
+    NodeId from, const MessagePtr& request,
+    std::function<void(MessagePtr, std::size_t bytes)> respond)>;
+using MessageHandler =
+    std::function<void(NodeId from, const MessagePtr& message)>;
+using DialCallback = std::function<void(bool ok, Duration elapsed)>;
+
+// One-way latency model over a region matrix (milliseconds), with
+// multiplicative jitter per sample.
+class LatencyModel {
+ public:
+  LatencyModel(std::vector<std::vector<double>> one_way_ms,
+               double jitter_low = 0.95, double jitter_high = 1.25);
+
+  Duration sample(int region_a, int region_b, Rng& rng) const;
+  int regions() const { return static_cast<int>(matrix_.size()); }
+
+ private:
+  std::vector<std::vector<double>> matrix_;
+  double jitter_low_;
+  double jitter_high_;
+};
+
+class Network {
+ public:
+  Network(Simulator& simulator, const LatencyModel& latency,
+          std::uint64_t seed);
+
+  NodeId add_node(const NodeConfig& config);
+  std::size_t node_count() const { return nodes_.size(); }
+
+  const NodeConfig& config(NodeId id) const { return nodes_[id].config; }
+  bool online(NodeId id) const { return nodes_[id].online; }
+
+  // Toggles liveness. Going offline tears down all connections and mutes
+  // any pending callbacks owned by the node.
+  void set_online(NodeId id, bool online);
+  void set_responsive(NodeId id, bool responsive);
+  void set_dialable(NodeId id, bool dialable);
+
+  void set_request_handler(NodeId id, RequestHandler handler);
+  void set_message_handler(NodeId id, MessageHandler handler);
+
+  // Establishes a connection (dial + negotiate). Invokes cb exactly once:
+  // immediately if already connected, after the handshake on success, or
+  // after the transport's dial timeout on failure.
+  void connect(NodeId from, NodeId to, DialCallback cb);
+  void disconnect(NodeId from, NodeId to);
+  bool connected(NodeId a, NodeId b) const;
+  std::vector<NodeId> connections_of(NodeId id) const;
+
+  // One-shot datagram over an established connection ("fire and forget").
+  // Silently dropped if the connection is gone or the receiver is offline.
+  void send(NodeId from, NodeId to, MessagePtr message, std::size_t bytes);
+
+  // Request/response over an established connection. The callback fires
+  // exactly once unless the requester goes offline first.
+  void request(NodeId from, NodeId to, MessagePtr request,
+               std::size_t request_bytes, Duration timeout,
+               ResponseCallback cb);
+
+  // Sampled one-way latency between two nodes (for tests / diagnostics).
+  Duration sample_latency(NodeId a, NodeId b);
+
+  // Transfer time of `bytes` between the pair, excluding latency and
+  // queueing.
+  Duration transfer_time(NodeId from, NodeId to, std::size_t bytes) const;
+
+  // Transfer delay including sender-uplink queueing: concurrent
+  // transfers from one node serialize on its uplink (so fetching many
+  // blocks from a single provider is bottlenecked by that provider,
+  // while multi-path sessions aggregate bandwidth across providers).
+  Duration queued_transfer_delay(NodeId from, NodeId to, std::size_t bytes);
+
+  Simulator& simulator() { return simulator_; }
+  Rng& rng() { return rng_; }
+
+  // Counters for tests and benches.
+  std::uint64_t messages_delivered() const { return messages_delivered_; }
+  std::uint64_t dials_attempted() const { return dials_attempted_; }
+  std::uint64_t dials_failed() const { return dials_failed_; }
+
+ private:
+  struct NodeState {
+    NodeConfig config;
+    bool online = true;
+    // Epoch increments when the node goes offline; callbacks captured under
+    // an older epoch are muted.
+    std::uint64_t epoch = 0;
+    RequestHandler request_handler;
+    MessageHandler message_handler;
+    std::unordered_set<NodeId> connections;
+  };
+
+  struct PendingRequest {
+    NodeId from;
+    std::uint64_t from_epoch;
+    ResponseCallback cb;
+    Timer timeout_timer;
+  };
+
+  bool callback_alive(NodeId id, std::uint64_t epoch) const {
+    return nodes_[id].online && nodes_[id].epoch == epoch;
+  }
+
+  Duration one_way(NodeId a, NodeId b);
+
+  Simulator& simulator_;
+  const LatencyModel& latency_;
+  Rng rng_;
+  std::vector<NodeState> nodes_;
+  std::vector<Time> uplink_free_at_;  // per-node uplink availability
+  std::unordered_map<std::uint64_t, PendingRequest> pending_;
+  std::uint64_t next_request_id_ = 1;
+  std::uint64_t messages_delivered_ = 0;
+  std::uint64_t dials_attempted_ = 0;
+  std::uint64_t dials_failed_ = 0;
+};
+
+}  // namespace ipfs::sim

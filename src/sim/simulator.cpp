@@ -1,0 +1,80 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <limits>
+
+namespace ipfs::sim {
+
+void Timer::cancel() {
+  if (!state_ || !state_->alive) return;
+  state_->alive = false;
+  if (!state_->daemon && state_->simulator != nullptr)
+    --state_->simulator->foreground_pending_;
+}
+
+bool Timer::active() const { return state_ && state_->alive; }
+
+Timer Simulator::schedule_event(Time when, std::function<void()> fn,
+                                bool daemon) {
+  assert(when >= now_ && "cannot schedule into the past");
+  auto state = std::make_shared<Timer::State>();
+  state->daemon = daemon;
+  state->simulator = this;
+  queue_.push(Event{when, next_sequence_++, std::move(fn), state});
+  if (!daemon) ++foreground_pending_;
+  return Timer(std::move(state));
+}
+
+Timer Simulator::schedule_at(Time when, std::function<void()> fn) {
+  return schedule_event(when, std::move(fn), /*daemon=*/false);
+}
+
+Timer Simulator::schedule_after(Duration delay, std::function<void()> fn) {
+  return schedule_event(now_ + delay, std::move(fn), /*daemon=*/false);
+}
+
+Timer Simulator::schedule_daemon_at(Time when, std::function<void()> fn) {
+  return schedule_event(when, std::move(fn), /*daemon=*/true);
+}
+
+Timer Simulator::schedule_daemon_after(Duration delay,
+                                       std::function<void()> fn) {
+  return schedule_event(now_ + delay, std::move(fn), /*daemon=*/true);
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    if (!event.state->alive) continue;  // cancelled
+    event.state->alive = false;         // consumed
+    if (!event.state->daemon) --foreground_pending_;
+    now_ = event.when;
+    event.fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::run() {
+  // Run until only daemon events (periodic maintenance) remain.
+  std::uint64_t executed = 0;
+  while (foreground_pending_ > 0) {
+    if (!step()) break;
+    ++executed;
+  }
+  return executed;
+}
+
+std::uint64_t Simulator::run_until(Time deadline) {
+  std::uint64_t executed = 0;
+  while (!queue_.empty()) {
+    if (queue_.top().when > deadline) break;
+    if (step()) ++executed;
+  }
+  if (now_ < deadline && deadline != std::numeric_limits<Time>::max())
+    now_ = deadline;
+  return executed;
+}
+
+}  // namespace ipfs::sim

@@ -1,0 +1,83 @@
+// Discrete-event scheduler driving all simulated IPFS activity.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ipfs::sim {
+
+class Simulator;
+
+// Handle for cancelling a scheduled event.
+class Timer {
+ public:
+  Timer() = default;
+
+  void cancel();
+  bool active() const;
+
+ private:
+  friend class Simulator;
+  struct State {
+    bool alive = true;
+    bool daemon = false;
+    Simulator* simulator = nullptr;
+  };
+  explicit Timer(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Simulator {
+ public:
+  Time now() const { return now_; }
+
+  Timer schedule_at(Time when, std::function<void()> fn);
+  Timer schedule_after(Duration delay, std::function<void()> fn);
+
+  // Daemon events (periodic maintenance: record expiry sweeps, churn
+  // transitions, republishes) do not keep run() alive: run() returns once
+  // only daemon events remain. run_until() executes them normally.
+  Timer schedule_daemon_at(Time when, std::function<void()> fn);
+  Timer schedule_daemon_after(Duration delay, std::function<void()> fn);
+
+  // Runs until no live non-daemon event remains. Returns events executed.
+  std::uint64_t run();
+
+  // Runs every event (daemons included) up to `deadline`, then advances
+  // the clock to it.
+  std::uint64_t run_until(Time deadline);
+
+  // Executes the single next event; false if the queue is empty.
+  bool step();
+
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  friend class Timer;
+
+  struct Event {
+    Time when;
+    std::uint64_t sequence;  // FIFO tie-break for equal timestamps
+    std::function<void()> fn;
+    std::shared_ptr<Timer::State> state;
+
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return sequence > other.sequence;
+    }
+  };
+
+  Timer schedule_event(Time when, std::function<void()> fn, bool daemon);
+
+  Time now_ = 0;
+  std::uint64_t next_sequence_ = 0;
+  std::size_t foreground_pending_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+}  // namespace ipfs::sim

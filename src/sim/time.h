@@ -1,0 +1,27 @@
+// Simulated time. All simulator timestamps are integer microseconds from
+// the start of the run; helpers convert from human units.
+#pragma once
+
+#include <cstdint>
+
+namespace ipfs::sim {
+
+using Time = std::int64_t;      // microseconds since simulation start
+using Duration = std::int64_t;  // microseconds
+
+constexpr Duration microseconds(std::int64_t us) { return us; }
+constexpr Duration milliseconds(double ms) {
+  return static_cast<Duration>(ms * 1e3);
+}
+constexpr Duration seconds(double s) { return static_cast<Duration>(s * 1e6); }
+constexpr Duration minutes(double m) {
+  return static_cast<Duration>(m * 60e6);
+}
+constexpr Duration hours(double h) {
+  return static_cast<Duration>(h * 3600e6);
+}
+
+constexpr double to_seconds(Duration d) { return static_cast<double>(d) / 1e6; }
+constexpr double to_millis(Duration d) { return static_cast<double>(d) / 1e3; }
+
+}  // namespace ipfs::sim

@@ -1,0 +1,151 @@
+#include "world/geography.h"
+
+#include <cmath>
+
+namespace ipfs::world {
+
+std::string_view region_name(int region) {
+  switch (region) {
+    case kUsEast:
+      return "us_east";
+    case kUsWest:
+      return "us_west_1";
+    case kEuCentral:
+      return "eu_central_1";
+    case kAsiaEast:
+      return "asia_east";
+    case kApSoutheast:
+      return "ap_southeast_2";
+    case kSaEast:
+      return "sa_east_1";
+    case kAfSouth:
+      return "af_south_1";
+    case kMeSouth:
+      return "me_south_1";
+  }
+  return "unknown";
+}
+
+sim::LatencyModel default_latency_model() {
+  // One-way latencies in ms, symmetric, loosely based on public
+  // inter-region RTT measurements (half-RTT plus last-mile access delay).
+  //           us_e us_w  eu  as_e ap_se sa_e af_s me_s
+  const std::vector<std::vector<double>> ms = {
+      {12, 35, 45, 90, 100, 60, 120, 95},    // us_east
+      {35, 12, 70, 60, 75, 90, 140, 110},    // us_west
+      {45, 70, 12, 110, 140, 100, 80, 55},   // eu_central
+      {90, 60, 110, 15, 55, 150, 150, 90},   // asia_east
+      {100, 75, 140, 55, 12, 160, 135, 85},  // ap_southeast
+      {60, 90, 100, 150, 160, 12, 170, 140}, // sa_east
+      {120, 140, 80, 150, 135, 170, 15, 105},// af_south
+      {95, 110, 55, 90, 85, 140, 105, 12},   // me_south
+  };
+  return sim::LatencyModel(ms, 0.9, 1.35);
+}
+
+const std::vector<CountrySpec>& countries() {
+  // peer_share: Figure 5; uptime medians: Figure 8 (HK 24.2 min, DE about
+  // double that); gateway_user_share: Figure 6 (US 50.4 %, CN 31.9 %,
+  // HK 6.6 %, CA 4.6 %, JP 1.7 %).
+  static const std::vector<CountrySpec> kCountries = {
+      {"US", 0.285, kUsEast, 45.0, 0.504},
+      {"CN", 0.242, kAsiaEast, 30.0, 0.319},
+      {"FR", 0.083, kEuCentral, 42.0, 0.004},
+      {"TW", 0.072, kAsiaEast, 33.0, 0.003},
+      {"KR", 0.067, kAsiaEast, 38.0, 0.004},
+      {"HK", 0.045, kAsiaEast, 24.2, 0.066},
+      {"BR", 0.040, kSaEast, 34.0, 0.002},
+      {"DE", 0.035, kEuCentral, 48.4, 0.006},
+      {"JP", 0.020, kAsiaEast, 40.0, 0.017},
+      {"GB", 0.020, kEuCentral, 44.0, 0.005},
+      {"CA", 0.015, kUsEast, 47.0, 0.046},
+      {"RU", 0.015, kEuCentral, 33.0, 0.002},
+      {"NL", 0.013, kEuCentral, 50.0, 0.003},
+      {"AU", 0.010, kApSoutheast, 43.0, 0.002},
+      {"PL", 0.008, kEuCentral, 40.0, 0.001},
+      {"ZA", 0.008, kAfSouth, 34.0, 0.001},
+      {"SG", 0.007, kApSoutheast, 44.0, 0.002},
+      {"IN", 0.007, kMeSouth, 30.0, 0.002},
+      {"AE", 0.005, kMeSouth, 36.0, 0.001},
+      // The remaining ~130 countries of Section 5.1, folded into one
+      // bucket so shares sum to exactly 1.
+      {"OTHER", 0.003, kEuCentral, 36.0, 0.014},
+  };
+  return kCountries;
+}
+
+int country_index(std::string_view code) {
+  const auto& list = countries();
+  for (std::size_t i = 0; i < list.size(); ++i)
+    if (list[i].code == code) return static_cast<int>(i);
+  return -1;
+}
+
+const std::vector<AsSpec>& autonomous_systems() {
+  static const std::vector<AsSpec> kAses = [] {
+    std::vector<AsSpec> ases;
+    // Table 2: the five ASes holding >50 % of all observed IP addresses.
+    ases.push_back({4134, "CHINANET-BACKBONE", country_index("CN"), 50.0, 76});
+    ases.push_back({4837, "CHINA169-BACKBONE", country_index("CN"), 34.0, 160});
+    ases.push_back({4760, "HKTIMS-AP HKT Limited", country_index("HK"), 40.0,
+                    2976});
+    ases.push_back({26599, "TELEFONICA BRASIL", country_index("BR"), 30.0,
+                    6797});
+    ases.push_back({3462, "HINET Data Communication", country_index("TW"), 24.0,
+                    340});
+
+    // Power-law tail: enough ASes per country that the census finds
+    // ~2715 in total, with Zipf-ish weights inside each country.
+    const auto& country_list = countries();
+    std::uint32_t next_asn = 10000;
+    int next_rank = 10;
+    for (std::size_t c = 0; c < country_list.size(); ++c) {
+      const int as_count = std::max(
+          4, static_cast<int>(country_list[c].peer_share * 900));
+      for (int i = 0; i < as_count; ++i) {
+        AsSpec spec;
+        spec.asn = next_asn++;
+        spec.name = std::string(country_list[c].code) + "-AS" +
+                    std::to_string(i + 1);
+        spec.country = static_cast<int>(c);
+        // Zipf weight within the country; scaled well below the pinned
+        // heavy hitters.
+        spec.weight = 3.0 / std::pow(i + 2.0, 1.6);
+        spec.caida_rank = next_rank;
+        next_rank += 7;
+        ases.push_back(std::move(spec));
+      }
+    }
+    return ases;
+  }();
+  return kAses;
+}
+
+std::vector<std::size_t> ases_of_country(int country) {
+  std::vector<std::size_t> out;
+  const auto& all = autonomous_systems();
+  for (std::size_t i = 0; i < all.size(); ++i)
+    if (all[i].country == country) out.push_back(i);
+  return out;
+}
+
+const std::vector<CloudSpec>& cloud_providers() {
+  // Table 3, converted from IP-address counts to peer shares; total cloud
+  // share is about 2.3 % of all peers.
+  static const std::vector<CloudSpec> kClouds = {
+      {"Contabo GmbH", 0.0044},
+      {"Amazon AWS", 0.0039},
+      {"Microsoft Azure", 0.0033},
+      {"Digital Ocean", 0.0018},
+      {"Hetzner Online", 0.0013},
+      {"GZ Systems", 0.0008},
+      {"OVH", 0.0007},
+      {"Google Cloud", 0.0006},
+      {"Tencent Cloud", 0.0006},
+      {"Choopa, LLC. Cloud", 0.0005},
+      {"Other Clouds", 0.0050},
+  };
+  return kClouds;
+}
+
+}  // namespace ipfs::world

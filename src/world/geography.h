@@ -1,0 +1,75 @@
+// The synthetic "world" the simulated IPFS network lives in: latency
+// regions, countries with the paper's peer shares (Figure 5) and churn
+// profiles (Figure 8), autonomous systems (Table 2 / Figure 7d) and cloud
+// providers (Table 3).
+//
+// These marginals are inputs taken from the paper's published aggregates;
+// the measurement tooling (crawler, uptime prober, aggregators) must
+// *recover* them from DHT observations — that round trip is what the
+// deployment-scale benches validate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace ipfs::world {
+
+// Latency regions, including the paper's six AWS measurement regions.
+enum Region : int {
+  kUsEast = 0,
+  kUsWest = 1,       // us_west_1 (N. California)
+  kEuCentral = 2,    // eu_central_1 (Frankfurt)
+  kAsiaEast = 3,     // China/Taiwan/Korea/Japan/HK
+  kApSoutheast = 4,  // ap_southeast_2 (Sydney)
+  kSaEast = 5,       // sa_east_1 (São Paulo)
+  kAfSouth = 6,      // af_south_1 (Cape Town)
+  kMeSouth = 7,      // me_south_1 (Bahrain)
+  kRegionCount = 8,
+};
+
+std::string_view region_name(int region);
+
+// One-way inter-region latency matrix (milliseconds).
+sim::LatencyModel default_latency_model();
+
+struct CountrySpec {
+  std::string_view code;         // ISO-ish label used in figures
+  double peer_share;             // fraction of peers (Figure 5)
+  int region;                    // latency region
+  double uptime_median_minutes;  // session median (Figure 8)
+  double gateway_user_share;     // fraction of gateway users (Figure 6)
+};
+
+// Country table calibrated to Figures 5, 6 and 8. Shares sum to 1.
+const std::vector<CountrySpec>& countries();
+
+int country_index(std::string_view code);
+
+struct AsSpec {
+  std::uint32_t asn;
+  std::string name;
+  int country;      // index into countries()
+  double weight;    // relative IP mass within its country
+  int caida_rank;   // synthetic CAIDA-like rank
+};
+
+// AS catalog: the paper's Table 2 heavy hitters pinned explicitly, plus a
+// power-law tail per country (2715 ASes total, Section 5.2).
+const std::vector<AsSpec>& autonomous_systems();
+
+// Indices of the ASes of `country`, heaviest first.
+std::vector<std::size_t> ases_of_country(int country);
+
+struct CloudSpec {
+  std::string name;
+  double share_of_peers;  // fraction of ALL peers hosted here (Table 3)
+};
+
+// Cloud provider catalog (Table 3): ~2.3 % of peers total.
+const std::vector<CloudSpec>& cloud_providers();
+
+}  // namespace ipfs::world

@@ -1,0 +1,267 @@
+#include "world/world.h"
+
+#include <algorithm>
+
+#include "bitswap/bitswap.h"
+#include "crypto/sha256.h"
+
+namespace ipfs::world {
+
+multiformats::PeerId synthetic_peer_id(std::uint64_t n) {
+  std::uint8_t seed[9];
+  for (int i = 0; i < 8; ++i) seed[i] = static_cast<std::uint8_t>(n >> (8 * i));
+  seed[8] = 0x77;  // domain separation from other hash uses
+  const auto digest = crypto::sha256(std::span<const std::uint8_t>(seed, 9));
+  crypto::Ed25519PublicKey key;
+  std::copy(digest.begin(), digest.end(), key.begin());
+  return multiformats::PeerId::from_public_key(key);
+}
+
+World::World(const WorldConfig& config)
+    : config_(config),
+      latency_(default_latency_model()),
+      population_(generate_population(config.population,
+                                      sim::Rng(config.seed).fork("population"))),
+      rng_(sim::Rng(config.seed).fork("world")) {
+  network_ = std::make_unique<sim::Network>(simulator_, latency_, config.seed);
+  churn_ = std::make_unique<sim::ChurnProcess>(simulator_, *network_,
+                                               config.seed);
+  // Designate the first bootstrap_count peers as the canonical bootstrap
+  // nodes: stable, dialable, well provisioned, spread across regions.
+  const int bootstrap_regions[] = {kUsEast, kEuCentral, kUsWest,
+                                   kAsiaEast, kEuCentral, kUsEast};
+  for (std::size_t i = 0;
+       i < std::min(config_.bootstrap_count, population_.peers.size()); ++i) {
+    PeerProfile& peer = population_.peers[i];
+    peer.dialable = true;
+    peer.stable = true;
+    peer.transport = sim::Transport::kTcp;
+    peer.country = country_index(i % 2 == 0 ? "US" : "DE");
+    (void)bootstrap_regions;
+  }
+
+  build_nodes();
+  build_hydras();
+  seed_routing_tables();
+  if (config_.enable_churn) start_churn();
+}
+
+void World::build_nodes() {
+  const auto& country_list = countries();
+  dht_nodes_.reserve(population_.peers.size());
+  for (std::size_t i = 0; i < population_.peers.size(); ++i) {
+    const PeerProfile& peer = population_.peers[i];
+    sim::NodeConfig config;
+    config.region = country_list[peer.country].region;
+    config.dialable = peer.dialable;
+    config.transport = peer.transport;
+    config.dial_success_prob =
+        peer.stable ? 1.0 : config_.population.dial_success_prob;
+    if (!peer.dialable && config_.dcutr_share > 0.0 &&
+        rng_.chance(config_.dcutr_share)) {
+      // NAT'ed peer reachable through a relay (DCUtR extension).
+      config.relay = static_cast<sim::NodeId>(i % config_.bootstrap_count);
+    }
+    if (peer.stable) {
+      config.upload_bytes_per_sec = 40.0 * 1024 * 1024;
+      config.download_bytes_per_sec = 40.0 * 1024 * 1024;
+    } else {
+      config.upload_bytes_per_sec = rng_.uniform(1.0, 6.0) * 1024 * 1024;
+      config.download_bytes_per_sec = rng_.uniform(4.0, 16.0) * 1024 * 1024;
+    }
+
+    const sim::NodeId node = network_->add_node(config);
+    std::vector<multiformats::Multiaddr> addresses;
+    for (const auto& ip : peer.ips)
+      addresses.push_back(multiformats::make_tcp_multiaddr(ip, 4001));
+
+    auto dht = std::make_unique<dht::DhtNode>(*network_, node,
+                                              synthetic_peer_id(i),
+                                              std::move(addresses));
+    dht->force_mode(dht::DhtNode::Mode::kServer);
+    dht->attach_to_network();
+
+    // World peers also speak Bitswap: they hold no third-party content,
+    // so every probe gets a prompt DONT_HAVE (real peers answer rather
+    // than time out).
+    dht::DhtNode* dht_raw = dht.get();
+    network_->set_request_handler(
+        node, [this, dht_raw](sim::NodeId from, const sim::MessagePtr& message,
+                              auto respond) {
+          if (dht_raw->handle_request(from, message, respond)) return;
+          if (dynamic_cast<const bitswap::WantHaveRequest*>(message.get()) !=
+              nullptr) {
+            auto response = std::make_shared<bitswap::HaveResponse>();
+            response->have = false;
+            respond(std::move(response), 40);
+          } else if (dynamic_cast<const bitswap::WantBlockRequest*>(
+                         message.get()) != nullptr) {
+            respond(std::make_shared<bitswap::BlockResponse>(), 64);
+          }
+        });
+    dht_nodes_.push_back(std::move(dht));
+  }
+}
+
+void World::build_hydras() {
+  // Hydra boosters: each machine runs many always-on DHT server heads
+  // whose PeerIDs scatter across the key space, all answering from one
+  // shared record store. A record stored with any head becomes
+  // retrievable through every head.
+  for (std::size_t h = 0; h < config_.hydra_count; ++h) {
+    hydra_stores_.push_back(std::make_unique<dht::RecordStore>());
+    dht::RecordStore* shared = hydra_stores_.back().get();
+    for (std::size_t head = 0; head < config_.hydra_heads; ++head) {
+      sim::NodeConfig config;
+      config.region = static_cast<int>(h % kRegionCount);
+      config.dialable = true;
+      config.upload_bytes_per_sec = 100.0 * 1024 * 1024;
+      config.download_bytes_per_sec = 100.0 * 1024 * 1024;
+      const sim::NodeId node = network_->add_node(config);
+      const std::uint64_t identity =
+          0x48595200000000ULL + h * 4096 + head;  // 'HYR' prefix
+      auto dht = std::make_unique<dht::DhtNode>(
+          *network_, node, synthetic_peer_id(identity),
+          std::vector<multiformats::Multiaddr>{
+              multiformats::make_tcp_multiaddr("44.0.0.1", 4001)},
+          shared);
+      dht->force_mode(dht::DhtNode::Mode::kServer);
+      dht->attach_to_network();
+      dht_nodes_.push_back(std::move(dht));
+    }
+  }
+}
+
+void World::seed_routing_tables() {
+  // Pre-converge the swarm: fill each peer's k-buckets with structurally
+  // correct entries (peers at common-prefix-length b land in bucket b),
+  // as a long-running network's tables would look. Offline and NAT'ed
+  // peers are seeded too — the table staleness real lookups contend with.
+  struct Keyed {
+    std::array<std::uint8_t, 32> key;
+    std::uint32_t index;
+  };
+  std::vector<Keyed> sorted;
+  sorted.reserve(dht_nodes_.size());
+  for (std::size_t i = 0; i < dht_nodes_.size(); ++i) {
+    sorted.push_back(
+        {dht::Key::for_peer(dht_nodes_[i]->self().id).bytes(),
+         static_cast<std::uint32_t>(i)});
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Keyed& a, const Keyed& b) { return a.key < b.key; });
+
+  auto prefix_range = [&](const std::array<std::uint8_t, 32>& key, int bits) {
+    // [lo, hi) of sorted entries sharing the first `bits` bits of key.
+    std::array<std::uint8_t, 32> lo = key;
+    std::array<std::uint8_t, 32> hi = key;
+    for (int byte = 0; byte < 32; ++byte) {
+      const int bit_start = byte * 8;
+      for (int bit = 0; bit < 8; ++bit) {
+        if (bit_start + bit >= bits) {
+          lo[byte] &= static_cast<std::uint8_t>(0xff << (8 - bit));
+          hi[byte] |= static_cast<std::uint8_t>(0xff >> bit);
+          // Remaining bytes.
+          for (int rest = byte + 1; rest < 32; ++rest) {
+            lo[rest] = 0x00;
+            hi[rest] = 0xff;
+          }
+          byte = 32;  // break outer
+          break;
+        }
+      }
+    }
+    const auto lo_it = std::lower_bound(
+        sorted.begin(), sorted.end(), lo,
+        [](const Keyed& a, const std::array<std::uint8_t, 32>& b) {
+          return a.key < b;
+        });
+    const auto hi_it = std::upper_bound(
+        sorted.begin(), sorted.end(), hi,
+        [](const std::array<std::uint8_t, 32>& a, const Keyed& b) {
+          return a < b.key;
+        });
+    return std::pair<std::size_t, std::size_t>(lo_it - sorted.begin(),
+                                               hi_it - sorted.begin());
+  };
+
+  for (std::size_t i = 0; i < dht_nodes_.size(); ++i) {
+    const auto key = dht::Key::for_peer(dht_nodes_[i]->self().id).bytes();
+    auto& table = dht_nodes_[i]->routing_table();
+    std::size_t budget = config_.max_routing_entries;
+
+    // Deepest buckets first (closest neighbours matter most for
+    // correctness of closest-peer queries).
+    auto [lo_prev, hi_prev] = prefix_range(key, 0);
+    std::vector<std::pair<std::size_t, std::size_t>> levels;
+    levels.push_back({lo_prev, hi_prev});
+    for (int bits = 1; bits <= 256; ++bits) {
+      const auto range = prefix_range(key, bits);
+      levels.push_back(range);
+      if (range.second - range.first <= 1) break;
+    }
+
+    for (std::size_t depth = levels.size(); depth-- > 1 && budget > 0;) {
+      // Bucket (depth-1): shares depth-1 bits, differs at bit depth-1 =
+      // entries in levels[depth-1] but not in levels[depth].
+      const auto [outer_lo, outer_hi] = levels[depth - 1];
+      const auto [inner_lo, inner_hi] = levels[depth];
+      std::vector<std::uint32_t> candidates;
+      for (std::size_t j = outer_lo; j < outer_hi; ++j) {
+        if (j >= inner_lo && j < inner_hi) continue;
+        candidates.push_back(sorted[j].index);
+      }
+      if (candidates.empty()) continue;
+      const std::size_t take =
+          std::min({candidates.size(), dht::kBucketSize, budget});
+      // Uniform sample without replacement (partial Fisher-Yates).
+      for (std::size_t pick = 0; pick < take; ++pick) {
+        const std::size_t swap_with = pick + static_cast<std::size_t>(
+            rng_.uniform_int(0,
+                             static_cast<std::int64_t>(candidates.size() -
+                                                       pick) - 1));
+        std::swap(candidates[pick], candidates[swap_with]);
+        table.upsert(dht_nodes_[candidates[pick]]->self());
+        --budget;
+        if (budget == 0) break;
+      }
+    }
+  }
+}
+
+void World::start_churn() {
+  const double sigma = config_.population.session_sigma;
+  for (std::size_t i = 0; i < population_.peers.size(); ++i) {
+    const PeerProfile& peer = population_.peers[i];
+    if (peer.stable) continue;       // bootstrap/cloud peers stay up
+    if (!peer.dialable) continue;    // permanently unreachable either way
+    const double session_median = peer.session_median_minutes;
+    const double offline_median = peer.offline_median_minutes;
+    churn_->manage(
+        dht_nodes_[i]->node(),
+        [session_median, sigma](sim::Rng& rng) {
+          return sim::minutes(rng.lognormal_median(session_median, sigma));
+        },
+        [offline_median, sigma](sim::Rng& rng) {
+          return sim::minutes(
+              rng.lognormal_median(offline_median, sigma * 0.7));
+        });
+  }
+}
+
+std::vector<dht::PeerRef> World::bootstrap_refs() const {
+  std::vector<dht::PeerRef> out;
+  for (std::size_t i = 0;
+       i < std::min(config_.bootstrap_count, dht_nodes_.size()); ++i)
+    out.push_back(dht_nodes_[i]->self());
+  return out;
+}
+
+double World::online_fraction() const {
+  std::size_t online = 0;
+  for (const auto& node : dht_nodes_)
+    if (network_->online(node->node())) ++online;
+  return static_cast<double>(online) / static_cast<double>(dht_nodes_.size());
+}
+
+}  // namespace ipfs::world

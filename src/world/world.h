@@ -1,0 +1,88 @@
+// The assembled world: a simulated IPFS swarm with realistic geography,
+// churn, NAT'ed peers and pre-converged Kademlia routing tables. This is
+// the stand-in for the live public network the paper measures.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dht/dht_node.h"
+#include "sim/churn.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "world/population.h"
+
+namespace ipfs::world {
+
+struct WorldConfig {
+  PopulationConfig population;
+  std::uint64_t seed = 42;
+  bool enable_churn = true;
+  std::size_t bootstrap_count = 6;  // the canonical bootstrap peers
+  // Memory cap on pre-seeded routing entries per peer.
+  std::size_t max_routing_entries = 192;
+  // Share of NAT'ed peers that run the DCUtR relay/hole-punching upgrade
+  // (the paper's Section 3.1 notes it as under test; 0 reproduces the
+  // paper's world). Relays are the bootstrap peers.
+  double dcutr_share = 0.0;
+  // Hydra boosters (the paper's Section 8 future work): stable,
+  // well-provisioned machines each running `hydra_heads` DHT server
+  // identities over one shared record store. 0 reproduces the paper's
+  // measured world.
+  std::size_t hydra_count = 0;
+  std::size_t hydra_heads = 10;
+};
+
+// Deterministic PeerID for bulk simulation peers: identity-multihash
+// framing identical to Ed25519 PeerIDs, derived by hashing the index
+// (real key derivation would dominate world construction time).
+multiformats::PeerId synthetic_peer_id(std::uint64_t n);
+
+class World {
+ public:
+  explicit World(const WorldConfig& config);
+
+  sim::Simulator& simulator() { return simulator_; }
+  sim::Network& network() { return *network_; }
+  sim::ChurnProcess& churn() { return *churn_; }
+
+  std::size_t size() const { return dht_nodes_.size(); }
+  dht::DhtNode& dht(std::size_t i) { return *dht_nodes_[i]; }
+  const PeerProfile& profile(std::size_t i) const {
+    return population_.peers[i];
+  }
+  const GeoDatabase& geodb() const { return population_.geodb; }
+  dht::PeerRef ref(std::size_t i) const { return dht_nodes_[i]->self(); }
+
+  // The six well-known bootstrap peers (Section 2.2): stable, dialable,
+  // exempt from churn.
+  std::vector<dht::PeerRef> bootstrap_refs() const;
+
+  const WorldConfig& config() const { return config_; }
+  const sim::LatencyModel& latency_model() const { return latency_; }
+
+  // Fraction of world peers currently online (diagnostics).
+  double online_fraction() const;
+
+  // Peers added by the hydra extension (appended after the regular
+  // population; profile() is not valid for them).
+  std::size_t regular_peer_count() const { return population_.peers.size(); }
+
+ private:
+  void build_nodes();
+  void build_hydras();
+  void seed_routing_tables();
+  void start_churn();
+
+  WorldConfig config_;
+  sim::Simulator simulator_;
+  sim::LatencyModel latency_;
+  std::unique_ptr<sim::Network> network_;
+  Population population_;
+  std::vector<std::unique_ptr<dht::DhtNode>> dht_nodes_;
+  std::vector<std::unique_ptr<dht::RecordStore>> hydra_stores_;
+  std::unique_ptr<sim::ChurnProcess> churn_;
+  sim::Rng rng_;
+};
+
+}  // namespace ipfs::world

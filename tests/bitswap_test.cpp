@@ -1,0 +1,196 @@
+// Bitswap tests: WANT_HAVE/WANT_BLOCK exchange, block verification,
+// ledgers, DAG fetch, and the 1 s opportunistic-discovery window.
+#include <gtest/gtest.h>
+
+#include "bitswap/bitswap.h"
+#include "merkledag/merkledag.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace ipfs::bitswap {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+class BitswapTest : public ::testing::Test {
+ protected:
+  BitswapTest()
+      : latency_({{10.0}}, 1.0, 1.0), network_(sim_, latency_, 5) {
+    node_a_ = network_.add_node({.region = 0});
+    node_b_ = network_.add_node({.region = 0});
+    bitswap_a_ = std::make_unique<Bitswap>(network_, node_a_, store_a_);
+    bitswap_b_ = std::make_unique<Bitswap>(network_, node_b_, store_b_);
+    attach(node_a_, *bitswap_a_);
+    attach(node_b_, *bitswap_b_);
+    network_.connect(node_a_, node_b_, [](bool, sim::Duration) {});
+    sim_.run();
+  }
+
+  void attach(sim::NodeId node, Bitswap& bitswap) {
+    network_.set_request_handler(
+        node, [&bitswap](sim::NodeId from, const sim::MessagePtr& message,
+                         auto respond) {
+          bitswap.handle_request(from, message, respond);
+        });
+  }
+
+  sim::Simulator sim_;
+  sim::LatencyModel latency_;
+  sim::Network network_;
+  blockstore::BlockStore store_a_;
+  blockstore::BlockStore store_b_;
+  sim::NodeId node_a_ = 0;
+  sim::NodeId node_b_ = 0;
+  std::unique_ptr<Bitswap> bitswap_a_;
+  std::unique_ptr<Bitswap> bitswap_b_;
+};
+
+TEST_F(BitswapTest, FetchBlockTransfersAndVerifies) {
+  const auto block = blockstore::Block::from_data(
+      multiformats::Multicodec::kRaw, random_bytes(1000, 1));
+  store_b_.put(block);
+
+  std::optional<blockstore::Block> fetched;
+  bitswap_a_->fetch_block(node_b_, block.cid,
+                          [&](std::optional<blockstore::Block> b) {
+                            fetched = std::move(b);
+                          });
+  sim_.run();
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(fetched->data, block.data);
+  EXPECT_TRUE(store_a_.has(block.cid));  // stored locally after fetch
+}
+
+TEST_F(BitswapTest, FetchMissingBlockReturnsNothing) {
+  const auto cid = multiformats::Cid::from_data(
+      multiformats::Multicodec::kRaw, random_bytes(10, 2));
+  bool called = false;
+  std::optional<blockstore::Block> fetched;
+  bitswap_a_->fetch_block(node_b_, cid,
+                          [&](std::optional<blockstore::Block> b) {
+                            called = true;
+                            fetched = std::move(b);
+                          });
+  sim_.run();
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(fetched.has_value());
+}
+
+TEST_F(BitswapTest, LedgersTrackExchangedBytes) {
+  const auto block = blockstore::Block::from_data(
+      multiformats::Multicodec::kRaw, random_bytes(2048, 3));
+  store_b_.put(block);
+  bitswap_a_->fetch_block(node_b_, block.cid,
+                          [](std::optional<blockstore::Block>) {});
+  sim_.run();
+  EXPECT_EQ(bitswap_a_->ledger_for(node_b_).bytes_received, 2048u);
+  EXPECT_EQ(bitswap_a_->ledger_for(node_b_).blocks_received, 1u);
+  EXPECT_EQ(bitswap_b_->ledger_for(node_a_).bytes_sent, 2048u);
+}
+
+TEST_F(BitswapTest, FetchDagReassemblesMultiChunkObject) {
+  const auto data = random_bytes(700 * 1024, 4);  // 3 chunks
+  const auto import = merkledag::import_bytes(store_b_, data);
+
+  FetchStats stats;
+  bitswap_a_->fetch_dag(node_b_, import.root,
+                        [&](FetchStats s) { stats = s; });
+  sim_.run();
+  EXPECT_TRUE(stats.ok);
+  EXPECT_EQ(stats.blocks, 4u);
+  EXPECT_EQ(merkledag::cat(store_a_, import.root), data);
+}
+
+TEST_F(BitswapTest, FetchDagFailsOnIncompleteRemote) {
+  const auto data = random_bytes(700 * 1024, 5);
+  const auto import = merkledag::import_bytes(store_b_, data);
+  const auto cids = merkledag::enumerate(store_b_, import.root);
+  store_b_.remove(cids->back());  // drop a leaf
+
+  FetchStats stats;
+  stats.ok = true;
+  bitswap_a_->fetch_dag(node_b_, import.root,
+                        [&](FetchStats s) { stats = s; });
+  sim_.run();
+  EXPECT_FALSE(stats.ok);
+}
+
+TEST_F(BitswapTest, DiscoveryFindsConnectedHolder) {
+  const auto block = blockstore::Block::from_data(
+      multiformats::Multicodec::kRaw, random_bytes(100, 6));
+  store_b_.put(block);
+
+  std::optional<sim::NodeId> holder;
+  const sim::Time start = sim_.now();
+  sim::Time end = 0;
+  bitswap_a_->discover(block.cid, kDiscoveryTimeout,
+                       [&](std::optional<sim::NodeId> h) {
+                         holder = h;
+                         end = sim_.now();
+                       });
+  sim_.run();
+  ASSERT_TRUE(holder.has_value());
+  EXPECT_EQ(*holder, node_b_);
+  EXPECT_LT(end - start, sim::seconds(1));  // HAVE arrives well before 1 s
+  EXPECT_EQ(bitswap_a_->discovery_hits(), 1u);
+}
+
+TEST_F(BitswapTest, DiscoveryMissWaitsFullTimeout) {
+  const auto cid = multiformats::Cid::from_data(
+      multiformats::Multicodec::kRaw, random_bytes(10, 7));
+  const sim::Time start = sim_.now();
+  sim::Time end = 0;
+  bitswap_a_->discover(cid, kDiscoveryTimeout,
+                       [&](std::optional<sim::NodeId> h) {
+                         EXPECT_FALSE(h.has_value());
+                         end = sim_.now();
+                       });
+  sim_.run();
+  // go-ipfs pays the full 1 s window (paper footnote 4).
+  EXPECT_EQ(end - start, kDiscoveryTimeout);
+}
+
+TEST_F(BitswapTest, DiscoveryMissWithEarlyExitReturnsSooner) {
+  const auto cid = multiformats::Cid::from_data(
+      multiformats::Multicodec::kRaw, random_bytes(10, 8));
+  const sim::Time start = sim_.now();
+  sim::Time end = 0;
+  bitswap_a_->discover(
+      cid, kDiscoveryTimeout,
+      [&](std::optional<sim::NodeId>) { end = sim_.now(); },
+      /*early_exit=*/true);
+  sim_.run();
+  EXPECT_LT(end - start, kDiscoveryTimeout);
+}
+
+TEST_F(BitswapTest, DiscoveryWithNoConnectionsFailsImmediately) {
+  network_.disconnect(node_a_, node_b_);
+  const auto cid = multiformats::Cid::from_data(
+      multiformats::Multicodec::kRaw, random_bytes(10, 9));
+  bool called = false;
+  bitswap_a_->discover(cid, kDiscoveryTimeout,
+                       [&](std::optional<sim::NodeId> h) {
+                         called = true;
+                         EXPECT_FALSE(h.has_value());
+                       });
+  EXPECT_TRUE(called);  // synchronous failure
+}
+
+TEST_F(BitswapTest, WantlistReflectsInFlightRequests) {
+  const auto block = blockstore::Block::from_data(
+      multiformats::Multicodec::kRaw, random_bytes(100, 10));
+  store_b_.put(block);
+  bitswap_a_->fetch_block(node_b_, block.cid,
+                          [](std::optional<blockstore::Block>) {});
+  EXPECT_EQ(bitswap_a_->wantlist().size(), 1u);
+  sim_.run();
+  EXPECT_TRUE(bitswap_a_->wantlist().empty());
+}
+
+}  // namespace
+}  // namespace ipfs::bitswap

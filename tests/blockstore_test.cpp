@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "blockstore/blockstore.h"
+
+namespace ipfs::blockstore {
+namespace {
+
+using multiformats::Multicodec;
+
+std::vector<std::uint8_t> bytes_of(std::string_view s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+TEST(BlockStoreTest, PutGetRoundTrip) {
+  BlockStore store;
+  const auto block = Block::from_data(Multicodec::kRaw, bytes_of("data"));
+  EXPECT_EQ(store.put(block), PutStatus::kStored);
+  const auto fetched = store.get(block.cid);
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(fetched->data, bytes_of("data"));
+  EXPECT_EQ(store.block_count(), 1u);
+  EXPECT_EQ(store.total_bytes(), 4u);
+}
+
+TEST(BlockStoreTest, DuplicatePutIsDeduplicated) {
+  BlockStore store;
+  const auto block = Block::from_data(Multicodec::kRaw, bytes_of("same"));
+  EXPECT_EQ(store.put(block), PutStatus::kStored);
+  EXPECT_EQ(store.put(block), PutStatus::kAlreadyPresent);
+  EXPECT_EQ(store.block_count(), 1u);
+  EXPECT_EQ(store.total_bytes(), 4u);
+}
+
+TEST(BlockStoreTest, RejectsCidMismatch) {
+  BlockStore store;
+  auto block = Block::from_data(Multicodec::kRaw, bytes_of("original"));
+  block.data = bytes_of("tampered!");
+  EXPECT_EQ(store.put(block), PutStatus::kCidMismatch);
+  EXPECT_EQ(store.block_count(), 0u);
+}
+
+TEST(BlockStoreTest, RemoveRespectsPins) {
+  BlockStore store;
+  const auto block = Block::from_data(Multicodec::kRaw, bytes_of("keep me"));
+  store.put(block);
+  store.pin(block.cid);
+  EXPECT_FALSE(store.remove(block.cid));
+  EXPECT_TRUE(store.has(block.cid));
+  store.unpin(block.cid);
+  EXPECT_TRUE(store.remove(block.cid));
+  EXPECT_FALSE(store.has(block.cid));
+}
+
+TEST(BlockStoreTest, GarbageCollectionSparesPinnedBlocks) {
+  BlockStore store;
+  const auto pinned = Block::from_data(Multicodec::kRaw, bytes_of("pinned"));
+  const auto loose1 = Block::from_data(Multicodec::kRaw, bytes_of("loose-1"));
+  const auto loose2 = Block::from_data(Multicodec::kRaw, bytes_of("loose-22"));
+  store.put(pinned);
+  store.put(loose1);
+  store.put(loose2);
+  store.pin(pinned.cid);
+
+  const auto reclaimed = store.collect_garbage();
+  EXPECT_EQ(reclaimed, 7u + 8u);
+  EXPECT_TRUE(store.has(pinned.cid));
+  EXPECT_FALSE(store.has(loose1.cid));
+  EXPECT_EQ(store.block_count(), 1u);
+  EXPECT_EQ(store.total_bytes(), 6u);
+}
+
+TEST(LruBlockStoreTest, EvictsLeastRecentlyUsed) {
+  LruBlockStore cache(10);  // bytes
+  const auto a = Block::from_data(Multicodec::kRaw, bytes_of("aaaa"));
+  const auto b = Block::from_data(Multicodec::kRaw, bytes_of("bbbb"));
+  const auto c = Block::from_data(Multicodec::kRaw, bytes_of("cccc"));
+  EXPECT_TRUE(cache.put(a));
+  EXPECT_TRUE(cache.put(b));
+  // Touch a so b becomes the LRU entry.
+  EXPECT_TRUE(cache.get(a.cid).has_value());
+  EXPECT_TRUE(cache.put(c));  // 12 bytes > 10: evicts b
+  EXPECT_TRUE(cache.has(a.cid));
+  EXPECT_FALSE(cache.has(b.cid));
+  EXPECT_TRUE(cache.has(c.cid));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.used_bytes(), 8u);
+}
+
+TEST(LruBlockStoreTest, RefusesOversizedBlocks) {
+  LruBlockStore cache(4);
+  const auto big = Block::from_data(Multicodec::kRaw, bytes_of("too big"));
+  EXPECT_FALSE(cache.put(big));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(LruBlockStoreTest, ReinsertRefreshesRecency) {
+  LruBlockStore cache(8);
+  const auto a = Block::from_data(Multicodec::kRaw, bytes_of("aaaa"));
+  const auto b = Block::from_data(Multicodec::kRaw, bytes_of("bbbb"));
+  const auto c = Block::from_data(Multicodec::kRaw, bytes_of("cccc"));
+  cache.put(a);
+  cache.put(b);
+  cache.put(a);       // refresh a; b is now LRU
+  cache.put(c);       // evicts b
+  EXPECT_TRUE(cache.has(a.cid));
+  EXPECT_FALSE(cache.has(b.cid));
+  EXPECT_EQ(cache.block_count(), 2u);
+}
+
+}  // namespace
+}  // namespace ipfs::blockstore

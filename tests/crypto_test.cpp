@@ -1,0 +1,210 @@
+// Crypto substrate tests: FIPS 180-4 vectors for SHA-256/512, RFC 4231
+// vectors for HMAC, and RFC 8032 vectors for Ed25519.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "crypto/ed25519.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "crypto/sha512.h"
+
+namespace ipfs::crypto {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(std::string_view s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+TEST(Sha256Test, EmptyInput) {
+  EXPECT_EQ(to_hex(sha256("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(to_hex(sha256("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(sha256(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 ctx;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  EXPECT_EQ(to_hex(ctx.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string data(300, 'x');
+  // Split the input at every possible point; digests must agree.
+  for (std::size_t split = 0; split <= data.size(); split += 37) {
+    Sha256 ctx;
+    ctx.update(std::string_view(data).substr(0, split));
+    ctx.update(std::string_view(data).substr(split));
+    EXPECT_EQ(ctx.finish(), sha256(data)) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, ResetReusesContext) {
+  Sha256 ctx;
+  ctx.update("garbage");
+  ctx.reset();
+  ctx.update("abc");
+  EXPECT_EQ(to_hex(ctx.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha512Test, EmptyInput) {
+  EXPECT_EQ(to_hex(sha512("")),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512Test, Abc) {
+  EXPECT_EQ(to_hex(sha512("abc")),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      to_hex(sha512("abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+                    "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")),
+      "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018"
+      "501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909");
+}
+
+TEST(HmacTest, Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  const auto mac = hmac_sha256(key, bytes_of("Hi There"));
+  EXPECT_EQ(to_hex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  const auto mac =
+      hmac_sha256(bytes_of("Jefe"), bytes_of("what do ya want for nothing?"));
+  EXPECT_EQ(to_hex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, LongKeyIsHashedFirst) {
+  const std::vector<std::uint8_t> key(131, 0xaa);  // longer than block size
+  const auto mac = hmac_sha256(
+      key, bytes_of("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(to_hex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+Ed25519Seed seed_from_hex(std::string_view hex) {
+  const auto bytes = from_hex(hex);
+  Ed25519Seed seed;
+  std::copy(bytes.begin(), bytes.end(), seed.begin());
+  return seed;
+}
+
+struct Rfc8032Vector {
+  std::string seed_hex;
+  std::string public_hex;
+  std::string message_hex;
+  std::string signature_hex;
+};
+
+class Ed25519Rfc8032Test : public ::testing::TestWithParam<Rfc8032Vector> {};
+
+TEST_P(Ed25519Rfc8032Test, KeyDerivationSignAndVerify) {
+  const auto& vec = GetParam();
+  const auto kp = ed25519_keypair(seed_from_hex(vec.seed_hex));
+  EXPECT_EQ(to_hex(kp.public_key), vec.public_hex);
+
+  const auto message = from_hex(vec.message_hex);
+  const auto sig = ed25519_sign(kp, message);
+  EXPECT_EQ(to_hex(sig), vec.signature_hex);
+  EXPECT_TRUE(ed25519_verify(kp.public_key, message, sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rfc8032Vectors, Ed25519Rfc8032Test,
+    ::testing::Values(
+        Rfc8032Vector{
+            "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+            "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a",
+            "",
+            "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+            "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"},
+        Rfc8032Vector{
+            "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+            "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c",
+            "72",
+            "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+            "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"},
+        Rfc8032Vector{
+            "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+            "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025",
+            "af82",
+            "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac"
+            "18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a"}));
+
+TEST(Ed25519Test, RejectsTamperedMessage) {
+  const auto kp = ed25519_keypair(seed_from_hex(
+      "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60"));
+  const auto message = bytes_of("original message");
+  const auto sig = ed25519_sign(kp, message);
+  auto tampered = message;
+  tampered[0] ^= 1;
+  EXPECT_TRUE(ed25519_verify(kp.public_key, message, sig));
+  EXPECT_FALSE(ed25519_verify(kp.public_key, tampered, sig));
+}
+
+TEST(Ed25519Test, RejectsTamperedSignature) {
+  const auto kp = ed25519_keypair(seed_from_hex(
+      "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb"));
+  const auto message = bytes_of("hello ipfs");
+  auto sig = ed25519_sign(kp, message);
+  sig[10] ^= 0x40;
+  EXPECT_FALSE(ed25519_verify(kp.public_key, message, sig));
+}
+
+TEST(Ed25519Test, RejectsWrongKey) {
+  const auto kp1 = ed25519_keypair(seed_from_hex(
+      "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60"));
+  const auto kp2 = ed25519_keypair(seed_from_hex(
+      "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7"));
+  const auto message = bytes_of("key confusion");
+  const auto sig = ed25519_sign(kp1, message);
+  EXPECT_FALSE(ed25519_verify(kp2.public_key, message, sig));
+}
+
+TEST(Ed25519Test, RejectsNonCanonicalS) {
+  const auto kp = ed25519_keypair(seed_from_hex(
+      "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60"));
+  const auto message = bytes_of("strict verification");
+  auto sig = ed25519_sign(kp, message);
+  // Force S into the non-canonical range by setting its top bits.
+  sig[63] |= 0xf0;
+  EXPECT_FALSE(ed25519_verify(kp.public_key, message, sig));
+}
+
+TEST(Ed25519Test, SignaturesAreDeterministic) {
+  const auto kp = ed25519_keypair(seed_from_hex(
+      "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7"));
+  const auto message = bytes_of("same input, same signature");
+  EXPECT_EQ(ed25519_sign(kp, message), ed25519_sign(kp, message));
+}
+
+TEST(HexTest, RoundTrip) {
+  const auto bytes = from_hex("00ff10ab");
+  EXPECT_EQ(to_hex(bytes), "00ff10ab");
+  EXPECT_THROW(from_hex("0"), std::invalid_argument);
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ipfs::crypto

@@ -1,0 +1,505 @@
+// DHT tests: keyspace, routing table, record stores, iterative lookups,
+// publication/retrieval walks, AutoNAT and record lifecycle.
+#include <gtest/gtest.h>
+
+#include "dht/dht_node.h"
+#include "dht/key.h"
+#include "dht/record_store.h"
+#include "dht/routing_table.h"
+#include "testutil.h"
+
+namespace ipfs::dht {
+namespace {
+
+using testutil::synthetic_address;
+using testutil::synthetic_peer_id;
+using testutil::TestSwarm;
+
+// --------------------------------------------------------------------------
+// Key
+// --------------------------------------------------------------------------
+
+TEST(KeyTest, DistanceToSelfIsZero) {
+  const Key key = Key::for_peer(synthetic_peer_id(1));
+  const auto distance = key.distance_to(key);
+  for (const auto byte : distance) EXPECT_EQ(byte, 0);
+  EXPECT_EQ(key.common_prefix_len(key), 256);
+}
+
+TEST(KeyTest, DistanceIsSymmetric) {
+  const Key a = Key::for_peer(synthetic_peer_id(1));
+  const Key b = Key::for_peer(synthetic_peer_id(2));
+  EXPECT_EQ(a.distance_to(b), b.distance_to(a));
+}
+
+TEST(KeyTest, CidsAndPeersShareTheKeySpace) {
+  // Section 2.3: CIDs and PeerIDs are indexed by SHA-256 of their binary
+  // representations, placing both in one 256-bit key space.
+  const std::vector<std::uint8_t> data = {1, 2, 3};
+  const auto cid = multiformats::Cid::from_data(
+      multiformats::Multicodec::kRaw, data);
+  const Key cid_key = Key::for_cid(cid);
+  const Key peer_key = Key::for_peer(synthetic_peer_id(7));
+  EXPECT_NE(cid_key, peer_key);
+  EXPECT_GE(cid_key.common_prefix_len(peer_key), 0);
+}
+
+TEST(KeyTest, CloserToOrdersByXor) {
+  const Key target = Key::for_peer(synthetic_peer_id(0));
+  const Key a = Key::for_peer(synthetic_peer_id(1));
+  const Key b = Key::for_peer(synthetic_peer_id(2));
+  // Exactly one of the two is closer (they differ).
+  EXPECT_NE(a.closer_to(target, b), b.closer_to(target, a));
+  // Triangle of self: target is closest to itself.
+  EXPECT_TRUE(target.closer_to(target, a));
+  EXPECT_FALSE(a.closer_to(target, target));
+}
+
+TEST(KeyTest, CommonPrefixLenMatchesDistance) {
+  const Key a = Key::for_peer(synthetic_peer_id(3));
+  const Key b = Key::for_peer(synthetic_peer_id(4));
+  const int cpl = a.common_prefix_len(b);
+  const auto distance = a.distance_to(b);
+  // The first cpl bits of the distance are zero, bit cpl is one.
+  const int byte = cpl / 8;
+  const int bit = cpl % 8;
+  ASSERT_LT(byte, 32);
+  EXPECT_NE(distance[byte] & (0x80 >> bit), 0);
+  for (int i = 0; i < byte; ++i) EXPECT_EQ(distance[i], 0);
+}
+
+// --------------------------------------------------------------------------
+// RoutingTable
+// --------------------------------------------------------------------------
+
+PeerRef make_ref(std::uint64_t n) {
+  return PeerRef{synthetic_peer_id(n), static_cast<sim::NodeId>(n),
+                 {synthetic_address(static_cast<std::uint32_t>(n))}};
+}
+
+TEST(RoutingTableTest, InsertAndContains) {
+  RoutingTable table(Key::for_peer(synthetic_peer_id(0)));
+  EXPECT_TRUE(table.upsert(make_ref(1)));
+  EXPECT_TRUE(table.contains(synthetic_peer_id(1)));
+  EXPECT_FALSE(table.contains(synthetic_peer_id(2)));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(RoutingTableTest, RejectsSelf) {
+  RoutingTable table(Key::for_peer(synthetic_peer_id(0)));
+  EXPECT_FALSE(table.upsert(make_ref(0)));
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(RoutingTableTest, UpsertRefreshesExistingEntry) {
+  RoutingTable table(Key::for_peer(synthetic_peer_id(0)));
+  PeerRef ref = make_ref(1);
+  table.upsert(ref);
+  ref.node = 99;  // address change
+  EXPECT_TRUE(table.upsert(ref));
+  EXPECT_EQ(table.size(), 1u);
+  const auto peers = table.all_peers();
+  ASSERT_EQ(peers.size(), 1u);
+  EXPECT_EQ(peers[0].node, 99u);
+}
+
+TEST(RoutingTableTest, BucketsCapAtK) {
+  RoutingTable table(Key::for_peer(synthetic_peer_id(0)));
+  // Insert far more peers than one bucket holds; most land in the
+  // shallow buckets (cpl 0,1,2...), which must each cap at 20.
+  for (std::uint64_t i = 1; i <= 2000; ++i) table.upsert(make_ref(i));
+  for (std::size_t b = 0; b < kBucketCount; ++b)
+    EXPECT_LE(table.bucket_size(b), kBucketSize);
+  EXPECT_LT(table.size(), 2000u);
+  EXPECT_GT(table.size(), 50u);
+}
+
+TEST(RoutingTableTest, ClosestReturnsSortedByDistance) {
+  RoutingTable table(Key::for_peer(synthetic_peer_id(0)));
+  for (std::uint64_t i = 1; i <= 200; ++i) table.upsert(make_ref(i));
+  const Key target = Key::for_peer(synthetic_peer_id(12345));
+  const auto closest = table.closest(target, 20);
+  ASSERT_EQ(closest.size(), 20u);
+  for (std::size_t i = 1; i < closest.size(); ++i) {
+    const Key prev = Key::for_peer(closest[i - 1].id);
+    const Key cur = Key::for_peer(closest[i].id);
+    EXPECT_TRUE(prev.distance_to(target) <= cur.distance_to(target));
+  }
+  // The first result must be the global argmin over the table.
+  const Key best = Key::for_peer(closest[0].id);
+  for (const auto& peer : table.all_peers()) {
+    const Key key = Key::for_peer(peer.id);
+    EXPECT_TRUE(best.distance_to(target) <= key.distance_to(target));
+  }
+}
+
+TEST(RoutingTableTest, RemoveEvictsPeer) {
+  RoutingTable table(Key::for_peer(synthetic_peer_id(0)));
+  table.upsert(make_ref(1));
+  table.upsert(make_ref(2));
+  table.remove(synthetic_peer_id(1));
+  EXPECT_FALSE(table.contains(synthetic_peer_id(1)));
+  EXPECT_TRUE(table.contains(synthetic_peer_id(2)));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+// --------------------------------------------------------------------------
+// RecordStore
+// --------------------------------------------------------------------------
+
+TEST(RecordStoreTest, ProvidersExpireAfter24Hours) {
+  RecordStore store;
+  const Key key = Key::for_peer(synthetic_peer_id(50));
+  store.add_provider(key, ProviderRecord{make_ref(1), sim::hours(0)});
+  EXPECT_EQ(store.providers(key, sim::hours(23)).size(), 1u);
+  EXPECT_EQ(store.providers(key, sim::hours(25)).size(), 0u);
+  EXPECT_EQ(store.provider_key_count(), 0u);  // pruned
+}
+
+TEST(RecordStoreTest, RepublishRefreshesExpiry) {
+  RecordStore store;
+  const Key key = Key::for_peer(synthetic_peer_id(51));
+  store.add_provider(key, ProviderRecord{make_ref(1), sim::hours(0)});
+  // Republish at the 12 h mark (kRepublishInterval).
+  store.add_provider(key, ProviderRecord{make_ref(1), sim::hours(12)});
+  EXPECT_EQ(store.providers(key, sim::hours(30)).size(), 1u);
+  EXPECT_EQ(store.providers(key, sim::hours(37)).size(), 0u);
+}
+
+TEST(RecordStoreTest, MultipleProvidersPerKey) {
+  RecordStore store;
+  const Key key = Key::for_peer(synthetic_peer_id(52));
+  store.add_provider(key, ProviderRecord{make_ref(1), 0});
+  store.add_provider(key, ProviderRecord{make_ref(2), 0});
+  store.add_provider(key, ProviderRecord{make_ref(1), 0});  // duplicate
+  EXPECT_EQ(store.providers(key, sim::hours(1)).size(), 2u);
+}
+
+TEST(RecordStoreTest, ExpirySweepDropsOldRecords) {
+  RecordStore store;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    store.add_provider(Key::for_peer(synthetic_peer_id(100 + i)),
+                       ProviderRecord{make_ref(i), sim::hours(i)});
+  }
+  // At t = 30 h, records born before 6 h are expired.
+  const auto removed = store.expire_providers(sim::hours(30));
+  EXPECT_EQ(removed, 6u);
+  EXPECT_EQ(store.provider_key_count(), 4u);
+}
+
+TEST(RecordStoreTest, ValueRecordsKeepHighestSequence) {
+  RecordStore store;
+  const Key key = Key::for_peer(synthetic_peer_id(60));
+  EXPECT_TRUE(store.put_value(key, ValueRecord{{1}, 5, 0}));
+  EXPECT_FALSE(store.put_value(key, ValueRecord{{2}, 3, 0}));  // stale
+  EXPECT_TRUE(store.put_value(key, ValueRecord{{3}, 9, 0}));
+  const auto value = store.get_value(key);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->sequence, 9u);
+  EXPECT_EQ(value->value, std::vector<std::uint8_t>{3});
+}
+
+// --------------------------------------------------------------------------
+// DHT walks over a swarm
+// --------------------------------------------------------------------------
+
+TEST(DhtSwarmTest, ProvideStoresRecordsOnClosestPeers) {
+  TestSwarm swarm(60);
+  const Key key = Key::hash_of(std::vector<std::uint8_t>{9, 9, 9});
+
+  DhtNode::ProvideResult result;
+  swarm.node(0).provide(key, [&](DhtNode::ProvideResult r) { result = r; });
+  swarm.simulator().run();
+
+  EXPECT_TRUE(result.ok);
+  EXPECT_GT(result.stores_sent, 10);
+  EXPECT_GT(result.walk, 0);
+  // The walk leaves connections to the closest peers open, so the
+  // fire-and-forget batch can complete instantly at this layer (the full
+  // node's connection manager changes that; see node tests).
+  EXPECT_GE(result.rpc_batch, 0);
+  EXPECT_EQ(result.total, result.walk + result.rpc_batch);
+
+  // The record must be discoverable on peers close to the key.
+  int holders = 0;
+  for (std::size_t i = 0; i < swarm.size(); ++i) {
+    if (!swarm.node(i)
+             .record_store()
+             .providers(key, swarm.simulator().now())
+             .empty())
+      ++holders;
+  }
+  EXPECT_EQ(holders, result.stores_sent);
+}
+
+TEST(DhtSwarmTest, FindProvidersDiscoversPublishedContent) {
+  TestSwarm swarm(60);
+  const Key key = Key::hash_of(std::vector<std::uint8_t>{1, 2, 3, 4});
+
+  bool provided = false;
+  swarm.node(3).provide(key,
+                        [&](DhtNode::ProvideResult r) { provided = r.ok; });
+  swarm.simulator().run();
+  ASSERT_TRUE(provided);
+
+  LookupResult lookup;
+  swarm.node(42).find_providers(key, [&](LookupResult r) { lookup = r; });
+  swarm.simulator().run();
+
+  ASSERT_FALSE(lookup.providers.empty());
+  EXPECT_EQ(lookup.providers[0].provider.id, swarm.ref(3).id);
+  EXPECT_GT(lookup.elapsed, 0);
+}
+
+TEST(DhtSwarmTest, FindProvidersFailsForUnpublishedKey) {
+  TestSwarm swarm(40);
+  const Key key = Key::hash_of(std::vector<std::uint8_t>{0xde, 0xad});
+  LookupResult lookup;
+  lookup.providers.push_back({});  // sentinel: must be cleared by callback
+  swarm.node(5).find_providers(key, [&](LookupResult r) { lookup = r; });
+  swarm.simulator().run();
+  EXPECT_TRUE(lookup.providers.empty());
+  EXPECT_TRUE(lookup.completed);
+}
+
+TEST(DhtSwarmTest, FindPeerResolvesPeerAddress) {
+  TestSwarm swarm(60);
+  std::optional<PeerRef> found;
+  swarm.node(7).find_peer(swarm.ref(33).id,
+                          [&](std::optional<PeerRef> peer, LookupResult) {
+                            found = peer;
+                          });
+  swarm.simulator().run();
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->id, swarm.ref(33).id);
+  EXPECT_EQ(found->node, swarm.ref(33).node);
+}
+
+TEST(DhtSwarmTest, RetrievalWalkIsFasterThanPublicationWalk) {
+  // Section 6.2: a retrieval walk terminates at the first record-holding
+  // node, a publication walk must find all 20 closest peers.
+  TestSwarm swarm(100);
+  const Key key = Key::hash_of(std::vector<std::uint8_t>{42});
+
+  DhtNode::ProvideResult publish;
+  swarm.node(0).provide(key, [&](DhtNode::ProvideResult r) { publish = r; });
+  swarm.simulator().run();
+
+  LookupResult retrieval;
+  swarm.node(77).find_providers(key, [&](LookupResult r) { retrieval = r; });
+  swarm.simulator().run();
+
+  ASSERT_TRUE(publish.ok);
+  ASSERT_FALSE(retrieval.providers.empty());
+  EXPECT_LT(retrieval.elapsed, publish.walk);
+}
+
+TEST(DhtSwarmTest, LookupSurvivesOfflinePeers) {
+  TestSwarm swarm(80, /*seed=*/7);
+  const Key key = Key::hash_of(std::vector<std::uint8_t>{7, 7});
+
+  bool provided = false;
+  swarm.node(1).provide(key, [&](DhtNode::ProvideResult r) { provided = r.ok; });
+  swarm.simulator().run();
+  ASSERT_TRUE(provided);
+
+  // Take a third of the swarm offline (not the requester/provider).
+  for (std::size_t i = 10; i < 36; ++i)
+    swarm.network().set_online(static_cast<sim::NodeId>(i), false);
+
+  LookupResult lookup;
+  swarm.node(2).find_providers(key, [&](LookupResult r) { lookup = r; });
+  swarm.simulator().run();
+  EXPECT_FALSE(lookup.providers.empty());
+  // Dials into the offline set show up as failures, not hangs.
+  EXPECT_GE(lookup.dials_failed + lookup.rpcs_failed, 0);
+}
+
+TEST(DhtSwarmTest, FailedPeersAreEvictedFromRoutingTable) {
+  TestSwarm swarm(30);
+  // Node 0 knows node 1; node 1 goes offline; a lookup through node 1
+  // must evict it.
+  swarm.node(0).routing_table().upsert(swarm.ref(1));
+  ASSERT_TRUE(swarm.node(0).routing_table().contains(swarm.ref(1).id));
+  swarm.network().set_online(1, false);
+
+  const Key key = Key::for_peer(swarm.ref(1).id);
+  swarm.node(0).lookup_closest(key, [](LookupResult) {});
+  swarm.simulator().run();
+  EXPECT_FALSE(swarm.node(0).routing_table().contains(swarm.ref(1).id));
+}
+
+TEST(DhtSwarmTest, PutAndGetValueRoundTrip) {
+  TestSwarm swarm(50);
+  const Key key = Key::hash_of(std::vector<std::uint8_t>{0x11});
+  const ValueRecord record{{0xca, 0xfe}, 3, 0};
+
+  bool stored = false;
+  int replicas = 0;
+  swarm.node(4).put_value(key, record, [&](bool ok, int count) {
+    stored = ok;
+    replicas = count;
+  });
+  swarm.simulator().run();
+  ASSERT_TRUE(stored);
+  EXPECT_GT(replicas, 10);
+
+  std::optional<ValueRecord> fetched;
+  swarm.node(30).get_value(key, [&](std::optional<ValueRecord> v) {
+    fetched = std::move(v);
+  });
+  swarm.simulator().run();
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(fetched->value, record.value);
+  EXPECT_EQ(fetched->sequence, 3u);
+}
+
+TEST(DhtSwarmTest, ProviderRecordsExpireWithoutRepublish) {
+  TestSwarm swarm(50);
+  const Key key = Key::hash_of(std::vector<std::uint8_t>{0x22});
+  swarm.node(0).provide(key, [](DhtNode::ProvideResult) {});
+  swarm.simulator().run();
+
+  // 25 h later (past the 24 h expiry), records must be gone.
+  swarm.simulator().run_until(swarm.simulator().now() + sim::hours(25));
+  swarm.simulator().run();
+
+  LookupResult lookup;
+  swarm.node(20).find_providers(key, [&](LookupResult r) { lookup = r; });
+  swarm.simulator().run();
+  EXPECT_TRUE(lookup.providers.empty());
+}
+
+TEST(DhtSwarmTest, RepublishKeepsRecordsAlive) {
+  TestSwarm swarm(50);
+  const Key key = Key::hash_of(std::vector<std::uint8_t>{0x33});
+  swarm.node(0).provide(key, [](DhtNode::ProvideResult) {});
+  swarm.node(0).start_reproviding(key);
+  swarm.simulator().run();
+
+  // 30 h later, with 12 h republishes, the record must still resolve.
+  swarm.simulator().run_until(swarm.simulator().now() + sim::hours(30));
+
+  LookupResult lookup;
+  swarm.node(20).find_providers(key, [&](LookupResult r) { lookup = r; });
+  swarm.simulator().run();
+  EXPECT_FALSE(lookup.providers.empty());
+  swarm.node(0).stop_reproviding(key);
+}
+
+// --------------------------------------------------------------------------
+// Bootstrap and AutoNAT
+// --------------------------------------------------------------------------
+
+TEST(DhtBootstrapTest, DialablePeerUpgradesToServer) {
+  TestSwarm swarm(40);
+  const sim::NodeId node = swarm.network().add_node({.region = 0});
+  DhtNode joiner(swarm.network(), node, synthetic_peer_id(1000),
+                 {synthetic_address(1000)});
+  joiner.attach_to_network();
+  EXPECT_EQ(joiner.mode(), DhtNode::Mode::kClient);
+
+  bool ok = false;
+  std::vector<PeerRef> seeds;
+  for (int i = 0; i < 6; ++i) seeds.push_back(swarm.ref(i));
+  joiner.bootstrap(seeds, [&](bool success) { ok = success; });
+  swarm.simulator().run();
+
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(joiner.mode(), DhtNode::Mode::kServer);
+  EXPECT_GT(joiner.routing_table().size(), 6u);
+}
+
+TEST(DhtBootstrapTest, NatPeerStaysClient) {
+  TestSwarm swarm(40);
+  const sim::NodeId node =
+      swarm.network().add_node({.region = 0, .dialable = false});
+  DhtNode joiner(swarm.network(), node, synthetic_peer_id(1001),
+                 {synthetic_address(1001)});
+  joiner.attach_to_network();
+
+  bool ok = false;
+  std::vector<PeerRef> seeds;
+  for (int i = 0; i < 6; ++i) seeds.push_back(swarm.ref(i));
+  joiner.bootstrap(seeds, [&](bool success) { ok = success; });
+  swarm.simulator().run();
+
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(joiner.mode(), DhtNode::Mode::kClient);
+}
+
+TEST(DhtBootstrapTest, AutonatThresholdIsMoreThanThree) {
+  // Paper Section 2.3: "If more than three peers can connect to the
+  // newly joining peer, then the new peer upgrades... to act as a
+  // server node." Exactly three successful dial-backs must NOT suffice.
+  TestSwarm swarm(40);
+  const sim::NodeId node = swarm.network().add_node({.region = 0});
+  DhtNode joiner(swarm.network(), node, synthetic_peer_id(1003),
+                 {synthetic_address(1003)});
+  joiner.attach_to_network();
+
+  // Four seeds, one of which is stalled: its dial-back probe times out,
+  // leaving exactly three positive answers.
+  std::vector<PeerRef> seeds;
+  for (int i = 0; i < 4; ++i) seeds.push_back(swarm.ref(i));
+  swarm.network().set_responsive(swarm.ref(3).node, false);
+
+  bool done = false;
+  joiner.bootstrap(seeds, [&](bool) { done = true; });
+  swarm.simulator().run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(joiner.mode(), DhtNode::Mode::kClient);  // 3 is not > 3
+  swarm.network().set_responsive(swarm.ref(3).node, true);
+
+  // With a fourth confirming peer the same joiner upgrades.
+  const sim::NodeId node2 = swarm.network().add_node({.region = 0});
+  DhtNode joiner2(swarm.network(), node2, synthetic_peer_id(1004),
+                  {synthetic_address(1004)});
+  joiner2.attach_to_network();
+  joiner2.bootstrap(seeds, [](bool) {});
+  swarm.simulator().run();
+  EXPECT_EQ(joiner2.mode(), DhtNode::Mode::kServer);  // 4 > 3
+}
+
+TEST(DhtBootstrapTest, BootstrapFailsWithNoSeeds) {
+  TestSwarm swarm(5);
+  const sim::NodeId node = swarm.network().add_node({.region = 0});
+  DhtNode joiner(swarm.network(), node, synthetic_peer_id(1002),
+                 {synthetic_address(1002)});
+  bool called = false, ok = true;
+  joiner.bootstrap({}, [&](bool success) {
+    called = true;
+    ok = success;
+  });
+  swarm.simulator().run();
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(ok);
+}
+
+TEST(DhtClientTest, ClientsDoNotServeProviderQueries) {
+  TestSwarm swarm(30);
+  swarm.node(9).force_mode(DhtNode::Mode::kClient);
+  // Push a record directly into the client's store; queries must not
+  // surface it because clients ignore DHT requests.
+  const Key key = Key::hash_of(std::vector<std::uint8_t>{0x44});
+  swarm.node(9).record_store().add_provider(key,
+                                            ProviderRecord{swarm.ref(9), 0});
+
+  // Another node connects and asks directly.
+  swarm.network().connect(swarm.ref(0).node, swarm.ref(9).node,
+                          [](bool, sim::Duration) {});
+  swarm.simulator().run();
+  sim::RpcStatus status = sim::RpcStatus::kOk;
+  auto request = std::make_shared<GetProvidersRequest>();
+  request->key = key;
+  swarm.network().request(swarm.ref(0).node, swarm.ref(9).node,
+                          std::move(request), 64, sim::seconds(3),
+                          [&](sim::RpcStatus s, sim::MessagePtr) {
+                            status = s;
+                          });
+  swarm.simulator().run();
+  EXPECT_EQ(status, sim::RpcStatus::kTimeout);
+}
+
+}  // namespace
+}  // namespace ipfs::dht

@@ -1,0 +1,158 @@
+// Gateway tests: the three serving tiers (nginx cache / node store / P2P),
+// cache behaviour and statistics (Section 3.4, Table 5).
+#include <gtest/gtest.h>
+
+#include "gateway/gateway.h"
+#include "testutil.h"
+
+namespace ipfs::gateway {
+namespace {
+
+using testutil::TestSwarm;
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+class GatewayTest : public ::testing::Test {
+ protected:
+  GatewayTest() : swarm_(80, /*seed=*/31) {
+    GatewayConfig config;
+    config.node.net.region = 0;
+    config.node.identity_seed = 99;
+    config.node.provide_after_fetch = false;
+    config.nginx_cache_bytes = 2 * 1024 * 1024;
+    gateway_ = std::make_unique<Gateway>(swarm_.network(), config);
+
+    node::IpfsNodeConfig publisher_config;
+    publisher_config.net.region = 0;
+    publisher_config.identity_seed = 77;
+    publisher_ =
+        std::make_unique<node::IpfsNode>(swarm_.network(), publisher_config);
+
+    std::vector<dht::PeerRef> seeds;
+    for (int i = 0; i < 6; ++i) seeds.push_back(swarm_.ref(i));
+    gateway_->bootstrap(seeds, [](bool) {});
+    publisher_->bootstrap(seeds, [](bool) {});
+    swarm_.simulator().run();
+  }
+
+  TestSwarm swarm_;
+  std::unique_ptr<Gateway> gateway_;
+  std::unique_ptr<node::IpfsNode> publisher_;
+};
+
+TEST_F(GatewayTest, PinnedContentServesFromNodeStoreInMilliseconds) {
+  const auto data = random_bytes(512 * 1024, 1);
+  gateway_->pin_object(data);
+  const auto cid = merkledag::import_bytes(publisher_->store(), data).root;
+
+  GatewayResponse response;
+  gateway_->handle_get(cid, [&](GatewayResponse r) { response = r; });
+  swarm_.simulator().run();
+
+  EXPECT_EQ(response.source, ServedFrom::kNodeStore);
+  EXPECT_EQ(response.bytes, data.size());
+  // Table 5: node-store hits land in single-digit milliseconds.
+  EXPECT_LT(response.latency, sim::milliseconds(24));
+  EXPECT_GT(response.latency, 0);
+}
+
+TEST_F(GatewayTest, SecondRequestHitsNginxCache) {
+  const auto data = random_bytes(256 * 1024, 2);
+  gateway_->pin_object(data);
+  const auto cid = blockstore::Block::from_data(
+                       multiformats::Multicodec::kRaw, data)
+                       .cid;
+
+  gateway_->handle_get(cid, [](GatewayResponse) {});
+  swarm_.simulator().run();
+  GatewayResponse second;
+  gateway_->handle_get(cid, [&](GatewayResponse r) { second = r; });
+  swarm_.simulator().run();
+
+  EXPECT_EQ(second.source, ServedFrom::kNginxCache);
+  EXPECT_LT(second.latency, sim::milliseconds(1));
+  EXPECT_EQ(gateway_->stats(ServedFrom::kNginxCache).requests, 1u);
+  EXPECT_EQ(gateway_->stats(ServedFrom::kNodeStore).requests, 1u);
+}
+
+TEST_F(GatewayTest, UnpinnedContentFetchesFromP2pNetwork) {
+  const auto data = random_bytes(512 * 1024, 3);
+  node::PublishTrace publish_trace;
+  publisher_->publish(data, [&](node::PublishTrace t) { publish_trace = t; });
+  swarm_.simulator().run();
+  ASSERT_TRUE(publish_trace.ok);
+
+  GatewayResponse response;
+  gateway_->handle_get(publish_trace.cid,
+                       [&](GatewayResponse r) { response = r; });
+  swarm_.simulator().run();
+
+  EXPECT_EQ(response.source, ServedFrom::kP2p);
+  EXPECT_EQ(response.bytes, data.size());
+  // Table 5: non-cached requests take seconds (Bitswap window + walks).
+  EXPECT_GT(response.latency, sim::seconds(1));
+
+  // The object is now in the nginx cache; a repeat is a cache hit, and
+  // the node store was NOT polluted with the fetched blocks.
+  GatewayResponse repeat;
+  gateway_->handle_get(publish_trace.cid,
+                       [&](GatewayResponse r) { repeat = r; });
+  swarm_.simulator().run();
+  EXPECT_EQ(repeat.source, ServedFrom::kNginxCache);
+  EXPECT_FALSE(gateway_->node().store().has(publish_trace.cid));
+}
+
+TEST_F(GatewayTest, MissingContentFails) {
+  const auto cid = multiformats::Cid::from_data(
+      multiformats::Multicodec::kRaw, random_bytes(10, 4));
+  GatewayResponse response;
+  response.source = ServedFrom::kNginxCache;
+  gateway_->handle_get(cid, [&](GatewayResponse r) { response = r; });
+  swarm_.simulator().run();
+  EXPECT_EQ(response.source, ServedFrom::kFailed);
+  EXPECT_EQ(gateway_->stats(ServedFrom::kFailed).requests, 1u);
+}
+
+TEST_F(GatewayTest, CacheEvictionFallsBackToNodeStore) {
+  // Two objects that cannot both fit in the 2 MB nginx cache.
+  const auto data_a = random_bytes(1536 * 1024, 5);
+  const auto data_b = random_bytes(1536 * 1024, 6);
+  gateway_->pin_object(data_a);
+  gateway_->pin_object(data_b);
+  const auto cid_a = merkledag::import_bytes(publisher_->store(), data_a).root;
+  const auto cid_b = merkledag::import_bytes(publisher_->store(), data_b).root;
+
+  gateway_->handle_get(cid_a, [](GatewayResponse) {});
+  swarm_.simulator().run();
+  gateway_->handle_get(cid_b, [](GatewayResponse) {});  // evicts A
+  swarm_.simulator().run();
+
+  GatewayResponse again_a;
+  gateway_->handle_get(cid_a, [&](GatewayResponse r) { again_a = r; });
+  swarm_.simulator().run();
+  EXPECT_EQ(again_a.source, ServedFrom::kNodeStore);
+  EXPECT_GT(gateway_->nginx_cache().evictions(), 0u);
+}
+
+TEST_F(GatewayTest, TierStatsAccumulateBytes) {
+  const auto data = random_bytes(100 * 1024, 7);
+  gateway_->pin_object(data);
+  const auto cid = blockstore::Block::from_data(
+                       multiformats::Multicodec::kRaw, data)
+                       .cid;
+  for (int i = 0; i < 3; ++i) {
+    gateway_->handle_get(cid, [](GatewayResponse) {});
+    swarm_.simulator().run();
+  }
+  EXPECT_EQ(gateway_->total_requests(), 3u);
+  EXPECT_EQ(gateway_->stats(ServedFrom::kNodeStore).bytes, data.size());
+  EXPECT_EQ(gateway_->stats(ServedFrom::kNginxCache).bytes, 2 * data.size());
+}
+
+}  // namespace
+}  // namespace ipfs::gateway

@@ -1,0 +1,130 @@
+// IPNS tests: record signing/verification, encode/decode, sequence
+// semantics and end-to-end publish/resolve over a DHT swarm.
+#include <gtest/gtest.h>
+
+#include "ipns/ipns.h"
+#include "testutil.h"
+
+namespace ipfs::ipns {
+namespace {
+
+using testutil::TestSwarm;
+
+crypto::Ed25519KeyPair keypair_of(std::uint8_t tag) {
+  crypto::Ed25519Seed seed{};
+  seed[0] = tag;
+  return crypto::ed25519_keypair(seed);
+}
+
+multiformats::Cid cid_of(std::string_view text) {
+  const std::vector<std::uint8_t> data(text.begin(), text.end());
+  return multiformats::Cid::from_data(multiformats::Multicodec::kRaw, data);
+}
+
+TEST(IpnsRecordTest, CreateVerifyRoundTrip) {
+  const auto keypair = keypair_of(1);
+  const auto name = multiformats::PeerId::from_public_key(keypair.public_key);
+  const auto record = IpnsRecord::create(keypair, cid_of("v1"), 1);
+  EXPECT_TRUE(record.verify(name));
+  EXPECT_EQ(record.target(), cid_of("v1"));
+}
+
+TEST(IpnsRecordTest, EncodeDecodeRoundTrip) {
+  const auto keypair = keypair_of(2);
+  const auto name = multiformats::PeerId::from_public_key(keypair.public_key);
+  const auto record = IpnsRecord::create(keypair, cid_of("data"), 7);
+  const auto decoded = IpnsRecord::decode(record.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->sequence, 7u);
+  EXPECT_TRUE(decoded->verify(name));
+  EXPECT_EQ(decoded->target(), cid_of("data"));
+}
+
+TEST(IpnsRecordTest, RejectsWrongName) {
+  const auto keypair = keypair_of(3);
+  const auto other = keypair_of(4);
+  const auto wrong_name =
+      multiformats::PeerId::from_public_key(other.public_key);
+  const auto record = IpnsRecord::create(keypair, cid_of("x"), 1);
+  EXPECT_FALSE(record.verify(wrong_name));
+}
+
+TEST(IpnsRecordTest, RejectsTamperedValue) {
+  const auto keypair = keypair_of(5);
+  const auto name = multiformats::PeerId::from_public_key(keypair.public_key);
+  auto record = IpnsRecord::create(keypair, cid_of("original"), 1);
+  record.value[8] ^= 1;
+  EXPECT_FALSE(record.verify(name));
+}
+
+TEST(IpnsRecordTest, RejectsTamperedSequence) {
+  const auto keypair = keypair_of(6);
+  const auto name = multiformats::PeerId::from_public_key(keypair.public_key);
+  auto record = IpnsRecord::create(keypair, cid_of("content"), 1);
+  record.sequence = 99;  // signature no longer covers this
+  EXPECT_FALSE(record.verify(name));
+}
+
+TEST(IpnsRecordTest, DecodeRejectsTruncation) {
+  const auto keypair = keypair_of(7);
+  auto encoded = IpnsRecord::create(keypair, cid_of("t"), 1).encode();
+  encoded.pop_back();
+  EXPECT_FALSE(IpnsRecord::decode(encoded).has_value());
+}
+
+TEST(IpnsSwarmTest, PublishAndResolve) {
+  TestSwarm swarm(50);
+  const auto keypair = keypair_of(8);
+  const auto name = multiformats::PeerId::from_public_key(keypair.public_key);
+  const auto target = cid_of("my website v1");
+
+  bool published = false;
+  publish(swarm.node(3), keypair, target, 1,
+          [&](bool ok, int) { published = ok; });
+  swarm.simulator().run();
+  ASSERT_TRUE(published);
+
+  std::optional<multiformats::Cid> resolved;
+  resolve(swarm.node(40), name,
+          [&](std::optional<multiformats::Cid> cid) { resolved = cid; });
+  swarm.simulator().run();
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(*resolved, target);
+}
+
+TEST(IpnsSwarmTest, UpdateSupersedesOldRecord) {
+  TestSwarm swarm(50);
+  const auto keypair = keypair_of(9);
+  const auto name = multiformats::PeerId::from_public_key(keypair.public_key);
+
+  publish(swarm.node(3), keypair, cid_of("v1"), 1, [](bool, int) {});
+  swarm.simulator().run();
+  publish(swarm.node(3), keypair, cid_of("v2"), 2, [](bool, int) {});
+  swarm.simulator().run();
+
+  std::optional<multiformats::Cid> resolved;
+  resolve(swarm.node(22), name,
+          [&](std::optional<multiformats::Cid> cid) { resolved = cid; });
+  swarm.simulator().run();
+  ASSERT_TRUE(resolved.has_value());
+  // Mutable pointer, immutable content: the name now maps to v2.
+  EXPECT_EQ(*resolved, cid_of("v2"));
+}
+
+TEST(IpnsSwarmTest, ResolveUnknownNameFails) {
+  TestSwarm swarm(30);
+  const auto keypair = keypair_of(10);
+  const auto name = multiformats::PeerId::from_public_key(keypair.public_key);
+  bool called = false;
+  std::optional<multiformats::Cid> resolved = cid_of("sentinel");
+  resolve(swarm.node(5), name, [&](std::optional<multiformats::Cid> cid) {
+    called = true;
+    resolved = cid;
+  });
+  swarm.simulator().run();
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(resolved.has_value());
+}
+
+}  // namespace
+}  // namespace ipfs::ipns

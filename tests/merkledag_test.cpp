@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "merkledag/merkledag.h"
+#include "sim/rng.h"
+
+namespace ipfs::merkledag {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+TEST(ChunkerTest, SplitsAtChunkBoundaries) {
+  const auto data = random_bytes(1000, 1);
+  const auto chunks = chunk(data, 256);
+  ASSERT_EQ(chunks.size(), 4u);
+  EXPECT_EQ(chunks[0].size(), 256u);
+  EXPECT_EQ(chunks[3].size(), 232u);
+}
+
+TEST(ChunkerTest, ExactMultipleHasNoRemainder) {
+  const auto data = random_bytes(512, 2);
+  const auto chunks = chunk(data, 256);
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[1].size(), 256u);
+}
+
+TEST(ChunkerTest, EmptyInputYieldsOneEmptyChunk) {
+  const auto chunks = chunk({}, 256);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_TRUE(chunks[0].empty());
+}
+
+TEST(DagNodeTest, EncodeDecodeRoundTrip) {
+  DagNode node;
+  node.data = {1, 2, 3};
+  node.links.push_back(
+      {Cid::from_data(multiformats::Multicodec::kRaw, node.data), 3});
+  node.links.push_back(
+      {Cid::from_data(multiformats::Multicodec::kDagPb, node.data), 7});
+  const auto decoded = DagNode::decode(node.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->data, node.data);
+  ASSERT_EQ(decoded->links.size(), 2u);
+  EXPECT_EQ(decoded->links[0].cid, node.links[0].cid);
+  EXPECT_EQ(decoded->links[1].content_size, 7u);
+}
+
+TEST(DagNodeTest, DecodeRejectsTruncation) {
+  DagNode node;
+  node.data = random_bytes(50, 3);
+  auto encoded = node.encode();
+  encoded.pop_back();
+  EXPECT_FALSE(DagNode::decode(encoded).has_value());
+}
+
+TEST(ImportTest, SingleChunkBecomesRawBlock) {
+  BlockStore store;
+  const auto data = random_bytes(1024, 4);
+  const auto result = import_bytes(store, data, kDefaultChunkSize);
+  EXPECT_EQ(result.chunk_count, 1u);
+  EXPECT_EQ(result.new_blocks, 1u);
+  EXPECT_EQ(result.root.content_codec(), multiformats::Multicodec::kRaw);
+  EXPECT_EQ(cat(store, result.root), data);
+}
+
+TEST(ImportTest, MultiChunkBuildsDag) {
+  BlockStore store;
+  const auto data = random_bytes(700 * 1024, 5);  // 3 chunks at 256 kB
+  const auto result = import_bytes(store, data);
+  EXPECT_EQ(result.chunk_count, 3u);
+  EXPECT_EQ(result.new_blocks, 4u);  // 3 leaves + 1 root
+  EXPECT_EQ(result.root.content_codec(), multiformats::Multicodec::kDagPb);
+  EXPECT_EQ(cat(store, result.root), data);
+}
+
+TEST(ImportTest, PaperObjectSizeHasTwoChunks) {
+  // The paper's performance experiments use 0.5 MB objects (Section 4.3).
+  BlockStore store;
+  const auto data = random_bytes(512 * 1024, 6);
+  const auto result = import_bytes(store, data);
+  EXPECT_EQ(result.chunk_count, 2u);
+  EXPECT_EQ(cat(store, result.root), data);
+}
+
+TEST(ImportTest, IdenticalChunksDeduplicate) {
+  BlockStore store;
+  // Two chunk-sized repetitions of identical bytes.
+  std::vector<std::uint8_t> data(2 * kDefaultChunkSize, 0xab);
+  const auto result = import_bytes(store, data);
+  EXPECT_EQ(result.chunk_count, 2u);
+  EXPECT_EQ(result.deduplicated_blocks, 1u);
+  EXPECT_EQ(result.new_blocks, 2u);  // one unique leaf + root
+  EXPECT_EQ(cat(store, result.root), data);
+}
+
+TEST(ImportTest, SameContentYieldsSameRootAcrossStores) {
+  BlockStore store_a, store_b;
+  const auto data = random_bytes(600 * 1024, 7);
+  EXPECT_EQ(import_bytes(store_a, data).root, import_bytes(store_b, data).root);
+}
+
+TEST(ImportTest, DifferentContentYieldsDifferentRoot) {
+  BlockStore store;
+  auto data = random_bytes(600 * 1024, 8);
+  const auto root_a = import_bytes(store, data).root;
+  data[0] ^= 1;
+  const auto root_b = import_bytes(store, data).root;
+  EXPECT_NE(root_a, root_b);
+}
+
+TEST(ImportTest, WideDagGetsMultipleLevels) {
+  BlockStore store;
+  // More chunks than kMaxLinkDegree forces a two-level interior.
+  const std::size_t chunk_size = 64;
+  const auto data = random_bytes(chunk_size * (kMaxLinkDegree + 10), 9);
+  const auto result = import_bytes(store, data, chunk_size);
+  EXPECT_EQ(result.chunk_count, kMaxLinkDegree + 10);
+  EXPECT_EQ(cat(store, result.root), data);
+
+  const auto cids = enumerate(store, result.root);
+  ASSERT_TRUE(cids.has_value());
+  // root + 2 interior nodes + leaves
+  EXPECT_EQ(cids->size(), 1 + 2 + kMaxLinkDegree + 10);
+}
+
+TEST(CatTest, FailsOnMissingBlocks) {
+  BlockStore store;
+  const auto data = random_bytes(700 * 1024, 10);
+  const auto result = import_bytes(store, data);
+  const auto cids = enumerate(store, result.root);
+  ASSERT_TRUE(cids.has_value());
+  // Remove one leaf; cat must fail rather than return partial data.
+  store.remove(cids->back());
+  EXPECT_FALSE(cat(store, result.root).has_value());
+  EXPECT_FALSE(enumerate(store, result.root).has_value());
+}
+
+TEST(EnumerateTest, RootFirstOrder) {
+  BlockStore store;
+  const auto data = random_bytes(700 * 1024, 11);
+  const auto result = import_bytes(store, data);
+  const auto cids = enumerate(store, result.root);
+  ASSERT_TRUE(cids.has_value());
+  EXPECT_EQ(cids->front(), result.root);
+}
+
+}  // namespace
+}  // namespace ipfs::merkledag

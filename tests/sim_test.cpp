@@ -1,0 +1,430 @@
+// Simulator substrate tests: event ordering, cancellation, RNG streams,
+// network dial/RPC semantics including transport timeouts, and churn.
+#include <gtest/gtest.h>
+
+#include "sim/churn.h"
+#include "sim/network.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace ipfs::sim {
+namespace {
+
+// --------------------------------------------------------------------------
+// Simulator
+// --------------------------------------------------------------------------
+
+TEST(SimulatorTest, ExecutesEventsInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule_after(seconds(3), [&] { order.push_back(3); });
+  simulator.schedule_after(seconds(1), [&] { order.push_back(1); });
+  simulator.schedule_after(seconds(2), [&] { order.push_back(2); });
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(simulator.now(), seconds(3));
+}
+
+TEST(SimulatorTest, EqualTimestampsRunFifo) {
+  Simulator simulator;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    simulator.schedule_after(seconds(1), [&order, i] { order.push_back(i); });
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, CancelledEventsDoNotFire) {
+  Simulator simulator;
+  bool fired = false;
+  Timer timer = simulator.schedule_after(seconds(1), [&] { fired = true; });
+  timer.cancel();
+  simulator.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator simulator;
+  int count = 0;
+  simulator.schedule_after(seconds(1), [&] { ++count; });
+  simulator.schedule_after(seconds(10), [&] { ++count; });
+  const auto executed = simulator.run_until(seconds(5));
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(simulator.now(), seconds(5));
+  simulator.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator simulator;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) simulator.schedule_after(seconds(1), recurse);
+  };
+  simulator.schedule_after(seconds(1), recurse);
+  simulator.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(simulator.now(), seconds(10));
+}
+
+// --------------------------------------------------------------------------
+// Rng
+// --------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng base(42);
+  Rng fork_a = base.fork("alpha");
+  Rng fork_b = base.fork("beta");
+  Rng fork_a2 = base.fork("alpha");
+  EXPECT_EQ(fork_a.next(), fork_a2.next());
+  // Different names should diverge immediately (overwhelmingly likely).
+  Rng x = base.fork("alpha");
+  Rng y = base.fork("beta");
+  EXPECT_NE(x.next(), y.next());
+  (void)fork_b;
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const auto v = rng.uniform_int(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, ExponentialHasRoughlyCorrectMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(RngTest, LognormalMedianIsRoughlyCorrect) {
+  Rng rng(13);
+  std::vector<double> samples;
+  for (int i = 0; i < 20001; ++i) samples.push_back(rng.lognormal_median(10.0, 1.0));
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                   samples.end());
+  EXPECT_NEAR(samples[samples.size() / 2], 10.0, 0.5);
+}
+
+TEST(RngTest, ZipfPrefersLowRanks) {
+  Rng rng(17);
+  std::uint64_t head = 0, tail = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const auto r = rng.zipf(1000, 1.0);
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 1000u);
+    if (r <= 10) ++head;      // top 1 % of ranks
+    if (r > 500) ++tail;      // bottom 50 % of ranks
+  }
+  // Under Zipf(1) the 10 most popular items draw far more requests than
+  // the 500 least popular ones combined.
+  EXPECT_GT(head, 2 * tail);
+}
+
+// --------------------------------------------------------------------------
+// Network
+// --------------------------------------------------------------------------
+
+LatencyModel two_region_model() {
+  // 10 ms intra-region, 100 ms cross-region one-way.
+  return LatencyModel({{10.0, 100.0}, {100.0, 10.0}}, 1.0, 1.0);
+}
+
+struct Ping : Message {};
+struct Pong : Message {};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : latency_(two_region_model()), net_(sim_, latency_, 1) {}
+
+  Simulator sim_;
+  LatencyModel latency_;
+  Network net_;
+};
+
+TEST_F(NetworkTest, ConnectTakesHandshakeRoundTrips) {
+  const NodeId a = net_.add_node({.region = 0});
+  const NodeId b = net_.add_node({.region = 1});
+  bool done = false;
+  Duration elapsed = 0;
+  net_.connect(a, b, [&](bool ok, Duration d) {
+    done = ok;
+    elapsed = d;
+  });
+  sim_.run();
+  ASSERT_TRUE(done);
+  // TCP: 2 round trips of 200 ms RTT each.
+  EXPECT_EQ(elapsed, milliseconds(400));
+  EXPECT_TRUE(net_.connected(a, b));
+  EXPECT_TRUE(net_.connected(b, a));
+}
+
+TEST_F(NetworkTest, ReconnectIsImmediate) {
+  const NodeId a = net_.add_node({.region = 0});
+  const NodeId b = net_.add_node({.region = 0});
+  net_.connect(a, b, [](bool, Duration) {});
+  sim_.run();
+  Duration second = -1;
+  net_.connect(a, b, [&](bool ok, Duration d) {
+    EXPECT_TRUE(ok);
+    second = d;
+  });
+  sim_.run();
+  EXPECT_EQ(second, 0);
+}
+
+TEST_F(NetworkTest, DialToNatPeerTimesOutAtTransportTimeout) {
+  const NodeId a = net_.add_node({.region = 0});
+  // NAT'ed targets always hang for the full transport timeout (plus a
+  // little scheduler slack); offline-but-dialable hosts may fail fast.
+  const NodeId b = net_.add_node(
+      {.region = 0, .dialable = false, .transport = Transport::kTcp});
+  bool ok = true;
+  Duration elapsed = 0;
+  net_.connect(a, b, [&](bool success, Duration d) {
+    ok = success;
+    elapsed = d;
+  });
+  sim_.run();
+  EXPECT_FALSE(ok);
+  EXPECT_GE(elapsed, seconds(5));
+  EXPECT_LE(elapsed, seconds(5) + milliseconds(150));
+}
+
+TEST_F(NetworkTest, WebSocketDialTimeoutIs45Seconds) {
+  const NodeId a = net_.add_node({.region = 0});
+  const NodeId b = net_.add_node(
+      {.region = 0, .dialable = false, .transport = Transport::kWebSocket});
+  Duration elapsed = 0;
+  net_.connect(a, b, [&](bool, Duration d) { elapsed = d; });
+  sim_.run();
+  EXPECT_GE(elapsed, seconds(45));
+  EXPECT_LE(elapsed, seconds(45) + milliseconds(150));
+}
+
+TEST_F(NetworkTest, OfflinePeerDialsFailFastOrAtTimeout) {
+  const NodeId a = net_.add_node({.region = 0});
+  std::vector<NodeId> targets;
+  for (int i = 0; i < 40; ++i) {
+    const NodeId b = net_.add_node({.region = 0});
+    net_.set_online(b, false);
+    targets.push_back(b);
+  }
+  int fast = 0, slow = 0;
+  for (const NodeId b : targets) {
+    net_.connect(a, b, [&](bool ok, Duration d) {
+      EXPECT_FALSE(ok);
+      if (d < seconds(1))
+        ++fast;  // RST after one round trip
+      else
+        ++slow;  // full transport timeout
+    });
+  }
+  sim_.run();
+  // kFastFailProbability = 0.7: both outcomes must appear.
+  EXPECT_GT(fast, 10);
+  EXPECT_GT(slow, 2);
+}
+
+TEST_F(NetworkTest, NatPeersCannotBeDialed) {
+  const NodeId a = net_.add_node({.region = 0});
+  const NodeId b = net_.add_node({.region = 0, .dialable = false});
+  bool ok = true;
+  net_.connect(a, b, [&](bool success, Duration) { ok = success; });
+  sim_.run();
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(net_.dials_failed(), 1u);
+}
+
+TEST_F(NetworkTest, RequestResponseRoundTrip) {
+  const NodeId a = net_.add_node({.region = 0});
+  const NodeId b = net_.add_node({.region = 1});
+  net_.set_request_handler(b, [](NodeId, const MessagePtr& req, auto respond) {
+    EXPECT_NE(dynamic_cast<const Ping*>(req.get()), nullptr);
+    respond(std::make_shared<Pong>(), 100);
+  });
+  net_.connect(a, b, [](bool, Duration) {});
+  sim_.run();
+
+  RpcStatus status = RpcStatus::kTimeout;
+  MessagePtr response;
+  const Time start = sim_.now();
+  Time end = 0;
+  net_.request(a, b, std::make_shared<Ping>(), 100, seconds(10),
+               [&](RpcStatus s, MessagePtr r) {
+                 status = s;
+                 response = std::move(r);
+                 end = sim_.now();
+               });
+  sim_.run();
+  EXPECT_EQ(status, RpcStatus::kOk);
+  EXPECT_NE(dynamic_cast<const Pong*>(response.get()), nullptr);
+  // One RTT (200 ms) plus negligible transfer time.
+  EXPECT_GE(end - start, milliseconds(200));
+  EXPECT_LT(end - start, milliseconds(210));
+}
+
+TEST_F(NetworkTest, RequestToUnresponsivePeerTimesOut) {
+  const NodeId a = net_.add_node({.region = 0});
+  const NodeId b = net_.add_node({.region = 0});
+  net_.set_request_handler(b, [](NodeId, const MessagePtr&, auto respond) {
+    respond(std::make_shared<Pong>(), 10);
+  });
+  net_.connect(a, b, [](bool, Duration) {});
+  sim_.run();
+  net_.set_responsive(b, false);
+
+  RpcStatus status = RpcStatus::kOk;
+  const Time start = sim_.now();
+  Time end = 0;
+  net_.request(a, b, std::make_shared<Ping>(), 10, seconds(2),
+               [&](RpcStatus s, MessagePtr) {
+                 status = s;
+                 end = sim_.now();
+               });
+  sim_.run();
+  EXPECT_EQ(status, RpcStatus::kTimeout);
+  EXPECT_EQ(end - start, seconds(2));
+}
+
+TEST_F(NetworkTest, RequestWithoutConnectionIsUnreachable) {
+  const NodeId a = net_.add_node({.region = 0});
+  const NodeId b = net_.add_node({.region = 0});
+  RpcStatus status = RpcStatus::kOk;
+  net_.request(a, b, std::make_shared<Ping>(), 10, seconds(1),
+               [&](RpcStatus s, MessagePtr) { status = s; });
+  sim_.run();
+  EXPECT_EQ(status, RpcStatus::kUnreachable);
+}
+
+TEST_F(NetworkTest, GoingOfflineDropsConnections) {
+  const NodeId a = net_.add_node({.region = 0});
+  const NodeId b = net_.add_node({.region = 0});
+  net_.connect(a, b, [](bool, Duration) {});
+  sim_.run();
+  ASSERT_TRUE(net_.connected(a, b));
+  net_.set_online(b, false);
+  EXPECT_FALSE(net_.connected(a, b));
+  EXPECT_TRUE(net_.connections_of(a).empty());
+}
+
+TEST_F(NetworkTest, SendDeliversToConnectedPeer) {
+  const NodeId a = net_.add_node({.region = 0});
+  const NodeId b = net_.add_node({.region = 0});
+  int received = 0;
+  net_.set_message_handler(b, [&](NodeId from, const MessagePtr&) {
+    EXPECT_EQ(from, a);
+    ++received;
+  });
+  net_.connect(a, b, [](bool, Duration) {});
+  sim_.run();
+  net_.send(a, b, std::make_shared<Ping>(), 50);
+  sim_.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(NetworkTest, UplinkSerializesConcurrentTransfers) {
+  // Two large sends from one node share its uplink: the second is queued
+  // behind the first instead of magically doubling the bandwidth.
+  const NodeId src = net_.add_node(
+      {.region = 0, .upload_bytes_per_sec = 1024.0 * 1024});
+  const NodeId dst_a = net_.add_node({.region = 0});
+  const NodeId dst_b = net_.add_node({.region = 0});
+  net_.connect(src, dst_a, [](bool, Duration) {});
+  net_.connect(src, dst_b, [](bool, Duration) {});
+  sim_.run();
+
+  Time first = 0, second = 0;
+  net_.set_message_handler(dst_a, [&](NodeId, const MessagePtr&) {
+    first = sim_.now();
+  });
+  net_.set_message_handler(dst_b, [&](NodeId, const MessagePtr&) {
+    second = sim_.now();
+  });
+  const Time start = sim_.now();
+  net_.send(src, dst_a, std::make_shared<Ping>(), 1024 * 1024);  // 1 s
+  net_.send(src, dst_b, std::make_shared<Ping>(), 1024 * 1024);  // +1 s
+  sim_.run();
+  EXPECT_GE(first - start, seconds(1));
+  EXPECT_LT(first - start, seconds(1.2));
+  EXPECT_GE(second - start, seconds(2));  // queued behind the first
+  EXPECT_LT(second - start, seconds(2.2));
+}
+
+TEST_F(NetworkTest, DistinctSendersDoNotQueueOnEachOther) {
+  const NodeId src_a = net_.add_node(
+      {.region = 0, .upload_bytes_per_sec = 1024.0 * 1024});
+  const NodeId src_b = net_.add_node(
+      {.region = 0, .upload_bytes_per_sec = 1024.0 * 1024});
+  const NodeId dst = net_.add_node(
+      {.region = 0, .download_bytes_per_sec = 100.0 * 1024 * 1024});
+  net_.connect(src_a, dst, [](bool, Duration) {});
+  net_.connect(src_b, dst, [](bool, Duration) {});
+  sim_.run();
+
+  int delivered = 0;
+  Time last = 0;
+  net_.set_message_handler(dst, [&](NodeId, const MessagePtr&) {
+    ++delivered;
+    last = sim_.now();
+  });
+  const Time start = sim_.now();
+  net_.send(src_a, dst, std::make_shared<Ping>(), 1024 * 1024);
+  net_.send(src_b, dst, std::make_shared<Ping>(), 1024 * 1024);
+  sim_.run();
+  EXPECT_EQ(delivered, 2);
+  // Both arrive around 1 s: independent uplinks run in parallel.
+  EXPECT_LT(last - start, seconds(1.3));
+}
+
+TEST_F(NetworkTest, LargeTransfersTakeBandwidthTime) {
+  const NodeId a = net_.add_node(
+      {.region = 0, .upload_bytes_per_sec = 1024.0 * 1024});
+  const NodeId b = net_.add_node({.region = 0});
+  // 1 MiB at 1 MiB/s upload = 1 s.
+  EXPECT_EQ(net_.transfer_time(a, b, 1024 * 1024), seconds(1));
+}
+
+// --------------------------------------------------------------------------
+// Churn
+// --------------------------------------------------------------------------
+
+TEST(ChurnTest, NodesCycleThroughSessions) {
+  Simulator sim;
+  const LatencyModel latency({{5.0}}, 1.0, 1.0);
+  Network net(sim, latency, 3);
+  ChurnProcess churn(sim, net, 3);
+
+  const NodeId node = net.add_node({.region = 0});
+  int online_events = 0, offline_events = 0;
+  churn.add_listener([&](NodeId, bool online) {
+    if (online)
+      ++online_events;
+    else
+      ++offline_events;
+  });
+  churn.manage(
+      node, [](Rng& rng) { return seconds(rng.uniform(50, 100)); },
+      [](Rng& rng) { return seconds(rng.uniform(50, 100)); });
+
+  sim.run_until(hours(1));
+  EXPECT_GT(online_events, 5);
+  EXPECT_GT(offline_events, 5);
+  EXPECT_GT(churn.transitions(), 10u);
+}
+
+}  // namespace
+}  // namespace ipfs::sim

@@ -1,0 +1,154 @@
+// UnixFS-style directory tests: canonical directory CIDs, path
+// resolution, whole-tree import, and gateway URL parsing.
+#include <gtest/gtest.h>
+
+#include "gateway/gateway.h"
+#include "merkledag/unixfs.h"
+
+namespace ipfs::merkledag {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(std::string_view s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+DirectoryEntry file_entry(BlockStore& store, std::string name,
+                          std::string_view content) {
+  const auto import = import_bytes(store, bytes_of(content));
+  return DirectoryEntry{std::move(name), import.root, import.content_bytes};
+}
+
+TEST(DirectoryTest, MakeAndReadRoundTrip) {
+  BlockStore store;
+  std::vector<DirectoryEntry> entries = {
+      file_entry(store, "readme.md", "# Hello"),
+      file_entry(store, "main.cpp", "int main() {}"),
+  };
+  const auto dir = make_directory(store, entries);
+  ASSERT_TRUE(dir.has_value());
+
+  const auto read = read_directory(store, *dir);
+  ASSERT_TRUE(read.has_value());
+  ASSERT_EQ(read->size(), 2u);
+  // Entries come back sorted by name.
+  EXPECT_EQ((*read)[0].name, "main.cpp");
+  EXPECT_EQ((*read)[1].name, "readme.md");
+  EXPECT_TRUE(is_directory(store, *dir));
+}
+
+TEST(DirectoryTest, EntryOrderDoesNotChangeTheCid) {
+  BlockStore store;
+  const auto a = file_entry(store, "a", "AAA");
+  const auto b = file_entry(store, "b", "BBB");
+  const auto dir1 = make_directory(store, {a, b});
+  const auto dir2 = make_directory(store, {b, a});
+  ASSERT_TRUE(dir1 && dir2);
+  EXPECT_EQ(*dir1, *dir2);  // canonical ordering
+}
+
+TEST(DirectoryTest, RejectsBadNames) {
+  BlockStore store;
+  const auto file = file_entry(store, "ok", "x");
+  EXPECT_FALSE(make_directory(store, {{"", file.cid, 1}}).has_value());
+  EXPECT_FALSE(make_directory(store, {{"a/b", file.cid, 1}}).has_value());
+  EXPECT_FALSE(
+      make_directory(store, {{"dup", file.cid, 1}, {"dup", file.cid, 1}})
+          .has_value());
+}
+
+TEST(DirectoryTest, FilesAreNotDirectories) {
+  BlockStore store;
+  const auto file = import_bytes(store, bytes_of("just a file"));
+  EXPECT_FALSE(is_directory(store, file.root));
+  EXPECT_FALSE(read_directory(store, file.root).has_value());
+}
+
+TEST(PathResolutionTest, ResolvesNestedPaths) {
+  BlockStore store;
+  const auto tree = import_tree(
+      store, {
+                 {"index.html", bytes_of("<html>home</html>")},
+                 {"docs/guide.md", bytes_of("# Guide")},
+                 {"docs/img/logo.png", bytes_of("PNGDATA")},
+             });
+  ASSERT_TRUE(tree.has_value());
+
+  const auto index = resolve_path(store, *tree, "index.html");
+  ASSERT_TRUE(index.has_value());
+  EXPECT_EQ(cat(store, *index), bytes_of("<html>home</html>"));
+
+  const auto logo = resolve_path(store, *tree, "docs/img/logo.png");
+  ASSERT_TRUE(logo.has_value());
+  EXPECT_EQ(cat(store, *logo), bytes_of("PNGDATA"));
+
+  // Leading / trailing slashes are tolerated.
+  EXPECT_EQ(resolve_path(store, *tree, "/docs/guide.md"),
+            resolve_path(store, *tree, "docs/guide.md/"));
+}
+
+TEST(PathResolutionTest, EmptyPathIsTheRoot) {
+  BlockStore store;
+  const auto tree = import_tree(store, {{"a", bytes_of("x")}});
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_EQ(resolve_path(store, *tree, ""), *tree);
+  EXPECT_EQ(resolve_path(store, *tree, "/"), *tree);
+}
+
+TEST(PathResolutionTest, MissingSegmentsFail) {
+  BlockStore store;
+  const auto tree = import_tree(store, {{"docs/a.txt", bytes_of("A")}});
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_FALSE(resolve_path(store, *tree, "nope").has_value());
+  EXPECT_FALSE(resolve_path(store, *tree, "docs/missing").has_value());
+  // Descending *into* a file fails.
+  EXPECT_FALSE(resolve_path(store, *tree, "docs/a.txt/deeper").has_value());
+}
+
+TEST(ImportTreeTest, SubdirectoriesShareStructure) {
+  BlockStore store;
+  const auto tree = import_tree(
+      store, {
+                 {"a/common.txt", bytes_of("same bytes")},
+                 {"b/common.txt", bytes_of("same bytes")},
+             });
+  ASSERT_TRUE(tree.has_value());
+  const auto a = resolve_path(store, *tree, "a");
+  const auto b = resolve_path(store, *tree, "b");
+  ASSERT_TRUE(a && b);
+  // Identical subtrees deduplicate to the same CID.
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(ImportTreeTest, TreeCidIsDeterministic) {
+  BlockStore s1, s2;
+  const std::vector<TreeFile> files = {
+      {"x/1", bytes_of("one")},
+      {"x/2", bytes_of("two")},
+      {"y", bytes_of("why")},
+  };
+  EXPECT_EQ(import_tree(s1, files), import_tree(s2, files));
+}
+
+TEST(GatewayUrlTest, ParsesCidAndPath) {
+  BlockStore store;
+  const auto tree = import_tree(store, {{"site/page.html", bytes_of("hi")}});
+  const std::string url = "/ipfs/" + tree->to_string() + "/site/page.html";
+  const auto parsed = gateway::Gateway::parse_url_path(url);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->first, *tree);
+  EXPECT_EQ(parsed->second, "site/page.html");
+
+  const auto bare = gateway::Gateway::parse_url_path(
+      "/ipfs/" + tree->to_string());
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(bare->second, "");
+}
+
+TEST(GatewayUrlTest, RejectsMalformedUrls) {
+  EXPECT_FALSE(gateway::Gateway::parse_url_path("/ipns/whatever").has_value());
+  EXPECT_FALSE(gateway::Gateway::parse_url_path("/ipfs/not-a-cid").has_value());
+  EXPECT_FALSE(gateway::Gateway::parse_url_path("").has_value());
+}
+
+}  // namespace
+}  // namespace ipfs::merkledag
