@@ -46,6 +46,13 @@ bool Bitswap::handle_request(
   return false;
 }
 
+struct Bitswap::Discovery {
+  bool finished = false;
+  std::size_t answered = 0;
+  std::size_t total = 0;
+  sim::Timer timer;
+};
+
 void Bitswap::discover(const Cid& cid, sim::Duration timeout,
                        std::function<void(std::optional<sim::NodeId>)> done,
                        bool early_exit) {
@@ -57,20 +64,17 @@ void Bitswap::discover(const Cid& cid, sim::Duration timeout,
   }
 
   wantlist_.insert(want_key(cid));
-  struct State {
-    bool finished = false;
-    std::size_t answered = 0;
-    std::size_t total = 0;
-    sim::Timer timer;
-  };
-  auto state = std::make_shared<State>();
+  auto state = std::make_shared<Discovery>();
   state->total = peers.size();
+  const std::uint64_t discovery_id = next_discovery_id_++;
+  discoveries_.emplace(discovery_id, state);
 
-  auto finish = [this, cid, state,
+  auto finish = [this, cid, state, discovery_id,
                  done = std::move(done)](std::optional<sim::NodeId> peer) {
     if (state->finished) return;
     state->finished = true;
     state->timer.cancel();
+    discoveries_.erase(discovery_id);
     wantlist_.erase(want_key(cid));
     if (peer) ++discovery_hits_;
     done(peer);
@@ -209,6 +213,15 @@ void Bitswap::pump_dag_fetch(sim::NodeId peer,
                   pump_dag_fetch(peer, state);
                 });
   }
+}
+
+void Bitswap::handle_crash() {
+  for (auto& [id, discovery] : discoveries_) {
+    discovery->finished = true;
+    discovery->timer.cancel();
+  }
+  discoveries_.clear();
+  wantlist_.clear();
 }
 
 const Ledger& Bitswap::ledger_for(sim::NodeId peer) { return ledgers_[peer]; }

@@ -95,7 +95,18 @@ class Bitswap {
 
   static constexpr int kFetchWindow = 8;
 
+  // Applies a process crash (sim/faults.h): in-flight discoveries are
+  // abandoned without their callbacks firing (their timeout timers are
+  // requester-owned, so the network's epoch muting alone cannot stop
+  // them) and the wantlist is dropped. The ledgers survive — accounting
+  // lives in the datastore, and the fuzz harness checks conservation
+  // against them across crashes.
+  void handle_crash();
+
   const Ledger& ledger_for(sim::NodeId peer);
+  const std::unordered_map<sim::NodeId, Ledger>& ledgers() const {
+    return ledgers_;
+  }
   blockstore::BlockStore& store() { return store_; }
   const std::unordered_set<std::string>& wantlist() const { return wantlist_; }
 
@@ -104,6 +115,7 @@ class Bitswap {
 
  private:
   struct DagFetch;
+  struct Discovery;
   void pump_dag_fetch(sim::NodeId peer, std::shared_ptr<DagFetch> state);
 
   static std::string want_key(const Cid& cid);
@@ -113,6 +125,9 @@ class Bitswap {
   blockstore::BlockStore& store_;
   std::unordered_set<std::string> wantlist_;
   std::unordered_map<sim::NodeId, Ledger> ledgers_;
+  // In-flight discover() calls, so handle_crash() can abandon them.
+  std::unordered_map<std::uint64_t, std::shared_ptr<Discovery>> discoveries_;
+  std::uint64_t next_discovery_id_ = 1;
   std::uint64_t discovery_attempts_ = 0;
   std::uint64_t discovery_hits_ = 0;
 };

@@ -270,6 +270,22 @@ void DhtNode::bootstrap(std::vector<PeerRef> seeds,
   }
 }
 
+void DhtNode::handle_crash() {
+  for (auto& [raw, lookup] : active_lookups_) lookup->abort();
+  active_lookups_.clear();
+  routing_table_ = RoutingTable(Key::for_peer(self_.id));
+  republish_timer_.cancel();
+  expiry_timer_.cancel();
+}
+
+void DhtNode::handle_restart() {
+  republish_timer_.cancel();
+  expiry_timer_.cancel();
+  records_->expire_providers(network_.simulator().now());
+  schedule_expiry_sweep();
+  if (!reprovide_keys_.empty()) schedule_republish();
+}
+
 void DhtNode::store_provider_records(
     const Key& key, std::vector<PeerRef> targets,
     std::function<void(StoreBatchResult)> done) {
@@ -296,7 +312,12 @@ void DhtNode::store_provider_records(
   state->queue = std::move(targets);
 
   auto pump = std::make_shared<std::function<void()>>();
-  *pump = [this, key, state, result, start, done, pump] {
+  // The stored function must not capture its own shared_ptr (that cycle
+  // would keep the batch state alive forever); the in-flight dial
+  // callbacks hold the strong references instead, so the batch is freed
+  // as soon as the last dial resolves — or is muted by a crash.
+  std::weak_ptr<std::function<void()>> weak_pump = pump;
+  *pump = [this, key, state, result, start, done, weak_pump] {
     if (state->next >= state->queue.size() && state->in_flight == 0) {
       result->elapsed = network_.simulator().now() - start;
       done(*result);
@@ -308,7 +329,7 @@ void DhtNode::store_provider_records(
       ++state->in_flight;
       network_.connect(self_.node, peer.node,
                        [this, key, peer, state, result,
-                        pump](bool ok, sim::Duration) {
+                        pump = weak_pump.lock()](bool ok, sim::Duration) {
                          --state->in_flight;
                          if (ok) {
                            auto add = std::make_shared<AddProviderRequest>();

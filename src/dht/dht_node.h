@@ -58,6 +58,20 @@ class DhtNode {
   // self-lookup that populates the routing table, then reports success.
   void bootstrap(std::vector<PeerRef> seeds, std::function<void(bool)> done);
 
+  // --- Crash/restart (sim/faults.h) ---------------------------------------
+
+  // Applies a process crash: in-flight lookups are aborted without their
+  // callbacks firing, the routing table (soft state) is dropped, and the
+  // maintenance timers stop. Stored records and the reprovide set survive
+  // (they live in the datastore in the real stack). Call after
+  // Network::set_online(node, false).
+  void handle_crash();
+
+  // Re-arms maintenance after a crash, running an immediate expiry sweep
+  // first (under repeated crashes the hourly sweep may otherwise never
+  // fire). The caller re-joins the network via bootstrap().
+  void handle_restart();
+
   // --- Publication (Section 3.1) -----------------------------------------
 
   struct ProvideResult {

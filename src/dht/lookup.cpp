@@ -186,6 +186,13 @@ void Lookup::on_response(const Key& candidate_key, sim::RpcStatus status,
   pump();
 }
 
+void Lookup::abort() {
+  if (finished_) return;
+  finished_ = true;
+  deadline_timer_.cancel();
+  // In-flight RPC callbacks see finished_ and return without effect.
+}
+
 void Lookup::finish(bool completed) {
   if (finished_) return;
   finished_ = true;

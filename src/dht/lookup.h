@@ -63,6 +63,13 @@ class Lookup : public std::enable_shared_from_this<Lookup> {
       std::vector<PeerRef> seeds, Callback cb,
       std::optional<multiformats::PeerId> target_peer = std::nullopt);
 
+  // Abandons the walk WITHOUT invoking the callback: the requester
+  // crashed and nobody is waiting for the result. Needed because the
+  // deadline timer is owned by the lookup, not the network fabric, so a
+  // crashed node's walk would otherwise fire its callback at the 3 min
+  // deadline.
+  void abort();
+
  private:
   Lookup(LookupHost host, LookupType type, Key target, Callback cb,
          std::optional<multiformats::PeerId> target_peer);

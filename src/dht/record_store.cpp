@@ -47,6 +47,17 @@ std::optional<ValueRecord> RecordStore::get_value(const Key& key) const {
   return it->second;
 }
 
+std::size_t RecordStore::stale_provider_count(sim::Time now,
+                                              sim::Duration slack) const {
+  std::size_t stale = 0;
+  for (const auto& [key, records] : providers_) {
+    for (const auto& record : records) {
+      if (now - record.received_at > provider_expiry_ + slack) ++stale;
+    }
+  }
+  return stale;
+}
+
 std::size_t RecordStore::expire_providers(sim::Time now) {
   std::size_t removed = 0;
   for (auto it = providers_.begin(); it != providers_.end();) {

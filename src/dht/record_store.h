@@ -36,6 +36,11 @@ class RecordStore {
   // Drops every provider record older than the expiry (periodic sweep).
   std::size_t expire_providers(sim::Time now);
 
+  // Records past their expiry by more than `slack`, without pruning.
+  // Diagnostic: the fuzz harness asserts the periodic sweeps keep
+  // staleness bounded even across crash/restart cycles.
+  std::size_t stale_provider_count(sim::Time now, sim::Duration slack) const;
+
   std::size_t provider_key_count() const { return providers_.size(); }
   std::size_t value_count() const { return values_.size(); }
 

@@ -25,6 +25,8 @@ class ConnectionManager {
   // Never trim these peers (bootstrap peers, active transfer partners).
   void protect(sim::NodeId peer) { protected_.insert(peer); }
   void unprotect(sim::NodeId peer) { protected_.erase(peer); }
+  // Drops every protection (process crash: the set is soft state).
+  void clear_protected() { protected_.clear(); }
 
   // Closes unprotected connections down to low_water if the node exceeds
   // high_water. Returns how many were closed.

@@ -299,6 +299,19 @@ void IpfsNode::fetch_from(std::shared_ptr<RetrievalTrace> trace,
       });
 }
 
+void IpfsNode::handle_crash() {
+  dht_.handle_crash();
+  bitswap_.handle_crash();
+  address_book_ = AddressBook(address_book_.capacity());
+  conn_manager_.clear_protected();
+}
+
+void IpfsNode::handle_restart(std::vector<dht::PeerRef> seeds,
+                              std::function<void(bool)> done) {
+  dht_.handle_restart();
+  bootstrap(std::move(seeds), std::move(done));
+}
+
 void IpfsNode::reset_for_next_measurement() {
   conn_manager_.disconnect_all();
   // Forget cached addresses so peer discovery exercises the DHT again

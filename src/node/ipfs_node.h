@@ -110,6 +110,20 @@ class IpfsNode {
   // discovery, peer discovery, peer routing, content exchange.
   void retrieve(const Cid& cid, std::function<void(RetrievalTrace)> done);
 
+  // --- Crash/restart (sim/faults.h) ---------------------------------------
+
+  // Applies a process crash: every layer drops its soft state (in-flight
+  // lookups and discoveries, routing table, address book, connection
+  // protections) while the pinned blockstore survives on disk. Call from
+  // a FaultPlan crash listener, after Network::set_online(node, false)
+  // has muted the node's network callbacks.
+  void handle_crash();
+
+  // Restart after a crash: re-arms the DHT maintenance timers and
+  // re-joins the network via bootstrap().
+  void handle_restart(std::vector<dht::PeerRef> seeds,
+                      std::function<void(bool)> done);
+
   // Experiment-harness helper (Section 4.3): drop every connection and
   // forget cached peer addresses so the next retrieval exercises the DHT.
   void reset_for_next_measurement();

@@ -1,0 +1,516 @@
+#include "sim/fuzz_harness.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "dht/record_store.h"
+#include "merkledag/merkledag.h"
+#include "node/ipfs_node.h"
+
+namespace ipfs::simfuzz {
+
+namespace {
+
+// The first nodes are the bootstrap set: always dialable, never flaky,
+// never crash-managed (real bootstrap infrastructure is the stable core
+// the rest of the network re-joins through). Four of them, because
+// AutoNAT upgrades a peer to DHT server only with more than
+// dht::kAutonatThreshold (3) reachable dial-back probes, and in a cold
+// world the bootstrap servers are the only peers whose dial-backs count.
+constexpr std::size_t kBootstrapCount = 4;
+constexpr int kRegions = 3;
+
+sim::LatencyModel fuzz_latency_model() {
+  // Three regions with asymmetric one-way latencies (ms), default jitter.
+  return sim::LatencyModel({{20.0, 60.0, 120.0},
+                            {60.0, 15.0, 90.0},
+                            {120.0, 90.0, 25.0}});
+}
+
+std::vector<std::uint8_t> deterministic_bytes(std::size_t n, sim::Rng& rng) {
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+const char* kind_name(OpRecord::Kind kind) {
+  return kind == OpRecord::Kind::kPublish ? "publish" : "retrieve";
+}
+
+}  // namespace
+
+sim::FaultConfig faults_for_scale(double scale, bool long_horizon) {
+  sim::FaultConfig faults;
+  if (scale <= 0.0) return faults;
+  faults.drop_prob = 0.08 * scale;
+  faults.duplicate_prob = 0.05 * scale;
+  faults.reorder_prob = 0.10 * scale;
+  faults.reorder_max_delay = sim::milliseconds(300);
+  faults.dial_failure_prob = 0.15 * scale;
+  faults.latency_spike_factor = 6.0;
+  faults.latency_spike_duration = sim::seconds(15);
+  if (long_horizon) {
+    // Rates capped so a 26 h horizon stays a few thousand fault events.
+    faults.latency_spikes_per_hour = 120.0 * scale;
+    faults.connection_resets_per_hour = 120.0 * scale;
+    faults.crashes_per_hour_per_node = 1.0 * scale;
+    faults.min_downtime = sim::minutes(10);
+    faults.max_downtime = sim::hours(2);
+  } else {
+    faults.latency_spikes_per_hour = 300.0 * scale;
+    faults.connection_resets_per_hour = 400.0 * scale;
+    faults.crashes_per_hour_per_node = 15.0 * scale;
+    faults.min_downtime = sim::seconds(5);
+    faults.max_downtime = sim::seconds(40);
+  }
+  return faults;
+}
+
+ScheduleParams make_schedule(std::uint64_t seed) {
+  ScheduleParams params;
+  params.seed = seed;
+  sim::Rng rng = sim::Rng(seed).fork("schedule");
+  params.node_count = static_cast<std::size_t>(rng.uniform_int(10, 24));
+  params.nat_fraction = rng.uniform(0.0, 0.4);
+  params.flaky_fraction = rng.uniform(0.0, 0.2);
+  params.long_horizon = rng.chance(0.2);
+  params.publish_count =
+      static_cast<std::size_t>(rng.uniform_int(2, params.long_horizon ? 3 : 5));
+  params.retrievals_per_object =
+      static_cast<std::size_t>(rng.uniform_int(1, 4));
+  params.min_object_bytes = 1 * 1024;
+  params.max_object_bytes =
+      static_cast<std::size_t>(rng.uniform_int(64, 512)) * 1024;
+  params.workload_window = sim::minutes(rng.uniform(1.0, 3.0));
+  params.fault_scale = rng.chance(0.2) ? 0.0 : rng.uniform(0.05, 1.0);
+  params.faults = faults_for_scale(params.fault_scale, params.long_horizon);
+  return params;
+}
+
+std::string ScheduleParams::describe() const {
+  std::ostringstream out;
+  out << "schedule{seed=" << seed << " nodes=" << node_count
+      << " nat=" << nat_fraction << " flaky=" << flaky_fraction
+      << " publishes=" << publish_count
+      << " retrievals_per_object=" << retrievals_per_object
+      << " object_bytes=[" << min_object_bytes << "," << max_object_bytes
+      << "] window_s=" << sim::to_seconds(workload_window)
+      << " long_horizon=" << (long_horizon ? 1 : 0)
+      << " fault_scale=" << fault_scale << " drop=" << faults.drop_prob
+      << " dup=" << faults.duplicate_prob << " reorder=" << faults.reorder_prob
+      << " dial_fail=" << faults.dial_failure_prob
+      << " spikes_per_h=" << faults.latency_spikes_per_hour
+      << " resets_per_h=" << faults.connection_resets_per_hour
+      << " crashes_per_h_per_node=" << faults.crashes_per_hour_per_node
+      << " downtime_s=[" << sim::to_seconds(faults.min_downtime) << ","
+      << sim::to_seconds(faults.max_downtime) << "]}\n"
+      << "replay: IPFS_FUZZ_SEED=" << seed
+      << " IPFS_FUZZ_SCHEDULES=1 ./tests/simfuzz_test";
+  return out.str();
+}
+
+std::size_t ScheduleStats::publishes_ok() const {
+  std::size_t count = 0;
+  for (const auto& op : ops)
+    if (op.kind == OpRecord::Kind::kPublish && op.completed && op.ok) ++count;
+  return count;
+}
+
+std::size_t ScheduleStats::retrievals_attempted() const {
+  std::size_t count = 0;
+  for (const auto& op : ops)
+    if (op.kind == OpRecord::Kind::kRetrieve && op.attempted) ++count;
+  return count;
+}
+
+std::size_t ScheduleStats::retrievals_ok() const {
+  std::size_t count = 0;
+  for (const auto& op : ops)
+    if (op.kind == OpRecord::Kind::kRetrieve && op.completed && op.ok) ++count;
+  return count;
+}
+
+std::string ScheduleStats::fingerprint() const {
+  std::ostringstream out;
+  out << "bytes=" << bytes_fetched << " events=" << events_executed
+      << " faults{drop=" << faults.messages_dropped
+      << " dup=" << faults.messages_duplicated
+      << " reorder=" << faults.messages_reordered
+      << " dial=" << faults.dials_failed << " spike=" << faults.latency_spikes
+      << " reset=" << faults.connection_resets
+      << " crash=" << faults.crashes << " restart=" << faults.restarts
+      << "}\n";
+  auto sorted = ops;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const OpRecord& a, const OpRecord& b) {
+              if (a.start != b.start) return a.start < b.start;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              if (a.node != b.node) return a.node < b.node;
+              return a.object < b.object;
+            });
+  for (const auto& op : sorted) {
+    out << kind_name(op.kind) << " obj=" << op.object << " node=" << op.node
+        << " start_us=" << op.start << " attempted=" << op.attempted
+        << " completed=" << op.completed << " ok=" << op.ok
+        << " elapsed_us=" << op.elapsed << "\n";
+  }
+  return out.str();
+}
+
+std::string ScheduleReport::failure_summary() const {
+  std::ostringstream out;
+  out << params.describe() << "\n";
+  if (violations.empty()) {
+    out << "no invariant violations";
+    return out.str();
+  }
+  out << violations.size() << " invariant violation(s):";
+  for (const auto& violation : violations) out << "\n  - " << violation;
+  return out.str();
+}
+
+ScheduleReport run_schedule(const ScheduleParams& params) {
+  ScheduleReport report;
+  report.params = params;
+  std::vector<std::string>& violations = report.violations;
+  ScheduleStats& stats = report.stats;
+
+  sim::Rng base_rng(params.seed);
+  sim::Rng world_rng = base_rng.fork("fuzz-world");
+  sim::Rng workload_rng = base_rng.fork("fuzz-workload");
+
+  sim::Simulator simulator;
+  const sim::LatencyModel latency = fuzz_latency_model();
+  sim::Network network(simulator, latency, params.seed);
+
+  // ---- World -------------------------------------------------------------
+  const std::size_t node_count = std::max(params.node_count, kBootstrapCount + 2);
+  std::vector<std::unique_ptr<node::IpfsNode>> nodes;
+  std::vector<bool> is_stable(node_count, false);  // dialable and not flaky
+  nodes.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    node::IpfsNodeConfig config;
+    config.net.region = static_cast<int>(world_rng.uniform_int(0, kRegions - 1));
+    config.identity_seed = params.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+    config.net.transport =
+        world_rng.chance(0.3) ? sim::Transport::kQuic : sim::Transport::kTcp;
+    bool stable = true;
+    if (i >= kBootstrapCount) {
+      if (world_rng.chance(params.nat_fraction)) {
+        config.net.dialable = false;
+        // NAT'ed peers keep a relay to a bootstrap node (DCUtR), so they
+        // can still serve as temporary providers after a fetch.
+        config.net.relay = static_cast<std::uint32_t>(i % kBootstrapCount);
+        stable = false;
+      } else if (world_rng.chance(params.flaky_fraction)) {
+        config.net.dial_success_prob = 0.6;
+        stable = false;
+      }
+    }
+    is_stable[i] = stable;
+    nodes.push_back(std::make_unique<node::IpfsNode>(network, config));
+  }
+
+  std::vector<std::size_t> stable_nodes;
+  for (std::size_t i = 0; i < node_count; ++i)
+    if (is_stable[i]) stable_nodes.push_back(i);
+
+  // The bootstrap trio is configured as DHT servers and knows about each
+  // other from the start (real bootstrap infrastructure does not discover
+  // itself via AutoNAT).
+  for (std::size_t i = 0; i < kBootstrapCount; ++i) {
+    nodes[i]->dht().force_mode(dht::DhtNode::Mode::kServer);
+    for (std::size_t j = 0; j < kBootstrapCount; ++j)
+      if (j != i) nodes[i]->dht().routing_table().upsert(nodes[j]->self());
+  }
+
+  // Seed set: the four bootstrap servers plus at most one stable extra.
+  // AutoNAT probes at most 5 connected seeds and only server-mode peers
+  // vouch for reachability, so the bootstrap quorum must dominate the
+  // probe set for dialable peers to upgrade to server mode.
+  const auto seeds_for = [&](std::size_t index) {
+    std::vector<dht::PeerRef> seeds;
+    for (std::size_t i = 0; i < kBootstrapCount; ++i)
+      if (i != index) seeds.push_back(nodes[i]->self());
+    for (const std::size_t i : stable_nodes) {
+      if (i < kBootstrapCount || i == index) continue;
+      seeds.push_back(nodes[i]->self());
+      break;
+    }
+    return seeds;
+  };
+
+  // ---- Phase 1: faultless bootstrap --------------------------------------
+  // Bootstrap servers only dial each other (a DHT bootstrap would run
+  // AutoNAT against too few servers and downgrade them to clients); the
+  // rest join through them, staggered 200 ms apart.
+  std::vector<int> bootstrap_ok(node_count, -1);
+  for (std::size_t i = 0; i < kBootstrapCount; ++i) {
+    bootstrap_ok[i] = 1;
+    for (std::size_t j = i + 1; j < kBootstrapCount; ++j)
+      network.connect(nodes[i]->node(), nodes[j]->node(),
+                      [](bool, sim::Duration) {});
+  }
+  for (std::size_t i = kBootstrapCount; i < node_count; ++i) {
+    simulator.schedule_after(
+        sim::milliseconds(200.0 * static_cast<double>(i)), [&, i] {
+          nodes[i]->bootstrap(seeds_for(i), [&, i](bool ok) {
+            bootstrap_ok[i] = ok ? 1 : 0;
+          });
+        });
+  }
+  stats.events_executed += simulator.run();
+  for (std::size_t i = 0; i < node_count; ++i) {
+    if (bootstrap_ok[i] != 1) {
+      std::ostringstream out;
+      out << "node " << i << " failed to bootstrap in the faultless phase "
+          << "(result=" << bootstrap_ok[i] << ")";
+      violations.push_back(out.str());
+    }
+  }
+
+  // ---- Fault plan + crash wiring -----------------------------------------
+  sim::FaultPlan plan(network, params.faults, params.seed);
+  std::vector<std::vector<sim::Time>> crash_times(node_count);
+  plan.add_crash_listener([&](sim::NodeId node_id, bool online) {
+    const auto index = static_cast<std::size_t>(node_id);
+    if (!online) {
+      crash_times[index].push_back(simulator.now());
+      nodes[index]->handle_crash();
+    } else {
+      nodes[index]->handle_restart(seeds_for(index), [](bool) {});
+    }
+  });
+  for (std::size_t i = kBootstrapCount; i < node_count; ++i)
+    plan.manage_crashes(nodes[i]->node());
+
+  // ---- Workload construction ---------------------------------------------
+  struct FuzzObject {
+    std::vector<std::uint8_t> data;
+    multiformats::Cid cid;  // filled at publish time (add() is deterministic)
+    std::size_t publisher = 0;
+    bool published_locally = false;
+  };
+  std::vector<FuzzObject> objects(params.publish_count);
+  const std::size_t retrievals_total =
+      params.publish_count * params.retrievals_per_object;
+  // Pre-sized op table: callbacks index into it, so it must never
+  // reallocate while the simulation runs.
+  stats.ops.assign(params.publish_count + retrievals_total, OpRecord{});
+
+  struct PlannedRetrieval {
+    std::size_t op_index;
+    std::size_t retriever;
+    sim::Duration delay_after_publish;
+  };
+  std::vector<std::vector<PlannedRetrieval>> planned(params.publish_count);
+
+  const sim::Duration window = params.workload_window;
+  const sim::Time workload_start = simulator.now();
+  for (std::size_t oi = 0; oi < params.publish_count; ++oi) {
+    FuzzObject& object = objects[oi];
+    const auto size = static_cast<std::size_t>(workload_rng.uniform_int(
+        static_cast<std::int64_t>(params.min_object_bytes),
+        static_cast<std::int64_t>(params.max_object_bytes)));
+    object.data = deterministic_bytes(size, workload_rng);
+    object.publisher = stable_nodes[static_cast<std::size_t>(
+        workload_rng.uniform_int(0,
+                                 static_cast<std::int64_t>(stable_nodes.size()) - 1))];
+
+    OpRecord& publish_op = stats.ops[oi];
+    publish_op.kind = OpRecord::Kind::kPublish;
+    publish_op.object = oi;
+    publish_op.node = nodes[object.publisher]->node();
+
+    for (std::size_t r = 0; r < params.retrievals_per_object; ++r) {
+      PlannedRetrieval retrieval;
+      retrieval.op_index = params.publish_count +
+                           oi * params.retrievals_per_object + r;
+      do {
+        retrieval.retriever = static_cast<std::size_t>(workload_rng.uniform_int(
+            0, static_cast<std::int64_t>(node_count) - 1));
+      } while (retrieval.retriever == object.publisher);
+      const double max_delay_s =
+          params.long_horizon ? 25.0 * 3600.0 : sim::to_seconds(window) / 2.0;
+      retrieval.delay_after_publish =
+          sim::seconds(workload_rng.uniform(1.0, max_delay_s));
+      OpRecord& op = stats.ops[retrieval.op_index];
+      op.kind = OpRecord::Kind::kRetrieve;
+      op.object = oi;
+      op.node = nodes[retrieval.retriever]->node();
+      planned[oi].push_back(retrieval);
+    }
+
+    const sim::Duration publish_offset =
+        sim::seconds(workload_rng.uniform(0.0, sim::to_seconds(window) / 4.0));
+    simulator.schedule_at(workload_start + publish_offset, [&, oi] {
+      FuzzObject& obj = objects[oi];
+      OpRecord& op = stats.ops[oi];
+      op.start = simulator.now();
+      if (!network.online(nodes[obj.publisher]->node())) return;  // crashed
+      op.attempted = true;
+      obj.cid = nodes[obj.publisher]->add(obj.data).root;
+      obj.published_locally = true;
+      nodes[obj.publisher]->provide(obj.cid, [&, oi](node::PublishTrace trace) {
+        OpRecord& publish_op = stats.ops[oi];
+        if (publish_op.completed) {
+          std::ostringstream out;
+          out << "publish obj=" << oi << " completed twice";
+          violations.push_back(out.str());
+          return;
+        }
+        publish_op.completed = true;
+        publish_op.ok = trace.ok;
+        publish_op.elapsed = simulator.now() - publish_op.start;
+
+        // Retrievals chase the publish (never race it): schedule them
+        // only once the provider records are out.
+        for (const PlannedRetrieval& retrieval : planned[oi]) {
+          simulator.schedule_after(retrieval.delay_after_publish, [&, oi,
+                                                                   retrieval] {
+            OpRecord& op = stats.ops[retrieval.op_index];
+            op.start = simulator.now();
+            const auto& node = nodes[retrieval.retriever];
+            if (!network.online(node->node())) return;  // crashed right now
+            op.attempted = true;
+            node->retrieve(objects[oi].cid, [&, oi,
+                                             retrieval](node::RetrievalTrace trace) {
+              OpRecord& op = stats.ops[retrieval.op_index];
+              if (op.completed) {
+                std::ostringstream out;
+                out << "retrieval obj=" << oi << " op=" << retrieval.op_index
+                    << " completed twice";
+                violations.push_back(out.str());
+                return;
+              }
+              op.completed = true;
+              op.ok = trace.ok;
+              op.elapsed = simulator.now() - op.start;
+              stats.bytes_fetched += trace.bytes;
+              if (trace.ok) {
+                const auto reassembled = merkledag::cat(
+                    nodes[retrieval.retriever]->store(), objects[oi].cid);
+                if (!reassembled || *reassembled != objects[oi].data) {
+                  std::ostringstream out;
+                  out << "content mismatch: retrieval obj=" << oi << " node="
+                      << op.node << " reported ok but bytes differ";
+                  violations.push_back(out.str());
+                }
+              }
+            });
+          });
+        }
+      });
+    });
+  }
+
+  // ---- Phase 2: run the workload under faults ----------------------------
+  plan.arm();
+  const sim::Time horizon =
+      params.long_horizon
+          ? workload_start + sim::hours(26)
+          : workload_start + window + sim::seconds(60);
+  stats.events_executed += simulator.run_until(horizon);
+
+  // ---- Phase 3: disarm background faults and drain -----------------------
+  plan.disarm();
+  stats.events_executed += simulator.run();
+  stats.faults = plan.counters();
+
+  // ---- Invariant checks ---------------------------------------------------
+  const sim::Time end = simulator.now();
+
+  // (2) Completion: attempted ops completed exactly once unless the
+  // requester crashed after the op started. (Double completion is caught
+  // inline above.)
+  for (const auto& op : stats.ops) {
+    if (!op.attempted || op.completed) continue;
+    const auto& crashes = crash_times[op.node];
+    const bool crashed_after_start = std::any_of(
+        crashes.begin(), crashes.end(),
+        [&](sim::Time t) { return t >= op.start; });
+    if (!crashed_after_start) {
+      std::ostringstream out;
+      out << kind_name(op.kind) << " obj=" << op.object << " node=" << op.node
+          << " started at t=" << op.start
+          << "us never completed and the node never crashed";
+      violations.push_back(out.str());
+    }
+  }
+
+  // (3) No leaked simulator events or pending exchanges.
+  if (simulator.foreground_pending() != 0) {
+    std::ostringstream out;
+    out << simulator.foreground_pending()
+        << " live foreground event(s) leaked after the drain";
+    violations.push_back(out.str());
+  }
+  if (network.pending_request_count() != 0) {
+    std::ostringstream out;
+    out << network.pending_request_count()
+        << " pending request/response exchange(s) leaked after the drain";
+    violations.push_back(out.str());
+  }
+
+  // (4) Routing hygiene: no self entries, no duplicates.
+  for (std::size_t i = 0; i < node_count; ++i) {
+    const auto peers = nodes[i]->dht().routing_table().all_peers();
+    std::set<multiformats::PeerId> seen;
+    for (const auto& peer : peers) {
+      if (peer.id == nodes[i]->self().id) {
+        std::ostringstream out;
+        out << "node " << i << " holds itself in its routing table";
+        violations.push_back(out.str());
+      }
+      if (!seen.insert(peer.id).second) {
+        std::ostringstream out;
+        out << "node " << i << " holds a duplicate routing entry";
+        violations.push_back(out.str());
+      }
+    }
+  }
+
+  // (5) Provider records expire on schedule (one sweep interval of slack,
+  // plus the worst-case crash downtime during which no sweep can run).
+  const sim::Duration expiry_slack =
+      dht::kExpirySweepInterval + params.faults.max_downtime + sim::minutes(1);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    const std::size_t stale =
+        nodes[i]->dht().record_store().stale_provider_count(end, expiry_slack);
+    if (stale != 0) {
+      std::ostringstream out;
+      out << "node " << i << " holds " << stale
+          << " provider record(s) past expiry + slack at t=" << end << "us";
+      violations.push_back(out.str());
+    }
+  }
+
+  // (6) Conservation: received(a <- b) <= sent(b -> a), blocks and bytes.
+  for (std::size_t a = 0; a < node_count; ++a) {
+    for (const auto& [peer, ledger] : nodes[a]->bitswap().ledgers()) {
+      const auto& peer_ledgers =
+          nodes[static_cast<std::size_t>(peer)]->bitswap().ledgers();
+      const auto it = peer_ledgers.find(nodes[a]->node());
+      const std::uint64_t sent_blocks =
+          it == peer_ledgers.end() ? 0 : it->second.blocks_sent;
+      const std::uint64_t sent_bytes =
+          it == peer_ledgers.end() ? 0 : it->second.bytes_sent;
+      if (ledger.blocks_received > sent_blocks ||
+          ledger.bytes_received > sent_bytes) {
+        std::ostringstream out;
+        out << "conservation violated: node " << a << " received "
+            << ledger.blocks_received << " blocks/" << ledger.bytes_received
+            << " bytes from node " << peer << " which only sent "
+            << sent_blocks << "/" << sent_bytes;
+        violations.push_back(out.str());
+      }
+    }
+  }
+
+  plan.detach();
+  return report;
+}
+
+}  // namespace ipfs::simfuzz

@@ -1,0 +1,118 @@
+// Seeded simulation-fuzz harness for the full publish -> provide ->
+// resolve -> Bitswap-fetch pipeline.
+//
+// A *schedule* is one randomized end-to-end run: a world (regions, NAT'ed
+// and flaky tails), a fault plan (sim/faults.h), and a workload of
+// publishes and retrievals, all derived from a single seed. After the run
+// drains, global invariants are checked:
+//
+//   1. Content integrity: every successful retrieval reassembles exactly
+//      the published bytes; anything else fails with a typed error
+//      (RetrievalTrace.ok == false), never silently.
+//   2. Completion: every attempted operation completes exactly once, OR
+//      its requester crashed after the operation started (a crashed
+//      process takes its callbacks with it).
+//   3. No leaks: zero live foreground events and zero pending
+//      request/response exchanges after the drain.
+//   4. Routing hygiene: no routing table contains its own peer or a
+//      duplicate entry.
+//   5. Record expiry: no provider record outlives its expiry by more than
+//      one sweep interval plus the maximum crash downtime.
+//   6. Conservation: for every ordered node pair, blocks (and bytes)
+//      received from a peer never exceed what that peer's ledger sent.
+//
+// Any violation message embeds ScheduleParams::describe(), which includes
+// the seed and a one-command replay line.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/faults.h"
+#include "sim/network.h"
+#include "sim/time.h"
+
+namespace ipfs::simfuzz {
+
+struct ScheduleParams {
+  std::uint64_t seed = 0;
+
+  // World shape.
+  std::size_t node_count = 16;
+  double nat_fraction = 0.2;    // NAT'ed (undialable, relayed) tail
+  double flaky_fraction = 0.1;  // dial_success_prob < 1 tail
+
+  // Workload.
+  std::size_t publish_count = 4;
+  std::size_t retrievals_per_object = 3;
+  std::size_t min_object_bytes = 1 * 1024;
+  std::size_t max_object_bytes = 512 * 1024;
+  sim::Duration workload_window = sim::minutes(2);
+  // Stretch the run past provider-record expiry (26 h simulated) with
+  // retrievals spread across the horizon, exercising the 12 h republish
+  // and the expiry sweeps under faults.
+  bool long_horizon = false;
+
+  // Fault intensity in [0, 1]; the derived per-fault rates live in
+  // `faults`. 0 means a clean run (the injector is installed but draws
+  // nothing).
+  double fault_scale = 0.0;
+  sim::FaultConfig faults;
+
+  // Human- and machine-readable parameter dump, including the seed and a
+  // replay command. Embedded in every violation message.
+  std::string describe() const;
+};
+
+// Derives the fault rates for `scale`, capped for long-horizon runs so a
+// 26 h schedule stays tractable.
+sim::FaultConfig faults_for_scale(double scale, bool long_horizon);
+
+// Randomizes a full schedule from `seed` (deterministic: same seed, same
+// schedule).
+ScheduleParams make_schedule(std::uint64_t seed);
+
+// One publish or retrieval in the op table.
+struct OpRecord {
+  enum class Kind { kPublish, kRetrieve };
+  Kind kind = Kind::kPublish;
+  std::size_t object = 0;            // object index within the schedule
+  sim::NodeId node = sim::kInvalidNode;
+  sim::Time start = 0;               // when the op fired (0 if never)
+  bool attempted = false;            // false: requester was offline
+  bool completed = false;
+  bool ok = false;
+  sim::Duration elapsed = 0;
+};
+
+struct ScheduleStats {
+  std::vector<OpRecord> ops;
+  std::uint64_t bytes_fetched = 0;
+  std::uint64_t events_executed = 0;
+  sim::FaultPlan::Counters faults;
+
+  std::size_t publishes_ok() const;
+  std::size_t retrievals_attempted() const;
+  std::size_t retrievals_ok() const;
+
+  // Canonical serialization of everything above. Two runs of the same
+  // schedule must produce byte-identical fingerprints (the seeded-
+  // determinism regression test diffs them).
+  std::string fingerprint() const;
+};
+
+struct ScheduleReport {
+  ScheduleParams params;
+  ScheduleStats stats;
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  // Violations plus the replay info; suitable as a gtest failure message.
+  std::string failure_summary() const;
+};
+
+// Runs one schedule to completion and checks every invariant.
+ScheduleReport run_schedule(const ScheduleParams& params);
+
+}  // namespace ipfs::simfuzz

@@ -1,5 +1,6 @@
 #include "sim/network.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ipfs::sim {
@@ -88,8 +89,14 @@ void Network::set_message_handler(NodeId id, MessageHandler handler) {
 }
 
 Duration Network::one_way(NodeId a, NodeId b) {
-  return latency_.sample(nodes_[a].config.region, nodes_[b].config.region,
-                         rng_);
+  Duration sampled = latency_.sample(nodes_[a].config.region,
+                                     nodes_[b].config.region, rng_);
+  if (injector_ != nullptr) {
+    const double factor = injector_->latency_factor(a, b);
+    if (factor != 1.0)
+      sampled = static_cast<Duration>(static_cast<double>(sampled) * factor);
+  }
+  return sampled;
 }
 
 Duration Network::sample_latency(NodeId a, NodeId b) { return one_way(a, b); }
@@ -153,7 +160,10 @@ void Network::connect(NodeId from, NodeId to, DialCallback cb) {
     return;
   }
 
+  // Injected dial failures short-circuit before the fabric's own flaky-
+  // reachability draw so a no-injector run consumes the same rng stream.
   if (!dst.online || !dst.config.dialable ||
+      (injector_ != nullptr && injector_->fail_dial(from, to)) ||
       !rng_.chance(dst.config.dial_success_prob)) {
     ++dials_failed_;
     // Offline-but-dialable hosts usually refuse quickly (RST / ICMP);
@@ -205,14 +215,22 @@ std::vector<NodeId> Network::connections_of(NodeId id) const {
 void Network::send(NodeId from, NodeId to, MessagePtr message,
                    std::size_t bytes) {
   if (!nodes_[from].online || !connected(from, to)) return;
-  const Duration delay =
-      one_way(from, to) + queued_transfer_delay(from, to, bytes);
-  simulator_.schedule_after(delay, [this, from, to, message = std::move(message)] {
+  if (injector_ != nullptr && injector_->drop_message(from, to)) return;
+  Duration delay = one_way(from, to) + queued_transfer_delay(from, to, bytes);
+  bool duplicate = false;
+  if (injector_ != nullptr) {
+    delay += injector_->reorder_delay(from, to);
+    duplicate = injector_->duplicate_message(from, to);
+  }
+  auto deliver = [this, from, to, message = std::move(message)] {
     const NodeState& dst = nodes_[to];
     if (!dst.online || !dst.config.responsive) return;
     ++messages_delivered_;
     if (dst.message_handler) dst.message_handler(from, message);
-  });
+  };
+  if (duplicate)
+    simulator_.schedule_after(delay + milliseconds(1), deliver);
+  simulator_.schedule_after(delay, std::move(deliver));
 }
 
 void Network::request(NodeId from, NodeId to, MessagePtr request,
@@ -228,6 +246,7 @@ void Network::request(NodeId from, NodeId to, MessagePtr request,
   const std::uint64_t request_id = next_request_id_++;
   PendingRequest pending;
   pending.from = from;
+  pending.to = to;
   pending.from_epoch = src.epoch;
   pending.cb = std::move(cb);
   pending.timeout_timer =
@@ -241,34 +260,75 @@ void Network::request(NodeId from, NodeId to, MessagePtr request,
       });
   pending_.emplace(request_id, std::move(pending));
 
-  const Duration delay =
+  // A dropped request leg still leaves the pending entry armed: the
+  // requester cannot tell a lost request from a slow peer, so the normal
+  // timeout fires.
+  if (injector_ != nullptr && injector_->drop_message(from, to)) return;
+
+  Duration delay =
       one_way(from, to) + queued_transfer_delay(from, to, request_bytes);
-  simulator_.schedule_after(
-      delay, [this, from, to, request_id, request = std::move(request)] {
-        const NodeState& dst = nodes_[to];
-        // Offline or stalled peers swallow the request; the timeout fires.
-        if (!dst.online || !dst.config.responsive || !dst.request_handler)
-          return;
-        ++messages_delivered_;
-        auto respond = [this, to, from, request_id](MessagePtr response,
-                                                    std::size_t bytes) {
-          // Response travels back if the responder is still online.
-          if (!nodes_[to].online) return;
-          const Duration back =
-              one_way(to, from) + queued_transfer_delay(to, from, bytes);
-          simulator_.schedule_after(
-              back, [this, request_id, response = std::move(response)] {
-                const auto it = pending_.find(request_id);
-                if (it == pending_.end()) return;  // already timed out
-                PendingRequest entry = std::move(it->second);
-                pending_.erase(it);
-                entry.timeout_timer.cancel();
-                if (!callback_alive(entry.from, entry.from_epoch)) return;
-                entry.cb(RpcStatus::kOk, response);
-              });
-        };
-        dst.request_handler(from, request, std::move(respond));
-      });
+  bool duplicate = false;
+  if (injector_ != nullptr) {
+    delay += injector_->reorder_delay(from, to);
+    duplicate = injector_->duplicate_message(from, to);
+  }
+  auto deliver = [this, from, to, request_id, request = std::move(request)] {
+    const NodeState& dst = nodes_[to];
+    // Offline or stalled peers swallow the request; the timeout fires.
+    if (!dst.online || !dst.config.responsive || !dst.request_handler)
+      return;
+    ++messages_delivered_;
+    auto respond = [this, to, from, request_id](MessagePtr response,
+                                                std::size_t bytes) {
+      // Response travels back if the responder is still online.
+      if (!nodes_[to].online) return;
+      if (injector_ != nullptr && injector_->drop_message(to, from)) return;
+      Duration back =
+          one_way(to, from) + queued_transfer_delay(to, from, bytes);
+      if (injector_ != nullptr) back += injector_->reorder_delay(to, from);
+      simulator_.schedule_after(
+          back, [this, request_id, response = std::move(response)] {
+            const auto it = pending_.find(request_id);
+            if (it == pending_.end()) return;  // already timed out
+            PendingRequest entry = std::move(it->second);
+            pending_.erase(it);
+            entry.timeout_timer.cancel();
+            if (!callback_alive(entry.from, entry.from_epoch)) return;
+            entry.cb(RpcStatus::kOk, response);
+          });
+    };
+    dst.request_handler(from, request, std::move(respond));
+  };
+  // A duplicated request reaches the handler twice; the second respond()
+  // finds the pending entry consumed and is ignored, but the responder's
+  // side effects (ledger counts, record stores) happen twice — exactly
+  // the at-least-once delivery real retransmissions produce.
+  if (duplicate)
+    simulator_.schedule_after(delay + milliseconds(1), deliver);
+  simulator_.schedule_after(delay, std::move(deliver));
+}
+
+void Network::reset_connection(NodeId a, NodeId b) {
+  disconnect(a, b);
+  // Collect in deterministic order: the pending_ map's iteration order is
+  // not part of the simulation contract.
+  std::vector<std::uint64_t> hit;
+  for (const auto& [id, entry] : pending_) {
+    if ((entry.from == a && entry.to == b) ||
+        (entry.from == b && entry.to == a))
+      hit.push_back(id);
+  }
+  std::sort(hit.begin(), hit.end());
+  for (const std::uint64_t id : hit) {
+    const auto it = pending_.find(id);
+    PendingRequest entry = std::move(it->second);
+    pending_.erase(it);
+    entry.timeout_timer.cancel();
+    simulator_.schedule_after(0, [this, entry]() {
+      if (!callback_alive(entry.from, entry.from_epoch)) return;
+      entry.cb(RpcStatus::kReset, nullptr);
+    });
+  }
 }
 
 }  // namespace ipfs::sim

@@ -71,7 +71,7 @@ class Message {
 
 using MessagePtr = std::shared_ptr<const Message>;
 
-enum class RpcStatus { kOk, kTimeout, kUnreachable };
+enum class RpcStatus { kOk, kTimeout, kUnreachable, kReset };
 
 using ResponseCallback = std::function<void(RpcStatus, MessagePtr)>;
 // respond() may be invoked at most once, synchronously or later.
@@ -98,6 +98,31 @@ class LatencyModel {
   double jitter_high_;
 };
 
+// Hook interface for deterministic fault injection (see sim/faults.h for
+// the seeded implementation). The fabric consults the injector at every
+// decision point but never touches its own rng stream on the injector's
+// behalf, so runs without an injector draw exactly the same randomness as
+// before one existed.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  // Message-level faults on established connections (datagrams and both
+  // legs of request/response). A dropped request or response surfaces to
+  // the requester as RpcStatus::kTimeout.
+  virtual bool drop_message(NodeId from, NodeId to) = 0;
+  virtual bool duplicate_message(NodeId from, NodeId to) = 0;
+  // Extra delivery delay for this message; > 0 reorders it behind later
+  // traffic on the same link.
+  virtual Duration reorder_delay(NodeId from, NodeId to) = 0;
+  // Forces a dial from->to to fail (hangs until the transport timeout,
+  // like a half-broken NAT mapping).
+  virtual bool fail_dial(NodeId from, NodeId to) = 0;
+  // Multiplier (>= 1.0) applied to sampled one-way latency: per-link
+  // latency spikes.
+  virtual double latency_factor(NodeId a, NodeId b) = 0;
+};
+
 class Network {
  public:
   Network(Simulator& simulator, const LatencyModel& latency,
@@ -117,6 +142,15 @@ class Network {
 
   void set_request_handler(NodeId id, RequestHandler handler);
   void set_message_handler(NodeId id, MessageHandler handler);
+
+  // Installs (or removes, with nullptr) the fault injector. Not owned.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
+  // Tears down the a<->b connection and fails every in-flight request
+  // between the pair, in both directions, with RpcStatus::kReset. The
+  // reset callbacks fire asynchronously (a reset is observed on the next
+  // read, not instantaneously).
+  void reset_connection(NodeId a, NodeId b);
 
   // Establishes a connection (dial + negotiate). Invokes cb exactly once:
   // immediately if already connected, after the handshake on success, or
@@ -157,6 +191,11 @@ class Network {
   std::uint64_t dials_attempted() const { return dials_attempted_; }
   std::uint64_t dials_failed() const { return dials_failed_; }
 
+  // In-flight request/response exchanges. Zero once the simulator has
+  // drained (every request either answered, timed out, or reset) — the
+  // fuzz harness checks this to detect leaked pending entries.
+  std::size_t pending_request_count() const { return pending_.size(); }
+
  private:
   struct NodeState {
     NodeConfig config;
@@ -171,6 +210,7 @@ class Network {
 
   struct PendingRequest {
     NodeId from;
+    NodeId to;
     std::uint64_t from_epoch;
     ResponseCallback cb;
     Timer timeout_timer;
@@ -185,6 +225,7 @@ class Network {
   Simulator& simulator_;
   const LatencyModel& latency_;
   Rng rng_;
+  FaultInjector* injector_ = nullptr;
   std::vector<NodeState> nodes_;
   std::vector<Time> uplink_free_at_;  // per-node uplink availability
   std::unordered_map<std::uint64_t, PendingRequest> pending_;

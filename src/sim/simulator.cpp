@@ -69,6 +69,13 @@ std::uint64_t Simulator::run() {
 std::uint64_t Simulator::run_until(Time deadline) {
   std::uint64_t executed = 0;
   while (!queue_.empty()) {
+    // Drop cancelled entries before the deadline check: step() skips them
+    // internally, so a cancelled entry at t <= deadline must not unmask a
+    // live event scheduled past the deadline.
+    if (!queue_.top().state->alive) {
+      queue_.pop();
+      continue;
+    }
     if (queue_.top().when > deadline) break;
     if (step()) ++executed;
   }

@@ -14,6 +14,14 @@ namespace ipfs::sim {
 class Simulator;
 
 // Handle for cancelling a scheduled event.
+//
+// Cancellation semantics (relied on by the fault-injection harness):
+//   - cancel() before the event fires guarantees the callback never runs,
+//     under run(), run_until() and step() alike.
+//   - cancel() after the event fired (or on a default-constructed handle)
+//     is a no-op; active() is false in both cases.
+//   - Cancelling a foreground event may let run() return earlier, since
+//     run() only waits for live non-daemon events.
 class Timer {
  public:
   Timer() = default;
@@ -56,6 +64,10 @@ class Simulator {
   bool step();
 
   std::size_t pending_events() const { return queue_.size(); }
+
+  // Live (non-cancelled) non-daemon events still queued. Zero after a
+  // drained run(); the fuzz harness checks this to detect leaked events.
+  std::size_t foreground_pending() const { return foreground_pending_; }
 
  private:
   friend class Timer;

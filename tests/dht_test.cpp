@@ -476,6 +476,65 @@ TEST(DhtBootstrapTest, BootstrapFailsWithNoSeeds) {
   EXPECT_FALSE(ok);
 }
 
+TEST(DhtSwarmTest, LookupTerminatesWithMajorityUndialableClosestPeers) {
+  // Paper Sections 5-6: most DHT routing entries point at unreachable
+  // (NAT'ed) peers, and walks succeed anyway because failed dials are
+  // bounded by the transport timeout, not retried forever. Make >50% of
+  // the swarm undialable and check the walk still terminates, well under
+  // the 3 min deadline and with a bounded query count.
+  TestSwarm swarm(60, /*seed=*/19);
+  for (std::size_t i = 10; i < 45; ++i)  // 35 of 60 peers NAT'ed
+    swarm.network().set_dialable(static_cast<sim::NodeId>(i), false);
+
+  const Key key = Key::hash_of(std::vector<std::uint8_t>{0x5a});
+  LookupResult result;
+  bool done = false;
+  const sim::Time start = swarm.simulator().now();
+  swarm.node(0).lookup_closest(key, [&](LookupResult r) {
+    result = std::move(r);
+    done = true;
+  });
+  swarm.simulator().run();
+
+  ASSERT_TRUE(done);
+  const sim::Duration elapsed = swarm.simulator().now() - start;
+  EXPECT_LT(elapsed, kLookupDeadline);
+  EXPECT_FALSE(result.closest.empty());
+  // The undialable majority showed up as dial failures...
+  EXPECT_GT(result.dials_failed, 10);
+  // ...but the walk stayed bounded: it can visit at most the whole swarm.
+  EXPECT_LE(result.rpcs_sent + result.dials_failed, 60);
+  // Every reported closest peer actually responded, hence is dialable.
+  for (const auto& peer : result.closest)
+    EXPECT_TRUE(swarm.network().config(peer.node).dialable);
+}
+
+TEST(DhtSwarmTest, CrashAbortsInFlightLookupsWithoutCallback) {
+  TestSwarm swarm(40, /*seed=*/23);
+  // Slow the walk down so the crash catches it mid-flight: every peer
+  // except the requester's first hops is unresponsive, forcing 10 s RPC
+  // timeouts.
+  for (std::size_t i = 20; i < 40; ++i)
+    swarm.network().set_responsive(static_cast<sim::NodeId>(i), false);
+
+  bool fired = false;
+  const Key key = Key::hash_of(std::vector<std::uint8_t>{0x77});
+  swarm.node(0).lookup_closest(key, [&](LookupResult) { fired = true; });
+
+  swarm.simulator().schedule_after(sim::seconds(2), [&] {
+    swarm.network().set_online(swarm.ref(0).node, false);
+    swarm.node(0).handle_crash();
+  });
+  swarm.simulator().run();
+
+  // The crashed node's walk must not fire its callback — not even at the
+  // 3 min lookup deadline (the deadline timer is lookup-owned, so the
+  // network's epoch muting alone cannot stop it).
+  EXPECT_FALSE(fired);
+  EXPECT_GT(swarm.simulator().now(), sim::seconds(2));
+  EXPECT_LT(swarm.simulator().now(), kLookupDeadline);
+}
+
 TEST(DhtClientTest, ClientsDoNotServeProviderQueries) {
   TestSwarm swarm(30);
   swarm.node(9).force_mode(DhtNode::Mode::kClient);

@@ -159,6 +159,101 @@ TEST_F(SessionTest, EmptySessionFailsImmediately) {
   EXPECT_TRUE(called);
 }
 
+TEST_F(SessionTest, SurvivesConnectionResetMidTransfer) {
+  const auto data = random_bytes(2 * 1024 * 1024, 7);  // 8 chunks
+  const auto root = seed_providers(data, 3);
+
+  Session session(*requester_, network_);
+  for (int i = 0; i < 3; ++i) session.add_peer(provider_nodes_[i]);
+
+  SessionFetchStats stats;
+  session.fetch_dag(root, [&](SessionFetchStats s) { stats = s; });
+  // Providers cap at 2 MiB/s: the transfer takes about a second, so a
+  // reset at 200 ms catches in-flight WANT_BLOCKs on provider 0.
+  sim_.schedule_after(sim::milliseconds(200), [&] {
+    network_.reset_connection(requester_node_, provider_nodes_[0]);
+  });
+  sim_.run();
+
+  ASSERT_TRUE(stats.ok);
+  EXPECT_EQ(merkledag::cat(requester_store_, root), data);
+  // The reset surfaced as failures on provider 0 and the lost blocks were
+  // retried on the surviving peers.
+  EXPECT_GT(stats.per_peer[provider_nodes_[0]].failures, 0u);
+  EXPECT_GT(stats.retried_blocks, 0u);
+}
+
+TEST_F(SessionTest, SurvivesPeerCrashMidTransfer) {
+  const auto data = random_bytes(2 * 1024 * 1024, 8);
+  const auto root = seed_providers(data, 3);
+
+  Session session(*requester_, network_);
+  for (int i = 0; i < 3; ++i) session.add_peer(provider_nodes_[i]);
+
+  SessionFetchStats stats;
+  session.fetch_dag(root, [&](SessionFetchStats s) { stats = s; });
+  sim_.schedule_after(sim::milliseconds(200), [&] {
+    network_.set_online(provider_nodes_[0], false);
+  });
+  sim_.run();
+
+  ASSERT_TRUE(stats.ok);
+  EXPECT_EQ(merkledag::cat(requester_store_, root), data);
+}
+
+TEST_F(SessionTest, AllProvidersCrashingFailsWithTypedError) {
+  // More blocks than the fetch window, so the session must issue new
+  // WANT_BLOCKs after the crash (blocks already on the wire at crash time
+  // still arrive — the crash mutes the providers, not in-flight bytes).
+  const auto data = random_bytes(8 * 1024 * 1024, 9);  // 32 chunks
+  const auto root = seed_providers(data, 3);
+
+  Session session(*requester_, network_);
+  for (int i = 0; i < 3; ++i) session.add_peer(provider_nodes_[i]);
+
+  int completions = 0;
+  SessionFetchStats stats;
+  stats.ok = true;
+  session.fetch_dag(root, [&](SessionFetchStats s) {
+    stats = s;
+    ++completions;
+  });
+  sim_.schedule_after(sim::milliseconds(100), [&] {
+    for (int i = 0; i < 3; ++i) network_.set_online(provider_nodes_[i], false);
+  });
+  sim_.run();
+
+  // The fetch reports failure exactly once — a typed error, not a hang.
+  EXPECT_EQ(completions, 1);
+  EXPECT_FALSE(stats.ok);
+}
+
+TEST_F(SessionTest, RestartedPeerKeepsBlockstoreAndServesAgain) {
+  const auto data = random_bytes(1024 * 1024, 10);
+  const auto root = seed_providers(data, 1);
+
+  // Crash the only provider, then bring it back: the blockstore survives
+  // a crash (it lives on disk), so a post-restart session succeeds.
+  network_.set_online(provider_nodes_[0], false);
+  providers_[0]->handle_crash();
+  network_.set_online(provider_nodes_[0], true);
+  network_.connect(requester_node_, provider_nodes_[0],
+                   [](bool, sim::Duration) {});
+  sim_.run();
+
+  Session session(*requester_, network_);
+  session.add_peer(provider_nodes_[0]);
+  SessionFetchStats stats;
+  session.fetch_dag(root, [&](SessionFetchStats s) { stats = s; });
+  sim_.run();
+
+  ASSERT_TRUE(stats.ok);
+  EXPECT_EQ(merkledag::cat(requester_store_, root), data);
+  // And the ledger kept its pre-crash accounting semantics: the restarted
+  // peer recorded the blocks it just served.
+  EXPECT_GT(providers_[0]->ledger_for(requester_node_).blocks_sent, 0u);
+}
+
 TEST_F(SessionTest, SinglePeerSessionStillWorks) {
   const auto data = random_bytes(600 * 1024, 6);
   const auto root = seed_providers(data, 1);

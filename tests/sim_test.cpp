@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/churn.h"
+#include "sim/faults.h"
 #include "sim/network.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
@@ -66,6 +67,69 @@ TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
   simulator.run();
   EXPECT_EQ(depth, 10);
   EXPECT_EQ(simulator.now(), seconds(10));
+}
+
+// --------------------------------------------------------------------------
+// Timer cancellation semantics (documented on sim::Timer): a cancel()
+// before the fire time guarantees the callback never runs, under run(),
+// run_until() and step() alike; cancelling after the fire is a no-op.
+// --------------------------------------------------------------------------
+
+TEST(SimulatorTest, CancelledEventDoesNotUnmaskLaterEventsInRunUntil) {
+  // Regression: a cancelled event at t <= deadline used to satisfy the
+  // deadline check, letting step() skip past it and execute a live event
+  // *beyond* the deadline.
+  Simulator simulator;
+  bool late_fired = false;
+  Timer cancelled = simulator.schedule_after(seconds(1), [] { FAIL(); });
+  simulator.schedule_after(seconds(10), [&] { late_fired = true; });
+  cancelled.cancel();
+  const auto executed = simulator.run_until(seconds(5));
+  EXPECT_EQ(executed, 0u);
+  EXPECT_FALSE(late_fired);
+  EXPECT_EQ(simulator.now(), seconds(5));
+  simulator.run();
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(SimulatorTest, CancelAfterFireIsANoOp) {
+  Simulator simulator;
+  int fired = 0;
+  Timer timer = simulator.schedule_after(seconds(1), [&] { ++fired; });
+  EXPECT_TRUE(timer.active());
+  simulator.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(timer.active());
+  timer.cancel();  // must not crash or affect anything
+  simulator.run();
+  EXPECT_EQ(fired, 1);
+  Timer defaulted;
+  EXPECT_FALSE(defaulted.active());
+  defaulted.cancel();  // default-constructed handle: also a no-op
+}
+
+TEST(SimulatorTest, CancelledDaemonEventsDoNotFireInRunUntil) {
+  Simulator simulator;
+  bool live_fired = false;
+  Timer cancelled = simulator.schedule_daemon_after(seconds(1), [] { FAIL(); });
+  simulator.schedule_daemon_after(seconds(2), [&] { live_fired = true; });
+  cancelled.cancel();
+  simulator.run_until(seconds(5));
+  EXPECT_TRUE(live_fired);
+  EXPECT_EQ(simulator.now(), seconds(5));
+}
+
+TEST(SimulatorTest, CancellingForegroundEventLetsRunReturn) {
+  Simulator simulator;
+  Timer foreground = simulator.schedule_after(seconds(1), [] { FAIL(); });
+  bool daemon_fired = false;
+  simulator.schedule_daemon_after(seconds(2), [&] { daemon_fired = true; });
+  foreground.cancel();
+  EXPECT_EQ(simulator.foreground_pending(), 0u);
+  // Only a cancelled foreground and a daemon remain: run() returns
+  // without executing either.
+  EXPECT_EQ(simulator.run(), 0u);
+  EXPECT_FALSE(daemon_fired);
 }
 
 // --------------------------------------------------------------------------
@@ -424,6 +488,159 @@ TEST(ChurnTest, NodesCycleThroughSessions) {
   EXPECT_GT(online_events, 5);
   EXPECT_GT(offline_events, 5);
   EXPECT_GT(churn.transitions(), 10u);
+}
+
+// --------------------------------------------------------------------------
+// FaultPlan
+// --------------------------------------------------------------------------
+
+class FaultPlanTest : public ::testing::Test {
+ protected:
+  FaultPlanTest() : latency_({{10.0}}, 1.0, 1.0), net_(sim_, latency_, 5) {
+    a_ = net_.add_node({.region = 0});
+    b_ = net_.add_node({.region = 0});
+    c_ = net_.add_node({.region = 0});
+  }
+
+  Simulator sim_;
+  LatencyModel latency_;
+  Network net_;
+  NodeId a_ = kInvalidNode;
+  NodeId b_ = kInvalidNode;
+  NodeId c_ = kInvalidNode;
+};
+
+TEST_F(FaultPlanTest, MessageFaultDrawsAreDeterministicPerSeed) {
+  FaultConfig config;
+  config.drop_prob = 0.3;
+  config.duplicate_prob = 0.2;
+  config.reorder_prob = 0.25;
+  FaultPlan first(net_, config, 99);
+  FaultPlan second(net_, config, 99);
+  FaultPlan other_seed(net_, config, 100);
+
+  bool diverged = false;
+  for (int i = 0; i < 200; ++i) {
+    const bool drop = first.drop_message(a_, b_);
+    EXPECT_EQ(drop, second.drop_message(a_, b_));
+    EXPECT_EQ(first.duplicate_message(a_, b_), second.duplicate_message(a_, b_));
+    EXPECT_EQ(first.reorder_delay(a_, b_), second.reorder_delay(a_, b_));
+    if (drop != other_seed.drop_message(a_, b_)) diverged = true;
+  }
+  EXPECT_TRUE(diverged) << "different seeds drew identical fault sequences";
+  EXPECT_EQ(first.counters().messages_dropped,
+            second.counters().messages_dropped);
+  EXPECT_GT(first.counters().messages_dropped, 0u);
+}
+
+TEST_F(FaultPlanTest, ZeroConfigInjectsNothing) {
+  FaultPlan plan(net_, FaultConfig{}, 7);
+  plan.arm();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(plan.drop_message(a_, b_));
+    EXPECT_FALSE(plan.duplicate_message(a_, b_));
+    EXPECT_EQ(plan.reorder_delay(a_, b_), 0);
+    EXPECT_FALSE(plan.fail_dial(a_, b_));
+    EXPECT_EQ(plan.latency_factor(a_, b_), 1.0);
+  }
+  sim_.run();
+  EXPECT_EQ(plan.counters().total_injected(), 0u);
+}
+
+TEST_F(FaultPlanTest, InjectedDialFailureHangsUntilTransportTimeout) {
+  FaultConfig config;
+  config.dial_failure_prob = 1.0;
+  FaultPlan plan(net_, config, 11);
+  plan.arm();
+
+  bool done = false;
+  const Time start = sim_.now();
+  net_.connect(a_, b_, [&](bool ok, Duration) {
+    done = true;
+    EXPECT_FALSE(ok);
+    // The injected failure models a half-broken NAT mapping: the dial
+    // hangs until the transport timeout (plus the fabric's 20-150 ms of
+    // scheduler/teardown slack) rather than fast-failing.
+    EXPECT_GE(sim_.now() - start, dial_timeout(Transport::kTcp));
+    EXPECT_LE(sim_.now() - start,
+              dial_timeout(Transport::kTcp) + milliseconds(150));
+  });
+  sim_.run();
+  EXPECT_TRUE(done);
+  EXPECT_GT(plan.counters().dials_failed, 0u);
+}
+
+TEST_F(FaultPlanTest, ResetConnectionFailsInFlightRequestsWithReset) {
+  net_.set_request_handler(b_, [](NodeId, const MessagePtr&, auto respond) {
+    // Answer with one round-trip's worth of delay already paid; the reset
+    // lands before the response does.
+    respond(std::make_shared<Pong>(), 64);
+  });
+  net_.connect(a_, b_, [](bool, Duration) {});
+  sim_.run();
+  ASSERT_TRUE(net_.connected(a_, b_));
+
+  RpcStatus observed = RpcStatus::kOk;
+  bool done = false;
+  net_.request(a_, b_, std::make_shared<Ping>(), 64, seconds(30),
+               [&](RpcStatus status, const MessagePtr&) {
+                 observed = status;
+                 done = true;
+               });
+  // One-way latency is 10 ms: the request is still in flight at 5 ms.
+  sim_.schedule_after(milliseconds(5), [&] { net_.reset_connection(a_, b_); });
+  sim_.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(observed, RpcStatus::kReset);
+  EXPECT_FALSE(net_.connected(a_, b_));
+  EXPECT_EQ(net_.pending_request_count(), 0u);
+}
+
+TEST_F(FaultPlanTest, CrashRestartCyclesNotifyListenersAndRecover) {
+  FaultConfig config;
+  config.crashes_per_hour_per_node = 60.0;  // about one per minute
+  config.min_downtime = seconds(5);
+  config.max_downtime = seconds(20);
+  FaultPlan plan(net_, config, 21);
+  plan.manage_crashes(b_);
+
+  int crash_events = 0, restart_events = 0;
+  plan.add_crash_listener([&](NodeId node, bool online) {
+    EXPECT_EQ(node, b_);
+    if (online)
+      ++restart_events;
+    else
+      ++crash_events;
+  });
+
+  plan.arm();
+  sim_.run_until(minutes(30));
+  EXPECT_GT(plan.counters().crashes, 5u);
+  EXPECT_EQ(crash_events, static_cast<int>(plan.counters().crashes));
+  EXPECT_EQ(restart_events, static_cast<int>(plan.counters().restarts));
+
+  // disarm() revives anything still down so the world can drain.
+  plan.disarm();
+  EXPECT_EQ(plan.crashed_count(), 0u);
+  EXPECT_TRUE(net_.online(b_));
+  EXPECT_EQ(crash_events, restart_events);
+}
+
+TEST_F(FaultPlanTest, LatencySpikesAreCountedAndScaleTheLink) {
+  FaultConfig config;
+  config.latency_spikes_per_hour = 3600.0;  // about one per second
+  config.latency_spike_factor = 8.0;
+  config.latency_spike_duration = hours(10);  // effectively permanent
+  FaultPlan plan(net_, config, 33);
+  plan.arm();
+  sim_.run_until(minutes(1));
+  EXPECT_GT(plan.counters().latency_spikes, 10u);
+
+  // With every node spiked and the spike still active, each link reports
+  // the configured factor.
+  EXPECT_EQ(plan.latency_factor(a_, b_), 8.0);
+  EXPECT_EQ(plan.latency_factor(b_, c_), 8.0);
+  plan.detach();
 }
 
 }  // namespace

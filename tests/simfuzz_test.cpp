@@ -1,0 +1,109 @@
+// Seeded simulation-fuzz harness tests: N randomized fault/workload
+// schedules of the full publish -> provide -> resolve -> fetch pipeline,
+// every global invariant checked after each run.
+//
+// Replay a failing schedule:
+//   IPFS_FUZZ_SEED=<seed> IPFS_FUZZ_SCHEDULES=1 ./tests/simfuzz_test
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "sim/fuzz_harness.h"
+
+namespace ipfs::simfuzz {
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+TEST(SimFuzz, InvariantsHoldAcrossSeededSchedules) {
+  const std::uint64_t base_seed = env_u64("IPFS_FUZZ_SEED", 1000);
+  const std::uint64_t schedules = env_u64("IPFS_FUZZ_SCHEDULES", 200);
+
+  std::uint64_t faults_injected = 0;
+  std::size_t retrievals_ok = 0;
+  std::size_t retrievals_attempted = 0;
+  for (std::uint64_t i = 0; i < schedules; ++i) {
+    const ScheduleParams params = make_schedule(base_seed + i);
+    const ScheduleReport report = run_schedule(params);
+    ASSERT_TRUE(report.ok()) << report.failure_summary();
+    faults_injected += report.stats.faults.total_injected();
+    retrievals_ok += report.stats.retrievals_ok();
+    retrievals_attempted += report.stats.retrievals_attempted();
+  }
+
+  // The sweep must actually exercise the fault paths and still move data.
+  if (schedules >= 10) {
+    EXPECT_GT(faults_injected, 0u);
+    EXPECT_GT(retrievals_ok, 0u);
+    EXPECT_GT(retrievals_attempted, retrievals_ok / 2)
+        << "schedules barely attempted any retrievals";
+  }
+}
+
+TEST(SimFuzz, SameSeedProducesByteIdenticalStats) {
+  const std::uint64_t seed = env_u64("IPFS_FUZZ_SEED", 424242);
+  const ScheduleParams params = make_schedule(seed);
+  const ScheduleReport first = run_schedule(params);
+  const ScheduleReport second = run_schedule(params);
+  EXPECT_EQ(first.stats.fingerprint(), second.stats.fingerprint());
+  EXPECT_EQ(first.violations, second.violations);
+}
+
+TEST(SimFuzz, FailureMessagesCarryReplaySeed) {
+  const ScheduleParams params = make_schedule(77);
+  EXPECT_NE(params.describe().find("seed=77"), std::string::npos);
+  EXPECT_NE(params.describe().find("IPFS_FUZZ_SEED=77"), std::string::npos);
+
+  ScheduleReport report;
+  report.params = params;
+  report.violations.push_back("synthetic violation");
+  const std::string summary = report.failure_summary();
+  EXPECT_NE(summary.find("IPFS_FUZZ_SEED=77"), std::string::npos);
+  EXPECT_NE(summary.find("synthetic violation"), std::string::npos);
+}
+
+TEST(SimFuzz, ZeroFaultScheduleRetrievesEverything) {
+  ScheduleParams params;
+  params.seed = 31337;
+  params.node_count = 14;
+  params.nat_fraction = 0.2;
+  params.flaky_fraction = 0.0;
+  params.publish_count = 3;
+  params.retrievals_per_object = 3;
+  params.fault_scale = 0.0;
+  params.faults = faults_for_scale(0.0, false);
+
+  const ScheduleReport report = run_schedule(params);
+  ASSERT_TRUE(report.ok()) << report.failure_summary();
+  EXPECT_EQ(report.stats.publishes_ok(), params.publish_count);
+  EXPECT_EQ(report.stats.retrievals_attempted(),
+            params.publish_count * params.retrievals_per_object);
+  EXPECT_EQ(report.stats.retrievals_ok(),
+            params.publish_count * params.retrievals_per_object)
+      << report.stats.fingerprint();
+  EXPECT_EQ(report.stats.faults.total_injected(), 0u);
+}
+
+TEST(SimFuzz, LongHorizonScheduleExpiresProviderRecords) {
+  ScheduleParams params;
+  params.seed = 9001;
+  params.node_count = 12;
+  params.nat_fraction = 0.0;
+  params.flaky_fraction = 0.0;
+  params.publish_count = 2;
+  params.retrievals_per_object = 2;
+  params.long_horizon = true;
+  params.fault_scale = 0.3;
+  params.faults = faults_for_scale(0.3, true);
+
+  const ScheduleReport report = run_schedule(params);
+  ASSERT_TRUE(report.ok()) << report.failure_summary();
+}
+
+}  // namespace
+}  // namespace ipfs::simfuzz
