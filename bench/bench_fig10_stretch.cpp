@@ -52,6 +52,21 @@ int main() {
   print_stretch_block("(b) stretch excluding the Bitswap timeout",
                       without_bitswap);
 
+  // Where the stretch comes from: per-phase duration histograms straight
+  // from the metrics registry (every span feeds the histogram of its
+  // name). The Bitswap window dominates panel (a) vs (b).
+  std::printf("\n--- phase durations (registry histograms) ---\n");
+  std::printf("%-28s %6s %10s %10s\n", "span", "n", "p50", "p95");
+  const auto& registry = run.world->network().metrics();
+  for (const auto& [name, histogram] : registry.histograms()) {
+    if (!name.starts_with("retrieve.")) continue;
+    if (histogram.count() == 0) continue;
+    const stats::Cdf cdf(histogram.samples_seconds());
+    std::printf("%-28s %6zu %10s %10s\n", name.c_str(), histogram.count(),
+                bench::secs(cdf.percentile(50)).c_str(),
+                bench::secs(cdf.percentile(95)).c_str());
+  }
+
   if (!all_with.empty()) {
     std::printf("\noverall median stretch: %.2f (paper ~4.3)\n",
                 stats::percentile(all_with, 50));

@@ -57,6 +57,12 @@ inline GatewayExperiment setup_gateway_experiment(
       default_world_config(world_peers));
   auto& world = *experiment.world;
 
+  // The gateway benches read the gateway.* instruments and instants; keep
+  // a simulated day of ambient world traffic out of the trace recorder.
+  world.network().metrics().set_trace_filter([](const std::string& name) {
+    return name.starts_with("gateway.");
+  });
+
   // The gateway: a beefy, reliable US node (Section 4.2: the sampled
   // instance is located in the US).
   gateway::GatewayConfig gateway_config;

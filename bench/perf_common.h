@@ -20,6 +20,14 @@ inline PerfRun run_perf_experiment(std::size_t world_peers,
   run.world =
       std::make_unique<world::World>(default_world_config(world_peers));
 
+  // The perf benches analyze the publish/retrieve span families from the
+  // trace stream; without a filter the world's ambient DHT traffic
+  // (thousands of net.dial/net.rpc spans) would evict them from the
+  // bounded recorder. Instruments are unaffected.
+  run.world->network().metrics().set_trace_filter([](const std::string& name) {
+    return name.starts_with("publish.") || name.starts_with("retrieve.");
+  });
+
   workload::PerfExperimentConfig config;
   config.cycles = cycles;
   config.bitswap_early_exit = bitswap_early_exit;
@@ -37,6 +45,15 @@ inline std::vector<double> to_seconds(const std::vector<sim::Duration>& in) {
   std::vector<double> out;
   out.reserve(in.size());
   for (const auto d : in) out.push_back(sim::to_seconds(d));
+  return out;
+}
+
+// Maps each measurement node's NodeId to its AWS region label, so trace
+// events (which carry the observing node) can be bucketed per region.
+inline std::map<metrics::NodeId, std::string> region_by_node(PerfRun& run) {
+  std::map<metrics::NodeId, std::string> out;
+  for (std::size_t i = 0; i < run.experiment->node_count(); ++i)
+    out[run.experiment->node(i).node()] = workload::aws_regions()[i].name;
   return out;
 }
 

@@ -39,6 +39,10 @@ bool Bitswap::handle_request(
       Ledger& ledger = ledgers_[from];
       ledger.bytes_sent += response->block->data.size();
       ++ledger.blocks_sent;
+      network_.metrics().counter("bitswap.blocks_sent").inc();
+      network_.metrics()
+          .counter("bitswap.bytes_sent")
+          .inc(response->block->data.size());
     }
     respond(std::move(response), size);
     return true;
@@ -50,6 +54,7 @@ struct Bitswap::Discovery {
   bool finished = false;
   std::size_t answered = 0;
   std::size_t total = 0;
+  metrics::SpanId span = 0;  // bitswap.discover trace span
   sim::Timer timer;
 };
 
@@ -57,8 +62,13 @@ void Bitswap::discover(const Cid& cid, sim::Duration timeout,
                        std::function<void(std::optional<sim::NodeId>)> done,
                        bool early_exit) {
   ++discovery_attempts_;
+  metrics::Registry& metrics = network_.metrics();
+  metrics.counter("bitswap.discovery_attempts").inc();
   const auto peers = network_.connections_of(node_);
   if (peers.empty()) {
+    metrics.end_span(
+        metrics.begin_span("bitswap.discover", node_, cid.to_string()),
+        false);
     done(std::nullopt);
     return;
   }
@@ -66,6 +76,7 @@ void Bitswap::discover(const Cid& cid, sim::Duration timeout,
   wantlist_.insert(want_key(cid));
   auto state = std::make_shared<Discovery>();
   state->total = peers.size();
+  state->span = metrics.begin_span("bitswap.discover", node_, cid.to_string());
   const std::uint64_t discovery_id = next_discovery_id_++;
   discoveries_.emplace(discovery_id, state);
 
@@ -76,7 +87,11 @@ void Bitswap::discover(const Cid& cid, sim::Duration timeout,
     state->timer.cancel();
     discoveries_.erase(discovery_id);
     wantlist_.erase(want_key(cid));
-    if (peer) ++discovery_hits_;
+    if (peer) {
+      ++discovery_hits_;
+      network_.metrics().counter("bitswap.discovery_hits").inc();
+    }
+    network_.metrics().end_span(state->span, peer.has_value());
     done(peer);
   };
 
@@ -116,12 +131,14 @@ void Bitswap::fetch_block(sim::NodeId peer, const Cid& cid,
                                                 const sim::MessagePtr& message) {
         wantlist_.erase(want_key(cid));
         if (status != sim::RpcStatus::kOk) {
+          network_.metrics().counter("bitswap.block_fetch_failures").inc();
           done(std::nullopt);
           return;
         }
         const auto* response =
             dynamic_cast<const BlockResponse*>(message.get());
         if (response == nullptr || !response->block) {
+          network_.metrics().counter("bitswap.block_fetch_failures").inc();
           done(std::nullopt);
           return;
         }
@@ -129,12 +146,17 @@ void Bitswap::fetch_block(sim::NodeId peer, const Cid& cid,
         // self-certification removes the need to trust the provider).
         if (!response->block->cid.hash().verifies(response->block->data) ||
             response->block->cid != cid) {
+          network_.metrics().counter("bitswap.block_fetch_failures").inc();
           done(std::nullopt);
           return;
         }
         Ledger& ledger = ledgers_[peer];
         ledger.bytes_received += response->block->data.size();
         ++ledger.blocks_received;
+        network_.metrics().counter("bitswap.blocks_received").inc();
+        network_.metrics()
+            .counter("bitswap.bytes_received")
+            .inc(response->block->data.size());
         store_.put(*response->block);
         done(response->block);
       });
@@ -142,20 +164,31 @@ void Bitswap::fetch_block(sim::NodeId peer, const Cid& cid,
 
 struct Bitswap::DagFetch {
   std::vector<Cid> pending;
+  // CIDs ever enqueued; shared links in the DAG would otherwise be
+  // dispatched once per parent (see Session::Fetch::enqueued).
+  std::unordered_set<std::string> enqueued;
   int in_flight = 0;
   bool failed = false;
   bool finished = false;
   FetchStats stats;
   sim::Time started = 0;
+  metrics::SpanId span = 0;  // bitswap.fetch_dag trace span
   std::function<void(FetchStats)> done;
+
+  bool mark_new(const Cid& cid) {
+    return enqueued.insert(want_key(cid)).second;
+  }
 };
 
 void Bitswap::fetch_dag(sim::NodeId peer, const Cid& root,
                         std::function<void(FetchStats)> done) {
   auto state = std::make_shared<DagFetch>();
   state->started = network_.simulator().now();
+  state->mark_new(root);
   state->pending.push_back(root);
   state->done = std::move(done);
+  state->span = network_.metrics().begin_span("bitswap.fetch_dag", node_,
+                                              root.to_string(), 0, peer);
   pump_dag_fetch(peer, std::move(state));
 }
 
@@ -171,8 +204,14 @@ void Bitswap::pump_dag_fetch(sim::NodeId peer,
     state->pending.pop_back();
     if (next.content_codec() == multiformats::Multicodec::kDagPb) {
       if (const auto node = merkledag::DagNode::decode(local->data)) {
-        for (const auto& link : node->links)
-          state->pending.push_back(link.cid);
+        for (const auto& link : node->links) {
+          if (state->mark_new(link.cid))
+            state->pending.push_back(link.cid);
+          else
+            network_.metrics()
+                .counter("bitswap.duplicate_wants_suppressed")
+                .inc();
+        }
       }
     }
   }
@@ -182,6 +221,8 @@ void Bitswap::pump_dag_fetch(sim::NodeId peer,
     state->finished = true;
     state->stats.ok = !state->failed;
     state->stats.elapsed = network_.simulator().now() - state->started;
+    network_.metrics().end_span(state->span, state->stats.ok,
+                                state->stats.bytes);
     state->done(state->stats);
     return;
   }
@@ -203,8 +244,14 @@ void Bitswap::pump_dag_fetch(sim::NodeId peer,
                         multiformats::Multicodec::kDagPb) {
                       if (const auto node =
                               merkledag::DagNode::decode(block->data)) {
-                        for (const auto& link : node->links)
-                          state->pending.push_back(link.cid);
+                        for (const auto& link : node->links) {
+                          if (state->mark_new(link.cid))
+                            state->pending.push_back(link.cid);
+                          else
+                            network_.metrics()
+                                .counter("bitswap.duplicate_wants_suppressed")
+                                .inc();
+                        }
                       } else {
                         state->failed = true;
                       }
@@ -219,6 +266,7 @@ void Bitswap::handle_crash() {
   for (auto& [id, discovery] : discoveries_) {
     discovery->finished = true;
     discovery->timer.cancel();
+    network_.metrics().end_span(discovery->span, false);
   }
   discoveries_.clear();
   wantlist_.clear();

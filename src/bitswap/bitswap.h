@@ -108,6 +108,7 @@ class Bitswap {
     return ledgers_;
   }
   blockstore::BlockStore& store() { return store_; }
+  sim::NodeId self() const { return node_; }
   const std::unordered_set<std::string>& wantlist() const { return wantlist_; }
 
   std::uint64_t discovery_attempts() const { return discovery_attempts_; }

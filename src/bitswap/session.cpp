@@ -1,6 +1,7 @@
 #include "bitswap/session.h"
 
 #include <algorithm>
+#include <set>
 
 #include "merkledag/merkledag.h"
 
@@ -22,16 +23,27 @@ struct Session::Fetch {
   std::vector<multiformats::Cid> pending;
   // Per-CID list of peers that already failed it (string-keyed).
   std::map<std::string, std::vector<sim::NodeId>> failed_on;
+  // Every CID ever enqueued (pending, in flight, or already landed). A
+  // DAG with shared links yields the same child from several parents;
+  // without this set both copies would be dispatched before either
+  // lands, double-fetching the block and double-counting stats.
+  std::set<std::string> enqueued;
   int in_flight = 0;
   bool finished = false;
   bool failed = false;
   SessionFetchStats stats;
   sim::Time started = 0;
+  metrics::SpanId span = 0;  // bitswap.session_fetch trace span
   std::function<void(SessionFetchStats)> done;
 
   static std::string key_of(const multiformats::Cid& cid) {
     const auto bytes = cid.encode();
     return std::string(bytes.begin(), bytes.end());
+  }
+
+  // True when the CID was not seen before (and is now marked seen).
+  bool mark_new(const multiformats::Cid& cid) {
+    return enqueued.insert(key_of(cid)).second;
   }
 };
 
@@ -61,10 +73,14 @@ void Session::fetch_dag(const multiformats::Cid& root,
                         std::function<void(SessionFetchStats)> done) {
   auto fetch = std::make_shared<Fetch>();
   fetch->started = network_.simulator().now();
+  fetch->mark_new(root);
   fetch->pending.push_back(root);
   fetch->done = std::move(done);
+  fetch->span = network_.metrics().begin_span(
+      "bitswap.session_fetch", bitswap_.self(), root.to_string());
   if (peers_.empty()) {
     fetch->stats.ok = false;
+    network_.metrics().end_span(fetch->span, false);
     fetch->done(fetch->stats);
     return;
   }
@@ -81,6 +97,8 @@ void Session::pump(std::shared_ptr<Fetch> fetch) {
     fetch->stats.elapsed = network_.simulator().now() - fetch->started;
     for (const auto& peer : peers_)
       fetch->stats.per_peer[peer.node] = peer.stats;
+    network_.metrics().end_span(fetch->span, fetch->stats.ok,
+                                fetch->stats.bytes);
     fetch->done(fetch->stats);
     return;
   }
@@ -94,8 +112,14 @@ void Session::pump(std::shared_ptr<Fetch> fetch) {
       fetch->pending.pop_back();
       if (next.content_codec() == multiformats::Multicodec::kDagPb) {
         if (const auto dag_node = merkledag::DagNode::decode(local->data)) {
-          for (const auto& link : dag_node->links)
-            fetch->pending.push_back(link.cid);
+          for (const auto& link : dag_node->links) {
+            if (fetch->mark_new(link.cid))
+              fetch->pending.push_back(link.cid);
+            else
+              network_.metrics()
+                  .counter("bitswap.duplicate_wants_suppressed")
+                  .inc();
+          }
         }
       }
       continue;
@@ -138,18 +162,26 @@ void Session::pump(std::shared_ptr<Fetch> fetch) {
           if (fetch->finished) return;
 
           if (!block) {
-            // Requeue on the remaining peers.
+            // Requeue on the remaining peers (already in `enqueued`; a
+            // retry is a re-dispatch of the same want, not a duplicate).
             fetch->failed_on[Fetch::key_of(next)].push_back(node);
             fetch->pending.push_back(next);
             ++fetch->stats.retried_blocks;
+            network_.metrics().counter("bitswap.session_retries").inc();
           } else {
             ++fetch->stats.blocks;
             fetch->stats.bytes += block->data.size();
             if (next.content_codec() == multiformats::Multicodec::kDagPb) {
               if (const auto dag_node =
                       merkledag::DagNode::decode(block->data)) {
-                for (const auto& link : dag_node->links)
-                  fetch->pending.push_back(link.cid);
+                for (const auto& link : dag_node->links) {
+                  if (fetch->mark_new(link.cid))
+                    fetch->pending.push_back(link.cid);
+                  else
+                    network_.metrics()
+                        .counter("bitswap.duplicate_wants_suppressed")
+                        .inc();
+                }
               } else {
                 fetch->failed = true;
               }

@@ -104,6 +104,7 @@ bool DhtNode::handle_request(
                  dynamic_cast<const AddProviderRequest*>(message.get())) {
     ProviderRecord record{add_provider->provider, network_.simulator().now()};
     records_->add_provider(add_provider->key, std::move(record));
+    network_.metrics().counter("dht.provider_records_stored").inc();
     // No response needed: the publisher fires and forgets (Section 3.1).
   } else if (const auto* put_value =
                  dynamic_cast<const PutValueRequest*>(message.get())) {
@@ -161,6 +162,7 @@ bool DhtNode::handle_message(sim::NodeId from, const sim::MessagePtr& message) {
       ProviderRecord record{add_provider->provider,
                             network_.simulator().now()};
       records_->add_provider(add_provider->key, std::move(record));
+      network_.metrics().counter("dht.provider_records_stored").inc();
     }
     (void)from;
     return true;
@@ -186,11 +188,14 @@ LookupHost DhtNode::make_lookup_host() {
 
 void DhtNode::start_lookup(LookupType type, const Key& target,
                            std::vector<PeerRef> seeds, Lookup::Callback cb,
-                           std::optional<multiformats::PeerId> target_peer) {
+                           std::optional<multiformats::PeerId> target_peer,
+                           metrics::SpanId parent_span) {
   auto wrapped = [this, cb = std::move(cb)](LookupResult result) {
     cb(std::move(result));
   };
-  auto lookup = Lookup::start(make_lookup_host(), type, target,
+  LookupHost host = make_lookup_host();
+  host.parent_span = parent_span;
+  auto lookup = Lookup::start(std::move(host), type, target,
                               std::move(seeds), std::move(wrapped),
                               std::move(target_peer));
   // Keep it alive until its callback has fired.
@@ -339,6 +344,9 @@ void DhtNode::store_provider_records(
                                          std::move(add),
                                          kRequestBaseBytes + kPeerRefBytes);
                            ++result->sent;
+                           network_.metrics()
+                               .counter("dht.add_provider_sent")
+                               .inc();
                          }
                          (*pump)();
                        });
@@ -403,14 +411,17 @@ void DhtNode::schedule_expiry_sweep() {
       });
 }
 
-void DhtNode::find_providers(const Key& key, Lookup::Callback done) {
+void DhtNode::find_providers(const Key& key, Lookup::Callback done,
+                             metrics::SpanId parent_span) {
   start_lookup(LookupType::kGetProviders, key,
-               routing_table_.closest(key, kReplication), std::move(done));
+               routing_table_.closest(key, kReplication), std::move(done),
+               std::nullopt, parent_span);
 }
 
 void DhtNode::find_peer(
     const multiformats::PeerId& peer,
-    std::function<void(std::optional<PeerRef>, LookupResult)> done) {
+    std::function<void(std::optional<PeerRef>, LookupResult)> done,
+    metrics::SpanId parent_span) {
   const Key target = Key::for_peer(peer);
   start_lookup(
       LookupType::kFindNode, target, routing_table_.closest(target, kReplication),
@@ -418,12 +429,14 @@ void DhtNode::find_peer(
         auto target = result.target_peer;
         done(std::move(target), std::move(result));
       },
-      peer);
+      peer, parent_span);
 }
 
-void DhtNode::lookup_closest(const Key& key, Lookup::Callback done) {
+void DhtNode::lookup_closest(const Key& key, Lookup::Callback done,
+                             metrics::SpanId parent_span) {
   start_lookup(LookupType::kFindNode, key,
-               routing_table_.closest(key, kReplication), std::move(done));
+               routing_table_.closest(key, kReplication), std::move(done),
+               std::nullopt, parent_span);
 }
 
 void DhtNode::put_value(const Key& key, ValueRecord record,

@@ -105,10 +105,15 @@ class DhtNode {
 
   // --- Retrieval support (Section 3.2) ------------------------------------
 
-  void find_providers(const Key& key, Lookup::Callback done);
+  // `parent_span` parents the walk's trace span under the caller's phase
+  // (e.g. a retrieval's provider_walk) — purely observational.
+  void find_providers(const Key& key, Lookup::Callback done,
+                      metrics::SpanId parent_span = 0);
   void find_peer(const multiformats::PeerId& peer,
-                 std::function<void(std::optional<PeerRef>, LookupResult)> done);
-  void lookup_closest(const Key& key, Lookup::Callback done);
+                 std::function<void(std::optional<PeerRef>, LookupResult)> done,
+                 metrics::SpanId parent_span = 0);
+  void lookup_closest(const Key& key, Lookup::Callback done,
+                      metrics::SpanId parent_span = 0);
 
   // --- Mutable records (IPNS substrate, Section 3.3) ----------------------
 
@@ -137,7 +142,8 @@ class DhtNode {
   void start_lookup(LookupType type, const Key& target,
                     std::vector<PeerRef> seeds, Lookup::Callback cb,
                     std::optional<multiformats::PeerId> target_peer =
-                        std::nullopt);
+                        std::nullopt,
+                    metrics::SpanId parent_span = 0);
   LookupHost make_lookup_host();
   void run_autonat(std::vector<PeerRef> probes, std::function<void()> done);
   void schedule_republish();

@@ -4,6 +4,22 @@
 
 namespace ipfs::dht {
 
+namespace {
+
+const char* lookup_span_name(LookupType type) {
+  switch (type) {
+    case LookupType::kFindNode:
+      return "dht.lookup.find_node";
+    case LookupType::kGetProviders:
+      return "dht.lookup.get_providers";
+    case LookupType::kGetValue:
+      return "dht.lookup.get_value";
+  }
+  return "dht.lookup.find_node";
+}
+
+}  // namespace
+
 std::shared_ptr<Lookup> Lookup::start(
     LookupHost host, LookupType type, Key target, std::vector<PeerRef> seeds,
     Callback cb, std::optional<multiformats::PeerId> target_peer) {
@@ -11,6 +27,9 @@ std::shared_ptr<Lookup> Lookup::start(
       std::move(host), type, std::move(target), std::move(cb),
       std::move(target_peer)));
   lookup->started_at_ = lookup->host_.network->simulator().now();
+  lookup->span_ = lookup->host_.network->metrics().begin_span(
+      lookup_span_name(type), lookup->host_.self, {},
+      lookup->host_.parent_span);
   lookup->deadline_timer_ =
       lookup->host_.network->simulator().schedule_after(
           kLookupDeadline, [weak = std::weak_ptr<Lookup>(lookup)] {
@@ -103,6 +122,7 @@ void Lookup::on_dial_result(const Key& candidate_key, bool ok) {
     candidate.state = CandidateState::kFailed;
     --in_flight_;
     ++result_.dials_failed;
+    host_.network->metrics().counter("dht.lookup.dials_failed").inc();
     if (host_.on_peer_failed) host_.on_peer_failed(candidate.peer);
     pump();
     return;
@@ -137,6 +157,7 @@ void Lookup::on_dial_result(const Key& candidate_key, bool ok) {
   }
 
   ++result_.rpcs_sent;
+  host_.network->metrics().counter("dht.lookup.rpcs_sent").inc();
   auto self = shared_from_this();
   host_.network->request(
       host_.self, candidate.peer.node, std::move(request), kRequestBaseBytes,
@@ -157,6 +178,7 @@ void Lookup::on_response(const Key& candidate_key, sim::RpcStatus status,
   if (status != sim::RpcStatus::kOk) {
     candidate.state = CandidateState::kFailed;
     ++result_.rpcs_failed;
+    host_.network->metrics().counter("dht.lookup.rpcs_failed").inc();
     if (host_.on_peer_failed) host_.on_peer_failed(candidate.peer);
     pump();
     return;
@@ -172,8 +194,23 @@ void Lookup::on_response(const Key& candidate_key, sim::RpcStatus status,
   } else if (const auto* providers = dynamic_cast<const GetProvidersResponse*>(
                  message.get())) {
     closer = providers->closer;
-    for (const auto& record : providers->providers)
+    for (const auto& record : providers->providers) {
+      // Several resolvers replicate the same record; carrying duplicates
+      // forward would skew retrieval's dial ordering (the same provider
+      // dialed twice while a distinct fallback waits).
+      const bool seen = std::any_of(
+          result_.providers.begin(), result_.providers.end(),
+          [&record](const ProviderRecord& have) {
+            return have.provider.id == record.provider.id;
+          });
+      if (seen) {
+        host_.network->metrics()
+            .counter("dht.lookup.duplicate_providers_dropped")
+            .inc();
+        continue;
+      }
       result_.providers.push_back(record);
+    }
   } else if (const auto* value = dynamic_cast<const GetValueResponse*>(
                  message.get())) {
     closer = value->closer;
@@ -190,6 +227,7 @@ void Lookup::abort() {
   if (finished_) return;
   finished_ = true;
   deadline_timer_.cancel();
+  host_.network->metrics().end_span(span_, false);
   // In-flight RPC callbacks see finished_ and return without effect.
 }
 
@@ -199,6 +237,8 @@ void Lookup::finish(bool completed) {
   deadline_timer_.cancel();
   result_.completed = completed;
   result_.elapsed = host_.network->simulator().now() - started_at_;
+  host_.network->metrics().end_span(
+      span_, completed, static_cast<std::uint64_t>(result_.rpcs_sent));
 
   // Assemble the closest responded set.
   for (const auto& [distance, candidate] : candidates_) {

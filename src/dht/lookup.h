@@ -47,6 +47,9 @@ struct LookupHost {
   // Requester identity stamped onto outgoing RPCs (see LookupRequestBase).
   PeerRef self_ref;
   bool server_mode = false;
+  // Enclosing trace span (e.g. a retrieval's provider_walk phase); the
+  // walk's dht.lookup.* span is parented under it when non-zero.
+  metrics::SpanId parent_span = 0;
   // Routing-table feedback.
   std::function<void(const PeerRef&)> on_peer_responded;
   std::function<void(const PeerRef&)> on_peer_failed;
@@ -103,6 +106,7 @@ class Lookup : public std::enable_shared_from_this<Lookup> {
   LookupResult result_;
   sim::Time started_at_ = 0;
   sim::Timer deadline_timer_;
+  metrics::SpanId span_ = 0;  // dht.lookup.<type> trace span
   int in_flight_ = 0;
   bool finished_ = false;
 };

@@ -21,7 +21,25 @@ void Gateway::pin_object(std::span<const std::uint8_t> data) {
   node_.store().pin(result.root);
 }
 
-const TierStats& Gateway::stats(ServedFrom source) const {
+namespace {
+
+const char* tier_name(ServedFrom source) {
+  switch (source) {
+    case ServedFrom::kNginxCache:
+      return "nginx_cache";
+    case ServedFrom::kNodeStore:
+      return "node_store";
+    case ServedFrom::kP2p:
+      return "p2p";
+    case ServedFrom::kFailed:
+      return "failed";
+  }
+  return "failed";
+}
+
+}  // namespace
+
+TierStats& Gateway::stats_for(ServedFrom source) {
   switch (source) {
     case ServedFrom::kNginxCache:
       return nginx_stats_;
@@ -35,18 +53,41 @@ const TierStats& Gateway::stats(ServedFrom source) const {
   return failed_stats_;
 }
 
+const TierStats& Gateway::stats(ServedFrom source) const {
+  return const_cast<Gateway*>(this)->stats_for(source);
+}
+
+void Gateway::account(const Cid& cid, const GatewayResponse& response) {
+  ++total_requests_;
+  TierStats& tier = stats_for(response.source);
+  ++tier.requests;
+  tier.bytes += response.bytes;
+
+  metrics::Registry& metrics = network_.metrics();
+  const std::string name = tier_name(response.source);
+  metrics.counter("gateway.requests").inc();
+  metrics.counter("gateway.tier." + name + ".requests").inc();
+  metrics.counter("gateway.tier." + name + ".bytes").inc(response.bytes);
+  metrics.histogram("gateway.latency." + name)
+      .record(response.latency);
+  metrics.instant("gateway.served." + name, node_.node(), cid.to_string(),
+                  response.bytes);
+}
+
 void Gateway::handle_get(const Cid& cid,
                          std::function<void(GatewayResponse)> done) {
-  ++total_requests_;
+  serve(cid, /*account_tier=*/true, std::move(done));
+}
 
+void Gateway::serve(const Cid& cid, bool account_tier,
+                    std::function<void(GatewayResponse)> done) {
   // Tier 1: nginx web cache.
   if (const auto cached = nginx_cache_.get(cid)) {
     GatewayResponse response;
     response.source = ServedFrom::kNginxCache;
     response.latency = config_.nginx_hit_latency;
     response.bytes = cached->data.size();
-    ++nginx_stats_.requests;
-    nginx_stats_.bytes += response.bytes;
+    if (account_tier) account(cid, response);
     network_.simulator().schedule_after(
         response.latency, [response, done = std::move(done)] {
           done(response);
@@ -63,8 +104,7 @@ void Gateway::handle_get(const Cid& cid,
         config_.node_store_base_latency +
         sim::seconds(static_cast<double>(local->size()) /
                      config_.node_store_bytes_per_sec);
-    ++node_store_stats_.requests;
-    node_store_stats_.bytes += response.bytes;
+    if (account_tier) account(cid, response);
     nginx_cache_.put(blockstore::Block{cid, *local});
     network_.simulator().schedule_after(
         response.latency, [response, done = std::move(done)] {
@@ -74,13 +114,13 @@ void Gateway::handle_get(const Cid& cid,
   }
 
   // Tier 3: the P2P network, via the full retrieval pipeline.
-  node_.retrieve(cid, [this, cid, done = std::move(done)](
+  node_.retrieve(cid, [this, cid, account_tier, done = std::move(done)](
                           node::RetrievalTrace trace) {
     GatewayResponse response;
     if (!trace.ok) {
       response.source = ServedFrom::kFailed;
       response.latency = trace.total;
-      ++failed_stats_.requests;
+      if (account_tier) account(cid, response);
       done(response);
       return;
     }
@@ -95,8 +135,7 @@ void Gateway::handle_get(const Cid& cid,
       network_.disconnect(node_.node(), trace.provider_node);
     const auto bytes = merkledag::cat(node_.store(), cid);
     response.bytes = bytes ? bytes->size() : trace.bytes;
-    ++p2p_stats_.requests;
-    p2p_stats_.bytes += response.bytes;
+    if (account_tier) account(cid, response);
     if (bytes) {
       nginx_cache_.put(blockstore::Block{cid, *bytes});
       // The bridge node keeps fetched blocks only transiently; drop them
@@ -140,44 +179,45 @@ void Gateway::handle_get_path(const Cid& root, const std::string& path,
     return;
   }
 
-  // Fetch the tree from the network, then resolve and serve.
-  ++total_requests_;
+  // Fetch the tree from the network, then resolve and serve. The whole
+  // request paid the P2P pipeline, so it is accounted exactly once, as a
+  // kP2p (or kFailed) request — serve() runs unaccounted and the final,
+  // rewritten response is what lands in the stats.
   node_.retrieve(root, [this, root, path, done = std::move(done)](
                            node::RetrievalTrace trace) {
-    --total_requests_;  // the nested handle_get counts the request
     GatewayResponse failure;
     failure.source = ServedFrom::kFailed;
     failure.latency = trace.total;
     if (!trace.ok) {
-      ++total_requests_;
-      ++failed_stats_.requests;
+      account(root, failure);
       done(failure);
       return;
     }
     const auto target = merkledag::resolve_path(node_.store(), root, path);
     if (!target) {
-      ++total_requests_;
-      ++failed_stats_.requests;
+      account(root, failure);
       done(failure);  // 404: no such path below the root
       return;
     }
     // Serve the resolved file; it is in the bridge store right now, so
-    // this accounts it as a node-store (transient) hit plus the P2P
-    // latency we just paid.
-    handle_get(*target,
-               [this, root, trace, done = std::move(done)](
-                   GatewayResponse response) {
-                 response.source = ServedFrom::kP2p;
-                 response.latency += trace.total;
-                 // Transient blocks are dropped as in handle_get's P2P path.
-                 if (!node_.store().pinned(root)) {
-                   if (const auto cids =
-                           merkledag::enumerate(node_.store(), root)) {
-                     for (const auto& cid : *cids) node_.store().remove(cid);
-                   }
-                 }
-                 done(response);
-               });
+    // the response carries the file's bytes plus the P2P latency we just
+    // paid.
+    serve(*target, /*account_tier=*/false,
+          [this, root, trace, done = std::move(done)](
+              GatewayResponse response) {
+            if (response.source != ServedFrom::kFailed)
+              response.source = ServedFrom::kP2p;
+            response.latency += trace.total;
+            // Transient blocks are dropped as in handle_get's P2P path.
+            if (!node_.store().pinned(root)) {
+              if (const auto cids =
+                      merkledag::enumerate(node_.store(), root)) {
+                for (const auto& cid : *cids) node_.store().remove(cid);
+              }
+            }
+            account(root, response);
+            done(response);
+          });
   });
 }
 

@@ -73,10 +73,18 @@ class Gateway {
   blockstore::LruBlockStore& nginx_cache() { return nginx_cache_; }
 
  private:
-  void serve_from_cache(const Cid& cid,
-                        const std::vector<std::uint8_t>& bytes,
-                        ServedFrom source, sim::Duration latency,
-                        std::function<void(GatewayResponse)> done);
+  // Computes a response for `cid` through the three tiers. When
+  // `account_tier` is set the response is accounted (tier stats, total,
+  // metrics) as it stands; handle_get_path's network branch passes false
+  // and accounts the rewritten response itself, so every request lands in
+  // exactly one tier and sum(tier requests) == total_requests() always.
+  void serve(const Cid& cid, bool account_tier,
+             std::function<void(GatewayResponse)> done);
+
+  // The single accounting point: tier stats + total + metrics registry.
+  void account(const Cid& cid, const GatewayResponse& response);
+
+  TierStats& stats_for(ServedFrom source);
 
   sim::Network& network_;
   GatewayConfig config_;

@@ -70,33 +70,49 @@ merkledag::ImportResult IpfsNode::add(std::span<const std::uint8_t> data) {
 void IpfsNode::provide(const Cid& cid, std::function<void(PublishTrace)> done,
                        std::size_t max_records) {
   const dht::Key key = dht::Key::for_cid(cid);
-  const sim::Time start = network_.simulator().now();
+  metrics::Registry& metrics = network_.metrics();
 
-  dht_.lookup_closest(key, [this, cid, key, start, max_records,
-                            done = std::move(done)](dht::LookupResult walk) {
-    const sim::Time walk_end = network_.simulator().now();
-    // The walk held dozens of connections open; the connection manager
-    // has trimmed down by the time the store batch begins, so most of
-    // the 20 targets need a fresh dial (Section 6.1's timeout spikes).
-    conn_manager_.trim();
+  // The trace's timing fields are derived from these spans: each phase
+  // duration is whatever end_span reports, not a hand-maintained clock.
+  const metrics::SpanId total_span =
+      metrics.begin_span("publish.total", node_, cid.to_string());
+  const metrics::SpanId walk_span = metrics.begin_span(
+      "publish.walk", node_, cid.to_string(), total_span);
 
-    auto targets = walk.closest;
-    if (targets.size() > max_records) targets.resize(max_records);
-    dht_.store_provider_records(
-        key, targets,
-        [this, cid, start, walk_end,
-         done = std::move(done)](dht::DhtNode::StoreBatchResult batch) {
-          PublishTrace trace;
-          trace.cid = cid;
-          trace.walk = walk_end - start;
-          trace.rpc_batch = batch.elapsed;
-          trace.total = trace.walk + trace.rpc_batch;
-          trace.provider_records_sent = batch.sent;
-          trace.ok = batch.sent > 0;
-          if (trace.ok) dht_.start_reproviding(dht::Key::for_cid(cid));
-          done(trace);
-        });
-  });
+  dht_.lookup_closest(
+      key,
+      [this, cid, key, max_records, total_span, walk_span,
+       done = std::move(done)](dht::LookupResult walk) {
+        const sim::Duration walk_elapsed =
+            network_.metrics().end_span(walk_span, !walk.closest.empty());
+        // The walk held dozens of connections open; the connection manager
+        // has trimmed down by the time the store batch begins, so most of
+        // the 20 targets need a fresh dial (Section 6.1's timeout spikes).
+        conn_manager_.trim();
+
+        auto targets = walk.closest;
+        if (targets.size() > max_records) targets.resize(max_records);
+        const metrics::SpanId batch_span = network_.metrics().begin_span(
+            "publish.rpc_batch", node_, cid.to_string(), total_span);
+        dht_.store_provider_records(
+            key, targets,
+            [this, cid, walk_elapsed, total_span, batch_span,
+             done = std::move(done)](dht::DhtNode::StoreBatchResult batch) {
+              PublishTrace trace;
+              trace.cid = cid;
+              trace.walk = walk_elapsed;
+              trace.ok = batch.sent > 0;
+              trace.rpc_batch =
+                  network_.metrics().end_span(batch_span, trace.ok);
+              trace.provider_records_sent = batch.sent;
+              trace.total = network_.metrics().end_span(
+                  total_span, trace.ok,
+                  static_cast<std::uint64_t>(batch.sent));
+              if (trace.ok) dht_.start_reproviding(dht::Key::for_cid(cid));
+              done(trace);
+            });
+      },
+      walk_span);
 }
 
 void IpfsNode::publish(std::span<const std::uint8_t> data,
@@ -105,61 +121,72 @@ void IpfsNode::publish(std::span<const std::uint8_t> data,
   provide(import.root, std::move(done));
 }
 
+// Closes the retrieval's root span and delivers the trace. trace.total is
+// the span's duration — the one clock shared with the trace stream.
+void IpfsNode::finish(const std::shared_ptr<RetrievalCtx>& ctx,
+                      const std::function<void(RetrievalTrace)>& done) {
+  ctx->trace.total = network_.metrics().end_span(ctx->span, ctx->trace.ok,
+                                                 ctx->trace.bytes);
+  done(ctx->trace);
+}
+
 void IpfsNode::retrieve(const Cid& cid,
                         std::function<void(RetrievalTrace)> done) {
-  auto trace = std::make_shared<RetrievalTrace>();
-  trace->cid = cid;
-  retrieval_started_ = network_.simulator().now();
+  auto ctx = std::make_shared<RetrievalCtx>();
+  ctx->trace.cid = cid;
+  ctx->span = network_.metrics().begin_span("retrieve.total", node_,
+                                            cid.to_string());
 
   // Phase 0: the object may be complete locally.
   if (merkledag::cat(store_, cid).has_value()) {
-    trace->ok = true;
-    trace->local_hit = true;
-    done(*trace);
+    ctx->trace.ok = true;
+    ctx->trace.local_hit = true;
+    finish(ctx, done);
     return;
   }
 
   if (config_.parallel_dht_lookup) {
-    retrieve_parallel(trace, std::move(done));
+    retrieve_parallel(std::move(ctx), std::move(done));
     return;
   }
 
   // Phase 1: opportunistic Bitswap to already connected peers (step 4).
-  const sim::Time bitswap_start = network_.simulator().now();
+  const metrics::SpanId discovery_span = network_.metrics().begin_span(
+      "retrieve.bitswap_discovery", node_, cid.to_string(), ctx->span);
   bitswap_.discover(
       cid, config_.bitswap_timeout,
-      [this, cid, trace, bitswap_start,
+      [this, cid, ctx, discovery_span,
        done = std::move(done)](std::optional<sim::NodeId> holder) {
-        trace->bitswap_discovery =
-            network_.simulator().now() - bitswap_start;
+        ctx->trace.bitswap_discovery =
+            network_.metrics().end_span(discovery_span, holder.has_value());
         if (holder) {
-          trace->bitswap_hit = true;
-          fetch_from(trace, *holder, std::move(done));
+          ctx->trace.bitswap_hit = true;
+          fetch_from(ctx, *holder, std::move(done));
           return;
         }
 
         // Phase 2: content discovery via DHT walk #1 (step 5).
-        const sim::Time walk_start = network_.simulator().now();
+        const metrics::SpanId walk_span = network_.metrics().begin_span(
+            "retrieve.provider_walk", node_, cid.to_string(), ctx->span);
         dht_.find_providers(
             dht::Key::for_cid(cid),
-            [this, trace, walk_start,
+            [this, ctx, walk_span,
              done = std::move(done)](dht::LookupResult result) {
-              trace->provider_walk =
-                  network_.simulator().now() - walk_start;
+              ctx->trace.provider_walk = network_.metrics().end_span(
+                  walk_span, !result.providers.empty());
               if (result.providers.empty()) {
-                trace->total =
-                    network_.simulator().now() - retrieval_started_;
-                done(*trace);
+                finish(ctx, done);
                 return;
               }
-              finish_retrieval(trace, result.providers.front().provider,
-                               network_.simulator().now(), std::move(done));
-            });
+              finish_retrieval(ctx, result.providers.front().provider,
+                               std::move(done));
+            },
+            walk_span);
       },
       config_.bitswap_early_exit);
 }
 
-void IpfsNode::retrieve_parallel(std::shared_ptr<RetrievalTrace> trace,
+void IpfsNode::retrieve_parallel(std::shared_ptr<RetrievalCtx> ctx,
                                  std::function<void(RetrievalTrace)> done) {
   // Section 6.4's proposed optimization: race the Bitswap probe against
   // the DHT walk; whichever yields a source first drives the fetch. The
@@ -173,25 +200,33 @@ void IpfsNode::retrieve_parallel(std::shared_ptr<RetrievalTrace> trace,
   auto race = std::make_shared<Race>();
   auto done_shared =
       std::make_shared<std::function<void(RetrievalTrace)>>(std::move(done));
-  const sim::Time start = network_.simulator().now();
 
-  auto fail_if_both_missed = [this, race, trace, done_shared] {
+  auto fail_if_both_missed = [this, race, ctx, done_shared] {
     if (race->fetching || !race->bitswap_done || !race->walk_done) return;
-    trace->total = network_.simulator().now() - retrieval_started_;
-    (*done_shared)(*trace);
+    finish(ctx, *done_shared);
   };
 
+  // Both phase spans open together; each closes when its path resolves,
+  // whether or not it won the race (losing telemetry is still telemetry).
+  const metrics::SpanId discovery_span = network_.metrics().begin_span(
+      "retrieve.bitswap_discovery", node_, ctx->trace.cid.to_string(),
+      ctx->span);
+  const metrics::SpanId walk_span = network_.metrics().begin_span(
+      "retrieve.provider_walk", node_, ctx->trace.cid.to_string(), ctx->span);
+
   bitswap_.discover(
-      trace->cid, config_.bitswap_timeout,
-      [this, race, trace, start, done_shared,
+      ctx->trace.cid, config_.bitswap_timeout,
+      [this, race, ctx, discovery_span, done_shared,
        fail_if_both_missed](std::optional<sim::NodeId> holder) {
         race->bitswap_done = true;
+        const sim::Duration elapsed = network_.metrics().end_span(
+            discovery_span, holder.has_value() && !race->fetching);
         if (race->fetching) return;
         if (holder) {
           race->fetching = true;
-          trace->bitswap_hit = true;
-          trace->bitswap_discovery = network_.simulator().now() - start;
-          fetch_from(trace, *holder, *done_shared);
+          ctx->trace.bitswap_hit = true;
+          ctx->trace.bitswap_discovery = elapsed;
+          fetch_from(ctx, *holder, *done_shared);
           return;
         }
         fail_if_both_missed();
@@ -199,25 +234,27 @@ void IpfsNode::retrieve_parallel(std::shared_ptr<RetrievalTrace> trace,
       config_.bitswap_early_exit);
 
   dht_.find_providers(
-      dht::Key::for_cid(trace->cid),
-      [this, race, trace, start, done_shared,
+      dht::Key::for_cid(ctx->trace.cid),
+      [this, race, ctx, walk_span, done_shared,
        fail_if_both_missed](dht::LookupResult result) {
         race->walk_done = true;
+        const sim::Duration elapsed = network_.metrics().end_span(
+            walk_span, !result.providers.empty() && !race->fetching);
         if (race->fetching) return;
         if (!result.providers.empty()) {
           race->fetching = true;
-          trace->provider_walk = network_.simulator().now() - start;
-          finish_retrieval(trace, result.providers.front().provider,
-                           network_.simulator().now(), *done_shared);
+          ctx->trace.provider_walk = elapsed;
+          finish_retrieval(ctx, result.providers.front().provider,
+                           *done_shared);
           return;
         }
         fail_if_both_missed();
-      });
+      },
+      walk_span);
 }
 
-void IpfsNode::finish_retrieval(std::shared_ptr<RetrievalTrace> trace,
+void IpfsNode::finish_retrieval(std::shared_ptr<RetrievalCtx> ctx,
                                 const dht::PeerRef& provider,
-                                sim::Time phase_start,
                                 std::function<void(RetrievalTrace)> done) {
   // Phase 3: peer discovery. Use the provider's address if the record
   // carried one or the address book knows it; otherwise DHT walk #2.
@@ -230,71 +267,74 @@ void IpfsNode::finish_retrieval(std::shared_ptr<RetrievalTrace> trace,
 
   if (resolved.node != sim::kInvalidNode) {
     address_book_.insert(resolved);
-    fetch_from(trace, resolved.node, std::move(done));
+    fetch_from(std::move(ctx), resolved.node, std::move(done));
     return;
   }
 
-  trace->used_peer_walk = true;
-  dht_.find_peer(provider.id,
-                 [this, trace, phase_start, done = std::move(done)](
-                     std::optional<dht::PeerRef> peer,
-                     dht::LookupResult) {
-                   trace->peer_walk =
-                       network_.simulator().now() - phase_start;
-                   if (!peer) {
-                     trace->total =
-                         network_.simulator().now() - retrieval_started_;
-                     done(*trace);
-                     return;
-                   }
-                   address_book_.insert(*peer);
-                   fetch_from(trace, peer->node, std::move(done));
-                 });
+  ctx->trace.used_peer_walk = true;
+  const metrics::SpanId peer_walk_span = network_.metrics().begin_span(
+      "retrieve.peer_walk", node_, ctx->trace.cid.to_string(), ctx->span);
+  dht_.find_peer(
+      provider.id,
+      [this, ctx, peer_walk_span, done = std::move(done)](
+          std::optional<dht::PeerRef> peer, dht::LookupResult) {
+        ctx->trace.peer_walk =
+            network_.metrics().end_span(peer_walk_span, peer.has_value());
+        if (!peer) {
+          finish(ctx, done);
+          return;
+        }
+        address_book_.insert(*peer);
+        fetch_from(ctx, peer->node, std::move(done));
+      },
+      peer_walk_span);
 }
 
-void IpfsNode::fetch_from(std::shared_ptr<RetrievalTrace> trace,
-                          sim::NodeId peer,
+void IpfsNode::fetch_from(std::shared_ptr<RetrievalCtx> ctx, sim::NodeId peer,
                           std::function<void(RetrievalTrace)> done) {
   // Phase 4: peer routing (dial + negotiate), then content exchange.
-  const sim::Time dial_start = network_.simulator().now();
+  const metrics::SpanId dial_span = network_.metrics().begin_span(
+      "retrieve.dial", node_, ctx->trace.cid.to_string(), ctx->span, peer);
   network_.connect(
       node_, peer,
-      [this, trace, peer, dial_start,
+      [this, ctx, peer, dial_span,
        done = std::move(done)](bool ok, sim::Duration elapsed) {
+        const sim::Duration handshake =
+            network_.metrics().end_span(dial_span, ok);
+        (void)elapsed;  // == handshake: the span brackets the dial exactly
         if (!ok) {
-          trace->total = network_.simulator().now() - retrieval_started_;
-          done(*trace);
+          finish(ctx, done);
           return;
         }
         // Split the handshake into its transport (Dial) and security/mux
         // (Negotiate) parts by round-trip share — Equation 2 needs both.
         const int round_trips =
             sim::handshake_round_trips(network_.config(peer).transport);
-        trace->dial = elapsed / round_trips;
-        trace->negotiate = elapsed - trace->dial;
+        ctx->trace.dial = handshake / round_trips;
+        ctx->trace.negotiate = handshake - ctx->trace.dial;
         conn_manager_.protect(peer);
-        (void)dial_start;
 
-        const sim::Time fetch_start = network_.simulator().now();
+        const metrics::SpanId fetch_span = network_.metrics().begin_span(
+            "retrieve.fetch", node_, ctx->trace.cid.to_string(), ctx->span,
+            peer);
         bitswap_.fetch_dag(
-            peer, trace->cid,
-            [this, trace, peer, fetch_start,
+            peer, ctx->trace.cid,
+            [this, ctx, peer, fetch_span,
              done = std::move(done)](bitswap::FetchStats stats) {
               conn_manager_.unprotect(peer);
-              trace->provider_node = peer;
-              trace->fetch = network_.simulator().now() - fetch_start;
-              trace->bytes = stats.bytes;
-              trace->ok = stats.ok;
-              trace->total =
-                  network_.simulator().now() - retrieval_started_;
-              if (trace->ok && config_.provide_after_fetch) {
+              ctx->trace.provider_node = peer;
+              ctx->trace.bytes = stats.bytes;
+              ctx->trace.ok = stats.ok;
+              ctx->trace.fetch = network_.metrics().end_span(
+                  fetch_span, stats.ok, stats.bytes);
+              if (ctx->trace.ok && config_.provide_after_fetch) {
                 // Become a temporary provider (Section 3.1), without
                 // affecting the measured retrieval.
-                store_.pin(trace->cid);
-                dht_.provide(dht::Key::for_cid(trace->cid),
+                store_.pin(ctx->trace.cid);
+                dht_.provide(dht::Key::for_cid(ctx->trace.cid),
                              [](dht::DhtNode::ProvideResult) {});
               }
-              done(*trace);
+              finish(ctx, done);
             });
       });
 }

@@ -146,12 +146,23 @@ class IpfsNode {
   sim::NodeId node() const { return node_; }
 
  private:
-  void retrieve_parallel(std::shared_ptr<RetrievalTrace> trace,
+  // Per-retrieval state. The timing fields of the trace are derived from
+  // the metrics layer's spans (end_span returns the duration), and the
+  // root span id travels with the retrieval — a member timestamp would be
+  // corrupted by concurrent retrievals (the gateway serves many at once).
+  struct RetrievalCtx {
+    RetrievalTrace trace;
+    metrics::SpanId span = 0;  // retrieve.total
+  };
+
+  void finish(const std::shared_ptr<RetrievalCtx>& ctx,
+              const std::function<void(RetrievalTrace)>& done);
+  void retrieve_parallel(std::shared_ptr<RetrievalCtx> ctx,
                          std::function<void(RetrievalTrace)> done);
-  void finish_retrieval(std::shared_ptr<RetrievalTrace> trace,
-                        const dht::PeerRef& provider, sim::Time phase_start,
+  void finish_retrieval(std::shared_ptr<RetrievalCtx> ctx,
+                        const dht::PeerRef& provider,
                         std::function<void(RetrievalTrace)> done);
-  void fetch_from(std::shared_ptr<RetrievalTrace> trace, sim::NodeId peer,
+  void fetch_from(std::shared_ptr<RetrievalCtx> ctx, sim::NodeId peer,
                   std::function<void(RetrievalTrace)> done);
 
   static crypto::Ed25519KeyPair derive_keypair(std::uint64_t seed);
@@ -165,7 +176,6 @@ class IpfsNode {
   bitswap::Bitswap bitswap_;
   AddressBook address_book_;
   ConnectionManager conn_manager_;
-  sim::Time retrieval_started_ = 0;
 };
 
 }  // namespace ipfs::node

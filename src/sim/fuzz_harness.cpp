@@ -1,6 +1,7 @@
 #include "sim/fuzz_harness.h"
 
 #include <algorithm>
+#include <fstream>
 #include <memory>
 #include <set>
 #include <sstream>
@@ -8,6 +9,7 @@
 #include "dht/record_store.h"
 #include "merkledag/merkledag.h"
 #include "node/ipfs_node.h"
+#include "stats/jsonl.h"
 
 namespace ipfs::simfuzz {
 
@@ -168,6 +170,10 @@ std::string ScheduleReport::failure_summary() const {
   }
   out << violations.size() << " invariant violation(s):";
   for (const auto& violation : violations) out << "\n  - " << violation;
+  if (!trace_jsonl.empty()) {
+    out << "\ntrace dump: " << trace_jsonl.size() << " bytes of JSONL";
+    if (!trace_dump_path.empty()) out << " written to " << trace_dump_path;
+  }
   return out.str();
 }
 
@@ -184,6 +190,10 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
   sim::Simulator simulator;
   const sim::LatencyModel latency = fuzz_latency_model();
   sim::Network network(simulator, latency, params.seed);
+  // Keep the flight recorder bounded: a 26 h long-horizon schedule emits
+  // far more trace events than a post-mortem needs, and the registry
+  // counts what it drops (trace_dropped) so the dump is honest about it.
+  network.metrics().set_trace_capacity(200'000);
 
   // ---- World -------------------------------------------------------------
   const std::size_t node_count = std::max(params.node_count, kBootstrapCount + 2);
@@ -510,6 +520,22 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
   }
 
   plan.detach();
+
+  // Any violation dumps the schedule's flight recording: every counter,
+  // histogram, and span/instant event the run produced, keyed by the
+  // replay seed. Clean runs skip the serialization entirely.
+  if (!violations.empty()) {
+    std::ostringstream dump;
+    stats::export_registry_jsonl(network.metrics(), dump);
+    report.trace_jsonl = dump.str();
+    std::ostringstream path;
+    path << "simfuzz_trace_" << params.seed << ".jsonl";
+    std::ofstream file(path.str(), std::ios::trunc);
+    if (file) {
+      file << report.trace_jsonl;
+      report.trace_dump_path = path.str();
+    }
+  }
   return report;
 }
 

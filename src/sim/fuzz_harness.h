@@ -106,6 +106,14 @@ struct ScheduleReport {
   ScheduleParams params;
   ScheduleStats stats;
   std::vector<std::string> violations;
+  // On any invariant violation, the full metrics registry (counters,
+  // histograms, and the span/instant trace stream) serialized as JSONL —
+  // the flight recording of the failing seeded schedule. Empty on clean
+  // runs, so green fuzz sweeps pay no serialization cost. Also written to
+  // `trace_dump_path` (simfuzz_trace_<seed>.jsonl in the working
+  // directory) so a failing CI run leaves an artifact.
+  std::string trace_jsonl;
+  std::string trace_dump_path;
 
   bool ok() const { return violations.empty(); }
   // Violations plus the replay info; suitable as a gtest failure message.

@@ -48,7 +48,10 @@ Duration LatencyModel::sample(int region_a, int region_b, Rng& rng) const {
 
 Network::Network(Simulator& simulator, const LatencyModel& latency,
                  std::uint64_t seed)
-    : simulator_(simulator), latency_(latency), rng_(Rng(seed).fork("network")) {}
+    : simulator_(simulator),
+      latency_(latency),
+      rng_(Rng(seed).fork("network")),
+      metrics_([this] { return simulator_.now(); }) {}
 
 NodeId Network::add_node(const NodeConfig& config) {
   assert(config.region >= 0 && config.region < latency_.regions());
@@ -119,13 +122,20 @@ Duration Network::queued_transfer_delay(NodeId from, NodeId to,
 void Network::connect(NodeId from, NodeId to, DialCallback cb) {
   assert(from != to);
   ++dials_attempted_;
+  metrics_.counter("net.dials_attempted").inc();
   NodeState& src = nodes_[from];
   if (!src.online) return;  // an offline node cannot observe anything
 
   if (connected(from, to)) {
+    // Reusing an existing connection: a zero-length dial span keeps the
+    // trace complete without pretending a handshake happened.
+    metrics_.end_span(metrics_.begin_span("net.dial", from, {}, 0, to));
     cb(true, 0);
     return;
   }
+
+  const metrics::SpanId dial_span =
+      metrics_.begin_span("net.dial", from, {}, 0, to);
 
   const NodeState& dst = nodes_[to];
   const Transport transport = dst.config.transport;
@@ -146,17 +156,23 @@ void Network::connect(NodeId from, NodeId to, DialCallback cb) {
     // with an extra round of coordination when the punch succeeds.
     const Duration setup =
         via_relay + (upgraded ? one_way(from, to) * 2 : 0);
-    simulator_.schedule_after(setup, [this, from, to, epoch, cb, start] {
-      if (!callback_alive(from, epoch)) return;
-      if (!nodes_[to].online) {
-        ++dials_failed_;
-        cb(false, simulator_.now() - start);
-        return;
-      }
-      nodes_[from].connections.insert(to);
-      nodes_[to].connections.insert(from);
-      cb(true, simulator_.now() - start);
-    });
+    simulator_.schedule_after(
+        setup, [this, from, to, epoch, cb, start, dial_span] {
+          // The dial outcome is real telemetry even when the requester has
+          // since churned out, so the span ends before the liveness check.
+          const bool ok = nodes_[to].online;
+          metrics_.end_span(dial_span, ok);
+          if (!callback_alive(from, epoch)) return;
+          if (!ok) {
+            ++dials_failed_;
+            metrics_.counter("net.dials_failed").inc();
+            cb(false, simulator_.now() - start);
+            return;
+          }
+          nodes_[from].connections.insert(to);
+          nodes_[to].connections.insert(from);
+          cb(true, simulator_.now() - start);
+        });
     return;
   }
 
@@ -166,6 +182,7 @@ void Network::connect(NodeId from, NodeId to, DialCallback cb) {
       (injector_ != nullptr && injector_->fail_dial(from, to)) ||
       !rng_.chance(dst.config.dial_success_prob)) {
     ++dials_failed_;
+    metrics_.counter("net.dials_failed").inc();
     // Offline-but-dialable hosts usually refuse quickly (RST / ICMP);
     // NAT'ed and flaky targets hang until the transport gives up.
     Duration fail_after =
@@ -175,27 +192,33 @@ void Network::connect(NodeId from, NodeId to, DialCallback cb) {
         rng_.chance(kFastFailProbability)) {
       fail_after = one_way(from, to) * 2;  // one round trip to the RST
     }
-    simulator_.schedule_after(fail_after, [this, from, epoch, cb, start] {
-      if (!callback_alive(from, epoch)) return;
-      cb(false, simulator_.now() - start);
-    });
+    simulator_.schedule_after(fail_after,
+                              [this, from, epoch, cb, start, dial_span] {
+                                metrics_.end_span(dial_span, false);
+                                if (!callback_alive(from, epoch)) return;
+                                cb(false, simulator_.now() - start);
+                              });
     return;
   }
 
   const Duration rtt = one_way(from, to) * 2;
   const Duration handshake = rtt * handshake_round_trips(transport);
-  simulator_.schedule_after(handshake, [this, from, to, epoch, cb, start] {
-    if (!callback_alive(from, epoch)) return;
-    if (!nodes_[to].online) {
-      // Peer churned out mid-handshake; surface as a (slow) failure.
-      ++dials_failed_;
-      cb(false, simulator_.now() - start);
-      return;
-    }
-    nodes_[from].connections.insert(to);
-    nodes_[to].connections.insert(from);
-    cb(true, simulator_.now() - start);
-  });
+  simulator_.schedule_after(
+      handshake, [this, from, to, epoch, cb, start, dial_span] {
+        const bool ok = nodes_[to].online;
+        metrics_.end_span(dial_span, ok);
+        if (!callback_alive(from, epoch)) return;
+        if (!ok) {
+          // Peer churned out mid-handshake; surface as a (slow) failure.
+          ++dials_failed_;
+          metrics_.counter("net.dials_failed").inc();
+          cb(false, simulator_.now() - start);
+          return;
+        }
+        nodes_[from].connections.insert(to);
+        nodes_[to].connections.insert(from);
+        cb(true, simulator_.now() - start);
+      });
 }
 
 void Network::disconnect(NodeId from, NodeId to) {
@@ -215,6 +238,9 @@ std::vector<NodeId> Network::connections_of(NodeId id) const {
 void Network::send(NodeId from, NodeId to, MessagePtr message,
                    std::size_t bytes) {
   if (!nodes_[from].online || !connected(from, to)) return;
+  // Bytes hit the wire even when the injector then loses them in transit.
+  metrics_.counter("net.messages_sent").inc();
+  metrics_.counter("net.bytes_sent").inc(bytes);
   if (injector_ != nullptr && injector_->drop_message(from, to)) return;
   Duration delay = one_way(from, to) + queued_transfer_delay(from, to, bytes);
   bool duplicate = false;
@@ -239,22 +265,30 @@ void Network::request(NodeId from, NodeId to, MessagePtr request,
   NodeState& src = nodes_[from];
   if (!src.online) return;
   if (!connected(from, to)) {
+    metrics_.counter("net.rpcs_sent").inc();
+    metrics_.counter("net.rpcs_unreachable").inc();
+    metrics_.end_span(metrics_.begin_span("net.rpc", from, {}, 0, to), false);
     cb(RpcStatus::kUnreachable, nullptr);
     return;
   }
 
+  metrics_.counter("net.rpcs_sent").inc();
+  metrics_.counter("net.bytes_sent").inc(request_bytes);
   const std::uint64_t request_id = next_request_id_++;
   PendingRequest pending;
   pending.from = from;
   pending.to = to;
   pending.from_epoch = src.epoch;
   pending.cb = std::move(cb);
+  pending.span = metrics_.begin_span("net.rpc", from, {}, 0, to);
   pending.timeout_timer =
       simulator_.schedule_after(timeout, [this, request_id] {
         const auto it = pending_.find(request_id);
         if (it == pending_.end()) return;
         PendingRequest entry = std::move(it->second);
         pending_.erase(it);
+        metrics_.counter("net.rpc_timeouts").inc();
+        metrics_.end_span(entry.span, false);
         if (!callback_alive(entry.from, entry.from_epoch)) return;
         entry.cb(RpcStatus::kTimeout, nullptr);
       });
@@ -282,6 +316,7 @@ void Network::request(NodeId from, NodeId to, MessagePtr request,
                                                 std::size_t bytes) {
       // Response travels back if the responder is still online.
       if (!nodes_[to].online) return;
+      metrics_.counter("net.bytes_sent").inc(bytes);
       if (injector_ != nullptr && injector_->drop_message(to, from)) return;
       Duration back =
           one_way(to, from) + queued_transfer_delay(to, from, bytes);
@@ -293,6 +328,7 @@ void Network::request(NodeId from, NodeId to, MessagePtr request,
             PendingRequest entry = std::move(it->second);
             pending_.erase(it);
             entry.timeout_timer.cancel();
+            metrics_.end_span(entry.span, true);
             if (!callback_alive(entry.from, entry.from_epoch)) return;
             entry.cb(RpcStatus::kOk, response);
           });
@@ -324,6 +360,8 @@ void Network::reset_connection(NodeId a, NodeId b) {
     PendingRequest entry = std::move(it->second);
     pending_.erase(it);
     entry.timeout_timer.cancel();
+    metrics_.counter("net.rpc_resets").inc();
+    metrics_.end_span(entry.span, false);
     simulator_.schedule_after(0, [this, entry]() {
       if (!callback_alive(entry.from, entry.from_epoch)) return;
       entry.cb(RpcStatus::kReset, nullptr);

@@ -19,6 +19,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "metrics/metrics.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
@@ -186,6 +187,12 @@ class Network {
   Simulator& simulator() { return simulator_; }
   Rng& rng() { return rng_; }
 
+  // Per-simulation observability substrate. The fabric instruments its own
+  // dials/RPCs here, and every component holding a Network reference uses
+  // the same registry for its phase spans and counters.
+  metrics::Registry& metrics() { return metrics_; }
+  const metrics::Registry& metrics() const { return metrics_; }
+
   // Counters for tests and benches.
   std::uint64_t messages_delivered() const { return messages_delivered_; }
   std::uint64_t dials_attempted() const { return dials_attempted_; }
@@ -214,6 +221,7 @@ class Network {
     std::uint64_t from_epoch;
     ResponseCallback cb;
     Timer timeout_timer;
+    metrics::SpanId span = 0;  // net.rpc span, ended on every outcome
   };
 
   bool callback_alive(NodeId id, std::uint64_t epoch) const {
@@ -225,6 +233,7 @@ class Network {
   Simulator& simulator_;
   const LatencyModel& latency_;
   Rng rng_;
+  metrics::Registry metrics_;
   FaultInjector* injector_ = nullptr;
   std::vector<NodeState> nodes_;
   std::vector<Time> uplink_free_at_;  // per-node uplink availability

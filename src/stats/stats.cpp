@@ -57,6 +57,9 @@ double Cdf::at(double value) const {
 }
 
 double Cdf::percentile(double p) const {
+  // Degrade like at()/curve() instead of throwing: empty distributions
+  // are routine (a bench phase with zero failures still asks for p50).
+  if (sorted_.empty()) return 0.0;
   return stats::percentile(sorted_, p);
 }
 
@@ -78,6 +81,12 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double value) {
+  // NaN survives std::clamp, and casting it to an index is UB; count it
+  // separately rather than corrupting a bin.
+  if (std::isnan(value)) {
+    ++nan_count_;
+    return;
+  }
   const double span = hi_ - lo_;
   double idx = (value - lo_) / span * static_cast<double>(counts_.size());
   idx = std::clamp(idx, 0.0, static_cast<double>(counts_.size()) - 1.0);

@@ -40,8 +40,9 @@ class Cdf {
   std::vector<double> sorted_;
 };
 
-// Fixed-width histogram over [lo, hi); out-of-range values clamp to the
-// edge bins.
+// Fixed-width histogram over [lo, hi); out-of-range values (including
+// +/-inf) clamp to the edge bins. NaN is counted in nan_count() and does
+// not land in any bin.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -51,12 +52,14 @@ class Histogram {
   std::size_t bins() const { return counts_.size(); }
   double bin_low(std::size_t bin) const;
   std::uint64_t total() const { return total_; }
+  std::uint64_t nan_count() const { return nan_count_; }
 
  private:
   double lo_;
   double hi_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  std::uint64_t nan_count_ = 0;
 };
 
 // ---------------------------------------------------------------------------

@@ -192,5 +192,32 @@ TEST_F(BitswapTest, WantlistReflectsInFlightRequests) {
   EXPECT_TRUE(bitswap_a_->wantlist().empty());
 }
 
+TEST_F(BitswapTest, FetchDagRequestsSharedLinkOnlyOnce) {
+  // A DAG whose root links the same leaf twice (shared-link dedup).
+  // Regression: both copies used to be dispatched before either landed,
+  // double-fetching the block and double-counting blocks/bytes.
+  const auto leaf = blockstore::Block::from_data(
+      multiformats::Multicodec::kRaw, random_bytes(1024, 21));
+  merkledag::DagNode root_node;
+  root_node.links.push_back({leaf.cid, leaf.data.size()});
+  root_node.links.push_back({leaf.cid, leaf.data.size()});
+  const auto root = blockstore::Block::from_data(
+      multiformats::Multicodec::kDagPb, root_node.encode());
+  store_b_.put(leaf);
+  store_b_.put(root);
+
+  FetchStats stats;
+  bitswap_a_->fetch_dag(node_b_, root.cid, [&](FetchStats s) { stats = s; });
+  sim_.run();
+
+  EXPECT_TRUE(stats.ok);
+  EXPECT_EQ(stats.blocks, 2u);  // root + leaf, the leaf exactly once
+  EXPECT_EQ(stats.bytes, root.data.size() + leaf.data.size());
+  EXPECT_EQ(bitswap_b_->ledger_for(node_a_).blocks_sent, 2u);
+  EXPECT_EQ(network_.metrics().counter_value(
+                "bitswap.duplicate_wants_suppressed"),
+            1u);
+}
+
 }  // namespace
 }  // namespace ipfs::bitswap

@@ -251,6 +251,49 @@ TEST(DhtSwarmTest, FindProvidersDiscoversPublishedContent) {
   EXPECT_GT(lookup.elapsed, 0);
 }
 
+TEST(DhtSwarmTest, DuplicateProviderRecordsAreDroppedByPeerId) {
+  // Replicated resolvers hand back overlapping provider sets; a response
+  // repeating the same provider must collapse to one dial candidate.
+  sim::Simulator sim;
+  const sim::LatencyModel latency({{10.0}}, 1.0, 1.0);
+  sim::Network net(sim, latency, 7);
+  const sim::NodeId requester = net.add_node({.region = 0});
+  const sim::NodeId server = net.add_node({.region = 0});
+
+  net.set_request_handler(
+      server,
+      [](sim::NodeId, const sim::MessagePtr& message, auto respond) {
+        ASSERT_NE(dynamic_cast<const GetProvidersRequest*>(message.get()),
+                  nullptr);
+        auto response = std::make_shared<GetProvidersResponse>();
+        response->providers.push_back(ProviderRecord{make_ref(10), 0});
+        response->providers.push_back(ProviderRecord{make_ref(10), 0});
+        response->providers.push_back(ProviderRecord{make_ref(11), 0});
+        respond(std::move(response), 100);
+      });
+
+  LookupHost host;
+  host.network = &net;
+  host.self = requester;
+  host.self_ref = PeerRef{synthetic_peer_id(999), requester,
+                          {synthetic_address(999)}};
+  LookupResult result;
+  const Key key = Key::hash_of(std::vector<std::uint8_t>{7, 7, 7});
+  auto lookup = Lookup::start(
+      host, LookupType::kGetProviders, key,
+      {PeerRef{synthetic_peer_id(1), server, {synthetic_address(1)}}},
+      [&](LookupResult r) { result = std::move(r); });
+  sim.run();
+
+  ASSERT_TRUE(result.completed);
+  ASSERT_EQ(result.providers.size(), 2u);
+  EXPECT_NE(result.providers[0].provider.id,
+            result.providers[1].provider.id);
+  EXPECT_EQ(
+      net.metrics().counter_value("dht.lookup.duplicate_providers_dropped"),
+      1u);
+}
+
 TEST(DhtSwarmTest, FindProvidersFailsForUnpublishedKey) {
   TestSwarm swarm(40);
   const Key key = Key::hash_of(std::vector<std::uint8_t>{0xde, 0xad});

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "gateway/gateway.h"
+#include "merkledag/unixfs.h"
 #include "testutil.h"
 
 namespace ipfs::gateway {
@@ -152,6 +153,132 @@ TEST_F(GatewayTest, TierStatsAccumulateBytes) {
   EXPECT_EQ(gateway_->total_requests(), 3u);
   EXPECT_EQ(gateway_->stats(ServedFrom::kNodeStore).bytes, data.size());
   EXPECT_EQ(gateway_->stats(ServedFrom::kNginxCache).bytes, 2 * data.size());
+}
+
+// Sum over every tier, including failures. Each request must land in
+// exactly one tier, so this always equals total_requests().
+std::uint64_t tier_request_sum(const Gateway& gateway) {
+  return gateway.stats(ServedFrom::kNginxCache).requests +
+         gateway.stats(ServedFrom::kNodeStore).requests +
+         gateway.stats(ServedFrom::kP2p).requests +
+         gateway.stats(ServedFrom::kFailed).requests;
+}
+
+TEST_F(GatewayTest, PathRequestOverNetworkAccountsAsSingleP2pRequest) {
+  // The tree lives only on the publisher; serving /ipfs/{root}/docs/readme
+  // pays the full P2P pipeline. Regression: the nested serve step used to
+  // count the request a second time under the node-store tier even though
+  // the response was rewritten to kP2p.
+  const merkledag::TreeFile file{"docs/readme.md", random_bytes(64 * 1024, 8)};
+  const auto root = merkledag::import_tree(publisher_->store(), {file});
+  ASSERT_TRUE(root.has_value());
+  node::PublishTrace publish_trace;
+  publisher_->provide(*root, [&](node::PublishTrace t) { publish_trace = t; });
+  swarm_.simulator().run();
+  ASSERT_TRUE(publish_trace.ok);
+
+  GatewayResponse response;
+  gateway_->handle_get_path(*root, "docs/readme.md",
+                            [&](GatewayResponse r) { response = r; });
+  swarm_.simulator().run();
+
+  EXPECT_EQ(response.source, ServedFrom::kP2p);
+  EXPECT_EQ(response.bytes, file.content.size());
+  EXPECT_EQ(gateway_->total_requests(), 1u);
+  EXPECT_EQ(gateway_->stats(ServedFrom::kP2p).requests, 1u);
+  EXPECT_EQ(gateway_->stats(ServedFrom::kNodeStore).requests, 0u);
+  EXPECT_EQ(tier_request_sum(*gateway_), gateway_->total_requests());
+
+  // The metrics registry sees the same single attribution.
+  const auto& registry = swarm_.network().metrics();
+  EXPECT_EQ(registry.counter_value("gateway.requests"), 1u);
+  EXPECT_EQ(registry.counter_value("gateway.tier.p2p.requests"), 1u);
+  EXPECT_EQ(registry.counter_value("gateway.tier.node_store.requests"), 0u);
+}
+
+TEST_F(GatewayTest, FailedPathRequestsAccountOnceInTheFailedTier) {
+  // Unresolvable root: the retrieval fails. Regression: the old
+  // total_requests_ juggling double-counted this path.
+  const auto missing = multiformats::Cid::from_data(
+      multiformats::Multicodec::kRaw, random_bytes(16, 9));
+  GatewayResponse network_miss;
+  gateway_->handle_get_path(missing, "a/b",
+                            [&](GatewayResponse r) { network_miss = r; });
+  swarm_.simulator().run();
+  EXPECT_EQ(network_miss.source, ServedFrom::kFailed);
+
+  // Resolvable root, bogus sub-path: fetched, then 404.
+  const merkledag::TreeFile file{"a.txt", random_bytes(4 * 1024, 10)};
+  const auto root = merkledag::import_tree(publisher_->store(), {file});
+  ASSERT_TRUE(root.has_value());
+  node::PublishTrace publish_trace;
+  publisher_->provide(*root, [&](node::PublishTrace t) { publish_trace = t; });
+  swarm_.simulator().run();
+  ASSERT_TRUE(publish_trace.ok);
+  GatewayResponse bad_path;
+  gateway_->handle_get_path(*root, "no/such/file",
+                            [&](GatewayResponse r) { bad_path = r; });
+  swarm_.simulator().run();
+  EXPECT_EQ(bad_path.source, ServedFrom::kFailed);
+
+  EXPECT_EQ(gateway_->total_requests(), 2u);
+  EXPECT_EQ(gateway_->stats(ServedFrom::kFailed).requests, 2u);
+  EXPECT_EQ(tier_request_sum(*gateway_), gateway_->total_requests());
+}
+
+TEST_F(GatewayTest, TierRequestsConserveAcrossMixedTraffic) {
+  // One request through every tier: P2P miss, node-store hit, nginx hit,
+  // a failure, and a path request over the network.
+  const auto pinned = random_bytes(128 * 1024, 11);
+  gateway_->pin_object(pinned);
+  const auto pinned_cid =
+      merkledag::import_bytes(publisher_->store(), pinned).root;
+
+  const auto published = random_bytes(256 * 1024, 12);
+  node::PublishTrace publish_trace;
+  publisher_->publish(published,
+                      [&](node::PublishTrace t) { publish_trace = t; });
+  swarm_.simulator().run();
+  ASSERT_TRUE(publish_trace.ok);
+
+  const merkledag::TreeFile file{"f.bin", random_bytes(32 * 1024, 13)};
+  const auto tree_root = merkledag::import_tree(publisher_->store(), {file});
+  ASSERT_TRUE(tree_root.has_value());
+  node::PublishTrace tree_trace;
+  publisher_->provide(*tree_root,
+                      [&](node::PublishTrace t) { tree_trace = t; });
+  swarm_.simulator().run();
+  ASSERT_TRUE(tree_trace.ok);
+
+  gateway_->handle_get(publish_trace.cid, [](GatewayResponse) {});  // P2P
+  swarm_.simulator().run();
+  gateway_->handle_get(pinned_cid, [](GatewayResponse) {});  // node store
+  swarm_.simulator().run();
+  gateway_->handle_get(publish_trace.cid, [](GatewayResponse) {});  // nginx
+  swarm_.simulator().run();
+  gateway_->handle_get(multiformats::Cid::from_data(
+                           multiformats::Multicodec::kRaw,
+                           random_bytes(8, 14)),
+                       [](GatewayResponse) {});  // failed
+  swarm_.simulator().run();
+  gateway_->handle_get_path(*tree_root, "f.bin",
+                            [](GatewayResponse) {});  // path over network
+  swarm_.simulator().run();
+
+  EXPECT_EQ(gateway_->total_requests(), 5u);
+  EXPECT_EQ(tier_request_sum(*gateway_), gateway_->total_requests());
+  // And the registry agrees with the legacy tier stats.
+  const auto& registry = swarm_.network().metrics();
+  EXPECT_EQ(registry.counter_value("gateway.requests"),
+            gateway_->total_requests());
+  EXPECT_EQ(registry.counter_value("gateway.tier.nginx_cache.requests"),
+            gateway_->stats(ServedFrom::kNginxCache).requests);
+  EXPECT_EQ(registry.counter_value("gateway.tier.node_store.requests"),
+            gateway_->stats(ServedFrom::kNodeStore).requests);
+  EXPECT_EQ(registry.counter_value("gateway.tier.p2p.requests"),
+            gateway_->stats(ServedFrom::kP2p).requests);
+  EXPECT_EQ(registry.counter_value("gateway.tier.failed.requests"),
+            gateway_->stats(ServedFrom::kFailed).requests);
 }
 
 }  // namespace

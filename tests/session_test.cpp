@@ -266,5 +266,44 @@ TEST_F(SessionTest, SinglePeerSessionStillWorks) {
   EXPECT_EQ(merkledag::cat(requester_store_, root), data);
 }
 
+TEST_F(SessionTest, SharedDagLinksAreFetchedExactlyOnce) {
+  // Root links leaf A twice plus leaf B. Striping across three peers used
+  // to dispatch both copies of A concurrently (neither had landed yet),
+  // double-fetching the block and double-counting the session stats.
+  const auto leaf_a = blockstore::Block::from_data(
+      multiformats::Multicodec::kRaw, random_bytes(2048, 31));
+  const auto leaf_b = blockstore::Block::from_data(
+      multiformats::Multicodec::kRaw, random_bytes(1024, 32));
+  merkledag::DagNode root_node;
+  root_node.links.push_back({leaf_a.cid, leaf_a.data.size()});
+  root_node.links.push_back({leaf_a.cid, leaf_a.data.size()});
+  root_node.links.push_back({leaf_b.cid, leaf_b.data.size()});
+  const auto root = blockstore::Block::from_data(
+      multiformats::Multicodec::kDagPb, root_node.encode());
+  for (int i = 0; i < kProviders; ++i) {
+    provider_stores_[i].put(leaf_a);
+    provider_stores_[i].put(leaf_b);
+    provider_stores_[i].put(root);
+  }
+
+  Session session(*requester_, network_);
+  for (int i = 0; i < kProviders; ++i) session.add_peer(provider_nodes_[i]);
+  SessionFetchStats stats;
+  session.fetch_dag(root.cid, [&](SessionFetchStats s) { stats = s; });
+  sim_.run();
+
+  ASSERT_TRUE(stats.ok);
+  EXPECT_EQ(stats.blocks, 3u);  // root + A + B, each exactly once
+  EXPECT_EQ(stats.bytes,
+            root.data.size() + leaf_a.data.size() + leaf_b.data.size());
+  std::uint64_t sent = 0;
+  for (int i = 0; i < kProviders; ++i)
+    sent += providers_[i]->ledger_for(requester_node_).blocks_sent;
+  EXPECT_EQ(sent, 3u);
+  EXPECT_EQ(network_.metrics().counter_value(
+                "bitswap.duplicate_wants_suppressed"),
+            1u);
+}
+
 }  // namespace
 }  // namespace ipfs::bitswap

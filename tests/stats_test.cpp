@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "stats/stats.h"
 
 namespace ipfs::stats {
@@ -49,6 +52,16 @@ TEST(CdfTest, CurveIsMonotonic) {
   EXPECT_DOUBLE_EQ(curve.back().cumulative_fraction, 1.0);
 }
 
+TEST(CdfTest, EmptyDistributionDegradesToZero) {
+  // Empty distributions are routine (a bench phase with zero failures
+  // still asks for p50); only the free-function percentile() throws.
+  const Cdf cdf({});
+  EXPECT_EQ(cdf.sample_count(), 0u);
+  EXPECT_DOUBLE_EQ(cdf.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.0);
+  EXPECT_TRUE(cdf.curve(10).empty());
+}
+
 TEST(PearsonTest, PerfectCorrelation) {
   const std::vector<double> x = {1, 2, 3, 4};
   const std::vector<double> y = {2, 4, 6, 8};
@@ -78,6 +91,22 @@ TEST(HistogramTest, BinsAndClamping) {
   EXPECT_EQ(h.total(), 4u);
   EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
   EXPECT_DOUBLE_EQ(h.bin_low(9), 9.0);
+}
+
+TEST(HistogramTest, NanIsCountedAsideAndInfinitiesClampToEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(std::nan(""));
+  EXPECT_EQ(h.nan_count(), 1u);
+  EXPECT_EQ(h.total(), 0u);  // NaN lands in no bin
+  for (std::size_t bin = 0; bin < h.bins(); ++bin)
+    EXPECT_EQ(h.count(bin), 0u);
+
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.nan_count(), 1u);
 }
 
 TEST(HistogramTest, RejectsDegenerateRanges) {
