@@ -39,9 +39,8 @@ int main() {
   std::printf("%-22s %12s %12s %12s %14s\n", "strategy", "ret p50",
               "ret p90", "stretch p50", "retrieval ok");
   for (const auto& strategy : strategies) {
-    world::WorldConfig config =
-        bench::default_world_config(bench::scaled(1200, 300));
-    world::World world(config);
+    const auto world_ptr = bench::standard_world(bench::scaled(1200, 300));
+    world::World& world = *world_ptr;
 
     workload::PerfExperimentConfig perf_config;
     perf_config.cycles = bench::scaled(18, 6);

@@ -22,10 +22,10 @@ int main() {
               "publish p50", "retrieve p50", "retrieval ok");
 
   for (const double share : shares) {
-    world::WorldConfig config =
-        bench::default_world_config(bench::scaled(1200, 300));
-    config.population.undialable_share = share;
-    world::World world(config);
+    const auto world_ptr = bench::scenario_builder(bench::scaled(1200, 300))
+                               .undialable_fraction(share)
+                               .build_world();
+    world::World& world = *world_ptr;
 
     workload::PerfExperimentConfig perf_config;
     perf_config.cycles = bench::scaled(18, 6);

@@ -24,10 +24,10 @@ int main() {
               "retrieve p50", "crawl dialable");
 
   for (const double adoption : adoption_levels) {
-    world::WorldConfig config =
-        bench::default_world_config(bench::scaled(1200, 300));
-    config.dcutr_share = adoption;
-    world::World world(config);
+    const auto world_ptr = bench::scenario_builder(bench::scaled(1200, 300))
+                               .dcutr_share(adoption)
+                               .build_world();
+    world::World& world = *world_ptr;
 
     workload::PerfExperimentConfig perf_config;
     perf_config.cycles = bench::scaled(18, 6);

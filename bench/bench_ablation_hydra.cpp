@@ -26,11 +26,10 @@ int main() {
   std::printf("%-18s %10s %14s %14s %14s\n", "hydras x heads", "heads",
               "publish p50", "publish p90", "retrieve p50");
   for (const auto& config : configs) {
-    world::WorldConfig world_config =
-        bench::default_world_config(bench::scaled(1200, 300));
-    world_config.hydra_count = config.hydras;
-    world_config.hydra_heads = config.heads;
-    world::World world(world_config);
+    const auto world_ptr = bench::scenario_builder(bench::scaled(1200, 300))
+                               .hydra(config.hydras, config.heads)
+                               .build_world();
+    world::World& world = *world_ptr;
 
     workload::PerfExperimentConfig perf_config;
     perf_config.cycles = bench::scaled(18, 6);

@@ -20,14 +20,17 @@ int main() {
       "hypothesis: provider uplinks aggregate; large objects download "
       "roughly providers-times faster");
 
-  sim::Simulator simulator;
-  const sim::LatencyModel latency = world::default_latency_model();
-  sim::Network network(simulator, latency, bench::run_seed());
+  scenario::Scenario scenario = bench::scenario_builder(0)
+                                    .world_geography()
+                                    .build();
+  sim::Simulator& simulator = scenario.simulator();
+  sim::Network& network = scenario.network();
 
   // A well-connected requester; home-grade providers (3 MiB/s up).
   const sim::NodeId requester_node = network.add_node(
-      {.region = world::kEuCentral,
-       .download_bytes_per_sec = 100.0 * 1024 * 1024});
+      sim::NodeConfig()
+          .with_region(world::kEuCentral)
+          .with_download(100.0 * 1024 * 1024));
   constexpr int kProviders = 4;
   sim::NodeId provider_nodes[kProviders];
   blockstore::BlockStore provider_stores[kProviders];
@@ -36,8 +39,9 @@ int main() {
                                   world::kAsiaEast, world::kUsWest};
   for (int i = 0; i < kProviders; ++i) {
     provider_nodes[i] = network.add_node(
-        {.region = provider_regions[i],
-         .upload_bytes_per_sec = 3.0 * 1024 * 1024});
+        sim::NodeConfig()
+            .with_region(provider_regions[i])
+            .with_upload(3.0 * 1024 * 1024));
     provider_bitswaps.push_back(std::make_unique<bitswap::Bitswap>(
         network, provider_nodes[i], provider_stores[i]));
     bitswap::Bitswap* bs = provider_bitswaps.back().get();

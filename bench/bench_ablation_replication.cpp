@@ -30,7 +30,8 @@ int main() {
   const int probe_rounds = static_cast<int>(bench::scaled(6, 2));
   const sim::Duration probe_gap = sim::hours(1.5);
 
-  world::World world(bench::default_world_config(bench::scaled(1200, 300)));
+  const auto world_ptr = bench::standard_world(bench::scaled(1200, 300));
+  world::World& world = *world_ptr;
 
   node::IpfsNodeConfig publisher_config;
   publisher_config.net.region = world::kEuCentral;

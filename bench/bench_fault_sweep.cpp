@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common.h"
+#include "perf_common.h"
 #include "sim/fuzz_harness.h"
 
 using namespace ipfs;
@@ -28,41 +29,67 @@ int main() {
   std::vector<std::pair<double, stats::Cdf>> cdfs;
 
   for (const double scale : levels) {
+    // Schedules are independent seeded trials: shard them across cores
+    // and fold the per-schedule results in seed order, so the sweep's
+    // output is byte-identical to the serial run.
+    struct ScheduleOutcome {
+      std::size_t publishes = 0, publishes_ok = 0;
+      std::size_t attempted = 0, ok = 0;
+      std::uint64_t faults = 0;
+      std::vector<double> latencies;
+      std::string violation;
+    };
+    const auto outcomes = bench::run_trials(
+        schedules_per_level, bench::run_seed(), [&](std::uint64_t seed) {
+          simfuzz::ScheduleParams params = simfuzz::make_schedule(seed);
+          // Sweep the fault dimension only: pin the intensity, keep the
+          // world/workload randomization from the seed, stay on the short
+          // horizon so every level runs the same schedule shapes.
+          params.long_horizon = false;
+          params.fault_scale = scale;
+          params.faults = simfuzz::faults_for_scale(scale, false);
+
+          const simfuzz::ScheduleReport report =
+              simfuzz::run_schedule(params);
+          ScheduleOutcome outcome;
+          if (!report.ok()) {
+            outcome.violation = report.failure_summary();
+            return outcome;
+          }
+          outcome.publishes = params.publish_count;
+          outcome.publishes_ok = report.stats.publishes_ok();
+          outcome.attempted = report.stats.retrievals_attempted();
+          outcome.ok = report.stats.retrievals_ok();
+          outcome.faults = report.stats.faults.total_injected();
+          for (const auto& op : report.stats.ops) {
+            if (op.kind == simfuzz::OpRecord::Kind::kRetrieve &&
+                op.completed && op.ok)
+              outcome.latencies.push_back(sim::to_seconds(op.elapsed));
+          }
+          return outcome;
+        });
+
     std::size_t publishes = 0, publishes_ok = 0;
     std::size_t attempted = 0, ok = 0;
     std::uint64_t faults = 0;
-    std::vector<double> latencies;
-
-    for (std::size_t i = 0; i < schedules_per_level; ++i) {
-      simfuzz::ScheduleParams params =
-          simfuzz::make_schedule(bench::run_seed() + i);
-      // Sweep the fault dimension only: pin the intensity, keep the
-      // world/workload randomization from the seed, stay on the short
-      // horizon so every level runs the same schedule shapes.
-      params.long_horizon = false;
-      params.fault_scale = scale;
-      params.faults = simfuzz::faults_for_scale(scale, false);
-
-      const simfuzz::ScheduleReport report = simfuzz::run_schedule(params);
-      if (!report.ok()) {
+    std::vector<stats::TrialSamples> folds;
+    for (const auto& trial : outcomes) {
+      if (!trial.result.violation.empty()) {
         std::printf("INVARIANT VIOLATION\n%s\n",
-                    report.failure_summary().c_str());
+                    trial.result.violation.c_str());
         return 1;
       }
-      publishes += params.publish_count;
-      publishes_ok += report.stats.publishes_ok();
-      attempted += report.stats.retrievals_attempted();
-      ok += report.stats.retrievals_ok();
-      faults += report.stats.faults.total_injected();
-      for (const auto& op : report.stats.ops) {
-        if (op.kind == simfuzz::OpRecord::Kind::kRetrieve && op.completed &&
-            op.ok)
-          latencies.push_back(sim::to_seconds(op.elapsed));
-      }
+      publishes += trial.result.publishes;
+      publishes_ok += trial.result.publishes_ok;
+      attempted += trial.result.attempted;
+      ok += trial.result.ok;
+      faults += trial.result.faults;
+      folds.push_back({trial.seed, trial.result.latencies});
     }
+    std::vector<double> latencies = stats::fold_trials(std::move(folds));
 
     if (latencies.empty()) latencies.push_back(0.0);
-    const stats::Cdf cdf(latencies);
+    const stats::Cdf cdf(std::move(latencies));
     table.add_row({stats::format_percent(scale, 0),
                    bench::pct(static_cast<double>(publishes_ok) /
                               static_cast<double>(publishes)),

@@ -1,45 +1,128 @@
 // Figure 4a: total crawled peers over time, split into dialable and
 // undialable fractions. The crawler runs every 30 simulated minutes.
+//
+// This bench doubles as the scale census (docs/SCALING.md): the world
+// size, round count and trial count are env-tunable, and independent
+// seeded trials shard across cores via bench::run_trials.
+//
+//   IPFS_BENCH_PEERS=100000 IPFS_BENCH_ROUNDS=1 ./bench_fig04a_crawl_timeseries
+//   IPFS_BENCH_TRIALS=8 IPFS_BENCH_THREADS=8 ...   # multi-trial fold
+//   IPFS_BENCH_WALL_BUDGET_S=60 ...                # fail if wall-clock exceeds
+#include <chrono>
 #include <cstdio>
 #include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "common.h"
+#include "perf_common.h"
 
 using namespace ipfs;
+
+namespace {
+
+struct CensusTrial {
+  std::string rendered;              // per-round table rows
+  std::size_t final_total = 0;       // last round's census
+  std::size_t final_dialable = 0;
+  std::vector<double> dialable_shares;  // one per round, for folding
+};
+
+}  // namespace
 
 int main() {
   bench::print_header(
       "Figure 4a: crawled peers over time (dialable vs undialable)",
       "~200k peers total, ~55 % dialable at any snapshot, 1-day periodicity");
 
-  world::World world(bench::default_world_config(bench::scaled(2500, 400)));
-  const int rounds = static_cast<int>(bench::scaled(16, 4));
+  const std::size_t peers =
+      bench::env_size("IPFS_BENCH_PEERS", bench::scaled(2500, 400));
+  const std::size_t rounds =
+      bench::env_size("IPFS_BENCH_ROUNDS", bench::scaled(16, 4));
+  const std::size_t trials = bench::bench_trials(1);
   const sim::Duration interval = sim::minutes(30);
 
-  sim::NodeConfig crawler_config;
-  crawler_config.region = world::kEuCentral;
-  crawler_config.upload_bytes_per_sec = 100.0 * 1024 * 1024;
-  crawler_config.download_bytes_per_sec = 100.0 * 1024 * 1024;
-  const sim::NodeId self = world.network().add_node(crawler_config);
+  // Full 192-entry routing tables cost ~2.5 KB/peer-entry; beyond ~20k
+  // peers cap the pre-seeded budget so a 100k census fits in CI memory.
+  // Crawl coverage is unaffected: the BFS still traverses the whole
+  // keyspace, just through a few more hops.
+  const std::size_t routing_entries = peers > 20'000 ? 64 : 192;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  const auto results = bench::run_trials(
+      trials, bench::run_seed(), [&](std::uint64_t seed) {
+        const auto world = bench::scenario_builder(peers, seed)
+                               .max_routing_entries(routing_entries)
+                               .build_world();
+
+        const sim::NodeId self = world->network().add_node(
+            sim::NodeConfig()
+                .with_region(world::kEuCentral)
+                .with_bandwidth(100.0 * 1024 * 1024, 100.0 * 1024 * 1024));
+
+        CensusTrial trial;
+        std::ostringstream out;
+        for (std::size_t round = 0; round < rounds; ++round) {
+          crawler::Crawler crawler(world->network(), self,
+                                   world->bootstrap_refs());
+          crawler::CrawlResult result;
+          crawler.crawl(
+              [&](crawler::CrawlResult r) { result = std::move(r); });
+          world->simulator().run();
+
+          const double share =
+              static_cast<double>(result.dialable()) /
+              static_cast<double>(std::max<std::size_t>(1, result.total()));
+          char row[128];
+          std::snprintf(row, sizeof(row), "%-12s %10zu %10zu %12zu %9.1f%%\n",
+                        stats::format_seconds(
+                            sim::to_seconds(result.started_at))
+                            .c_str(),
+                        result.total(), result.dialable(),
+                        result.undialable(), 100.0 * share);
+          out << row;
+          trial.dialable_shares.push_back(share);
+          trial.final_total = result.total();
+          trial.final_dialable = result.dialable();
+
+          world->simulator().run_until(world->simulator().now() + interval);
+        }
+        trial.rendered = out.str();
+        return trial;
+      });
+
+  const auto wall_end = std::chrono::steady_clock::now();
+  const double wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
 
   std::printf("%-12s %10s %10s %12s %10s\n", "sim_time", "total",
               "dialable", "undialable", "dialable%");
+  std::printf("%s", results[0].result.rendered.c_str());
 
-  for (int round = 0; round < rounds; ++round) {
-    crawler::Crawler crawler(world.network(), self, world.bootstrap_refs());
-    crawler::CrawlResult result;
-    crawler.crawl([&](crawler::CrawlResult r) { result = std::move(r); });
-    world.simulator().run();
+  if (trials > 1) {
+    // Deterministic fold: trials come back in seed order, so the merged
+    // CDF is byte-identical regardless of thread completion order.
+    std::vector<stats::TrialSamples> folds;
+    for (const auto& trial : results)
+      folds.push_back({trial.seed, trial.result.dialable_shares});
+    const stats::Cdf cdf(stats::fold_trials(std::move(folds)));
+    std::printf("\nfolded over %zu trials: dialable share p10 %.1f%%  "
+                "p50 %.1f%%  p90 %.1f%%\n",
+                trials, cdf.percentile(10) * 100.0,
+                cdf.percentile(50) * 100.0, cdf.percentile(90) * 100.0);
+  }
 
-    std::printf("%-12s %10zu %10zu %12zu %9.1f%%\n",
-                stats::format_seconds(sim::to_seconds(result.started_at))
-                    .c_str(),
-                result.total(), result.dialable(), result.undialable(),
-                100.0 * static_cast<double>(result.dialable()) /
-                    static_cast<double>(std::max<std::size_t>(1,
-                                                              result.total())));
+  std::printf("\ncensus: %zu peers, %zu round(s), %zu trial(s), "
+              "wall-clock %.1f s\n",
+              peers, rounds, trials, wall_seconds);
 
-    world.simulator().run_until(world.simulator().now() + interval);
+  if (const std::size_t budget = bench::env_size("IPFS_BENCH_WALL_BUDGET_S", 0);
+      budget > 0 && wall_seconds > static_cast<double>(budget)) {
+    std::printf("FAIL: wall-clock %.1f s exceeded budget %zu s\n",
+                wall_seconds, budget);
+    return 1;
   }
 
   std::printf(

@@ -1,21 +1,70 @@
 // Figure 5: geographical distribution of peers, recovered by crawling
 // the DHT and geolocating each discovered address ("multihoming" peers
-// counted once per country, as in the paper).
+// counted once per country, as in the paper). Trials shard across cores
+// (IPFS_BENCH_TRIALS) and fold by summing per-country counts in seed
+// order.
+#include <algorithm>
 #include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "common.h"
 #include "crawler/census.h"
+#include "perf_common.h"
 
 using namespace ipfs;
+
+namespace {
+
+struct GeoTrial {
+  std::vector<crawler::CountryShare> shares;
+  std::size_t total = 0;
+  std::size_t unique_ips = 0;
+  std::size_t multiaddresses = 0;
+};
+
+}  // namespace
 
 int main() {
   bench::print_header(
       "Figure 5: geographical distribution of peers",
       "US 28.5 %, CN 24.2 %, FR 8.3 %, TW 7.2 %, KR 6.7 % (top five)");
 
-  world::World world(bench::default_world_config(bench::scaled(4000, 500)));
-  const auto crawl = bench::crawl_world(world);
-  const auto shares = crawler::country_distribution(crawl, world.geodb());
+  const std::size_t peers =
+      bench::env_size("IPFS_BENCH_PEERS", bench::scaled(4000, 500));
+  const std::size_t trials = bench::bench_trials(1);
+
+  const auto results = bench::run_trials(
+      trials, bench::run_seed(), [&](std::uint64_t seed) {
+        const auto world = bench::scenario_builder(peers, seed).build_world();
+        const auto crawl = bench::crawl_world(*world);
+        GeoTrial trial;
+        trial.shares = crawler::country_distribution(crawl, world->geodb());
+        trial.total = crawl.total();
+        trial.unique_ips = crawl.unique_ip_count();
+        trial.multiaddresses = crawl.multiaddress_count();
+        return trial;
+      });
+
+  // Fold: sum counts per country. Trials are already in seed order, and
+  // std::map iterates codes alphabetically, so the merged rows are
+  // deterministic no matter which thread finished first.
+  std::map<std::string, std::size_t> counts;
+  std::size_t grand_total = 0, unique_ips = 0, multiaddresses = 0;
+  for (const auto& trial : results) {
+    for (const auto& share : trial.result.shares)
+      counts[share.code] += share.count;
+    grand_total += trial.result.total;
+    unique_ips += trial.result.unique_ips;
+    multiaddresses += trial.result.multiaddresses;
+  }
+  std::vector<std::pair<std::string, std::size_t>> rows(counts.begin(),
+                                                        counts.end());
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
 
   // Paper values for the countries it names.
   const std::map<std::string, double> paper = {
@@ -24,18 +73,19 @@ int main() {
 
   std::printf("%-10s %10s %12s %12s\n", "country", "peers", "measured",
               "paper");
-  for (const auto& share : shares) {
-    const auto it = paper.find(share.code);
-    std::printf("%-10s %10zu %11.1f%% %11s\n", share.code.c_str(),
-                share.count, share.share * 100.0,
+  for (const auto& [code, count] : rows) {
+    const auto it = paper.find(code);
+    std::printf("%-10s %10zu %11.1f%% %11s\n", code.c_str(), count,
+                100.0 * static_cast<double>(count) /
+                    static_cast<double>(grand_total),
                 it == paper.end()
                     ? "-"
                     : (std::to_string(it->second * 100.0).substr(0, 4) + " %")
                           .c_str());
   }
 
-  std::printf("\ncrawl: %zu peers, %zu unique IPs, %zu multiaddresses\n",
-              crawl.total(), crawl.unique_ip_count(),
-              crawl.multiaddress_count());
+  std::printf("\ncrawl: %zu peers, %zu unique IPs, %zu multiaddresses"
+              " (%zu trial(s))\n",
+              grand_total, unique_ips, multiaddresses, trials);
   return 0;
 }

@@ -1,15 +1,32 @@
 // Figure 7: (a) reliable (>90 % uptime) peers by country, (b) never-
 // reachable peers by country, (c) CDF of PeerIDs per IP address, and
 // (d) IPs across ASes by rank — all recovered from crawls plus an uptime
-// probing window.
+// probing window. Trials shard across cores (IPFS_BENCH_TRIALS); each
+// trial renders its sections deterministically and the headline shares
+// fold in seed order.
 #include <cstdio>
 #include <set>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "common.h"
 #include "crawler/census.h"
 #include "crawler/uptime_prober.h"
+#include "perf_common.h"
 
 using namespace ipfs;
+
+namespace {
+
+struct StructureTrial {
+  std::string rendered;
+  double reliable_share = 0;
+  double unreachable_share = 0;
+  double single_ip_share = 0;
+};
+
+}  // namespace
 
 int main() {
   bench::print_header(
@@ -17,85 +34,130 @@ int main() {
       "(a) ~1.4 % reliable, max country ~0.3 %; (b) ~1/3 never reachable; "
       "(c) 92.3 % of IPs host one PeerID; (d) top-10 ASes 64.9 % of IPs");
 
-  world::World world(bench::default_world_config(bench::scaled(2000, 400)));
-  const auto crawl = bench::crawl_world(world);
+  const std::size_t peers =
+      bench::env_size("IPFS_BENCH_PEERS", bench::scaled(2000, 400));
+  const std::size_t trials = bench::bench_trials(1);
 
-  // Probe every crawled peer across a measurement window.
-  sim::NodeConfig prober_config;
-  prober_config.region = world::kEuCentral;
-  prober_config.upload_bytes_per_sec = 100.0 * 1024 * 1024;
-  prober_config.download_bytes_per_sec = 100.0 * 1024 * 1024;
-  const sim::NodeId prober_node = world.network().add_node(prober_config);
-  crawler::UptimeProber prober(world.network(), prober_node);
-  for (const auto& obs : crawl.observations) prober.track(obs.peer);
+  const auto results = bench::run_trials(
+      trials, bench::run_seed(), [&](std::uint64_t seed) {
+        const auto world = bench::scenario_builder(peers, seed).build_world();
+        const auto crawl = bench::crawl_world(*world);
+        StructureTrial trial;
+        std::ostringstream out;
+        char line[160];
 
-  const sim::Time window_start = world.simulator().now();
-  const sim::Duration window = sim::hours(bench::scaled(24, 2));
-  world.simulator().run_until(window_start + window);
-  prober.finish();
-  const sim::Time window_end = world.simulator().now();
+        // Probe every crawled peer across a measurement window.
+        const sim::NodeId prober_node = world->network().add_node(
+            sim::NodeConfig()
+                .with_region(world::kEuCentral)
+                .with_bandwidth(100.0 * 1024 * 1024, 100.0 * 1024 * 1024));
+        crawler::UptimeProber prober(world->network(), prober_node);
+        for (const auto& obs : crawl.observations) prober.track(obs.peer);
 
-  // --- (a) reliable peers ---------------------------------------------------
-  const auto reliable = crawler::reliable_peers(
-      crawl, prober.sessions(), window_start, window_end, 0.9);
-  std::printf("\n(a) reliable peers (>90%% uptime over a %s window): "
-              "%zu of %zu (%.1f%%)\n    (the paper's 1.4%% is over an "
-              "~8-week window; shares shrink as the window grows)\n",
-              stats::format_seconds(sim::to_seconds(window)).c_str(),
-              reliable.size(), crawl.total(),
-              100.0 * static_cast<double>(reliable.size()) /
-                  static_cast<double>(crawl.total()));
-  for (const auto& share :
-       crawler::country_distribution_of(reliable, world.geodb())) {
-    std::printf("    %-8s %6zu  (%.2f%% of reliable peers)\n",
-                share.code.c_str(), share.count, share.share * 100.0);
+        const sim::Time window_start = world->simulator().now();
+        const sim::Duration window = sim::hours(bench::scaled(24, 2));
+        world->simulator().run_until(window_start + window);
+        prober.finish();
+        const sim::Time window_end = world->simulator().now();
+
+        // --- (a) reliable peers --------------------------------------
+        const auto reliable = crawler::reliable_peers(
+            crawl, prober.sessions(), window_start, window_end, 0.9);
+        trial.reliable_share = static_cast<double>(reliable.size()) /
+                               static_cast<double>(crawl.total());
+        std::snprintf(line, sizeof(line),
+                      "\n(a) reliable peers (>90%% uptime over a %s window): "
+                      "%zu of %zu (%.1f%%)\n    (the paper's 1.4%% is over "
+                      "an ~8-week window; shares shrink as the window "
+                      "grows)\n",
+                      stats::format_seconds(sim::to_seconds(window)).c_str(),
+                      reliable.size(), crawl.total(),
+                      100.0 * trial.reliable_share);
+        out << line;
+        for (const auto& share :
+             crawler::country_distribution_of(reliable, world->geodb())) {
+          std::snprintf(line, sizeof(line),
+                        "    %-8s %6zu  (%.2f%% of reliable peers)\n",
+                        share.code.c_str(), share.count, share.share * 100.0);
+          out << line;
+        }
+
+        // --- (b) never-reachable peers -------------------------------
+        std::set<std::vector<std::uint8_t>> ever_online;
+        for (const auto& session : prober.sessions())
+          ever_online.insert(session.peer.id.encode());
+        std::vector<crawler::PeerObservation> unreachable;
+        for (const auto& obs : crawl.observations)
+          if (!ever_online.contains(obs.peer.id.encode()))
+            unreachable.push_back(obs);
+        trial.unreachable_share = static_cast<double>(unreachable.size()) /
+                                  static_cast<double>(crawl.total());
+        std::snprintf(line, sizeof(line),
+                      "\n(b) never-reachable peers: %zu of %zu "
+                      "(%.1f%%; paper ~33%%)\n",
+                      unreachable.size(), crawl.total(),
+                      100.0 * trial.unreachable_share);
+        out << line;
+        int shown = 0;
+        for (const auto& share : crawler::country_distribution_of(
+                 unreachable, world->geodb())) {
+          std::snprintf(line, sizeof(line), "    %-8s %6zu  (%.1f%%)\n",
+                        share.code.c_str(), share.count, share.share * 100.0);
+          out << line;
+          if (++shown >= 8) break;
+        }
+
+        // --- (c) PeerIDs per IP --------------------------------------
+        const auto per_ip = crawler::peers_per_ip(crawl);
+        std::size_t singles = 0;
+        for (const auto count : per_ip)
+          if (count == 1) ++singles;
+        trial.single_ip_share = static_cast<double>(singles) /
+                                static_cast<double>(per_ip.size());
+        std::snprintf(line, sizeof(line),
+                      "\n(c) PeerIDs per IP: %zu IPs, %.1f%% host exactly "
+                      "one (paper 92.3%%)\n",
+                      per_ip.size(), 100.0 * trial.single_ip_share);
+        out << line;
+        out << "    heaviest IPs host: ";
+        for (std::size_t i = 0; i < 5 && i < per_ip.size(); ++i) {
+          std::snprintf(line, sizeof(line), "%zu ", per_ip[i]);
+          out << line;
+        }
+        out << "PeerIDs\n";
+
+        // --- (d) IPs across ASes -------------------------------------
+        const auto ases = crawler::as_distribution(crawl, world->geodb());
+        double top10 = 0, top100 = 0;
+        for (std::size_t i = 0; i < ases.size(); ++i) {
+          if (i < 10) top10 += ases[i].share;
+          if (i < 100) top100 += ases[i].share;
+        }
+        std::snprintf(line, sizeof(line),
+                      "\n(d) AS distribution: %zu ASes seen\n"
+                      "    top-10 ASes hold %.1f%% of IPs (paper 64.9%%)\n"
+                      "    top-100 ASes hold %.1f%% of IPs (paper 90.6%%)\n",
+                      ases.size(), top10 * 100.0, top100 * 100.0);
+        out << line;
+
+        trial.rendered = out.str();
+        return trial;
+      });
+
+  std::printf("%s", results[0].result.rendered.c_str());
+
+  if (trials > 1) {
+    double reliable = 0, unreachable = 0, single_ip = 0;
+    for (const auto& trial : results) {
+      reliable += trial.result.reliable_share;
+      unreachable += trial.result.unreachable_share;
+      single_ip += trial.result.single_ip_share;
+    }
+    const double n = static_cast<double>(trials);
+    std::printf("\nfolded over %zu trials: reliable %.1f%%, never-reachable "
+                "%.1f%%, single-PeerID IPs %.1f%%\n",
+                trials, 100.0 * reliable / n, 100.0 * unreachable / n,
+                100.0 * single_ip / n);
   }
-
-  // --- (b) never-reachable peers --------------------------------------------
-  std::set<std::vector<std::uint8_t>> ever_online;
-  for (const auto& session : prober.sessions())
-    ever_online.insert(session.peer.id.encode());
-  std::vector<crawler::PeerObservation> unreachable;
-  for (const auto& obs : crawl.observations)
-    if (!ever_online.contains(obs.peer.id.encode())) unreachable.push_back(obs);
-  std::printf("\n(b) never-reachable peers: %zu of %zu (%.1f%%; paper ~33%%)\n",
-              unreachable.size(), crawl.total(),
-              100.0 * static_cast<double>(unreachable.size()) /
-                  static_cast<double>(crawl.total()));
-  int shown = 0;
-  for (const auto& share :
-       crawler::country_distribution_of(unreachable, world.geodb())) {
-    std::printf("    %-8s %6zu  (%.1f%%)\n", share.code.c_str(), share.count,
-                share.share * 100.0);
-    if (++shown >= 8) break;
-  }
-
-  // --- (c) PeerIDs per IP ----------------------------------------------------
-  const auto per_ip = crawler::peers_per_ip(crawl);
-  std::size_t singles = 0;
-  for (const auto count : per_ip)
-    if (count == 1) ++singles;
-  std::printf("\n(c) PeerIDs per IP: %zu IPs, %.1f%% host exactly one "
-              "(paper 92.3%%)\n",
-              per_ip.size(),
-              100.0 * static_cast<double>(singles) /
-                  static_cast<double>(per_ip.size()));
-  std::printf("    heaviest IPs host: ");
-  for (std::size_t i = 0; i < 5 && i < per_ip.size(); ++i)
-    std::printf("%zu ", per_ip[i]);
-  std::printf("PeerIDs\n");
-
-  // --- (d) IPs across ASes ----------------------------------------------------
-  const auto ases = crawler::as_distribution(crawl, world.geodb());
-  double top10 = 0, top100 = 0;
-  for (std::size_t i = 0; i < ases.size(); ++i) {
-    if (i < 10) top10 += ases[i].share;
-    if (i < 100) top100 += ases[i].share;
-  }
-  std::printf("\n(d) AS distribution: %zu ASes seen\n", ases.size());
-  std::printf("    top-10 ASes hold %.1f%% of IPs (paper 64.9%%)\n",
-              top10 * 100.0);
-  std::printf("    top-100 ASes hold %.1f%% of IPs (paper 90.6%%)\n",
-              top100 * 100.0);
   return 0;
 }

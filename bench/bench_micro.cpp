@@ -8,7 +8,9 @@
 #include "merkledag/merkledag.h"
 #include "multiformats/cid.h"
 #include "multiformats/multiaddr.h"
+#include "scenario/scenario.h"
 #include "sim/rng.h"
+#include "sim/simulator.h"
 #include "world/world.h"
 
 namespace {
@@ -108,13 +110,86 @@ void BM_ChunkAndBuildDag(benchmark::State& state) {
 }
 BENCHMARK(BM_ChunkAndBuildDag);
 
+// --- scheduler backends: timer wheel vs. reference binary heap -------
+//
+// The three workloads that dominate simulation runs: pure scheduling
+// throughput, schedule-then-cancel churn (every network timeout that
+// never fires), and full drain in timestamp order. Arg(1) selects the
+// backend: 0 = timer wheel, 1 = binary heap.
+
+sim::SchedulerBackend backend_arg(const benchmark::State& state) {
+  return state.range(1) == 0 ? sim::SchedulerBackend::kTimerWheel
+                             : sim::SchedulerBackend::kBinaryHeap;
+}
+
+void BM_SchedulerSchedule(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator(backend_arg(state));
+    sim::Rng rng(11);
+    for (std::size_t i = 0; i < n; ++i) {
+      simulator.schedule_after(
+          sim::milliseconds(rng.uniform(0.0, 30'000.0)), [] {});
+    }
+    benchmark::DoNotOptimize(simulator.pending_events());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchedulerSchedule)
+    ->Args({100'000, 0})
+    ->Args({100'000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SchedulerCancel(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<sim::Timer> timers;
+  timers.reserve(n);
+  for (auto _ : state) {
+    sim::Simulator simulator(backend_arg(state));
+    sim::Rng rng(12);
+    timers.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      timers.push_back(simulator.schedule_after(
+          sim::milliseconds(rng.uniform(0.0, 30'000.0)), [] {}));
+    }
+    for (auto& timer : timers) timer.cancel();
+    benchmark::DoNotOptimize(simulator.foreground_pending());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchedulerCancel)
+    ->Args({100'000, 0})
+    ->Args({100'000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SchedulerDrain(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator(backend_arg(state));
+    sim::Rng rng(13);
+    for (std::size_t i = 0; i < n; ++i) {
+      simulator.schedule_after(
+          sim::milliseconds(rng.uniform(0.0, 30'000.0)), [] {});
+    }
+    benchmark::DoNotOptimize(simulator.run());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchedulerDrain)
+    ->Args({100'000, 0})
+    ->Args({100'000, 1})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_WorldConstruction(benchmark::State& state) {
   for (auto _ : state) {
-    world::WorldConfig config;
-    config.population.peer_count = static_cast<std::size_t>(state.range(0));
-    config.seed = 1;
-    world::World world(config);
-    benchmark::DoNotOptimize(world.size());
+    const auto world = scenario::ScenarioBuilder()
+                           .peers(static_cast<std::size_t>(state.range(0)))
+                           .seed(1)
+                           .build_world();
+    benchmark::DoNotOptimize(world->size());
   }
 }
 BENCHMARK(BM_WorldConstruction)->Arg(200)->Unit(benchmark::kMillisecond);

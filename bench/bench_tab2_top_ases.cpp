@@ -13,7 +13,8 @@ int main() {
       "CHINANET 18.9 %, CHINA169 12.8 %, HKT 9.6 %, TELEFONICA BR 6.9 %, "
       "HINET 5.3 % — five ASes cover >50 %");
 
-  world::World world(bench::default_world_config(bench::scaled(4000, 500)));
+  const auto world_ptr = bench::standard_world(bench::scaled(4000, 500));
+  world::World& world = *world_ptr;
   const auto crawl = bench::crawl_world(world);
   const auto ases = crawler::as_distribution(crawl, world.geodb());
 

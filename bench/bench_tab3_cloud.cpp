@@ -11,7 +11,8 @@ int main() {
       "Table 3: share of nodes hosted on cloud providers",
       "Contabo 0.44 %, AWS 0.39 %, Azure 0.33 %, ... non-cloud 97.71 %");
 
-  world::World world(bench::default_world_config(bench::scaled(4000, 500)));
+  const auto world_ptr = bench::standard_world(bench::scaled(4000, 500));
+  world::World& world = *world_ptr;
   const auto crawl = bench::crawl_world(world);
   const auto clouds = crawler::cloud_distribution(crawl, world.geodb());
 

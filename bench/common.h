@@ -7,9 +7,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "crawler/crawler.h"
+#include "scenario/scenario.h"
 #include "stats/stats.h"
 #include "world/world.h"
 
@@ -31,6 +33,16 @@ inline std::size_t scaled(std::size_t full, std::size_t fast) {
   return fast_mode() ? fast : full;
 }
 
+// Integer env override (IPFS_BENCH_PEERS, IPFS_BENCH_ROUNDS, ...); zero
+// or unset keeps the fallback.
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    const auto n = std::strtoull(env, nullptr, 10);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return fallback;
+}
+
 inline void print_header(const std::string& experiment,
                          const std::string& paper_summary) {
   std::printf("==================================================================\n");
@@ -49,11 +61,10 @@ inline void print_row(const std::string& label, const std::string& value) {
 // Runs one crawl of `world` from a well-connected vantage point in
 // Germany (Section 4.1) and returns the result.
 inline crawler::CrawlResult crawl_world(world::World& world) {
-  sim::NodeConfig config;
-  config.region = world::kEuCentral;
-  config.upload_bytes_per_sec = 100.0 * 1024 * 1024;
-  config.download_bytes_per_sec = 100.0 * 1024 * 1024;
-  const sim::NodeId self = world.network().add_node(config);
+  const sim::NodeId self = world.network().add_node(
+      sim::NodeConfig()
+          .with_region(world::kEuCentral)
+          .with_bandwidth(100.0 * 1024 * 1024, 100.0 * 1024 * 1024));
   crawler::Crawler crawler(world.network(), self, world.bootstrap_refs());
   crawler::CrawlResult result;
   crawler.crawl([&](crawler::CrawlResult r) { result = std::move(r); });
@@ -61,11 +72,24 @@ inline crawler::CrawlResult crawl_world(world::World& world) {
   return result;
 }
 
-inline world::WorldConfig default_world_config(std::size_t peers) {
-  world::WorldConfig config;
-  config.population.peer_count = peers;
-  config.seed = run_seed();
-  return config;
+// The benches' one way to construct simulations: a ScenarioBuilder
+// pre-loaded with the run seed. Chain world knobs (.undialable_fraction,
+// .hydra, ...) and finish with .build_world(), or swarm knobs with
+// .build().
+inline scenario::ScenarioBuilder scenario_builder(std::size_t peers,
+                                                  std::uint64_t seed) {
+  scenario::ScenarioBuilder builder;
+  builder.peers(peers).seed(seed);
+  return builder;
+}
+
+inline scenario::ScenarioBuilder scenario_builder(std::size_t peers) {
+  return scenario_builder(peers, run_seed());
+}
+
+// The standard paper-geography world at `peers` peers.
+inline std::unique_ptr<world::World> standard_world(std::size_t peers) {
+  return scenario_builder(peers).build_world();
 }
 
 inline std::string pct(double fraction) {

@@ -53,8 +53,7 @@ inline GatewayExperiment setup_gateway_experiment(
     std::size_t world_peers, std::size_t catalog_size,
     std::uint64_t requests, sim::Duration duration = sim::hours(24)) {
   GatewayExperiment experiment;
-  experiment.world = std::make_unique<world::World>(
-      default_world_config(world_peers));
+  experiment.world = scenario_builder(world_peers).build_world();
   auto& world = *experiment.world;
 
   // The gateway benches read the gateway.* instruments and instants; keep

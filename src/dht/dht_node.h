@@ -126,7 +126,7 @@ class DhtNode {
 
   Mode mode() const { return mode_; }
   void force_mode(Mode mode);
-  PeerRef self() const { return self_; }
+  const PeerRef& self() const { return self_; }
   RoutingTable& routing_table() { return routing_table_; }
   const RoutingTable& routing_table() const { return routing_table_; }
   RecordStore& record_store() { return *records_; }

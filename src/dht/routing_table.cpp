@@ -5,7 +5,7 @@
 namespace ipfs::dht {
 
 RoutingTable::RoutingTable(Key local_key)
-    : local_key_(std::move(local_key)), buckets_(kBucketCount) {}
+    : local_key_(std::move(local_key)) {}
 
 std::size_t RoutingTable::bucket_index(const Key& key) const {
   const int cpl = local_key_.common_prefix_len(key);
@@ -13,72 +13,99 @@ std::size_t RoutingTable::bucket_index(const Key& key) const {
   return std::min<std::size_t>(cpl, kBucketCount - 1);
 }
 
-bool RoutingTable::upsert(const PeerRef& peer) {
-  const Key key = Key::for_peer(peer.id);
-  if (key == local_key_) return false;
-  auto& bucket = buckets_[bucket_index(key)];
+const RoutingTable::Bucket* RoutingTable::find_bucket(
+    std::size_t index) const {
+  const auto it = std::lower_bound(
+      buckets_.begin(), buckets_.end(), index,
+      [](const Bucket& bucket, std::size_t i) { return bucket.index < i; });
+  if (it == buckets_.end() || it->index != index) return nullptr;
+  return &*it;
+}
 
-  const auto it = std::find_if(bucket.begin(), bucket.end(),
+RoutingTable::Bucket& RoutingTable::ensure_bucket(std::size_t index) {
+  auto it = std::lower_bound(
+      buckets_.begin(), buckets_.end(), index,
+      [](const Bucket& bucket, std::size_t i) { return bucket.index < i; });
+  if (it == buckets_.end() || it->index != index)
+    it = buckets_.insert(it, Bucket{static_cast<std::uint16_t>(index), {}});
+  return *it;
+}
+
+bool RoutingTable::upsert(const PeerRef& peer) {
+  return upsert(peer, Key::for_peer(peer.id));
+}
+
+bool RoutingTable::upsert(const PeerRef& peer, const Key& key) {
+  if (key == local_key_) return false;
+  Bucket& bucket = ensure_bucket(bucket_index(key));
+  auto& entries = bucket.entries;
+
+  const auto it = std::find_if(entries.begin(), entries.end(),
                                [&](const Entry& entry) {
                                  return entry.peer.id == peer.id;
                                });
-  if (it != bucket.end()) {
+  if (it != entries.end()) {
     // Refresh: move to the tail (most recently seen) and update addresses.
-    Entry refreshed = *it;
-    refreshed.peer = peer;
-    bucket.erase(it);
-    bucket.push_back(std::move(refreshed));
+    it->peer = peer;
+    std::rotate(it, it + 1, entries.end());
     return true;
   }
 
-  if (bucket.size() >= kBucketSize) return false;
-  bucket.push_back(Entry{peer, key});
+  if (entries.size() >= kBucketSize) return false;
+  entries.push_back(Entry{peer, key});
   ++size_;
   return true;
 }
 
 void RoutingTable::remove(const multiformats::PeerId& peer) {
   const Key key = Key::for_peer(peer);
-  auto& bucket = buckets_[bucket_index(key)];
-  const auto it = std::find_if(bucket.begin(), bucket.end(),
+  const std::size_t index = bucket_index(key);
+  const auto bucket_it = std::lower_bound(
+      buckets_.begin(), buckets_.end(), index,
+      [](const Bucket& bucket, std::size_t i) { return bucket.index < i; });
+  if (bucket_it == buckets_.end() || bucket_it->index != index) return;
+  auto& entries = bucket_it->entries;
+  const auto it = std::find_if(entries.begin(), entries.end(),
                                [&](const Entry& entry) {
                                  return entry.peer.id == peer;
                                });
-  if (it != bucket.end()) {
-    bucket.erase(it);
+  if (it != entries.end()) {
+    entries.erase(it);
     --size_;
+    if (entries.empty()) buckets_.erase(bucket_it);
   }
 }
 
 bool RoutingTable::contains(const multiformats::PeerId& peer) const {
   const Key key = Key::for_peer(peer);
-  const auto& bucket = buckets_[bucket_index(key)];
-  return std::any_of(bucket.begin(), bucket.end(), [&](const Entry& entry) {
-    return entry.peer.id == peer;
-  });
+  const Bucket* bucket = find_bucket(bucket_index(key));
+  if (bucket == nullptr) return false;
+  return std::any_of(bucket->entries.begin(), bucket->entries.end(),
+                     [&](const Entry& entry) { return entry.peer.id == peer; });
+}
+
+std::size_t RoutingTable::bucket_size(std::size_t index) const {
+  const Bucket* bucket = find_bucket(index);
+  return bucket == nullptr ? 0 : bucket->entries.size();
 }
 
 std::vector<PeerRef> RoutingTable::closest(const Key& target,
                                            std::size_t count) const {
-  struct Candidate {
-    std::array<std::uint8_t, 32> distance;
-    const PeerRef* peer;
-  };
-  std::vector<Candidate> candidates;
-  candidates.reserve(size_);
+  scratch_.clear();
+  scratch_.reserve(size_);
   for (const auto& bucket : buckets_)
-    for (const auto& entry : bucket)
-      candidates.push_back({entry.key.distance_to(target), &entry.peer});
+    for (const auto& entry : bucket.entries)
+      scratch_.push_back({entry.key.distance_to(target), &entry.peer});
 
-  const std::size_t take = std::min(count, candidates.size());
-  std::partial_sort(candidates.begin(), candidates.begin() + take,
-                    candidates.end(),
+  const std::size_t take = std::min(count, scratch_.size());
+  std::partial_sort(scratch_.begin(), scratch_.begin() + take,
+                    scratch_.end(),
                     [](const Candidate& a, const Candidate& b) {
                       return a.distance < b.distance;
                     });
   std::vector<PeerRef> out;
   out.reserve(take);
-  for (std::size_t i = 0; i < take; ++i) out.push_back(*candidates[i].peer);
+  for (std::size_t i = 0; i < take; ++i) out.push_back(*scratch_[i].peer);
   return out;
 }
 
@@ -86,7 +113,7 @@ std::vector<PeerRef> RoutingTable::all_peers() const {
   std::vector<PeerRef> out;
   out.reserve(size_);
   for (const auto& bucket : buckets_)
-    for (const auto& entry : bucket) out.push_back(entry.peer);
+    for (const auto& entry : bucket.entries) out.push_back(entry.peer);
   return out;
 }
 

@@ -1,10 +1,17 @@
 // Kademlia routing table with the paper's parameters: i = 256 buckets of
 // k = 20 peers, bucket index chosen by the common prefix length between
 // the local key and the peer's key (Section 2.3).
+//
+// Storage is built for 100k-node worlds: buckets are kept sparsely (only
+// ~log2(n) of the 256 possible prefix lengths are ever occupied, so empty
+// buckets cost nothing), each bucket is a contiguous vector rather than a
+// linked list, and closest() reuses a scratch buffer so steady-state
+// lookups allocate only their result vector.
 #pragma once
 
+#include <array>
 #include <cstddef>
-#include <list>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -25,6 +32,10 @@ class RoutingTable {
   // justifies). Returns true if the peer is (now) in the table.
   bool upsert(const PeerRef& peer);
 
+  // Same, with the peer's DHT key precomputed by the caller — skips one
+  // SHA-256 per insert on bulk paths (world construction, crawls).
+  bool upsert(const PeerRef& peer, const Key& key);
+
   void remove(const multiformats::PeerId& peer);
   bool contains(const multiformats::PeerId& peer) const;
 
@@ -36,9 +47,7 @@ class RoutingTable {
   std::vector<PeerRef> all_peers() const;
 
   std::size_t size() const { return size_; }
-  std::size_t bucket_size(std::size_t index) const {
-    return buckets_[index].size();
-  }
+  std::size_t bucket_size(std::size_t index) const;
 
   const Key& local_key() const { return local_key_; }
 
@@ -48,11 +57,26 @@ class RoutingTable {
     Key key;  // cached SHA-256 of the PeerID
   };
 
+  // One occupied bucket; buckets_ holds them sorted by index, so lookup
+  // is a binary search over the handful of occupied prefix lengths.
+  struct Bucket {
+    std::uint16_t index;
+    std::vector<Entry> entries;
+  };
+
   std::size_t bucket_index(const Key& key) const;
+  const Bucket* find_bucket(std::size_t index) const;
+  Bucket& ensure_bucket(std::size_t index);
 
   Key local_key_;
-  std::vector<std::list<Entry>> buckets_;
+  std::vector<Bucket> buckets_;  // sorted by Bucket::index
   std::size_t size_ = 0;
+
+  struct Candidate {
+    std::array<std::uint8_t, 32> distance;
+    const PeerRef* peer;
+  };
+  mutable std::vector<Candidate> scratch_;  // closest() workspace
 };
 
 }  // namespace ipfs::dht

@@ -27,7 +27,10 @@ std::size_t ConnectionManager::trim() {
 
 std::size_t ConnectionManager::disconnect_all() {
   std::size_t closed = 0;
-  for (const sim::NodeId peer : network_.connections_of(self_)) {
+  // Copy: disconnect() mutates the fabric's live connection list.
+  const std::vector<sim::NodeId> connections =
+      network_.connections_of(self_);
+  for (const sim::NodeId peer : connections) {
     if (protected_.contains(peer)) continue;
     network_.disconnect(self_, peer);
     ++closed;

@@ -1,0 +1,171 @@
+// ScenarioBuilder: the one way experiments construct simulations.
+//
+// Every bench, fuzz schedule and protocol test used to hand-roll the
+// same four-step dance — make a Simulator, pick a LatencyModel, wire a
+// Network, loop add_node with a NodeConfig — with small, easy-to-drift
+// variations. The builder folds that into a fluent description:
+//
+//   auto s = scenario::ScenarioBuilder()
+//                .peers(60)
+//                .seed(42)
+//                .single_region(20.0)
+//                .dht_servers(true)
+//                .build();
+//   s.dht(0).find_node(...);
+//   s.simulator().run();
+//
+// Two build modes share the knob surface:
+//
+//  - build() assembles a Scenario: a bare fabric (Simulator + Latency +
+//    Network) plus `peers` nodes, optionally wrapped in DhtNode servers
+//    with routing tables pre-seeded from a random sample — the converged
+//    mini-swarm the protocol tests want.
+//  - build_world() delegates to world::World: full geography, churn,
+//    NAT'ed population and Kademlia convergence — the paper-scale swarm
+//    the benches want. Swarm-only knobs (regions, node_defaults, ...)
+//    are ignored there; world-only knobs (churn, hydra, ...) are
+//    ignored by build().
+//
+// Both modes are deterministic functions of seed(): the builder never
+// consults global state, so a Scenario rebuilt from the same chain is
+// bit-identical, including under the legacy heap scheduler selected via
+// scheduler() (the old-vs-new determinism proof in sim_test relies on
+// this).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dht/dht_node.h"
+#include "multiformats/multiaddr.h"
+#include "multiformats/peerid.h"
+#include "sim/faults.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "world/world.h"
+
+namespace ipfs::scenario {
+
+// Deterministic PeerID for synthetic swarm peers: identity-multihash
+// framing identical to Ed25519 PeerIDs, derived by hashing the index.
+// (world::synthetic_peer_id is the domain-separated sibling used for
+// world populations; the two must stay distinct so a test swarm and a
+// world never alias identities.)
+multiformats::PeerId synthetic_peer_id(std::uint64_t n);
+
+// Deterministic 10.x.y.1 TCP multiaddr for peer n.
+multiformats::Multiaddr synthetic_address(std::uint32_t n);
+
+// A built swarm scenario. Owns the whole stack; movable, not copyable.
+// dht_nodes is empty unless dht_servers(true) was set.
+class Scenario {
+ public:
+  sim::Simulator& simulator() { return *simulator_; }
+  sim::Network& network() { return *network_; }
+  const sim::LatencyModel& latency_model() const { return *latency_; }
+
+  std::size_t size() const { return nodes_.size(); }
+  sim::NodeId node(std::size_t i) const { return nodes_[i]; }
+  const std::vector<sim::NodeId>& nodes() const { return nodes_; }
+
+  dht::DhtNode& dht(std::size_t i) { return *dht_nodes_[i]; }
+  const dht::PeerRef& ref(std::size_t i) const { return refs_[i]; }
+  const std::vector<dht::PeerRef>& refs() const { return refs_; }
+
+  // Null unless faults() was configured. The plan is constructed but
+  // not armed; call faults().arm() to start background fault processes.
+  sim::FaultPlan* faults() { return faults_.get(); }
+
+ private:
+  friend class ScenarioBuilder;
+
+  std::unique_ptr<sim::Simulator> simulator_;
+  std::unique_ptr<sim::LatencyModel> latency_;
+  std::unique_ptr<sim::Network> network_;
+  std::vector<sim::NodeId> nodes_;
+  std::vector<std::unique_ptr<dht::DhtNode>> dht_nodes_;
+  std::vector<dht::PeerRef> refs_;
+  std::unique_ptr<sim::FaultPlan> faults_;
+};
+
+class ScenarioBuilder {
+ public:
+  // ------------------------------------------------------ shared knobs
+  ScenarioBuilder& peers(std::size_t n);
+  ScenarioBuilder& seed(std::uint64_t s);
+  ScenarioBuilder& scheduler(sim::SchedulerBackend backend);
+
+  // ------------------------------------------------------- swarm knobs
+  // Latency geography for build(): an explicit one-way-ms matrix (with
+  // the fabric's default multiplicative jitter), a single region with
+  // jitter-free uniform latency (the tests' default), or the paper's
+  // 8-region world matrix.
+  ScenarioBuilder& regions(std::vector<std::vector<double>> one_way_ms,
+                           double jitter_low = 0.95,
+                           double jitter_high = 1.25);
+  ScenarioBuilder& single_region(double one_way_ms);
+  ScenarioBuilder& world_geography();
+
+  // Template NodeConfig applied to every peer (region defaults to 0).
+  ScenarioBuilder& node_defaults(sim::NodeConfig config);
+
+  // Marks an undialable share of peers. In build(), each peer is drawn
+  // undialable with probability f from a dedicated rng fork (so f = 0
+  // leaves every other draw sequence untouched). In build_world() this
+  // maps onto PopulationConfig::undialable_share.
+  ScenarioBuilder& undialable_fraction(double f);
+
+  // Wraps every node in a dht::DhtNode server (synthetic identity,
+  // attached handlers) and pre-seeds routing tables from a random
+  // sample of `routing_sample` picks per node.
+  ScenarioBuilder& dht_servers(bool enable = true);
+  ScenarioBuilder& routing_sample(std::size_t picks_per_node);
+
+  // Constructs (but does not arm) a FaultPlan over the built network.
+  ScenarioBuilder& faults(sim::FaultConfig config);
+
+  // Ring-buffer capacity of the metrics trace (0 keeps the default).
+  ScenarioBuilder& trace_capacity(std::size_t capacity);
+
+  // ------------------------------------------------------- world knobs
+  ScenarioBuilder& churn(bool enable);
+  ScenarioBuilder& bootstrap_count(std::size_t n);
+  ScenarioBuilder& max_routing_entries(std::size_t n);
+  ScenarioBuilder& dcutr_share(double share);
+  ScenarioBuilder& hydra(std::size_t count, std::size_t heads);
+
+  // ------------------------------------------------------------ builds
+  Scenario build() const;
+  std::unique_ptr<world::World> build_world() const;
+  // The WorldConfig build_world() would use (for call sites that still
+  // need to tweak a field the builder doesn't surface).
+  world::WorldConfig world_config() const;
+
+ private:
+  std::size_t peers_ = 0;
+  std::uint64_t seed_ = 42;
+  sim::SchedulerBackend scheduler_ = sim::SchedulerBackend::kTimerWheel;
+
+  std::vector<std::vector<double>> latency_matrix_{{20.0}};
+  double jitter_low_ = 1.0;
+  double jitter_high_ = 1.0;
+  bool world_geography_ = false;
+
+  sim::NodeConfig node_defaults_{};
+  std::optional<double> undialable_fraction_;
+  bool dht_servers_ = false;
+  std::size_t routing_sample_ = 40;
+  std::optional<sim::FaultConfig> fault_config_;
+  std::size_t trace_capacity_ = 0;
+
+  bool enable_churn_ = true;
+  std::size_t bootstrap_count_ = 6;
+  std::size_t max_routing_entries_ = 192;
+  double dcutr_share_ = 0.0;
+  std::size_t hydra_count_ = 0;
+  std::size_t hydra_heads_ = 10;
+};
+
+}  // namespace ipfs::scenario

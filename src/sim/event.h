@@ -1,0 +1,91 @@
+// Scheduled-event primitives shared by the scheduler backends.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ipfs::sim {
+
+class Simulator;
+
+// Handle for cancelling a scheduled event.
+//
+// Cancellation semantics (relied on by the fault-injection harness):
+//   - cancel() before the event fires guarantees the callback never runs,
+//     under run(), run_until() and step() alike.
+//   - cancel() after the event fired (or on a default-constructed handle)
+//     is a no-op; active() is false in both cases.
+//   - Cancelling a foreground event may let run() return earlier, since
+//     run() only waits for live non-daemon events.
+class Timer {
+ public:
+  Timer() = default;
+
+  void cancel();
+  bool active() const;
+
+ private:
+  friend class Simulator;
+  friend class TimerWheel;
+  friend struct Event;
+  struct State {
+    bool alive = true;
+    bool daemon = false;
+    Simulator* simulator = nullptr;
+  };
+  explicit Timer(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+// One scheduled callback. Events are totally ordered by (when, sequence);
+// the sequence number gives FIFO ordering for equal timestamps. Every
+// scheduler backend must execute live events in exactly this order, so a
+// seeded simulation produces an identical trace on either backend.
+struct Event {
+  Time when = 0;
+  std::uint64_t sequence = 0;
+  std::function<void()> fn;
+  std::shared_ptr<Timer::State> state;
+
+  bool operator>(const Event& other) const {
+    if (when != other.when) return when > other.when;
+    return sequence > other.sequence;
+  }
+};
+
+// Binary min-heap of events ordered by (when, sequence). Unlike
+// std::priority_queue this exposes a mutable top() so entries can be
+// moved out on pop without copying the closure.
+class EventHeap {
+ public:
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  void push(Event event) {
+    events_.push_back(std::move(event));
+    std::push_heap(events_.begin(), events_.end(), After{});
+  }
+
+  Event& top() { return events_.front(); }
+  const Event& top() const { return events_.front(); }
+
+  Event pop() {
+    std::pop_heap(events_.begin(), events_.end(), After{});
+    Event event = std::move(events_.back());
+    events_.pop_back();
+    return event;
+  }
+
+ private:
+  struct After {
+    bool operator()(const Event& a, const Event& b) const { return a > b; }
+  };
+  std::vector<Event> events_;
+};
+
+}  // namespace ipfs::sim

@@ -138,7 +138,7 @@ void FaultPlan::schedule_spike() {
       poisson_wait(proc_rng_, config_.latency_spikes_per_hour), [this] {
         if (!armed_) return;
         const NodeId victim = static_cast<NodeId>(proc_rng_.uniform_int(
-            0, static_cast<std::int64_t>(network_.node_count()) - 1));
+            0, static_cast<std::int64_t>(network_.slot_count()) - 1));
         spike_until_[victim] =
             network_.simulator().now() + config_.latency_spike_duration;
         ++counters_.latency_spikes;
@@ -151,7 +151,7 @@ void FaultPlan::schedule_reset() {
       poisson_wait(proc_rng_, config_.connection_resets_per_hour), [this] {
         if (!armed_) return;
         const NodeId victim = static_cast<NodeId>(proc_rng_.uniform_int(
-            0, static_cast<std::int64_t>(network_.node_count()) - 1));
+            0, static_cast<std::int64_t>(network_.slot_count()) - 1));
         const auto connections = network_.connections_of(victim);
         if (!connections.empty()) {
           // Pick deterministically among the victim's sorted peers.

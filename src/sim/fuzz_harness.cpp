@@ -9,6 +9,7 @@
 #include "dht/record_store.h"
 #include "merkledag/merkledag.h"
 #include "node/ipfs_node.h"
+#include "scenario/scenario.h"
 #include "stats/jsonl.h"
 
 namespace ipfs::simfuzz {
@@ -24,11 +25,9 @@ namespace {
 constexpr std::size_t kBootstrapCount = 4;
 constexpr int kRegions = 3;
 
-sim::LatencyModel fuzz_latency_model() {
+std::vector<std::vector<double>> fuzz_latency_matrix() {
   // Three regions with asymmetric one-way latencies (ms), default jitter.
-  return sim::LatencyModel({{20.0, 60.0, 120.0},
-                            {60.0, 15.0, 90.0},
-                            {120.0, 90.0, 25.0}});
+  return {{20.0, 60.0, 120.0}, {60.0, 15.0, 90.0}, {120.0, 90.0, 25.0}};
 }
 
 std::vector<std::uint8_t> deterministic_bytes(std::size_t n, sim::Rng& rng) {
@@ -187,13 +186,17 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
   sim::Rng world_rng = base_rng.fork("fuzz-world");
   sim::Rng workload_rng = base_rng.fork("fuzz-workload");
 
-  sim::Simulator simulator;
-  const sim::LatencyModel latency = fuzz_latency_model();
-  sim::Network network(simulator, latency, params.seed);
   // Keep the flight recorder bounded: a 26 h long-horizon schedule emits
   // far more trace events than a post-mortem needs, and the registry
   // counts what it drops (trace_dropped) so the dump is honest about it.
-  network.metrics().set_trace_capacity(200'000);
+  scenario::Scenario fabric = scenario::ScenarioBuilder()
+                                  .seed(params.seed)
+                                  .scheduler(params.scheduler)
+                                  .regions(fuzz_latency_matrix())
+                                  .trace_capacity(200'000)
+                                  .build();
+  sim::Simulator& simulator = fabric.simulator();
+  sim::Network& network = fabric.network();
 
   // ---- World -------------------------------------------------------------
   const std::size_t node_count = std::max(params.node_count, kBootstrapCount + 2);
@@ -524,10 +527,12 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
   // Any violation dumps the schedule's flight recording: every counter,
   // histogram, and span/instant event the run produced, keyed by the
   // replay seed. Clean runs skip the serialization entirely.
-  if (!violations.empty()) {
+  if (!violations.empty() || params.capture_trace) {
     std::ostringstream dump;
     stats::export_registry_jsonl(network.metrics(), dump);
     report.trace_jsonl = dump.str();
+  }
+  if (!violations.empty()) {
     std::ostringstream path;
     path << "simfuzz_trace_" << params.seed << ".jsonl";
     std::ofstream file(path.str(), std::ios::trunc);

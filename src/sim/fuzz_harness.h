@@ -38,6 +38,15 @@ namespace ipfs::simfuzz {
 struct ScheduleParams {
   std::uint64_t seed = 0;
 
+  // Event scheduler backend; the legacy binary heap stays selectable so
+  // a schedule can be replayed under both and fingerprint-compared.
+  sim::SchedulerBackend scheduler = sim::SchedulerBackend::kTimerWheel;
+
+  // Serialize the trace stream into ScheduleReport::trace_jsonl even on
+  // clean runs (normally only violations pay the serialization cost).
+  // The backend-determinism test compares these byte-for-byte.
+  bool capture_trace = false;
+
   // World shape.
   std::size_t node_count = 16;
   double nat_fraction = 0.2;    // NAT'ed (undialable, relayed) tail

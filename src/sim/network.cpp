@@ -30,20 +30,16 @@ int handshake_round_trips(Transport transport) {
 
 LatencyModel::LatencyModel(std::vector<std::vector<double>> one_way_ms,
                            double jitter_low, double jitter_high)
-    : matrix_(std::move(one_way_ms)),
+    : regions_(static_cast<int>(one_way_ms.size())),
       jitter_low_(jitter_low),
       jitter_high_(jitter_high) {
-  assert(!matrix_.empty());
-  for (const auto& row : matrix_) {
-    assert(row.size() == matrix_.size());
-    (void)row;
+  assert(!one_way_ms.empty());
+  flat_.reserve(static_cast<std::size_t>(regions_) *
+                static_cast<std::size_t>(regions_));
+  for (const auto& row : one_way_ms) {
+    assert(row.size() == one_way_ms.size());
+    flat_.insert(flat_.end(), row.begin(), row.end());
   }
-}
-
-Duration LatencyModel::sample(int region_a, int region_b, Rng& rng) const {
-  const double base = matrix_[region_a][region_b];
-  const double jitter = rng.uniform(jitter_low_, jitter_high_);
-  return milliseconds(base * jitter);
 }
 
 Network::Network(Simulator& simulator, const LatencyModel& latency,
@@ -55,45 +51,74 @@ Network::Network(Simulator& simulator, const LatencyModel& latency,
 
 NodeId Network::add_node(const NodeConfig& config) {
   assert(config.region >= 0 && config.region < latency_.regions());
-  nodes_.push_back(NodeState{config, true, 0, nullptr, nullptr, {}});
-  uplink_free_at_.push_back(0);
-  return static_cast<NodeId>(nodes_.size() - 1);
+  NodeId id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+    configs_[id] = config;
+    online_[id] = 1;
+    // The epoch was bumped on removal, so callbacks belonging to the
+    // slot's previous occupant stay muted for the new one.
+    connections_[id].clear();
+    uplink_free_at_[id] = 0;
+  } else {
+    id = static_cast<NodeId>(configs_.size());
+    configs_.push_back(config);
+    online_.push_back(1);
+    epochs_.push_back(0);
+    request_handlers_.emplace_back();
+    message_handlers_.emplace_back();
+    connections_.emplace_back();
+    uplink_free_at_.push_back(0);
+    in_use_.push_back(0);
+  }
+  in_use_[id] = 1;
+  ++live_nodes_;
+  return id;
+}
+
+void Network::remove_node(NodeId id) {
+  assert(in_use_[id] != 0);
+  set_online(id, false);  // tears down connections, bumps the epoch
+  request_handlers_[id] = nullptr;
+  message_handlers_[id] = nullptr;
+  in_use_[id] = 0;
+  --live_nodes_;
+  free_ids_.push_back(id);
 }
 
 void Network::set_online(NodeId id, bool online) {
-  NodeState& node = nodes_[id];
-  if (node.online == online) return;
-  node.online = online;
+  if ((online_[id] != 0) == online) return;
+  online_[id] = online ? 1 : 0;
   if (!online) {
-    ++node.epoch;  // mute callbacks the node still has in flight
+    ++epochs_[id];  // mute callbacks the node still has in flight
     // Tear down connections from both sides.
-    const auto connections = node.connections;
-    for (const NodeId peer : connections) {
-      nodes_[peer].connections.erase(id);
+    for (const NodeId peer : connections_[id]) {
+      std::erase(connections_[peer], id);
     }
-    node.connections.clear();
+    connections_[id].clear();
   }
 }
 
 void Network::set_responsive(NodeId id, bool responsive) {
-  nodes_[id].config.responsive = responsive;
+  configs_[id].responsive = responsive;
 }
 
 void Network::set_dialable(NodeId id, bool dialable) {
-  nodes_[id].config.dialable = dialable;
+  configs_[id].dialable = dialable;
 }
 
 void Network::set_request_handler(NodeId id, RequestHandler handler) {
-  nodes_[id].request_handler = std::move(handler);
+  request_handlers_[id] = std::move(handler);
 }
 
 void Network::set_message_handler(NodeId id, MessageHandler handler) {
-  nodes_[id].message_handler = std::move(handler);
+  message_handlers_[id] = std::move(handler);
 }
 
 Duration Network::one_way(NodeId a, NodeId b) {
-  Duration sampled = latency_.sample(nodes_[a].config.region,
-                                     nodes_[b].config.region, rng_);
+  Duration sampled =
+      latency_.sample(configs_[a].region, configs_[b].region, rng_);
   if (injector_ != nullptr) {
     const double factor = injector_->latency_factor(a, b);
     if (factor != 1.0)
@@ -106,8 +131,8 @@ Duration Network::sample_latency(NodeId a, NodeId b) { return one_way(a, b); }
 
 Duration Network::transfer_time(NodeId from, NodeId to,
                                 std::size_t bytes) const {
-  const double rate = std::min(nodes_[from].config.upload_bytes_per_sec,
-                               nodes_[to].config.download_bytes_per_sec);
+  const double rate = std::min(configs_[from].upload_bytes_per_sec,
+                               configs_[to].download_bytes_per_sec);
   return seconds(static_cast<double>(bytes) / rate);
 }
 
@@ -119,12 +144,21 @@ Duration Network::queued_transfer_delay(NodeId from, NodeId to,
   return (start + service) - simulator_.now();
 }
 
+void Network::link(NodeId a, NodeId b) {
+  connections_[a].push_back(b);
+  connections_[b].push_back(a);
+}
+
+void Network::unlink(NodeId a, NodeId b) {
+  std::erase(connections_[a], b);
+  std::erase(connections_[b], a);
+}
+
 void Network::connect(NodeId from, NodeId to, DialCallback cb) {
   assert(from != to);
   ++dials_attempted_;
   metrics_.counter("net.dials_attempted").inc();
-  NodeState& src = nodes_[from];
-  if (!src.online) return;  // an offline node cannot observe anything
+  if (online_[from] == 0) return;  // an offline node observes nothing
 
   if (connected(from, to)) {
     // Reusing an existing connection: a zero-length dial span keeps the
@@ -137,30 +171,28 @@ void Network::connect(NodeId from, NodeId to, DialCallback cb) {
   const metrics::SpanId dial_span =
       metrics_.begin_span("net.dial", from, {}, 0, to);
 
-  const NodeState& dst = nodes_[to];
-  const Transport transport = dst.config.transport;
-  const std::uint64_t epoch = src.epoch;
+  const NodeConfig& dst = configs_[to];
+  const Transport transport = dst.transport;
+  const std::uint64_t epoch = epochs_[from];
   const Time start = simulator_.now();
 
   // NAT'ed peers with a relay are reachable via the relay (DCUtR): the
   // dial traverses both legs, then tries to hole-punch a direct path.
-  if (!dst.config.dialable && dst.online &&
-      dst.config.relay != kInvalidNode && nodes_[dst.config.relay].online) {
-    const NodeId relay = dst.config.relay;
-    const Duration via_relay =
-        (one_way(from, relay) + one_way(relay, to)) * 2 *
-        handshake_round_trips(transport);
-    const bool upgraded = rng_.chance(dst.config.dcutr_success_prob);
+  if (!dst.dialable && online_[to] != 0 && dst.relay != kInvalidNode &&
+      online_[dst.relay] != 0) {
+    const NodeId relay = dst.relay;
+    const Duration via_relay = (one_way(from, relay) + one_way(relay, to)) *
+                               2 * handshake_round_trips(transport);
+    const bool upgraded = rng_.chance(dst.dcutr_success_prob);
     // A failed hole punch still yields a (relayed) connection; only the
     // latency differs. Model both as a connection after the setup time,
     // with an extra round of coordination when the punch succeeds.
-    const Duration setup =
-        via_relay + (upgraded ? one_way(from, to) * 2 : 0);
+    const Duration setup = via_relay + (upgraded ? one_way(from, to) * 2 : 0);
     simulator_.schedule_after(
         setup, [this, from, to, epoch, cb, start, dial_span] {
           // The dial outcome is real telemetry even when the requester has
           // since churned out, so the span ends before the liveness check.
-          const bool ok = nodes_[to].online;
+          const bool ok = online_[to] != 0;
           metrics_.end_span(dial_span, ok);
           if (!callback_alive(from, epoch)) return;
           if (!ok) {
@@ -169,8 +201,7 @@ void Network::connect(NodeId from, NodeId to, DialCallback cb) {
             cb(false, simulator_.now() - start);
             return;
           }
-          nodes_[from].connections.insert(to);
-          nodes_[to].connections.insert(from);
+          link(from, to);
           cb(true, simulator_.now() - start);
         });
     return;
@@ -178,9 +209,9 @@ void Network::connect(NodeId from, NodeId to, DialCallback cb) {
 
   // Injected dial failures short-circuit before the fabric's own flaky-
   // reachability draw so a no-injector run consumes the same rng stream.
-  if (!dst.online || !dst.config.dialable ||
+  if (online_[to] == 0 || !dst.dialable ||
       (injector_ != nullptr && injector_->fail_dial(from, to)) ||
-      !rng_.chance(dst.config.dial_success_prob)) {
+      !rng_.chance(dst.dial_success_prob)) {
     ++dials_failed_;
     metrics_.counter("net.dials_failed").inc();
     // Offline-but-dialable hosts usually refuse quickly (RST / ICMP);
@@ -188,7 +219,7 @@ void Network::connect(NodeId from, NodeId to, DialCallback cb) {
     Duration fail_after =
         dial_timeout(transport) +
         milliseconds(rng_.uniform(20, 150));  // scheduler/teardown slack
-    if (!dst.online && dst.config.dialable &&
+    if (online_[to] == 0 && dst.dialable &&
         rng_.chance(kFastFailProbability)) {
       fail_after = one_way(from, to) * 2;  // one round trip to the RST
     }
@@ -205,7 +236,7 @@ void Network::connect(NodeId from, NodeId to, DialCallback cb) {
   const Duration handshake = rtt * handshake_round_trips(transport);
   simulator_.schedule_after(
       handshake, [this, from, to, epoch, cb, start, dial_span] {
-        const bool ok = nodes_[to].online;
+        const bool ok = online_[to] != 0;
         metrics_.end_span(dial_span, ok);
         if (!callback_alive(from, epoch)) return;
         if (!ok) {
@@ -215,29 +246,21 @@ void Network::connect(NodeId from, NodeId to, DialCallback cb) {
           cb(false, simulator_.now() - start);
           return;
         }
-        nodes_[from].connections.insert(to);
-        nodes_[to].connections.insert(from);
+        link(from, to);
         cb(true, simulator_.now() - start);
       });
 }
 
-void Network::disconnect(NodeId from, NodeId to) {
-  nodes_[from].connections.erase(to);
-  nodes_[to].connections.erase(from);
-}
+void Network::disconnect(NodeId from, NodeId to) { unlink(from, to); }
 
 bool Network::connected(NodeId a, NodeId b) const {
-  return nodes_[a].connections.contains(b);
-}
-
-std::vector<NodeId> Network::connections_of(NodeId id) const {
-  const auto& set = nodes_[id].connections;
-  return std::vector<NodeId>(set.begin(), set.end());
+  const auto& peers = connections_[a];
+  return std::find(peers.begin(), peers.end(), b) != peers.end();
 }
 
 void Network::send(NodeId from, NodeId to, MessagePtr message,
                    std::size_t bytes) {
-  if (!nodes_[from].online || !connected(from, to)) return;
+  if (online_[from] == 0 || !connected(from, to)) return;
   // Bytes hit the wire even when the injector then loses them in transit.
   metrics_.counter("net.messages_sent").inc();
   metrics_.counter("net.bytes_sent").inc(bytes);
@@ -249,10 +272,9 @@ void Network::send(NodeId from, NodeId to, MessagePtr message,
     duplicate = injector_->duplicate_message(from, to);
   }
   auto deliver = [this, from, to, message = std::move(message)] {
-    const NodeState& dst = nodes_[to];
-    if (!dst.online || !dst.config.responsive) return;
+    if (online_[to] == 0 || !configs_[to].responsive) return;
     ++messages_delivered_;
-    if (dst.message_handler) dst.message_handler(from, message);
+    if (message_handlers_[to]) message_handlers_[to](from, message);
   };
   if (duplicate)
     simulator_.schedule_after(delay + milliseconds(1), deliver);
@@ -262,8 +284,7 @@ void Network::send(NodeId from, NodeId to, MessagePtr message,
 void Network::request(NodeId from, NodeId to, MessagePtr request,
                       std::size_t request_bytes, Duration timeout,
                       ResponseCallback cb) {
-  NodeState& src = nodes_[from];
-  if (!src.online) return;
+  if (online_[from] == 0) return;
   if (!connected(from, to)) {
     metrics_.counter("net.rpcs_sent").inc();
     metrics_.counter("net.rpcs_unreachable").inc();
@@ -278,7 +299,7 @@ void Network::request(NodeId from, NodeId to, MessagePtr request,
   PendingRequest pending;
   pending.from = from;
   pending.to = to;
-  pending.from_epoch = src.epoch;
+  pending.from_epoch = epochs_[from];
   pending.cb = std::move(cb);
   pending.span = metrics_.begin_span("net.rpc", from, {}, 0, to);
   pending.timeout_timer =
@@ -307,15 +328,15 @@ void Network::request(NodeId from, NodeId to, MessagePtr request,
     duplicate = injector_->duplicate_message(from, to);
   }
   auto deliver = [this, from, to, request_id, request = std::move(request)] {
-    const NodeState& dst = nodes_[to];
     // Offline or stalled peers swallow the request; the timeout fires.
-    if (!dst.online || !dst.config.responsive || !dst.request_handler)
+    if (online_[to] == 0 || !configs_[to].responsive ||
+        !request_handlers_[to])
       return;
     ++messages_delivered_;
     auto respond = [this, to, from, request_id](MessagePtr response,
                                                 std::size_t bytes) {
       // Response travels back if the responder is still online.
-      if (!nodes_[to].online) return;
+      if (online_[to] == 0) return;
       metrics_.counter("net.bytes_sent").inc(bytes);
       if (injector_ != nullptr && injector_->drop_message(to, from)) return;
       Duration back =
@@ -333,7 +354,7 @@ void Network::request(NodeId from, NodeId to, MessagePtr request,
             entry.cb(RpcStatus::kOk, response);
           });
     };
-    dst.request_handler(from, request, std::move(respond));
+    request_handlers_[to](from, request, std::move(respond));
   };
   // A duplicated request reaches the handler twice; the second respond()
   // finds the pending entry consumed and is ignored, but the responder's

@@ -9,6 +9,10 @@
 //     paper Figure 9c,
 //   - NAT'ed (undialable) peers and unresponsive peers,
 //   - connection state (Bitswap broadcasts to *connected* peers only).
+//
+// Node state is stored in dense structure-of-arrays vectors indexed by
+// NodeId, with freed ids recycled, so 100k+ add_node/remove_node churn
+// cycles neither fragment the heap nor grow the id space without bound.
 #pragma once
 
 #include <cstdint>
@@ -16,7 +20,6 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "metrics/metrics.h"
@@ -62,6 +65,52 @@ struct NodeConfig {
   // upgrade that succeeds with dcutr_success_prob.
   std::uint32_t relay = 0xffffffffu;  // NodeId of the relay, if any
   double dcutr_success_prob = 0.7;
+
+  // Named-parameter setters: the preferred way to build configs at call
+  // sites. Unlike positional aggregate initialization, adding a field
+  // can never silently reorder an existing config.
+  NodeConfig& with_region(int r) {
+    region = r;
+    return *this;
+  }
+  NodeConfig& with_dialable(bool d) {
+    dialable = d;
+    return *this;
+  }
+  NodeConfig& with_responsive(bool r) {
+    responsive = r;
+    return *this;
+  }
+  NodeConfig& with_transport(Transport t) {
+    transport = t;
+    return *this;
+  }
+  NodeConfig& with_upload(double bytes_per_sec) {
+    upload_bytes_per_sec = bytes_per_sec;
+    return *this;
+  }
+  NodeConfig& with_download(double bytes_per_sec) {
+    download_bytes_per_sec = bytes_per_sec;
+    return *this;
+  }
+  NodeConfig& with_bandwidth(double up_bytes_per_sec,
+                             double down_bytes_per_sec) {
+    upload_bytes_per_sec = up_bytes_per_sec;
+    download_bytes_per_sec = down_bytes_per_sec;
+    return *this;
+  }
+  NodeConfig& with_dial_success(double p) {
+    dial_success_prob = p;
+    return *this;
+  }
+  NodeConfig& with_relay(std::uint32_t node) {
+    relay = node;
+    return *this;
+  }
+  NodeConfig& with_dcutr_success(double p) {
+    dcutr_success_prob = p;
+    return *this;
+  }
 };
 
 // Base class for all protocol messages exchanged over the fabric.
@@ -84,17 +133,28 @@ using MessageHandler =
 using DialCallback = std::function<void(bool ok, Duration elapsed)>;
 
 // One-way latency model over a region matrix (milliseconds), with
-// multiplicative jitter per sample.
+// multiplicative jitter per sample. The matrix is stored as one
+// contiguous row-major vector so a lookup is a multiply-add away —
+// no per-row pointer chase on the per-message hot path.
 class LatencyModel {
  public:
   LatencyModel(std::vector<std::vector<double>> one_way_ms,
                double jitter_low = 0.95, double jitter_high = 1.25);
 
-  Duration sample(int region_a, int region_b, Rng& rng) const;
-  int regions() const { return static_cast<int>(matrix_.size()); }
+  Duration sample(int region_a, int region_b, Rng& rng) const {
+    const double base =
+        flat_[static_cast<std::size_t>(region_a) *
+                  static_cast<std::size_t>(regions_) +
+              static_cast<std::size_t>(region_b)];
+    const double jitter = rng.uniform(jitter_low_, jitter_high_);
+    return milliseconds(base * jitter);
+  }
+
+  int regions() const { return regions_; }
 
  private:
-  std::vector<std::vector<double>> matrix_;
+  std::vector<double> flat_;  // row-major regions_ x regions_ matrix
+  int regions_;
   double jitter_low_;
   double jitter_high_;
 };
@@ -129,11 +189,23 @@ class Network {
   Network(Simulator& simulator, const LatencyModel& latency,
           std::uint64_t seed);
 
+  // Adds a node, recycling the lowest-order freed id if one exists.
   NodeId add_node(const NodeConfig& config);
-  std::size_t node_count() const { return nodes_.size(); }
 
-  const NodeConfig& config(NodeId id) const { return nodes_[id].config; }
-  bool online(NodeId id) const { return nodes_[id].online; }
+  // Removes a node: tears down its connections, mutes its in-flight
+  // callbacks (epoch bump), clears its handlers and returns its id to the
+  // free list for the next add_node. Safe under 100k+ churn cycles.
+  void remove_node(NodeId id);
+
+  // Nodes currently allocated (excludes removed ones).
+  std::size_t node_count() const { return live_nodes_; }
+  // Size of the id space, including freed slots: ids are always
+  // < slot_count(). Iterate [0, slot_count()) and check in_use(id).
+  std::size_t slot_count() const { return configs_.size(); }
+  bool in_use(NodeId id) const { return in_use_[id] != 0; }
+
+  const NodeConfig& config(NodeId id) const { return configs_[id]; }
+  bool online(NodeId id) const { return online_[id] != 0; }
 
   // Toggles liveness. Going offline tears down all connections and mutes
   // any pending callbacks owned by the node.
@@ -159,7 +231,9 @@ class Network {
   void connect(NodeId from, NodeId to, DialCallback cb);
   void disconnect(NodeId from, NodeId to);
   bool connected(NodeId a, NodeId b) const;
-  std::vector<NodeId> connections_of(NodeId id) const;
+  const std::vector<NodeId>& connections_of(NodeId id) const {
+    return connections_[id];
+  }
 
   // One-shot datagram over an established connection ("fire and forget").
   // Silently dropped if the connection is gone or the receiver is offline.
@@ -204,17 +278,6 @@ class Network {
   std::size_t pending_request_count() const { return pending_.size(); }
 
  private:
-  struct NodeState {
-    NodeConfig config;
-    bool online = true;
-    // Epoch increments when the node goes offline; callbacks captured under
-    // an older epoch are muted.
-    std::uint64_t epoch = 0;
-    RequestHandler request_handler;
-    MessageHandler message_handler;
-    std::unordered_set<NodeId> connections;
-  };
-
   struct PendingRequest {
     NodeId from;
     NodeId to;
@@ -225,8 +288,11 @@ class Network {
   };
 
   bool callback_alive(NodeId id, std::uint64_t epoch) const {
-    return nodes_[id].online && nodes_[id].epoch == epoch;
+    return online_[id] != 0 && epochs_[id] == epoch;
   }
+
+  void link(NodeId a, NodeId b);
+  void unlink(NodeId a, NodeId b);
 
   Duration one_way(NodeId a, NodeId b);
 
@@ -235,8 +301,22 @@ class Network {
   Rng rng_;
   metrics::Registry metrics_;
   FaultInjector* injector_ = nullptr;
-  std::vector<NodeState> nodes_;
+
+  // Per-node state, structure-of-arrays, indexed by NodeId. Epochs
+  // increment when a node goes offline (or is removed); callbacks
+  // captured under an older epoch are muted — including callbacks left
+  // over from a previous occupant of a recycled id.
+  std::vector<NodeConfig> configs_;
+  std::vector<std::uint8_t> online_;
+  std::vector<std::uint64_t> epochs_;
+  std::vector<RequestHandler> request_handlers_;
+  std::vector<MessageHandler> message_handlers_;
+  std::vector<std::vector<NodeId>> connections_;  // insertion-ordered
   std::vector<Time> uplink_free_at_;  // per-node uplink availability
+  std::vector<std::uint8_t> in_use_;
+  std::vector<NodeId> free_ids_;
+  std::size_t live_nodes_ = 0;
+
   std::unordered_map<std::uint64_t, PendingRequest> pending_;
   std::uint64_t next_request_id_ = 1;
   std::uint64_t messages_delivered_ = 0;

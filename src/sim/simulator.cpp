@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <limits>
+#include <utility>
 
 namespace ipfs::sim {
 
@@ -20,7 +21,11 @@ Timer Simulator::schedule_event(Time when, std::function<void()> fn,
   auto state = std::make_shared<Timer::State>();
   state->daemon = daemon;
   state->simulator = this;
-  queue_.push(Event{when, next_sequence_++, std::move(fn), state});
+  Event event{when, next_sequence_++, std::move(fn), state};
+  if (backend_ == SchedulerBackend::kTimerWheel)
+    wheel_.insert(std::move(event));
+  else
+    heap_.push(std::move(event));
   if (!daemon) ++foreground_pending_;
   return Timer(std::move(state));
 }
@@ -42,18 +47,28 @@ Timer Simulator::schedule_daemon_after(Duration delay,
   return schedule_event(now_ + delay, std::move(fn), /*daemon=*/true);
 }
 
-bool Simulator::step() {
-  while (!queue_.empty()) {
-    Event event = queue_.top();
-    queue_.pop();
-    if (!event.state->alive) continue;  // cancelled
-    event.state->alive = false;         // consumed
-    if (!event.state->daemon) --foreground_pending_;
-    now_ = event.when;
-    event.fn();
-    return true;
+Event* Simulator::peek_next() {
+  if (backend_ == SchedulerBackend::kTimerWheel) return wheel_.peek();
+  while (!heap_.empty()) {
+    if (heap_.top().state->alive) return &heap_.top();
+    heap_.pop();  // cancelled: prune lazily
   }
-  return false;
+  return nullptr;
+}
+
+Event Simulator::pop_next() {
+  if (backend_ == SchedulerBackend::kTimerWheel) return wheel_.pop();
+  return heap_.pop();
+}
+
+bool Simulator::step() {
+  if (peek_next() == nullptr) return false;
+  Event event = pop_next();
+  event.state->alive = false;  // consumed
+  if (!event.state->daemon) --foreground_pending_;
+  now_ = event.when;
+  event.fn();
+  return true;
 }
 
 std::uint64_t Simulator::run() {
@@ -68,15 +83,12 @@ std::uint64_t Simulator::run() {
 
 std::uint64_t Simulator::run_until(Time deadline) {
   std::uint64_t executed = 0;
-  while (!queue_.empty()) {
-    // Drop cancelled entries before the deadline check: step() skips them
-    // internally, so a cancelled entry at t <= deadline must not unmask a
-    // live event scheduled past the deadline.
-    if (!queue_.top().state->alive) {
-      queue_.pop();
-      continue;
-    }
-    if (queue_.top().when > deadline) break;
+  for (;;) {
+    // peek_next() prunes cancelled entries, so a cancelled entry at
+    // t <= deadline never unmasks a live event scheduled past the
+    // deadline.
+    Event* next = peek_next();
+    if (next == nullptr || next->when > deadline) break;
     if (step()) ++executed;
   }
   if (now_ < deadline && deadline != std::numeric_limits<Time>::max())

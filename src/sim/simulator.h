@@ -4,45 +4,28 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
-#include <vector>
 
+#include "sim/event.h"
 #include "sim/time.h"
+#include "sim/timer_wheel.h"
 
 namespace ipfs::sim {
 
-class Simulator;
-
-// Handle for cancelling a scheduled event.
-//
-// Cancellation semantics (relied on by the fault-injection harness):
-//   - cancel() before the event fires guarantees the callback never runs,
-//     under run(), run_until() and step() alike.
-//   - cancel() after the event fired (or on a default-constructed handle)
-//     is a no-op; active() is false in both cases.
-//   - Cancelling a foreground event may let run() return earlier, since
-//     run() only waits for live non-daemon events.
-class Timer {
- public:
-  Timer() = default;
-
-  void cancel();
-  bool active() const;
-
- private:
-  friend class Simulator;
-  struct State {
-    bool alive = true;
-    bool daemon = false;
-    Simulator* simulator = nullptr;
-  };
-  explicit Timer(std::shared_ptr<State> state) : state_(std::move(state)) {}
-  std::shared_ptr<State> state_;
+// Event-queue backend. The hierarchical timer wheel is the default;
+// the binary heap is the reference implementation, kept selectable so
+// determinism tests can assert both produce identical seeded traces.
+enum class SchedulerBackend {
+  kTimerWheel,
+  kBinaryHeap,
 };
 
 class Simulator {
  public:
+  explicit Simulator(SchedulerBackend backend = SchedulerBackend::kTimerWheel)
+      : backend_(backend) {}
+
   Time now() const { return now_; }
+  SchedulerBackend backend() const { return backend_; }
 
   Timer schedule_at(Time when, std::function<void()> fn);
   Timer schedule_after(Duration delay, std::function<void()> fn);
@@ -63,7 +46,11 @@ class Simulator {
   // Executes the single next event; false if the queue is empty.
   bool step();
 
-  std::size_t pending_events() const { return queue_.size(); }
+  // Queued entries, including cancelled ones not yet lazily pruned.
+  std::size_t pending_events() const {
+    return backend_ == SchedulerBackend::kTimerWheel ? wheel_.size()
+                                                     : heap_.size();
+  }
 
   // Live (non-cancelled) non-daemon events still queued. Zero after a
   // drained run(); the fuzz harness checks this to detect leaked events.
@@ -72,24 +59,17 @@ class Simulator {
  private:
   friend class Timer;
 
-  struct Event {
-    Time when;
-    std::uint64_t sequence;  // FIFO tie-break for equal timestamps
-    std::function<void()> fn;
-    std::shared_ptr<Timer::State> state;
-
-    bool operator>(const Event& other) const {
-      if (when != other.when) return when > other.when;
-      return sequence > other.sequence;
-    }
-  };
-
   Timer schedule_event(Time when, std::function<void()> fn, bool daemon);
+  // Next live event in (when, sequence) order; prunes cancelled entries.
+  Event* peek_next();
+  Event pop_next();
 
+  SchedulerBackend backend_;
   Time now_ = 0;
   std::uint64_t next_sequence_ = 0;
   std::size_t foreground_pending_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  TimerWheel wheel_;
+  EventHeap heap_;
 };
 
 }  // namespace ipfs::sim

@@ -1,0 +1,187 @@
+#include "sim/timer_wheel.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace ipfs::sim {
+
+namespace {
+
+bool by_sequence(const Event& a, const Event& b) {
+  return a.sequence < b.sequence;
+}
+
+}  // namespace
+
+int TimerWheel::level_for(Time diff) {
+  assert(diff >= 0 && diff < kHorizon);
+  if (diff == 0) return 0;
+  const int highest_bit =
+      63 - std::countl_zero(static_cast<std::uint64_t>(diff));
+  return highest_bit / kLevelBits;
+}
+
+void TimerWheel::insert(Event event) {
+  ++size_;
+  source_ = Source::kNone;
+  if (event.when < cursor_) {
+    // The cursor already advanced past this timestamp (run_until stopped
+    // in the gap before the next pending event, then new work was
+    // scheduled inside that gap). The front heap keeps such events exact.
+    front_.push(std::move(event));
+    return;
+  }
+  place(std::move(event));
+}
+
+void TimerWheel::place(Event event) {
+  const Time diff = event.when ^ cursor_;
+  if (diff >= kHorizon) {
+    overflow_.push(std::move(event));
+    return;
+  }
+  const int level = level_for(diff);
+  const auto slot = static_cast<std::size_t>(
+      (event.when >> (level * kLevelBits)) & (kSlotsPerLevel - 1));
+  slots_[static_cast<std::size_t>(level)][slot].push_back(std::move(event));
+  occupied_[static_cast<std::size_t>(level)] |= std::uint64_t{1} << slot;
+}
+
+bool TimerWheel::refill_current_tick() {
+  // The level-0 slot indexed by the cursor can only hold events whose
+  // timestamp equals the cursor exactly (any other timestamp in the slot
+  // would differ above bit 5 and live at a higher level).
+  const auto slot = static_cast<std::size_t>(cursor_ & (kSlotsPerLevel - 1));
+  if ((occupied_[0] >> slot & 1) == 0) return false;
+  auto& bucket = slots_[0][slot];
+  ready_.swap(bucket);
+  bucket.clear();
+  occupied_[0] &= ~(std::uint64_t{1} << slot);
+  ready_pos_ = 0;
+  // Direct inserts and cascades append in arbitrary sequence order;
+  // restore the FIFO tie-break the binary heap guarantees.
+  std::sort(ready_.begin(), ready_.end(), by_sequence);
+  return !ready_.empty();
+}
+
+bool TimerWheel::advance() {
+  for (;;) {
+    // Overflow events whose timestamps now share the cursor's horizon
+    // frame belong in the wheel. Re-checked after every cursor move so an
+    // overflow event can even join the current tick's batch (and still
+    // fire in sequence order).
+    while (!overflow_.empty() &&
+           ((overflow_.top().when ^ cursor_) < kHorizon)) {
+      Event event = overflow_.pop();
+      if (!event.state->alive) {
+        --size_;
+        continue;
+      }
+      place(std::move(event));
+    }
+
+    bool any = false;
+    for (int level = 0; level < kLevels; ++level) {
+      const auto l = static_cast<std::size_t>(level);
+      if (occupied_[l] == 0) continue;
+      any = true;
+      const auto cursor_index = static_cast<std::size_t>(
+          (cursor_ >> (level * kLevelBits)) & (kSlotsPerLevel - 1));
+      const std::uint64_t mask =
+          occupied_[l] & (~std::uint64_t{0} << cursor_index);
+      if (mask == 0) continue;
+      const auto slot = static_cast<std::size_t>(std::countr_zero(mask));
+      if (level == 0) {
+        if (slot == cursor_index) return true;  // arrived: refill picks it up
+        // Jump to the next populated tick in this frame.
+        cursor_ = (cursor_ & ~Time{kSlotsPerLevel - 1}) |
+                  static_cast<Time>(slot);
+        break;  // re-pull overflow against the new cursor, then rescan
+      }
+      // Cascade: empty the slot, advance the cursor to its earliest live
+      // event, and re-file everything relative to the new cursor (each
+      // entry drops at least one level, bounding total cascade work).
+      auto& bucket = slots_[l][slot];
+      std::vector<Event> batch;
+      batch.swap(bucket);
+      occupied_[l] &= ~(std::uint64_t{1} << slot);
+      Time earliest = -1;
+      for (auto& event : batch) {
+        if (!event.state->alive) continue;
+        if (earliest < 0 || event.when < earliest) earliest = event.when;
+      }
+      if (earliest < 0) {  // slot held only cancelled entries
+        size_ -= batch.size();
+        break;
+      }
+      assert(earliest >= cursor_);
+      cursor_ = earliest;
+      for (auto& event : batch) {
+        if (!event.state->alive) {
+          --size_;
+          continue;
+        }
+        place(std::move(event));
+      }
+      break;
+    }
+    if (any) continue;
+
+    if (overflow_.empty()) return false;
+    // Wheel empty: jump straight to the overflow minimum; the pull loop
+    // above files it on the next iteration.
+    cursor_ = overflow_.top().when;
+  }
+}
+
+Event* TimerWheel::peek() {
+  for (;;) {
+    // Events stranded before the cursor fire first: everything in the
+    // wheel is at or after the cursor, so the front heap's minimum is the
+    // global minimum whenever it is non-empty.
+    while (!front_.empty()) {
+      if (front_.top().state->alive) {
+        source_ = Source::kFront;
+        return &front_.top();
+      }
+      front_.pop();
+      --size_;
+    }
+    while (ready_pos_ < ready_.size()) {
+      Event& event = ready_[ready_pos_];
+      if (event.state->alive) {
+        source_ = Source::kReady;
+        return &event;
+      }
+      ++ready_pos_;
+      --size_;
+    }
+    ready_.clear();
+    ready_pos_ = 0;
+    // Events scheduled at the tick being drained land in its level-0
+    // slot with sequence numbers above the drained batch; re-checking
+    // here keeps same-tick FIFO order exact.
+    if (refill_current_tick()) continue;
+    if (!advance()) {
+      source_ = Source::kNone;
+      return nullptr;
+    }
+  }
+}
+
+Event TimerWheel::pop() {
+  if (source_ == Source::kNone) peek();
+  assert(source_ != Source::kNone && "pop() without a pending event");
+  --size_;
+  if (source_ == Source::kFront) {
+    source_ = Source::kNone;
+    return front_.pop();
+  }
+  source_ = Source::kNone;
+  Event event = std::move(ready_[ready_pos_]);
+  ++ready_pos_;
+  return event;
+}
+
+}  // namespace ipfs::sim

@@ -1,0 +1,84 @@
+// Hierarchical timer wheel: the default event-queue backend for the
+// discrete-event Simulator.
+//
+// Layout: kLevels levels of kSlotsPerLevel slots, 6 bits of the absolute
+// microsecond timestamp per level (level 0 = 1 us ticks, level L covers
+// 64^L us per slot). An event is filed under the highest 6-bit group in
+// which its timestamp differs from the wheel cursor, so schedule and
+// cancel are O(1) and each event cascades to a lower level at most
+// kLevels - 1 times before firing. Per-level occupancy bitmaps let the
+// cursor jump straight to the next populated slot instead of ticking
+// through empty time.
+//
+// Two side structures keep the wheel exact rather than approximate:
+//   - an overflow min-heap for events beyond the wheel horizon
+//     (64^kLevels us ~ 51 simulated days), drained back into the wheel
+//     as the cursor approaches them;
+//   - a "front" min-heap for events scheduled before the cursor. The
+//     cursor may legitimately sit ahead of the visible clock after
+//     run_until() stops between events; anything scheduled into that gap
+//     fires from the front heap in (when, sequence) order.
+//
+// Events that share a tick are sorted by sequence number when the tick's
+// slot is drained, and the slot is re-checked after each drained batch,
+// so execution order is exactly the (when, sequence) order a binary heap
+// would produce. Determinism tests assert identical trace streams from
+// both backends on seeded schedules.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/event.h"
+#include "sim/time.h"
+
+namespace ipfs::sim {
+
+class TimerWheel {
+ public:
+  static constexpr int kLevelBits = 6;
+  static constexpr int kSlotsPerLevel = 1 << kLevelBits;
+  static constexpr int kLevels = 7;
+  // Events at cursor + kHorizon or beyond go to the overflow heap.
+  static constexpr Time kHorizon = Time{1}
+                                   << (kLevelBits * kLevels);  // ~51 days
+
+  void insert(Event event);
+
+  // Next live event in (when, sequence) order, or nullptr when nothing
+  // but cancelled entries remain. Prunes cancelled entries it walks past
+  // and may advance the internal cursor; never executes anything.
+  Event* peek();
+
+  // Removes and returns the event peek() currently points at. Must be
+  // preceded by a successful peek() with no intervening mutation.
+  Event pop();
+
+  // Stored entries, including not-yet-pruned cancelled ones (matches the
+  // lazy-deletion accounting of the binary-heap backend).
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  enum class Source { kNone, kFront, kReady };
+
+  void place(Event event);
+  bool refill_current_tick();
+  bool advance();
+  static int level_for(Time diff);
+
+  std::array<std::array<std::vector<Event>, kSlotsPerLevel>, kLevels> slots_;
+  std::array<std::uint64_t, kLevels> occupied_{};
+  // No stored event precedes the cursor except those in front_. The
+  // cursor trails the earliest pending event, never the visible clock.
+  Time cursor_ = 0;
+  std::vector<Event> ready_;  // current tick's batch, sequence-sorted
+  std::size_t ready_pos_ = 0;
+  EventHeap front_;     // events scheduled before the cursor
+  EventHeap overflow_;  // events beyond the wheel horizon
+  std::size_t size_ = 0;
+  Source source_ = Source::kNone;
+};
+
+}  // namespace ipfs::sim

@@ -19,6 +19,7 @@ multiformats::PeerId synthetic_peer_id(std::uint64_t n) {
 
 World::World(const WorldConfig& config)
     : config_(config),
+      simulator_(config.scheduler),
       latency_(default_latency_model()),
       population_(generate_population(config.population,
                                       sim::Rng(config.seed).fork("population"))),
@@ -188,10 +189,8 @@ void World::seed_routing_tables() {
   for (std::size_t i = 0; i < dht_nodes_.size(); ++i) {
     const auto key = dht::Key::for_peer(dht_nodes_[i]->self().id).bytes();
     auto& table = dht_nodes_[i]->routing_table();
-    std::size_t budget = config_.max_routing_entries;
+    const std::size_t budget = config_.max_routing_entries;
 
-    // Deepest buckets first (closest neighbours matter most for
-    // correctness of closest-peer queries).
     auto [lo_prev, hi_prev] = prefix_range(key, 0);
     std::vector<std::pair<std::size_t, std::size_t>> levels;
     levels.push_back({lo_prev, hi_prev});
@@ -201,29 +200,112 @@ void World::seed_routing_tables() {
       if (range.second - range.first <= 1) break;
     }
 
-    for (std::size_t depth = levels.size(); depth-- > 1 && budget > 0;) {
-      // Bucket (depth-1): shares depth-1 bits, differs at bit depth-1 =
-      // entries in levels[depth-1] but not in levels[depth].
+    // Per-bucket candidate counts, deepest bucket first (the draw order
+    // below). Bucket (depth-1) holds entries sharing depth-1 bits but
+    // differing at bit depth-1: levels[depth-1] minus levels[depth].
+    struct BucketRange {
+      std::size_t outer_lo, outer_hi, inner_lo, inner_hi, total;
+    };
+    std::vector<BucketRange> buckets;
+    buckets.reserve(levels.size());
+    for (std::size_t depth = levels.size(); depth-- > 1;) {
       const auto [outer_lo, outer_hi] = levels[depth - 1];
       const auto [inner_lo, inner_hi] = levels[depth];
-      std::vector<std::uint32_t> candidates;
-      for (std::size_t j = outer_lo; j < outer_hi; ++j) {
-        if (j >= inner_lo && j < inner_hi) continue;
-        candidates.push_back(sorted[j].index);
+      buckets.push_back({outer_lo, outer_hi, inner_lo, inner_hi,
+                         (outer_hi - outer_lo) - (inner_hi - inner_lo)});
+    }
+
+    // Split the entry budget across buckets. Unbounded, every bucket
+    // gets its full k = 20. When the budget binds (large worlds with a
+    // capped max_routing_entries), a deepest-first greedy would spend
+    // everything inside the node's own aligned prefix block — every
+    // entry then points at a near neighbour, no table links distant
+    // subtrees, and a crawl BFS shatters into ~n/2^b islands. So first
+    // reserve a couple of long-range entries in every occupied bucket,
+    // then pour the remainder into the deepest buckets (closest
+    // neighbours matter most for closest-peer correctness).
+    constexpr std::size_t kLongRangeReserve = 2;
+    std::vector<std::size_t> alloc(buckets.size(), 0);
+    std::size_t want = 0;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      alloc[b] = std::min(buckets[b].total, dht::kBucketSize);
+      want += alloc[b];
+    }
+    if (want > budget) {
+      std::vector<std::size_t> reserve(buckets.size(), 0);
+      std::size_t reserved = 0;
+      for (std::size_t b = 0; b < buckets.size(); ++b) {
+        reserve[b] = std::min(alloc[b], kLongRangeReserve);
+        reserved += reserve[b];
       }
-      if (candidates.empty()) continue;
-      const std::size_t take =
-          std::min({candidates.size(), dht::kBucketSize, budget});
-      // Uniform sample without replacement (partial Fisher-Yates).
+      if (reserved >= budget) {
+        // Tiny budget: one entry per bucket, shallowest (longest-range)
+        // first, round-robin until the budget is gone.
+        std::fill(alloc.begin(), alloc.end(), 0);
+        std::size_t left = budget;
+        for (std::size_t round = 0; left > 0; ++round) {
+          bool granted = false;
+          for (std::size_t b = buckets.size(); b-- > 0 && left > 0;) {
+            if (alloc[b] < reserve[b]) {
+              ++alloc[b];
+              --left;
+              granted = true;
+            }
+          }
+          if (!granted) break;
+        }
+      } else {
+        std::size_t left = budget - reserved;
+        for (std::size_t b = 0; b < buckets.size(); ++b) {
+          const std::size_t extra = std::min(alloc[b] - reserve[b], left);
+          alloc[b] = reserve[b] + extra;
+          left -= extra;
+        }
+      }
+    }
+
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      // The candidate set is [outer_lo, outer_hi) minus [inner_lo,
+      // inner_hi): two contiguous runs of the sorted array, addressable
+      // by arithmetic. Materializing it would cost O(n) per node (the
+      // bucket-0 set is half the network), turning world construction
+      // quadratic; at 100k peers that is the difference between
+      // milliseconds and minutes.
+      const auto [outer_lo, outer_hi, inner_lo, inner_hi, total] = buckets[b];
+      if (total == 0) continue;
+      const std::size_t left_len = inner_lo - outer_lo;
+      const auto candidate_at = [&](std::size_t t) {
+        return t < left_len ? outer_lo + t : inner_hi + (t - left_len);
+      };
+      const std::size_t take = alloc[b];
+      if (take == 0) continue;
+      // Uniform sample without replacement: the same partial
+      // Fisher-Yates the dense version ran, with the handful of
+      // displaced positions tracked in a sparse overlay so the draw
+      // sequence (and therefore every seeded world) is unchanged.
+      std::vector<std::pair<std::size_t, std::size_t>> moved;  // pos -> t
+      const auto value_at = [&](std::size_t pos) {
+        for (const auto& [p, t] : moved)
+          if (p == pos) return t;
+        return candidate_at(pos);
+      };
+      const auto set_at = [&](std::size_t pos, std::size_t t) {
+        for (auto& [p, existing] : moved) {
+          if (p == pos) {
+            existing = t;
+            return;
+          }
+        }
+        moved.emplace_back(pos, t);
+      };
       for (std::size_t pick = 0; pick < take; ++pick) {
         const std::size_t swap_with = pick + static_cast<std::size_t>(
             rng_.uniform_int(0,
-                             static_cast<std::int64_t>(candidates.size() -
-                                                       pick) - 1));
-        std::swap(candidates[pick], candidates[swap_with]);
-        table.upsert(dht_nodes_[candidates[pick]]->self());
-        --budget;
-        if (budget == 0) break;
+                             static_cast<std::int64_t>(total - pick) - 1));
+        const std::size_t chosen = value_at(swap_with);
+        set_at(swap_with, value_at(pick));
+        const Keyed& keyed = sorted[chosen];
+        table.upsert(dht_nodes_[keyed.index]->self(), dht::Key(keyed.key));
       }
     }
   }

@@ -17,6 +17,9 @@ namespace ipfs::world {
 struct WorldConfig {
   PopulationConfig population;
   std::uint64_t seed = 42;
+  // Event scheduler for the world's simulator; the legacy binary heap is
+  // kept selectable for determinism cross-checks.
+  sim::SchedulerBackend scheduler = sim::SchedulerBackend::kTimerWheel;
   bool enable_churn = true;
   std::size_t bootstrap_count = 6;  // the canonical bootstrap peers
   // Memory cap on pre-seeded routing entries per peer.

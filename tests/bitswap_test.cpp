@@ -4,6 +4,7 @@
 
 #include "bitswap/bitswap.h"
 #include "merkledag/merkledag.h"
+#include "scenario/scenario.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
@@ -20,9 +21,15 @@ std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
 class BitswapTest : public ::testing::Test {
  protected:
   BitswapTest()
-      : latency_({{10.0}}, 1.0, 1.0), network_(sim_, latency_, 5) {
-    node_a_ = network_.add_node({.region = 0});
-    node_b_ = network_.add_node({.region = 0});
+      : scenario_(scenario::ScenarioBuilder()
+                      .peers(2)
+                      .seed(5)
+                      .single_region(10.0)
+                      .build()),
+        sim_(scenario_.simulator()),
+        network_(scenario_.network()) {
+    node_a_ = scenario_.node(0);
+    node_b_ = scenario_.node(1);
     bitswap_a_ = std::make_unique<Bitswap>(network_, node_a_, store_a_);
     bitswap_b_ = std::make_unique<Bitswap>(network_, node_b_, store_b_);
     attach(node_a_, *bitswap_a_);
@@ -39,9 +46,9 @@ class BitswapTest : public ::testing::Test {
         });
   }
 
-  sim::Simulator sim_;
-  sim::LatencyModel latency_;
-  sim::Network network_;
+  scenario::Scenario scenario_;
+  sim::Simulator& sim_;
+  sim::Network& network_;
   blockstore::BlockStore store_a_;
   blockstore::BlockStore store_b_;
   sim::NodeId node_a_ = 0;

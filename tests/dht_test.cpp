@@ -254,11 +254,15 @@ TEST(DhtSwarmTest, FindProvidersDiscoversPublishedContent) {
 TEST(DhtSwarmTest, DuplicateProviderRecordsAreDroppedByPeerId) {
   // Replicated resolvers hand back overlapping provider sets; a response
   // repeating the same provider must collapse to one dial candidate.
-  sim::Simulator sim;
-  const sim::LatencyModel latency({{10.0}}, 1.0, 1.0);
-  sim::Network net(sim, latency, 7);
-  const sim::NodeId requester = net.add_node({.region = 0});
-  const sim::NodeId server = net.add_node({.region = 0});
+  scenario::Scenario scenario = scenario::ScenarioBuilder()
+                                    .peers(2)
+                                    .seed(7)
+                                    .single_region(10.0)
+                                    .build();
+  sim::Simulator& sim = scenario.simulator();
+  sim::Network& net = scenario.network();
+  const sim::NodeId requester = scenario.node(0);
+  const sim::NodeId server = scenario.node(1);
 
   net.set_request_handler(
       server,

@@ -2,6 +2,8 @@
 // network dial/RPC semantics including transport timeouts, and churn.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "sim/churn.h"
 #include "sim/faults.h"
 #include "sim/network.h"
@@ -133,6 +135,123 @@ TEST(SimulatorTest, CancellingForegroundEventLetsRunReturn) {
 }
 
 // --------------------------------------------------------------------------
+// Timer-wheel edge cases. The wheel must behave exactly like the
+// reference binary heap at its seams: events at the current instant,
+// events scheduled into the gap run_until() leaves between the clock and
+// the wheel cursor, and events beyond the wheel horizon that live in the
+// overflow heap.
+// --------------------------------------------------------------------------
+
+TEST(TimerWheelTest, ScheduleAtNowFiresImmediately) {
+  Simulator simulator;
+  simulator.schedule_after(seconds(2), [] {});
+  simulator.run();
+  ASSERT_EQ(simulator.now(), seconds(2));
+
+  std::vector<int> order;
+  simulator.schedule_at(simulator.now(), [&] { order.push_back(0); });
+  simulator.schedule_after(Duration{0}, [&] { order.push_back(1); });
+  simulator.schedule_after(seconds(1), [&] { order.push_back(2); });
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(simulator.now(), seconds(3));
+}
+
+TEST(TimerWheelTest, ScheduleIntoCursorGapFiresInOrder) {
+  // run_until() can leave the wheel cursor ahead of the visible clock
+  // (it advanced toward the next populated slot). Events scheduled into
+  // that gap must still fire, in (when, sequence) order, before the
+  // event the cursor had advanced toward.
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule_after(seconds(10), [&] { order.push_back(10); });
+  simulator.run_until(seconds(5));
+  ASSERT_EQ(simulator.now(), seconds(5));
+
+  simulator.schedule_after(seconds(3), [&] { order.push_back(8); });
+  simulator.schedule_after(seconds(1), [&] { order.push_back(6); });
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{6, 8, 10}));
+  EXPECT_EQ(simulator.now(), seconds(10));
+}
+
+TEST(TimerWheelTest, CancelInsideCursorGapDoesNotFire) {
+  Simulator simulator;
+  bool late_fired = false;
+  simulator.schedule_after(seconds(10), [&] { late_fired = true; });
+  simulator.run_until(seconds(5));
+  Timer gap = simulator.schedule_after(seconds(1), [] { FAIL(); });
+  gap.cancel();
+  simulator.run();
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(TimerWheelTest, FarFutureEventsOverflowPastWheelHorizon) {
+  // The wheel covers ~51 simulated days; anything beyond sits in the
+  // overflow heap until the cursor approaches. Both sides of the horizon
+  // must fire, in order, including an event exactly at the boundary.
+  Simulator simulator;
+  std::vector<int> order;
+  const Time horizon = TimerWheel::kHorizon;
+  simulator.schedule_at(horizon + hours(100), [&] { order.push_back(3); });
+  simulator.schedule_at(horizon, [&] { order.push_back(2); });
+  simulator.schedule_at(hours(1), [&] { order.push_back(1); });
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(simulator.now(), horizon + hours(100));
+}
+
+TEST(TimerWheelTest, CancelledOverflowEventsDoNotFire) {
+  Simulator simulator;
+  bool near_fired = false;
+  Timer far = simulator.schedule_at(TimerWheel::kHorizon + seconds(1),
+                                    [] { FAIL(); });
+  simulator.schedule_after(seconds(1), [&] { near_fired = true; });
+  far.cancel();
+  simulator.run();
+  EXPECT_TRUE(near_fired);
+  EXPECT_EQ(simulator.now(), seconds(1));
+}
+
+TEST(TimerWheelTest, BackendsExecuteIdenticalSeededSchedules) {
+  // Drive both backends through the same randomized schedule — bursty
+  // timestamps, ties, cancellations, re-entrant scheduling — and record
+  // every firing as (time, id). The sequences must match exactly.
+  const auto run_backend = [](SchedulerBackend backend) {
+    Simulator simulator(backend);
+    Rng rng(2024);
+    std::vector<std::pair<Time, int>> fired;
+    std::vector<Timer> timers;
+    int next_id = 0;
+    std::function<void(int)> fire = [&](int id) {
+      fired.emplace_back(simulator.now(), id);
+      // A third of firings reschedule follow-up work, like RPC chains.
+      if (rng.uniform(0.0, 1.0) < 0.33 && next_id < 3000) {
+        const int child = next_id++;
+        simulator.schedule_after(
+            microseconds(rng.uniform_int(0, 500'000)),
+            [&fire, child] { fire(child); });
+      }
+    };
+    for (int i = 0; i < 2000; ++i) {
+      const int id = next_id++;
+      // Cluster timestamps so slots collide and ties are common.
+      const Duration when = microseconds(rng.uniform_int(0, 50) * 10'000);
+      timers.push_back(
+          simulator.schedule_after(when, [&fire, id] { fire(id); }));
+    }
+    for (std::size_t i = 0; i < timers.size(); i += 7) timers[i].cancel();
+    simulator.run();
+    return fired;
+  };
+
+  const auto wheel = run_backend(SchedulerBackend::kTimerWheel);
+  const auto heap = run_backend(SchedulerBackend::kBinaryHeap);
+  ASSERT_EQ(wheel.size(), heap.size());
+  EXPECT_EQ(wheel, heap);
+}
+
+// --------------------------------------------------------------------------
 // Rng
 // --------------------------------------------------------------------------
 
@@ -248,6 +367,91 @@ TEST_F(NetworkTest, ReconnectIsImmediate) {
   });
   sim_.run();
   EXPECT_EQ(second, 0);
+}
+
+// --------------------------------------------------------------------------
+// Node lifecycle: remove_node, id recycling, epoch muting. The dense
+// SoA node store recycles freed ids, so a callback captured against a
+// previous occupant of a slot must never reach the new occupant.
+// --------------------------------------------------------------------------
+
+TEST_F(NetworkTest, RemoveNodeRecyclesTheLowestFreedId) {
+  const NodeId a = net_.add_node({.region = 0});
+  const NodeId b = net_.add_node({.region = 0});
+  const NodeId c = net_.add_node({.region = 0});
+  EXPECT_EQ(net_.node_count(), 3u);
+  EXPECT_EQ(net_.slot_count(), 3u);
+
+  net_.remove_node(b);
+  net_.remove_node(a);
+  EXPECT_EQ(net_.node_count(), 1u);
+  EXPECT_EQ(net_.slot_count(), 3u);  // slots persist, contents freed
+  EXPECT_FALSE(net_.in_use(a));
+  EXPECT_FALSE(net_.in_use(b));
+  EXPECT_TRUE(net_.in_use(c));
+
+  // Lowest freed id first; the id space does not grow while holes exist.
+  const NodeId reused_a = net_.add_node({.region = 1});
+  const NodeId reused_b = net_.add_node({.region = 1});
+  EXPECT_EQ(reused_a, std::min(a, b));
+  EXPECT_EQ(reused_b, std::max(a, b));
+  EXPECT_EQ(net_.slot_count(), 3u);
+  EXPECT_EQ(net_.config(reused_a).region, 1);
+}
+
+TEST_F(NetworkTest, RemoveNodeTearsDownConnections) {
+  const NodeId a = net_.add_node({.region = 0});
+  const NodeId b = net_.add_node({.region = 0});
+  net_.connect(a, b, [](bool, Duration) {});
+  sim_.run();
+  ASSERT_TRUE(net_.connected(a, b));
+
+  net_.remove_node(b);
+  EXPECT_FALSE(net_.connected(a, b));
+  EXPECT_TRUE(net_.connections_of(a).empty());
+}
+
+TEST_F(NetworkTest, RecycledIdDoesNotInheritPredecessorsCallbacks) {
+  const NodeId a = net_.add_node({.region = 0});
+  const NodeId victim = net_.add_node({.region = 1});
+  net_.connect(a, victim, [](bool, Duration) {});
+  sim_.run();
+
+  // In-flight request to the victim, which is removed mid-flight; its
+  // slot is immediately recycled for an unrelated new node. The response
+  // callback was captured under the victim's epoch and must stay muted —
+  // it must neither fire against the new occupant nor leak.
+  bool cb_fired = false;
+  net_.request(a, victim, std::make_shared<Ping>(), 64, seconds(30),
+               [&](RpcStatus, MessagePtr) { cb_fired = true; });
+  net_.remove_node(a);  // requester gone: callback owned by a is muted
+  const NodeId recycled = net_.add_node({.region = 0});
+  EXPECT_EQ(recycled, a);
+
+  sim_.run();
+  EXPECT_FALSE(cb_fired);
+  EXPECT_EQ(net_.pending_request_count(), 0u);
+}
+
+TEST_F(NetworkTest, RemovedResponderFailsInFlightRequests) {
+  const NodeId a = net_.add_node({.region = 0});
+  const NodeId b = net_.add_node(
+      {.region = 0, .responsive = false});  // will never answer
+  net_.connect(a, b, [](bool, Duration) {});
+  sim_.run();
+
+  RpcStatus status = RpcStatus::kOk;
+  bool fired = false;
+  net_.request(a, b, std::make_shared<Ping>(), 64, seconds(30),
+               [&](RpcStatus s, MessagePtr) {
+                 fired = true;
+                 status = s;
+               });
+  net_.remove_node(b);
+  sim_.run();
+  EXPECT_TRUE(fired);
+  EXPECT_NE(status, RpcStatus::kOk);
+  EXPECT_EQ(net_.pending_request_count(), 0u);
 }
 
 TEST_F(NetworkTest, DialToNatPeerTimesOutAtTransportTimeout) {

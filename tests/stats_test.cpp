@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "stats/jsonl.h"
 #include "stats/stats.h"
 
 namespace ipfs::stats {
@@ -133,6 +134,43 @@ TEST(FormatTest, HumanReadableUnits) {
   EXPECT_EQ(format_bytes(0.5 * 1024 * 1024), "512.0 KB");
   EXPECT_EQ(format_bytes(1.5 * 1024 * 1024), "1.5 MB");
   EXPECT_EQ(format_percent(0.285), "28.5 %");
+}
+
+// --------------------------------------------------------------------------
+// Trial folding. The parallel bench runner hands trials back in whatever
+// order threads finish; fold_trials / fold_trials_jsonl must erase that
+// order so multi-threaded runs export byte-identical results.
+// --------------------------------------------------------------------------
+
+TEST(FoldTrialsTest, OrderOfCompletionDoesNotMatter) {
+  const std::vector<TrialSamples> forward = {
+      {1, {1.0, 2.0}}, {2, {3.0}}, {3, {4.0, 5.0}}};
+  const std::vector<TrialSamples> shuffled = {
+      {3, {4.0, 5.0}}, {1, {1.0, 2.0}}, {2, {3.0}}};
+  const auto a = fold_trials(forward);
+  const auto b = fold_trials(shuffled);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, (std::vector<double>{1.0, 2.0, 3.0, 4.0, 5.0}));
+}
+
+TEST(FoldTrialsTest, DuplicateSeedsKeepInputOrder) {
+  // Stable sort: two trials with the same seed fold in the order given.
+  const std::vector<TrialSamples> trials = {
+      {7, {1.0}}, {7, {2.0}}, {3, {0.5}}};
+  EXPECT_EQ(fold_trials(trials), (std::vector<double>{0.5, 1.0, 2.0}));
+}
+
+TEST(FoldTrialsJsonlTest, OrderOfCompletionDoesNotMatter) {
+  const std::vector<TrialJsonl> forward = {
+      {10, "{\"v\":1}\n"}, {20, "{\"v\":2}"}};  // note: missing newline
+  const std::vector<TrialJsonl> shuffled = {
+      {20, "{\"v\":2}"}, {10, "{\"v\":1}\n"}};
+  const auto a = fold_trials_jsonl(forward);
+  const auto b = fold_trials_jsonl(shuffled);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a,
+            "{\"type\":\"trial\",\"seed\":10}\n{\"v\":1}\n"
+            "{\"type\":\"trial\",\"seed\":20}\n{\"v\":2}\n");
 }
 
 }  // namespace

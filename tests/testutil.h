@@ -1,37 +1,26 @@
 // Shared helpers for protocol-level tests: synthetic identities and a
-// small fully-attached DHT swarm running on the simulator.
+// small fully-attached DHT swarm, both thin veneers over
+// scenario::ScenarioBuilder so tests exercise the same construction
+// path as the benches.
 #pragma once
 
-#include <memory>
-#include <string>
-#include <vector>
+#include <cstdint>
 
-#include "crypto/sha256.h"
 #include "dht/dht_node.h"
 #include "multiformats/multiaddr.h"
 #include "multiformats/peerid.h"
+#include "scenario/scenario.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
 namespace ipfs::testutil {
 
-// A deterministic PeerID without the cost of real key derivation. The
-// format matches Ed25519 PeerIDs (identity multihash over the libp2p
-// protobuf framing) so parsing and DHT hashing behave identically.
 inline multiformats::PeerId synthetic_peer_id(std::uint64_t n) {
-  std::uint8_t seed[8];
-  for (int i = 0; i < 8; ++i) seed[i] = static_cast<std::uint8_t>(n >> (8 * i));
-  const auto digest = crypto::sha256(std::span<const std::uint8_t>(seed, 8));
-  crypto::Ed25519PublicKey key;
-  std::copy(digest.begin(), digest.end(), key.begin());
-  return multiformats::PeerId::from_public_key(key);
+  return scenario::synthetic_peer_id(n);
 }
 
 inline multiformats::Multiaddr synthetic_address(std::uint32_t n) {
-  const std::string ip = std::to_string(10 + (n >> 16)) + "." +
-                         std::to_string((n >> 8) & 0xff) + "." +
-                         std::to_string(n & 0xff) + ".1";
-  return multiformats::make_tcp_multiaddr(ip, 4001);
+  return scenario::synthetic_address(n);
 }
 
 // A fully-attached single-region DHT swarm. Nodes are servers by default
@@ -41,43 +30,21 @@ class TestSwarm {
  public:
   explicit TestSwarm(std::size_t size, std::uint64_t seed = 42,
                      double one_way_ms = 20.0)
-      : latency_({{one_way_ms}}, 1.0, 1.0), network_(sim_, latency_, seed) {
-    sim::Rng rng(seed);
-    for (std::size_t i = 0; i < size; ++i) {
-      const sim::NodeId node = network_.add_node({.region = 0});
-      auto dht = std::make_unique<dht::DhtNode>(
-          network_, node, synthetic_peer_id(i),
-          std::vector<multiformats::Multiaddr>{
-              synthetic_address(static_cast<std::uint32_t>(i))});
-      dht->force_mode(dht::DhtNode::Mode::kServer);
-      dht->attach_to_network();
-      nodes_.push_back(std::move(dht));
-      refs_.push_back(nodes_.back()->self());
-    }
-    // Seed routing tables with a random sample of the swarm.
-    for (auto& node : nodes_) {
-      const std::size_t sample = std::min<std::size_t>(size - 1, 40);
-      for (std::size_t j = 0; j < sample; ++j) {
-        const auto pick = static_cast<std::size_t>(
-            rng.uniform_int(0, static_cast<std::int64_t>(size) - 1));
-        if (refs_[pick].id == node->self().id) continue;
-        node->routing_table().upsert(refs_[pick]);
-      }
-    }
-  }
+      : scenario_(scenario::ScenarioBuilder()
+                      .peers(size)
+                      .seed(seed)
+                      .single_region(one_way_ms)
+                      .dht_servers(true)
+                      .build()) {}
 
-  sim::Simulator& simulator() { return sim_; }
-  sim::Network& network() { return network_; }
-  dht::DhtNode& node(std::size_t i) { return *nodes_[i]; }
-  const dht::PeerRef& ref(std::size_t i) const { return refs_[i]; }
-  std::size_t size() const { return nodes_.size(); }
+  sim::Simulator& simulator() { return scenario_.simulator(); }
+  sim::Network& network() { return scenario_.network(); }
+  dht::DhtNode& node(std::size_t i) { return scenario_.dht(i); }
+  const dht::PeerRef& ref(std::size_t i) const { return scenario_.ref(i); }
+  std::size_t size() const { return scenario_.size(); }
 
  private:
-  sim::Simulator sim_;
-  sim::LatencyModel latency_;
-  sim::Network network_;
-  std::vector<std::unique_ptr<dht::DhtNode>> nodes_;
-  std::vector<dht::PeerRef> refs_;
+  scenario::Scenario scenario_;
 };
 
 }  // namespace ipfs::testutil
