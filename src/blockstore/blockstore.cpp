@@ -8,11 +8,6 @@ Block Block::from_data(multiformats::Multicodec codec,
                std::vector<std::uint8_t>(data.begin(), data.end())};
 }
 
-std::string BlockStore::key_of(const Cid& cid) {
-  const auto bytes = cid.encode();
-  return std::string(bytes.begin(), bytes.end());
-}
-
 PutStatus BlockStore::put(Block block) {
   if (!block.cid.hash().verifies(block.data)) return PutStatus::kCidMismatch;
   const auto [it, inserted] =
@@ -39,12 +34,12 @@ bool BlockStore::remove(const Cid& cid) {
   return true;
 }
 
-void BlockStore::pin(const Cid& cid) { pinned_.insert(key_of(cid)); }
+void BlockStore::pin(const Cid& cid) { pinned_.insert(cid); }
 
-void BlockStore::unpin(const Cid& cid) { pinned_.erase(key_of(cid)); }
+void BlockStore::unpin(const Cid& cid) { pinned_.erase(cid); }
 
 bool BlockStore::pinned(const Cid& cid) const {
-  return pinned_.contains(key_of(cid));
+  return pinned_.contains(cid);
 }
 
 std::uint64_t BlockStore::collect_garbage() {

@@ -6,8 +6,8 @@
 #include <list>
 #include <map>
 #include <optional>
+#include <set>
 #include <span>
-#include <unordered_set>
 #include <vector>
 
 #include "multiformats/cid.h"
@@ -49,11 +49,11 @@ class BlockStore {
   std::uint64_t total_bytes() const { return total_bytes_; }
 
  private:
+  // Both containers key by Cid directly (Cid is totally ordered), so pin
+  // checks cost no re-encoding.
   std::map<Cid, std::vector<std::uint8_t>> blocks_;
-  std::unordered_set<std::string> pinned_;  // keyed by binary CID string
+  std::set<Cid> pinned_;
   std::uint64_t total_bytes_ = 0;
-
-  static std::string key_of(const Cid& cid);
 };
 
 // Byte-capped LRU store (the gateway's nginx web cache, Least Recently

@@ -489,4 +489,13 @@ void DhtNode::get_value(const Key& key,
                });
 }
 
+void DhtNode::get_values(const Key& key,
+                         std::function<void(std::vector<ValueRecord>)> done) {
+  start_lookup(LookupType::kGetValue, key,
+               routing_table_.closest(key, kReplication),
+               [done = std::move(done)](LookupResult result) {
+                 done(std::move(result.values));
+               });
+}
+
 }  // namespace ipfs::dht

@@ -121,6 +121,12 @@ class DhtNode {
                  std::function<void(bool ok, int stored_on)> done);
   void get_value(const Key& key,
                  std::function<void(std::optional<ValueRecord>)> done);
+  // Quorum variant: every record the walk gathered (up to kValueQuorum),
+  // in discovery order. Callers resolve conflicts — e.g. ipns::resolve
+  // picks the highest *valid* sequence, which plain get_value cannot do
+  // because validity needs the application-level signature check.
+  void get_values(const Key& key,
+                  std::function<void(std::vector<ValueRecord>)> done);
 
   // --- Introspection -------------------------------------------------------
 
@@ -131,6 +137,7 @@ class DhtNode {
   const RoutingTable& routing_table() const { return routing_table_; }
   RecordStore& record_store() { return *records_; }
   sim::NodeId node() const { return self_.node; }
+  sim::Network& network() { return network_; }
 
   // Peers the crawler can enumerate (Section 4.1): the full k-bucket
   // contents, as the crawler's per-bucket FIND_NODE sweep would recover.

@@ -69,7 +69,9 @@ void Lookup::add_candidate(const PeerRef& peer) {
 bool Lookup::should_terminate() const {
   if (type_ == LookupType::kGetProviders && !result_.providers.empty())
     return true;
-  if (type_ == LookupType::kGetValue && result_.value.has_value()) return true;
+  if (type_ == LookupType::kGetValue &&
+      result_.values.size() >= kValueQuorum)
+    return true;
   if (target_peer_ && result_.target_peer.has_value()) return true;
 
   // FindNode termination: the k closest non-failed candidates have all
@@ -214,9 +216,11 @@ void Lookup::on_response(const Key& candidate_key, sim::RpcStatus status,
   } else if (const auto* value = dynamic_cast<const GetValueResponse*>(
                  message.get())) {
     closer = value->closer;
-    if (value->record &&
-        (!result_.value || value->record->sequence > result_.value->sequence))
-      result_.value = value->record;
+    if (value->record) {
+      result_.values.push_back(*value->record);
+      if (!result_.value || value->record->sequence > result_.value->sequence)
+        result_.value = value->record;
+    }
   }
 
   for (const auto& peer : closer) add_candidate(peer);

@@ -4,8 +4,12 @@
 // step dials the peer (paying handshake or dial-timeout cost), issues the
 // RPC, and merges returned closer-peers into the candidate set. FindNode
 // walks terminate when the k closest discovered peers have all answered
-// (publication needs the full closest set); provider/value walks
-// terminate as soon as a record is found (retrieval needs just one).
+// (publication needs the full closest set); provider walks terminate as
+// soon as a record is found (retrieval needs just one). Value walks
+// collect a quorum of records (go-ipfs get-value semantics): divergent
+// replicas are expected — a stale node may hold an old IPNS sequence — so
+// the walk gathers up to kValueQuorum records (or converges like FindNode)
+// and the caller picks the highest valid sequence.
 #pragma once
 
 #include <functional>
@@ -25,6 +29,9 @@ constexpr int kAlpha = 3;           // lookup concurrency (Section 3.2)
 constexpr std::size_t kReplication = 20;  // k (Section 3.1)
 constexpr sim::Duration kRpcTimeout = sim::seconds(10);
 constexpr sim::Duration kLookupDeadline = sim::minutes(3);
+// Records a value walk gathers before terminating (go-ipfs's get-value
+// quorum). Small swarms converge earlier via the FindNode criterion.
+constexpr std::size_t kValueQuorum = 16;
 
 enum class LookupType { kFindNode, kGetProviders, kGetValue };
 
@@ -32,7 +39,8 @@ struct LookupResult {
   bool completed = false;  // false when the deadline cut the walk short
   std::vector<PeerRef> closest;            // responsive peers, closest first
   std::vector<ProviderRecord> providers;   // kGetProviders
-  std::optional<ValueRecord> value;        // kGetValue
+  std::optional<ValueRecord> value;        // kGetValue: highest sequence seen
+  std::vector<ValueRecord> values;         // kGetValue: every record gathered
   std::optional<PeerRef> target_peer;      // kFindNode early match
   sim::Duration elapsed = 0;
   int rpcs_sent = 0;

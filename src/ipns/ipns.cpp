@@ -100,20 +100,28 @@ void publish(dht::DhtNode& dht, const crypto::Ed25519KeyPair& keypair,
   dht.put_value(ipns_key(name), std::move(wrapped), std::move(done));
 }
 
+std::optional<IpnsRecord> select_record(
+    const multiformats::PeerId& name,
+    const std::vector<dht::ValueRecord>& values) {
+  std::optional<IpnsRecord> best;
+  for (const auto& value : values) {
+    const auto record = IpnsRecord::decode(value.value);
+    if (!record || !record->verify(name)) continue;  // forged or corrupt
+    if (!best || record->sequence > best->sequence) best = record;
+  }
+  return best;
+}
+
 void resolve(dht::DhtNode& dht, const multiformats::PeerId& name,
              std::function<void(std::optional<multiformats::Cid>)> done) {
-  dht.get_value(ipns_key(name), [name, done = std::move(done)](
-                                    std::optional<dht::ValueRecord> value) {
-    if (!value) {
-      done(std::nullopt);
-      return;
-    }
-    const auto record = IpnsRecord::decode(value->value);
-    if (!record || !record->verify(name)) {
-      done(std::nullopt);
-      return;
-    }
-    done(record->target());
+  // Quorum semantics (go-ipfs): gather up to dht::kValueQuorum records —
+  // stale replicas holding superseded sequences are expected — then pick
+  // the highest sequence among the *valid* ones. Validity is checked
+  // here, not in the DHT walk, because it needs the IPNS signature.
+  dht.get_values(ipns_key(name), [name, done = std::move(done)](
+                                     std::vector<dht::ValueRecord> values) {
+    const auto best = select_record(name, values);
+    done(best ? best->target() : std::nullopt);
   });
 }
 

@@ -56,9 +56,16 @@ void publish(dht::DhtNode& dht, const crypto::Ed25519KeyPair& keypair,
              const multiformats::Cid& target, std::uint64_t sequence,
              std::function<void(bool ok, int replicas)> done);
 
-// Resolves `name` to its current target CID, rejecting records that fail
-// verification.
+// Resolves `name` to its current target CID: gathers a quorum of DHT
+// records (dht::kValueQuorum), drops any that fail verification, and
+// returns the target of the highest valid sequence (go-ipfs semantics).
 void resolve(dht::DhtNode& dht, const multiformats::PeerId& name,
              std::function<void(std::optional<multiformats::Cid>)> done);
+
+// Picks the highest-sequence record among `values` that decodes and
+// verifies against `name`. Shared by the DHT and pubsub resolve paths.
+std::optional<IpnsRecord> select_record(
+    const multiformats::PeerId& name,
+    const std::vector<dht::ValueRecord>& values);
 
 }  // namespace ipfs::ipns

@@ -1,0 +1,111 @@
+#include "ipns/ipns_pubsub.h"
+
+#include <utility>
+
+namespace ipfs::ipns {
+
+pubsub::Topic pubsub_topic(const multiformats::PeerId& name) {
+  return "/record/ipns/" + name.to_base58();
+}
+
+void PubsubResolver::publish(const crypto::Ed25519KeyPair& keypair,
+                             const multiformats::Cid& target,
+                             std::uint64_t sequence,
+                             std::function<void(bool, int)> done) {
+  const auto name = multiformats::PeerId::from_public_key(keypair.public_key);
+  const IpnsRecord record = IpnsRecord::create(keypair, target, sequence);
+
+  // Fast plane: broadcast the signed record to the topic mesh.
+  pubsub_.publish(pubsub_topic(name), record.encode());
+
+  // Publishers answer their own resolves from cache, and a publisher that
+  // also follows its name must not regress when a stale copy echoes back.
+  const auto it = cache_.find(pubsub_topic(name));
+  if (it == cache_.end() || record.sequence > it->second.sequence)
+    cache_[pubsub_topic(name)] = record;
+
+  // Authoritative plane: the usual DHT walk + replicated PUT.
+  ipns::publish(dht_, keypair, target, sequence, std::move(done));
+}
+
+void PubsubResolver::follow(const multiformats::PeerId& name) {
+  followed_.insert(name);
+  const pubsub::Topic topic = pubsub_topic(name);
+  if (pubsub_.subscribed(topic)) return;
+  pubsub_.subscribe(topic, [this, name](const pubsub::PubsubMessage& message) {
+    accept(name, message);
+  });
+}
+
+bool PubsubResolver::following(const multiformats::PeerId& name) const {
+  return followed_.contains(name);
+}
+
+void PubsubResolver::accept(const multiformats::PeerId& name,
+                            const pubsub::PubsubMessage& message) {
+  auto& metrics = dht_.network().metrics();
+  const auto record = IpnsRecord::decode(message.data);
+  // Self-certification gate: any mesh member can inject bytes, so nothing
+  // unverified touches the cache.
+  if (!record || !record->verify(name)) {
+    metrics.counter("ipns.pubsub.rejected").inc();
+    return;
+  }
+  const auto it = cache_.find(message.topic);
+  if (it != cache_.end() && record->sequence <= it->second.sequence) {
+    metrics.counter("ipns.pubsub.stale_ignored").inc();
+    return;
+  }
+  cache_[message.topic] = *record;
+  metrics.counter("ipns.pubsub.accepted").inc();
+}
+
+std::optional<IpnsRecord> PubsubResolver::cached(
+    const multiformats::PeerId& name) const {
+  const auto it = cache_.find(pubsub_topic(name));
+  if (it == cache_.end()) return std::nullopt;
+  return it->second;
+}
+
+void PubsubResolver::resolve(const multiformats::PeerId& name,
+                             ResolveFn done) {
+  auto& metrics = dht_.network().metrics();
+  if (const auto record = cached(name)) {
+    metrics.counter("ipns.pubsub.cache_hit").inc();
+    done(record->target());
+    return;
+  }
+  metrics.counter("ipns.pubsub.cache_miss").inc();
+  // Fallback: quorum DHT walk; the winning record seeds the cache so the
+  // next resolve is local (mirroring go-ipfs, which bridges DHT results
+  // into the pubsub cache).
+  dht_.get_values(
+      ipns_key(name), [this, name, done = std::move(done)](
+                          std::vector<dht::ValueRecord> values) {
+        const auto best = select_record(name, values);
+        if (!best) {
+          done(std::nullopt);
+          return;
+        }
+        const pubsub::Topic topic = pubsub_topic(name);
+        const auto it = cache_.find(topic);
+        if (it == cache_.end() || best->sequence > it->second.sequence)
+          cache_[topic] = *best;
+        done(best->target());
+      });
+}
+
+void PubsubResolver::handle_crash() { cache_.clear(); }
+
+void PubsubResolver::handle_restart() {
+  // Re-subscribe every followed name; the engine re-grafts meshes on the
+  // following heartbeats and the cache refills from fresh broadcasts.
+  for (const auto& name : followed_) {
+    pubsub_.subscribe(pubsub_topic(name),
+                      [this, name](const pubsub::PubsubMessage& message) {
+                        accept(name, message);
+                      });
+  }
+}
+
+}  // namespace ipfs::ipns

@@ -1,0 +1,77 @@
+// IPNS over pubsub (paper Section 2.6): go-ipfs's experimental fast path
+// for name resolution. Each name gets its own topic; publishers broadcast
+// the signed record to the mesh, and followers cache the highest valid
+// sequence they have seen. Resolution then answers from the local cache
+// in zero network round-trips, falling back to the quorum DHT walk for
+// names the node does not follow (or has not heard yet).
+//
+// Security model is unchanged from DHT IPNS: records are self-certifying
+// (the embedded key must hash to the name and sign the payload), so a
+// malicious mesh member cannot forge an update — the worst it can do is
+// withhold, which the DHT fallback covers.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "ipns/ipns.h"
+#include "pubsub/pubsub.h"
+
+namespace ipfs::ipns {
+
+// The pubsub topic IPNS records for `name` travel on. Mirrors go-ipfs's
+// "/record/<base64(/ipns/<name>)>" namespacing, minus the base64.
+pubsub::Topic pubsub_topic(const multiformats::PeerId& name);
+
+class PubsubResolver {
+ public:
+  using ResolveFn = std::function<void(std::optional<multiformats::Cid>)>;
+
+  PubsubResolver(dht::DhtNode& dht, pubsub::Pubsub& pubsub)
+      : dht_(dht), pubsub_(pubsub) {}
+
+  // Publishes to both planes: the DHT walk + PUT (authoritative, slow)
+  // and a pubsub broadcast (best-effort, fast). `done` reports the DHT
+  // outcome; the broadcast has no acknowledgement. The publisher caches
+  // its own record, so it also answers local resolves immediately.
+  void publish(const crypto::Ed25519KeyPair& keypair,
+               const multiformats::Cid& target, std::uint64_t sequence,
+               std::function<void(bool ok, int replicas)> done);
+
+  // Subscribes to `name`'s record topic. Every received record is
+  // verified against the name before it can touch the cache, and only a
+  // higher sequence displaces a cached record.
+  void follow(const multiformats::PeerId& name);
+  bool following(const multiformats::PeerId& name) const;
+
+  // Cache hit: resolves instantly from the freshest record heard over
+  // pubsub. Cache miss: falls back to the quorum DHT walk, seeding the
+  // cache with the result.
+  void resolve(const multiformats::PeerId& name, ResolveFn done);
+
+  // The freshest verified record heard for `name`, if any.
+  std::optional<IpnsRecord> cached(const multiformats::PeerId& name) const;
+
+  // --- Crash/restart -------------------------------------------------------
+  // The record cache is soft state and dies with the process; the follow
+  // set survives (a real daemon persists its topic list in config) and is
+  // re-subscribed on restart. Call after the owning node's pubsub engine
+  // has itself been crashed/restarted.
+  void handle_crash();
+  void handle_restart();
+
+ private:
+  void accept(const multiformats::PeerId& name,
+              const pubsub::PubsubMessage& message);
+
+  dht::DhtNode& dht_;
+  pubsub::Pubsub& pubsub_;
+  // Keyed by topic so delivery lookups avoid re-deriving names.
+  std::map<pubsub::Topic, IpnsRecord> cache_;
+  std::set<multiformats::PeerId> followed_;
+};
+
+}  // namespace ipfs::ipns

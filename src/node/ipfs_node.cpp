@@ -48,8 +48,15 @@ IpfsNode::IpfsNode(sim::Network& network, const IpfsNodeConfig& config)
       });
   network_.set_message_handler(
       node_, [this](sim::NodeId from, const sim::MessagePtr& message) {
-        dht_.handle_message(from, message);
+        if (dht_.handle_message(from, message)) return;
+        if (pubsub_) pubsub_->handle_message(from, message);
       });
+  if (config.enable_pubsub) {
+    pubsub::PubsubConfig pubsub_config = config.pubsub;
+    if (pubsub_config.seed == 0) pubsub_config.seed = config.identity_seed;
+    pubsub_ = std::make_unique<pubsub::Pubsub>(network_, node_, pubsub_config);
+    name_resolver_ = std::make_unique<ipns::PubsubResolver>(dht_, *pubsub_);
+  }
 }
 
 void IpfsNode::bootstrap(std::vector<dht::PeerRef> seeds,
@@ -57,6 +64,9 @@ void IpfsNode::bootstrap(std::vector<dht::PeerRef> seeds,
   for (const auto& seed : seeds) {
     address_book_.insert(seed);
     conn_manager_.protect(seed.node);
+    // Bootstrap peers double as ambient pubsub candidates; px and
+    // subscription announcements take over from there.
+    if (pubsub_) pubsub_->add_candidate_peer(seed.node);
   }
   dht_.bootstrap(std::move(seeds), std::move(done));
 }
@@ -339,9 +349,33 @@ void IpfsNode::fetch_from(std::shared_ptr<RetrievalCtx> ctx, sim::NodeId peer,
       });
 }
 
+void IpfsNode::publish_name(const Cid& target, std::uint64_t sequence,
+                            std::function<void(bool, int)> done) {
+  if (name_resolver_) {
+    name_resolver_->publish(keypair_, target, sequence, std::move(done));
+    return;
+  }
+  ipns::publish(dht_, keypair_, target, sequence, std::move(done));
+}
+
+void IpfsNode::resolve_name(const multiformats::PeerId& name,
+                            std::function<void(std::optional<Cid>)> done) {
+  if (name_resolver_) {
+    name_resolver_->resolve(name, std::move(done));
+    return;
+  }
+  ipns::resolve(dht_, name, std::move(done));
+}
+
+void IpfsNode::follow_name(const multiformats::PeerId& name) {
+  if (name_resolver_) name_resolver_->follow(name);
+}
+
 void IpfsNode::handle_crash() {
   dht_.handle_crash();
   bitswap_.handle_crash();
+  if (pubsub_) pubsub_->handle_crash();
+  if (name_resolver_) name_resolver_->handle_crash();
   address_book_ = AddressBook(address_book_.capacity());
   conn_manager_.clear_protected();
 }
@@ -349,7 +383,11 @@ void IpfsNode::handle_crash() {
 void IpfsNode::handle_restart(std::vector<dht::PeerRef> seeds,
                               std::function<void(bool)> done) {
   dht_.handle_restart();
+  if (pubsub_) pubsub_->handle_restart();
+  // Re-subscribing must follow the engine restart so the fresh
+  // subscriptions announce to the re-added bootstrap candidates.
   bootstrap(std::move(seeds), std::move(done));
+  if (name_resolver_) name_resolver_->handle_restart();
 }
 
 void IpfsNode::reset_for_next_measurement() {

@@ -13,9 +13,11 @@
 #include "blockstore/blockstore.h"
 #include "crypto/ed25519.h"
 #include "dht/dht_node.h"
+#include "ipns/ipns_pubsub.h"
 #include "merkledag/merkledag.h"
 #include "node/address_book.h"
 #include "node/connection_manager.h"
+#include "pubsub/pubsub.h"
 
 namespace ipfs::node {
 
@@ -39,6 +41,10 @@ struct IpfsNodeConfig {
   // ("running DHT lookups in parallel to Bitswap could be superior, by
   // trading additional network requests for faster retrieval times").
   bool parallel_dht_lookup = false;
+  // GossipSub engine + IPNS-over-pubsub fast path (Section 2.6; off by
+  // default, mirroring go-ipfs's --enable-namesys-pubsub experiment).
+  bool enable_pubsub = false;
+  pubsub::PubsubConfig pubsub;
 };
 
 // Timing decomposition of one publication (Figure 9a-c).
@@ -110,6 +116,23 @@ class IpfsNode {
   // discovery, peer discovery, peer routing, content exchange.
   void retrieve(const Cid& cid, std::function<void(RetrievalTrace)> done);
 
+  // --- IPNS (Section 3.3 + the Section 2.6 pubsub fast path) --------------
+
+  // Publishes a signed IPNS record mapping this node's PeerID to
+  // `target`. With pubsub enabled the record is additionally broadcast to
+  // the name's topic mesh; `done` always reports the DHT outcome.
+  void publish_name(const Cid& target, std::uint64_t sequence,
+                    std::function<void(bool ok, int replicas)> done);
+
+  // Resolves `name`: pubsub cache first (when enabled), then the quorum
+  // DHT walk. Picks the highest valid sequence on either path.
+  void resolve_name(const multiformats::PeerId& name,
+                    std::function<void(std::optional<Cid>)> done);
+
+  // Subscribes to `name`'s record topic so future resolves answer from
+  // the local cache. No-op without pubsub.
+  void follow_name(const multiformats::PeerId& name);
+
   // --- Crash/restart (sim/faults.h) ---------------------------------------
 
   // Applies a process crash: every layer drops its soft state (in-flight
@@ -139,6 +162,8 @@ class IpfsNode {
   blockstore::BlockStore& store() { return store_; }
   AddressBook& address_book() { return address_book_; }
   ConnectionManager& connection_manager() { return conn_manager_; }
+  pubsub::Pubsub* pubsub() { return pubsub_.get(); }
+  ipns::PubsubResolver* name_resolver() { return name_resolver_.get(); }
 
   sim::Network& network() { return network_; }
   dht::PeerRef self() const { return dht_.self(); }
@@ -176,6 +201,10 @@ class IpfsNode {
   bitswap::Bitswap bitswap_;
   AddressBook address_book_;
   ConnectionManager conn_manager_;
+  // Present only with config.enable_pubsub; the resolver references both
+  // dht_ and *pubsub_, so member order is load-bearing.
+  std::unique_ptr<pubsub::Pubsub> pubsub_;
+  std::unique_ptr<ipns::PubsubResolver> name_resolver_;
 };
 
 }  // namespace ipfs::node

@@ -78,6 +78,22 @@ ScenarioBuilder& ScenarioBuilder::routing_sample(std::size_t picks_per_node) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::pubsub(bool enable) {
+  pubsub_ = enable;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::pubsub_config(pubsub::PubsubConfig config) {
+  pubsub_config_ = config;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::pubsub_candidates(
+    std::size_t picks_per_node) {
+  pubsub_candidates_ = picks_per_node;
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::faults(sim::FaultConfig config) {
   fault_config_ = config;
   return *this;
@@ -162,6 +178,40 @@ Scenario ScenarioBuilder::build() const {
             0, static_cast<std::int64_t>(peers_) - 1));
         if (scenario.refs_[pick].id == node->self().id) continue;
         node->routing_table().upsert(scenario.refs_[pick]);
+      }
+    }
+  }
+
+  if (pubsub_) {
+    pubsub::PubsubConfig engine_config = pubsub_config_;
+    if (engine_config.seed == 0) engine_config.seed = seed_;
+    scenario.pubsub_nodes_.reserve(peers_);
+    for (std::size_t i = 0; i < peers_; ++i) {
+      scenario.pubsub_nodes_.push_back(std::make_unique<pubsub::Pubsub>(
+          *scenario.network_, scenario.nodes_[i], engine_config));
+      // Multiplex: DHT traffic first (when servers exist), gossip second.
+      pubsub::Pubsub* engine = scenario.pubsub_nodes_.back().get();
+      dht::DhtNode* dht =
+          dht_servers_ ? scenario.dht_nodes_[i].get() : nullptr;
+      scenario.network_->set_message_handler(
+          scenario.nodes_[i],
+          [dht, engine](sim::NodeId from, const sim::MessagePtr& message) {
+            if (dht != nullptr && dht->handle_message(from, message)) return;
+            engine->handle_message(from, message);
+          });
+    }
+    // Ambient peer discovery stands in for a converged swarm: each engine
+    // learns a few random peers, like the routing pre-seed above. The
+    // dedicated fork keeps pubsub-off scenarios bit-identical.
+    sim::Rng pubsub_rng = sim::Rng(seed_).fork("scenario.pubsub");
+    for (std::size_t i = 0; i < peers_ && peers_ > 1; ++i) {
+      const std::size_t sample =
+          std::min<std::size_t>(peers_ - 1, pubsub_candidates_);
+      for (std::size_t j = 0; j < sample; ++j) {
+        const auto pick = static_cast<std::size_t>(pubsub_rng.uniform_int(
+            0, static_cast<std::int64_t>(peers_) - 1));
+        if (pick == i) continue;
+        scenario.pubsub_nodes_[i]->add_candidate_peer(scenario.nodes_[pick]);
       }
     }
   }

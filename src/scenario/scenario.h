@@ -41,6 +41,7 @@
 #include "dht/dht_node.h"
 #include "multiformats/multiaddr.h"
 #include "multiformats/peerid.h"
+#include "pubsub/pubsub.h"
 #include "sim/faults.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -74,6 +75,10 @@ class Scenario {
   const dht::PeerRef& ref(std::size_t i) const { return refs_[i]; }
   const std::vector<dht::PeerRef>& refs() const { return refs_; }
 
+  // Empty unless pubsub(true) was set.
+  pubsub::Pubsub& pubsub(std::size_t i) { return *pubsub_nodes_[i]; }
+  bool has_pubsub() const { return !pubsub_nodes_.empty(); }
+
   // Null unless faults() was configured. The plan is constructed but
   // not armed; call faults().arm() to start background fault processes.
   sim::FaultPlan* faults() { return faults_.get(); }
@@ -86,6 +91,9 @@ class Scenario {
   std::unique_ptr<sim::Network> network_;
   std::vector<sim::NodeId> nodes_;
   std::vector<std::unique_ptr<dht::DhtNode>> dht_nodes_;
+  // Declared after dht_nodes_ so engines (holding Timer handles) are
+  // destroyed before the fabric members above them.
+  std::vector<std::unique_ptr<pubsub::Pubsub>> pubsub_nodes_;
   std::vector<dht::PeerRef> refs_;
   std::unique_ptr<sim::FaultPlan> faults_;
 };
@@ -123,6 +131,15 @@ class ScenarioBuilder {
   ScenarioBuilder& dht_servers(bool enable = true);
   ScenarioBuilder& routing_sample(std::size_t picks_per_node);
 
+  // Wraps every node in a pubsub::Pubsub engine. Each engine's candidate
+  // set is pre-seeded with `pubsub_candidates` random peers drawn from a
+  // dedicated rng fork (so enabling pubsub leaves every pre-existing
+  // seeded stream bit-identical). Composes with dht_servers(): the
+  // message handler multiplexes DHT first, then pubsub.
+  ScenarioBuilder& pubsub(bool enable = true);
+  ScenarioBuilder& pubsub_config(pubsub::PubsubConfig config);
+  ScenarioBuilder& pubsub_candidates(std::size_t picks_per_node);
+
   // Constructs (but does not arm) a FaultPlan over the built network.
   ScenarioBuilder& faults(sim::FaultConfig config);
 
@@ -157,6 +174,9 @@ class ScenarioBuilder {
   std::optional<double> undialable_fraction_;
   bool dht_servers_ = false;
   std::size_t routing_sample_ = 40;
+  bool pubsub_ = false;
+  pubsub::PubsubConfig pubsub_config_{};
+  std::size_t pubsub_candidates_ = 10;
   std::optional<sim::FaultConfig> fault_config_;
   std::size_t trace_capacity_ = 0;
 

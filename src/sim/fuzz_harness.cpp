@@ -1,6 +1,8 @@
 #include "sim/fuzz_harness.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <set>
@@ -9,6 +11,7 @@
 #include "dht/record_store.h"
 #include "merkledag/merkledag.h"
 #include "node/ipfs_node.h"
+#include "pubsub/pubsub.h"
 #include "scenario/scenario.h"
 #include "stats/jsonl.h"
 
@@ -87,6 +90,16 @@ ScheduleParams make_schedule(std::uint64_t seed) {
   params.workload_window = sim::minutes(rng.uniform(1.0, 3.0));
   params.fault_scale = rng.chance(0.2) ? 0.0 : rng.uniform(0.05, 1.0);
   params.faults = faults_for_scale(params.fault_scale, params.long_horizon);
+
+  // Dedicated fork: adding the pubsub knobs must not shift any draw of
+  // the pre-existing "schedule" stream, or every historical replay seed
+  // would describe a different schedule.
+  sim::Rng pubsub_rng = sim::Rng(seed).fork("schedule-pubsub");
+  params.pubsub_topics =
+      static_cast<std::size_t>(pubsub_rng.uniform_int(1, 3));
+  params.pubsub_subscriber_fraction = pubsub_rng.uniform(0.2, 0.8);
+  params.pubsub_publish_count = static_cast<std::size_t>(
+      pubsub_rng.uniform_int(2, params.long_horizon ? 4 : 10));
   return params;
 }
 
@@ -106,7 +119,10 @@ std::string ScheduleParams::describe() const {
       << " resets_per_h=" << faults.connection_resets_per_hour
       << " crashes_per_h_per_node=" << faults.crashes_per_hour_per_node
       << " downtime_s=[" << sim::to_seconds(faults.min_downtime) << ","
-      << sim::to_seconds(faults.max_downtime) << "]}\n"
+      << sim::to_seconds(faults.max_downtime) << "]"
+      << " pubsub_topics=" << pubsub_topics
+      << " pubsub_sub_frac=" << pubsub_subscriber_fraction
+      << " pubsub_publishes=" << pubsub_publish_count << "}\n"
       << "replay: IPFS_FUZZ_SEED=" << seed
       << " IPFS_FUZZ_SCHEDULES=1 ./tests/simfuzz_test";
   return out.str();
@@ -142,7 +158,10 @@ std::string ScheduleStats::fingerprint() const {
       << " dial=" << faults.dials_failed << " spike=" << faults.latency_spikes
       << " reset=" << faults.connection_resets
       << " crash=" << faults.crashes << " restart=" << faults.restarts
-      << "}\n";
+      << "}\n"
+      << "pubsub{publishes=" << pubsub_publishes
+      << " deliveries=" << pubsub_deliveries
+      << " dedup=" << pubsub_duplicates << "}\n";
   auto sorted = ops;
   std::sort(sorted.begin(), sorted.end(),
             [](const OpRecord& a, const OpRecord& b) {
@@ -209,6 +228,11 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
     config.identity_seed = params.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
     config.net.transport =
         world_rng.chance(0.3) ? sim::Transport::kQuic : sim::Transport::kTcp;
+    config.enable_pubsub = true;
+    // 26 simulated hours at the default 1 s heartbeat would swamp the
+    // event count with idle mesh maintenance; long-horizon schedules
+    // coarsen the heartbeat instead (mesh repair just converges slower).
+    if (params.long_horizon) config.pubsub.with_heartbeat(sim::seconds(30));
     bool stable = true;
     if (i >= kBootstrapCount) {
       if (world_rng.chance(params.nat_fraction)) {
@@ -284,6 +308,109 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
     }
   }
 
+  // ---- Pubsub overlay ----------------------------------------------------
+  // Dedicated workload fork: the gossip overlay draws nothing from the
+  // pre-existing world/workload streams.
+  sim::Rng pubsub_rng = base_rng.fork("fuzz-pubsub");
+  const std::size_t topic_count = params.pubsub_topics;
+
+  // Subscriber sets. Every topic needs at least two members for a mesh
+  // to exist; top up from the bootstrap set when the draw comes short.
+  std::vector<std::vector<std::size_t>> topic_subscribers(topic_count);
+  std::vector<std::vector<std::size_t>> node_topics(node_count);
+  for (std::size_t t = 0; t < topic_count; ++t) {
+    auto& subs = topic_subscribers[t];
+    for (std::size_t i = 0; i < node_count; ++i)
+      if (pubsub_rng.chance(params.pubsub_subscriber_fraction))
+        subs.push_back(i);
+    for (std::size_t i = 0; subs.size() < 2 && i < kBootstrapCount; ++i)
+      if (std::find(subs.begin(), subs.end(), i) == subs.end())
+        subs.push_back(i);
+    for (const std::size_t i : subs) node_topics[i].push_back(t);
+  }
+
+  // Ambient peer discovery: a random candidate sample per node, plus a
+  // ring over each topic's subscribers so the announce graph is always
+  // connected (a subscriber whose random sample contains no co-subscriber
+  // would otherwise never learn of the mesh). Kept per node so the
+  // restart path can re-add the same candidates, like a real daemon
+  // re-reading its address book.
+  std::vector<std::vector<std::size_t>> pubsub_candidates(node_count);
+  const auto add_candidate = [&](std::size_t i, std::size_t peer) {
+    if (peer == i) return;
+    auto& list = pubsub_candidates[i];
+    if (std::find(list.begin(), list.end(), peer) == list.end())
+      list.push_back(peer);
+  };
+  const std::size_t candidate_target = std::min<std::size_t>(8, node_count - 1);
+  for (std::size_t i = 0; i < node_count; ++i)
+    while (pubsub_candidates[i].size() < candidate_target)
+      add_candidate(i, static_cast<std::size_t>(pubsub_rng.uniform_int(
+                           0, static_cast<std::int64_t>(node_count) - 1)));
+  for (std::size_t t = 0; t < topic_count; ++t) {
+    const auto& subs = topic_subscribers[t];
+    if (subs.size() < 2) continue;
+    for (std::size_t k = 0; k < subs.size(); ++k)
+      add_candidate(subs[k], subs[(k + 1) % subs.size()]);
+  }
+
+  const auto topic_name = [](std::size_t t) {
+    return pubsub::Topic("fuzz/topic-") + std::to_string(t);
+  };
+
+  // Per-(subscriber, topic) delivery counts: invariant 7 (at-most-once)
+  // is checked inline at delivery time, so a duplicate is caught even if
+  // a later crash would have wiped the ledger.
+  std::vector<std::vector<std::map<pubsub::MessageId, int>>> pubsub_seen(
+      node_count, std::vector<std::map<pubsub::MessageId, int>>(topic_count));
+  const auto subscribe_node = [&](std::size_t i, std::size_t t) {
+    nodes[i]->pubsub()->subscribe(
+        topic_name(t), [&, i, t](const pubsub::PubsubMessage& message) {
+          ++stats.pubsub_deliveries;
+          const int count = ++pubsub_seen[i][t][message.id];
+          if (count > 1) {
+            std::ostringstream out;
+            out << "pubsub at-most-once violated: node " << i
+                << " delivered " << message.topic << " id{origin="
+                << message.id.origin << " seqno=" << message.id.seqno
+                << "} " << count << " times";
+            violations.push_back(out.str());
+          }
+        });
+  };
+
+  for (std::size_t i = 0; i < node_count; ++i)
+    for (const std::size_t peer : pubsub_candidates[i])
+      nodes[i]->pubsub()->add_candidate_peer(nodes[peer]->node());
+  for (std::size_t t = 0; t < topic_count; ++t)
+    for (const std::size_t i : topic_subscribers[t]) subscribe_node(i, t);
+  // Faultless mesh formation, mirroring the faultless DHT bootstrap: the
+  // fault plan then exercises repair of a formed mesh, not formation.
+  // Grafting happens on heartbeats (daemon events), which a plain run()
+  // never reaches once the announces drain — drive the clock through a
+  // few heartbeat rounds explicitly.
+  const sim::Duration mesh_settle =
+      4 * nodes[0]->pubsub()->config().heartbeat_interval + sim::seconds(5);
+  stats.events_executed += simulator.run_until(simulator.now() + mesh_settle);
+  stats.events_executed += simulator.run();
+  if (std::getenv("IPFS_FUZZ_DEBUG_PUBSUB") != nullptr) {
+    for (std::size_t i = 0; i < node_count; ++i) {
+      std::fprintf(stderr, "node %2zu id=%u stable=%d topics:", i,
+                   nodes[i]->node(), static_cast<int>(is_stable[i]));
+      for (std::size_t t = 0; t < topic_count; ++t) {
+        std::fprintf(stderr, " [t%zu sub=%d peers=%zu mesh=%zu]", t,
+                     static_cast<int>(
+                         nodes[i]->pubsub()->subscribed(topic_name(t))),
+                     nodes[i]->pubsub()->topic_peers(topic_name(t)).size(),
+                     nodes[i]->pubsub()->mesh_peers(topic_name(t)).size());
+      }
+      std::fprintf(stderr, " candidates:");
+      for (const std::size_t peer : pubsub_candidates[i])
+        std::fprintf(stderr, " %zu", peer);
+      std::fprintf(stderr, "\n");
+    }
+  }
+
   // ---- Fault plan + crash wiring -----------------------------------------
   sim::FaultPlan plan(network, params.faults, params.seed);
   std::vector<std::vector<sim::Time>> crash_times(node_count);
@@ -292,8 +419,17 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
     if (!online) {
       crash_times[index].push_back(simulator.now());
       nodes[index]->handle_crash();
+      // The crash wiped the engine's dedup cache, so one redelivery of
+      // anything seen before the crash is legitimate: reset the
+      // at-most-once ledger along with it.
+      for (auto& per_topic : pubsub_seen[index]) per_topic.clear();
     } else {
       nodes[index]->handle_restart(seeds_for(index), [](bool) {});
+      // Like a real daemon, the restarted process re-reads its address
+      // book and topic list and re-joins its meshes.
+      for (const std::size_t peer : pubsub_candidates[index])
+        nodes[index]->pubsub()->add_candidate_peer(nodes[peer]->node());
+      for (const std::size_t t : node_topics[index]) subscribe_node(index, t);
     }
   });
   for (std::size_t i = kBootstrapCount; i < node_count; ++i)
@@ -419,6 +555,46 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
     });
   }
 
+  // Pubsub publishes land anywhere in the workload window, from any node:
+  // non-subscribed publishers exercise the fanout path, subscribed ones
+  // the mesh. All draws happen up front so the op table never mutates the
+  // rng mid-run.
+  struct PubsubPublishOp {
+    std::size_t publisher = 0;
+    std::size_t topic = 0;
+    sim::Duration offset = 0;
+    std::vector<std::uint8_t> data;
+    bool attempted = false;           // false: publisher was offline
+    bool publisher_subscribed = false;
+    std::size_t peers_at_publish = 0; // router's topic peers when it fired
+    pubsub::MessageId id;             // filled when the publish fires
+  };
+  std::vector<PubsubPublishOp> pubsub_ops(
+      topic_count == 0 ? 0 : params.pubsub_publish_count);
+  for (auto& op : pubsub_ops) {
+    op.publisher = static_cast<std::size_t>(pubsub_rng.uniform_int(
+        0, static_cast<std::int64_t>(node_count) - 1));
+    op.topic = static_cast<std::size_t>(pubsub_rng.uniform_int(
+        0, static_cast<std::int64_t>(topic_count) - 1));
+    op.offset = sim::seconds(pubsub_rng.uniform(0.0, sim::to_seconds(window)));
+    op.data = deterministic_bytes(
+        static_cast<std::size_t>(pubsub_rng.uniform_int(16, 256)), pubsub_rng);
+  }
+  for (std::size_t pi = 0; pi < pubsub_ops.size(); ++pi) {
+    simulator.schedule_at(workload_start + pubsub_ops[pi].offset, [&, pi] {
+      PubsubPublishOp& op = pubsub_ops[pi];
+      if (!network.online(nodes[op.publisher]->node())) return;  // crashed
+      op.attempted = true;
+      ++stats.pubsub_publishes;
+      op.publisher_subscribed =
+          nodes[op.publisher]->pubsub()->subscribed(topic_name(op.topic));
+      op.peers_at_publish =
+          nodes[op.publisher]->pubsub()->topic_peers(topic_name(op.topic)).size();
+      op.id =
+          nodes[op.publisher]->pubsub()->publish(topic_name(op.topic), op.data);
+    });
+  }
+
   // ---- Phase 2: run the workload under faults ----------------------------
   plan.arm();
   const sim::Time horizon =
@@ -521,6 +697,51 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
       }
     }
   }
+
+  // (7) Pubsub at-most-once is checked inline at delivery time (see
+  // subscribe_node above).
+
+  // (8) Pubsub eventual delivery, clean schedules only: no injected
+  // faults and no crashes means nothing could partition a mesh, so every
+  // subscriber must hold every published message exactly once. Faulty
+  // schedules can legitimately end mid-repair; there only (7) binds.
+  if (params.fault_scale == 0.0 && stats.faults.crashes == 0) {
+    for (const auto& op : pubsub_ops) {
+      if (!op.attempted) continue;
+      // A fanout publisher that knows no topic peer drops the message by
+      // design (go-libp2p's Publish reports NoPeersFound): nobody ever
+      // announced the topic to it, so the router has nowhere to send.
+      // Subscribed publishers are never exempt — the subscriber ring in
+      // the candidate wiring guarantees they learn at least one peer.
+      if (op.peers_at_publish == 0 && !op.publisher_subscribed) continue;
+      for (const std::size_t i : topic_subscribers[op.topic]) {
+        const auto& counts = pubsub_seen[i][op.topic];
+        const auto it = counts.find(op.id);
+        const int count = it == counts.end() ? 0 : it->second;
+        if (count != 1) {
+          std::ostringstream out;
+          out << "pubsub delivery violated: subscriber " << i << " of "
+              << topic_name(op.topic) << " delivered id{origin="
+              << op.id.origin << " seqno=" << op.id.seqno << "} " << count
+              << " time(s) on a clean schedule (mesh="
+              << nodes[i]->pubsub()->mesh_peers(topic_name(op.topic)).size()
+              << " peers="
+              << nodes[i]->pubsub()->topic_peers(topic_name(op.topic)).size()
+              << " publisher_known_peers="
+              << nodes[op.publisher]
+                     ->pubsub()
+                     ->topic_peers(topic_name(op.topic))
+                     .size()
+              << ")";
+          violations.push_back(out.str());
+        }
+      }
+    }
+  }
+
+  // Engine-level dedup totals feed the determinism fingerprint.
+  for (std::size_t i = 0; i < node_count; ++i)
+    stats.pubsub_duplicates += nodes[i]->pubsub()->duplicates_suppressed();
 
   plan.detach();
 

@@ -20,6 +20,15 @@
 //      one sweep interval plus the maximum crash downtime.
 //   6. Conservation: for every ordered node pair, blocks (and bytes)
 //      received from a peer never exceed what that peer's ledger sent.
+//   7. Pubsub at-most-once: no subscriber delivers the same message id
+//      twice. The per-subscriber ledger resets when that subscriber
+//      crashes — a crash legitimately wipes the dedup cache, so one
+//      post-restart redelivery is correct behaviour, not a violation.
+//   8. Pubsub delivery: on clean schedules (fault scale 0, so no drops
+//      and no crashes), every subscriber of a topic delivers every
+//      message published to it exactly once by the end of the drain.
+//      Faulty schedules can partition a mesh for longer than the run
+//      lasts, so there only invariant 7 binds.
 //
 // Any violation message embeds ScheduleParams::describe(), which includes
 // the seed and a one-command replay line.
@@ -58,6 +67,16 @@ struct ScheduleParams {
   std::size_t min_object_bytes = 1 * 1024;
   std::size_t max_object_bytes = 512 * 1024;
   sim::Duration workload_window = sim::minutes(2);
+
+  // Pubsub workload: every node runs the GossipSub engine; each topic
+  // gets a random subscriber set (at least two members) and the
+  // publishes land at random points inside the workload window, from
+  // random nodes — subscribed or not, so the fanout path is exercised
+  // alongside the mesh. All pubsub randomness comes from dedicated rng
+  // forks, leaving the pre-existing schedule streams bit-identical.
+  std::size_t pubsub_topics = 2;
+  double pubsub_subscriber_fraction = 0.5;
+  std::size_t pubsub_publish_count = 5;
   // Stretch the run past provider-record expiry (26 h simulated) with
   // retrievals spread across the horizon, exercising the 12 h republish
   // and the expiry sweeps under faults.
@@ -100,6 +119,12 @@ struct ScheduleStats {
   std::uint64_t bytes_fetched = 0;
   std::uint64_t events_executed = 0;
   sim::FaultPlan::Counters faults;
+
+  // Pubsub workload totals (part of the fingerprint, so backend and
+  // replay determinism cover the gossip overlay too).
+  std::uint64_t pubsub_publishes = 0;    // publish calls that fired
+  std::uint64_t pubsub_deliveries = 0;   // subscriber callbacks invoked
+  std::uint64_t pubsub_duplicates = 0;   // dedup-cache suppressions
 
   std::size_t publishes_ok() const;
   std::size_t retrievals_attempted() const;

@@ -1,8 +1,15 @@
 // IPNS tests: record signing/verification, encode/decode, sequence
-// semantics and end-to-end publish/resolve over a DHT swarm.
+// semantics, end-to-end publish/resolve over a DHT swarm (with quorum
+// record selection), and the pubsub fast path.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+#include <vector>
+
 #include "ipns/ipns.h"
+#include "ipns/ipns_pubsub.h"
+#include "scenario/scenario.h"
 #include "testutil.h"
 
 namespace ipfs::ipns {
@@ -124,6 +131,225 @@ TEST(IpnsSwarmTest, ResolveUnknownNameFails) {
   swarm.simulator().run();
   EXPECT_TRUE(called);
   EXPECT_FALSE(resolved.has_value());
+}
+
+TEST(IpnsSwarmTest, QuorumResolveIgnoresStaleReplicas) {
+  // Divergent replicas: most record holders are stale (sequence 1), a
+  // few have the update (sequence 2). First-record-wins would usually
+  // return v1 here; the quorum walk must return v2.
+  TestSwarm swarm(50);
+  const auto keypair = keypair_of(11);
+  const auto name = multiformats::PeerId::from_public_key(keypair.public_key);
+  const dht::Key key = ipns_key(name);
+
+  const auto stale = IpnsRecord::create(keypair, cid_of("v1"), 1);
+  const auto fresh = IpnsRecord::create(keypair, cid_of("v2"), 2);
+  // Plant records directly (skipping the walk) so the divergence is
+  // total and deterministic: every node holds the stale copy, then two
+  // of the nodes closest to the key get the update — like a republish
+  // that only partially propagated through the replica set.
+  std::vector<std::size_t> by_distance(swarm.size());
+  for (std::size_t i = 0; i < swarm.size(); ++i) by_distance[i] = i;
+  std::sort(by_distance.begin(), by_distance.end(),
+            [&](std::size_t a, std::size_t b) {
+              return dht::Key::for_peer(swarm.ref(a).id).distance_to(key) <
+                     dht::Key::for_peer(swarm.ref(b).id).distance_to(key);
+            });
+  std::set<std::size_t> updated{by_distance[2], by_distance[5]};
+  for (std::size_t i = 0; i < swarm.size(); ++i) {
+    dht::ValueRecord value;
+    value.value = (updated.contains(i) ? fresh : stale).encode();
+    value.sequence = updated.contains(i) ? 2 : 1;
+    swarm.node(i).record_store().put_value(key, value);
+  }
+
+  std::optional<multiformats::Cid> resolved;
+  resolve(swarm.node(5), name,
+          [&](std::optional<multiformats::Cid> cid) { resolved = cid; });
+  swarm.simulator().run();
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(*resolved, cid_of("v2"));
+}
+
+TEST(IpnsSwarmTest, QuorumRejectsForgedHighSequence) {
+  // A forged record with a huge sequence must lose to a valid low one.
+  std::vector<dht::ValueRecord> values;
+  const auto keypair = keypair_of(12);
+  const auto name = multiformats::PeerId::from_public_key(keypair.public_key);
+
+  dht::ValueRecord good;
+  good.value = IpnsRecord::create(keypair, cid_of("real"), 3).encode();
+  good.sequence = 3;
+  values.push_back(good);
+
+  auto forged = IpnsRecord::create(keypair, cid_of("fake"), 3);
+  forged.sequence = 999;  // signature no longer covers this
+  dht::ValueRecord bad;
+  bad.value = forged.encode();
+  bad.sequence = 999;
+  values.push_back(bad);
+
+  const auto best = select_record(name, values);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->sequence, 3u);
+  EXPECT_EQ(best->target(), cid_of("real"));
+}
+
+// A swarm where every node runs a DHT server and a pubsub engine, with
+// one PubsubResolver per node.
+struct PubsubIpnsSwarm {
+  explicit PubsubIpnsSwarm(std::size_t size, std::uint64_t seed = 42)
+      : scenario(scenario::ScenarioBuilder()
+                     .peers(size)
+                     .seed(seed)
+                     .single_region(20.0)
+                     .dht_servers(true)
+                     .pubsub(true)
+                     .build()) {
+    for (std::size_t i = 0; i < size; ++i)
+      resolvers.push_back(std::make_unique<PubsubResolver>(
+          scenario.dht(i), scenario.pubsub(i)));
+  }
+
+  scenario::Scenario scenario;
+  std::vector<std::unique_ptr<PubsubResolver>> resolvers;
+};
+
+TEST(IpnsPubsubTest, FollowerResolvesFromBroadcastWithoutDht) {
+  PubsubIpnsSwarm swarm(30);
+  const auto keypair = keypair_of(13);
+  const auto name = multiformats::PeerId::from_public_key(keypair.public_key);
+
+  for (std::size_t i = 1; i < 30; ++i) swarm.resolvers[i]->follow(name);
+  swarm.scenario.simulator().run_until(sim::seconds(15));  // meshes form
+
+  bool published = false;
+  swarm.resolvers[0]->publish(keypair, cid_of("site v1"), 1,
+                              [&](bool ok, int) { published = ok; });
+  swarm.scenario.simulator().run_until(sim::minutes(5));
+  ASSERT_TRUE(published);
+
+  auto& metrics = swarm.scenario.network().metrics();
+  const std::uint64_t rpcs_before =
+      metrics.counter_value("dht.lookup.rpcs_sent");
+  std::optional<multiformats::Cid> resolved;
+  swarm.resolvers[20]->resolve(
+      name, [&](std::optional<multiformats::Cid> cid) { resolved = cid; });
+  // The cache answers synchronously: no simulator time may pass, and no
+  // DHT traffic may be added.
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(*resolved, cid_of("site v1"));
+  EXPECT_GE(metrics.counter_value("ipns.pubsub.cache_hit"), 1u);
+  EXPECT_EQ(metrics.counter_value("dht.lookup.rpcs_sent"), rpcs_before);
+}
+
+TEST(IpnsPubsubTest, NonFollowerFallsBackToDhtAndSeedsCache) {
+  PubsubIpnsSwarm swarm(30);
+  const auto keypair = keypair_of(14);
+  const auto name = multiformats::PeerId::from_public_key(keypair.public_key);
+
+  bool published = false;
+  swarm.resolvers[0]->publish(keypair, cid_of("fallback"), 1,
+                              [&](bool ok, int) { published = ok; });
+  swarm.scenario.simulator().run();
+  ASSERT_TRUE(published);
+
+  // Node 9 never followed the name: resolve must walk the DHT.
+  std::optional<multiformats::Cid> resolved;
+  swarm.resolvers[9]->resolve(
+      name, [&](std::optional<multiformats::Cid> cid) { resolved = cid; });
+  swarm.scenario.simulator().run();
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(*resolved, cid_of("fallback"));
+  EXPECT_GE(swarm.scenario.network().metrics().counter_value(
+                "ipns.pubsub.cache_miss"),
+            1u);
+
+  // The DHT result seeded the cache: the second resolve is local.
+  std::optional<multiformats::Cid> again;
+  swarm.resolvers[9]->resolve(
+      name, [&](std::optional<multiformats::Cid> cid) { again = cid; });
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, cid_of("fallback"));
+}
+
+TEST(IpnsPubsubTest, StaleBroadcastCannotRegressCache) {
+  PubsubIpnsSwarm swarm(20);
+  const auto keypair = keypair_of(15);
+  const auto name = multiformats::PeerId::from_public_key(keypair.public_key);
+
+  for (std::size_t i = 1; i < 20; ++i) swarm.resolvers[i]->follow(name);
+  swarm.scenario.simulator().run_until(sim::seconds(15));
+
+  swarm.resolvers[0]->publish(keypair, cid_of("v2"), 2, [](bool, int) {});
+  swarm.scenario.simulator().run_until(sim::minutes(3));
+  // Replay of an older record (e.g. a laggard rebroadcast).
+  swarm.scenario.pubsub(0).publish(
+      pubsub_topic(name), IpnsRecord::create(keypair, cid_of("v1"), 1).encode());
+  swarm.scenario.simulator().run_until(sim::minutes(6));
+
+  const auto cached = swarm.resolvers[11]->cached(name);
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ(cached->sequence, 2u);
+  EXPECT_EQ(cached->target(), cid_of("v2"));
+  EXPECT_GE(swarm.scenario.network().metrics().counter_value(
+                "ipns.pubsub.stale_ignored"),
+            1u);
+}
+
+TEST(IpnsPubsubTest, ForgedBroadcastIsRejected) {
+  PubsubIpnsSwarm swarm(20);
+  const auto keypair = keypair_of(16);
+  const auto attacker = keypair_of(17);
+  const auto name = multiformats::PeerId::from_public_key(keypair.public_key);
+
+  for (std::size_t i = 1; i < 20; ++i) swarm.resolvers[i]->follow(name);
+  swarm.scenario.simulator().run_until(sim::seconds(15));
+
+  // The attacker signs with its own key: self-certification must reject.
+  swarm.scenario.pubsub(5).publish(
+      pubsub_topic(name),
+      IpnsRecord::create(attacker, cid_of("evil"), 99).encode());
+  swarm.scenario.simulator().run_until(sim::minutes(2));
+
+  EXPECT_FALSE(swarm.resolvers[11]->cached(name).has_value());
+  EXPECT_GE(swarm.scenario.network().metrics().counter_value(
+                "ipns.pubsub.rejected"),
+            1u);
+}
+
+TEST(IpnsPubsubTest, RestartResubscribesFollowedNames) {
+  PubsubIpnsSwarm swarm(20);
+  const auto keypair = keypair_of(18);
+  const auto name = multiformats::PeerId::from_public_key(keypair.public_key);
+
+  for (std::size_t i = 1; i < 20; ++i) swarm.resolvers[i]->follow(name);
+  swarm.scenario.simulator().run_until(sim::seconds(15));
+
+  // Crash node 7: engine + resolver lose soft state, follow set persists.
+  auto& net = swarm.scenario.network();
+  net.set_online(swarm.scenario.node(7), false);
+  swarm.scenario.pubsub(7).handle_crash();
+  swarm.resolvers[7]->handle_crash();
+  swarm.scenario.simulator().run_until(sim::seconds(30));
+
+  net.set_online(swarm.scenario.node(7), true);
+  swarm.scenario.pubsub(7).handle_restart();
+  for (std::size_t j = 0; j < 20; ++j)
+    if (j != 7)
+      swarm.scenario.pubsub(7).add_candidate_peer(swarm.scenario.node(j));
+  swarm.resolvers[7]->handle_restart();
+  EXPECT_TRUE(swarm.resolvers[7]->following(name));
+  EXPECT_FALSE(swarm.resolvers[7]->cached(name).has_value());
+  swarm.scenario.simulator().run_until(sim::minutes(2));
+
+  // A post-restart publish must reach the resubscribed node's cache.
+  swarm.resolvers[0]->publish(keypair, cid_of("after restart"), 5,
+                              [](bool, int) {});
+  swarm.scenario.simulator().run_until(sim::minutes(6));
+  const auto cached = swarm.resolvers[7]->cached(name);
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ(cached->target(), cid_of("after restart"));
 }
 
 }  // namespace

@@ -111,6 +111,52 @@ TEST(SimFuzz, ZeroFaultScheduleRetrievesEverything) {
   EXPECT_EQ(report.stats.faults.total_injected(), 0u);
 }
 
+TEST(SimFuzz, PubsubWorkloadDeliversOnCleanSchedule) {
+  ScheduleParams params;
+  params.seed = 24601;
+  params.node_count = 16;
+  params.nat_fraction = 0.1;
+  params.flaky_fraction = 0.0;
+  params.publish_count = 2;
+  params.retrievals_per_object = 1;
+  params.fault_scale = 0.0;
+  params.faults = faults_for_scale(0.0, false);
+  params.pubsub_topics = 2;
+  params.pubsub_subscriber_fraction = 0.6;
+  params.pubsub_publish_count = 8;
+
+  const ScheduleReport report = run_schedule(params);
+  ASSERT_TRUE(report.ok()) << report.failure_summary();
+  EXPECT_GT(report.stats.pubsub_publishes, 0u);
+  // Every publish fans out to a multi-member subscriber set, so total
+  // deliveries must clearly exceed the publish count.
+  EXPECT_GT(report.stats.pubsub_deliveries, report.stats.pubsub_publishes);
+}
+
+TEST(SimFuzz, PubsubAtMostOnceHoldsUnderHeavyChurn) {
+  // Full-intensity faults: crash-restarts wipe dedup caches and force
+  // mesh repair, and the at-most-once ledger (which resets per subscriber
+  // crash) must still hold at every delivery.
+  ScheduleParams params;
+  params.seed = 777;
+  params.node_count = 18;
+  params.nat_fraction = 0.2;
+  params.flaky_fraction = 0.1;
+  params.publish_count = 2;
+  params.retrievals_per_object = 2;
+  params.fault_scale = 1.0;
+  params.faults = faults_for_scale(1.0, false);
+  params.pubsub_topics = 1;
+  params.pubsub_subscriber_fraction = 0.7;
+  params.pubsub_publish_count = 10;
+
+  const ScheduleReport report = run_schedule(params);
+  ASSERT_TRUE(report.ok()) << report.failure_summary();
+  EXPECT_GT(report.stats.faults.crashes, 0u)
+      << "schedule was meant to crash nodes";
+  EXPECT_GT(report.stats.pubsub_publishes, 0u);
+}
+
 TEST(SimFuzz, LongHorizonScheduleExpiresProviderRecords) {
   ScheduleParams params;
   params.seed = 9001;
