@@ -186,10 +186,10 @@ LookupHost DhtNode::make_lookup_host() {
   return host;
 }
 
-void DhtNode::start_lookup(LookupType type, const Key& target,
-                           std::vector<PeerRef> seeds, Lookup::Callback cb,
-                           std::optional<multiformats::PeerId> target_peer,
-                           metrics::SpanId parent_span) {
+const Lookup* DhtNode::start_lookup(
+    LookupType type, const Key& target, std::vector<PeerRef> seeds,
+    Lookup::Callback cb, std::optional<multiformats::PeerId> target_peer,
+    metrics::SpanId parent_span) {
   auto wrapped = [this, cb = std::move(cb)](LookupResult result) {
     cb(std::move(result));
   };
@@ -204,6 +204,16 @@ void DhtNode::start_lookup(LookupType type, const Key& target,
                                       [this, raw = lookup.get()] {
                                         active_lookups_.erase(raw);
                                       });
+  return lookup.get();
+}
+
+void DhtNode::cancel_lookup(const Lookup* handle) {
+  const auto it = active_lookups_.find(handle);
+  if (it == active_lookups_.end()) return;
+  it->second->abort();
+  // The daemon cleanup scheduled at start_lookup finds nothing: erasing
+  // a missing key is harmless.
+  active_lookups_.erase(it);
 }
 
 void DhtNode::run_autonat(std::vector<PeerRef> probes,
@@ -396,8 +406,12 @@ void DhtNode::schedule_republish() {
   republish_timer_ =
       network_.simulator().schedule_daemon_after(kRepublishInterval, [this] {
         if (network_.online(self_.node)) {
-          for (const auto& key : reprovide_keys_)
+          for (const auto& key : reprovide_keys_) {
             provide(key, [](ProvideResult) {});
+            // Re-advertise through the hook (network indexers): indexer
+            // state wiped by a crash is rebuilt on the republish cadence.
+            if (republish_hook_) republish_hook_(key);
+          }
         }
         schedule_republish();
       });
@@ -416,6 +430,13 @@ void DhtNode::find_providers(const Key& key, Lookup::Callback done,
   start_lookup(LookupType::kGetProviders, key,
                routing_table_.closest(key, kReplication), std::move(done),
                std::nullopt, parent_span);
+}
+
+const Lookup* DhtNode::find_providers_cancellable(
+    const Key& key, Lookup::Callback done, metrics::SpanId parent_span) {
+  return start_lookup(LookupType::kGetProviders, key,
+                      routing_table_.closest(key, kReplication),
+                      std::move(done), std::nullopt, parent_span);
 }
 
 void DhtNode::find_peer(

@@ -109,6 +109,28 @@ class DhtNode {
   // (e.g. a retrieval's provider_walk) — purely observational.
   void find_providers(const Key& key, Lookup::Callback done,
                       metrics::SpanId parent_span = 0);
+
+  // Cancellable variant for the routing layer (routing::DhtRouter): the
+  // returned handle identifies the walk for cancel_lookup(). Valid until
+  // the callback fires; a raced RaceRouter holds it to put down the
+  // losing walk.
+  const Lookup* find_providers_cancellable(const Key& key,
+                                           Lookup::Callback done,
+                                           metrics::SpanId parent_span = 0);
+
+  // Aborts the identified walk WITHOUT invoking its callback and cancels
+  // its deadline timer (no dangling foreground events). No-op for
+  // handles whose walk already finished or was never started here.
+  void cancel_lookup(const Lookup* handle);
+
+  // Invoked once per reprovided key each time the 12 h republish timer
+  // fires. The node layer uses it to re-advertise to network indexers,
+  // so indexer state (wiped by indexer crashes) is rebuilt on the same
+  // cadence as DHT provider records.
+  using RepublishHook = std::function<void(const Key&)>;
+  void set_republish_hook(RepublishHook hook) {
+    republish_hook_ = std::move(hook);
+  }
   void find_peer(const multiformats::PeerId& peer,
                  std::function<void(std::optional<PeerRef>, LookupResult)> done,
                  metrics::SpanId parent_span = 0);
@@ -146,11 +168,11 @@ class DhtNode {
   }
 
  private:
-  void start_lookup(LookupType type, const Key& target,
-                    std::vector<PeerRef> seeds, Lookup::Callback cb,
-                    std::optional<multiformats::PeerId> target_peer =
-                        std::nullopt,
-                    metrics::SpanId parent_span = 0);
+  const Lookup* start_lookup(LookupType type, const Key& target,
+                             std::vector<PeerRef> seeds, Lookup::Callback cb,
+                             std::optional<multiformats::PeerId> target_peer =
+                                 std::nullopt,
+                             metrics::SpanId parent_span = 0);
   LookupHost make_lookup_host();
   void run_autonat(std::vector<PeerRef> probes, std::function<void()> done);
   void schedule_republish();
@@ -164,6 +186,7 @@ class DhtNode {
   RecordStore own_records_;
   RecordStore* records_;  // &own_records_ unless a shared store is used
   std::unordered_set<Key, KeyHasher> reprovide_keys_;
+  RepublishHook republish_hook_;
   sim::Timer republish_timer_;
   sim::Timer expiry_timer_;
   // Keeps in-flight lookups alive.

@@ -72,6 +72,14 @@ void Gateway::account(const Cid& cid, const GatewayResponse& response) {
       .record(response.latency);
   metrics.instant("gateway.served." + name, node_.node(), cid.to_string(),
                   response.bytes);
+  // P2P-tier requests additionally record which routing path served them
+  // (the indexer-vs-DHT split of the bridge's upstream traffic).
+  if (response.source == ServedFrom::kP2p) {
+    metrics
+        .counter(std::string("gateway.routing.") +
+                 routing::source_name(response.routing_source))
+        .inc();
+  }
 }
 
 void Gateway::handle_get(const Cid& cid,
@@ -126,6 +134,7 @@ void Gateway::serve(const Cid& cid, bool account_tier,
     }
     response.source = ServedFrom::kP2p;
     response.latency = trace.total;
+    response.routing_source = trace.routing_source;
     // The bridge node serves millions of CIDs from ever-changing
     // providers; its connection manager churns through connections far
     // faster than our handful of simulated hosts would suggest. Drop the
@@ -205,8 +214,10 @@ void Gateway::handle_get_path(const Cid& root, const std::string& path,
     serve(*target, /*account_tier=*/false,
           [this, root, trace, done = std::move(done)](
               GatewayResponse response) {
-            if (response.source != ServedFrom::kFailed)
+            if (response.source != ServedFrom::kFailed) {
               response.source = ServedFrom::kP2p;
+              response.routing_source = trace.routing_source;
+            }
             response.latency += trace.total;
             // Transient blocks are dropped as in handle_get's P2P path.
             if (!node_.store().pinned(root)) {

@@ -32,6 +32,10 @@ struct GatewayResponse {
   ServedFrom source = ServedFrom::kFailed;
   sim::Duration latency = 0;  // upstream latency as logged by nginx
   std::uint64_t bytes = 0;
+  // For P2P-tier responses: which routing path found the provider
+  // (kNone when Bitswap resolved it opportunistically or the retrieval
+  // failed). Feeds the gateway.routing.* counters.
+  routing::Source routing_source = routing::Source::kNone;
 };
 
 // Aggregate counters per tier (Table 5 inputs).

@@ -1,0 +1,40 @@
+// Wire messages of the delegated-routing indexer protocol (modelled on
+// the IPNI advertisement/query split used by cid.contact). Sizes are
+// approximations that only influence simulated transfer delays.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dht/key.h"
+#include "dht/messages.h"
+#include "sim/network.h"
+
+namespace ipfs::indexer {
+
+// Advertisement pushed by a content provider on provide/reprovide.
+// Fire-and-forget, like the DHT's ADD_PROVIDER: the publisher does not
+// wait for an acknowledgement, and the indexer ingests asynchronously.
+struct AdvertiseMessage : sim::Message {
+  dht::Key key;
+  dht::PeerRef provider;
+};
+
+// One-RTT delegated provider lookup.
+struct QueryRequest : sim::Message {
+  dht::Key key;
+};
+
+struct QueryResponse : sim::Message {
+  std::vector<dht::ProviderRecord> providers;
+};
+
+constexpr std::size_t kAdvertiseBytes =
+    dht::kRequestBaseBytes + dht::kPeerRefBytes;
+constexpr std::size_t kQueryBytes = dht::kRequestBaseBytes;
+
+inline std::size_t query_response_size(std::size_t records) {
+  return dht::kRequestBaseBytes + records * dht::kPeerRefBytes;
+}
+
+}  // namespace ipfs::indexer

@@ -80,9 +80,10 @@ sim::Duration Registry::end_span(SpanId id, bool ok, std::uint64_t value) {
 }
 
 void Registry::instant(const std::string& name, NodeId node, std::string cid,
-                       std::uint64_t value, NodeId peer) {
+                       std::uint64_t value, NodeId peer, SpanId parent) {
   TraceEvent event;
   event.kind = EventKind::kInstant;
+  event.parent = parent;
   event.name = name;
   event.time = clock_();
   event.node = node;

@@ -112,10 +112,13 @@ class Registry {
   // twice must stay harmless).
   sim::Duration end_span(SpanId id, bool ok = true, std::uint64_t value = 0);
 
-  // Point event without duration.
+  // Point event without duration. `parent` links the instant to an open
+  // (or recently closed) span, so per-operation facts — e.g. which
+  // routing path won a retrieval — stay attached to the operation's span
+  // tree in the exported trace.
   void instant(const std::string& name, NodeId node = kNoNode,
                std::string cid = {}, std::uint64_t value = 0,
-               NodeId peer = kNoNode);
+               NodeId peer = kNoNode, SpanId parent = 0);
 
   // --- Introspection -------------------------------------------------------
 

@@ -37,6 +37,7 @@ IpfsNode::IpfsNode(sim::Network& network, const IpfsNodeConfig& config)
       keypair_(derive_keypair(config.identity_seed)),
       dht_(network, node_, peer_id_for(keypair_),
            {multiformats::make_tcp_multiaddr("10.0.0.1", 4001)}),
+      router_(routing::make_router(network, node_, dht_, config.routing)),
       bitswap_(network, node_, store_),
       conn_manager_(network, node_, config.conn_manager) {
   // Protocol multiplexer: route requests to the DHT, then Bitswap.
@@ -56,6 +57,15 @@ IpfsNode::IpfsNode(sim::Network& network, const IpfsNodeConfig& config)
     if (pubsub_config.seed == 0) pubsub_config.seed = config.identity_seed;
     pubsub_ = std::make_unique<pubsub::Pubsub>(network_, node_, pubsub_config);
     name_resolver_ = std::make_unique<ipns::PubsubResolver>(dht_, *pubsub_);
+  }
+  if (!config_.routing.indexers.empty()) {
+    // The 12 h republish re-advertises to indexers too, so indexer state
+    // (wiped by an indexer crash) survives on the same cadence as DHT
+    // provider records.
+    dht_.set_republish_hook([this](const dht::Key& key) {
+      routing::advertise_to_indexers(network_, node_, config_.routing, key,
+                                     dht_.self());
+    });
   }
 }
 
@@ -81,6 +91,12 @@ void IpfsNode::provide(const Cid& cid, std::function<void(PublishTrace)> done,
                        std::size_t max_records) {
   const dht::Key key = dht::Key::for_cid(cid);
   metrics::Registry& metrics = network_.metrics();
+
+  // Advertisement push to the configured indexers runs alongside the DHT
+  // publication (the IPNI announce path is independent of the DHT walk).
+  // Records become queryable after the indexers' ingest lag.
+  routing::advertise_to_indexers(network_, node_, config_.routing, key,
+                                 dht_.self());
 
   // The trace's timing fields are derived from these spans: each phase
   // duration is whatever end_span reports, not a hand-maintained clock.
@@ -175,16 +191,19 @@ void IpfsNode::retrieve(const Cid& cid,
           return;
         }
 
-        // Phase 2: content discovery via DHT walk #1 (step 5).
+        // Phase 2: content discovery through the configured ContentRouter
+        // (step 5: the DHT walk, a delegated indexer query, or a race).
         const metrics::SpanId walk_span = network_.metrics().begin_span(
             "retrieve.provider_walk", node_, cid.to_string(), ctx->span);
-        dht_.find_providers(
+        router_->find_providers(
             dht::Key::for_cid(cid),
             [this, ctx, walk_span,
-             done = std::move(done)](dht::LookupResult result) {
-              ctx->trace.provider_walk = network_.metrics().end_span(
-                  walk_span, !result.providers.empty());
-              if (result.providers.empty()) {
+             done = std::move(done)](routing::FindResult result) {
+              ctx->trace.provider_walk =
+                  network_.metrics().end_span(walk_span, result.ok);
+              record_routing_outcome(ctx, result.source,
+                                     ctx->trace.provider_walk);
+              if (!result.ok) {
                 finish(ctx, done);
                 return;
               }
@@ -243,15 +262,16 @@ void IpfsNode::retrieve_parallel(std::shared_ptr<RetrievalCtx> ctx,
       },
       config_.bitswap_early_exit);
 
-  dht_.find_providers(
+  router_->find_providers(
       dht::Key::for_cid(ctx->trace.cid),
       [this, race, ctx, walk_span, done_shared,
-       fail_if_both_missed](dht::LookupResult result) {
+       fail_if_both_missed](routing::FindResult result) {
         race->walk_done = true;
         const sim::Duration elapsed = network_.metrics().end_span(
-            walk_span, !result.providers.empty() && !race->fetching);
-        if (race->fetching) return;
-        if (!result.providers.empty()) {
+            walk_span, result.ok && !race->fetching);
+        if (race->fetching) return;  // Bitswap won; the source stays kNone
+        record_routing_outcome(ctx, result.source, elapsed);
+        if (result.ok) {
           race->fetching = true;
           ctx->trace.provider_walk = elapsed;
           finish_retrieval(ctx, result.providers.front().provider,
@@ -261,6 +281,19 @@ void IpfsNode::retrieve_parallel(std::shared_ptr<RetrievalCtx> ctx,
         fail_if_both_missed();
       },
       walk_span);
+}
+
+void IpfsNode::record_routing_outcome(const std::shared_ptr<RetrievalCtx>& ctx,
+                                      routing::Source source,
+                                      sim::Duration elapsed) {
+  ctx->trace.routing_source = source;
+  metrics::Registry& metrics = network_.metrics();
+  const std::string name = routing::source_name(source);
+  metrics.counter("routing.source." + name).inc();
+  metrics.histogram("routing.latency." + name).record(elapsed);
+  metrics.instant("retrieve.routing_source", node_, ctx->trace.cid.to_string(),
+                  static_cast<std::uint64_t>(source), metrics::kNoNode,
+                  ctx->span);
 }
 
 void IpfsNode::finish_retrieval(std::shared_ptr<RetrievalCtx> ctx,
@@ -372,6 +405,9 @@ void IpfsNode::follow_name(const multiformats::PeerId& name) {
 }
 
 void IpfsNode::handle_crash() {
+  // The router first: it cancels its in-flight walks through dht_ and
+  // closes its spans while the lookup handles are still registered.
+  router_->handle_crash();
   dht_.handle_crash();
   bitswap_.handle_crash();
   if (pubsub_) pubsub_->handle_crash();

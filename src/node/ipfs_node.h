@@ -18,6 +18,7 @@
 #include "node/address_book.h"
 #include "node/connection_manager.h"
 #include "pubsub/pubsub.h"
+#include "routing/router.h"
 
 namespace ipfs::node {
 
@@ -45,6 +46,11 @@ struct IpfsNodeConfig {
   // default, mirroring go-ipfs's --enable-namesys-pubsub experiment).
   bool enable_pubsub = false;
   pubsub::PubsubConfig pubsub;
+  // Content-routing selection (docs/ROUTING.md): the DHT walk (default),
+  // delegated network indexers, or a first-success race of both. With
+  // indexers configured, provide/reprovide additionally pushes
+  // advertisements to them.
+  routing::RoutingConfig routing;
 };
 
 // Timing decomposition of one publication (Figure 9a-c).
@@ -64,6 +70,10 @@ struct RetrievalTrace {
   bool local_hit = false;
   bool bitswap_hit = false;
   bool used_peer_walk = false;  // address book missed; second walk needed
+  // Which routing path resolved the provider (kNone when the content
+  // came from the local store or an opportunistic Bitswap hit, or when
+  // provider discovery failed).
+  routing::Source routing_source = routing::Source::kNone;
 
   sim::Duration bitswap_discovery = 0;  // opportunistic phase (<= 1 s)
   sim::Duration provider_walk = 0;      // DHT walk #1: provider record
@@ -164,6 +174,7 @@ class IpfsNode {
   ConnectionManager& connection_manager() { return conn_manager_; }
   pubsub::Pubsub* pubsub() { return pubsub_.get(); }
   ipns::PubsubResolver* name_resolver() { return name_resolver_.get(); }
+  routing::ContentRouter& router() { return *router_; }
 
   sim::Network& network() { return network_; }
   dht::PeerRef self() const { return dht_.self(); }
@@ -190,6 +201,14 @@ class IpfsNode {
   void fetch_from(std::shared_ptr<RetrievalCtx> ctx, sim::NodeId peer,
                   std::function<void(RetrievalTrace)> done);
 
+  // Single accounting point for a resolved (or failed) provider lookup:
+  // stamps the trace, bumps routing.source.* / routing.latency.*, and
+  // emits the retrieve.routing_source instant parented under the
+  // retrieval's root span (so the winning source is derivable from the
+  // JSONL trace alone).
+  void record_routing_outcome(const std::shared_ptr<RetrievalCtx>& ctx,
+                              routing::Source source, sim::Duration elapsed);
+
   static crypto::Ed25519KeyPair derive_keypair(std::uint64_t seed);
 
   sim::Network& network_;
@@ -198,6 +217,8 @@ class IpfsNode {
   crypto::Ed25519KeyPair keypair_;
   blockstore::BlockStore store_;
   dht::DhtNode dht_;
+  // References dht_, so member order is load-bearing.
+  std::unique_ptr<routing::ContentRouter> router_;
   bitswap::Bitswap bitswap_;
   AddressBook address_book_;
   ConnectionManager conn_manager_;

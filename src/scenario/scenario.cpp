@@ -94,6 +94,21 @@ ScenarioBuilder& ScenarioBuilder::pubsub_candidates(
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::indexers(std::size_t n) {
+  indexer_count_ = n;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::indexer_config(indexer::IndexerConfig config) {
+  indexer_config_ = config;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::routing(routing::RoutingConfig::Mode mode) {
+  routing_mode_ = mode;
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::faults(sim::FaultConfig config) {
   fault_config_ = config;
   return *this;
@@ -216,6 +231,16 @@ Scenario ScenarioBuilder::build() const {
     }
   }
 
+  // Indexers go in last — after every peer node — so turning the knob
+  // leaves pre-existing node ids and rng streams bit-identical. They
+  // draw no randomness of their own.
+  scenario.routing_.mode = routing_mode_;
+  for (std::size_t i = 0; i < indexer_count_; ++i) {
+    scenario.indexers_.push_back(std::make_unique<indexer::Indexer>(
+        *scenario.network_, indexer_config_));
+    scenario.routing_.indexers.push_back(scenario.indexers_.back()->node());
+  }
+
   if (fault_config_) {
     scenario.faults_ = std::make_unique<sim::FaultPlan>(
         *scenario.network_, *fault_config_, seed_);
@@ -236,6 +261,8 @@ world::WorldConfig ScenarioBuilder::world_config() const {
   config.dcutr_share = dcutr_share_;
   config.hydra_count = hydra_count_;
   config.hydra_heads = hydra_heads_;
+  config.indexer_count = indexer_count_;
+  config.indexer = indexer_config_;
   return config;
 }
 

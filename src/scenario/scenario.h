@@ -83,6 +83,16 @@ class Scenario {
   // not armed; call faults().arm() to start background fault processes.
   sim::FaultPlan* faults() { return faults_.get(); }
 
+  // Empty unless indexers(n) was set. Indexer nodes are appended to the
+  // network after every peer node so enabling them leaves pre-existing
+  // node ids and seeded rng streams bit-identical.
+  std::size_t indexer_count() const { return indexers_.size(); }
+  indexer::Indexer& indexer(std::size_t i) { return *indexers_[i]; }
+
+  // Routing config carrying the builder's routing(mode) choice plus the
+  // NodeIds of every built indexer — what an IpfsNodeConfig wants.
+  const routing::RoutingConfig& routing_config() const { return routing_; }
+
  private:
   friend class ScenarioBuilder;
 
@@ -94,8 +104,10 @@ class Scenario {
   // Declared after dht_nodes_ so engines (holding Timer handles) are
   // destroyed before the fabric members above them.
   std::vector<std::unique_ptr<pubsub::Pubsub>> pubsub_nodes_;
+  std::vector<std::unique_ptr<indexer::Indexer>> indexers_;
   std::vector<dht::PeerRef> refs_;
   std::unique_ptr<sim::FaultPlan> faults_;
+  routing::RoutingConfig routing_;
 };
 
 class ScenarioBuilder {
@@ -140,6 +152,15 @@ class ScenarioBuilder {
   ScenarioBuilder& pubsub_config(pubsub::PubsubConfig config);
   ScenarioBuilder& pubsub_candidates(std::size_t picks_per_node);
 
+  // Network indexers for delegated content routing (docs/ROUTING.md).
+  // build() appends `n` indexer nodes after every peer node; build_world()
+  // maps the knobs onto WorldConfig::indexer_count / ::indexer. routing()
+  // selects the ContentRouter mode the scenario's routing_config() (and
+  // World::routing_config()) hands to IpfsNodeConfig::routing.
+  ScenarioBuilder& indexers(std::size_t n);
+  ScenarioBuilder& indexer_config(indexer::IndexerConfig config);
+  ScenarioBuilder& routing(routing::RoutingConfig::Mode mode);
+
   // Constructs (but does not arm) a FaultPlan over the built network.
   ScenarioBuilder& faults(sim::FaultConfig config);
 
@@ -179,6 +200,9 @@ class ScenarioBuilder {
   std::size_t pubsub_candidates_ = 10;
   std::optional<sim::FaultConfig> fault_config_;
   std::size_t trace_capacity_ = 0;
+  std::size_t indexer_count_ = 0;
+  indexer::IndexerConfig indexer_config_{};
+  routing::RoutingConfig::Mode routing_mode_ = routing::RoutingConfig::Mode::kDht;
 
   bool enable_churn_ = true;
   std::size_t bootstrap_count_ = 6;

@@ -9,9 +9,11 @@
 #include <sstream>
 
 #include "dht/record_store.h"
+#include "indexer/indexer.h"
 #include "merkledag/merkledag.h"
 #include "node/ipfs_node.h"
 #include "pubsub/pubsub.h"
+#include "routing/router.h"
 #include "scenario/scenario.h"
 #include "stats/jsonl.h"
 
@@ -100,6 +102,16 @@ ScheduleParams make_schedule(std::uint64_t seed) {
   params.pubsub_subscriber_fraction = pubsub_rng.uniform(0.2, 0.8);
   params.pubsub_publish_count = static_cast<std::size_t>(
       pubsub_rng.uniform_int(2, params.long_horizon ? 4 : 10));
+
+  // Same deal for the delegated-routing knobs: their own fork, appended
+  // after the earlier ones, so historical seeds keep their schedules.
+  sim::Rng indexer_rng = sim::Rng(seed).fork("schedule-indexer");
+  params.indexer_count =
+      indexer_rng.chance(0.5)
+          ? static_cast<std::size_t>(indexer_rng.uniform_int(1, 2))
+          : 0;
+  params.indexer_ingest_lag = sim::seconds(indexer_rng.uniform(1.0, 45.0));
+  params.indexer_crashes = indexer_rng.chance(0.5);
   return params;
 }
 
@@ -122,7 +134,10 @@ std::string ScheduleParams::describe() const {
       << sim::to_seconds(faults.max_downtime) << "]"
       << " pubsub_topics=" << pubsub_topics
       << " pubsub_sub_frac=" << pubsub_subscriber_fraction
-      << " pubsub_publishes=" << pubsub_publish_count << "}\n"
+      << " pubsub_publishes=" << pubsub_publish_count
+      << " indexers=" << indexer_count
+      << " indexer_ingest_lag_s=" << sim::to_seconds(indexer_ingest_lag)
+      << " indexer_crashes=" << (indexer_crashes ? 1 : 0) << "}\n"
       << "replay: IPFS_FUZZ_SEED=" << seed
       << " IPFS_FUZZ_SCHEDULES=1 ./tests/simfuzz_test";
   return out.str();
@@ -161,7 +176,9 @@ std::string ScheduleStats::fingerprint() const {
       << "}\n"
       << "pubsub{publishes=" << pubsub_publishes
       << " deliveries=" << pubsub_deliveries
-      << " dedup=" << pubsub_duplicates << "}\n";
+      << " dedup=" << pubsub_duplicates << "}\n"
+      << "indexer{crashes=" << indexer_crashes
+      << " routed=" << indexer_routed << "}\n";
   auto sorted = ops;
   std::sort(sorted.begin(), sorted.end(),
             [](const OpRecord& a, const OpRecord& b) {
@@ -208,14 +225,27 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
   // Keep the flight recorder bounded: a 26 h long-horizon schedule emits
   // far more trace events than a post-mortem needs, and the registry
   // counts what it drops (trace_dropped) so the dump is honest about it.
-  scenario::Scenario fabric = scenario::ScenarioBuilder()
-                                  .seed(params.seed)
-                                  .scheduler(params.scheduler)
-                                  .regions(fuzz_latency_matrix())
-                                  .trace_capacity(200'000)
-                                  .build();
+  scenario::Scenario fabric =
+      scenario::ScenarioBuilder()
+          .seed(params.seed)
+          .scheduler(params.scheduler)
+          .regions(fuzz_latency_matrix())
+          .trace_capacity(200'000)
+          .indexers(params.indexer_count)
+          .indexer_config(indexer::IndexerConfig().with_ingest_lag(
+              params.indexer_ingest_lag))
+          .routing(routing::RoutingConfig::Mode::kRace)
+          .build();
   sim::Simulator& simulator = fabric.simulator();
   sim::Network& network = fabric.network();
+
+  // The builder appends indexer nodes before the population below, so
+  // the world's NodeIds start past them; node_index maps back to the
+  // `nodes` vector (identity when the schedule has no indexers).
+  const std::size_t node_id_offset = fabric.indexer_count();
+  const auto node_index = [node_id_offset](sim::NodeId id) {
+    return static_cast<std::size_t>(id) - node_id_offset;
+  };
 
   // ---- World -------------------------------------------------------------
   const std::size_t node_count = std::max(params.node_count, kBootstrapCount + 2);
@@ -233,6 +263,7 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
     // event count with idle mesh maintenance; long-horizon schedules
     // coarsen the heartbeat instead (mesh repair just converges slower).
     if (params.long_horizon) config.pubsub.with_heartbeat(sim::seconds(30));
+    if (fabric.indexer_count() > 0) config.routing = fabric.routing_config();
     bool stable = true;
     if (i >= kBootstrapCount) {
       if (world_rng.chance(params.nat_fraction)) {
@@ -415,7 +446,7 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
   sim::FaultPlan plan(network, params.faults, params.seed);
   std::vector<std::vector<sim::Time>> crash_times(node_count);
   plan.add_crash_listener([&](sim::NodeId node_id, bool online) {
-    const auto index = static_cast<std::size_t>(node_id);
+    const std::size_t index = node_index(node_id);
     if (!online) {
       crash_times[index].push_back(simulator.now());
       nodes[index]->handle_crash();
@@ -434,6 +465,33 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
   });
   for (std::size_t i = kBootstrapCount; i < node_count; ++i)
     plan.manage_crashes(nodes[i]->node());
+
+  // ---- Indexer crash schedule --------------------------------------------
+  // Harness-scheduled (not FaultPlan-drawn) so the dedicated fork leaves
+  // every pre-existing fault stream bit-identical: each indexer crashes
+  // once at a random point in the workload window and restarts after a
+  // short downtime with an empty index — the soft state only refills via
+  // fresh advertisements, so the race router must carry the fetches on
+  // its DHT arm meanwhile (invariant 10).
+  sim::Rng indexer_rng = base_rng.fork("fuzz-indexer");
+  if (params.indexer_crashes) {
+    for (std::size_t i = 0; i < fabric.indexer_count(); ++i) {
+      const sim::Duration crash_at = sim::seconds(indexer_rng.uniform(
+          0.0, sim::to_seconds(params.workload_window)));
+      const sim::Duration downtime =
+          sim::seconds(indexer_rng.uniform(10.0, 60.0));
+      simulator.schedule_after(crash_at, [&, i, downtime] {
+        const sim::NodeId id = fabric.indexer(i).node();
+        network.set_online(id, false);
+        fabric.indexer(i).handle_crash();
+        ++stats.indexer_crashes;
+        simulator.schedule_after(downtime, [&, i, id] {
+          network.set_online(id, true);
+          fabric.indexer(i).handle_restart();
+        });
+      });
+    }
+  }
 
   // ---- Workload construction ---------------------------------------------
   struct FuzzObject {
@@ -538,13 +596,21 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
               op.ok = trace.ok;
               op.elapsed = simulator.now() - op.start;
               stats.bytes_fetched += trace.bytes;
+              const bool via_indexer =
+                  trace.routing_source == routing::Source::kIndexer;
+              if (trace.ok && via_indexer) ++stats.indexer_routed;
               if (trace.ok) {
                 const auto reassembled = merkledag::cat(
                     nodes[retrieval.retriever]->store(), objects[oi].cid);
                 if (!reassembled || *reassembled != objects[oi].data) {
+                  // (9) An indexer-routed fetch must be byte-identical to
+                  // the DHT path: delegation changes provider discovery,
+                  // never the fetched content.
                   std::ostringstream out;
-                  out << "content mismatch: retrieval obj=" << oi << " node="
-                      << op.node << " reported ok but bytes differ";
+                  out << (via_indexer ? "indexer-routed content mismatch"
+                                      : "content mismatch")
+                      << ": retrieval obj=" << oi << " node=" << op.node
+                      << " reported ok but bytes differ";
                   violations.push_back(out.str());
                 }
               }
@@ -616,7 +682,7 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
   // inline above.)
   for (const auto& op : stats.ops) {
     if (!op.attempted || op.completed) continue;
-    const auto& crashes = crash_times[op.node];
+    const auto& crashes = crash_times[node_index(op.node)];
     const bool crashed_after_start = std::any_of(
         crashes.begin(), crashes.end(),
         [&](sim::Time t) { return t >= op.start; });
@@ -679,8 +745,7 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
   // (6) Conservation: received(a <- b) <= sent(b -> a), blocks and bytes.
   for (std::size_t a = 0; a < node_count; ++a) {
     for (const auto& [peer, ledger] : nodes[a]->bitswap().ledgers()) {
-      const auto& peer_ledgers =
-          nodes[static_cast<std::size_t>(peer)]->bitswap().ledgers();
+      const auto& peer_ledgers = nodes[node_index(peer)]->bitswap().ledgers();
       const auto it = peer_ledgers.find(nodes[a]->node());
       const std::uint64_t sent_blocks =
           it == peer_ledgers.end() ? 0 : it->second.blocks_sent;
@@ -736,6 +801,24 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
           violations.push_back(out.str());
         }
       }
+    }
+  }
+
+  // (10) Indexer crashes are non-fatal: when the harness-scheduled
+  // indexer crashes were the only faults in the schedule, the race
+  // router's DHT arm must have carried every fetch — a retrieval that
+  // fails here is one a DHT-only configuration would have served.
+  if (params.fault_scale == 0.0 && stats.faults.crashes == 0 &&
+      stats.indexer_crashes > 0) {
+    for (const auto& op : stats.ops) {
+      if (op.kind != OpRecord::Kind::kRetrieve || !op.attempted) continue;
+      if (op.completed && op.ok) continue;
+      std::ostringstream out;
+      out << "indexer crash degraded retrieval: obj=" << op.object
+          << " node=" << op.node << " (completed=" << op.completed
+          << " ok=" << op.ok << ") on a schedule whose only faults were "
+          << stats.indexer_crashes << " indexer crash(es)";
+      violations.push_back(out.str());
     }
   }
 

@@ -29,6 +29,15 @@
 //      message published to it exactly once by the end of the drain.
 //      Faulty schedules can partition a mesh for longer than the run
 //      lasts, so there only invariant 7 binds.
+//   9. Routing equivalence: a retrieval served via the delegated indexer
+//      path reassembles exactly the published bytes — the indexer may
+//      only change *where* providers are found, never *what* Bitswap
+//      fetches.
+//  10. Indexer crashes are non-fatal: on schedules whose only faults are
+//      harness-scheduled indexer crashes (fault scale 0, no population
+//      crashes), every attempted retrieval still succeeds — the race
+//      router must degrade to the DHT path, so no fetch fails that a
+//      DHT-only configuration would have served.
 //
 // Any violation message embeds ScheduleParams::describe(), which includes
 // the seed and a one-command replay line.
@@ -77,6 +86,17 @@ struct ScheduleParams {
   std::size_t pubsub_topics = 2;
   double pubsub_subscriber_fraction = 0.5;
   std::size_t pubsub_publish_count = 5;
+
+  // Delegated content routing (docs/ROUTING.md): when indexer_count > 0
+  // the schedule appends that many indexer nodes and every IPFS node
+  // routes provider discovery through a RaceRouter over them. With
+  // indexer_crashes set, each indexer is crashed once at a random point
+  // inside the workload window and restarted after a short downtime, all
+  // from a dedicated rng fork (invariant 10 above). indexer_count = 0
+  // reproduces the pre-indexer schedules bit-identically.
+  std::size_t indexer_count = 0;
+  sim::Duration indexer_ingest_lag = sim::seconds(30);
+  bool indexer_crashes = false;
   // Stretch the run past provider-record expiry (26 h simulated) with
   // retrievals spread across the horizon, exercising the 12 h republish
   // and the expiry sweeps under faults.
@@ -125,6 +145,10 @@ struct ScheduleStats {
   std::uint64_t pubsub_publishes = 0;    // publish calls that fired
   std::uint64_t pubsub_deliveries = 0;   // subscriber callbacks invoked
   std::uint64_t pubsub_duplicates = 0;   // dedup-cache suppressions
+
+  // Delegated-routing workload totals.
+  std::uint64_t indexer_crashes = 0;     // harness-scheduled indexer crashes
+  std::uint64_t indexer_routed = 0;      // retrievals won by the indexer path
 
   std::size_t publishes_ok() const;
   std::size_t retrievals_attempted() const;

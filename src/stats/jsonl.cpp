@@ -134,7 +134,8 @@ void export_trace_jsonl(const metrics::Registry& registry, std::ostream& out) {
           << ",\"value\":" << event.value << ",\"dur_us\":" << event.duration;
     }
     if (event.kind == metrics::EventKind::kInstant) {
-      out << ",\"value\":" << event.value;
+      out << ",\"value\":" << event.value
+          << ",\"parent\":" << event.parent;
     }
     out << "}\n";
   }

@@ -43,6 +43,7 @@ World::World(const WorldConfig& config)
 
   build_nodes();
   build_hydras();
+  build_indexers();
   seed_routing_tables();
   if (config_.enable_churn) start_churn();
 }
@@ -131,6 +132,27 @@ void World::build_hydras() {
       dht_nodes_.push_back(std::move(dht));
     }
   }
+}
+
+void World::build_indexers() {
+  // Network indexers: stable infrastructure appended after the
+  // population (and hydras), so they are exempt from churn and their
+  // presence never shifts the population's node ids or rng draws. Placed
+  // round-robin across regions like hydras.
+  for (std::size_t i = 0; i < config_.indexer_count; ++i) {
+    indexer::IndexerConfig config = config_.indexer;
+    config.net.region = static_cast<int>(i % kRegionCount);
+    config.net.dialable = true;
+    indexers_.push_back(std::make_unique<indexer::Indexer>(*network_, config));
+  }
+}
+
+routing::RoutingConfig World::routing_config(
+    routing::RoutingConfig::Mode mode) const {
+  routing::RoutingConfig config;
+  config.mode = mode;
+  for (const auto& ix : indexers_) config.indexers.push_back(ix->node());
+  return config;
 }
 
 void World::seed_routing_tables() {

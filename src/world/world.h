@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "dht/dht_node.h"
+#include "indexer/indexer.h"
+#include "routing/router.h"
 #include "sim/churn.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -34,6 +36,11 @@ struct WorldConfig {
   // measured world.
   std::size_t hydra_count = 0;
   std::size_t hydra_heads = 10;
+  // Network indexers (delegated content routing, docs/ROUTING.md):
+  // stable, well-provisioned nodes placed round-robin across regions,
+  // exempt from churn. 0 reproduces the paper's measured world.
+  std::size_t indexer_count = 0;
+  indexer::IndexerConfig indexer;
 };
 
 // Deterministic PeerID for bulk simulation peers: identity-multihash
@@ -71,9 +78,19 @@ class World {
   // population; profile() is not valid for them).
   std::size_t regular_peer_count() const { return population_.peers.size(); }
 
+  // --- Network indexers (delegated routing) -------------------------------
+
+  std::size_t indexer_count() const { return indexers_.size(); }
+  indexer::Indexer& indexer(std::size_t i) { return *indexers_[i]; }
+
+  // Routing config for a measurement node wanting `mode` against this
+  // world's indexers (their NodeIds in construction order).
+  routing::RoutingConfig routing_config(routing::RoutingConfig::Mode mode) const;
+
  private:
   void build_nodes();
   void build_hydras();
+  void build_indexers();
   void seed_routing_tables();
   void start_churn();
 
@@ -84,6 +101,7 @@ class World {
   Population population_;
   std::vector<std::unique_ptr<dht::DhtNode>> dht_nodes_;
   std::vector<std::unique_ptr<dht::RecordStore>> hydra_stores_;
+  std::vector<std::unique_ptr<indexer::Indexer>> indexers_;
   std::unique_ptr<sim::ChurnProcess> churn_;
   sim::Rng rng_;
 };

@@ -1,0 +1,176 @@
+// Network-indexer tests: the ingest lag gates visibility, re-adverts
+// refresh instead of duplicating, records expire on TTL, a crash wipes
+// the soft-state index, and queries are answered from the visible index
+// in one RTT.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "indexer/indexer.h"
+#include "indexer/messages.h"
+#include "routing/router.h"
+#include "scenario/scenario.h"
+#include "testutil.h"
+
+namespace ipfs::indexer {
+namespace {
+
+dht::Key test_key(std::uint8_t tag) {
+  return dht::Key::hash_of(std::vector<std::uint8_t>{tag, 0x42});
+}
+
+dht::PeerRef test_provider(std::uint64_t n, sim::NodeId node) {
+  return dht::PeerRef{testutil::synthetic_peer_id(n), node,
+                      {testutil::synthetic_address(
+                          static_cast<std::uint32_t>(n))}};
+}
+
+// One peer node (the advertiser/querier) plus one indexer.
+scenario::Scenario make_fabric(IndexerConfig config,
+                               std::uint64_t seed = 11) {
+  return scenario::ScenarioBuilder()
+      .peers(1)
+      .seed(seed)
+      .single_region(10.0)
+      .indexers(1)
+      .indexer_config(config)
+      .build();
+}
+
+TEST(IndexerTest, IngestLagGatesVisibility) {
+  scenario::Scenario s =
+      make_fabric(IndexerConfig().with_ingest_lag(sim::seconds(30)));
+  Indexer& ix = s.indexer(0);
+  const dht::Key key = test_key(1);
+
+  routing::advertise_to_indexers(s.network(), s.node(0), s.routing_config(),
+                                 key, test_provider(7, s.node(0)));
+  // run() drains the dial + advert delivery; the ingest timer is a
+  // daemon, so the record is received but not yet visible.
+  s.simulator().run();
+  EXPECT_EQ(ix.advertisements_received(), 1u);
+  EXPECT_EQ(ix.pending_count(), 1u);
+  EXPECT_EQ(ix.visible_provider_count(key), 0u);
+
+  s.simulator().run_until(s.simulator().now() + sim::seconds(31));
+  EXPECT_EQ(ix.pending_count(), 0u);
+  EXPECT_EQ(ix.visible_provider_count(key), 1u);
+}
+
+TEST(IndexerTest, ReadvertiseRefreshesInsteadOfDuplicating) {
+  scenario::Scenario s =
+      make_fabric(IndexerConfig().with_ingest_lag(sim::seconds(1)));
+  Indexer& ix = s.indexer(0);
+  const dht::Key key = test_key(2);
+  const dht::PeerRef provider = test_provider(7, s.node(0));
+
+  routing::advertise_to_indexers(s.network(), s.node(0), s.routing_config(),
+                                 key, provider);
+  s.simulator().run_until(s.simulator().now() + sim::seconds(5));
+  ASSERT_EQ(ix.visible_provider_count(key), 1u);
+
+  routing::advertise_to_indexers(s.network(), s.node(0), s.routing_config(),
+                                 key, provider);
+  s.simulator().run_until(s.simulator().now() + sim::seconds(5));
+  EXPECT_EQ(ix.advertisements_received(), 2u);
+  EXPECT_EQ(ix.visible_provider_count(key), 1u);  // refreshed, not doubled
+
+  // A different provider for the same key is a second record.
+  routing::advertise_to_indexers(s.network(), s.node(0), s.routing_config(),
+                                 key, test_provider(8, s.node(0)));
+  s.simulator().run_until(s.simulator().now() + sim::seconds(5));
+  EXPECT_EQ(ix.visible_provider_count(key), 2u);
+}
+
+TEST(IndexerTest, RecordsExpireAfterTtl) {
+  scenario::Scenario s = make_fabric(IndexerConfig()
+                                         .with_ingest_lag(sim::seconds(1))
+                                         .with_provider_ttl(sim::minutes(1)));
+  Indexer& ix = s.indexer(0);
+  const dht::Key key = test_key(3);
+
+  routing::advertise_to_indexers(s.network(), s.node(0), s.routing_config(),
+                                 key, test_provider(7, s.node(0)));
+  s.simulator().run_until(s.simulator().now() + sim::seconds(5));
+  ASSERT_EQ(ix.visible_provider_count(key), 1u);
+
+  s.simulator().run_until(s.simulator().now() + sim::minutes(2));
+  EXPECT_EQ(ix.visible_provider_count(key), 0u);
+}
+
+TEST(IndexerTest, CrashWipesSoftStateAndReadvertiseRebuildsIt) {
+  scenario::Scenario s =
+      make_fabric(IndexerConfig().with_ingest_lag(sim::seconds(10)));
+  Indexer& ix = s.indexer(0);
+  const dht::Key visible_key = test_key(4);
+  const dht::Key pending_key = test_key(5);
+
+  routing::advertise_to_indexers(s.network(), s.node(0), s.routing_config(),
+                                 visible_key, test_provider(7, s.node(0)));
+  s.simulator().run_until(s.simulator().now() + sim::seconds(15));
+  routing::advertise_to_indexers(s.network(), s.node(0), s.routing_config(),
+                                 pending_key, test_provider(8, s.node(0)));
+  s.simulator().run();
+  ASSERT_EQ(ix.visible_provider_count(visible_key), 1u);
+  ASSERT_EQ(ix.pending_count(), 1u);
+
+  s.network().set_online(ix.node(), false);
+  ix.handle_crash();
+  EXPECT_EQ(ix.visible_provider_count(visible_key), 0u);
+  EXPECT_EQ(ix.pending_count(), 0u);
+  // The wipe cancelled the ingest timer: the drain owes nothing.
+  s.simulator().run();
+  EXPECT_EQ(s.simulator().foreground_pending(), 0u);
+
+  s.network().set_online(ix.node(), true);
+  ix.handle_restart();
+  routing::advertise_to_indexers(s.network(), s.node(0), s.routing_config(),
+                                 visible_key, test_provider(7, s.node(0)));
+  s.simulator().run_until(s.simulator().now() + sim::seconds(15));
+  EXPECT_EQ(ix.visible_provider_count(visible_key), 1u);
+}
+
+TEST(IndexerTest, QueriesAreAnsweredFromTheVisibleIndex) {
+  scenario::Scenario s =
+      make_fabric(IndexerConfig().with_ingest_lag(sim::seconds(1)));
+  Indexer& ix = s.indexer(0);
+  const dht::Key key = test_key(6);
+  const dht::PeerRef provider = test_provider(7, s.node(0));
+
+  routing::advertise_to_indexers(s.network(), s.node(0), s.routing_config(),
+                                 key, provider);
+  s.simulator().run_until(s.simulator().now() + sim::seconds(5));
+
+  std::vector<dht::ProviderRecord> got;
+  bool responded = false;
+  const sim::Time asked_at = s.simulator().now();
+  sim::Time answered_at = 0;
+  s.network().connect(s.node(0), ix.node(), [&](bool ok, sim::Duration) {
+    ASSERT_TRUE(ok);
+    auto query = std::make_shared<QueryRequest>();
+    query->key = key;
+    s.network().request(
+        s.node(0), ix.node(), std::move(query), kQueryBytes, sim::seconds(2),
+        [&](sim::RpcStatus status, const sim::MessagePtr& message) {
+          responded = true;
+          answered_at = s.simulator().now();
+          ASSERT_EQ(status, sim::RpcStatus::kOk);
+          const auto* response =
+              dynamic_cast<const QueryResponse*>(message.get());
+          ASSERT_NE(response, nullptr);
+          got = response->providers;
+        });
+  });
+  s.simulator().run();
+
+  ASSERT_TRUE(responded);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].provider.id, provider.id);
+  EXPECT_EQ(ix.queries_served(), 1u);
+  // One-RTT lookup: the answer lands within a handful of link RTTs (the
+  // 10 ms single-region fabric), not a multi-hop DHT walk.
+  EXPECT_LT(answered_at - asked_at, sim::milliseconds(200));
+}
+
+}  // namespace
+}  // namespace ipfs::indexer

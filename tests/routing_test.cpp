@@ -1,0 +1,272 @@
+// ContentRouter tests: the DHT baseline wrapper, the delegated indexer
+// path with per-indexer timeout/failover, and the race composition —
+// including the guarantee that a cancelled or out-raced DHT walk leaves
+// no dangling foreground timers (the drain returns promptly instead of
+// waiting out the 3 min lookup deadline).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "indexer/indexer.h"
+#include "routing/router.h"
+#include "scenario/scenario.h"
+#include "testutil.h"
+
+namespace ipfs::routing {
+namespace {
+
+dht::Key test_key(std::uint8_t tag) {
+  return dht::Key::hash_of(std::vector<std::uint8_t>{tag, 0x5a});
+}
+
+// A converged DHT swarm with `indexers` delegated indexers riding along.
+scenario::Scenario make_swarm(std::size_t peers, std::size_t indexers,
+                              sim::Duration ingest_lag = sim::seconds(1),
+                              std::uint64_t seed = 42) {
+  return scenario::ScenarioBuilder()
+      .peers(peers)
+      .seed(seed)
+      .single_region(10.0)
+      .dht_servers(true)
+      .indexers(indexers)
+      .indexer_config(indexer::IndexerConfig().with_ingest_lag(ingest_lag))
+      .routing(RoutingConfig::Mode::kRace)
+      .build();
+}
+
+// Publishes `key` into the DHT from node 0 and drains.
+void provide_via_dht(scenario::Scenario& s, const dht::Key& key) {
+  bool ok = false;
+  s.dht(0).provide(key, [&](dht::DhtNode::ProvideResult r) { ok = r.ok; });
+  s.simulator().run();
+  ASSERT_TRUE(ok);
+}
+
+// Advertises `key` to every indexer and waits out the ingest lag.
+void advertise_and_ingest(scenario::Scenario& s, const dht::Key& key,
+                          const dht::PeerRef& provider) {
+  advertise_to_indexers(s.network(), provider.node, s.routing_config(), key,
+                        provider);
+  s.simulator().run_until(s.simulator().now() + sim::seconds(5));
+}
+
+TEST(DhtRouterTest, FindsProvidersThroughTheWalk) {
+  scenario::Scenario s = make_swarm(40, 0);
+  const dht::Key key = test_key(1);
+  provide_via_dht(s, key);
+
+  DhtRouter router(s.dht(9));
+  std::optional<FindResult> result;
+  router.find_providers(key, [&](FindResult r) { result = r; }, 0);
+  s.simulator().run();
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  EXPECT_EQ(result->source, Source::kDht);
+  ASSERT_FALSE(result->providers.empty());
+  EXPECT_EQ(result->providers[0].provider.id, s.ref(0).id);
+}
+
+TEST(DhtRouterTest, CancelDropsTheCallbackAndDrainsClean) {
+  scenario::Scenario s = make_swarm(40, 0);
+  const dht::Key key = test_key(2);
+  provide_via_dht(s, key);
+  const sim::Time before = s.simulator().now();
+
+  DhtRouter router(s.dht(9));
+  bool fired = false;
+  const auto id =
+      router.find_providers(key, [&](FindResult) { fired = true; }, 0);
+  router.cancel(id);
+  s.simulator().run();
+
+  EXPECT_FALSE(fired);
+  // The abort cancelled the walk's deadline timer: nothing held the
+  // drain open anywhere near the 3 min lookup deadline.
+  EXPECT_LT(s.simulator().now() - before, dht::kLookupDeadline);
+  EXPECT_EQ(s.simulator().foreground_pending(), 0u);
+  EXPECT_EQ(s.network().pending_request_count(), 0u);
+}
+
+TEST(IndexerRouterTest, ResolvesInOneRttFromAnIndexer) {
+  scenario::Scenario s = make_swarm(2, 1);
+  const dht::Key key = test_key(3);
+  advertise_and_ingest(s, key, s.ref(0));
+
+  IndexerRouter router(s.network(), s.node(1), s.routing_config());
+  std::optional<FindResult> result;
+  const sim::Time before = s.simulator().now();
+  router.find_providers(key, [&](FindResult r) { result = r; }, 0);
+  s.simulator().run();
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  EXPECT_EQ(result->source, Source::kIndexer);
+  ASSERT_FALSE(result->providers.empty());
+  EXPECT_EQ(result->providers[0].provider.id, s.ref(0).id);
+  EXPECT_LT(s.simulator().now() - before, sim::milliseconds(500));
+}
+
+TEST(IndexerRouterTest, EmptyIndexerListFailsImmediately) {
+  scenario::Scenario s = make_swarm(2, 0);
+  IndexerRouter router(s.network(), s.node(1), RoutingConfig{});
+  std::optional<FindResult> result;
+  router.find_providers(test_key(4), [&](FindResult r) { result = r; }, 0);
+  ASSERT_TRUE(result.has_value());  // settled synchronously
+  EXPECT_FALSE(result->ok);
+  EXPECT_EQ(result->source, Source::kNone);
+}
+
+TEST(IndexerRouterTest, FailsOverPastACrashedIndexer) {
+  scenario::Scenario s = make_swarm(2, 2);
+  const dht::Key key = test_key(5);
+  advertise_and_ingest(s, key, s.ref(0));
+
+  // First indexer in the config order goes down; the router must carry
+  // on to the second.
+  s.network().set_online(s.indexer(0).node(), false);
+  s.indexer(0).handle_crash();
+
+  IndexerRouter router(s.network(), s.node(1), s.routing_config());
+  std::optional<FindResult> result;
+  router.find_providers(key, [&](FindResult r) { result = r; }, 0);
+  s.simulator().run();
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  EXPECT_EQ(result->source, Source::kIndexer);
+  EXPECT_GE(s.network().metrics().counter("routing.indexer.failover").value(),
+            1u);
+  EXPECT_EQ(s.simulator().foreground_pending(), 0u);
+  EXPECT_EQ(s.network().pending_request_count(), 0u);
+}
+
+TEST(IndexerRouterTest, UnresponsiveIndexerTimesOutThenFailsOver) {
+  scenario::Scenario s = make_swarm(2, 2);
+  const dht::Key key = test_key(6);
+  advertise_and_ingest(s, key, s.ref(0));
+
+  // Reachable but mute: the dial succeeds and the query must burn the
+  // full per-indexer timeout before failing over.
+  s.network().set_responsive(s.indexer(0).node(), false);
+
+  RoutingConfig config = s.routing_config();
+  config.indexer_timeout = sim::seconds(2);
+  IndexerRouter router(s.network(), s.node(1), config);
+  std::optional<FindResult> result;
+  const sim::Time before = s.simulator().now();
+  router.find_providers(key, [&](FindResult r) { result = r; }, 0);
+  s.simulator().run();
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  EXPECT_EQ(result->source, Source::kIndexer);
+  EXPECT_GE(s.simulator().now() - before, config.indexer_timeout);
+}
+
+TEST(IndexerRouterTest, ExhaustedListWithStaleIndexesFails) {
+  // The advert never ingests (long lag), so every indexer answers empty
+  // and the delegated path reports failure.
+  scenario::Scenario s = make_swarm(2, 2, /*ingest_lag=*/sim::hours(1));
+  const dht::Key key = test_key(7);
+  advertise_to_indexers(s.network(), s.node(0), s.routing_config(), key,
+                        s.ref(0));
+  s.simulator().run();
+
+  IndexerRouter router(s.network(), s.node(1), s.routing_config());
+  std::optional<FindResult> result;
+  router.find_providers(key, [&](FindResult r) { result = r; }, 0);
+  s.simulator().run();
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok);
+  EXPECT_EQ(result->source, Source::kNone);
+}
+
+TEST(RaceRouterTest, IndexerWinsAndTheLosingWalkIsPutDown) {
+  scenario::Scenario s = make_swarm(40, 1);
+  const dht::Key key = test_key(8);
+  provide_via_dht(s, key);
+  advertise_and_ingest(s, key, s.ref(0));
+
+  RaceRouter router(s.network(), s.node(9), s.dht(9), s.routing_config());
+  std::optional<FindResult> result;
+  const sim::Time before = s.simulator().now();
+  router.find_providers(key, [&](FindResult r) { result = r; }, 0);
+  s.simulator().run();
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  // One RTT to a same-region indexer beats the iterative walk.
+  EXPECT_EQ(result->source, Source::kIndexer);
+  // The losing walk was cancelled: its 3 min deadline timer is gone and
+  // the drain owes nothing.
+  EXPECT_LT(s.simulator().now() - before, dht::kLookupDeadline);
+  EXPECT_EQ(s.simulator().foreground_pending(), 0u);
+  EXPECT_EQ(s.network().pending_request_count(), 0u);
+}
+
+TEST(RaceRouterTest, DegradesToTheDhtWhenEveryIndexerIsDown) {
+  scenario::Scenario s = make_swarm(40, 2);
+  const dht::Key key = test_key(9);
+  provide_via_dht(s, key);
+  advertise_and_ingest(s, key, s.ref(0));
+
+  for (std::size_t i = 0; i < s.indexer_count(); ++i) {
+    s.network().set_online(s.indexer(i).node(), false);
+    s.indexer(i).handle_crash();
+  }
+
+  RaceRouter router(s.network(), s.node(9), s.dht(9), s.routing_config());
+  std::optional<FindResult> result;
+  router.find_providers(key, [&](FindResult r) { result = r; }, 0);
+  s.simulator().run();
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  EXPECT_EQ(result->source, Source::kDht);
+  ASSERT_FALSE(result->providers.empty());
+  EXPECT_EQ(result->providers[0].provider.id, s.ref(0).id);
+  EXPECT_EQ(s.simulator().foreground_pending(), 0u);
+  EXPECT_EQ(s.network().pending_request_count(), 0u);
+}
+
+TEST(RaceRouterTest, CancelAbandonsBothArmsWithoutCallbacks) {
+  scenario::Scenario s = make_swarm(40, 1);
+  const dht::Key key = test_key(10);
+  provide_via_dht(s, key);
+  advertise_and_ingest(s, key, s.ref(0));
+  const sim::Time before = s.simulator().now();
+
+  RaceRouter router(s.network(), s.node(9), s.dht(9), s.routing_config());
+  bool fired = false;
+  const auto id =
+      router.find_providers(key, [&](FindResult) { fired = true; }, 0);
+  router.cancel(id);
+  s.simulator().run();
+
+  EXPECT_FALSE(fired);
+  EXPECT_LT(s.simulator().now() - before, dht::kLookupDeadline);
+  EXPECT_EQ(s.simulator().foreground_pending(), 0u);
+  EXPECT_EQ(s.network().pending_request_count(), 0u);
+}
+
+TEST(RoutingConfigTest, MakeRouterSelectsTheConfiguredMode) {
+  scenario::Scenario s = make_swarm(2, 1);
+  const auto dht_only =
+      make_router(s.network(), s.node(1), s.dht(1),
+                  RoutingConfig{}.with_mode(RoutingConfig::Mode::kDht));
+  const auto indexer_only =
+      make_router(s.network(), s.node(1), s.dht(1),
+                  RoutingConfig{}.with_mode(RoutingConfig::Mode::kIndexer));
+  const auto race =
+      make_router(s.network(), s.node(1), s.dht(1),
+                  RoutingConfig{}.with_mode(RoutingConfig::Mode::kRace));
+  EXPECT_NE(dynamic_cast<DhtRouter*>(dht_only.get()), nullptr);
+  EXPECT_NE(dynamic_cast<IndexerRouter*>(indexer_only.get()), nullptr);
+  EXPECT_NE(dynamic_cast<RaceRouter*>(race.get()), nullptr);
+}
+
+}  // namespace
+}  // namespace ipfs::routing

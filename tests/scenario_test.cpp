@@ -94,6 +94,11 @@ TEST(ScenarioBuilderTest, WorldConfigMapsEveryKnob) {
                                         .max_routing_entries(64)
                                         .dcutr_share(0.25)
                                         .hydra(3, 15)
+                                        .indexers(2)
+                                        .indexer_config(
+                                            indexer::IndexerConfig()
+                                                .with_ingest_lag(
+                                                    sim::seconds(7)))
                                         .world_config();
   EXPECT_EQ(config.population.peer_count, 500u);
   EXPECT_EQ(config.seed, 77u);
@@ -104,6 +109,42 @@ TEST(ScenarioBuilderTest, WorldConfigMapsEveryKnob) {
   EXPECT_DOUBLE_EQ(config.dcutr_share, 0.25);
   EXPECT_EQ(config.hydra_count, 3u);
   EXPECT_EQ(config.hydra_heads, 15u);
+  EXPECT_EQ(config.indexer_count, 2u);
+  EXPECT_EQ(config.indexer.ingest_lag, sim::seconds(7));
+}
+
+TEST(ScenarioBuilderTest, IndexerKnobAppendsIndexersAfterPeers) {
+  Scenario scenario = ScenarioBuilder()
+                          .peers(3)
+                          .seed(12)
+                          .indexers(2)
+                          .routing(routing::RoutingConfig::Mode::kRace)
+                          .build();
+  EXPECT_EQ(scenario.network().node_count(), 5u);
+  ASSERT_EQ(scenario.indexer_count(), 2u);
+  // Appended after every peer node, so peer ids are untouched.
+  EXPECT_EQ(scenario.indexer(0).node(), 3u);
+  EXPECT_EQ(scenario.indexer(1).node(), 4u);
+  const routing::RoutingConfig& routing = scenario.routing_config();
+  EXPECT_EQ(routing.mode, routing::RoutingConfig::Mode::kRace);
+  ASSERT_EQ(routing.indexers.size(), 2u);
+  EXPECT_EQ(routing.indexers[0], scenario.indexer(0).node());
+  EXPECT_EQ(routing.indexers[1], scenario.indexer(1).node());
+}
+
+TEST(ScenarioBuilderTest, IndexerKnobLeavesPeerIdentitiesBitIdentical) {
+  Scenario plain =
+      ScenarioBuilder().peers(6).seed(9).dht_servers(true).build();
+  Scenario with_indexers = ScenarioBuilder()
+                               .peers(6)
+                               .seed(9)
+                               .dht_servers(true)
+                               .indexers(2)
+                               .build();
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain.node(i), with_indexers.node(i));
+    EXPECT_EQ(plain.ref(i).id.encode(), with_indexers.ref(i).id.encode());
+  }
 }
 
 TEST(ScenarioBuilderTest, BuildWorldHonorsPeerCount) {

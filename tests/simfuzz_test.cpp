@@ -6,6 +6,7 @@
 //   IPFS_FUZZ_SEED=<seed> IPFS_FUZZ_SCHEDULES=1 ./tests/simfuzz_test
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 
@@ -155,6 +156,70 @@ TEST(SimFuzz, PubsubAtMostOnceHoldsUnderHeavyChurn) {
   EXPECT_GT(report.stats.faults.crashes, 0u)
       << "schedule was meant to crash nodes";
   EXPECT_GT(report.stats.pubsub_publishes, 0u);
+}
+
+TEST(SimFuzz, IndexerSchedulesHoldInvariantsAcrossFiveHundredSeeds) {
+  // Satellite sweep for the delegated-routing invariants (9 and 10):
+  // every schedule gets at least one indexer and every other one crashes
+  // them mid-window. Worlds are kept small so 500 seeds stay tractable.
+  const std::uint64_t base_seed = env_u64("IPFS_FUZZ_SEED", 50'000);
+  const std::uint64_t schedules = env_u64("IPFS_FUZZ_INDEXER_SCHEDULES", 500);
+
+  std::uint64_t indexer_routed = 0;
+  std::uint64_t indexer_crashes = 0;
+  std::size_t clean_crash_schedules = 0;
+  for (std::uint64_t i = 0; i < schedules; ++i) {
+    ScheduleParams params = make_schedule(base_seed + i);
+    params.node_count = std::min<std::size_t>(params.node_count, 12);
+    params.long_horizon = false;
+    params.publish_count = std::min<std::size_t>(params.publish_count, 3);
+    params.retrievals_per_object =
+        std::min<std::size_t>(params.retrievals_per_object, 2);
+    params.max_object_bytes =
+        std::min<std::size_t>(params.max_object_bytes, 128 * 1024);
+    if (params.indexer_count == 0) params.indexer_count = 1 + (i % 2);
+    params.indexer_crashes = (i % 2) == 0;
+    if (params.fault_scale == 0.0 && params.indexer_crashes)
+      ++clean_crash_schedules;
+
+    const ScheduleReport report = run_schedule(params);
+    ASSERT_TRUE(report.ok()) << report.failure_summary();
+    indexer_routed += report.stats.indexer_routed;
+    indexer_crashes += report.stats.indexer_crashes;
+  }
+
+  if (schedules >= 100) {
+    // The sweep must actually exercise both sides of the race: fetches
+    // won by the delegated path, and indexer crash/restart cycles.
+    EXPECT_GT(indexer_routed, 0u);
+    EXPECT_GT(indexer_crashes, 0u);
+    // And some schedules bind invariant 10 (indexer crashes as the only
+    // faults).
+    EXPECT_GT(clean_crash_schedules, 0u);
+  }
+}
+
+TEST(SimFuzz, IndexerCrashesNeverFailAFetchTheDhtWouldServe) {
+  // Invariant 10, pinned: a clean schedule whose only faults are indexer
+  // crashes must retrieve everything — the race degrades to the DHT arm.
+  ScheduleParams params;
+  params.seed = 90210;
+  params.node_count = 14;
+  params.nat_fraction = 0.1;
+  params.flaky_fraction = 0.0;
+  params.publish_count = 3;
+  params.retrievals_per_object = 3;
+  params.fault_scale = 0.0;
+  params.faults = faults_for_scale(0.0, false);
+  params.indexer_count = 2;
+  params.indexer_ingest_lag = sim::seconds(5);
+  params.indexer_crashes = true;
+
+  const ScheduleReport report = run_schedule(params);
+  ASSERT_TRUE(report.ok()) << report.failure_summary();
+  EXPECT_EQ(report.stats.indexer_crashes, 2u);
+  EXPECT_EQ(report.stats.retrievals_ok(), report.stats.retrievals_attempted())
+      << report.stats.fingerprint();
 }
 
 TEST(SimFuzz, LongHorizonScheduleExpiresProviderRecords) {
