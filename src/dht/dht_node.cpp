@@ -34,6 +34,15 @@ void DhtNode::attach_to_network() {
 
 void DhtNode::force_mode(Mode mode) { mode_ = mode; }
 
+void DhtNode::set_bucket_diversity_cap(std::size_t cap) {
+  bucket_diversity_cap_ = cap;
+  // Rebuild the live table under the new cap. Existing entries re-enter
+  // in insertion order, so entries over a newly lowered cap are shed.
+  RoutingTable capped(Key::for_peer(self_.id), cap);
+  for (const auto& peer : routing_table_.all_peers()) capped.upsert(peer);
+  routing_table_ = std::move(capped);
+}
+
 void DhtNode::answer_closer_peers(const Key& target,
                                   std::vector<PeerRef>& out) const {
   out = routing_table_.closest(target, kReplication);
@@ -176,6 +185,7 @@ LookupHost DhtNode::make_lookup_host() {
   host.self = self_.node;
   host.self_ref = self_;
   host.server_mode = mode_ == Mode::kServer;
+  host.provider_quorum = provider_quorum_;
   host.on_peer_responded = [this](const PeerRef& peer) {
     routing_table_.upsert(peer);
   };
@@ -198,12 +208,19 @@ const Lookup* DhtNode::start_lookup(
   auto lookup = Lookup::start(std::move(host), type, target,
                               std::move(seeds), std::move(wrapped),
                               std::move(target_peer));
-  // Keep it alive until its callback has fired.
+  // Keep it alive until its callback has fired. The cleanup daemon
+  // verifies it is erasing the lookup it was scheduled for: after a
+  // cancel_lookup() the allocator may reuse the address for a younger
+  // walk, and blindly erasing by pointer would drop that walk's only
+  // keep-alive mid-flight (its completion callback would never fire).
   active_lookups_[lookup.get()] = lookup;
-  network_.simulator().schedule_daemon_after(kLookupDeadline + sim::seconds(1),
-                                      [this, raw = lookup.get()] {
-                                        active_lookups_.erase(raw);
-                                      });
+  network_.simulator().schedule_daemon_after(
+      kLookupDeadline + sim::seconds(1),
+      [this, raw = lookup.get(), weak = std::weak_ptr<Lookup>(lookup)] {
+        const auto it = active_lookups_.find(raw);
+        if (it != active_lookups_.end() && it->second == weak.lock())
+          active_lookups_.erase(it);
+      });
   return lookup.get();
 }
 
@@ -288,7 +305,8 @@ void DhtNode::bootstrap(std::vector<PeerRef> seeds,
 void DhtNode::handle_crash() {
   for (auto& [raw, lookup] : active_lookups_) lookup->abort();
   active_lookups_.clear();
-  routing_table_ = RoutingTable(Key::for_peer(self_.id));
+  routing_table_ =
+      RoutingTable(Key::for_peer(self_.id), bucket_diversity_cap_);
   republish_timer_.cancel();
   expiry_timer_.cancel();
 }

@@ -150,6 +150,20 @@ class DhtNode {
   void get_values(const Key& key,
                   std::function<void(std::vector<ValueRecord>)> done);
 
+  // --- Defense knobs (adversarial scenario pack) ---------------------------
+
+  // Distinct provider records a GetProviders walk gathers before it stops
+  // (LookupHost::provider_quorum). Default 1 = classic first-record
+  // termination.
+  void set_provider_quorum(std::size_t quorum) { provider_quorum_ = quorum; }
+  std::size_t provider_quorum() const { return provider_quorum_; }
+
+  // Per-bucket /16-prefix diversity cap (RoutingTable constructor knob).
+  // Applies to the live table and to every table rebuilt after a crash.
+  // 0 disables the check.
+  void set_bucket_diversity_cap(std::size_t cap);
+  std::size_t bucket_diversity_cap() const { return bucket_diversity_cap_; }
+
   // --- Introspection -------------------------------------------------------
 
   Mode mode() const { return mode_; }
@@ -189,6 +203,8 @@ class DhtNode {
   RepublishHook republish_hook_;
   sim::Timer republish_timer_;
   sim::Timer expiry_timer_;
+  std::size_t provider_quorum_ = 1;
+  std::size_t bucket_diversity_cap_ = 0;
   // Keeps in-flight lookups alive.
   std::unordered_map<const Lookup*, std::shared_ptr<Lookup>> active_lookups_;
 };

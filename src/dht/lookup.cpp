@@ -67,7 +67,9 @@ void Lookup::add_candidate(const PeerRef& peer) {
 }
 
 bool Lookup::should_terminate() const {
-  if (type_ == LookupType::kGetProviders && !result_.providers.empty())
+  if (type_ == LookupType::kGetProviders &&
+      result_.providers.size() >= std::max<std::size_t>(
+                                      host_.provider_quorum, 1))
     return true;
   if (type_ == LookupType::kGetValue &&
       result_.values.size() >= kValueQuorum)

@@ -55,6 +55,13 @@ struct LookupHost {
   // Requester identity stamped onto outgoing RPCs (see LookupRequestBase).
   PeerRef self_ref;
   bool server_mode = false;
+  // Distinct provider records a kGetProviders walk gathers before
+  // terminating. 1 is classic Kademlia (stop at the first record); raising
+  // it is the eclipse defense: a single captured resolver serving a
+  // poisoned record cannot end the walk, so honest record holders further
+  // out still get queried. Walks that cannot reach the quorum converge
+  // via the FindNode criterion, like value walks.
+  std::size_t provider_quorum = 1;
   // Enclosing trace span (e.g. a retrieval's provider_walk phase); the
   // walk's dht.lookup.* span is parented under it when non-zero.
   metrics::SpanId parent_span = 0;

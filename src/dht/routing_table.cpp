@@ -4,8 +4,19 @@
 
 namespace ipfs::dht {
 
-RoutingTable::RoutingTable(Key local_key)
-    : local_key_(std::move(local_key)) {}
+RoutingTable::RoutingTable(Key local_key, std::size_t diversity_cap)
+    : local_key_(std::move(local_key)), diversity_cap_(diversity_cap) {}
+
+std::optional<std::uint16_t> RoutingTable::diversity_class(
+    const PeerRef& peer) {
+  for (const auto& address : peer.addresses) {
+    const auto ip4 =
+        address.value_for(multiformats::MultiaddrProtocol::kIp4);
+    if (ip4 && ip4->size() == 4)
+      return static_cast<std::uint16_t>(((*ip4)[0] << 8) | (*ip4)[1]);
+  }
+  return std::nullopt;
+}
 
 std::size_t RoutingTable::bucket_index(const Key& key) const {
   const int cpl = local_key_.common_prefix_len(key);
@@ -52,6 +63,17 @@ bool RoutingTable::upsert(const PeerRef& peer, const Key& key) {
   }
 
   if (entries.size() >= kBucketSize) return false;
+  if (diversity_cap_ > 0) {
+    if (const auto prefix = diversity_class(peer)) {
+      std::size_t shared = 0;
+      for (const Entry& entry : entries)
+        if (diversity_class(entry.peer) == prefix) ++shared;
+      if (shared >= diversity_cap_) {
+        ++diversity_rejections_;
+        return false;
+      }
+    }
+  }
   entries.push_back(Entry{peer, key});
   ++size_;
   return true;

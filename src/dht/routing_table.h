@@ -25,7 +25,11 @@ constexpr std::size_t kBucketCount = 256; // i
 
 class RoutingTable {
  public:
-  explicit RoutingTable(Key local_key);
+  // `diversity_cap` bounds how many entries of any one bucket may share a
+  // /16 IPv4 prefix (Henningsen et al.'s Sybil defense: one operator's
+  // address block cannot monopolize a bucket). 0 disables the check and
+  // keeps the table bit-identical to the uncapped behavior.
+  explicit RoutingTable(Key local_key, std::size_t diversity_cap = 0);
 
   // Inserts or refreshes a peer. Full buckets reject newcomers (original
   // Kademlia bias towards long-lived peers, which the paper's churn data
@@ -51,6 +55,18 @@ class RoutingTable {
 
   const Key& local_key() const { return local_key_; }
 
+  std::size_t diversity_cap() const { return diversity_cap_; }
+
+  // Newcomers rejected because their /16 prefix already held `cap`
+  // entries in the target bucket. Observability for the Sybil defense.
+  std::uint64_t diversity_rejections() const { return diversity_rejections_; }
+
+  // The /16 IPv4 prefix used as the diversity class, if the peer carries
+  // an ip4 address. Address-less peers are exempt from the cap (they
+  // cannot be classified, and the simulator's synthetic peers always
+  // carry one).
+  static std::optional<std::uint16_t> diversity_class(const PeerRef& peer);
+
  private:
   struct Entry {
     PeerRef peer;
@@ -71,6 +87,8 @@ class RoutingTable {
   Key local_key_;
   std::vector<Bucket> buckets_;  // sorted by Bucket::index
   std::size_t size_ = 0;
+  std::size_t diversity_cap_ = 0;
+  std::uint64_t diversity_rejections_ = 0;
 
   struct Candidate {
     std::array<std::uint8_t, 32> distance;

@@ -121,41 +121,61 @@ void Gateway::serve(const Cid& cid, bool account_tier,
     return;
   }
 
-  // Tier 3: the P2P network, via the full retrieval pipeline.
-  node_.retrieve(cid, [this, cid, account_tier, done = std::move(done)](
-                          node::RetrievalTrace trace) {
+  // Tier 3: the P2P network, via the full retrieval pipeline. Concurrent
+  // misses for the same CID coalesce onto one in-flight retrieval
+  // (singleflight): a flash crowd of requests costs the upstream exactly
+  // one DHT walk and one fetch, and every waiter is answered — and
+  // accounted — from the shared completion.
+  const std::string key = cid.to_string();
+  const auto [it, leader] = inflight_.try_emplace(key);
+  it->second.push_back(
+      Waiter{account_tier, network_.simulator().now(), std::move(done)});
+  if (!leader) {
+    ++coalesced_requests_;
+    network_.metrics().counter("gateway.p2p.coalesced").inc();
+    return;
+  }
+  node_.retrieve(cid, [this, cid, key](node::RetrievalTrace trace) {
+    std::vector<Waiter> waiters;
+    if (const auto entry = inflight_.find(key); entry != inflight_.end()) {
+      waiters = std::move(entry->second);
+      inflight_.erase(entry);
+    }
+    const sim::Time end = network_.simulator().now();
     GatewayResponse response;
     if (!trace.ok) {
       response.source = ServedFrom::kFailed;
-      response.latency = trace.total;
-      if (account_tier) account(cid, response);
-      done(response);
-      return;
-    }
-    response.source = ServedFrom::kP2p;
-    response.latency = trace.total;
-    response.routing_source = trace.routing_source;
-    // The bridge node serves millions of CIDs from ever-changing
-    // providers; its connection manager churns through connections far
-    // faster than our handful of simulated hosts would suggest. Drop the
-    // provider connection so the next miss pays the full pipeline, as
-    // the paper's non-cached tier does (Table 5: 4.04 s median).
-    if (trace.provider_node != sim::kInvalidNode)
-      network_.disconnect(node_.node(), trace.provider_node);
-    const auto bytes = merkledag::cat(node_.store(), cid);
-    response.bytes = bytes ? bytes->size() : trace.bytes;
-    if (account_tier) account(cid, response);
-    if (bytes) {
-      nginx_cache_.put(blockstore::Block{cid, *bytes});
-      // The bridge node keeps fetched blocks only transiently; drop them
-      // so the node store tier stays the pinned-content tier.
-      if (!node_.store().pinned(cid)) {
-        if (const auto cids = merkledag::enumerate(node_.store(), cid)) {
-          for (const auto& block_cid : *cids) node_.store().remove(block_cid);
+    } else {
+      response.source = ServedFrom::kP2p;
+      response.routing_source = trace.routing_source;
+      // The bridge node serves millions of CIDs from ever-changing
+      // providers; its connection manager churns through connections far
+      // faster than our handful of simulated hosts would suggest. Drop the
+      // provider connection so the next miss pays the full pipeline, as
+      // the paper's non-cached tier does (Table 5: 4.04 s median).
+      if (trace.provider_node != sim::kInvalidNode)
+        network_.disconnect(node_.node(), trace.provider_node);
+      const auto bytes = merkledag::cat(node_.store(), cid);
+      response.bytes = bytes ? bytes->size() : trace.bytes;
+      if (bytes) {
+        nginx_cache_.put(blockstore::Block{cid, *bytes});
+        // The bridge node keeps fetched blocks only transiently; drop them
+        // so the node store tier stays the pinned-content tier.
+        if (!node_.store().pinned(cid)) {
+          if (const auto cids = merkledag::enumerate(node_.store(), cid)) {
+            for (const auto& block_cid : *cids) node_.store().remove(block_cid);
+          }
         }
       }
     }
-    done(response);
+    for (auto& waiter : waiters) {
+      GatewayResponse out = response;
+      // Each waiter saw its own wait: completion minus its arrival (for
+      // the leader this equals trace.total).
+      out.latency = end - waiter.start;
+      if (waiter.account_tier) account(cid, out);
+      waiter.done(out);
+    }
   });
 }
 

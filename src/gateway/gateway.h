@@ -9,6 +9,9 @@
 #pragma once
 
 #include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "blockstore/blockstore.h"
 #include "node/ipfs_node.h"
@@ -76,6 +79,10 @@ class Gateway {
   std::uint64_t total_requests() const { return total_requests_; }
   blockstore::LruBlockStore& nginx_cache() { return nginx_cache_; }
 
+  // Tier-3 requests that joined an already-running retrieval for the
+  // same CID instead of launching their own (the flash-crowd shield).
+  std::uint64_t coalesced_requests() const { return coalesced_requests_; }
+
  private:
   // Computes a response for `cid` through the three tiers. When
   // `account_tier` is set the response is accounted (tier stats, total,
@@ -90,6 +97,15 @@ class Gateway {
 
   TierStats& stats_for(ServedFrom source);
 
+  // One queued tier-3 request. Each waiter observes its own latency
+  // (completion minus its arrival) and is accounted individually; only
+  // the upstream retrieval is shared.
+  struct Waiter {
+    bool account_tier = true;
+    sim::Time start = 0;
+    std::function<void(GatewayResponse)> done;
+  };
+
   sim::Network& network_;
   GatewayConfig config_;
   node::IpfsNode node_;
@@ -99,6 +115,10 @@ class Gateway {
   TierStats p2p_stats_;
   TierStats failed_stats_;
   std::uint64_t total_requests_ = 0;
+  std::uint64_t coalesced_requests_ = 0;
+  // In-flight tier-3 retrievals by CID (singleflight): a flash crowd of
+  // misses for one CID pays a single upstream retrieval.
+  std::unordered_map<std::string, std::vector<Waiter>> inflight_;
 };
 
 }  // namespace ipfs::gateway

@@ -7,6 +7,17 @@ multiformats::PeerId peer_id_for(const crypto::Ed25519KeyPair& keypair) {
   return multiformats::PeerId::from_public_key(keypair.public_key);
 }
 
+// Per-node listen address, spread across 10.x/16 prefixes so the routing
+// table's IP-diversity cap (docs/ADVERSARY.md) sees honest peers as
+// distinct networks. Message sizes are count-based, so the address bytes
+// never influence timing.
+multiformats::Multiaddr listen_address_for(std::uint64_t seed) {
+  return multiformats::make_tcp_multiaddr(
+      "10." + std::to_string(seed % 250) + "." +
+          std::to_string((seed / 250) % 250) + ".1",
+      4001);
+}
+
 }  // namespace
 
 double RetrievalTrace::stretch() const {
@@ -36,10 +47,13 @@ IpfsNode::IpfsNode(sim::Network& network, const IpfsNodeConfig& config)
       config_(config),
       keypair_(derive_keypair(config.identity_seed)),
       dht_(network, node_, peer_id_for(keypair_),
-           {multiformats::make_tcp_multiaddr("10.0.0.1", 4001)}),
+           {listen_address_for(config.identity_seed)}),
       router_(routing::make_router(network, node_, dht_, config.routing)),
       bitswap_(network, node_, store_),
       conn_manager_(network, node_, config.conn_manager) {
+  dht_.set_provider_quorum(config.provider_quorum);
+  if (config.bucket_diversity_cap > 0)
+    dht_.set_bucket_diversity_cap(config.bucket_diversity_cap);
   // Protocol multiplexer: route requests to the DHT, then Bitswap.
   network_.set_request_handler(
       node_, [this](sim::NodeId from, const sim::MessagePtr& message,
@@ -207,7 +221,10 @@ void IpfsNode::retrieve(const Cid& cid,
                 finish(ctx, done);
                 return;
               }
-              finish_retrieval(ctx, result.providers.front().provider,
+              for (const auto& record : result.providers)
+                ctx->providers.push_back(record.provider);
+              ctx->next_provider = 1;
+              finish_retrieval(ctx, ctx->providers.front(),
                                std::move(done));
             },
             walk_span);
@@ -274,8 +291,10 @@ void IpfsNode::retrieve_parallel(std::shared_ptr<RetrievalCtx> ctx,
         if (result.ok) {
           race->fetching = true;
           ctx->trace.provider_walk = elapsed;
-          finish_retrieval(ctx, result.providers.front().provider,
-                           *done_shared);
+          for (const auto& record : result.providers)
+            ctx->providers.push_back(record.provider);
+          ctx->next_provider = 1;
+          finish_retrieval(ctx, ctx->providers.front(), *done_shared);
           return;
         }
         fail_if_both_missed();
@@ -294,6 +313,21 @@ void IpfsNode::record_routing_outcome(const std::shared_ptr<RetrievalCtx>& ctx,
   metrics.instant("retrieve.routing_source", node_, ctx->trace.cid.to_string(),
                   static_cast<std::uint64_t>(source), metrics::kNoNode,
                   ctx->span);
+}
+
+void IpfsNode::fail_or_fallback(std::shared_ptr<RetrievalCtx> ctx,
+                                std::function<void(RetrievalTrace)> done) {
+  // A poisoned or dead provider record is survivable when the walk
+  // gathered more than one (provider quorum): dial the next record in
+  // discovery order instead of failing the whole retrieval.
+  if (ctx->next_provider < ctx->providers.size()) {
+    const dht::PeerRef next = ctx->providers[ctx->next_provider++];
+    ++ctx->trace.provider_fallbacks;
+    network_.metrics().counter("retrieve.provider_fallbacks").inc();
+    finish_retrieval(std::move(ctx), next, std::move(done));
+    return;
+  }
+  finish(ctx, done);
 }
 
 void IpfsNode::finish_retrieval(std::shared_ptr<RetrievalCtx> ctx,
@@ -324,7 +358,7 @@ void IpfsNode::finish_retrieval(std::shared_ptr<RetrievalCtx> ctx,
         ctx->trace.peer_walk =
             network_.metrics().end_span(peer_walk_span, peer.has_value());
         if (!peer) {
-          finish(ctx, done);
+          fail_or_fallback(ctx, done);
           return;
         }
         address_book_.insert(*peer);
@@ -346,7 +380,7 @@ void IpfsNode::fetch_from(std::shared_ptr<RetrievalCtx> ctx, sim::NodeId peer,
             network_.metrics().end_span(dial_span, ok);
         (void)elapsed;  // == handshake: the span brackets the dial exactly
         if (!ok) {
-          finish(ctx, done);
+          fail_or_fallback(ctx, done);
           return;
         }
         // Split the handshake into its transport (Dial) and security/mux
@@ -370,7 +404,11 @@ void IpfsNode::fetch_from(std::shared_ptr<RetrievalCtx> ctx, sim::NodeId peer,
               ctx->trace.ok = stats.ok;
               ctx->trace.fetch = network_.metrics().end_span(
                   fetch_span, stats.ok, stats.bytes);
-              if (ctx->trace.ok && config_.provide_after_fetch) {
+              if (!ctx->trace.ok) {
+                fail_or_fallback(ctx, done);
+                return;
+              }
+              if (config_.provide_after_fetch) {
                 // Become a temporary provider (Section 3.1), without
                 // affecting the measured retrieval.
                 store_.pin(ctx->trace.cid);

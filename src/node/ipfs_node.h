@@ -51,6 +51,13 @@ struct IpfsNodeConfig {
   // indexers configured, provide/reprovide additionally pushes
   // advertisements to them.
   routing::RoutingConfig routing;
+  // Eclipse defenses (docs/ADVERSARY.md). provider_quorum > 1 makes the
+  // GetProviders walk gather that many distinct records before stopping;
+  // bucket_diversity_cap > 0 bounds how many routing-table entries per
+  // bucket may share a /16 IPv4 prefix. The defaults are the undefended
+  // protocol.
+  std::size_t provider_quorum = 1;
+  std::size_t bucket_diversity_cap = 0;
 };
 
 // Timing decomposition of one publication (Figure 9a-c).
@@ -85,6 +92,10 @@ struct RetrievalTrace {
   std::uint64_t bytes = 0;
   // The peer the content was fetched from (for connection management).
   sim::NodeId provider_node = sim::kInvalidNode;
+  // Providers retried after the first record's fetch failed (populated
+  // only when the walk returned more than one record, e.g. under a
+  // provider quorum).
+  int provider_fallbacks = 0;
 
   sim::Duration dht_walks() const { return provider_walk + peer_walk; }  // 9e
   sim::Duration discover() const {
@@ -189,6 +200,11 @@ class IpfsNode {
   struct RetrievalCtx {
     RetrievalTrace trace;
     metrics::SpanId span = 0;  // retrieve.total
+    // Remaining provider records from the routing result, dialed in
+    // discovery order when the current provider's fetch fails. Empty for
+    // local/Bitswap hits.
+    std::vector<dht::PeerRef> providers;
+    std::size_t next_provider = 0;
   };
 
   void finish(const std::shared_ptr<RetrievalCtx>& ctx,
@@ -197,6 +213,10 @@ class IpfsNode {
                          std::function<void(RetrievalTrace)> done);
   void finish_retrieval(std::shared_ptr<RetrievalCtx> ctx,
                         const dht::PeerRef& provider,
+                        std::function<void(RetrievalTrace)> done);
+  // Advances to the next provider record if one remains (dial or fetch
+  // failed on the current one); otherwise delivers the failed trace.
+  void fail_or_fallback(std::shared_ptr<RetrievalCtx> ctx,
                         std::function<void(RetrievalTrace)> done);
   void fetch_from(std::shared_ptr<RetrievalCtx> ctx, sim::NodeId peer,
                   std::function<void(RetrievalTrace)> done);

@@ -187,10 +187,16 @@ ContentRouter::RequestId RaceRouter::find_providers(const dht::Key& key,
         on_arm(id, Source::kIndexer, std::move(result));
       },
       span);
-  if (const auto it = races_.find(id); it != races_.end())
-    it->second.indexer_req = indexer_req;
-  else
+  // Record the arm's request id only while the arm is still running: a
+  // synchronous settle already retired the id inside on_arm, and writing
+  // it back would hand the winner's cancel path a stale handle (the
+  // eclipse schedules hit exactly this: attacker-saturated walks settle
+  // synchronously far more often than benign ones).
+  if (const auto it = races_.find(id); it != races_.end()) {
+    if (!it->second.indexer_done) it->second.indexer_req = indexer_req;
+  } else {
     return id;  // settled synchronously
+  }
 
   const RequestId dht_req = dht_router_.find_providers(
       key,
@@ -198,8 +204,9 @@ ContentRouter::RequestId RaceRouter::find_providers(const dht::Key& key,
         on_arm(id, Source::kDht, std::move(result));
       },
       span);
-  if (const auto it = races_.find(id); it != races_.end())
-    it->second.dht_req = dht_req;
+  if (const auto it = races_.find(id); it != races_.end()) {
+    if (!it->second.dht_done) it->second.dht_req = dht_req;
+  }
   return id;
 }
 

@@ -114,6 +114,55 @@ ScenarioBuilder& ScenarioBuilder::faults(sim::FaultConfig config) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::sybils(adversary::SybilConfig config) {
+  ensure_attack().sybil = config;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::eclipse(const dht::Key& target,
+                                          adversary::EclipseConfig config) {
+  adversary::AttackConfig& attack = ensure_attack();
+  attack.eclipse_target = target;
+  attack.eclipse = config;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::flash_crowd(
+    adversary::FlashCrowdConfig config) {
+  ensure_attack().flash_crowd = config;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::churn_storm(
+    adversary::ChurnStormConfig config) {
+  ensure_attack().churn_storm = config;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::partition(
+    std::vector<std::vector<int>> region_groups, sim::Duration heal_at,
+    sim::Duration start) {
+  adversary::PartitionConfig config;
+  config.groups = std::move(region_groups);
+  config.heal_at = heal_at;
+  config.start = start;
+  ensure_attack().partition = std::move(config);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::attack_infra(std::size_t sybil_front_nodes,
+                                               int attacker_region) {
+  adversary::AttackConfig& attack = ensure_attack();
+  attack.sybil_front_nodes = sybil_front_nodes;
+  attack.attacker_region = attacker_region;
+  return *this;
+}
+
+adversary::AttackConfig& ScenarioBuilder::ensure_attack() {
+  if (!attack_config_) attack_config_.emplace();
+  return *attack_config_;
+}
+
 ScenarioBuilder& ScenarioBuilder::trace_capacity(std::size_t capacity) {
   trace_capacity_ = capacity;
   return *this;
@@ -244,6 +293,18 @@ Scenario ScenarioBuilder::build() const {
   if (fault_config_) {
     scenario.faults_ = std::make_unique<sim::FaultPlan>(
         *scenario.network_, *fault_config_, seed_);
+  }
+
+  // Attacker nodes go in dead last — after peers and indexers — so a
+  // switched-off attack leaves every honest node id and rng stream
+  // bit-identical. The plan is constructed unarmed; with DHT servers the
+  // whole swarm is pre-registered as flood/announce victims.
+  if (attack_config_ && attack_config_->any()) {
+    scenario.attack_ = std::make_unique<adversary::AttackPlan>(
+        *scenario.network_, *attack_config_, seed_);
+    if (dht_servers_)
+      for (const dht::PeerRef& ref : scenario.refs_)
+        scenario.attack_->add_victim(ref);
   }
   return scenario;
 }

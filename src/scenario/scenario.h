@@ -38,6 +38,7 @@
 #include <optional>
 #include <vector>
 
+#include "adversary/adversary.h"
 #include "dht/dht_node.h"
 #include "multiformats/multiaddr.h"
 #include "multiformats/peerid.h"
@@ -83,6 +84,13 @@ class Scenario {
   // not armed; call faults().arm() to start background fault processes.
   sim::FaultPlan* faults() { return faults_.get(); }
 
+  // Null unless an attack knob (sybils/eclipse/flash_crowd/churn_storm/
+  // partition) was configured. Constructed but not armed; with
+  // dht_servers(true) every peer is pre-registered as a victim. Arm
+  // after faults()->arm() and detach before faults()->detach() — the
+  // partition decorator wraps whatever injector is installed at arm().
+  adversary::AttackPlan* attack() { return attack_.get(); }
+
   // Empty unless indexers(n) was set. Indexer nodes are appended to the
   // network after every peer node so enabling them leaves pre-existing
   // node ids and seeded rng streams bit-identical.
@@ -107,6 +115,9 @@ class Scenario {
   std::vector<std::unique_ptr<indexer::Indexer>> indexers_;
   std::vector<dht::PeerRef> refs_;
   std::unique_ptr<sim::FaultPlan> faults_;
+  // Declared after faults_: holds Timers into simulator_ and appends its
+  // attacker nodes last, so it must unwind before the fabric.
+  std::unique_ptr<adversary::AttackPlan> attack_;
   routing::RoutingConfig routing_;
 };
 
@@ -164,6 +175,25 @@ class ScenarioBuilder {
   // Constructs (but does not arm) a FaultPlan over the built network.
   ScenarioBuilder& faults(sim::FaultConfig config);
 
+  // ------------------------------------------------------ attack knobs
+  // Adversarial controllers (docs/ADVERSARY.md). Any of these makes
+  // build() construct an (unarmed) adversary::AttackPlan, reachable via
+  // Scenario::attack(). Attacker nodes are appended after indexer nodes,
+  // so switched-off attacks leave node ids and every seeded rng stream
+  // bit-identical. With dht_servers(true) each peer is pre-registered as
+  // a flood/announce victim.
+  ScenarioBuilder& sybils(adversary::SybilConfig config);
+  ScenarioBuilder& eclipse(const dht::Key& target,
+                           adversary::EclipseConfig config = {});
+  ScenarioBuilder& flash_crowd(adversary::FlashCrowdConfig config);
+  ScenarioBuilder& churn_storm(adversary::ChurnStormConfig config);
+  ScenarioBuilder& partition(std::vector<std::vector<int>> region_groups,
+                             sim::Duration heal_at,
+                             sim::Duration start = 0);
+  // Tweaks shared attack infrastructure (sybil front nodes, region).
+  ScenarioBuilder& attack_infra(std::size_t sybil_front_nodes,
+                                int attacker_region);
+
   // Ring-buffer capacity of the metrics trace (0 keeps the default).
   ScenarioBuilder& trace_capacity(std::size_t capacity);
 
@@ -182,6 +212,8 @@ class ScenarioBuilder {
   world::WorldConfig world_config() const;
 
  private:
+  adversary::AttackConfig& ensure_attack();
+
   std::size_t peers_ = 0;
   std::uint64_t seed_ = 42;
   sim::SchedulerBackend scheduler_ = sim::SchedulerBackend::kTimerWheel;
@@ -199,6 +231,7 @@ class ScenarioBuilder {
   pubsub::PubsubConfig pubsub_config_{};
   std::size_t pubsub_candidates_ = 10;
   std::optional<sim::FaultConfig> fault_config_;
+  std::optional<adversary::AttackConfig> attack_config_;
   std::size_t trace_capacity_ = 0;
   std::size_t indexer_count_ = 0;
   indexer::IndexerConfig indexer_config_{};

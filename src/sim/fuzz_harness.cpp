@@ -4,10 +4,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <set>
 #include <sstream>
 
+#include "adversary/adversary.h"
+#include "blockstore/blockstore.h"
 #include "dht/record_store.h"
 #include "indexer/indexer.h"
 #include "merkledag/merkledag.h"
@@ -112,7 +115,104 @@ ScheduleParams make_schedule(std::uint64_t seed) {
           : 0;
   params.indexer_ingest_lag = sim::seconds(indexer_rng.uniform(1.0, 45.0));
   params.indexer_crashes = indexer_rng.chance(0.5);
+
+  // Adversary knobs: own fork, appended after every earlier one. Every
+  // draw happens unconditionally so the stream stays stable across knob
+  // combinations; apply_attack_constraints then normalizes the result
+  // (kNone switches the defenses off, keeping historical seeds
+  // bit-identical to their pre-adversary schedules).
+  sim::Rng adversary_rng = sim::Rng(seed).fork("schedule-adversary");
+  const bool attacked = adversary_rng.chance(0.4);
+  const auto attack_draw = adversary_rng.uniform_int(1, 5);
+  params.attack = attacked ? static_cast<ScheduleParams::Attack>(attack_draw)
+                           : ScheduleParams::Attack::kNone;
+  params.diversity_cap =
+      static_cast<std::size_t>(adversary_rng.uniform_int(0, 3));
+  params.flash_requests =
+      static_cast<std::size_t>(adversary_rng.uniform_int(6, 20));
+  params.flash_dead_cid = adversary_rng.chance(0.5);
+  apply_attack_constraints(params);
   return params;
+}
+
+const char* attack_name(ScheduleParams::Attack attack) {
+  switch (attack) {
+    case ScheduleParams::Attack::kNone:
+      return "none";
+    case ScheduleParams::Attack::kSybil:
+      return "sybil";
+    case ScheduleParams::Attack::kEclipse:
+      return "eclipse";
+    case ScheduleParams::Attack::kFlashCrowd:
+      return "flash";
+    case ScheduleParams::Attack::kChurnStorm:
+      return "storm";
+    case ScheduleParams::Attack::kPartition:
+      return "partition";
+  }
+  return "none";
+}
+
+void apply_attack_constraints(ScheduleParams& params) {
+  using Attack = ScheduleParams::Attack;
+  switch (params.attack) {
+    case Attack::kNone:
+      // Defenses off: a no-attack schedule must stay bit-identical to
+      // the pre-adversary harness.
+      params.diversity_cap = 0;
+      params.provider_quorum = 1;
+      params.flash_requests = 0;
+      params.flash_dead_cid = false;
+      break;
+    case Attack::kSybil:
+      // The drawn cap stays (0 = defense off; invariant 13 binds when
+      // it is armed). Sybil floods compose with any fault schedule.
+      params.provider_quorum = 1;
+      params.flash_requests = 0;
+      break;
+    case Attack::kEclipse:
+      // Invariant 11 needs the indexer escape hatch to exist and nothing
+      // else degrading retrievals: at least one healthy indexer with a
+      // short ingest lag, no population faults, full defenses.
+      params.long_horizon = false;
+      params.fault_scale = 0.0;
+      params.faults = faults_for_scale(0.0, false);
+      params.indexer_count = std::max<std::size_t>(params.indexer_count, 1);
+      params.indexer_crashes = false;
+      params.indexer_ingest_lag =
+          std::min<sim::Duration>(params.indexer_ingest_lag, sim::seconds(2));
+      params.diversity_cap = std::max<std::size_t>(params.diversity_cap, 2);
+      params.provider_quorum = 3;
+      params.flash_requests = 0;
+      break;
+    case Attack::kFlashCrowd:
+      // Invariant 12 (exactly-once completion) must not be masked by a
+      // crashed requester taking its callback with it.
+      params.long_horizon = false;
+      params.faults = faults_for_scale(params.fault_scale, false);
+      params.faults.crashes_per_hour_per_node = 0.0;
+      params.diversity_cap = 0;
+      params.provider_quorum = 1;
+      params.flash_requests = std::max<std::size_t>(params.flash_requests, 4);
+      break;
+    case Attack::kChurnStorm:
+      // The storm is the only crash source — FaultPlan and AttackPlan
+      // must never double-manage one node's process lifecycle.
+      params.long_horizon = false;
+      params.faults = faults_for_scale(params.fault_scale, false);
+      params.faults.crashes_per_hour_per_node = 0.0;
+      params.diversity_cap = 0;
+      params.provider_quorum = 1;
+      params.flash_requests = 0;
+      break;
+    case Attack::kPartition:
+      params.long_horizon = false;
+      params.faults = faults_for_scale(params.fault_scale, false);
+      params.diversity_cap = 0;
+      params.provider_quorum = 1;
+      params.flash_requests = 0;
+      break;
+  }
 }
 
 std::string ScheduleParams::describe() const {
@@ -137,7 +237,12 @@ std::string ScheduleParams::describe() const {
       << " pubsub_publishes=" << pubsub_publish_count
       << " indexers=" << indexer_count
       << " indexer_ingest_lag_s=" << sim::to_seconds(indexer_ingest_lag)
-      << " indexer_crashes=" << (indexer_crashes ? 1 : 0) << "}\n"
+      << " indexer_crashes=" << (indexer_crashes ? 1 : 0)
+      << " attack=" << attack_name(attack)
+      << " diversity_cap=" << diversity_cap
+      << " provider_quorum=" << provider_quorum
+      << " flash_requests=" << flash_requests
+      << " flash_dead_cid=" << (flash_dead_cid ? 1 : 0) << "}\n"
       << "replay: IPFS_FUZZ_SEED=" << seed
       << " IPFS_FUZZ_SCHEDULES=1 ./tests/simfuzz_test";
   return out.str();
@@ -178,7 +283,10 @@ std::string ScheduleStats::fingerprint() const {
       << " deliveries=" << pubsub_deliveries
       << " dedup=" << pubsub_duplicates << "}\n"
       << "indexer{crashes=" << indexer_crashes
-      << " routed=" << indexer_routed << "}\n";
+      << " routed=" << indexer_routed << "}\n"
+      << "attack{events=" << attack_events << " flash_fired=" << flash_fired
+      << " flash_done=" << flash_completions
+      << " sybil_rejected=" << sybil_rejections << "}\n";
   auto sorted = ops;
   std::sort(sorted.begin(), sorted.end(),
             [](const OpRecord& a, const OpRecord& b) {
@@ -264,6 +372,10 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
     // coarsen the heartbeat instead (mesh repair just converges slower).
     if (params.long_horizon) config.pubsub.with_heartbeat(sim::seconds(30));
     if (fabric.indexer_count() > 0) config.routing = fabric.routing_config();
+    // Defense knobs (docs/ADVERSARY.md): kNone schedules carry the
+    // defaults (cap 0, quorum 1), so the config stays bit-identical.
+    config.provider_quorum = params.provider_quorum;
+    config.bucket_diversity_cap = params.diversity_cap;
     bool stable = true;
     if (i >= kBootstrapCount) {
       if (world_rng.chance(params.nat_fraction)) {
@@ -445,7 +557,9 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
   // ---- Fault plan + crash wiring -----------------------------------------
   sim::FaultPlan plan(network, params.faults, params.seed);
   std::vector<std::vector<sim::Time>> crash_times(node_count);
-  plan.add_crash_listener([&](sim::NodeId node_id, bool online) {
+  // Shared between the fault plan and the attack plan's churn storm: a
+  // crash is a crash, whichever controller caused it.
+  const auto on_crash_transition = [&](sim::NodeId node_id, bool online) {
     const std::size_t index = node_index(node_id);
     if (!online) {
       crash_times[index].push_back(simulator.now());
@@ -462,7 +576,8 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
         nodes[index]->pubsub()->add_candidate_peer(nodes[peer]->node());
       for (const std::size_t t : node_topics[index]) subscribe_node(index, t);
     }
-  });
+  };
+  plan.add_crash_listener(on_crash_transition);
   for (std::size_t i = kBootstrapCount; i < node_count; ++i)
     plan.manage_crashes(nodes[i]->node());
 
@@ -621,6 +736,103 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
     });
   }
 
+  // ---- Attack plan (docs/ADVERSARY.md) -----------------------------------
+  // Constructed after every honest node so attacker NodeIds append last
+  // (a no-attack schedule keeps its ids and rng streams bit-identical),
+  // and armed only after the fault plan arms — the partition decorator
+  // wraps whatever injector is installed at that moment.
+  std::unique_ptr<adversary::AttackPlan> attack;
+  multiformats::Cid flash_cid;
+  std::vector<int> flash_fired(params.flash_requests, 0);
+  std::vector<int> flash_completed(params.flash_requests, 0);
+  std::vector<int> flash_ok(params.flash_requests, 0);
+  if (params.attack != ScheduleParams::Attack::kNone) {
+    adversary::AttackConfig attack_config;
+    switch (params.attack) {
+      case ScheduleParams::Attack::kSybil: {
+        adversary::SybilConfig sybil;
+        sybil.per_victim = 6;
+        sybil.target_cpl = 6;
+        sybil.start = sim::seconds(1);
+        sybil.rounds = 2;
+        sybil.interval = sim::seconds(20);
+        attack_config.sybil = sybil;
+        break;
+      }
+      case ScheduleParams::Attack::kEclipse: {
+        // The eclipsed CID is the schedule's first object. add() is
+        // deterministic, so a scratch import yields the exact CID the
+        // publisher will produce mid-run.
+        blockstore::BlockStore scratch;
+        attack_config.eclipse_target = dht::Key::for_cid(
+            merkledag::import_bytes(scratch, objects[0].data).root);
+        // A full replication set of attackers absorbs the entire store
+        // batch; min_cpl 8 out-distances any honest peer in these small
+        // worlds at 1/16th the default mining cost.
+        attack_config.eclipse.min_cpl = 8;
+        attack_config.eclipse.announce_at = 0;
+        break;
+      }
+      case ScheduleParams::Attack::kFlashCrowd: {
+        adversary::FlashCrowdConfig flash;
+        flash.requests = params.flash_requests;
+        flash.start = sim::seconds(5);
+        flash.window = std::max<sim::Duration>(sim::seconds(1), window / 2);
+        attack_config.flash_crowd = flash;
+        blockstore::BlockStore scratch;
+        if (params.flash_dead_cid) {
+          sim::Rng dead_rng = base_rng.fork("fuzz-adversary-dead");
+          flash_cid = merkledag::import_bytes(
+                          scratch, deterministic_bytes(2048, dead_rng))
+                          .root;
+        } else {
+          flash_cid = merkledag::import_bytes(scratch, objects[0].data).root;
+        }
+        break;
+      }
+      case ScheduleParams::Attack::kChurnStorm: {
+        adversary::ChurnStormConfig storm;
+        storm.fraction = 0.4;
+        storm.start = sim::seconds(1);
+        storm.window = std::min<sim::Duration>(window, sim::seconds(45));
+        storm.min_downtime = sim::seconds(10);
+        storm.max_downtime = sim::seconds(40);
+        attack_config.churn_storm = storm;
+        break;
+      }
+      case ScheduleParams::Attack::kPartition: {
+        adversary::PartitionConfig partition;
+        partition.groups = {{0}, {1, 2}};
+        partition.start = sim::seconds(5);
+        partition.heal_at = sim::seconds(5) + window / 2;
+        attack_config.partition = partition;
+        break;
+      }
+      case ScheduleParams::Attack::kNone:
+        break;
+    }
+    attack = std::make_unique<adversary::AttackPlan>(network, attack_config,
+                                                     params.seed);
+    for (const auto& node : nodes) attack->add_victim(node->self());
+    attack->add_crash_listener(on_crash_transition);
+    for (std::size_t i = kBootstrapCount; i < node_count; ++i)
+      attack->manage_storm(nodes[i]->node());
+    if (attack_config.flash_crowd) {
+      attack->set_flash_request_handler([&](std::size_t slot) {
+        const std::size_t requester = slot % node_count;
+        if (!network.online(nodes[requester]->node())) return;
+        flash_fired[slot] = 1;
+        ++stats.flash_fired;
+        nodes[requester]->retrieve(
+            flash_cid, [&, slot](node::RetrievalTrace trace) {
+              ++flash_completed[slot];
+              ++stats.flash_completions;
+              if (trace.ok) flash_ok[slot] = 1;
+            });
+      });
+    }
+  }
+
   // Pubsub publishes land anywhere in the workload window, from any node:
   // non-subscribed publishers exercise the fanout path, subscribed ones
   // the mesh. All draws happen up front so the op table never mutates the
@@ -663,6 +875,7 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
 
   // ---- Phase 2: run the workload under faults ----------------------------
   plan.arm();
+  if (attack) attack->arm();  // after plan.arm(): the decorator wraps it
   const sim::Time horizon =
       params.long_horizon
           ? workload_start + sim::hours(26)
@@ -670,9 +883,12 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
   stats.events_executed += simulator.run_until(horizon);
 
   // ---- Phase 3: disarm background faults and drain -----------------------
+  if (attack) attack->disarm();
   plan.disarm();
   stats.events_executed += simulator.run();
   stats.faults = plan.counters();
+  const std::uint64_t storm_crashes =
+      attack ? attack->counters().storm_crashes : 0;
 
   // ---- Invariant checks ---------------------------------------------------
   const sim::Time end = simulator.now();
@@ -770,7 +986,12 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
   // faults and no crashes means nothing could partition a mesh, so every
   // subscriber must hold every published message exactly once. Faulty
   // schedules can legitimately end mid-repair; there only (7) binds.
-  if (params.fault_scale == 0.0 && stats.faults.crashes == 0) {
+  // Storm crashes and partitions disturb meshes the same way FaultPlan
+  // crashes do (a partitioned-away publish ages out of the gossip
+  // window), so those schedules are exempt too.
+  if (params.fault_scale == 0.0 && stats.faults.crashes == 0 &&
+      storm_crashes == 0 &&
+      params.attack != ScheduleParams::Attack::kPartition) {
     for (const auto& op : pubsub_ops) {
       if (!op.attempted) continue;
       // A fanout publisher that knows no topic peer drops the message by
@@ -809,6 +1030,8 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
   // router's DHT arm must have carried every fetch — a retrieval that
   // fails here is one a DHT-only configuration would have served.
   if (params.fault_scale == 0.0 && stats.faults.crashes == 0 &&
+      storm_crashes == 0 &&
+      params.attack != ScheduleParams::Attack::kPartition &&
       stats.indexer_crashes > 0) {
     for (const auto& op : stats.ops) {
       if (op.kind != OpRecord::Kind::kRetrieve || !op.attempted) continue;
@@ -822,10 +1045,84 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
     }
   }
 
+  // (11) Eclipse resilience: the eclipsed CID (the schedule's first
+  // object) must still be retrievable via the indexer race once the
+  // indexer has ingested the publisher's advertisement. Eclipse
+  // schedules force fault scale 0, healthy indexers and full defenses
+  // (apply_attack_constraints), so nothing but the eclipse itself could
+  // degrade these retrievals. Binds only when the defenses are actually
+  // armed — tests pin defenses-off eclipse schedules to prove the attack
+  // itself works, and those are expected to lose the object.
+  if (params.attack == ScheduleParams::Attack::kEclipse &&
+      params.indexer_count > 0 && params.provider_quorum > 1 &&
+      params.fault_scale == 0.0 && !params.indexer_crashes) {
+    const sim::Duration settle = params.indexer_ingest_lag + sim::seconds(5);
+    for (const PlannedRetrieval& retrieval : planned[0]) {
+      const OpRecord& op = stats.ops[retrieval.op_index];
+      if (!op.attempted) continue;
+      if (retrieval.delay_after_publish < settle) continue;
+      if (op.completed && op.ok) continue;
+      std::ostringstream out;
+      out << "eclipse defeated retrieval: the eclipsed CID (obj=0) was not"
+          << " retrievable via the indexer race (node=" << op.node
+          << " completed=" << op.completed << " ok=" << op.ok << " delay_s="
+          << sim::to_seconds(retrieval.delay_after_publish) << ")";
+      violations.push_back(out.str());
+    }
+  }
+
+  // (12) Flash-crowd accounting: every fired flash request completes
+  // exactly once, and a crowd chasing a never-published CID gets a typed
+  // failure. (Invariant 6 covers the block accounting underneath.)
+  if (params.attack == ScheduleParams::Attack::kFlashCrowd) {
+    for (std::size_t slot = 0; slot < params.flash_requests; ++slot) {
+      if (!flash_fired[slot]) continue;
+      if (flash_completed[slot] != 1) {
+        std::ostringstream out;
+        out << "flash-crowd request slot=" << slot << " completed "
+            << flash_completed[slot] << " time(s), expected exactly once";
+        violations.push_back(out.str());
+      }
+      if (params.flash_dead_cid && flash_ok[slot]) {
+        std::ostringstream out;
+        out << "flash-crowd request slot=" << slot
+            << " reported ok for a CID that was never published";
+        violations.push_back(out.str());
+      }
+    }
+  }
+
+  // (13) Sybil containment: with the diversity cap armed, no bucket on
+  // any node may hold more adversarial entries than the cap — every
+  // forged identity advertises an address in the attacker's one /16.
+  if (attack && params.diversity_cap > 0) {
+    for (std::size_t i = 0; i < node_count; ++i) {
+      const dht::Key self_key = dht::Key::for_peer(nodes[i]->self().id);
+      std::map<int, std::size_t> adversarial_per_bucket;
+      for (const auto& peer : nodes[i]->dht().routing_table().all_peers())
+        if (attack->is_adversarial_id(peer.id))
+          ++adversarial_per_bucket[self_key.common_prefix_len(
+              dht::Key::for_peer(peer.id))];
+      for (const auto& [cpl, count] : adversarial_per_bucket) {
+        if (count <= params.diversity_cap) continue;
+        std::ostringstream out;
+        out << "sybil containment violated: node " << i << " bucket cpl="
+            << cpl << " holds " << count << " adversarial entries (cap="
+            << params.diversity_cap << ")";
+        violations.push_back(out.str());
+      }
+    }
+  }
+
   // Engine-level dedup totals feed the determinism fingerprint.
   for (std::size_t i = 0; i < node_count; ++i)
     stats.pubsub_duplicates += nodes[i]->pubsub()->duplicates_suppressed();
+  if (attack) stats.attack_events = attack->counters().total_attack_events();
+  for (std::size_t i = 0; i < node_count; ++i)
+    stats.sybil_rejections +=
+        nodes[i]->dht().routing_table().diversity_rejections();
 
+  if (attack) attack->detach();  // before plan.detach(): reverse arm order
   plan.detach();
 
   // Any violation dumps the schedule's flight recording: every counter,

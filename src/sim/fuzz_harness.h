@@ -38,6 +38,18 @@
 //      crashes), every attempted retrieval still succeeds — the race
 //      router must degrade to the DHT path, so no fetch fails that a
 //      DHT-only configuration would have served.
+//  11. Eclipse resilience: on eclipse schedules (which force at least one
+//      healthy indexer and no other faults), every retrieval of the
+//      eclipsed CID that starts after the indexer ingest settles still
+//      succeeds — the indexer race is the escape hatch the poisoned XOR
+//      neighborhood cannot block.
+//  12. Flash-crowd accounting: every fired flash request completes
+//      exactly once; a crowd chasing a never-published CID gets a typed
+//      failure, never a hang or a phantom success. (Block conservation,
+//      invariant 6, covers the at-most-once accounting underneath.)
+//  13. Sybil containment: with a per-bucket diversity cap D armed, no
+//      routing-table bucket on any node holds more than D adversarial
+//      entries — the flood is bounded by the defense, not by luck.
 //
 // Any violation message embeds ScheduleParams::describe(), which includes
 // the seed and a one-command replay line.
@@ -108,6 +120,21 @@ struct ScheduleParams {
   double fault_scale = 0.0;
   sim::FaultConfig faults;
 
+  // Adversarial attack schedule (docs/ADVERSARY.md). At most one attack
+  // family runs per schedule, as an adversary::AttackPlan layered over
+  // the fault plan; the controller parameters are fixed by the harness
+  // while the defense knobs below feed every node's IpfsNodeConfig.
+  // kNone forces the defenses off too, so historical seeds replay their
+  // pre-adversary schedules bit-identically. All adversary knobs draw
+  // from their own "schedule-adversary" fork.
+  enum class Attack { kNone, kSybil, kEclipse, kFlashCrowd, kChurnStorm,
+                      kPartition };
+  Attack attack = Attack::kNone;
+  std::size_t diversity_cap = 0;    // per-bucket /16 cap, 0 = defense off
+  std::size_t provider_quorum = 1;  // GetProviders termination quorum
+  std::size_t flash_requests = 0;   // flash-crowd burst size
+  bool flash_dead_cid = false;      // the crowd chases an unpublished CID
+
   // Human- and machine-readable parameter dump, including the seed and a
   // replay command. Embedded in every violation message.
   std::string describe() const;
@@ -120,6 +147,16 @@ sim::FaultConfig faults_for_scale(double scale, bool long_horizon);
 // Randomizes a full schedule from `seed` (deterministic: same seed, same
 // schedule).
 ScheduleParams make_schedule(std::uint64_t seed);
+
+// Normalizes the attack knobs into the self-consistent shape invariants
+// 11-13 rely on (eclipse schedules force a healthy indexer and no other
+// faults, flash/storm schedules keep FaultPlan crashes out of the way,
+// kNone switches every defense off). make_schedule applies this after
+// drawing; sweep tests that force an attack type must re-apply it.
+void apply_attack_constraints(ScheduleParams& params);
+
+// Short attack-type name ("none", "sybil", ...), for logs and describe().
+const char* attack_name(ScheduleParams::Attack attack);
 
 // One publish or retrieval in the op table.
 struct OpRecord {
@@ -149,6 +186,12 @@ struct ScheduleStats {
   // Delegated-routing workload totals.
   std::uint64_t indexer_crashes = 0;     // harness-scheduled indexer crashes
   std::uint64_t indexer_routed = 0;      // retrievals won by the indexer path
+
+  // Adversarial workload totals (docs/ADVERSARY.md).
+  std::uint64_t attack_events = 0;       // AttackPlan counter grand total
+  std::uint64_t flash_fired = 0;         // flash-crowd requests launched
+  std::uint64_t flash_completions = 0;   // their completions (invariant 12)
+  std::uint64_t sybil_rejections = 0;    // diversity-cap upsert refusals
 
   std::size_t publishes_ok() const;
   std::size_t retrievals_attempted() const;

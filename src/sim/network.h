@@ -219,6 +219,11 @@ class Network {
   // Installs (or removes, with nullptr) the fault injector. Not owned.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
+  // The currently installed injector (nullptr when none). Lets a second
+  // fault source (adversary::AttackPlan's partition) wrap whatever is
+  // already installed instead of silently replacing it.
+  FaultInjector* fault_injector() const { return injector_; }
+
   // Tears down the a<->b connection and fails every in-flight request
   // between the pair, in both directions, with RpcStatus::kReset. The
   // reset callbacks fire asynchronously (a reset is observed on the next

@@ -144,6 +144,118 @@ TEST(RoutingTableTest, RemoveEvictsPeer) {
 }
 
 // --------------------------------------------------------------------------
+// RoutingTable: per-bucket IP-diversity cap (docs/ADVERSARY.md)
+// --------------------------------------------------------------------------
+
+// First `count` indices in [lo, hi) whose keys share exactly `cpl` prefix
+// bits with peer 0's key — same-bucket peers from peer 0's perspective.
+// synthetic_address puts n < 256 in 10.0.0.0/16 and 256 <= n < 512 in
+// 10.1.0.0/16, so the range also selects the diversity class.
+std::vector<std::uint64_t> same_bucket_indices(int cpl, std::uint64_t lo,
+                                               std::uint64_t hi,
+                                               std::size_t count) {
+  const Key self = Key::for_peer(synthetic_peer_id(0));
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t n = lo; n < hi && out.size() < count; ++n) {
+    if (n == 0) continue;
+    if (self.common_prefix_len(Key::for_peer(synthetic_peer_id(n))) == cpl)
+      out.push_back(n);
+  }
+  return out;
+}
+
+TEST(RoutingTableTest, DiversityCapZeroMatchesUncappedTable) {
+  // cap = 0 must be bit-identical to the pre-cap tables: same accept/
+  // reject decisions, same iteration order, zero rejections.
+  RoutingTable uncapped(Key::for_peer(synthetic_peer_id(0)));
+  RoutingTable capped(Key::for_peer(synthetic_peer_id(0)), 0);
+  for (std::uint64_t i = 1; i <= 500; ++i) {
+    EXPECT_EQ(uncapped.upsert(make_ref(i)), capped.upsert(make_ref(i)));
+  }
+  EXPECT_EQ(capped.size(), uncapped.size());
+  EXPECT_EQ(capped.diversity_rejections(), 0u);
+  const auto lhs = uncapped.all_peers();
+  const auto rhs = capped.all_peers();
+  ASSERT_EQ(lhs.size(), rhs.size());
+  for (std::size_t i = 0; i < lhs.size(); ++i) EXPECT_EQ(lhs[i].id, rhs[i].id);
+}
+
+TEST(RoutingTableTest, DiversityCapRejectsSamePrefixOverflow) {
+  const auto peers = same_bucket_indices(0, 1, 256, 3);
+  ASSERT_EQ(peers.size(), 3u);  // all in 10.0/16, all in bucket cpl=0
+  RoutingTable table(Key::for_peer(synthetic_peer_id(0)), 2);
+  EXPECT_TRUE(table.upsert(make_ref(peers[0])));
+  EXPECT_TRUE(table.upsert(make_ref(peers[1])));
+  EXPECT_FALSE(table.upsert(make_ref(peers[2])));  // third same-/16 entry
+  EXPECT_FALSE(table.contains(synthetic_peer_id(peers[2])));
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.diversity_rejections(), 1u);
+}
+
+TEST(RoutingTableTest, RefreshOfExistingEntryBypassesTheCap) {
+  const auto peers = same_bucket_indices(0, 1, 256, 1);
+  ASSERT_EQ(peers.size(), 1u);
+  RoutingTable table(Key::for_peer(synthetic_peer_id(0)), 1);
+  PeerRef ref = make_ref(peers[0]);
+  EXPECT_TRUE(table.upsert(ref));
+  // The peer saturates its own class; refreshing it is not an insert and
+  // must neither fail nor count as a rejection.
+  ref.node = 77;
+  EXPECT_TRUE(table.upsert(ref));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.diversity_rejections(), 0u);
+  EXPECT_EQ(table.all_peers()[0].node, 77u);
+}
+
+TEST(RoutingTableTest, RemoveFreesTheDiversitySlot) {
+  const auto peers = same_bucket_indices(0, 1, 256, 2);
+  ASSERT_EQ(peers.size(), 2u);
+  RoutingTable table(Key::for_peer(synthetic_peer_id(0)), 1);
+  EXPECT_TRUE(table.upsert(make_ref(peers[0])));
+  EXPECT_FALSE(table.upsert(make_ref(peers[1])));
+  table.remove(synthetic_peer_id(peers[0]));
+  // The class slot is free again: the previously rejected peer enters.
+  EXPECT_TRUE(table.upsert(make_ref(peers[1])));
+  EXPECT_TRUE(table.contains(synthetic_peer_id(peers[1])));
+}
+
+TEST(RoutingTableTest, DistinctPrefixesDoNotShareTheCap) {
+  // One peer from 10.0/16 and one from 10.1/16, same bucket: a cap of 1
+  // admits both — the cap is per /16 class, not per bucket total.
+  const auto first = same_bucket_indices(0, 1, 256, 1);
+  const auto second = same_bucket_indices(0, 256, 512, 1);
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(second.size(), 1u);
+  RoutingTable table(Key::for_peer(synthetic_peer_id(0)), 1);
+  EXPECT_TRUE(table.upsert(make_ref(first[0])));
+  EXPECT_TRUE(table.upsert(make_ref(second[0])));
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.diversity_rejections(), 0u);
+}
+
+TEST(RoutingTableTest, AddressLessPeersAreExemptFromTheCap) {
+  const auto peers = same_bucket_indices(0, 1, 256, 3);
+  ASSERT_EQ(peers.size(), 3u);
+  RoutingTable table(Key::for_peer(synthetic_peer_id(0)), 1);
+  for (const auto n : peers) {
+    PeerRef bare{synthetic_peer_id(n), static_cast<sim::NodeId>(n), {}};
+    EXPECT_FALSE(RoutingTable::diversity_class(bare).has_value());
+    EXPECT_TRUE(table.upsert(bare));  // unclassifiable: cap cannot apply
+  }
+  EXPECT_EQ(table.size(), peers.size());
+  EXPECT_EQ(table.diversity_rejections(), 0u);
+}
+
+TEST(RoutingTableTest, DiversityClassIsTheFirstTwoOctets) {
+  const auto cls = RoutingTable::diversity_class(make_ref(7));
+  ASSERT_TRUE(cls.has_value());
+  EXPECT_EQ(*cls, (10u << 8) | 0u);  // synthetic_address(7) = 10.0.7.1
+  const auto far_cls = RoutingTable::diversity_class(make_ref(256 + 7));
+  ASSERT_TRUE(far_cls.has_value());
+  EXPECT_EQ(*far_cls, (10u << 8) | 1u);  // 10.1.7.1
+}
+
+// --------------------------------------------------------------------------
 // RecordStore
 // --------------------------------------------------------------------------
 

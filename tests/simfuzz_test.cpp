@@ -222,6 +222,188 @@ TEST(SimFuzz, IndexerCrashesNeverFailAFetchTheDhtWouldServe) {
       << report.stats.fingerprint();
 }
 
+TEST(SimFuzz, AttackSchedulesHoldInvariantsAcrossFiveHundredSeeds) {
+  // Satellite sweep for the adversarial invariants (11-13): every
+  // schedule runs one attack family, round-robin so coverage never
+  // depends on the 40% attack draw, with the defense knobs as drawn from
+  // the schedule-adversary fork and then re-normalized. Worlds are kept
+  // small so 500 seeds stay tractable.
+  const std::uint64_t base_seed = env_u64("IPFS_FUZZ_SEED", 80'000);
+  const std::uint64_t schedules = env_u64("IPFS_FUZZ_ATTACK_SCHEDULES", 500);
+
+  std::uint64_t attack_events = 0;
+  std::uint64_t flash_fired = 0;
+  std::uint64_t flash_completions = 0;
+  std::uint64_t sybil_rejections = 0;
+  std::size_t capped_sybil_schedules = 0;
+  for (std::uint64_t i = 0; i < schedules; ++i) {
+    ScheduleParams params = make_schedule(base_seed + i);
+    params.node_count = std::min<std::size_t>(params.node_count, 12);
+    params.long_horizon = false;
+    params.publish_count = std::min<std::size_t>(params.publish_count, 3);
+    params.retrievals_per_object =
+        std::min<std::size_t>(params.retrievals_per_object, 2);
+    params.max_object_bytes =
+        std::min<std::size_t>(params.max_object_bytes, 128 * 1024);
+    params.attack = static_cast<ScheduleParams::Attack>(1 + (i % 5));
+    apply_attack_constraints(params);
+    if (params.attack == ScheduleParams::Attack::kSybil &&
+        params.diversity_cap > 0)
+      ++capped_sybil_schedules;
+
+    const ScheduleReport report = run_schedule(params);
+    ASSERT_TRUE(report.ok()) << report.failure_summary();
+    attack_events += report.stats.attack_events;
+    flash_fired += report.stats.flash_fired;
+    flash_completions += report.stats.flash_completions;
+    sybil_rejections += report.stats.sybil_rejections;
+  }
+
+  if (schedules >= 100) {
+    // The sweep must actually land attacks, fire flash crowds that all
+    // complete (invariant 12), and exercise the diversity cap both ways.
+    EXPECT_GT(attack_events, 0u);
+    EXPECT_GT(flash_fired, 0u);
+    EXPECT_EQ(flash_completions, flash_fired);
+    EXPECT_GT(capped_sybil_schedules, 0u);
+    EXPECT_GT(sybil_rejections, 0u);
+  }
+}
+
+TEST(SimFuzz, ApplyAttackConstraintsNormalizesDefenses) {
+  // kNone switches every defense off — historical seeds must replay
+  // their pre-adversary schedules bit-identically.
+  ScheduleParams params = make_schedule(123);
+  params.attack = ScheduleParams::Attack::kNone;
+  params.diversity_cap = 3;
+  params.provider_quorum = 4;
+  params.flash_requests = 9;
+  params.flash_dead_cid = true;
+  apply_attack_constraints(params);
+  EXPECT_EQ(params.diversity_cap, 0u);
+  EXPECT_EQ(params.provider_quorum, 1u);
+  EXPECT_EQ(params.flash_requests, 0u);
+  EXPECT_FALSE(params.flash_dead_cid);
+
+  // Eclipse schedules arm the full defense stack: invariant 11 relies on
+  // a healthy indexer escape hatch and nothing else degrading retrievals.
+  ScheduleParams eclipse = make_schedule(123);
+  eclipse.attack = ScheduleParams::Attack::kEclipse;
+  eclipse.indexer_count = 0;
+  eclipse.indexer_crashes = true;
+  eclipse.fault_scale = 1.0;
+  apply_attack_constraints(eclipse);
+  EXPECT_GE(eclipse.indexer_count, 1u);
+  EXPECT_FALSE(eclipse.indexer_crashes);
+  EXPECT_EQ(eclipse.fault_scale, 0.0);
+  EXPECT_GE(eclipse.provider_quorum, 3u);
+  EXPECT_GE(eclipse.diversity_cap, 2u);
+  EXPECT_EQ(eclipse.flash_requests, 0u);
+
+  // Storm schedules keep FaultPlan crashes away from the storm's: one
+  // owner per node's process lifecycle.
+  ScheduleParams storm = make_schedule(123);
+  storm.attack = ScheduleParams::Attack::kChurnStorm;
+  storm.fault_scale = 1.0;
+  apply_attack_constraints(storm);
+  EXPECT_EQ(storm.faults.crashes_per_hour_per_node, 0.0);
+}
+
+TEST(SimFuzz, FlashCrowdAgainstADeadCidCompletesEveryRequest) {
+  // Invariant 12, pinned: a burst chasing a never-published CID must end
+  // in typed failures, never hangs — every fired slot completes.
+  ScheduleParams params;
+  params.seed = 1717;
+  params.node_count = 12;
+  params.nat_fraction = 0.0;
+  params.flaky_fraction = 0.0;
+  params.publish_count = 2;
+  params.retrievals_per_object = 2;
+  params.fault_scale = 0.0;
+  params.faults = faults_for_scale(0.0, false);
+  params.attack = ScheduleParams::Attack::kFlashCrowd;
+  params.flash_requests = 10;
+  params.flash_dead_cid = true;
+
+  const ScheduleReport report = run_schedule(params);
+  ASSERT_TRUE(report.ok()) << report.failure_summary();
+  EXPECT_GT(report.stats.flash_fired, 0u);
+  EXPECT_EQ(report.stats.flash_completions, report.stats.flash_fired);
+  EXPECT_GT(report.stats.attack_events, 0u);
+}
+
+TEST(SimFuzz, SybilFloodStaysWithinTheDiversityCap) {
+  // Invariant 13, pinned: a capped sybil schedule keeps every bucket's
+  // adversarial occupancy within the cap, and the turned-away flood
+  // shows up in the rejection counter.
+  ScheduleParams params;
+  params.seed = 2718;
+  params.node_count = 12;
+  params.nat_fraction = 0.0;
+  params.flaky_fraction = 0.0;
+  params.publish_count = 2;
+  params.retrievals_per_object = 2;
+  params.fault_scale = 0.0;
+  params.faults = faults_for_scale(0.0, false);
+  params.attack = ScheduleParams::Attack::kSybil;
+  params.diversity_cap = 2;
+
+  const ScheduleReport report = run_schedule(params);
+  ASSERT_TRUE(report.ok()) << report.failure_summary();
+  EXPECT_GT(report.stats.attack_events, 0u);
+  EXPECT_GT(report.stats.sybil_rejections, 0u);
+}
+
+TEST(SimFuzz, AttackSchedulesAreByteIdenticalAcrossSchedulerBackends) {
+  // Every attack controller schedules through the event core, so each
+  // family must replay byte-identically (fingerprint AND full trace
+  // stream) under the wheel and heap backends.
+  for (int family = 1; family <= 5; ++family) {
+    ScheduleParams params = make_schedule(3000 + static_cast<std::uint64_t>(family));
+    params.node_count = 10;
+    params.long_horizon = false;
+    params.publish_count = 2;
+    params.retrievals_per_object = 2;
+    params.max_object_bytes = 64 * 1024;
+    params.attack = static_cast<ScheduleParams::Attack>(family);
+    apply_attack_constraints(params);
+    params.capture_trace = true;
+
+    params.scheduler = sim::SchedulerBackend::kTimerWheel;
+    const ScheduleReport wheel = run_schedule(params);
+    params.scheduler = sim::SchedulerBackend::kBinaryHeap;
+    const ScheduleReport heap = run_schedule(params);
+
+    ASSERT_TRUE(wheel.ok()) << wheel.failure_summary();
+    ASSERT_TRUE(heap.ok()) << heap.failure_summary();
+    EXPECT_EQ(wheel.stats.fingerprint(), heap.stats.fingerprint())
+        << "family=" << attack_name(params.attack);
+    ASSERT_FALSE(wheel.trace_jsonl.empty());
+    EXPECT_EQ(wheel.trace_jsonl, heap.trace_jsonl)
+        << "family=" << attack_name(params.attack);
+  }
+}
+
+TEST(SimFuzz, DescribeCarriesTheAttackKnobs) {
+  ScheduleParams params = make_schedule(55);
+  params.attack = ScheduleParams::Attack::kEclipse;
+  apply_attack_constraints(params);
+  const std::string text = params.describe();
+  EXPECT_NE(text.find("attack=eclipse"), std::string::npos);
+  EXPECT_NE(text.find("diversity_cap="), std::string::npos);
+  EXPECT_NE(text.find("provider_quorum="), std::string::npos);
+  EXPECT_NE(text.find("flash_requests="), std::string::npos);
+
+  EXPECT_EQ(std::string(attack_name(ScheduleParams::Attack::kNone)), "none");
+  EXPECT_EQ(std::string(attack_name(ScheduleParams::Attack::kSybil)), "sybil");
+  EXPECT_EQ(std::string(attack_name(ScheduleParams::Attack::kFlashCrowd)),
+            "flash");
+  EXPECT_EQ(std::string(attack_name(ScheduleParams::Attack::kChurnStorm)),
+            "storm");
+  EXPECT_EQ(std::string(attack_name(ScheduleParams::Attack::kPartition)),
+            "partition");
+}
+
 TEST(SimFuzz, LongHorizonScheduleExpiresProviderRecords) {
   ScheduleParams params;
   params.seed = 9001;
