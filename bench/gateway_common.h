@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common.h"
+#include "gateway/fleet.h"
 #include "gateway/gateway.h"
 #include "workload/gateway_workload.h"
 
@@ -16,6 +17,13 @@ namespace ipfs::bench {
 struct GatewayExperiment {
   std::unique_ptr<world::World> world;
   std::unique_ptr<gateway::Gateway> gateway;
+  std::vector<std::unique_ptr<node::IpfsNode>> hosts;
+  std::unique_ptr<workload::GatewayWorkload> workload;
+};
+
+struct FleetExperiment {
+  std::unique_ptr<world::World> world;
+  std::unique_ptr<gateway::GatewayFleet> fleet;
   std::vector<std::unique_ptr<node::IpfsNode>> hosts;
   std::unique_ptr<workload::GatewayWorkload> workload;
 };
@@ -112,6 +120,77 @@ inline GatewayExperiment setup_gateway_experiment(
 
     // Provider records as a fresh publication would have left them,
     // refreshed again mid-day (the 12 h republish).
+    const dht::Key key = dht::Key::for_cid(import.root);
+    seed_provider_records(world, key, host.self());
+    world.simulator().schedule_daemon_after(
+        sim::hours(11.5), [&world, key, ref = host.self()] {
+          seed_provider_records(world, key, ref);
+        });
+  }
+
+  return experiment;
+}
+
+// Same world/hosts/catalog scaffolding, but serving through a
+// GatewayFleet: `replicas` consistent-hash-routed gateways, each with
+// the single instance's 18 MiB edge cache (TinyLFU-admitted), over one
+// shared origin tier. Pinned catalog objects land on their ring owner.
+inline FleetExperiment setup_fleet_experiment(
+    std::size_t world_peers, std::size_t catalog_size, std::uint64_t requests,
+    std::size_t replicas, sim::Duration duration = sim::hours(24)) {
+  FleetExperiment experiment;
+  experiment.world = scenario_builder(world_peers).build_world();
+  auto& world = *experiment.world;
+
+  world.network().metrics().set_trace_filter([](const std::string& name) {
+    return name.starts_with("gateway.");
+  });
+
+  gateway::FleetConfig fleet_config;
+  fleet_config.replicas = replicas;
+  fleet_config.replica.node.net.region = world::kUsEast;
+  fleet_config.replica.node.net.upload_bytes_per_sec = 200.0 * 1024 * 1024;
+  fleet_config.replica.node.net.download_bytes_per_sec = 200.0 * 1024 * 1024;
+  fleet_config.replica.node.identity_seed = 0x6A7E;
+  fleet_config.replica.node.provide_after_fetch = false;
+  fleet_config.replica.nginx_cache_bytes = 18ull * 1024 * 1024;
+  fleet_config.origin_cache_bytes = 64ull * 1024 * 1024;
+  experiment.fleet = std::make_unique<gateway::GatewayFleet>(world.network(),
+                                                             fleet_config);
+
+  workload::GatewayWorkloadConfig workload_config;
+  workload_config.catalog_size = catalog_size;
+  workload_config.requests_total = requests;
+  workload_config.duration = duration;
+  experiment.workload = std::make_unique<workload::GatewayWorkload>(
+      workload_config, sim::Rng(run_seed()).fork("gateway-workload"));
+
+  const int host_regions[] = {world::kUsEast, world::kEuCentral,
+                              world::kAsiaEast, world::kUsWest};
+  for (int i = 0; i < 4; ++i) {
+    node::IpfsNodeConfig host_config;
+    host_config.net.region = host_regions[i];
+    host_config.net.upload_bytes_per_sec = 30.0 * 1024 * 1024;
+    host_config.net.download_bytes_per_sec = 30.0 * 1024 * 1024;
+    host_config.identity_seed = 0x405700 + i;
+    experiment.hosts.push_back(
+        std::make_unique<node::IpfsNode>(world.network(), host_config));
+  }
+
+  experiment.fleet->bootstrap(world.bootstrap_refs(), [](bool) {});
+  for (auto& host : experiment.hosts)
+    host->bootstrap(world.bootstrap_refs(), [](bool) {});
+  world.simulator().run();
+
+  auto& catalog = experiment.workload->catalog();
+  for (std::size_t rank = 0; rank < catalog.size(); ++rank) {
+    const auto bytes = experiment.workload->object_bytes(rank);
+    auto& host = *experiment.hosts[rank % experiment.hosts.size()];
+    const auto import = host.add(bytes);
+    catalog[rank].cid = import.root;
+    catalog[rank].host = rank % experiment.hosts.size();
+    if (catalog[rank].pinned) experiment.fleet->pin_object(bytes);
+
     const dht::Key key = dht::Key::for_cid(import.root);
     seed_provider_records(world, key, host.self());
     world.simulator().schedule_daemon_after(

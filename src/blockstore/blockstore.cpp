@@ -56,46 +56,108 @@ std::uint64_t BlockStore::collect_garbage() {
   return reclaimed;
 }
 
-LruBlockStore::LruBlockStore(std::uint64_t capacity_bytes)
-    : capacity_(capacity_bytes) {}
+LruBlockStore::LruBlockStore(std::uint64_t capacity_bytes, LruConfig config)
+    : capacity_(capacity_bytes),
+      config_(config),
+      protected_capacity_(static_cast<std::uint64_t>(
+          static_cast<double>(capacity_bytes) * config.protected_share)) {
+  if (config_.tinylfu) sketch_.emplace(config_.sketch_entries);
+}
 
 bool LruBlockStore::put(Block block) {
-  if (block.data.size() > capacity_) return false;
+  return put(block.cid, std::make_shared<const std::vector<std::uint8_t>>(
+                            std::move(block.data)));
+}
 
-  const auto it = entries_.find(block.cid);
+bool LruBlockStore::put(const Cid& cid, BlockData data) {
+  if (data == nullptr || data->size() > capacity_) return false;
+
+  const std::uint64_t key_hash = sketch_ ? cid_hash64(cid) : 0;
+  if (sketch_) sketch_->record(key_hash);
+
+  const auto it = entries_.find(cid);
   if (it != entries_.end()) {
-    // Refresh recency; content is immutable so the bytes are identical.
-    recency_.erase(it->second.recency);
-    recency_.push_front(block.cid);
-    it->second.recency = recency_.begin();
+    // Content is immutable so the bytes are identical: a re-put is a hit
+    // (refresh + promote) and must leave the byte accounting untouched.
+    touch(cid, it->second);
     return true;
   }
 
-  while (used_ + block.data.size() > capacity_) evict_one();
+  if (!make_room(data->size(), key_hash)) return false;
 
-  const Cid cid = block.cid;  // keep the key valid while the block moves
-  recency_.push_front(cid);
-  used_ += block.data.size();
-  entries_.emplace(cid, Entry{std::move(block), recency_.begin()});
+  used_ += data->size();
+  probation_.push_front(cid);
+  entries_.emplace(cid, Entry{std::move(data), probation_.begin(), false});
   return true;
 }
 
-std::optional<Block> LruBlockStore::get(const Cid& cid) {
+BlockData LruBlockStore::get(const Cid& cid) {
   const auto it = entries_.find(cid);
-  if (it == entries_.end()) return std::nullopt;
-  recency_.erase(it->second.recency);
-  recency_.push_front(cid);
-  it->second.recency = recency_.begin();
-  return it->second.block;
+  if (sketch_) sketch_->record(cid_hash64(cid));
+  if (it == entries_.end()) return nullptr;
+  touch(cid, it->second);
+  return it->second.data;
 }
 
 bool LruBlockStore::has(const Cid& cid) const { return entries_.contains(cid); }
 
+void LruBlockStore::touch(const Cid& cid, Entry& entry) {
+  if (entry.protected_segment) {
+    protected_.erase(entry.recency);
+    protected_.push_front(cid);
+    entry.recency = protected_.begin();
+    return;
+  }
+  // Promotion: probation -> protected. Protected overflow demotes its
+  // coldest entries back to probation (MRU side: they were hit recently,
+  // just not as recently as the rest of the protected segment).
+  probation_.erase(entry.recency);
+  protected_.push_front(cid);
+  entry.recency = protected_.begin();
+  entry.protected_segment = true;
+  protected_bytes_ += entry.data->size();
+  while (protected_bytes_ > protected_capacity_ && !protected_.empty()) {
+    const Cid demoted = protected_.back();
+    Entry& demoted_entry = entries_.find(demoted)->second;
+    if (!demoted_entry.protected_segment) break;  // defensive; cannot happen
+    protected_.pop_back();
+    probation_.push_front(demoted);
+    demoted_entry.recency = probation_.begin();
+    demoted_entry.protected_segment = false;
+    protected_bytes_ -= demoted_entry.data->size();
+    if (demoted == cid) break;  // the promoted entry itself overflowed
+  }
+}
+
+bool LruBlockStore::make_room(std::uint64_t incoming_size,
+                              std::uint64_t candidate_hash) {
+  while (used_ + incoming_size > capacity_) {
+    if (sketch_) {
+      const Cid& victim =
+          !probation_.empty() ? probation_.back() : protected_.back();
+      // TinyLFU admission: only evict for a candidate at least as hot as
+      // the victim; otherwise the one-hit wonder is the one refused.
+      if (sketch_->estimate(candidate_hash) <
+          sketch_->estimate(cid_hash64(victim))) {
+        ++admission_rejections_;
+        return false;
+      }
+    }
+    evict_one();
+  }
+  return true;
+}
+
 void LruBlockStore::evict_one() {
-  const Cid victim = recency_.back();
-  recency_.pop_back();
+  // Probationary entries go first; the protected segment is only drained
+  // when probation is empty.
+  const bool from_probation = !probation_.empty();
+  std::list<Cid>& segment = from_probation ? probation_ : protected_;
+  const Cid victim = segment.back();
+  segment.pop_back();
   const auto it = entries_.find(victim);
-  used_ -= it->second.block.data.size();
+  used_ -= it->second.data->size();
+  if (!from_probation) protected_bytes_ -= it->second.data->size();
   entries_.erase(it);
   ++evictions_;
 }

@@ -5,16 +5,24 @@
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <span>
 #include <vector>
 
+#include "blockstore/tinylfu.h"
 #include "multiformats/cid.h"
 
 namespace ipfs::blockstore {
 
 using multiformats::Cid;
+
+// Shared-ownership block payload. Content is immutable (CID-addressed),
+// so cache tiers — a replica's edge cache and the fleet's shared origin
+// tier — alias one allocation instead of copying half-megabyte objects
+// on every hit.
+using BlockData = std::shared_ptr<const std::vector<std::uint8_t>>;
 
 struct Block {
   Cid cid;
@@ -56,38 +64,74 @@ class BlockStore {
   std::uint64_t total_bytes_ = 0;
 };
 
-// Byte-capped LRU store (the gateway's nginx web cache, Least Recently
-// Used replacement; paper Section 3.4).
+// Replacement/admission policy knobs for LruBlockStore.
+struct LruConfig {
+  // Share of the byte capacity reserved for the protected segment (the
+  // entries that have been hit at least once since insertion).
+  double protected_share = 0.8;
+  // TinyLFU admission: a 4-bit count-min sketch estimates access
+  // frequency; at eviction time a candidate strictly colder than the
+  // would-be victim is refused instead of evicting it.
+  bool tinylfu = false;
+  std::size_t sketch_entries = 4096;
+};
+
+// Byte-capped segmented-LRU store (the gateway's nginx-style web cache;
+// paper Section 3.4). New blocks enter a probationary segment; a hit
+// promotes to the protected segment, whose overflow demotes back to
+// probation — so scan traffic evicts other scan traffic first. With
+// `LruConfig::tinylfu` the sketch additionally gates admission.
 class LruBlockStore {
  public:
-  explicit LruBlockStore(std::uint64_t capacity_bytes);
+  explicit LruBlockStore(std::uint64_t capacity_bytes, LruConfig config = {});
 
-  // Inserts (or refreshes) a block, evicting least-recently-used entries
-  // until the new block fits. Blocks larger than the capacity are refused.
+  // Inserts (or refreshes) a block, evicting probationary entries until
+  // the new block fits. Blocks larger than the capacity are refused, as
+  // are (under TinyLFU) blocks colder than every would-be victim.
   bool put(Block block);
+  // Shared-ownership insert: edge and origin tiers alias one payload.
+  bool put(const Cid& cid, BlockData data);
 
-  // A hit refreshes recency.
-  std::optional<Block> get(const Cid& cid);
+  // A hit refreshes recency and promotes probation -> protected. O(1):
+  // returns the shared payload, never a copy; nullptr on miss.
+  BlockData get(const Cid& cid);
   bool has(const Cid& cid) const;
 
   std::uint64_t capacity_bytes() const { return capacity_; }
   std::uint64_t used_bytes() const { return used_; }
+  std::uint64_t protected_bytes() const { return protected_bytes_; }
   std::size_t block_count() const { return entries_.size(); }
   std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t admission_rejections() const { return admission_rejections_; }
+  // Null unless LruConfig::tinylfu was set.
+  const FrequencySketch* sketch() const {
+    return sketch_ ? &*sketch_ : nullptr;
+  }
 
  private:
   struct Entry {
-    Block block;
-    std::list<Cid>::iterator recency;  // position in recency list
+    BlockData data;
+    std::list<Cid>::iterator recency;  // position in its segment's list
+    bool protected_segment = false;
   };
 
+  void touch(const Cid& cid, Entry& entry);
+  // Frees space for `incoming_size`; returns false when TinyLFU refuses
+  // the candidate (a victim is strictly hotter).
+  bool make_room(std::uint64_t incoming_size, std::uint64_t candidate_hash);
   void evict_one();
 
   std::uint64_t capacity_;
+  LruConfig config_;
+  std::uint64_t protected_capacity_;
   std::uint64_t used_ = 0;
+  std::uint64_t protected_bytes_ = 0;
   std::uint64_t evictions_ = 0;
-  std::list<Cid> recency_;  // front = most recent
+  std::uint64_t admission_rejections_ = 0;
+  std::list<Cid> probation_;  // front = most recent
+  std::list<Cid> protected_;  // front = most recent
   std::map<Cid, Entry> entries_;
+  std::optional<FrequencySketch> sketch_;
 };
 
 }  // namespace ipfs::blockstore

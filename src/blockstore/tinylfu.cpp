@@ -1,0 +1,95 @@
+#include "blockstore/tinylfu.h"
+
+namespace ipfs::blockstore {
+
+namespace {
+
+// splitmix64 finalizer: cheap, well-mixed, deterministic across runs.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t cid_hash64(const multiformats::Cid& cid) {
+  // FNV-1a over the digest bytes, then the version/codec words so CIDv0
+  // and its CIDv1 re-encoding of the same digest stay distinct keys.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t b : cid.hash().digest()) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  h ^= static_cast<std::uint64_t>(cid.version());
+  h *= 0x100000001b3ULL;
+  h ^= static_cast<std::uint64_t>(cid.content_codec());
+  h *= 0x100000001b3ULL;
+  return mix64(h);
+}
+
+FrequencySketch::FrequencySketch(std::size_t entries) {
+  std::size_t width = 64;
+  while (width < entries) width <<= 1;
+  width_ = width;
+  mask_ = width_ - 1;
+  table_.assign(kRows * width_ / 2, 0);  // two nibbles per byte
+  // The classic TinyLFU window: ~10 samples per counter slot before the
+  // halving pass ages the whole sketch.
+  sample_period_ = 10ULL * width_;
+}
+
+std::size_t FrequencySketch::index(std::uint64_t key_hash,
+                                   std::size_t row) const {
+  // Independent row hashes from one 64-bit key: re-mix with a row seed.
+  return static_cast<std::size_t>(
+             mix64(key_hash ^ (0xa0761d6478bd642fULL * (row + 1)))) &
+         mask_;
+}
+
+std::uint32_t FrequencySketch::counter(std::size_t row,
+                                       std::size_t slot) const {
+  const std::size_t nibble = row * width_ + slot;
+  const std::uint8_t byte = table_[nibble / 2];
+  return (nibble & 1) ? (byte >> 4) : (byte & 0x0f);
+}
+
+void FrequencySketch::set_counter(std::size_t row, std::size_t slot,
+                                  std::uint32_t value) {
+  const std::size_t nibble = row * width_ + slot;
+  std::uint8_t& byte = table_[nibble / 2];
+  if (nibble & 1)
+    byte = static_cast<std::uint8_t>((byte & 0x0f) | (value << 4));
+  else
+    byte = static_cast<std::uint8_t>((byte & 0xf0) | (value & 0x0f));
+}
+
+void FrequencySketch::record(std::uint64_t key_hash) {
+  for (std::size_t row = 0; row < kRows; ++row) {
+    const std::size_t slot = index(key_hash, row);
+    const std::uint32_t current = counter(row, slot);
+    if (current < 15) set_counter(row, slot, current + 1);
+  }
+  if (++sample_ >= sample_period_) halve();
+}
+
+std::uint32_t FrequencySketch::estimate(std::uint64_t key_hash) const {
+  std::uint32_t lowest = 15;
+  for (std::size_t row = 0; row < kRows; ++row) {
+    const std::uint32_t value = counter(row, index(key_hash, row));
+    if (value < lowest) lowest = value;
+  }
+  return lowest;
+}
+
+void FrequencySketch::halve() {
+  // Shift every nibble right by one in place; the 0x77 mask clears the
+  // bit that would leak across each nibble boundary.
+  for (std::uint8_t& byte : table_)
+    byte = static_cast<std::uint8_t>((byte >> 1) & 0x77);
+  sample_ >>= 1;
+  ++halvings_;
+}
+
+}  // namespace ipfs::blockstore

@@ -1,0 +1,62 @@
+// TinyLFU admission filtering (Einziger et al., "TinyLFU: A Highly
+// Efficient Cache Admission Policy").
+//
+// A FrequencySketch is a 4-bit count-min sketch: four rows of saturating
+// nibble counters approximate how often each key was accessed in the
+// recent past. Every `sample_period` recorded accesses all counters are
+// halved ("aging"), so the estimate tracks a sliding window rather than
+// all of history. A byte-capped cache consults the sketch at eviction
+// time: a new block is admitted only if it is at least as popular as the
+// block it would evict, which stops the Zipf tail's one-hit wonders from
+// flushing hot objects out of the gateway edge caches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "multiformats/cid.h"
+
+namespace ipfs::blockstore {
+
+// Deterministic 64-bit key hash for cache structures (frequency sketch
+// rows, the gateway fleet's consistent-hash ring). Hashes the multihash
+// digest directly — no intermediate encoding allocation on hot paths.
+std::uint64_t cid_hash64(const multiformats::Cid& cid);
+
+class FrequencySketch {
+ public:
+  // Sized for roughly `entries` distinct hot keys; the row width is the
+  // next power of two (counters are 4-bit, so memory is width/2 bytes
+  // per row). `entries` == 0 is rounded up to a minimal sketch.
+  explicit FrequencySketch(std::size_t entries);
+
+  // Counts one access. After sample_period() recordings every counter is
+  // halved and the sample count reset to half, deterministically.
+  void record(std::uint64_t key_hash);
+
+  // Approximate access count in the current window: the minimum over the
+  // four row counters (each an overestimate), saturating at 15.
+  std::uint32_t estimate(std::uint64_t key_hash) const;
+
+  std::size_t width() const { return width_; }
+  std::uint64_t sample_count() const { return sample_; }
+  std::uint64_t sample_period() const { return sample_period_; }
+  std::uint64_t halvings() const { return halvings_; }
+
+ private:
+  static constexpr std::size_t kRows = 4;
+
+  std::size_t index(std::uint64_t key_hash, std::size_t row) const;
+  std::uint32_t counter(std::size_t row, std::size_t slot) const;
+  void set_counter(std::size_t row, std::size_t slot, std::uint32_t value);
+  void halve();
+
+  std::size_t width_ = 0;       // slots per row, power of two
+  std::uint64_t mask_ = 0;      // width_ - 1
+  std::vector<std::uint8_t> table_;  // kRows * width_ nibbles, packed
+  std::uint64_t sample_ = 0;
+  std::uint64_t sample_period_ = 0;
+  std::uint64_t halvings_ = 0;
+};
+
+}  // namespace ipfs::blockstore

@@ -9,7 +9,7 @@ Gateway::Gateway(sim::Network& network, const GatewayConfig& config)
     : network_(network),
       config_(config),
       node_(network, config.node),
-      nginx_cache_(config.nginx_cache_bytes) {}
+      nginx_cache_(config.nginx_cache_bytes, config.edge_cache) {}
 
 void Gateway::bootstrap(std::vector<dht::PeerRef> seeds,
                         std::function<void(bool)> done) {
@@ -29,6 +29,8 @@ const char* tier_name(ServedFrom source) {
       return "nginx_cache";
     case ServedFrom::kNodeStore:
       return "node_store";
+    case ServedFrom::kOriginCache:
+      return "origin_cache";
     case ServedFrom::kP2p:
       return "p2p";
     case ServedFrom::kFailed:
@@ -45,6 +47,8 @@ TierStats& Gateway::stats_for(ServedFrom source) {
       return nginx_stats_;
     case ServedFrom::kNodeStore:
       return node_store_stats_;
+    case ServedFrom::kOriginCache:
+      return origin_stats_;
     case ServedFrom::kP2p:
       return p2p_stats_;
     case ServedFrom::kFailed:
@@ -72,6 +76,14 @@ void Gateway::account(const Cid& cid, const GatewayResponse& response) {
       .record(response.latency);
   metrics.instant("gateway.served." + name, node_.node(), cid.to_string(),
                   response.bytes);
+  // Fleet replicas additionally label their counters so the registry
+  // keeps per-replica tier shares (docs/OBSERVABILITY.md).
+  if (!config_.metrics_label.empty()) {
+    const std::string prefix = "gateway." + config_.metrics_label + ".";
+    metrics.counter(prefix + "requests").inc();
+    metrics.counter(prefix + "tier." + name + ".requests").inc();
+    metrics.counter(prefix + "tier." + name + ".bytes").inc(response.bytes);
+  }
   // P2P-tier requests additionally record which routing path served them
   // (the indexer-vs-DHT split of the bridge's upstream traffic).
   if (response.source == ServedFrom::kP2p) {
@@ -89,12 +101,13 @@ void Gateway::handle_get(const Cid& cid,
 
 void Gateway::serve(const Cid& cid, bool account_tier,
                     std::function<void(GatewayResponse)> done) {
-  // Tier 1: nginx web cache.
+  // Tier 1: nginx-style edge cache. The hit hands back the shared
+  // payload — O(1), no copy of the object bytes.
   if (const auto cached = nginx_cache_.get(cid)) {
     GatewayResponse response;
     response.source = ServedFrom::kNginxCache;
     response.latency = config_.nginx_hit_latency;
-    response.bytes = cached->data.size();
+    response.bytes = cached->size();
     if (account_tier) account(cid, response);
     network_.simulator().schedule_after(
         response.latency, [response, done = std::move(done)] {
@@ -104,7 +117,7 @@ void Gateway::serve(const Cid& cid, bool account_tier,
   }
 
   // Tier 2: the co-located IPFS node's store (pinned content).
-  if (const auto local = merkledag::cat(node_.store(), cid)) {
+  if (auto local = merkledag::cat(node_.store(), cid)) {
     GatewayResponse response;
     response.source = ServedFrom::kNodeStore;
     response.bytes = local->size();
@@ -113,7 +126,12 @@ void Gateway::serve(const Cid& cid, bool account_tier,
         sim::seconds(static_cast<double>(local->size()) /
                      config_.node_store_bytes_per_sec);
     if (account_tier) account(cid, response);
-    nginx_cache_.put(blockstore::Block{cid, *local});
+    auto shared = std::make_shared<const std::vector<std::uint8_t>>(
+        std::move(*local));
+    nginx_cache_.put(cid, shared);
+    // Write through to the shared origin so spilled requests for this
+    // replica's pinned partition stay inside the fleet.
+    if (config_.origin) config_.origin->put(cid, shared);
     network_.simulator().schedule_after(
         response.latency, [response, done = std::move(done)] {
           done(response);
@@ -121,13 +139,55 @@ void Gateway::serve(const Cid& cid, bool account_tier,
     return;
   }
 
-  // Tier 3: the P2P network, via the full retrieval pipeline. Concurrent
+  // Tier 3: the fleet's shared origin cache (replicas only).
+  if (config_.origin) {
+    if (const auto shared = config_.origin->get(cid)) {
+      GatewayResponse response;
+      response.source = ServedFrom::kOriginCache;
+      response.bytes = shared->size();
+      response.latency =
+          config_.origin_hit_latency +
+          sim::seconds(static_cast<double>(shared->size()) /
+                       config_.origin_bytes_per_sec);
+      if (account_tier) account(cid, response);
+      nginx_cache_.put(cid, shared);  // aliases the origin's payload
+      network_.simulator().schedule_after(
+          response.latency, [response, done = std::move(done)] {
+            done(response);
+          });
+      return;
+    }
+  }
+
+  // Negative-result cache: a recent failed retrieval of this CID means
+  // a repeat crowd gets its typed failure in edge-cache time instead of
+  // re-paying the doomed pipeline (the dead-CID stampede fix).
+  if (config_.negative_ttl > 0) {
+    const auto negative = negative_until_.find(cid);
+    if (negative != negative_until_.end()) {
+      if (network_.simulator().now() < negative->second) {
+        ++negative_hits_;
+        network_.metrics().counter("gateway.negative.hits").inc();
+        GatewayResponse response;
+        response.source = ServedFrom::kFailed;
+        response.latency = config_.nginx_hit_latency;
+        if (account_tier) account(cid, response);
+        network_.simulator().schedule_after(
+            response.latency, [response, done = std::move(done)] {
+              done(response);
+            });
+        return;
+      }
+      negative_until_.erase(negative);  // expired: retry the full path
+    }
+  }
+
+  // Tier 4: the P2P network, via the full retrieval pipeline. Concurrent
   // misses for the same CID coalesce onto one in-flight retrieval
   // (singleflight): a flash crowd of requests costs the upstream exactly
   // one DHT walk and one fetch, and every waiter is answered — and
   // accounted — from the shared completion.
-  const std::string key = cid.to_string();
-  const auto [it, leader] = inflight_.try_emplace(key);
+  const auto [it, leader] = inflight_.try_emplace(cid);
   it->second.push_back(
       Waiter{account_tier, network_.simulator().now(), std::move(done)});
   if (!leader) {
@@ -135,9 +195,9 @@ void Gateway::serve(const Cid& cid, bool account_tier,
     network_.metrics().counter("gateway.p2p.coalesced").inc();
     return;
   }
-  node_.retrieve(cid, [this, cid, key](node::RetrievalTrace trace) {
+  node_.retrieve(cid, [this, cid](node::RetrievalTrace trace) {
     std::vector<Waiter> waiters;
-    if (const auto entry = inflight_.find(key); entry != inflight_.end()) {
+    if (const auto entry = inflight_.find(cid); entry != inflight_.end()) {
       waiters = std::move(entry->second);
       inflight_.erase(entry);
     }
@@ -145,6 +205,10 @@ void Gateway::serve(const Cid& cid, bool account_tier,
     GatewayResponse response;
     if (!trace.ok) {
       response.source = ServedFrom::kFailed;
+      if (config_.negative_ttl > 0) {
+        negative_until_[cid] = end + config_.negative_ttl;
+        network_.metrics().counter("gateway.negative.stores").inc();
+      }
     } else {
       response.source = ServedFrom::kP2p;
       response.routing_source = trace.routing_source;
@@ -155,10 +219,13 @@ void Gateway::serve(const Cid& cid, bool account_tier,
       // the paper's non-cached tier does (Table 5: 4.04 s median).
       if (trace.provider_node != sim::kInvalidNode)
         network_.disconnect(node_.node(), trace.provider_node);
-      const auto bytes = merkledag::cat(node_.store(), cid);
+      auto bytes = merkledag::cat(node_.store(), cid);
       response.bytes = bytes ? bytes->size() : trace.bytes;
       if (bytes) {
-        nginx_cache_.put(blockstore::Block{cid, *bytes});
+        auto shared = std::make_shared<const std::vector<std::uint8_t>>(
+            std::move(*bytes));
+        nginx_cache_.put(cid, shared);
+        if (config_.origin) config_.origin->put(cid, shared);
         // The bridge node keeps fetched blocks only transiently; drop them
         // so the node store tier stays the pinned-content tier.
         if (!node_.store().pinned(cid)) {

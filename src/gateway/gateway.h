@@ -1,16 +1,20 @@
 // IPFS HTTP gateway (paper Section 3.4): a bridge between plain HTTP
-// clients and the P2P network. Requests traverse three tiers:
+// clients and the P2P network. Requests traverse the serving tiers:
 //
-//   1. the nginx web cache (LRU over whole objects)      — ~0 latency
-//   2. the co-located IPFS node's store (pinned content) — few ms
-//   3. the P2P network via the full retrieval pipeline   — seconds
+//   1. the nginx-style edge cache (segmented LRU over whole objects,
+//      optional TinyLFU admission)                        — ~0 latency
+//   2. the co-located IPFS node's store (pinned content)  — few ms
+//   3. the fleet's shared origin cache (when configured)  — ~1 ms + copy
+//   4. the P2P network via the full retrieval pipeline    — seconds
 //
-// matching the three rows of Table 5.
+// Tiers 1, 2 and 4 match the three rows of Table 5; tier 3 exists only
+// when the gateway runs as a GatewayFleet replica (docs/GATEWAY.md).
 #pragma once
 
 #include <functional>
+#include <map>
+#include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "blockstore/blockstore.h"
@@ -23,13 +27,37 @@ using multiformats::Cid;
 struct GatewayConfig {
   node::IpfsNodeConfig node;
   std::uint64_t nginx_cache_bytes = 64ull * 1024 * 1024;
+  // Edge-cache replacement/admission policy (segmented LRU; TinyLFU off
+  // by default — the fleet turns it on for its replicas).
+  blockstore::LruConfig edge_cache;
   // Latency model of the local tiers.
   sim::Duration nginx_hit_latency = sim::microseconds(300);
   sim::Duration node_store_base_latency = sim::milliseconds(5);
   double node_store_bytes_per_sec = 500.0 * 1024 * 1024;
+  // Shared origin tier (null = standalone gateway). Consulted after the
+  // node store and before the P2P pipeline; P2P fills write through to
+  // it so sibling replicas stop re-paying upstream retrievals.
+  std::shared_ptr<blockstore::LruBlockStore> origin;
+  sim::Duration origin_hit_latency = sim::milliseconds(1);
+  double origin_bytes_per_sec = 2.0 * 1024 * 1024 * 1024;
+  // Negative-result cache: a failed P2P retrieval is remembered for this
+  // long, so repeated flash crowds on a dead CID fail in edge-cache time
+  // instead of each re-paying the full retrieval pipeline. 0 disables.
+  sim::Duration negative_ttl = sim::seconds(30);
+  // Per-replica metrics label ("r0", "r1", ...). Empty: only the
+  // aggregate gateway.* instruments are written. Non-empty: counters are
+  // additionally written under gateway.<label>.* so a fleet's registry
+  // separates its replicas (docs/OBSERVABILITY.md).
+  std::string metrics_label;
 };
 
-enum class ServedFrom { kNginxCache, kNodeStore, kP2p, kFailed };
+enum class ServedFrom {
+  kNginxCache,
+  kNodeStore,
+  kOriginCache,
+  kP2p,
+  kFailed
+};
 
 struct GatewayResponse {
   ServedFrom source = ServedFrom::kFailed;
@@ -75,6 +103,7 @@ class Gateway {
       std::string_view url_path);
 
   node::IpfsNode& node() { return node_; }
+  const GatewayConfig& config() const { return config_; }
   const TierStats& stats(ServedFrom source) const;
   std::uint64_t total_requests() const { return total_requests_; }
   blockstore::LruBlockStore& nginx_cache() { return nginx_cache_; }
@@ -82,9 +111,12 @@ class Gateway {
   // Tier-3 requests that joined an already-running retrieval for the
   // same CID instead of launching their own (the flash-crowd shield).
   std::uint64_t coalesced_requests() const { return coalesced_requests_; }
+  // Requests answered (as typed failures) straight from the
+  // negative-result cache instead of re-running a doomed retrieval.
+  std::uint64_t negative_hits() const { return negative_hits_; }
 
  private:
-  // Computes a response for `cid` through the three tiers. When
+  // Computes a response for `cid` through the serving tiers. When
   // `account_tier` is set the response is accounted (tier stats, total,
   // metrics) as it stands; handle_get_path's network branch passes false
   // and accounts the rewritten response itself, so every request lands in
@@ -97,7 +129,7 @@ class Gateway {
 
   TierStats& stats_for(ServedFrom source);
 
-  // One queued tier-3 request. Each waiter observes its own latency
+  // One queued tier-P2P request. Each waiter observes its own latency
   // (completion minus its arrival) and is accounted individually; only
   // the upstream retrieval is shared.
   struct Waiter {
@@ -112,13 +144,18 @@ class Gateway {
   blockstore::LruBlockStore nginx_cache_;  // whole objects by root CID
   TierStats nginx_stats_;
   TierStats node_store_stats_;
+  TierStats origin_stats_;
   TierStats p2p_stats_;
   TierStats failed_stats_;
   std::uint64_t total_requests_ = 0;
   std::uint64_t coalesced_requests_ = 0;
-  // In-flight tier-3 retrievals by CID (singleflight): a flash crowd of
-  // misses for one CID pays a single upstream retrieval.
-  std::unordered_map<std::string, std::vector<Waiter>> inflight_;
+  std::uint64_t negative_hits_ = 0;
+  // In-flight P2P retrievals by CID (singleflight): a flash crowd of
+  // misses for one CID pays a single upstream retrieval. Keyed by the
+  // Cid itself (totally ordered) — no per-request string allocation.
+  std::map<Cid, std::vector<Waiter>> inflight_;
+  // Dead-CID shield: CID -> expiry of the cached failure.
+  std::map<Cid, sim::Time> negative_until_;
 };
 
 }  // namespace ipfs::gateway

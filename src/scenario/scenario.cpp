@@ -109,6 +109,11 @@ ScenarioBuilder& ScenarioBuilder::routing(routing::RoutingConfig::Mode mode) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::gateway_fleet(gateway::FleetConfig config) {
+  gateway_fleet_config_ = std::move(config);
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::faults(sim::FaultConfig config) {
   fault_config_ = config;
   return *this;
@@ -288,6 +293,16 @@ Scenario ScenarioBuilder::build() const {
     scenario.indexers_.push_back(std::make_unique<indexer::Indexer>(
         *scenario.network_, indexer_config_));
     scenario.routing_.indexers.push_back(scenario.indexers_.back()->node());
+  }
+
+  // The gateway fleet is appended after indexers (its replica nodes draw
+  // no scenario randomness) and wired to whatever routing the scenario
+  // built, so .indexers()/.routing() knobs flow into replica retrievals.
+  if (gateway_fleet_config_) {
+    gateway::FleetConfig fleet_config = *gateway_fleet_config_;
+    fleet_config.replica.node.routing = scenario.routing_;
+    scenario.gateway_fleet_ = std::make_unique<gateway::GatewayFleet>(
+        *scenario.network_, fleet_config);
   }
 
   if (fault_config_) {

@@ -40,6 +40,7 @@
 
 #include "adversary/adversary.h"
 #include "dht/dht_node.h"
+#include "gateway/fleet.h"
 #include "multiformats/multiaddr.h"
 #include "multiformats/peerid.h"
 #include "pubsub/pubsub.h"
@@ -101,6 +102,12 @@ class Scenario {
   // NodeIds of every built indexer — what an IpfsNodeConfig wants.
   const routing::RoutingConfig& routing_config() const { return routing_; }
 
+  // Null unless gateway_fleet() was configured. Replica nodes are
+  // appended after indexer nodes, so enabling the fleet leaves every
+  // pre-existing node id and seeded rng stream bit-identical. The fleet
+  // is constructed un-bootstrapped; call gateway_fleet()->bootstrap().
+  gateway::GatewayFleet* gateway_fleet() { return gateway_fleet_.get(); }
+
  private:
   friend class ScenarioBuilder;
 
@@ -113,6 +120,9 @@ class Scenario {
   // destroyed before the fabric members above them.
   std::vector<std::unique_ptr<pubsub::Pubsub>> pubsub_nodes_;
   std::vector<std::unique_ptr<indexer::Indexer>> indexers_;
+  // Declared after indexers_ (replica routing may reference them) and
+  // before faults_/attack_ so it unwinds after the attack plan.
+  std::unique_ptr<gateway::GatewayFleet> gateway_fleet_;
   std::vector<dht::PeerRef> refs_;
   std::unique_ptr<sim::FaultPlan> faults_;
   // Declared after faults_: holds Timers into simulator_ and appends its
@@ -171,6 +181,12 @@ class ScenarioBuilder {
   ScenarioBuilder& indexers(std::size_t n);
   ScenarioBuilder& indexer_config(indexer::IndexerConfig config);
   ScenarioBuilder& routing(routing::RoutingConfig::Mode mode);
+
+  // Gateway fleet (docs/GATEWAY.md): N consistent-hash-routed replicas
+  // over a shared origin cache, appended to the network after indexers.
+  // The replica template's node.routing is overwritten with the built
+  // scenario's routing_config(), so indexers()/routing() compose.
+  ScenarioBuilder& gateway_fleet(gateway::FleetConfig config);
 
   // Constructs (but does not arm) a FaultPlan over the built network.
   ScenarioBuilder& faults(sim::FaultConfig config);
@@ -235,6 +251,7 @@ class ScenarioBuilder {
   std::size_t trace_capacity_ = 0;
   std::size_t indexer_count_ = 0;
   indexer::IndexerConfig indexer_config_{};
+  std::optional<gateway::FleetConfig> gateway_fleet_config_;
   routing::RoutingConfig::Mode routing_mode_ = routing::RoutingConfig::Mode::kDht;
 
   bool enable_churn_ = true;

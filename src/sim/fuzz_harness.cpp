@@ -12,6 +12,7 @@
 #include "adversary/adversary.h"
 #include "blockstore/blockstore.h"
 #include "dht/record_store.h"
+#include "gateway/gateway.h"
 #include "indexer/indexer.h"
 #include "merkledag/merkledag.h"
 #include "node/ipfs_node.h"
@@ -286,6 +287,9 @@ std::string ScheduleStats::fingerprint() const {
       << " routed=" << indexer_routed << "}\n"
       << "attack{events=" << attack_events << " flash_fired=" << flash_fired
       << " flash_done=" << flash_completions
+      << " flash_retry_fired=" << flash_repeat_fired
+      << " flash_retry_done=" << flash_repeat_completions
+      << " flash_negative_hits=" << flash_negative_hits
       << " sybil_rejected=" << sybil_rejections << "}\n";
   auto sorted = ops;
   std::sort(sorted.begin(), sorted.end(),
@@ -742,10 +746,21 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
   // and armed only after the fault plan arms — the partition decorator
   // wraps whatever injector is installed at that moment.
   std::unique_ptr<adversary::AttackPlan> attack;
+  // Flash crowds are driven through an HTTP gateway (the entity a real
+  // crowd melts), so invariant 12 checks the singleflight and the
+  // negative-result shield on the path they actually protect. Only flash
+  // schedules construct one, keeping every other schedule's node ids and
+  // rng streams bit-identical.
+  std::unique_ptr<gateway::Gateway> flash_gateway;
   multiformats::Cid flash_cid;
   std::vector<int> flash_fired(params.flash_requests, 0);
   std::vector<int> flash_completed(params.flash_requests, 0);
   std::vector<int> flash_ok(params.flash_requests, 0);
+  // Dead-CID retry wave: each client re-requests 5 s after its failure,
+  // inside the gateway's 30 s negative TTL.
+  std::vector<int> flash_repeat_fired(params.flash_requests, 0);
+  std::vector<int> flash_repeat_completed(params.flash_requests, 0);
+  std::vector<int> flash_repeat_ok(params.flash_requests, 0);
   if (params.attack != ScheduleParams::Attack::kNone) {
     adversary::AttackConfig attack_config;
     switch (params.attack) {
@@ -818,16 +833,43 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
     for (std::size_t i = kBootstrapCount; i < node_count; ++i)
       attack->manage_storm(nodes[i]->node());
     if (attack_config.flash_crowd) {
+      // The gateway node appends after every honest and attacker node and
+      // draws no schedule randomness; its bootstrap drains in the still-
+      // faultless window (nothing is armed yet).
+      gateway::GatewayConfig gateway_config;
+      gateway_config.node.identity_seed =
+          params.seed ^ 0xF1A5C0DE9E3779B9ULL;
+      if (fabric.indexer_count() > 0)
+        gateway_config.node.routing = fabric.routing_config();
+      flash_gateway =
+          std::make_unique<gateway::Gateway>(network, gateway_config);
+      flash_gateway->bootstrap(seeds_for(node_count), [](bool) {});
+      stats.events_executed += simulator.run();
+
       attack->set_flash_request_handler([&](std::size_t slot) {
-        const std::size_t requester = slot % node_count;
-        if (!network.online(nodes[requester]->node())) return;
         flash_fired[slot] = 1;
         ++stats.flash_fired;
-        nodes[requester]->retrieve(
-            flash_cid, [&, slot](node::RetrievalTrace trace) {
+        flash_gateway->handle_get(
+            flash_cid, [&, slot](gateway::GatewayResponse response) {
               ++flash_completed[slot];
               ++stats.flash_completions;
-              if (trace.ok) flash_ok[slot] = 1;
+              if (response.source != gateway::ServedFrom::kFailed)
+                flash_ok[slot] = 1;
+              if (!params.flash_dead_cid || flash_repeat_fired[slot]) return;
+              // The retry: same client, 5 s later — squarely inside the
+              // negative TTL, so the shield (not a second doomed
+              // pipeline) should answer it.
+              flash_repeat_fired[slot] = 1;
+              ++stats.flash_repeat_fired;
+              simulator.schedule_after(sim::seconds(5), [&, slot] {
+                flash_gateway->handle_get(
+                    flash_cid, [&, slot](gateway::GatewayResponse repeat) {
+                      ++flash_repeat_completed[slot];
+                      ++stats.flash_repeat_completions;
+                      if (repeat.source != gateway::ServedFrom::kFailed)
+                        flash_repeat_ok[slot] = 1;
+                    });
+              });
             });
       });
     }
@@ -959,10 +1001,24 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
   }
 
   // (6) Conservation: received(a <- b) <= sent(b -> a), blocks and bytes.
-  for (std::size_t a = 0; a < node_count; ++a) {
-    for (const auto& [peer, ledger] : nodes[a]->bitswap().ledgers()) {
-      const auto& peer_ledgers = nodes[node_index(peer)]->bitswap().ledgers();
-      const auto it = peer_ledgers.find(nodes[a]->node());
+  // The ledger graph spans the population plus the flash gateway's node
+  // (it Bitswap-fetches from population providers on flash schedules).
+  std::vector<node::IpfsNode*> bitswap_nodes;
+  bitswap_nodes.reserve(node_count + 1);
+  for (const auto& node : nodes) bitswap_nodes.push_back(node.get());
+  if (flash_gateway) bitswap_nodes.push_back(&flash_gateway->node());
+  const auto bitswap_peer = [&](sim::NodeId id) -> node::IpfsNode* {
+    if (flash_gateway && id == flash_gateway->node().node())
+      return &flash_gateway->node();
+    const std::size_t index = node_index(id);
+    return index < node_count ? nodes[index].get() : nullptr;
+  };
+  for (node::IpfsNode* a : bitswap_nodes) {
+    for (const auto& [peer, ledger] : a->bitswap().ledgers()) {
+      node::IpfsNode* peer_node = bitswap_peer(peer);
+      if (peer_node == nullptr) continue;  // non-Bitswap peer (defensive)
+      const auto& peer_ledgers = peer_node->bitswap().ledgers();
+      const auto it = peer_ledgers.find(a->node());
       const std::uint64_t sent_blocks =
           it == peer_ledgers.end() ? 0 : it->second.blocks_sent;
       const std::uint64_t sent_bytes =
@@ -970,7 +1026,7 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
       if (ledger.blocks_received > sent_blocks ||
           ledger.bytes_received > sent_bytes) {
         std::ostringstream out;
-        out << "conservation violated: node " << a << " received "
+        out << "conservation violated: node " << a->node() << " received "
             << ledger.blocks_received << " blocks/" << ledger.bytes_received
             << " bytes from node " << peer << " which only sent "
             << sent_blocks << "/" << sent_bytes;
@@ -1087,6 +1143,35 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
         std::ostringstream out;
         out << "flash-crowd request slot=" << slot
             << " reported ok for a CID that was never published";
+        violations.push_back(out.str());
+      }
+      // The dead-CID retry wave obeys the same exactly-once, never-ok
+      // contract as the first wave.
+      if (!flash_repeat_fired[slot]) continue;
+      if (flash_repeat_completed[slot] != 1) {
+        std::ostringstream out;
+        out << "flash-crowd retry slot=" << slot << " completed "
+            << flash_repeat_completed[slot] << " time(s), expected exactly once";
+        violations.push_back(out.str());
+      }
+      if (flash_repeat_ok[slot]) {
+        std::ostringstream out;
+        out << "flash-crowd retry slot=" << slot
+            << " reported ok for a CID that was never published";
+        violations.push_back(out.str());
+      }
+    }
+    if (flash_gateway) {
+      stats.flash_negative_hits = flash_gateway->negative_hits();
+      // At least the leader's own retry lands 5 s after the failure that
+      // stored the negative entry (TTL 30 s), so a fired retry wave with
+      // zero negative hits means every retry re-paid the doomed pipeline
+      // — the dead-CID stampede the shield exists to absorb.
+      if (stats.flash_repeat_fired > 0 && stats.flash_negative_hits == 0) {
+        std::ostringstream out;
+        out << "dead-CID stampede not absorbed: " << stats.flash_repeat_fired
+            << " retry request(s) fired inside the negative TTL but the "
+            << "gateway's negative-result cache served none of them";
         violations.push_back(out.str());
       }
     }

@@ -43,10 +43,16 @@
 //      eclipsed CID that starts after the indexer ingest settles still
 //      succeeds — the indexer race is the escape hatch the poisoned XOR
 //      neighborhood cannot block.
-//  12. Flash-crowd accounting: every fired flash request completes
-//      exactly once; a crowd chasing a never-published CID gets a typed
-//      failure, never a hang or a phantom success. (Block conservation,
-//      invariant 6, covers the at-most-once accounting underneath.)
+//  12. Flash-crowd accounting: the crowd hits an HTTP gateway (the
+//      entity a real flash crowd melts); every fired flash request
+//      completes exactly once, and a crowd chasing a never-published CID
+//      gets a typed failure, never a hang or a phantom success. On
+//      dead-CID schedules each client retries 5 s after its failure —
+//      inside the gateway's negative-result TTL — and the repeat wave
+//      must also complete exactly once, never ok, with the negative
+//      cache absorbing at least part of it (the dead-CID stampede
+//      shield). (Block conservation, invariant 6, covers the
+//      at-most-once accounting underneath.)
 //  13. Sybil containment: with a per-bucket diversity cap D armed, no
 //      routing-table bucket on any node holds more than D adversarial
 //      entries — the flood is bounded by the defense, not by luck.
@@ -191,6 +197,9 @@ struct ScheduleStats {
   std::uint64_t attack_events = 0;       // AttackPlan counter grand total
   std::uint64_t flash_fired = 0;         // flash-crowd requests launched
   std::uint64_t flash_completions = 0;   // their completions (invariant 12)
+  std::uint64_t flash_repeat_fired = 0;  // dead-CID retry wave launched
+  std::uint64_t flash_repeat_completions = 0;  // retry completions
+  std::uint64_t flash_negative_hits = 0;  // gateway negative-cache hits
   std::uint64_t sybil_rejections = 0;    // diversity-cap upsert refusals
 
   std::size_t publishes_ok() const;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "gateway/fleet.h"
 #include "world/geography.h"
 
 namespace ipfs::workload {
@@ -71,15 +72,31 @@ int GatewayWorkload::pick_country() {
 }
 
 void GatewayWorkload::run(gateway::Gateway& gateway) {
-  log_.clear();
-  log_.reserve(config_.requests_total);
-  schedule_next(gateway, 0);
+  run_with(gateway.node().network().simulator(),
+           [&gateway](const multiformats::Cid& cid,
+                      std::function<void(gateway::GatewayResponse)> done) {
+             gateway.handle_get(cid, std::move(done));
+           });
 }
 
-void GatewayWorkload::schedule_next(gateway::Gateway& gateway,
-                                    std::uint64_t issued) {
+void GatewayWorkload::run(gateway::GatewayFleet& fleet) {
+  run_with(fleet.replica(0).node().network().simulator(),
+           [&fleet](const multiformats::Cid& cid,
+                    std::function<void(gateway::GatewayResponse)> done) {
+             fleet.handle_get(cid, std::move(done));
+           });
+}
+
+void GatewayWorkload::run_with(sim::Simulator& simulator, RequestFn request) {
+  simulator_ = &simulator;
+  request_ = std::move(request);
+  log_.clear();
+  log_.reserve(config_.requests_total);
+  schedule_next(0);
+}
+
+void GatewayWorkload::schedule_next(std::uint64_t issued) {
   if (issued >= config_.requests_total) return;
-  auto& simulator = gateway.node().network().simulator();
 
   // Non-homogeneous Poisson arrivals: the base inter-arrival time is
   // stretched or squeezed by the diurnal rate multiplier.
@@ -87,15 +104,14 @@ void GatewayWorkload::schedule_next(gateway::Gateway& gateway,
       static_cast<double>(config_.duration) /
       static_cast<double>(config_.requests_total);
   const double gap =
-      rng_.exponential(base_gap_us / rate_multiplier(simulator.now()));
+      rng_.exponential(base_gap_us / rate_multiplier(simulator_->now()));
 
-  simulator.schedule_after(
-      static_cast<sim::Duration>(gap), [this, &gateway, issued] {
-        auto& sim = gateway.node().network().simulator();
+  simulator_->schedule_after(
+      static_cast<sim::Duration>(gap), [this, issued] {
         const std::size_t rank = pick_rank();
         const int country = pick_country();
-        const sim::Time issued_at = sim.now();
-        gateway.handle_get(
+        const sim::Time issued_at = simulator_->now();
+        request_(
             catalog_[rank].cid,
             [this, rank, country, issued_at](gateway::GatewayResponse r) {
               RequestLogEntry entry;
@@ -107,7 +123,7 @@ void GatewayWorkload::schedule_next(gateway::Gateway& gateway,
               entry.bytes = r.bytes;
               log_.push_back(entry);
             });
-        schedule_next(gateway, issued + 1);
+        schedule_next(issued + 1);
       });
 }
 

@@ -11,6 +11,10 @@
 #include "gateway/gateway.h"
 #include "sim/rng.h"
 
+namespace ipfs::gateway {
+class GatewayFleet;
+}
+
 namespace ipfs::workload {
 
 struct GatewayWorkloadConfig {
@@ -65,11 +69,20 @@ class GatewayWorkload {
   // Schedules all requests onto the simulator, invoking the gateway per
   // request and appending to the log. Call simulator().run_until(end).
   void run(gateway::Gateway& gateway);
+  // Same traffic through a fleet front end (consistent-hash routing).
+  void run(gateway::GatewayFleet& fleet);
 
   const std::vector<RequestLogEntry>& log() const { return log_; }
 
  private:
-  void schedule_next(gateway::Gateway& gateway, std::uint64_t issued);
+  // Any request sink: a standalone gateway or a fleet front end. The
+  // arrival process and the log are identical either way, so arms of an
+  // ablation see the same request sequence.
+  using RequestFn = std::function<void(
+      const multiformats::Cid&, std::function<void(gateway::GatewayResponse)>)>;
+
+  void run_with(sim::Simulator& simulator, RequestFn request);
+  void schedule_next(std::uint64_t issued);
   std::size_t pick_rank();
   int pick_country();
 
@@ -78,6 +91,8 @@ class GatewayWorkload {
   std::vector<CatalogObject> catalog_;
   std::vector<double> country_weights_;
   std::vector<RequestLogEntry> log_;
+  sim::Simulator* simulator_ = nullptr;
+  RequestFn request_;
 };
 
 }  // namespace ipfs::workload

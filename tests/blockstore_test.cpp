@@ -77,7 +77,7 @@ TEST(LruBlockStoreTest, EvictsLeastRecentlyUsed) {
   EXPECT_TRUE(cache.put(a));
   EXPECT_TRUE(cache.put(b));
   // Touch a so b becomes the LRU entry.
-  EXPECT_TRUE(cache.get(a.cid).has_value());
+  EXPECT_NE(cache.get(a.cid), nullptr);
   EXPECT_TRUE(cache.put(c));  // 12 bytes > 10: evicts b
   EXPECT_TRUE(cache.has(a.cid));
   EXPECT_FALSE(cache.has(b.cid));
@@ -105,6 +105,151 @@ TEST(LruBlockStoreTest, ReinsertRefreshesRecency) {
   EXPECT_TRUE(cache.has(a.cid));
   EXPECT_FALSE(cache.has(b.cid));
   EXPECT_EQ(cache.block_count(), 2u);
+}
+
+TEST(LruBlockStoreTest, RePutKeepsUsedBytesExact) {
+  // Regression: a re-put of a resident block must not double-count its
+  // size (content is immutable, so the bytes are identical by CID).
+  LruBlockStore cache(64);
+  const auto a = Block::from_data(Multicodec::kRaw, bytes_of("aaaa"));
+  cache.put(a);
+  EXPECT_EQ(cache.used_bytes(), 4u);
+  cache.put(a);
+  EXPECT_EQ(cache.used_bytes(), 4u);
+  // The shared-ownership overload is a refresh too.
+  const auto alias =
+      std::make_shared<const std::vector<std::uint8_t>>(bytes_of("aaaa"));
+  EXPECT_TRUE(cache.put(a.cid, alias));
+  EXPECT_EQ(cache.used_bytes(), 4u);
+  EXPECT_EQ(cache.block_count(), 1u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(LruBlockStoreTest, GetReturnsSharedPayloadWithoutCopy) {
+  // Regression: get() used to copy the whole object per tier-1 hit. It
+  // now hands back the stored shared_ptr — every hit aliases the one
+  // allocation made at insert time.
+  LruBlockStore cache(1024);
+  const auto block = Block::from_data(Multicodec::kRaw, bytes_of("payload"));
+  const auto payload =
+      std::make_shared<const std::vector<std::uint8_t>>(block.data);
+  ASSERT_TRUE(cache.put(block.cid, payload));
+
+  const BlockData first = cache.get(block.cid);
+  const BlockData second = cache.get(block.cid);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first.get(), payload.get());   // no copy: same allocation
+  EXPECT_EQ(second.get(), payload.get());  // ... on every hit
+  EXPECT_EQ(*first, bytes_of("payload"));
+}
+
+TEST(LruBlockStoreTest, InterleavedGetPutEvictsScanTrafficFirst) {
+  // Segmented LRU: entries hit since insertion live in the protected
+  // segment; one-touch scan traffic in probation evicts first, even when
+  // the protected entries are older.
+  LruBlockStore cache(12);
+  const auto a = Block::from_data(Multicodec::kRaw, bytes_of("aaaa"));
+  const auto b = Block::from_data(Multicodec::kRaw, bytes_of("bbbb"));
+  const auto c = Block::from_data(Multicodec::kRaw, bytes_of("cccc"));
+  const auto d = Block::from_data(Multicodec::kRaw, bytes_of("dddd"));
+  const auto e = Block::from_data(Multicodec::kRaw, bytes_of("eeee"));
+  cache.put(a);
+  cache.put(b);
+  cache.put(c);
+  EXPECT_NE(cache.get(a.cid), nullptr);  // promote a
+  EXPECT_NE(cache.get(c.cid), nullptr);  // promote c
+  cache.put(d);  // full: evicts b — the only probationary entry
+  EXPECT_FALSE(cache.has(b.cid));
+  cache.put(e);  // evicts d (probation), not the older-but-hit a/c
+  EXPECT_FALSE(cache.has(d.cid));
+  EXPECT_TRUE(cache.has(a.cid));
+  EXPECT_TRUE(cache.has(c.cid));
+  EXPECT_TRUE(cache.has(e.cid));
+  EXPECT_EQ(cache.protected_bytes(), 8u);
+  EXPECT_EQ(cache.used_bytes(), 12u);
+}
+
+TEST(LruBlockStoreTest, ProtectedOverflowDemotesBackToProbation) {
+  // protected_share 0.4 of 10 bytes = 4: one 4-byte entry fits. Promoting
+  // a second hit entry demotes the first back to probation, where it is
+  // eviction-eligible again.
+  LruBlockStore cache(10, LruConfig{.protected_share = 0.4});
+  const auto a = Block::from_data(Multicodec::kRaw, bytes_of("aaaa"));
+  const auto b = Block::from_data(Multicodec::kRaw, bytes_of("bbbb"));
+  const auto c = Block::from_data(Multicodec::kRaw, bytes_of("cccc"));
+  cache.put(a);
+  cache.put(b);
+  EXPECT_NE(cache.get(a.cid), nullptr);  // a -> protected
+  EXPECT_NE(cache.get(b.cid), nullptr);  // b -> protected, a demoted
+  EXPECT_EQ(cache.protected_bytes(), 4u);
+  cache.put(c);  // needs room: evicts a from probation, b survives
+  EXPECT_FALSE(cache.has(a.cid));
+  EXPECT_TRUE(cache.has(b.cid));
+  EXPECT_TRUE(cache.has(c.cid));
+}
+
+TEST(FrequencySketchTest, HalvingIsDeterministic) {
+  // Two sketches fed the identical access stream agree on every counter,
+  // through multiple halving cycles — the property the byte-identical
+  // bench traces rely on.
+  FrequencySketch left(64);
+  FrequencySketch right(64);
+  ASSERT_EQ(left.sample_period(), right.sample_period());
+  const std::uint64_t accesses = 10 * left.sample_period();
+  std::uint64_t key = 0x12345678u;
+  for (std::uint64_t i = 0; i < accesses; ++i) {
+    key = key * 6364136223846793005ULL + 1442695040888963407ULL;
+    const std::uint64_t hash = key >> 16;
+    left.record(hash % 97);  // small key space: counters actually climb
+    right.record(hash % 97);
+  }
+  EXPECT_GT(left.halvings(), 0u);
+  EXPECT_EQ(left.halvings(), right.halvings());
+  EXPECT_EQ(left.sample_count(), right.sample_count());
+  for (std::uint64_t probe = 0; probe < 97; ++probe) {
+    EXPECT_EQ(left.estimate(probe), right.estimate(probe)) << probe;
+    EXPECT_LE(left.estimate(probe), 15u);  // 4-bit counters saturate
+  }
+}
+
+TEST(FrequencySketchTest, HalvingAgesOldTraffic) {
+  FrequencySketch sketch(64);
+  for (int i = 0; i < 12; ++i) sketch.record(42);
+  const std::uint32_t hot = sketch.estimate(42);
+  EXPECT_GE(hot, 12u);
+  // Drive enough cold traffic to force a halving; 42's estimate decays.
+  const std::uint64_t before = sketch.halvings();
+  std::uint64_t key = 7;
+  while (sketch.halvings() == before) {
+    key = key * 6364136223846793005ULL + 1442695040888963407ULL;
+    sketch.record(key);
+  }
+  EXPECT_LE(sketch.estimate(42), hot / 2 + 1);
+}
+
+TEST(LruBlockStoreTest, TinyLfuRefusesColdCandidates) {
+  // A hot resident must not be flushed by a one-hit wonder: the sketch
+  // estimate of the candidate is below the victim's, so the put is
+  // refused and counted as an admission rejection.
+  LruBlockStore cache(4, LruConfig{.tinylfu = true, .sketch_entries = 64});
+  const auto hot = Block::from_data(Multicodec::kRaw, bytes_of("hot!"));
+  const auto cold = Block::from_data(Multicodec::kRaw, bytes_of("cold"));
+  ASSERT_TRUE(cache.put(hot));
+  for (int i = 0; i < 4; ++i) EXPECT_NE(cache.get(hot.cid), nullptr);
+
+  EXPECT_FALSE(cache.put(cold));  // would evict hot; cold is colder
+  EXPECT_TRUE(cache.has(hot.cid));
+  EXPECT_FALSE(cache.has(cold.cid));
+  EXPECT_EQ(cache.admission_rejections(), 1u);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  // Once the candidate has proven itself (repeated misses recorded in
+  // the sketch), admission goes through and the old resident is evicted.
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(cache.get(cold.cid), nullptr);
+  EXPECT_TRUE(cache.put(cold));
+  EXPECT_TRUE(cache.has(cold.cid));
+  EXPECT_FALSE(cache.has(hot.cid));
+  EXPECT_EQ(cache.evictions(), 1u);
 }
 
 }  // namespace

@@ -281,5 +281,95 @@ TEST_F(GatewayTest, TierRequestsConserveAcrossMixedTraffic) {
             gateway_->stats(ServedFrom::kFailed).requests);
 }
 
+TEST_F(GatewayTest, NegativeCacheShieldsRepeatedDeadCidCrowds) {
+  const auto dead = multiformats::Cid::from_data(
+      multiformats::Multicodec::kRaw, random_bytes(10, 20));
+
+  // First crowd: five concurrent requests coalesce behind one
+  // singleflight leader; every waiter fails, one pipeline is paid.
+  int failures = 0;
+  for (int i = 0; i < 5; ++i) {
+    gateway_->handle_get(dead, [&](GatewayResponse r) {
+      if (r.source == ServedFrom::kFailed) ++failures;
+    });
+  }
+  swarm_.simulator().run();
+  EXPECT_EQ(failures, 5);
+  EXPECT_EQ(gateway_->negative_hits(), 0u);
+
+  // Second crowd, inside the negative TTL: answered from the negative
+  // cache at edge-hit latency — no routing walk, no Bitswap timeout.
+  GatewayResponse shielded;
+  gateway_->handle_get(dead, [&](GatewayResponse r) { shielded = r; });
+  swarm_.simulator().run();
+  EXPECT_EQ(shielded.source, ServedFrom::kFailed);
+  EXPECT_LT(shielded.latency, sim::milliseconds(1));
+  EXPECT_EQ(gateway_->negative_hits(), 1u);
+
+  const auto& registry = swarm_.network().metrics();
+  EXPECT_EQ(registry.counter_value("gateway.negative.hits"), 1u);
+  EXPECT_EQ(registry.counter_value("gateway.negative.stores"), 1u);
+
+  // Past the TTL the entry expires and the pipeline is paid again (the
+  // content may have been published in the meantime).
+  auto& simulator = swarm_.simulator();
+  simulator.run_until(simulator.now() + gateway_->config().negative_ttl +
+                      sim::seconds(1));
+  GatewayResponse expired;
+  gateway_->handle_get(dead, [&](GatewayResponse r) { expired = r; });
+  swarm_.simulator().run();
+  EXPECT_EQ(expired.source, ServedFrom::kFailed);
+  EXPECT_GT(expired.latency, sim::seconds(1));
+  EXPECT_EQ(gateway_->negative_hits(), 1u);
+  EXPECT_EQ(registry.counter_value("gateway.negative.stores"), 2u);
+}
+
+TEST_F(GatewayTest, EvictedEdgeEntriesServeFromSharedOrigin) {
+  // A gateway with an origin tier behind its 2 MB edge cache: objects
+  // evicted from the edge are re-served from origin (and refill the
+  // edge) instead of re-paying the P2P pipeline.
+  GatewayConfig config;
+  config.node.net.region = 0;
+  config.node.identity_seed = 123;
+  config.node.provide_after_fetch = false;
+  config.nginx_cache_bytes = 2 * 1024 * 1024;
+  config.origin =
+      std::make_shared<blockstore::LruBlockStore>(64ull * 1024 * 1024);
+  Gateway gateway(swarm_.network(), config);
+  std::vector<dht::PeerRef> seeds;
+  for (int i = 0; i < 6; ++i) seeds.push_back(swarm_.ref(i));
+  gateway.bootstrap(seeds, [](bool) {});
+  swarm_.simulator().run();
+
+  const auto data_a = random_bytes(1536 * 1024, 21);
+  const auto data_b = random_bytes(1536 * 1024, 22);
+  node::PublishTrace trace_a, trace_b;
+  publisher_->publish(data_a, [&](node::PublishTrace t) { trace_a = t; });
+  publisher_->publish(data_b, [&](node::PublishTrace t) { trace_b = t; });
+  swarm_.simulator().run();
+  ASSERT_TRUE(trace_a.ok);
+  ASSERT_TRUE(trace_b.ok);
+
+  gateway.handle_get(trace_a.cid, [](GatewayResponse) {});  // P2P, fills both
+  swarm_.simulator().run();
+  gateway.handle_get(trace_b.cid, [](GatewayResponse) {});  // evicts A's edge
+  swarm_.simulator().run();
+
+  GatewayResponse again;
+  gateway.handle_get(trace_a.cid, [&](GatewayResponse r) { again = r; });
+  swarm_.simulator().run();
+  EXPECT_EQ(again.source, ServedFrom::kOriginCache);
+  EXPECT_EQ(again.bytes, data_a.size());
+  EXPECT_LT(again.latency, sim::milliseconds(10));
+  EXPECT_EQ(gateway.stats(ServedFrom::kOriginCache).requests, 1u);
+  EXPECT_GT(config.origin->used_bytes(), 0u);
+
+  // Origin hits refill the edge: the follow-up is an edge hit.
+  GatewayResponse third;
+  gateway.handle_get(trace_a.cid, [&](GatewayResponse r) { third = r; });
+  swarm_.simulator().run();
+  EXPECT_EQ(third.source, ServedFrom::kNginxCache);
+}
+
 }  // namespace
 }  // namespace ipfs::gateway
