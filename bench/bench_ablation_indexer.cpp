@@ -67,15 +67,14 @@ bool backend_determinism_probe(std::uint64_t seed) {
         dht::Key::hash_of(std::vector<std::uint8_t>{0xDE, 0x1E});
     swarm.dht(0).provide(key, [](dht::DhtNode::ProvideResult) {});
     swarm.simulator().run();
-    routing::advertise_to_indexers(swarm.network(), swarm.node(0),
+    routing::advertise_to_indexers(swarm.dht(0).transport(),
                                    swarm.routing_config(), key, swarm.ref(0));
     swarm.simulator().run_until(swarm.simulator().now() + sim::seconds(5));
 
     std::vector<std::unique_ptr<routing::RaceRouter>> routers;
     for (const std::size_t i : {3u, 9u, 15u}) {
       routers.push_back(std::make_unique<routing::RaceRouter>(
-          swarm.network(), swarm.node(i), swarm.dht(i),
-          swarm.routing_config()));
+          swarm.dht(i).transport(), swarm.dht(i), swarm.routing_config()));
       routers.back()->find_providers(key, [](routing::FindResult) {}, 0);
     }
     swarm.simulator().run();

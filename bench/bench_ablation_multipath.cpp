@@ -70,7 +70,7 @@ int main() {
     for (int run = 0; run < 3; ++run) {
       blockstore::BlockStore store;
       bitswap::Bitswap requester(network, requester_node, store);
-      bitswap::Session session(requester, network);
+      bitswap::Session session(requester);
       for (int i = 0; i < provider_counts[run]; ++i)
         session.add_peer(provider_nodes[i]);
       bitswap::SessionFetchStats stats;

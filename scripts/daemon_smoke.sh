@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Three-process ipfsd smoke (ISSUE 8 satellite; CI job daemon-smoke):
+# node 0 is the bootstrap DHT server, node 1 publishes a string, node 2
+# derives the same root CID locally and retrieves it through DHT provider
+# resolution + Bitswap — all over real UDP sockets on loopback.
+#
+# Usage: scripts/daemon_smoke.sh [path-to-ipfsd] [artifact-dir]
+set -euo pipefail
+
+IPFSD="${1:-build/examples/ipfsd}"
+OUT="${2:-daemon-smoke-artifacts}"
+CONTENT="hello interplanetary world"
+SERVE_MS=15000
+BASE_PORT=${DAEMON_SMOKE_BASE_PORT:-9400}
+
+if [[ ! -x "$IPFSD" ]]; then
+  echo "daemon_smoke: $IPFSD not found or not executable" >&2
+  exit 1
+fi
+mkdir -p "$OUT"
+
+P0=$BASE_PORT; P1=$((BASE_PORT + 1)); P2=$((BASE_PORT + 2))
+
+"$IPFSD" --index 0 --port "$P0" --peer "1:$P1" --peer "2:$P2" \
+  --serve-ms "$SERVE_MS" --metrics "$OUT/node0.jsonl" \
+  >"$OUT/node0.log" 2>&1 &
+PID0=$!
+sleep 0.3
+
+"$IPFSD" --index 1 --port "$P1" --peer "0:$P0" --peer "2:$P2" \
+  --bootstrap 0 --publish "$CONTENT" \
+  --serve-ms "$SERVE_MS" --metrics "$OUT/node1.jsonl" \
+  >"$OUT/node1.log" 2>&1 &
+PID1=$!
+sleep 0.3
+
+# The fetcher runs in the foreground; its exit code is the verdict.
+set +e
+"$IPFSD" --index 2 --port "$P2" --peer "0:$P0" --peer "1:$P1" \
+  --bootstrap 0 --fetch "$CONTENT" \
+  --serve-ms "$SERVE_MS" --metrics "$OUT/node2.jsonl" \
+  >"$OUT/node2.log" 2>&1
+FETCH_RC=$?
+wait "$PID0"; RC0=$?
+wait "$PID1"; RC1=$?
+set -e
+
+echo "--- node0 ---"; cat "$OUT/node0.log"
+echo "--- node1 ---"; cat "$OUT/node1.log"
+echo "--- node2 ---"; cat "$OUT/node2.log"
+
+if [[ $FETCH_RC -ne 0 || $RC0 -ne 0 || $RC1 -ne 0 ]]; then
+  echo "daemon_smoke: FAIL (server=$RC0 publisher=$RC1 fetcher=$FETCH_RC)" >&2
+  exit 1
+fi
+
+# The fetch must have crossed the wire: both sides' transport counters
+# moved (transport.tx/rx.*, docs/OBSERVABILITY.md).
+for node in node1 node2; do
+  if ! grep -q '"name":"transport.rx.messages","value":[1-9]' "$OUT/$node.jsonl"; then
+    echo "daemon_smoke: FAIL ($node received no transport messages)" >&2
+    exit 1
+  fi
+done
+if ! grep -q '"ok":true' "$OUT/node2.jsonl"; then
+  echo "daemon_smoke: FAIL (fetcher summary not ok)" >&2
+  exit 1
+fi
+
+echo "daemon_smoke: OK"

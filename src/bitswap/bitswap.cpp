@@ -1,6 +1,7 @@
 #include "bitswap/bitswap.h"
 
 #include "merkledag/merkledag.h"
+#include "transport/sim_transport.h"
 
 namespace ipfs::bitswap {
 
@@ -10,9 +11,20 @@ constexpr std::size_t kHaveMessageBytes = 40;
 constexpr std::size_t kBlockOverheadBytes = 64;
 }  // namespace
 
+Bitswap::Bitswap(transport::Transport& transport,
+                 blockstore::BlockStore& store)
+    : transport_(transport), node_(transport.local()), store_(store) {}
+
+Bitswap::Bitswap(std::unique_ptr<transport::Transport> transport,
+                 blockstore::BlockStore& store)
+    : Bitswap(*transport, store) {
+  owned_transport_ = std::move(transport);
+}
+
 Bitswap::Bitswap(sim::Network& network, sim::NodeId node,
                  blockstore::BlockStore& store)
-    : network_(network), node_(node), store_(store) {}
+    : Bitswap(std::make_unique<transport::SimTransport>(network, node),
+              store) {}
 
 std::string Bitswap::want_key(const Cid& cid) {
   const auto bytes = cid.encode();
@@ -39,8 +51,8 @@ bool Bitswap::handle_request(
       Ledger& ledger = ledgers_[from];
       ledger.bytes_sent += response->block->data.size();
       ++ledger.blocks_sent;
-      network_.metrics().counter("bitswap.blocks_sent").inc();
-      network_.metrics()
+      transport_.metrics().counter("bitswap.blocks_sent").inc();
+      transport_.metrics()
           .counter("bitswap.bytes_sent")
           .inc(response->block->data.size());
     }
@@ -55,16 +67,16 @@ struct Bitswap::Discovery {
   std::size_t answered = 0;
   std::size_t total = 0;
   metrics::SpanId span = 0;  // bitswap.discover trace span
-  sim::Timer timer;
+  transport::Timer timer;
 };
 
 void Bitswap::discover(const Cid& cid, sim::Duration timeout,
                        std::function<void(std::optional<sim::NodeId>)> done,
                        bool early_exit) {
   ++discovery_attempts_;
-  metrics::Registry& metrics = network_.metrics();
+  metrics::Registry& metrics = transport_.metrics();
   metrics.counter("bitswap.discovery_attempts").inc();
-  const auto peers = network_.connections_of(node_);
+  const auto peers = transport_.connections();
   if (peers.empty()) {
     metrics.end_span(
         metrics.begin_span("bitswap.discover", node_, cid.to_string()),
@@ -89,20 +101,20 @@ void Bitswap::discover(const Cid& cid, sim::Duration timeout,
     wantlist_.erase(want_key(cid));
     if (peer) {
       ++discovery_hits_;
-      network_.metrics().counter("bitswap.discovery_hits").inc();
+      transport_.metrics().counter("bitswap.discovery_hits").inc();
     }
-    network_.metrics().end_span(state->span, peer.has_value());
+    transport_.metrics().end_span(state->span, peer.has_value());
     done(peer);
   };
 
-  state->timer = network_.simulator().schedule_after(
+  state->timer = transport_.schedule_after(
       timeout, [finish] { finish(std::nullopt); });
 
   for (const sim::NodeId peer : peers) {
     auto request = std::make_shared<WantHaveRequest>();
     request->cid = cid;
-    network_.request(
-        node_, peer, std::move(request), kWantMessageBytes, timeout,
+    transport_.request(
+        peer, std::move(request), kWantMessageBytes, timeout,
         [state, finish, peer, early_exit](sim::RpcStatus status,
                                           const sim::MessagePtr& message) {
           if (state->finished) return;
@@ -125,20 +137,20 @@ void Bitswap::fetch_block(sim::NodeId peer, const Cid& cid,
   wantlist_.insert(want_key(cid));
   auto request = std::make_shared<WantBlockRequest>();
   request->cid = cid;
-  network_.request(
-      node_, peer, std::move(request), kWantMessageBytes, kBlockTimeout,
+  transport_.request(
+      peer, std::move(request), kWantMessageBytes, kBlockTimeout,
       [this, peer, cid, done = std::move(done)](sim::RpcStatus status,
                                                 const sim::MessagePtr& message) {
         wantlist_.erase(want_key(cid));
         if (status != sim::RpcStatus::kOk) {
-          network_.metrics().counter("bitswap.block_fetch_failures").inc();
+          transport_.metrics().counter("bitswap.block_fetch_failures").inc();
           done(std::nullopt);
           return;
         }
         const auto* response =
             dynamic_cast<const BlockResponse*>(message.get());
         if (response == nullptr || !response->block) {
-          network_.metrics().counter("bitswap.block_fetch_failures").inc();
+          transport_.metrics().counter("bitswap.block_fetch_failures").inc();
           done(std::nullopt);
           return;
         }
@@ -146,15 +158,15 @@ void Bitswap::fetch_block(sim::NodeId peer, const Cid& cid,
         // self-certification removes the need to trust the provider).
         if (!response->block->cid.hash().verifies(response->block->data) ||
             response->block->cid != cid) {
-          network_.metrics().counter("bitswap.block_fetch_failures").inc();
+          transport_.metrics().counter("bitswap.block_fetch_failures").inc();
           done(std::nullopt);
           return;
         }
         Ledger& ledger = ledgers_[peer];
         ledger.bytes_received += response->block->data.size();
         ++ledger.blocks_received;
-        network_.metrics().counter("bitswap.blocks_received").inc();
-        network_.metrics()
+        transport_.metrics().counter("bitswap.blocks_received").inc();
+        transport_.metrics()
             .counter("bitswap.bytes_received")
             .inc(response->block->data.size());
         store_.put(*response->block);
@@ -183,11 +195,11 @@ struct Bitswap::DagFetch {
 void Bitswap::fetch_dag(sim::NodeId peer, const Cid& root,
                         std::function<void(FetchStats)> done) {
   auto state = std::make_shared<DagFetch>();
-  state->started = network_.simulator().now();
+  state->started = transport_.now();
   state->mark_new(root);
   state->pending.push_back(root);
   state->done = std::move(done);
-  state->span = network_.metrics().begin_span("bitswap.fetch_dag", node_,
+  state->span = transport_.metrics().begin_span("bitswap.fetch_dag", node_,
                                               root.to_string(), 0, peer);
   pump_dag_fetch(peer, std::move(state));
 }
@@ -208,7 +220,7 @@ void Bitswap::pump_dag_fetch(sim::NodeId peer,
           if (state->mark_new(link.cid))
             state->pending.push_back(link.cid);
           else
-            network_.metrics()
+            transport_.metrics()
                 .counter("bitswap.duplicate_wants_suppressed")
                 .inc();
         }
@@ -220,8 +232,8 @@ void Bitswap::pump_dag_fetch(sim::NodeId peer,
       (state->pending.empty() && state->in_flight == 0)) {
     state->finished = true;
     state->stats.ok = !state->failed;
-    state->stats.elapsed = network_.simulator().now() - state->started;
-    network_.metrics().end_span(state->span, state->stats.ok,
+    state->stats.elapsed = transport_.now() - state->started;
+    transport_.metrics().end_span(state->span, state->stats.ok,
                                 state->stats.bytes);
     state->done(state->stats);
     return;
@@ -248,7 +260,7 @@ void Bitswap::pump_dag_fetch(sim::NodeId peer,
                           if (state->mark_new(link.cid))
                             state->pending.push_back(link.cid);
                           else
-                            network_.metrics()
+                            transport_.metrics()
                                 .counter("bitswap.duplicate_wants_suppressed")
                                 .inc();
                         }
@@ -266,7 +278,7 @@ void Bitswap::handle_crash() {
   for (auto& [id, discovery] : discoveries_) {
     discovery->finished = true;
     discovery->timer.cancel();
-    network_.metrics().end_span(discovery->span, false);
+    transport_.metrics().end_span(discovery->span, false);
   }
   discoveries_.clear();
   wantlist_.clear();

@@ -16,7 +16,7 @@
 
 #include "blockstore/blockstore.h"
 #include "multiformats/cid.h"
-#include "sim/network.h"
+#include "transport/transport.h"
 
 namespace ipfs::bitswap {
 
@@ -61,6 +61,9 @@ struct FetchStats {
 
 class Bitswap {
  public:
+  Bitswap(transport::Transport& transport, blockstore::BlockStore& store);
+  // Simulator convenience: wraps fabric node `node` in an owned
+  // SimTransport (harness/test construction path).
   Bitswap(sim::Network& network, sim::NodeId node,
           blockstore::BlockStore& store);
 
@@ -108,6 +111,7 @@ class Bitswap {
     return ledgers_;
   }
   blockstore::BlockStore& store() { return store_; }
+  transport::Transport& transport() { return transport_; }
   sim::NodeId self() const { return node_; }
   const std::unordered_set<std::string>& wantlist() const { return wantlist_; }
 
@@ -115,13 +119,18 @@ class Bitswap {
   std::uint64_t discovery_hits() const { return discovery_hits_; }
 
  private:
+  Bitswap(std::unique_ptr<transport::Transport> transport,
+          blockstore::BlockStore& store);
+
   struct DagFetch;
   struct Discovery;
   void pump_dag_fetch(sim::NodeId peer, std::shared_ptr<DagFetch> state);
 
   static std::string want_key(const Cid& cid);
 
-  sim::Network& network_;
+  // Declared first so an owned backend outlives transport_ users.
+  std::unique_ptr<transport::Transport> owned_transport_;
+  transport::Transport& transport_;
   sim::NodeId node_;
   blockstore::BlockStore& store_;
   std::unordered_set<std::string> wantlist_;

@@ -7,8 +7,8 @@
 
 namespace ipfs::bitswap {
 
-Session::Session(Bitswap& bitswap, sim::Network& network)
-    : bitswap_(bitswap), network_(network) {}
+Session::Session(Bitswap& bitswap)
+    : bitswap_(bitswap), transport_(bitswap.transport()) {}
 
 void Session::add_peer(sim::NodeId peer) {
   for (const auto& existing : peers_)
@@ -72,15 +72,15 @@ Session::PeerState* Session::pick_peer(
 void Session::fetch_dag(const multiformats::Cid& root,
                         std::function<void(SessionFetchStats)> done) {
   auto fetch = std::make_shared<Fetch>();
-  fetch->started = network_.simulator().now();
+  fetch->started = transport_.now();
   fetch->mark_new(root);
   fetch->pending.push_back(root);
   fetch->done = std::move(done);
-  fetch->span = network_.metrics().begin_span(
+  fetch->span = transport_.metrics().begin_span(
       "bitswap.session_fetch", bitswap_.self(), root.to_string());
   if (peers_.empty()) {
     fetch->stats.ok = false;
-    network_.metrics().end_span(fetch->span, false);
+    transport_.metrics().end_span(fetch->span, false);
     fetch->done(fetch->stats);
     return;
   }
@@ -94,10 +94,10 @@ void Session::pump(std::shared_ptr<Fetch> fetch) {
   if ((fetch->failed || fetch->pending.empty()) && fetch->in_flight == 0) {
     fetch->finished = true;
     fetch->stats.ok = !fetch->failed && fetch->pending.empty();
-    fetch->stats.elapsed = network_.simulator().now() - fetch->started;
+    fetch->stats.elapsed = transport_.now() - fetch->started;
     for (const auto& peer : peers_)
       fetch->stats.per_peer[peer.node] = peer.stats;
-    network_.metrics().end_span(fetch->span, fetch->stats.ok,
+    transport_.metrics().end_span(fetch->span, fetch->stats.ok,
                                 fetch->stats.bytes);
     fetch->done(fetch->stats);
     return;
@@ -116,7 +116,7 @@ void Session::pump(std::shared_ptr<Fetch> fetch) {
             if (fetch->mark_new(link.cid))
               fetch->pending.push_back(link.cid);
             else
-              network_.metrics()
+              transport_.metrics()
                   .counter("bitswap.duplicate_wants_suppressed")
                   .inc();
           }
@@ -136,7 +136,7 @@ void Session::pump(std::shared_ptr<Fetch> fetch) {
     ++fetch->in_flight;
     ++peer->in_flight;
     const sim::NodeId node = peer->node;
-    const sim::Time sent_at = network_.simulator().now();
+    const sim::Time sent_at = transport_.now();
 
     bitswap_.fetch_block(
         node, next,
@@ -146,7 +146,7 @@ void Session::pump(std::shared_ptr<Fetch> fetch) {
             if (peer.node != node) continue;
             --peer.in_flight;
             const double latency_ms = sim::to_millis(
-                network_.simulator().now() - sent_at);
+                transport_.now() - sent_at);
             if (block) {
               ++peer.stats.blocks;
               peer.stats.bytes += block->data.size();
@@ -167,7 +167,7 @@ void Session::pump(std::shared_ptr<Fetch> fetch) {
             fetch->failed_on[Fetch::key_of(next)].push_back(node);
             fetch->pending.push_back(next);
             ++fetch->stats.retried_blocks;
-            network_.metrics().counter("bitswap.session_retries").inc();
+            transport_.metrics().counter("bitswap.session_retries").inc();
           } else {
             ++fetch->stats.blocks;
             fetch->stats.bytes += block->data.size();
@@ -178,7 +178,7 @@ void Session::pump(std::shared_ptr<Fetch> fetch) {
                   if (fetch->mark_new(link.cid))
                     fetch->pending.push_back(link.cid);
                   else
-                    network_.metrics()
+                    transport_.metrics()
                         .counter("bitswap.duplicate_wants_suppressed")
                         .inc();
                 }

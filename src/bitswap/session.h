@@ -30,7 +30,8 @@ struct SessionFetchStats : FetchStats {
 
 class Session {
  public:
-  Session(Bitswap& bitswap, sim::Network& network);
+  // The session shares its Bitswap's transport (clock, metrics).
+  explicit Session(Bitswap& bitswap);
 
   // Adds a candidate provider. Duplicates are ignored.
   void add_peer(sim::NodeId peer);
@@ -56,7 +57,7 @@ class Session {
   PeerState* pick_peer(const std::vector<sim::NodeId>& exclude);
 
   Bitswap& bitswap_;
-  sim::Network& network_;
+  transport::Transport& transport_;
   std::vector<PeerState> peers_;
 };
 

@@ -2,18 +2,34 @@
 
 #include <algorithm>
 
+#include "transport/sim_transport.h"
+
 namespace ipfs::dht {
+
+DhtNode::DhtNode(transport::Transport& transport, multiformats::PeerId id,
+                 std::vector<multiformats::Multiaddr> addresses,
+                 RecordStore* shared_store)
+    : transport_(transport),
+      self_{std::move(id), transport.local(), std::move(addresses)},
+      routing_table_(Key::for_peer(self_.id)),
+      records_(shared_store != nullptr ? shared_store : &own_records_) {
+  schedule_expiry_sweep();
+}
+
+DhtNode::DhtNode(std::unique_ptr<transport::Transport> transport,
+                 multiformats::PeerId id,
+                 std::vector<multiformats::Multiaddr> addresses,
+                 RecordStore* shared_store)
+    : DhtNode(*transport, std::move(id), std::move(addresses), shared_store) {
+  owned_transport_ = std::move(transport);
+}
 
 DhtNode::DhtNode(sim::Network& network, sim::NodeId node,
                  multiformats::PeerId id,
                  std::vector<multiformats::Multiaddr> addresses,
                  RecordStore* shared_store)
-    : network_(network),
-      self_{std::move(id), node, std::move(addresses)},
-      routing_table_(Key::for_peer(self_.id)),
-      records_(shared_store != nullptr ? shared_store : &own_records_) {
-  schedule_expiry_sweep();
-}
+    : DhtNode(std::make_unique<transport::SimTransport>(network, node),
+              std::move(id), std::move(addresses), shared_store) {}
 
 DhtNode::~DhtNode() {
   republish_timer_.cancel();
@@ -21,18 +37,22 @@ DhtNode::~DhtNode() {
 }
 
 void DhtNode::attach_to_network() {
-  network_.set_request_handler(
-      self_.node, [this](sim::NodeId from, const sim::MessagePtr& message,
-                         auto respond) {
+  transport_.set_request_handler(
+      [this](sim::NodeId from, const sim::MessagePtr& message, auto respond) {
         handle_request(from, message, respond);
       });
-  network_.set_message_handler(
-      self_.node, [this](sim::NodeId from, const sim::MessagePtr& message) {
+  transport_.set_message_handler(
+      [this](sim::NodeId from, const sim::MessagePtr& message) {
         handle_message(from, message);
       });
 }
 
 void DhtNode::force_mode(Mode mode) { mode_ = mode; }
+
+void DhtNode::fix_mode(Mode mode) {
+  mode_ = mode;
+  fixed_mode_ = mode;
+}
 
 void DhtNode::set_bucket_diversity_cap(std::size_t cap) {
   bucket_diversity_cap_ = cap;
@@ -95,7 +115,7 @@ bool DhtNode::handle_request(
                  dynamic_cast<const GetProvidersRequest*>(message.get())) {
     auto response = std::make_shared<GetProvidersResponse>();
     response->providers = records_->providers(
-        get_providers->key, network_.simulator().now());
+        get_providers->key, transport_.now());
     // Providers come back with their Multiaddress only when this peer
     // still tracks them in its routing table; otherwise the requester has
     // to resolve the PeerID with a second DHT walk (Section 3.2).
@@ -111,14 +131,14 @@ bool DhtNode::handle_request(
     respond(std::move(response), size);
   } else if (const auto* add_provider =
                  dynamic_cast<const AddProviderRequest*>(message.get())) {
-    ProviderRecord record{add_provider->provider, network_.simulator().now()};
+    ProviderRecord record{add_provider->provider, transport_.now()};
     records_->add_provider(add_provider->key, std::move(record));
-    network_.metrics().counter("dht.provider_records_stored").inc();
+    transport_.metrics().counter("dht.provider_records_stored").inc();
     // No response needed: the publisher fires and forgets (Section 3.1).
   } else if (const auto* put_value =
                  dynamic_cast<const PutValueRequest*>(message.get())) {
     ValueRecord record = put_value->record;
-    record.received_at = network_.simulator().now();
+    record.received_at = transport_.now();
     records_->put_value(put_value->key, std::move(record));
     respond(std::make_shared<GetValueResponse>(), kRequestBaseBytes);
   } else if (const auto* get_value =
@@ -138,22 +158,21 @@ bool DhtNode::handle_request(
     respond(std::move(response), response_size_for(response->peers.size()));
   } else if (dynamic_cast<const DialBackRequest*>(message.get()) != nullptr) {
     // AutoNAT: try to dial the requester back on a fresh connection.
-    const bool already_connected = network_.connected(self_.node, from);
+    const bool already_connected = transport_.connected(from);
     if (already_connected) {
       // The inbound connection proves nothing about reachability; a real
       // implementation dials a fresh address. Approximate with a dial
       // attempt that honours the requester's dialability.
       auto response = std::make_shared<DialBackResponse>();
-      response->reachable = network_.config(from).dialable;
+      response->reachable = transport_.peer_dialable(from);
       respond(std::move(response), kRequestBaseBytes);
     } else {
-      network_.connect(
-          self_.node, from,
-          [this, from, respond](bool ok, sim::Duration) {
+      transport_.connect(
+          from, [this, from, respond](bool ok, sim::Duration) {
             auto response = std::make_shared<DialBackResponse>();
             response->reachable = ok;
             respond(std::move(response), kRequestBaseBytes);
-            if (ok) network_.disconnect(self_.node, from);
+            if (ok) transport_.disconnect(from);
           });
     }
   } else {
@@ -169,9 +188,9 @@ bool DhtNode::handle_message(sim::NodeId from, const sim::MessagePtr& message) {
           dynamic_cast<const AddProviderRequest*>(message.get())) {
     if (mode_ == Mode::kServer) {
       ProviderRecord record{add_provider->provider,
-                            network_.simulator().now()};
+                            transport_.now()};
       records_->add_provider(add_provider->key, std::move(record));
-      network_.metrics().counter("dht.provider_records_stored").inc();
+      transport_.metrics().counter("dht.provider_records_stored").inc();
     }
     (void)from;
     return true;
@@ -181,8 +200,7 @@ bool DhtNode::handle_message(sim::NodeId from, const sim::MessagePtr& message) {
 
 LookupHost DhtNode::make_lookup_host() {
   LookupHost host;
-  host.network = &network_;
-  host.self = self_.node;
+  host.transport = &transport_;
   host.self_ref = self_;
   host.server_mode = mode_ == Mode::kServer;
   host.provider_quorum = provider_quorum_;
@@ -214,7 +232,7 @@ const Lookup* DhtNode::start_lookup(
   // walk, and blindly erasing by pointer would drop that walk's only
   // keep-alive mid-flight (its completion callback would never fire).
   active_lookups_[lookup.get()] = lookup;
-  network_.simulator().schedule_daemon_after(
+  transport_.schedule_daemon_after(
       kLookupDeadline + sim::seconds(1),
       [this, raw = lookup.get(), weak = std::weak_ptr<Lookup>(lookup)] {
         const auto it = active_lookups_.find(raw);
@@ -247,14 +265,15 @@ void DhtNode::run_autonat(std::vector<PeerRef> probes,
     ++state->first;
     if (reachable) ++state->second;
     if (state->first == total) {
-      mode_ = state->second > kAutonatThreshold ? Mode::kServer : Mode::kClient;
+      mode_ = fixed_mode_.value_or(
+          state->second > kAutonatThreshold ? Mode::kServer : Mode::kClient);
       done();
     }
   };
   for (const auto& probe : probes) {
-    network_.request(
-        self_.node, probe.node, std::make_shared<DialBackRequest>(),
-        kRequestBaseBytes, kRpcTimeout,
+    transport_.request(
+        probe.node, std::make_shared<DialBackRequest>(), kRequestBaseBytes,
+        kRpcTimeout,
         [finish_one](sim::RpcStatus status, const sim::MessagePtr& message) {
           if (status != sim::RpcStatus::kOk) {
             finish_one(false);
@@ -293,8 +312,8 @@ void DhtNode::bootstrap(std::vector<PeerRef> seeds,
   };
 
   for (const auto& seed : seeds) {
-    network_.connect(
-        self_.node, seed.node,
+    transport_.connect(
+        seed.node,
         [state, total, seed, after_connections](bool ok, sim::Duration) {
           if (ok) state->second.push_back(seed);
           if (++state->first == total) after_connections(state->second);
@@ -314,7 +333,7 @@ void DhtNode::handle_crash() {
 void DhtNode::handle_restart() {
   republish_timer_.cancel();
   expiry_timer_.cancel();
-  records_->expire_providers(network_.simulator().now());
+  records_->expire_providers(transport_.now());
   schedule_expiry_sweep();
   if (!reprovide_keys_.empty()) schedule_republish();
 }
@@ -322,7 +341,7 @@ void DhtNode::handle_restart() {
 void DhtNode::store_provider_records(
     const Key& key, std::vector<PeerRef> targets,
     std::function<void(StoreBatchResult)> done) {
-  const sim::Time start = network_.simulator().now();
+  const sim::Time start = transport_.now();
   auto result = std::make_shared<StoreBatchResult>();
   result->attempted = static_cast<int>(targets.size());
   if (targets.empty()) {
@@ -352,7 +371,7 @@ void DhtNode::store_provider_records(
   std::weak_ptr<std::function<void()>> weak_pump = pump;
   *pump = [this, key, state, result, start, done, weak_pump] {
     if (state->next >= state->queue.size() && state->in_flight == 0) {
-      result->elapsed = network_.simulator().now() - start;
+      result->elapsed = transport_.now() - start;
       done(*result);
       return;
     }
@@ -360,19 +379,19 @@ void DhtNode::store_provider_records(
            state->in_flight < kDialWindow) {
       const PeerRef peer = state->queue[state->next++];
       ++state->in_flight;
-      network_.connect(self_.node, peer.node,
-                       [this, key, peer, state, result,
-                        pump = weak_pump.lock()](bool ok, sim::Duration) {
+      transport_.connect(peer.node,
+                         [this, key, peer, state, result,
+                          pump = weak_pump.lock()](bool ok, sim::Duration) {
                          --state->in_flight;
                          if (ok) {
                            auto add = std::make_shared<AddProviderRequest>();
                            add->key = key;
                            add->provider = self_;
-                           network_.send(self_.node, peer.node,
-                                         std::move(add),
-                                         kRequestBaseBytes + kPeerRefBytes);
+                           transport_.send(
+                               peer.node, std::move(add),
+                               kRequestBaseBytes + kPeerRefBytes);
                            ++result->sent;
-                           network_.metrics()
+                           transport_.metrics()
                                .counter("dht.add_provider_sent")
                                .inc();
                          }
@@ -384,13 +403,13 @@ void DhtNode::store_provider_records(
 }
 
 void DhtNode::provide(const Key& key, std::function<void(ProvideResult)> done) {
-  const sim::Time start = network_.simulator().now();
+  const sim::Time start = transport_.now();
   const auto seeds = routing_table_.closest(key, kReplication);
 
   start_lookup(
       LookupType::kFindNode, key, seeds,
       [this, key, start, done = std::move(done)](LookupResult walk) {
-        const sim::Time walk_end = network_.simulator().now();
+        const sim::Time walk_end = transport_.now();
         auto result = std::make_shared<ProvideResult>();
         result->walk = walk_end - start;
         result->walk_result = walk;
@@ -422,8 +441,8 @@ void DhtNode::stop_reproviding(const Key& key) { reprovide_keys_.erase(key); }
 
 void DhtNode::schedule_republish() {
   republish_timer_ =
-      network_.simulator().schedule_daemon_after(kRepublishInterval, [this] {
-        if (network_.online(self_.node)) {
+      transport_.schedule_daemon_after(kRepublishInterval, [this] {
+        if (transport_.online()) {
           for (const auto& key : reprovide_keys_) {
             provide(key, [](ProvideResult) {});
             // Re-advertise through the hook (network indexers): indexer
@@ -437,8 +456,8 @@ void DhtNode::schedule_republish() {
 
 void DhtNode::schedule_expiry_sweep() {
   expiry_timer_ =
-      network_.simulator().schedule_daemon_after(kExpirySweepInterval, [this] {
-        records_->expire_providers(network_.simulator().now());
+      transport_.schedule_daemon_after(kExpirySweepInterval, [this] {
+        records_->expire_providers(transport_.now());
         schedule_expiry_sweep();
       });
 }
@@ -492,8 +511,8 @@ void DhtNode::put_value(const Key& key, ValueRecord record,
         auto remaining =
             std::make_shared<int>(static_cast<int>(walk.closest.size()));
         for (const auto& peer : walk.closest) {
-          network_.connect(
-              self_.node, peer.node,
+          transport_.connect(
+              peer.node,
               [this, key, record, peer, stored, remaining,
                done](bool ok, sim::Duration) {
                 auto finish = [stored, remaining, done] {
@@ -506,8 +525,8 @@ void DhtNode::put_value(const Key& key, ValueRecord record,
                 auto put = std::make_shared<PutValueRequest>();
                 put->key = key;
                 put->record = record;
-                network_.request(
-                    self_.node, peer.node, std::move(put),
+                transport_.request(
+                    peer.node, std::move(put),
                     kRequestBaseBytes + record.value.size(), kRpcTimeout,
                     [stored, finish](sim::RpcStatus status,
                                      const sim::MessagePtr&) {

@@ -15,7 +15,7 @@
 #include "dht/messages.h"
 #include "dht/record_store.h"
 #include "dht/routing_table.h"
-#include "sim/network.h"
+#include "transport/transport.h"
 
 namespace ipfs::dht {
 
@@ -34,6 +34,12 @@ class DhtNode {
   // `shared_store`: optional external record store. Hydra boosters run
   // many DHT "heads" (distinct PeerIDs) over one common record database
   // so a record stored with any head is served by all of them.
+  DhtNode(transport::Transport& transport, multiformats::PeerId id,
+          std::vector<multiformats::Multiaddr> addresses,
+          RecordStore* shared_store = nullptr);
+  // Simulator convenience: wraps fabric node `node` in an owned
+  // SimTransport. Harness code (scenario, world, tests) constructs DHT
+  // nodes this way; the protocol logic itself never names the fabric.
   DhtNode(sim::Network& network, sim::NodeId node, multiformats::PeerId id,
           std::vector<multiformats::Multiaddr> addresses,
           RecordStore* shared_store = nullptr);
@@ -168,12 +174,18 @@ class DhtNode {
 
   Mode mode() const { return mode_; }
   void force_mode(Mode mode);
+  // Pins the mode across AutoNAT: force_mode() sets the current mode but
+  // a later bootstrap's dial-back verdict overwrites it (> 3 reachable
+  // probes required). A pinned mode survives the verdict — the socket
+  // daemon uses this, since a small localhost cluster can never muster
+  // enough probes even though every endpoint is dialable by construction.
+  void fix_mode(Mode mode);
   const PeerRef& self() const { return self_; }
   RoutingTable& routing_table() { return routing_table_; }
   const RoutingTable& routing_table() const { return routing_table_; }
   RecordStore& record_store() { return *records_; }
   sim::NodeId node() const { return self_.node; }
-  sim::Network& network() { return network_; }
+  transport::Transport& transport() { return transport_; }
 
   // Peers the crawler can enumerate (Section 4.1): the full k-bucket
   // contents, as the crawler's per-bucket FIND_NODE sweep would recover.
@@ -182,6 +194,14 @@ class DhtNode {
   }
 
  private:
+  // Bridge for the sim convenience constructor: the owned backend is
+  // parked in owned_transport_ after the primary constructor ran against
+  // the reference.
+  DhtNode(std::unique_ptr<transport::Transport> transport,
+          multiformats::PeerId id,
+          std::vector<multiformats::Multiaddr> addresses,
+          RecordStore* shared_store);
+
   const Lookup* start_lookup(LookupType type, const Key& target,
                              std::vector<PeerRef> seeds, Lookup::Callback cb,
                              std::optional<multiformats::PeerId> target_peer =
@@ -193,16 +213,20 @@ class DhtNode {
   void schedule_expiry_sweep();
   void answer_closer_peers(const Key& target, std::vector<PeerRef>& out) const;
 
-  sim::Network& network_;
+  // Declared first so an owned backend outlives every member that holds
+  // the transport_ reference; null when the transport is external.
+  std::unique_ptr<transport::Transport> owned_transport_;
+  transport::Transport& transport_;
   PeerRef self_;
   Mode mode_ = Mode::kClient;
+  std::optional<Mode> fixed_mode_;
   RoutingTable routing_table_;
   RecordStore own_records_;
   RecordStore* records_;  // &own_records_ unless a shared store is used
   std::unordered_set<Key, KeyHasher> reprovide_keys_;
   RepublishHook republish_hook_;
-  sim::Timer republish_timer_;
-  sim::Timer expiry_timer_;
+  transport::Timer republish_timer_;
+  transport::Timer expiry_timer_;
   std::size_t provider_quorum_ = 1;
   std::size_t bucket_diversity_cap_ = 0;
   // Keeps in-flight lookups alive.

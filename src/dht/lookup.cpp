@@ -26,15 +26,14 @@ std::shared_ptr<Lookup> Lookup::start(
   auto lookup = std::shared_ptr<Lookup>(new Lookup(
       std::move(host), type, std::move(target), std::move(cb),
       std::move(target_peer)));
-  lookup->started_at_ = lookup->host_.network->simulator().now();
-  lookup->span_ = lookup->host_.network->metrics().begin_span(
-      lookup_span_name(type), lookup->host_.self, {},
+  lookup->started_at_ = lookup->host_.transport->now();
+  lookup->span_ = lookup->host_.transport->metrics().begin_span(
+      lookup_span_name(type), lookup->host_.transport->local(), {},
       lookup->host_.parent_span);
-  lookup->deadline_timer_ =
-      lookup->host_.network->simulator().schedule_after(
-          kLookupDeadline, [weak = std::weak_ptr<Lookup>(lookup)] {
-            if (auto self = weak.lock()) self->finish(false);
-          });
+  lookup->deadline_timer_ = lookup->host_.transport->schedule_after(
+      kLookupDeadline, [weak = std::weak_ptr<Lookup>(lookup)] {
+        if (auto self = weak.lock()) self->finish(false);
+      });
   for (const auto& seed : seeds) lookup->add_candidate(seed);
   if (lookup->candidates_.empty()) {
     lookup->finish(true);
@@ -53,7 +52,7 @@ Lookup::Lookup(LookupHost host, LookupType type, Key target, Callback cb,
       target_peer_(std::move(target_peer)) {}
 
 void Lookup::add_candidate(const PeerRef& peer) {
-  if (peer.node == host_.self) return;
+  if (peer.node == host_.transport->local()) return;
   const Key key = Key::for_peer(peer.id);
   if (index_.contains(key)) return;
   const auto distance = key.distance_to(target_);
@@ -112,10 +111,10 @@ void Lookup::query(const Key& candidate_key) {
   const auto it = index_.find(candidate_key);
   const PeerRef peer = candidates_.at(it->second).peer;
   auto self = shared_from_this();
-  host_.network->connect(host_.self, peer.node,
-                         [self, candidate_key](bool ok, sim::Duration) {
-                           self->on_dial_result(candidate_key, ok);
-                         });
+  host_.transport->connect(peer.node,
+                           [self, candidate_key](bool ok, sim::Duration) {
+                             self->on_dial_result(candidate_key, ok);
+                           });
 }
 
 void Lookup::on_dial_result(const Key& candidate_key, bool ok) {
@@ -126,7 +125,7 @@ void Lookup::on_dial_result(const Key& candidate_key, bool ok) {
     candidate.state = CandidateState::kFailed;
     --in_flight_;
     ++result_.dials_failed;
-    host_.network->metrics().counter("dht.lookup.dials_failed").inc();
+    host_.transport->metrics().counter("dht.lookup.dials_failed").inc();
     if (host_.on_peer_failed) host_.on_peer_failed(candidate.peer);
     pump();
     return;
@@ -161,11 +160,10 @@ void Lookup::on_dial_result(const Key& candidate_key, bool ok) {
   }
 
   ++result_.rpcs_sent;
-  host_.network->metrics().counter("dht.lookup.rpcs_sent").inc();
+  host_.transport->metrics().counter("dht.lookup.rpcs_sent").inc();
   auto self = shared_from_this();
-  host_.network->request(
-      host_.self, candidate.peer.node, std::move(request), kRequestBaseBytes,
-      kRpcTimeout,
+  host_.transport->request(
+      candidate.peer.node, std::move(request), kRequestBaseBytes, kRpcTimeout,
       [self, candidate_key](sim::RpcStatus status,
                             const sim::MessagePtr& message) {
         self->on_response(candidate_key, status, message);
@@ -182,7 +180,7 @@ void Lookup::on_response(const Key& candidate_key, sim::RpcStatus status,
   if (status != sim::RpcStatus::kOk) {
     candidate.state = CandidateState::kFailed;
     ++result_.rpcs_failed;
-    host_.network->metrics().counter("dht.lookup.rpcs_failed").inc();
+    host_.transport->metrics().counter("dht.lookup.rpcs_failed").inc();
     if (host_.on_peer_failed) host_.on_peer_failed(candidate.peer);
     pump();
     return;
@@ -208,7 +206,7 @@ void Lookup::on_response(const Key& candidate_key, sim::RpcStatus status,
             return have.provider.id == record.provider.id;
           });
       if (seen) {
-        host_.network->metrics()
+        host_.transport->metrics()
             .counter("dht.lookup.duplicate_providers_dropped")
             .inc();
         continue;
@@ -233,7 +231,7 @@ void Lookup::abort() {
   if (finished_) return;
   finished_ = true;
   deadline_timer_.cancel();
-  host_.network->metrics().end_span(span_, false);
+  host_.transport->metrics().end_span(span_, false);
   // In-flight RPC callbacks see finished_ and return without effect.
 }
 
@@ -242,8 +240,8 @@ void Lookup::finish(bool completed) {
   finished_ = true;
   deadline_timer_.cancel();
   result_.completed = completed;
-  result_.elapsed = host_.network->simulator().now() - started_at_;
-  host_.network->metrics().end_span(
+  result_.elapsed = host_.transport->now() - started_at_;
+  host_.transport->metrics().end_span(
       span_, completed, static_cast<std::uint64_t>(result_.rpcs_sent));
 
   // Assemble the closest responded set.

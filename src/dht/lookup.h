@@ -21,7 +21,7 @@
 
 #include "dht/key.h"
 #include "dht/messages.h"
-#include "sim/network.h"
+#include "transport/transport.h"
 
 namespace ipfs::dht {
 
@@ -50,8 +50,7 @@ struct LookupResult {
 
 // Hooks back into the owning DHT node.
 struct LookupHost {
-  sim::Network* network = nullptr;
-  sim::NodeId self = sim::kInvalidNode;
+  transport::Transport* transport = nullptr;
   // Requester identity stamped onto outgoing RPCs (see LookupRequestBase).
   PeerRef self_ref;
   bool server_mode = false;
@@ -120,7 +119,7 @@ class Lookup : public std::enable_shared_from_this<Lookup> {
 
   LookupResult result_;
   sim::Time started_at_ = 0;
-  sim::Timer deadline_timer_;
+  transport::Timer deadline_timer_;
   metrics::SpanId span_ = 0;  // dht.lookup.<type> trace span
   int in_flight_ = 0;
   bool finished_ = false;

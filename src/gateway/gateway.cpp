@@ -5,10 +5,16 @@
 
 namespace ipfs::gateway {
 
+Gateway::Gateway(transport::Transport& transport, const GatewayConfig& config)
+    : config_(config),
+      node_(transport, config.node),
+      transport_(node_.transport()),
+      nginx_cache_(config.nginx_cache_bytes, config.edge_cache) {}
+
 Gateway::Gateway(sim::Network& network, const GatewayConfig& config)
-    : network_(network),
-      config_(config),
+    : config_(config),
       node_(network, config.node),
+      transport_(node_.transport()),
       nginx_cache_(config.nginx_cache_bytes, config.edge_cache) {}
 
 void Gateway::bootstrap(std::vector<dht::PeerRef> seeds,
@@ -67,7 +73,7 @@ void Gateway::account(const Cid& cid, const GatewayResponse& response) {
   ++tier.requests;
   tier.bytes += response.bytes;
 
-  metrics::Registry& metrics = network_.metrics();
+  metrics::Registry& metrics = transport_.metrics();
   const std::string name = tier_name(response.source);
   metrics.counter("gateway.requests").inc();
   metrics.counter("gateway.tier." + name + ".requests").inc();
@@ -109,7 +115,7 @@ void Gateway::serve(const Cid& cid, bool account_tier,
     response.latency = config_.nginx_hit_latency;
     response.bytes = cached->size();
     if (account_tier) account(cid, response);
-    network_.simulator().schedule_after(
+    transport_.schedule_after(
         response.latency, [response, done = std::move(done)] {
           done(response);
         });
@@ -132,7 +138,7 @@ void Gateway::serve(const Cid& cid, bool account_tier,
     // Write through to the shared origin so spilled requests for this
     // replica's pinned partition stay inside the fleet.
     if (config_.origin) config_.origin->put(cid, shared);
-    network_.simulator().schedule_after(
+    transport_.schedule_after(
         response.latency, [response, done = std::move(done)] {
           done(response);
         });
@@ -151,7 +157,7 @@ void Gateway::serve(const Cid& cid, bool account_tier,
                        config_.origin_bytes_per_sec);
       if (account_tier) account(cid, response);
       nginx_cache_.put(cid, shared);  // aliases the origin's payload
-      network_.simulator().schedule_after(
+      transport_.schedule_after(
           response.latency, [response, done = std::move(done)] {
             done(response);
           });
@@ -165,14 +171,14 @@ void Gateway::serve(const Cid& cid, bool account_tier,
   if (config_.negative_ttl > 0) {
     const auto negative = negative_until_.find(cid);
     if (negative != negative_until_.end()) {
-      if (network_.simulator().now() < negative->second) {
+      if (transport_.now() < negative->second) {
         ++negative_hits_;
-        network_.metrics().counter("gateway.negative.hits").inc();
+        transport_.metrics().counter("gateway.negative.hits").inc();
         GatewayResponse response;
         response.source = ServedFrom::kFailed;
         response.latency = config_.nginx_hit_latency;
         if (account_tier) account(cid, response);
-        network_.simulator().schedule_after(
+        transport_.schedule_after(
             response.latency, [response, done = std::move(done)] {
               done(response);
             });
@@ -189,10 +195,10 @@ void Gateway::serve(const Cid& cid, bool account_tier,
   // accounted — from the shared completion.
   const auto [it, leader] = inflight_.try_emplace(cid);
   it->second.push_back(
-      Waiter{account_tier, network_.simulator().now(), std::move(done)});
+      Waiter{account_tier, transport_.now(), std::move(done)});
   if (!leader) {
     ++coalesced_requests_;
-    network_.metrics().counter("gateway.p2p.coalesced").inc();
+    transport_.metrics().counter("gateway.p2p.coalesced").inc();
     return;
   }
   node_.retrieve(cid, [this, cid](node::RetrievalTrace trace) {
@@ -201,13 +207,13 @@ void Gateway::serve(const Cid& cid, bool account_tier,
       waiters = std::move(entry->second);
       inflight_.erase(entry);
     }
-    const sim::Time end = network_.simulator().now();
+    const sim::Time end = transport_.now();
     GatewayResponse response;
     if (!trace.ok) {
       response.source = ServedFrom::kFailed;
       if (config_.negative_ttl > 0) {
         negative_until_[cid] = end + config_.negative_ttl;
-        network_.metrics().counter("gateway.negative.stores").inc();
+        transport_.metrics().counter("gateway.negative.stores").inc();
       }
     } else {
       response.source = ServedFrom::kP2p;
@@ -218,7 +224,7 @@ void Gateway::serve(const Cid& cid, bool account_tier,
       // provider connection so the next miss pays the full pipeline, as
       // the paper's non-cached tier does (Table 5: 4.04 s median).
       if (trace.provider_node != sim::kInvalidNode)
-        network_.disconnect(node_.node(), trace.provider_node);
+        node_.disconnect_from(trace.provider_node);
       auto bytes = merkledag::cat(node_.store(), cid);
       response.bytes = bytes ? bytes->size() : trace.bytes;
       if (bytes) {

@@ -77,6 +77,11 @@ struct TierStats {
 
 class Gateway {
  public:
+  // Primary constructor: the gateway's co-located node runs over
+  // `transport` (any backend).
+  Gateway(transport::Transport& transport, const GatewayConfig& config);
+  // Simulator convenience: the node joins `network` as a fresh fabric
+  // node (config.node.net).
   Gateway(sim::Network& network, const GatewayConfig& config);
 
   // Joins the P2P network like any node.
@@ -138,9 +143,11 @@ class Gateway {
     std::function<void(GatewayResponse)> done;
   };
 
-  sim::Network& network_;
   GatewayConfig config_;
   node::IpfsNode node_;
+  // The co-located node's transport; declared after node_ (load-bearing:
+  // initialized from node_.transport()).
+  transport::Transport& transport_;
   blockstore::LruBlockStore nginx_cache_;  // whole objects by root CID
   TierStats nginx_stats_;
   TierStats node_store_stats_;

@@ -3,21 +3,23 @@
 #include <memory>
 #include <utility>
 
+#include "transport/sim_transport.h"
+
 namespace ipfs::indexer {
 
-Indexer::Indexer(sim::Network& network, IndexerConfig config)
-    : network_(network), config_(std::move(config)) {
-  node_ = network_.add_node(config_.net);
-  network_.set_request_handler(
-      node_, [this](sim::NodeId, const sim::MessagePtr& message,
-                    std::function<void(sim::MessagePtr, std::size_t)> respond) {
+Indexer::Indexer(transport::Transport& transport, IndexerConfig config)
+    : transport_(transport), config_(std::move(config)) {
+  node_ = transport_.local();
+  transport_.set_request_handler(
+      [this](sim::NodeId, const sim::MessagePtr& message,
+             std::function<void(sim::MessagePtr, std::size_t)> respond) {
         if (const auto* query = dynamic_cast<const QueryRequest*>(
                 message.get())) {
           answer_query(*query, respond);
         }
       });
-  network_.set_message_handler(
-      node_, [this](sim::NodeId, const sim::MessagePtr& message) {
+  transport_.set_message_handler(
+      [this](sim::NodeId, const sim::MessagePtr& message) {
         if (const auto* ad = dynamic_cast<const AdvertiseMessage*>(
                 message.get())) {
           on_advertise(*ad);
@@ -25,28 +27,38 @@ Indexer::Indexer(sim::Network& network, IndexerConfig config)
       });
 }
 
+Indexer::Indexer(std::unique_ptr<transport::Transport> transport,
+                 IndexerConfig config)
+    : Indexer(*transport, std::move(config)) {
+  owned_transport_ = std::move(transport);
+}
+
+Indexer::Indexer(sim::Network& network, IndexerConfig config)
+    : Indexer(std::make_unique<transport::SimTransport>(network, config.net),
+              config) {}
+
 Indexer::~Indexer() { ingest_timer_.cancel(); }
 
 void Indexer::on_advertise(const AdvertiseMessage& ad) {
   ++advertisements_received_;
-  network_.metrics().counter("indexer.advertisements").inc();
+  transport_.metrics().counter("indexer.advertisements").inc();
   PendingAd pending;
   pending.key = ad.key;
   pending.record.provider = ad.provider;
-  pending.record.received_at = network_.simulator().now();
-  pending.visible_at = network_.simulator().now() + config_.ingest_lag;
+  pending.record.received_at = transport_.now();
+  pending.visible_at = transport_.now() + config_.ingest_lag;
   pending_.push_back(std::move(pending));
   arm_ingest_timer();
 }
 
 void Indexer::arm_ingest_timer() {
   if (pending_.empty() || ingest_timer_.active()) return;
-  ingest_timer_ = network_.simulator().schedule_daemon_at(
+  ingest_timer_ = transport_.schedule_daemon_at(
       pending_.front().visible_at, [this] { ingest_due(); });
 }
 
 void Indexer::ingest_due() {
-  const sim::Time now = network_.simulator().now();
+  const sim::Time now = transport_.now();
   while (!pending_.empty() && pending_.front().visible_at <= now) {
     PendingAd ad = std::move(pending_.front());
     pending_.pop_front();
@@ -64,7 +76,7 @@ void Indexer::ingest_due() {
     if (!refreshed) {
       records.push_back({std::move(ad.record), now + config_.provider_ttl});
     }
-    network_.metrics().counter("indexer.ingested").inc();
+    transport_.metrics().counter("indexer.ingested").inc();
   }
   arm_ingest_timer();
 }
@@ -73,11 +85,11 @@ void Indexer::answer_query(
     const QueryRequest& query,
     const std::function<void(sim::MessagePtr, std::size_t)>& respond) {
   ++queries_served_;
-  network_.metrics().counter("indexer.queries").inc();
+  transport_.metrics().counter("indexer.queries").inc();
   auto response = std::make_shared<QueryResponse>();
   const auto it = index_.find(query.key);
   if (it != index_.end()) {
-    const sim::Time now = network_.simulator().now();
+    const sim::Time now = transport_.now();
     // Prune expired records on read: the index holds only what a query
     // may still return.
     auto& records = it->second;
@@ -107,7 +119,7 @@ void Indexer::handle_restart() {
 std::size_t Indexer::visible_provider_count(const dht::Key& key) const {
   const auto it = index_.find(key);
   if (it == index_.end()) return 0;
-  const sim::Time now = network_.simulator().now();
+  const sim::Time now = transport_.now();
   std::size_t count = 0;
   for (const VisibleRecord& visible : it->second) {
     if (visible.expires_at > now) ++count;

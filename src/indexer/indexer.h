@@ -20,7 +20,7 @@
 #include "dht/key.h"
 #include "dht/messages.h"
 #include "indexer/messages.h"
-#include "sim/network.h"
+#include "transport/transport.h"
 
 namespace ipfs::indexer {
 
@@ -52,7 +52,10 @@ struct IndexerConfig {
 
 class Indexer {
  public:
-  // Adds its own node to the fabric and installs its handlers.
+  // Serves over an existing transport endpoint (installs its handlers).
+  Indexer(transport::Transport& transport, IndexerConfig config);
+  // Simulator convenience: adds a fresh node (config.net) to the fabric
+  // and wraps it in an owned SimTransport.
   Indexer(sim::Network& network, IndexerConfig config);
   ~Indexer();
 
@@ -60,6 +63,7 @@ class Indexer {
   Indexer& operator=(const Indexer&) = delete;
 
   sim::NodeId node() const { return node_; }
+  transport::Transport& transport() { return transport_; }
   const IndexerConfig& config() const { return config_; }
 
   // --- Crash/restart (sim/faults.h conventions) ---------------------------
@@ -82,6 +86,9 @@ class Indexer {
   std::uint64_t queries_served() const { return queries_served_; }
 
  private:
+  Indexer(std::unique_ptr<transport::Transport> transport,
+          IndexerConfig config);
+
   struct PendingAd {
     dht::Key key;
     dht::ProviderRecord record;
@@ -101,7 +108,9 @@ class Indexer {
   void arm_ingest_timer();
   void ingest_due();
 
-  sim::Network& network_;
+  // Declared first so an owned backend outlives transport_ users.
+  std::unique_ptr<transport::Transport> owned_transport_;
+  transport::Transport& transport_;
   IndexerConfig config_;
   sim::NodeId node_ = sim::kInvalidNode;
   // Arrival-ordered; visible_at is nondecreasing (constant ingest lag),
@@ -109,7 +118,7 @@ class Indexer {
   std::deque<PendingAd> pending_;
   std::unordered_map<dht::Key, std::vector<VisibleRecord>, dht::KeyHasher>
       index_;
-  sim::Timer ingest_timer_;
+  transport::Timer ingest_timer_;
   std::uint64_t advertisements_received_ = 0;
   std::uint64_t queries_served_ = 0;
 };

@@ -43,7 +43,7 @@ bool PubsubResolver::following(const multiformats::PeerId& name) const {
 
 void PubsubResolver::accept(const multiformats::PeerId& name,
                             const pubsub::PubsubMessage& message) {
-  auto& metrics = dht_.network().metrics();
+  auto& metrics = dht_.transport().metrics();
   const auto record = IpnsRecord::decode(message.data);
   // Self-certification gate: any mesh member can inject bytes, so nothing
   // unverified touches the cache.
@@ -69,7 +69,7 @@ std::optional<IpnsRecord> PubsubResolver::cached(
 
 void PubsubResolver::resolve(const multiformats::PeerId& name,
                              ResolveFn done) {
-  auto& metrics = dht_.network().metrics();
+  auto& metrics = dht_.transport().metrics();
   if (const auto record = cached(name)) {
     metrics.counter("ipns.pubsub.cache_hit").inc();
     done(record->target());

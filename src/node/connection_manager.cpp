@@ -2,12 +2,12 @@
 
 namespace ipfs::node {
 
-ConnectionManager::ConnectionManager(sim::Network& network, sim::NodeId self,
+ConnectionManager::ConnectionManager(transport::Transport& transport,
                                      ConnManagerConfig config)
-    : network_(network), self_(self), config_(config) {}
+    : transport_(transport), config_(config) {}
 
 std::size_t ConnectionManager::trim() {
-  const auto connections = network_.connections_of(self_);
+  const auto connections = transport_.connections();
   if (connections.size() <= config_.high_water) return 0;
 
   // The fabric does not expose per-connection open times, so eviction
@@ -18,7 +18,7 @@ std::size_t ConnectionManager::trim() {
   for (const sim::NodeId peer : connections) {
     if (remaining <= config_.low_water) break;
     if (protected_.contains(peer)) continue;
-    network_.disconnect(self_, peer);
+    transport_.disconnect(peer);
     ++closed;
     --remaining;
   }
@@ -27,12 +27,12 @@ std::size_t ConnectionManager::trim() {
 
 std::size_t ConnectionManager::disconnect_all() {
   std::size_t closed = 0;
-  // Copy: disconnect() mutates the fabric's live connection list.
-  const std::vector<sim::NodeId> connections =
-      network_.connections_of(self_);
+  // connections() already returns a copy; disconnect() mutates the
+  // backend's live connection list.
+  const std::vector<sim::NodeId> connections = transport_.connections();
   for (const sim::NodeId peer : connections) {
     if (protected_.contains(peer)) continue;
-    network_.disconnect(self_, peer);
+    transport_.disconnect(peer);
     ++closed;
   }
   return closed;

@@ -7,7 +7,7 @@
 
 #include <unordered_set>
 
-#include "sim/network.h"
+#include "transport/transport.h"
 
 namespace ipfs::node {
 
@@ -19,8 +19,7 @@ struct ConnManagerConfig {
 
 class ConnectionManager {
  public:
-  ConnectionManager(sim::Network& network, sim::NodeId self,
-                    ConnManagerConfig config);
+  ConnectionManager(transport::Transport& transport, ConnManagerConfig config);
 
   // Never trim these peers (bootstrap peers, active transfer partners).
   void protect(sim::NodeId peer) { protected_.insert(peer); }
@@ -37,13 +36,12 @@ class ConnectionManager {
   std::size_t disconnect_all();
 
   std::size_t connection_count() const {
-    return network_.connections_of(self_).size();
+    return transport_.connections().size();
   }
   const ConnManagerConfig& config() const { return config_; }
 
  private:
-  sim::Network& network_;
-  sim::NodeId self_;
+  transport::Transport& transport_;
   ConnManagerConfig config_;
   std::unordered_set<sim::NodeId> protected_;
 };

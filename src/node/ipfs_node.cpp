@@ -1,5 +1,7 @@
 #include "node/ipfs_node.h"
 
+#include "transport/sim_transport.h"
+
 namespace ipfs::node {
 namespace {
 
@@ -41,35 +43,35 @@ crypto::Ed25519KeyPair IpfsNode::derive_keypair(std::uint64_t seed) {
   return crypto::ed25519_keypair(bytes);
 }
 
-IpfsNode::IpfsNode(sim::Network& network, const IpfsNodeConfig& config)
-    : network_(network),
-      node_(network.add_node(config.net)),
+IpfsNode::IpfsNode(transport::Transport& transport,
+                   const IpfsNodeConfig& config)
+    : transport_(transport),
+      node_(transport.local()),
       config_(config),
       keypair_(derive_keypair(config.identity_seed)),
-      dht_(network, node_, peer_id_for(keypair_),
+      dht_(transport, peer_id_for(keypair_),
            {listen_address_for(config.identity_seed)}),
-      router_(routing::make_router(network, node_, dht_, config.routing)),
-      bitswap_(network, node_, store_),
-      conn_manager_(network, node_, config.conn_manager) {
+      router_(routing::make_router(transport, dht_, config.routing)),
+      bitswap_(transport, store_),
+      conn_manager_(transport, config.conn_manager) {
   dht_.set_provider_quorum(config.provider_quorum);
   if (config.bucket_diversity_cap > 0)
     dht_.set_bucket_diversity_cap(config.bucket_diversity_cap);
   // Protocol multiplexer: route requests to the DHT, then Bitswap.
-  network_.set_request_handler(
-      node_, [this](sim::NodeId from, const sim::MessagePtr& message,
-                    auto respond) {
+  transport_.set_request_handler(
+      [this](sim::NodeId from, const sim::MessagePtr& message, auto respond) {
         if (dht_.handle_request(from, message, respond)) return;
         bitswap_.handle_request(from, message, respond);
       });
-  network_.set_message_handler(
-      node_, [this](sim::NodeId from, const sim::MessagePtr& message) {
+  transport_.set_message_handler(
+      [this](sim::NodeId from, const sim::MessagePtr& message) {
         if (dht_.handle_message(from, message)) return;
         if (pubsub_) pubsub_->handle_message(from, message);
       });
   if (config.enable_pubsub) {
     pubsub::PubsubConfig pubsub_config = config.pubsub;
     if (pubsub_config.seed == 0) pubsub_config.seed = config.identity_seed;
-    pubsub_ = std::make_unique<pubsub::Pubsub>(network_, node_, pubsub_config);
+    pubsub_ = std::make_unique<pubsub::Pubsub>(transport_, pubsub_config);
     name_resolver_ = std::make_unique<ipns::PubsubResolver>(dht_, *pubsub_);
   }
   if (!config_.routing.indexers.empty()) {
@@ -77,11 +79,23 @@ IpfsNode::IpfsNode(sim::Network& network, const IpfsNodeConfig& config)
     // (wiped by an indexer crash) survives on the same cadence as DHT
     // provider records.
     dht_.set_republish_hook([this](const dht::Key& key) {
-      routing::advertise_to_indexers(network_, node_, config_.routing, key,
+      routing::advertise_to_indexers(transport_, config_.routing, key,
                                      dht_.self());
     });
   }
 }
+
+IpfsNode::IpfsNode(std::unique_ptr<transport::Transport> transport,
+                   const IpfsNodeConfig& config)
+    : IpfsNode(*transport, config) {
+  owned_transport_ = std::move(transport);
+}
+
+IpfsNode::IpfsNode(sim::Network& network, const IpfsNodeConfig& config)
+    : IpfsNode(std::make_unique<transport::SimTransport>(network, config.net),
+               config) {}
+
+IpfsNode::~IpfsNode() = default;
 
 void IpfsNode::bootstrap(std::vector<dht::PeerRef> seeds,
                          std::function<void(bool)> done) {
@@ -104,12 +118,12 @@ merkledag::ImportResult IpfsNode::add(std::span<const std::uint8_t> data) {
 void IpfsNode::provide(const Cid& cid, std::function<void(PublishTrace)> done,
                        std::size_t max_records) {
   const dht::Key key = dht::Key::for_cid(cid);
-  metrics::Registry& metrics = network_.metrics();
+  metrics::Registry& metrics = transport_.metrics();
 
   // Advertisement push to the configured indexers runs alongside the DHT
   // publication (the IPNI announce path is independent of the DHT walk).
   // Records become queryable after the indexers' ingest lag.
-  routing::advertise_to_indexers(network_, node_, config_.routing, key,
+  routing::advertise_to_indexers(transport_, config_.routing, key,
                                  dht_.self());
 
   // The trace's timing fields are derived from these spans: each phase
@@ -124,7 +138,7 @@ void IpfsNode::provide(const Cid& cid, std::function<void(PublishTrace)> done,
       [this, cid, key, max_records, total_span, walk_span,
        done = std::move(done)](dht::LookupResult walk) {
         const sim::Duration walk_elapsed =
-            network_.metrics().end_span(walk_span, !walk.closest.empty());
+            transport_.metrics().end_span(walk_span, !walk.closest.empty());
         // The walk held dozens of connections open; the connection manager
         // has trimmed down by the time the store batch begins, so most of
         // the 20 targets need a fresh dial (Section 6.1's timeout spikes).
@@ -132,7 +146,7 @@ void IpfsNode::provide(const Cid& cid, std::function<void(PublishTrace)> done,
 
         auto targets = walk.closest;
         if (targets.size() > max_records) targets.resize(max_records);
-        const metrics::SpanId batch_span = network_.metrics().begin_span(
+        const metrics::SpanId batch_span = transport_.metrics().begin_span(
             "publish.rpc_batch", node_, cid.to_string(), total_span);
         dht_.store_provider_records(
             key, targets,
@@ -143,9 +157,9 @@ void IpfsNode::provide(const Cid& cid, std::function<void(PublishTrace)> done,
               trace.walk = walk_elapsed;
               trace.ok = batch.sent > 0;
               trace.rpc_batch =
-                  network_.metrics().end_span(batch_span, trace.ok);
+                  transport_.metrics().end_span(batch_span, trace.ok);
               trace.provider_records_sent = batch.sent;
-              trace.total = network_.metrics().end_span(
+              trace.total = transport_.metrics().end_span(
                   total_span, trace.ok,
                   static_cast<std::uint64_t>(batch.sent));
               if (trace.ok) dht_.start_reproviding(dht::Key::for_cid(cid));
@@ -165,7 +179,7 @@ void IpfsNode::publish(std::span<const std::uint8_t> data,
 // the span's duration — the one clock shared with the trace stream.
 void IpfsNode::finish(const std::shared_ptr<RetrievalCtx>& ctx,
                       const std::function<void(RetrievalTrace)>& done) {
-  ctx->trace.total = network_.metrics().end_span(ctx->span, ctx->trace.ok,
+  ctx->trace.total = transport_.metrics().end_span(ctx->span, ctx->trace.ok,
                                                  ctx->trace.bytes);
   done(ctx->trace);
 }
@@ -174,7 +188,7 @@ void IpfsNode::retrieve(const Cid& cid,
                         std::function<void(RetrievalTrace)> done) {
   auto ctx = std::make_shared<RetrievalCtx>();
   ctx->trace.cid = cid;
-  ctx->span = network_.metrics().begin_span("retrieve.total", node_,
+  ctx->span = transport_.metrics().begin_span("retrieve.total", node_,
                                             cid.to_string());
 
   // Phase 0: the object may be complete locally.
@@ -191,14 +205,14 @@ void IpfsNode::retrieve(const Cid& cid,
   }
 
   // Phase 1: opportunistic Bitswap to already connected peers (step 4).
-  const metrics::SpanId discovery_span = network_.metrics().begin_span(
+  const metrics::SpanId discovery_span = transport_.metrics().begin_span(
       "retrieve.bitswap_discovery", node_, cid.to_string(), ctx->span);
   bitswap_.discover(
       cid, config_.bitswap_timeout,
       [this, cid, ctx, discovery_span,
        done = std::move(done)](std::optional<sim::NodeId> holder) {
         ctx->trace.bitswap_discovery =
-            network_.metrics().end_span(discovery_span, holder.has_value());
+            transport_.metrics().end_span(discovery_span, holder.has_value());
         if (holder) {
           ctx->trace.bitswap_hit = true;
           fetch_from(ctx, *holder, std::move(done));
@@ -207,14 +221,14 @@ void IpfsNode::retrieve(const Cid& cid,
 
         // Phase 2: content discovery through the configured ContentRouter
         // (step 5: the DHT walk, a delegated indexer query, or a race).
-        const metrics::SpanId walk_span = network_.metrics().begin_span(
+        const metrics::SpanId walk_span = transport_.metrics().begin_span(
             "retrieve.provider_walk", node_, cid.to_string(), ctx->span);
         router_->find_providers(
             dht::Key::for_cid(cid),
             [this, ctx, walk_span,
              done = std::move(done)](routing::FindResult result) {
               ctx->trace.provider_walk =
-                  network_.metrics().end_span(walk_span, result.ok);
+                  transport_.metrics().end_span(walk_span, result.ok);
               record_routing_outcome(ctx, result.source,
                                      ctx->trace.provider_walk);
               if (!result.ok) {
@@ -254,10 +268,10 @@ void IpfsNode::retrieve_parallel(std::shared_ptr<RetrievalCtx> ctx,
 
   // Both phase spans open together; each closes when its path resolves,
   // whether or not it won the race (losing telemetry is still telemetry).
-  const metrics::SpanId discovery_span = network_.metrics().begin_span(
+  const metrics::SpanId discovery_span = transport_.metrics().begin_span(
       "retrieve.bitswap_discovery", node_, ctx->trace.cid.to_string(),
       ctx->span);
-  const metrics::SpanId walk_span = network_.metrics().begin_span(
+  const metrics::SpanId walk_span = transport_.metrics().begin_span(
       "retrieve.provider_walk", node_, ctx->trace.cid.to_string(), ctx->span);
 
   bitswap_.discover(
@@ -265,7 +279,7 @@ void IpfsNode::retrieve_parallel(std::shared_ptr<RetrievalCtx> ctx,
       [this, race, ctx, discovery_span, done_shared,
        fail_if_both_missed](std::optional<sim::NodeId> holder) {
         race->bitswap_done = true;
-        const sim::Duration elapsed = network_.metrics().end_span(
+        const sim::Duration elapsed = transport_.metrics().end_span(
             discovery_span, holder.has_value() && !race->fetching);
         if (race->fetching) return;
         if (holder) {
@@ -284,7 +298,7 @@ void IpfsNode::retrieve_parallel(std::shared_ptr<RetrievalCtx> ctx,
       [this, race, ctx, walk_span, done_shared,
        fail_if_both_missed](routing::FindResult result) {
         race->walk_done = true;
-        const sim::Duration elapsed = network_.metrics().end_span(
+        const sim::Duration elapsed = transport_.metrics().end_span(
             walk_span, result.ok && !race->fetching);
         if (race->fetching) return;  // Bitswap won; the source stays kNone
         record_routing_outcome(ctx, result.source, elapsed);
@@ -306,7 +320,7 @@ void IpfsNode::record_routing_outcome(const std::shared_ptr<RetrievalCtx>& ctx,
                                       routing::Source source,
                                       sim::Duration elapsed) {
   ctx->trace.routing_source = source;
-  metrics::Registry& metrics = network_.metrics();
+  metrics::Registry& metrics = transport_.metrics();
   const std::string name = routing::source_name(source);
   metrics.counter("routing.source." + name).inc();
   metrics.histogram("routing.latency." + name).record(elapsed);
@@ -323,7 +337,7 @@ void IpfsNode::fail_or_fallback(std::shared_ptr<RetrievalCtx> ctx,
   if (ctx->next_provider < ctx->providers.size()) {
     const dht::PeerRef next = ctx->providers[ctx->next_provider++];
     ++ctx->trace.provider_fallbacks;
-    network_.metrics().counter("retrieve.provider_fallbacks").inc();
+    transport_.metrics().counter("retrieve.provider_fallbacks").inc();
     finish_retrieval(std::move(ctx), next, std::move(done));
     return;
   }
@@ -349,14 +363,14 @@ void IpfsNode::finish_retrieval(std::shared_ptr<RetrievalCtx> ctx,
   }
 
   ctx->trace.used_peer_walk = true;
-  const metrics::SpanId peer_walk_span = network_.metrics().begin_span(
+  const metrics::SpanId peer_walk_span = transport_.metrics().begin_span(
       "retrieve.peer_walk", node_, ctx->trace.cid.to_string(), ctx->span);
   dht_.find_peer(
       provider.id,
       [this, ctx, peer_walk_span, done = std::move(done)](
           std::optional<dht::PeerRef> peer, dht::LookupResult) {
         ctx->trace.peer_walk =
-            network_.metrics().end_span(peer_walk_span, peer.has_value());
+            transport_.metrics().end_span(peer_walk_span, peer.has_value());
         if (!peer) {
           fail_or_fallback(ctx, done);
           return;
@@ -370,14 +384,14 @@ void IpfsNode::finish_retrieval(std::shared_ptr<RetrievalCtx> ctx,
 void IpfsNode::fetch_from(std::shared_ptr<RetrievalCtx> ctx, sim::NodeId peer,
                           std::function<void(RetrievalTrace)> done) {
   // Phase 4: peer routing (dial + negotiate), then content exchange.
-  const metrics::SpanId dial_span = network_.metrics().begin_span(
+  const metrics::SpanId dial_span = transport_.metrics().begin_span(
       "retrieve.dial", node_, ctx->trace.cid.to_string(), ctx->span, peer);
-  network_.connect(
-      node_, peer,
+  transport_.connect(
+      peer,
       [this, ctx, peer, dial_span,
        done = std::move(done)](bool ok, sim::Duration elapsed) {
         const sim::Duration handshake =
-            network_.metrics().end_span(dial_span, ok);
+            transport_.metrics().end_span(dial_span, ok);
         (void)elapsed;  // == handshake: the span brackets the dial exactly
         if (!ok) {
           fail_or_fallback(ctx, done);
@@ -385,13 +399,12 @@ void IpfsNode::fetch_from(std::shared_ptr<RetrievalCtx> ctx, sim::NodeId peer,
         }
         // Split the handshake into its transport (Dial) and security/mux
         // (Negotiate) parts by round-trip share — Equation 2 needs both.
-        const int round_trips =
-            sim::handshake_round_trips(network_.config(peer).transport);
+        const int round_trips = transport_.handshake_round_trips(peer);
         ctx->trace.dial = handshake / round_trips;
         ctx->trace.negotiate = handshake - ctx->trace.dial;
         conn_manager_.protect(peer);
 
-        const metrics::SpanId fetch_span = network_.metrics().begin_span(
+        const metrics::SpanId fetch_span = transport_.metrics().begin_span(
             "retrieve.fetch", node_, ctx->trace.cid.to_string(), ctx->span,
             peer);
         bitswap_.fetch_dag(
@@ -402,7 +415,7 @@ void IpfsNode::fetch_from(std::shared_ptr<RetrievalCtx> ctx, sim::NodeId peer,
               ctx->trace.provider_node = peer;
               ctx->trace.bytes = stats.bytes;
               ctx->trace.ok = stats.ok;
-              ctx->trace.fetch = network_.metrics().end_span(
+              ctx->trace.fetch = transport_.metrics().end_span(
                   fetch_span, stats.ok, stats.bytes);
               if (!ctx->trace.ok) {
                 fail_or_fallback(ctx, done);
@@ -473,7 +486,7 @@ void IpfsNode::reset_for_next_measurement() {
 }
 
 void IpfsNode::disconnect_from(sim::NodeId peer) {
-  network_.disconnect(node_, peer);
+  transport_.disconnect(peer);
 }
 
 void IpfsNode::forget_peer_addresses() {

@@ -110,7 +110,13 @@ struct RetrievalTrace {
 
 class IpfsNode {
  public:
+  // Primary constructor: runs over any transport backend (simulated or
+  // real sockets — the daemon in examples/ipfsd.cpp uses the latter).
+  IpfsNode(transport::Transport& transport, const IpfsNodeConfig& config);
+  // Simulator convenience: adds a fresh node (config.net) to the fabric
+  // and wraps it in an owned SimTransport.
   IpfsNode(sim::Network& network, const IpfsNodeConfig& config);
+  ~IpfsNode();
 
   // Joins the network (Section 2.2-2.3): dials the bootstrap peers, runs
   // AutoNAT, and populates the routing table via a self-lookup.
@@ -187,12 +193,23 @@ class IpfsNode {
   ipns::PubsubResolver* name_resolver() { return name_resolver_.get(); }
   routing::ContentRouter& router() { return *router_; }
 
-  sim::Network& network() { return network_; }
+  transport::Transport& transport() { return transport_; }
   dht::PeerRef self() const { return dht_.self(); }
   const crypto::Ed25519KeyPair& keypair() const { return keypair_; }
   sim::NodeId node() const { return node_; }
 
+  // Deterministic identity derivation, shared with out-of-process tooling
+  // (the ipfsd daemon derives every cluster member's PeerID from its
+  // index with this).
+  static crypto::Ed25519KeyPair derive_keypair(std::uint64_t seed);
+
  private:
+  // Bridge for the sim convenience constructor: the owned backend is
+  // parked in owned_transport_ after the primary constructor ran against
+  // the reference.
+  IpfsNode(std::unique_ptr<transport::Transport> transport,
+           const IpfsNodeConfig& config);
+
   // Per-retrieval state. The timing fields of the trace are derived from
   // the metrics layer's spans (end_span returns the duration), and the
   // root span id travels with the retrieval — a member timestamp would be
@@ -229,9 +246,10 @@ class IpfsNode {
   void record_routing_outcome(const std::shared_ptr<RetrievalCtx>& ctx,
                               routing::Source source, sim::Duration elapsed);
 
-  static crypto::Ed25519KeyPair derive_keypair(std::uint64_t seed);
-
-  sim::Network& network_;
+  // Declared first so an owned backend outlives every member that holds
+  // the transport_ reference; null when the transport is external.
+  std::unique_ptr<transport::Transport> owned_transport_;
+  transport::Transport& transport_;
   sim::NodeId node_;
   IpfsNodeConfig config_;
   crypto::Ed25519KeyPair keypair_;

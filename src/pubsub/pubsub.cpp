@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "transport/sim_transport.h"
+
 namespace ipfs::pubsub {
 
 namespace {
@@ -34,11 +36,11 @@ std::size_t GossipRpc::wire_bytes() const {
   return bytes;
 }
 
-Pubsub::Pubsub(sim::Network& network, sim::NodeId node, PubsubConfig config)
-    : network_(network),
-      node_(node),
+Pubsub::Pubsub(transport::Transport& transport, PubsubConfig config)
+    : transport_(transport),
+      node_(transport.local()),
       config_(config),
-      rng_(sim::Rng(engine_seed(config.seed, node)).fork("pubsub")) {
+      rng_(sim::Rng(engine_seed(config.seed, node_)).fork("pubsub")) {
   // Stagger heartbeats across the swarm so 10k engines don't fire in one
   // simulated instant. The phase comes from the engine's private stream,
   // so it is deterministic in (seed, node).
@@ -48,6 +50,16 @@ Pubsub::Pubsub(sim::Network& network, sim::NodeId node, PubsubConfig config)
   arm_heartbeat();
 }
 
+Pubsub::Pubsub(std::unique_ptr<transport::Transport> transport,
+               PubsubConfig config)
+    : Pubsub(*transport, config) {
+  owned_transport_ = std::move(transport);
+}
+
+Pubsub::Pubsub(sim::Network& network, sim::NodeId node, PubsubConfig config)
+    : Pubsub(std::make_unique<transport::SimTransport>(network, node),
+             config) {}
+
 Pubsub::~Pubsub() { heartbeat_timer_.cancel(); }
 
 void Pubsub::arm_heartbeat() {
@@ -55,7 +67,7 @@ void Pubsub::arm_heartbeat() {
       heartbeat_phase_ > 0 ? heartbeat_phase_ : config_.heartbeat_interval;
   heartbeat_phase_ = 0;  // only the first arm is phase-shifted
   heartbeat_timer_ =
-      network_.simulator().schedule_daemon_after(delay, [this] {
+      transport_.schedule_daemon_after(delay, [this] {
         heartbeat();
         arm_heartbeat();
       });
@@ -69,8 +81,8 @@ void Pubsub::subscribe(const Topic& topic, DeliverFn deliver) {
   state.fanout_expires = 0;
   if (state.join_span == 0)
     state.join_span =
-        network_.metrics().begin_span("pubsub.join", node_, topic);
-  network_.metrics().counter("pubsub.subscribe").inc();
+        transport_.metrics().begin_span("pubsub.join", node_, topic);
+  transport_.metrics().counter("pubsub.subscribe").inc();
 
   // Announce to everyone we know; interested peers respond in kind and
   // the next heartbeats graft a mesh.
@@ -85,10 +97,10 @@ void Pubsub::unsubscribe(const Topic& topic) {
   state.subscribed = false;
   state.deliver = nullptr;
   if (state.join_span != 0) {
-    network_.metrics().end_span(state.join_span, false);
+    transport_.metrics().end_span(state.join_span, false);
     state.join_span = 0;
   }
-  network_.metrics().counter("pubsub.unsubscribe").inc();
+  transport_.metrics().counter("pubsub.unsubscribe").inc();
 
   // PRUNE the mesh, then tell every other known peer we are gone.
   const std::vector<sim::NodeId> old_mesh = std::move(state.mesh);
@@ -97,7 +109,7 @@ void Pubsub::unsubscribe(const Topic& topic) {
     auto rpc = std::make_shared<GossipRpc>();
     rpc->prune.push_back({topic, {}});
     rpc->subscriptions.push_back({topic, false});
-    network_.metrics().counter("pubsub.prune_sent").inc();
+    transport_.metrics().counter("pubsub.prune_sent").inc();
     send_rpc(peer, std::move(rpc));
   }
   for (const sim::NodeId peer : candidates_) {
@@ -121,15 +133,15 @@ MessageId Pubsub::publish(const Topic& topic, std::vector<std::uint8_t> data) {
   mark_seen(message.id);
   mcache_windows_.front().push_back(message.id);
   mcache_[message.id] = message;
-  network_.metrics().counter("pubsub.publish").inc();
-  network_.metrics().instant("pubsub.publish", node_, topic,
+  transport_.metrics().counter("pubsub.publish").inc();
+  transport_.metrics().instant("pubsub.publish", node_, topic,
                              message.id.seqno);
 
   TopicState& state = topics_[topic];
   if (state.subscribed) {
     if (state.deliver) {
       ++delivered_;
-      network_.metrics().counter("pubsub.deliver").inc();
+      transport_.metrics().counter("pubsub.deliver").inc();
       state.deliver(message);
     }
     forward_to_mesh(message, sim::kInvalidNode);
@@ -141,7 +153,7 @@ MessageId Pubsub::publish(const Topic& topic, std::vector<std::uint8_t> data) {
 
 void Pubsub::publish_via_fanout(TopicState& state, const Topic& topic,
                                 const PubsubMessage& message) {
-  const sim::Time now = network_.simulator().now();
+  const sim::Time now = transport_.now();
   // Drop fanout members that stopped being topic peers, then top up.
   std::erase_if(state.fanout, [&](sim::NodeId peer) {
     return std::find(state.peers.begin(), state.peers.end(), peer) ==
@@ -163,7 +175,7 @@ void Pubsub::publish_via_fanout(TopicState& state, const Topic& topic,
   for (const sim::NodeId peer : state.fanout) {
     auto rpc = std::make_shared<GossipRpc>();
     rpc->publish.push_back(message);
-    network_.metrics().counter("pubsub.fanout_sent").inc();
+    transport_.metrics().counter("pubsub.fanout_sent").inc();
     send_rpc(peer, std::move(rpc));
   }
   (void)topic;
@@ -196,20 +208,20 @@ void Pubsub::announce_subscriptions(sim::NodeId peer, std::vector<SubOpts> subs,
 void Pubsub::send_rpc(sim::NodeId to, std::shared_ptr<GossipRpc> rpc) {
   if (rpc->empty()) return;
   const std::size_t bytes = rpc->wire_bytes();
-  network_.metrics().counter("pubsub.rpc_bytes").inc(bytes);
+  transport_.metrics().counter("pubsub.rpc_bytes").inc(bytes);
   ensure_connected(to, [this, to, rpc = std::move(rpc), bytes](bool ok) {
     if (!ok) return;  // dial failed; gossip is best-effort
-    network_.send(node_, to, rpc, bytes);
+    transport_.send(to, rpc, bytes);
   });
 }
 
 void Pubsub::ensure_connected(sim::NodeId peer,
                               std::function<void(bool)> then) {
-  if (network_.connected(node_, peer)) {
+  if (transport_.connected(peer)) {
     then(true);
     return;
   }
-  network_.connect(node_, peer,
+  transport_.connect(peer,
                    [then = std::move(then)](bool ok, sim::Duration) {
                      then(ok);
                    });
@@ -242,13 +254,13 @@ bool Pubsub::handle_message(sim::NodeId from, const sim::MessagePtr& message) {
     announce_subscriptions(from, std::move(announce_back), /*reply=*/true);
 
   for (const auto& graft : rpc->graft) {
-    network_.metrics().counter("pubsub.graft_recv").inc();
+    transport_.metrics().counter("pubsub.graft_recv").inc();
     const auto it = topics_.find(graft.topic);
     if (it == topics_.end() || !it->second.subscribed) {
       // Not subscribed: refuse the graft so the peer looks elsewhere.
       auto reply = std::make_shared<GossipRpc>();
       reply->prune.push_back({graft.topic, {}});
-      network_.metrics().counter("pubsub.prune_sent").inc();
+      transport_.metrics().counter("pubsub.prune_sent").inc();
       send_rpc(from, std::move(reply));
       continue;
     }
@@ -259,22 +271,22 @@ bool Pubsub::handle_message(sim::NodeId from, const sim::MessagePtr& message) {
     if (std::find(state.mesh.begin(), state.mesh.end(), from) ==
         state.mesh.end()) {
       state.mesh.push_back(from);
-      network_.metrics().instant("pubsub.mesh_add", node_, graft.topic, 0,
+      transport_.metrics().instant("pubsub.mesh_add", node_, graft.topic, 0,
                                  from);
       if (state.join_span != 0) {
-        network_.metrics().end_span(state.join_span, true);
+        transport_.metrics().end_span(state.join_span, true);
         state.join_span = 0;
       }
     }
   }
 
   for (const auto& prune : rpc->prune) {
-    network_.metrics().counter("pubsub.prune_recv").inc();
+    transport_.metrics().counter("pubsub.prune_recv").inc();
     const auto it = topics_.find(prune.topic);
     if (it == topics_.end()) continue;
     TopicState& state = it->second;
     if (std::erase(state.mesh, from) > 0)
-      network_.metrics().instant("pubsub.mesh_drop", node_, prune.topic, 0,
+      transport_.metrics().instant("pubsub.mesh_drop", node_, prune.topic, 0,
                                  from);
     // Peer-exchange: the pruned peer hands us other topic members.
     for (const sim::NodeId px : prune.px) {
@@ -283,7 +295,7 @@ bool Pubsub::handle_message(sim::NodeId from, const sim::MessagePtr& message) {
       if (std::find(state.peers.begin(), state.peers.end(), px) ==
           state.peers.end()) {
         state.peers.push_back(px);
-        network_.metrics().counter("pubsub.px_learned").inc();
+        transport_.metrics().counter("pubsub.px_learned").inc();
       }
     }
   }
@@ -291,7 +303,7 @@ bool Pubsub::handle_message(sim::NodeId from, const sim::MessagePtr& message) {
   for (const auto& message_in : rpc->publish) accept_message(from, message_in);
 
   for (const auto& ihave : rpc->ihave) {
-    network_.metrics().counter("pubsub.ihave_recv").inc();
+    transport_.metrics().counter("pubsub.ihave_recv").inc();
     const auto it = topics_.find(ihave.topic);
     if (it == topics_.end() || !it->second.subscribed) continue;
     ControlIWant want;
@@ -303,13 +315,13 @@ bool Pubsub::handle_message(sim::NodeId from, const sim::MessagePtr& message) {
     if (!want.ids.empty()) {
       auto reply = std::make_shared<GossipRpc>();
       reply->iwant.push_back(std::move(want));
-      network_.metrics().counter("pubsub.iwant_sent").inc();
+      transport_.metrics().counter("pubsub.iwant_sent").inc();
       send_rpc(from, std::move(reply));
     }
   }
 
   for (const auto& iwant : rpc->iwant) {
-    network_.metrics().counter("pubsub.iwant_recv").inc();
+    transport_.metrics().counter("pubsub.iwant_recv").inc();
     auto reply = std::make_shared<GossipRpc>();
     for (const MessageId& id : iwant.ids) {
       const auto it = mcache_.find(id);
@@ -324,19 +336,19 @@ bool Pubsub::handle_message(sim::NodeId from, const sim::MessagePtr& message) {
 void Pubsub::accept_message(sim::NodeId from, const PubsubMessage& message) {
   if (seen(message.id)) {
     ++duplicates_;
-    network_.metrics().counter("pubsub.duplicate").inc();
+    transport_.metrics().counter("pubsub.duplicate").inc();
     return;
   }
   mark_seen(message.id);
   if (iwant_pending_.erase(message.id) > 0)
-    network_.metrics().counter("pubsub.gossip_recovered").inc();
+    transport_.metrics().counter("pubsub.gossip_recovered").inc();
   mcache_windows_.front().push_back(message.id);
   mcache_[message.id] = message;
 
   const auto it = topics_.find(message.topic);
   if (it != topics_.end() && it->second.subscribed && it->second.deliver) {
     ++delivered_;
-    network_.metrics().counter("pubsub.deliver").inc();
+    transport_.metrics().counter("pubsub.deliver").inc();
     it->second.deliver(message);
   }
   forward_to_mesh(message, from);
@@ -350,15 +362,15 @@ void Pubsub::forward_to_mesh(const PubsubMessage& message,
     if (peer == arrived_from || peer == message.id.origin) continue;
     auto rpc = std::make_shared<GossipRpc>();
     rpc->publish.push_back(message);
-    network_.metrics().counter("pubsub.forwarded").inc();
+    transport_.metrics().counter("pubsub.forwarded").inc();
     send_rpc(peer, std::move(rpc));
   }
 }
 
 void Pubsub::heartbeat() {
-  if (!network_.online(node_)) return;  // crashed: the restart re-arms us
-  network_.metrics().counter("pubsub.heartbeat").inc();
-  const sim::Time now = network_.simulator().now();
+  if (!transport_.online()) return;  // crashed: the restart re-arms us
+  transport_.metrics().counter("pubsub.heartbeat").inc();
+  const sim::Time now = transport_.now();
   for (auto& [topic, state] : topics_) {
     if (state.subscribed) {
       maintain_mesh(topic, state);
@@ -373,8 +385,8 @@ void Pubsub::heartbeat() {
 void Pubsub::maintain_mesh(const Topic& topic, TopicState& state) {
   // Connection teardown (resets, churn, remove_node) implies mesh drop.
   std::erase_if(state.mesh, [&](sim::NodeId peer) {
-    if (network_.connected(node_, peer)) return false;
-    network_.metrics().instant("pubsub.mesh_drop", node_, topic, 0, peer);
+    if (transport_.connected(peer)) return false;
+    transport_.metrics().instant("pubsub.mesh_drop", node_, topic, 0, peer);
     return true;
   });
 
@@ -406,10 +418,10 @@ void Pubsub::maintain_mesh(const Topic& topic, TopicState& state) {
             current.mesh.end())
           return;
         current.mesh.push_back(peer);
-        network_.metrics().counter("pubsub.graft_sent").inc();
-        network_.metrics().instant("pubsub.mesh_add", node_, topic, 0, peer);
+        transport_.metrics().counter("pubsub.graft_sent").inc();
+        transport_.metrics().instant("pubsub.mesh_add", node_, topic, 0, peer);
         if (current.join_span != 0) {
-          network_.metrics().end_span(current.join_span, true);
+          transport_.metrics().end_span(current.join_span, true);
           current.join_span = 0;
         }
         auto rpc = std::make_shared<GossipRpc>();
@@ -432,8 +444,8 @@ void Pubsub::maintain_mesh(const Topic& topic, TopicState& state) {
       for (const sim::NodeId peer : state.peers)
         if (peer != victim) px_pool.push_back(peer);
       prune.px = sample(std::move(px_pool), config_.prune_px);
-      network_.metrics().counter("pubsub.prune_sent").inc();
-      network_.metrics().instant("pubsub.mesh_drop", node_, topic, 0, victim);
+      transport_.metrics().counter("pubsub.prune_sent").inc();
+      transport_.metrics().instant("pubsub.mesh_drop", node_, topic, 0, victim);
       auto rpc = std::make_shared<GossipRpc>();
       rpc->prune.push_back(std::move(prune));
       send_rpc(victim, std::move(rpc));
@@ -467,7 +479,7 @@ void Pubsub::emit_gossip(const Topic& topic, TopicState& state) {
               static_cast<std::size_t>(config_.gossip_degree))) {
     auto rpc = std::make_shared<GossipRpc>();
     rpc->ihave.push_back(ihave);
-    network_.metrics().counter("pubsub.ihave_sent").inc();
+    transport_.metrics().counter("pubsub.ihave_sent").inc();
     send_rpc(peer, std::move(rpc));
   }
 }
@@ -506,7 +518,7 @@ void Pubsub::handle_crash() {
   // Everything is soft state: subscriptions, meshes, caches and the
   // candidate set die with the process.
   for (auto& [topic, state] : topics_)
-    if (state.join_span != 0) network_.metrics().end_span(state.join_span, false);
+    if (state.join_span != 0) transport_.metrics().end_span(state.join_span, false);
   topics_.clear();
   candidates_.clear();
   seen_set_.clear();

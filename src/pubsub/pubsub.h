@@ -20,9 +20,10 @@
 //
 // Peer discovery is ambient: the engine is told about candidate peers
 // (bootstrap seeds, scenario wiring, px) and learns topic interest from
-// subscription announcements on the resulting connections. All transport
-// goes through sim::Network datagrams, so fault injection (drops, resets,
-// churn) exercises mesh repair exactly like any other protocol.
+// subscription announcements on the resulting connections. All traffic
+// goes through transport::Transport datagrams, so under the simulator
+// backend fault injection (drops, resets, churn) exercises mesh repair
+// exactly like any other protocol.
 //
 // Divergences from the libp2p spec are documented in docs/PUBSUB.md.
 #pragma once
@@ -36,8 +37,8 @@
 #include <vector>
 
 #include "metrics/metrics.h"
-#include "sim/network.h"
 #include "sim/rng.h"
+#include "transport/transport.h"
 
 namespace ipfs::pubsub {
 
@@ -152,6 +153,9 @@ class Pubsub {
  public:
   using DeliverFn = std::function<void(const PubsubMessage&)>;
 
+  explicit Pubsub(transport::Transport& transport, PubsubConfig config = {});
+  // Simulator convenience: wraps fabric node `node` in an owned
+  // SimTransport (harness/test construction path).
   Pubsub(sim::Network& network, sim::NodeId node, PubsubConfig config = {});
   ~Pubsub();
 
@@ -197,6 +201,8 @@ class Pubsub {
   std::uint64_t duplicates_suppressed() const { return duplicates_; }
 
  private:
+  Pubsub(std::unique_ptr<transport::Transport> transport, PubsubConfig config);
+
   struct TopicState {
     bool subscribed = false;
     DeliverFn deliver;
@@ -230,11 +236,13 @@ class Pubsub {
                                   std::size_t want);
   void arm_heartbeat();
 
-  sim::Network& network_;
+  // Declared first so an owned backend outlives transport_ users.
+  std::unique_ptr<transport::Transport> owned_transport_;
+  transport::Transport& transport_;
   sim::NodeId node_;
   PubsubConfig config_;
   sim::Rng rng_;
-  sim::Timer heartbeat_timer_;
+  transport::Timer heartbeat_timer_;
   sim::Duration heartbeat_phase_ = 0;  // deterministic per-node stagger
 
   std::map<Topic, TopicState> topics_;

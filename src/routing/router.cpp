@@ -25,7 +25,7 @@ ContentRouter::RequestId DhtRouter::find_providers(const dht::Key& key,
                                                    Callback done,
                                                    metrics::SpanId parent_span) {
   const RequestId id = next_id_++;
-  metrics::Registry& metrics = dht_.network().metrics();
+  metrics::Registry& metrics = dht_.transport().metrics();
   const metrics::SpanId span =
       metrics.begin_span("routing.find.dht", dht_.node(), {}, parent_span);
   pending_.emplace(id, Pending{nullptr, span});
@@ -41,7 +41,7 @@ ContentRouter::RequestId DhtRouter::find_providers(const dht::Key& key,
         out.providers = std::move(result.providers);
         out.ok = !out.providers.empty();
         out.source = out.ok ? Source::kDht : Source::kNone;
-        dht_.network().metrics().end_span(it->second.span, out.ok);
+        dht_.transport().metrics().end_span(it->second.span, out.ok);
         auto finish = std::move(done);
         pending_.erase(it);
         finish(std::move(out));
@@ -60,27 +60,29 @@ void DhtRouter::cancel(RequestId request) {
   // Aborting the walk cancels its 3 min deadline timer; its in-flight
   // RPCs resolve via the fabric's own timeouts without reviving it.
   if (entry.walk != nullptr) dht_.cancel_lookup(entry.walk);
-  dht_.network().metrics().end_span(entry.span, false);
+  dht_.transport().metrics().end_span(entry.span, false);
 }
 
 void DhtRouter::handle_crash() {
   for (auto& [id, entry] : pending_) {
     if (entry.walk != nullptr) dht_.cancel_lookup(entry.walk);
-    dht_.network().metrics().end_span(entry.span, false);
+    dht_.transport().metrics().end_span(entry.span, false);
   }
   pending_.clear();
 }
 
 // --- IndexerRouter ----------------------------------------------------------
 
-IndexerRouter::IndexerRouter(sim::Network& network, sim::NodeId self,
+IndexerRouter::IndexerRouter(transport::Transport& transport,
                              RoutingConfig config)
-    : network_(network), self_(self), config_(std::move(config)) {}
+    : transport_(transport),
+      self_(transport.local()),
+      config_(std::move(config)) {}
 
 ContentRouter::RequestId IndexerRouter::find_providers(
     const dht::Key& key, Callback done, metrics::SpanId parent_span) {
   const RequestId id = next_id_++;
-  const metrics::SpanId span = network_.metrics().begin_span(
+  const metrics::SpanId span = transport_.metrics().begin_span(
       "routing.find.indexer", self_, {}, parent_span);
   Pending pending;
   pending.key = key;
@@ -99,18 +101,18 @@ void IndexerRouter::try_next(RequestId id) {
     return;
   }
   const sim::NodeId target = config_.indexers[it->second.next_indexer++];
-  network_.connect(self_, target, [this, id, target](bool ok, sim::Duration) {
+  transport_.connect(target, [this, id, target](bool ok, sim::Duration) {
     const auto pending = pending_.find(id);
     if (pending == pending_.end()) return;  // cancelled while dialing
     if (!ok) {
-      network_.metrics().counter("routing.indexer.failover").inc();
+      transport_.metrics().counter("routing.indexer.failover").inc();
       try_next(id);
       return;
     }
     auto query = std::make_shared<indexer::QueryRequest>();
     query->key = pending->second.key;
-    network_.request(
-        self_, target, std::move(query), indexer::kQueryBytes,
+    transport_.request(
+        target, std::move(query), indexer::kQueryBytes,
         config_.indexer_timeout,
         [this, id](sim::RpcStatus status, const sim::MessagePtr& message) {
           const auto pending = pending_.find(id);
@@ -121,7 +123,7 @@ void IndexerRouter::try_next(RequestId id) {
               response->providers.empty()) {
             // Timed out, reset, or the indexer has not (yet) ingested an
             // advertisement for this key: fail over to the next one.
-            network_.metrics().counter("routing.indexer.failover").inc();
+            transport_.metrics().counter("routing.indexer.failover").inc();
             try_next(id);
             return;
           }
@@ -137,7 +139,7 @@ void IndexerRouter::try_next(RequestId id) {
 void IndexerRouter::settle(RequestId id, FindResult result) {
   const auto it = pending_.find(id);
   if (it == pending_.end()) return;
-  network_.metrics().end_span(it->second.span, result.ok);
+  transport_.metrics().end_span(it->second.span, result.ok);
   auto done = std::move(it->second.done);
   pending_.erase(it);
   done(std::move(result));
@@ -146,7 +148,7 @@ void IndexerRouter::settle(RequestId id, FindResult result) {
 void IndexerRouter::cancel(RequestId request) {
   const auto it = pending_.find(request);
   if (it == pending_.end()) return;
-  network_.metrics().end_span(it->second.span, false);
+  transport_.metrics().end_span(it->second.span, false);
   // In-flight dial/RPC callbacks find no entry for the id and stand down;
   // the fabric resolves them within the per-indexer timeout.
   pending_.erase(it);
@@ -154,18 +156,18 @@ void IndexerRouter::cancel(RequestId request) {
 
 void IndexerRouter::handle_crash() {
   for (auto& [id, entry] : pending_)
-    network_.metrics().end_span(entry.span, false);
+    transport_.metrics().end_span(entry.span, false);
   pending_.clear();
 }
 
 // --- RaceRouter -------------------------------------------------------------
 
-RaceRouter::RaceRouter(sim::Network& network, sim::NodeId self,
-                       dht::DhtNode& dht, RoutingConfig config)
-    : metrics_(network.metrics()),
-      self_(self),
+RaceRouter::RaceRouter(transport::Transport& transport, dht::DhtNode& dht,
+                       RoutingConfig config)
+    : metrics_(transport.metrics()),
+      self_(transport.local()),
       dht_router_(dht),
-      indexer_router_(network, self, std::move(config)) {}
+      indexer_router_(transport, std::move(config)) {}
 
 ContentRouter::RequestId RaceRouter::find_providers(const dht::Key& key,
                                                     Callback done,
@@ -262,38 +264,33 @@ void RaceRouter::handle_crash() {
 
 // --- Factory / advertisement push -------------------------------------------
 
-std::unique_ptr<ContentRouter> make_router(sim::Network& network,
-                                           sim::NodeId self,
+std::unique_ptr<ContentRouter> make_router(transport::Transport& transport,
                                            dht::DhtNode& dht,
                                            const RoutingConfig& config) {
   switch (config.mode) {
     case RoutingConfig::Mode::kDht:
       return std::make_unique<DhtRouter>(dht);
     case RoutingConfig::Mode::kIndexer:
-      return std::make_unique<IndexerRouter>(network, self, config);
+      return std::make_unique<IndexerRouter>(transport, config);
     case RoutingConfig::Mode::kRace:
-      return std::make_unique<RaceRouter>(network, self, dht, config);
+      return std::make_unique<RaceRouter>(transport, dht, config);
   }
   return std::make_unique<DhtRouter>(dht);
 }
 
-void advertise_to_indexers(sim::Network& network, sim::NodeId self,
+void advertise_to_indexers(transport::Transport& transport,
                            const RoutingConfig& config, const dht::Key& key,
                            const dht::PeerRef& provider) {
   for (const sim::NodeId target : config.indexers) {
-    network.connect(self, target,
-                    [&network, self, target, key, provider](bool ok,
-                                                            sim::Duration) {
-                      if (!ok) return;
-                      auto ad = std::make_shared<indexer::AdvertiseMessage>();
-                      ad->key = key;
-                      ad->provider = provider;
-                      network.send(self, target, std::move(ad),
-                                   indexer::kAdvertiseBytes);
-                      network.metrics()
-                          .counter("routing.advertisements_sent")
-                          .inc();
-                    });
+    transport.connect(
+        target, [&transport, target, key, provider](bool ok, sim::Duration) {
+          if (!ok) return;
+          auto ad = std::make_shared<indexer::AdvertiseMessage>();
+          ad->key = key;
+          ad->provider = provider;
+          transport.send(target, std::move(ad), indexer::kAdvertiseBytes);
+          transport.metrics().counter("routing.advertisements_sent").inc();
+        });
   }
 }
 

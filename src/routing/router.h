@@ -28,7 +28,7 @@
 #include "dht/dht_node.h"
 #include "indexer/messages.h"
 #include "metrics/metrics.h"
-#include "sim/network.h"
+#include "transport/transport.h"
 
 namespace ipfs::routing {
 
@@ -119,7 +119,7 @@ class DhtRouter : public ContentRouter {
 // lookup fails once the list is exhausted.
 class IndexerRouter : public ContentRouter {
  public:
-  IndexerRouter(sim::Network& network, sim::NodeId self, RoutingConfig config);
+  IndexerRouter(transport::Transport& transport, RoutingConfig config);
 
   RequestId find_providers(const dht::Key& key, Callback done,
                            metrics::SpanId parent_span) override;
@@ -137,7 +137,7 @@ class IndexerRouter : public ContentRouter {
   void try_next(RequestId id);
   void settle(RequestId id, FindResult result);
 
-  sim::Network& network_;
+  transport::Transport& transport_;
   sim::NodeId self_;
   RoutingConfig config_;
   std::unordered_map<RequestId, Pending> pending_;
@@ -150,7 +150,7 @@ class IndexerRouter : public ContentRouter {
 // exactly the DHT baseline.
 class RaceRouter : public ContentRouter {
  public:
-  RaceRouter(sim::Network& network, sim::NodeId self, dht::DhtNode& dht,
+  RaceRouter(transport::Transport& transport, dht::DhtNode& dht,
              RoutingConfig config);
 
   RequestId find_providers(const dht::Key& key, Callback done,
@@ -180,8 +180,7 @@ class RaceRouter : public ContentRouter {
 };
 
 // Builds the router selected by `config.mode`.
-std::unique_ptr<ContentRouter> make_router(sim::Network& network,
-                                           sim::NodeId self,
+std::unique_ptr<ContentRouter> make_router(transport::Transport& transport,
                                            dht::DhtNode& dht,
                                            const RoutingConfig& config);
 
@@ -189,7 +188,7 @@ std::unique_ptr<ContentRouter> make_router(sim::Network& network,
 // configured indexer and fires an AdvertiseMessage at it — fire and
 // forget, like the DHT's ADD_PROVIDER. Records become queryable after
 // the indexer's ingest lag.
-void advertise_to_indexers(sim::Network& network, sim::NodeId self,
+void advertise_to_indexers(transport::Transport& transport,
                            const RoutingConfig& config, const dht::Key& key,
                            const dht::PeerRef& provider);
 

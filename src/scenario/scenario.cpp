@@ -199,6 +199,14 @@ ScenarioBuilder& ScenarioBuilder::hydra(std::size_t count, std::size_t heads) {
   return *this;
 }
 
+transport::Transport& Scenario::transport(std::size_t i) {
+  if (transports_.size() <= i) transports_.resize(nodes_.size());
+  if (!transports_[i])
+    transports_[i] =
+        std::make_unique<transport::SimTransport>(*network_, nodes_[i]);
+  return *transports_[i];
+}
+
 Scenario ScenarioBuilder::build() const {
   Scenario scenario;
   scenario.simulator_ = std::make_unique<sim::Simulator>(scheduler_);

@@ -47,6 +47,7 @@
 #include "sim/faults.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "transport/sim_transport.h"
 #include "world/world.h"
 
 namespace ipfs::scenario {
@@ -74,6 +75,11 @@ class Scenario {
   const std::vector<sim::NodeId>& nodes() const { return nodes_; }
 
   dht::DhtNode& dht(std::size_t i) { return *dht_nodes_[i]; }
+  // A transport endpoint for peer i, created on first use (a SimTransport
+  // wrapper is pure delegation, so lazy creation perturbs nothing).
+  // Lets tests drive transport-facing APIs (routers, advertisements) on
+  // scenarios that skipped the DHT layer.
+  transport::Transport& transport(std::size_t i);
   const dht::PeerRef& ref(std::size_t i) const { return refs_[i]; }
   const std::vector<dht::PeerRef>& refs() const { return refs_; }
 
@@ -115,6 +121,9 @@ class Scenario {
   std::unique_ptr<sim::LatencyModel> latency_;
   std::unique_ptr<sim::Network> network_;
   std::vector<sim::NodeId> nodes_;
+  // Lazily-populated per-peer endpoints for transport(i); index-aligned
+  // with nodes_ once created.
+  std::vector<std::unique_ptr<transport::SimTransport>> transports_;
   std::vector<std::unique_ptr<dht::DhtNode>> dht_nodes_;
   // Declared after dht_nodes_ so engines (holding Timer handles) are
   // destroyed before the fabric members above them.

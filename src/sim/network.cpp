@@ -264,6 +264,8 @@ void Network::send(NodeId from, NodeId to, MessagePtr message,
   // Bytes hit the wire even when the injector then loses them in transit.
   metrics_.counter("net.messages_sent").inc();
   metrics_.counter("net.bytes_sent").inc(bytes);
+  metrics_.counter("transport.tx.messages").inc();
+  metrics_.counter("transport.tx.bytes").inc(bytes);
   if (injector_ != nullptr && injector_->drop_message(from, to)) return;
   Duration delay = one_way(from, to) + queued_transfer_delay(from, to, bytes);
   bool duplicate = false;
@@ -271,9 +273,11 @@ void Network::send(NodeId from, NodeId to, MessagePtr message,
     delay += injector_->reorder_delay(from, to);
     duplicate = injector_->duplicate_message(from, to);
   }
-  auto deliver = [this, from, to, message = std::move(message)] {
+  auto deliver = [this, from, to, bytes, message = std::move(message)] {
     if (online_[to] == 0 || !configs_[to].responsive) return;
     ++messages_delivered_;
+    metrics_.counter("transport.rx.messages").inc();
+    metrics_.counter("transport.rx.bytes").inc(bytes);
     if (message_handlers_[to]) message_handlers_[to](from, message);
   };
   if (duplicate)
@@ -295,6 +299,8 @@ void Network::request(NodeId from, NodeId to, MessagePtr request,
 
   metrics_.counter("net.rpcs_sent").inc();
   metrics_.counter("net.bytes_sent").inc(request_bytes);
+  metrics_.counter("transport.tx.messages").inc();
+  metrics_.counter("transport.tx.bytes").inc(request_bytes);
   const std::uint64_t request_id = next_request_id_++;
   PendingRequest pending;
   pending.from = from;
@@ -327,25 +333,32 @@ void Network::request(NodeId from, NodeId to, MessagePtr request,
     delay += injector_->reorder_delay(from, to);
     duplicate = injector_->duplicate_message(from, to);
   }
-  auto deliver = [this, from, to, request_id, request = std::move(request)] {
+  auto deliver = [this, from, to, request_id, request_bytes,
+                  request = std::move(request)] {
     // Offline or stalled peers swallow the request; the timeout fires.
     if (online_[to] == 0 || !configs_[to].responsive ||
         !request_handlers_[to])
       return;
     ++messages_delivered_;
+    metrics_.counter("transport.rx.messages").inc();
+    metrics_.counter("transport.rx.bytes").inc(request_bytes);
     auto respond = [this, to, from, request_id](MessagePtr response,
                                                 std::size_t bytes) {
       // Response travels back if the responder is still online.
       if (online_[to] == 0) return;
       metrics_.counter("net.bytes_sent").inc(bytes);
+      metrics_.counter("transport.tx.messages").inc();
+      metrics_.counter("transport.tx.bytes").inc(bytes);
       if (injector_ != nullptr && injector_->drop_message(to, from)) return;
       Duration back =
           one_way(to, from) + queued_transfer_delay(to, from, bytes);
       if (injector_ != nullptr) back += injector_->reorder_delay(to, from);
       simulator_.schedule_after(
-          back, [this, request_id, response = std::move(response)] {
+          back, [this, request_id, bytes, response = std::move(response)] {
             const auto it = pending_.find(request_id);
             if (it == pending_.end()) return;  // already timed out
+            metrics_.counter("transport.rx.messages").inc();
+            metrics_.counter("transport.rx.bytes").inc(bytes);
             PendingRequest entry = std::move(it->second);
             pending_.erase(it);
             entry.timeout_timer.cancel();

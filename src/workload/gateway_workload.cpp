@@ -72,7 +72,7 @@ int GatewayWorkload::pick_country() {
 }
 
 void GatewayWorkload::run(gateway::Gateway& gateway) {
-  run_with(gateway.node().network().simulator(),
+  run_with(gateway.node().transport(),
            [&gateway](const multiformats::Cid& cid,
                       std::function<void(gateway::GatewayResponse)> done) {
              gateway.handle_get(cid, std::move(done));
@@ -80,15 +80,16 @@ void GatewayWorkload::run(gateway::Gateway& gateway) {
 }
 
 void GatewayWorkload::run(gateway::GatewayFleet& fleet) {
-  run_with(fleet.replica(0).node().network().simulator(),
+  run_with(fleet.replica(0).node().transport(),
            [&fleet](const multiformats::Cid& cid,
                     std::function<void(gateway::GatewayResponse)> done) {
              fleet.handle_get(cid, std::move(done));
            });
 }
 
-void GatewayWorkload::run_with(sim::Simulator& simulator, RequestFn request) {
-  simulator_ = &simulator;
+void GatewayWorkload::run_with(transport::Transport& transport,
+                               RequestFn request) {
+  transport_ = &transport;
   request_ = std::move(request);
   log_.clear();
   log_.reserve(config_.requests_total);
@@ -104,13 +105,13 @@ void GatewayWorkload::schedule_next(std::uint64_t issued) {
       static_cast<double>(config_.duration) /
       static_cast<double>(config_.requests_total);
   const double gap =
-      rng_.exponential(base_gap_us / rate_multiplier(simulator_->now()));
+      rng_.exponential(base_gap_us / rate_multiplier(transport_->now()));
 
-  simulator_->schedule_after(
+  transport_->schedule_after(
       static_cast<sim::Duration>(gap), [this, issued] {
         const std::size_t rank = pick_rank();
         const int country = pick_country();
-        const sim::Time issued_at = simulator_->now();
+        const sim::Time issued_at = transport_->now();
         request_(
             catalog_[rank].cid,
             [this, rank, country, issued_at](gateway::GatewayResponse r) {

@@ -81,7 +81,7 @@ class GatewayWorkload {
   using RequestFn = std::function<void(
       const multiformats::Cid&, std::function<void(gateway::GatewayResponse)>)>;
 
-  void run_with(sim::Simulator& simulator, RequestFn request);
+  void run_with(transport::Transport& transport, RequestFn request);
   void schedule_next(std::uint64_t issued);
   std::size_t pick_rank();
   int pick_country();
@@ -91,7 +91,7 @@ class GatewayWorkload {
   std::vector<CatalogObject> catalog_;
   std::vector<double> country_weights_;
   std::vector<RequestLogEntry> log_;
-  sim::Simulator* simulator_ = nullptr;
+  transport::Transport* transport_ = nullptr;
   RequestFn request_;
 };
 

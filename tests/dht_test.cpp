@@ -7,6 +7,7 @@
 #include "dht/record_store.h"
 #include "dht/routing_table.h"
 #include "testutil.h"
+#include "transport/sim_transport.h"
 
 namespace ipfs::dht {
 namespace {
@@ -388,9 +389,9 @@ TEST(DhtSwarmTest, DuplicateProviderRecordsAreDroppedByPeerId) {
         respond(std::move(response), 100);
       });
 
+  transport::SimTransport requester_transport(net, requester);
   LookupHost host;
-  host.network = &net;
-  host.self = requester;
+  host.transport = &requester_transport;
   host.self_ref = PeerRef{synthetic_peer_id(999), requester,
                           {synthetic_address(999)}};
   LookupResult result;

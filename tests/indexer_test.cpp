@@ -43,7 +43,7 @@ TEST(IndexerTest, IngestLagGatesVisibility) {
   Indexer& ix = s.indexer(0);
   const dht::Key key = test_key(1);
 
-  routing::advertise_to_indexers(s.network(), s.node(0), s.routing_config(),
+  routing::advertise_to_indexers(s.transport(0), s.routing_config(),
                                  key, test_provider(7, s.node(0)));
   // run() drains the dial + advert delivery; the ingest timer is a
   // daemon, so the record is received but not yet visible.
@@ -64,19 +64,19 @@ TEST(IndexerTest, ReadvertiseRefreshesInsteadOfDuplicating) {
   const dht::Key key = test_key(2);
   const dht::PeerRef provider = test_provider(7, s.node(0));
 
-  routing::advertise_to_indexers(s.network(), s.node(0), s.routing_config(),
+  routing::advertise_to_indexers(s.transport(0), s.routing_config(),
                                  key, provider);
   s.simulator().run_until(s.simulator().now() + sim::seconds(5));
   ASSERT_EQ(ix.visible_provider_count(key), 1u);
 
-  routing::advertise_to_indexers(s.network(), s.node(0), s.routing_config(),
+  routing::advertise_to_indexers(s.transport(0), s.routing_config(),
                                  key, provider);
   s.simulator().run_until(s.simulator().now() + sim::seconds(5));
   EXPECT_EQ(ix.advertisements_received(), 2u);
   EXPECT_EQ(ix.visible_provider_count(key), 1u);  // refreshed, not doubled
 
   // A different provider for the same key is a second record.
-  routing::advertise_to_indexers(s.network(), s.node(0), s.routing_config(),
+  routing::advertise_to_indexers(s.transport(0), s.routing_config(),
                                  key, test_provider(8, s.node(0)));
   s.simulator().run_until(s.simulator().now() + sim::seconds(5));
   EXPECT_EQ(ix.visible_provider_count(key), 2u);
@@ -89,7 +89,7 @@ TEST(IndexerTest, RecordsExpireAfterTtl) {
   Indexer& ix = s.indexer(0);
   const dht::Key key = test_key(3);
 
-  routing::advertise_to_indexers(s.network(), s.node(0), s.routing_config(),
+  routing::advertise_to_indexers(s.transport(0), s.routing_config(),
                                  key, test_provider(7, s.node(0)));
   s.simulator().run_until(s.simulator().now() + sim::seconds(5));
   ASSERT_EQ(ix.visible_provider_count(key), 1u);
@@ -105,10 +105,10 @@ TEST(IndexerTest, CrashWipesSoftStateAndReadvertiseRebuildsIt) {
   const dht::Key visible_key = test_key(4);
   const dht::Key pending_key = test_key(5);
 
-  routing::advertise_to_indexers(s.network(), s.node(0), s.routing_config(),
+  routing::advertise_to_indexers(s.transport(0), s.routing_config(),
                                  visible_key, test_provider(7, s.node(0)));
   s.simulator().run_until(s.simulator().now() + sim::seconds(15));
-  routing::advertise_to_indexers(s.network(), s.node(0), s.routing_config(),
+  routing::advertise_to_indexers(s.transport(0), s.routing_config(),
                                  pending_key, test_provider(8, s.node(0)));
   s.simulator().run();
   ASSERT_EQ(ix.visible_provider_count(visible_key), 1u);
@@ -124,7 +124,7 @@ TEST(IndexerTest, CrashWipesSoftStateAndReadvertiseRebuildsIt) {
 
   s.network().set_online(ix.node(), true);
   ix.handle_restart();
-  routing::advertise_to_indexers(s.network(), s.node(0), s.routing_config(),
+  routing::advertise_to_indexers(s.transport(0), s.routing_config(),
                                  visible_key, test_provider(7, s.node(0)));
   s.simulator().run_until(s.simulator().now() + sim::seconds(15));
   EXPECT_EQ(ix.visible_provider_count(visible_key), 1u);
@@ -137,7 +137,7 @@ TEST(IndexerTest, QueriesAreAnsweredFromTheVisibleIndex) {
   const dht::Key key = test_key(6);
   const dht::PeerRef provider = test_provider(7, s.node(0));
 
-  routing::advertise_to_indexers(s.network(), s.node(0), s.routing_config(),
+  routing::advertise_to_indexers(s.transport(0), s.routing_config(),
                                  key, provider);
   s.simulator().run_until(s.simulator().now() + sim::seconds(5));
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "node/ipfs_node.h"
+#include "transport/sim_transport.h"
 #include "node/pinning_service.h"
 #include "testutil.h"
 
@@ -87,7 +88,8 @@ TEST(ConnectionManagerTest, TrimClosesDownToLowWater) {
   sim.run();
   ASSERT_EQ(network.connections_of(self).size(), 12u);
 
-  ConnectionManager manager(network, self, {.low_water = 4, .high_water = 8});
+  transport::SimTransport transport(network, self);
+  ConnectionManager manager(transport, {.low_water = 4, .high_water = 8});
   EXPECT_EQ(manager.trim(), 8u);
   EXPECT_EQ(network.connections_of(self).size(), 4u);
   EXPECT_EQ(manager.trim(), 0u);  // below high water now
@@ -104,7 +106,8 @@ TEST(ConnectionManagerTest, ProtectedPeersSurviveTrimAndDisconnectAll) {
     network.connect(self, peer, [](bool, sim::Duration) {});
   sim.run();
 
-  ConnectionManager manager(network, self, {.low_water = 0, .high_water = 2});
+  transport::SimTransport transport(network, self);
+  ConnectionManager manager(transport, {.low_water = 0, .high_water = 2});
   manager.protect(peers[0]);
   manager.trim();
   EXPECT_TRUE(network.connected(self, peers[0]));

@@ -46,7 +46,7 @@ void provide_via_dht(scenario::Scenario& s, const dht::Key& key) {
 // Advertises `key` to every indexer and waits out the ingest lag.
 void advertise_and_ingest(scenario::Scenario& s, const dht::Key& key,
                           const dht::PeerRef& provider) {
-  advertise_to_indexers(s.network(), provider.node, s.routing_config(), key,
+  advertise_to_indexers(s.dht(0).transport(), s.routing_config(), key,
                         provider);
   s.simulator().run_until(s.simulator().now() + sim::seconds(5));
 }
@@ -94,7 +94,7 @@ TEST(IndexerRouterTest, ResolvesInOneRttFromAnIndexer) {
   const dht::Key key = test_key(3);
   advertise_and_ingest(s, key, s.ref(0));
 
-  IndexerRouter router(s.network(), s.node(1), s.routing_config());
+  IndexerRouter router(s.dht(1).transport(), s.routing_config());
   std::optional<FindResult> result;
   const sim::Time before = s.simulator().now();
   router.find_providers(key, [&](FindResult r) { result = r; }, 0);
@@ -110,7 +110,7 @@ TEST(IndexerRouterTest, ResolvesInOneRttFromAnIndexer) {
 
 TEST(IndexerRouterTest, EmptyIndexerListFailsImmediately) {
   scenario::Scenario s = make_swarm(2, 0);
-  IndexerRouter router(s.network(), s.node(1), RoutingConfig{});
+  IndexerRouter router(s.dht(1).transport(), RoutingConfig{});
   std::optional<FindResult> result;
   router.find_providers(test_key(4), [&](FindResult r) { result = r; }, 0);
   ASSERT_TRUE(result.has_value());  // settled synchronously
@@ -128,7 +128,7 @@ TEST(IndexerRouterTest, FailsOverPastACrashedIndexer) {
   s.network().set_online(s.indexer(0).node(), false);
   s.indexer(0).handle_crash();
 
-  IndexerRouter router(s.network(), s.node(1), s.routing_config());
+  IndexerRouter router(s.dht(1).transport(), s.routing_config());
   std::optional<FindResult> result;
   router.find_providers(key, [&](FindResult r) { result = r; }, 0);
   s.simulator().run();
@@ -153,7 +153,7 @@ TEST(IndexerRouterTest, UnresponsiveIndexerTimesOutThenFailsOver) {
 
   RoutingConfig config = s.routing_config();
   config.indexer_timeout = sim::seconds(2);
-  IndexerRouter router(s.network(), s.node(1), config);
+  IndexerRouter router(s.dht(1).transport(), config);
   std::optional<FindResult> result;
   const sim::Time before = s.simulator().now();
   router.find_providers(key, [&](FindResult r) { result = r; }, 0);
@@ -170,11 +170,11 @@ TEST(IndexerRouterTest, ExhaustedListWithStaleIndexesFails) {
   // and the delegated path reports failure.
   scenario::Scenario s = make_swarm(2, 2, /*ingest_lag=*/sim::hours(1));
   const dht::Key key = test_key(7);
-  advertise_to_indexers(s.network(), s.node(0), s.routing_config(), key,
+  advertise_to_indexers(s.dht(0).transport(), s.routing_config(), key,
                         s.ref(0));
   s.simulator().run();
 
-  IndexerRouter router(s.network(), s.node(1), s.routing_config());
+  IndexerRouter router(s.dht(1).transport(), s.routing_config());
   std::optional<FindResult> result;
   router.find_providers(key, [&](FindResult r) { result = r; }, 0);
   s.simulator().run();
@@ -190,7 +190,7 @@ TEST(RaceRouterTest, IndexerWinsAndTheLosingWalkIsPutDown) {
   provide_via_dht(s, key);
   advertise_and_ingest(s, key, s.ref(0));
 
-  RaceRouter router(s.network(), s.node(9), s.dht(9), s.routing_config());
+  RaceRouter router(s.dht(9).transport(), s.dht(9), s.routing_config());
   std::optional<FindResult> result;
   const sim::Time before = s.simulator().now();
   router.find_providers(key, [&](FindResult r) { result = r; }, 0);
@@ -218,7 +218,7 @@ TEST(RaceRouterTest, DegradesToTheDhtWhenEveryIndexerIsDown) {
     s.indexer(i).handle_crash();
   }
 
-  RaceRouter router(s.network(), s.node(9), s.dht(9), s.routing_config());
+  RaceRouter router(s.dht(9).transport(), s.dht(9), s.routing_config());
   std::optional<FindResult> result;
   router.find_providers(key, [&](FindResult r) { result = r; }, 0);
   s.simulator().run();
@@ -239,7 +239,7 @@ TEST(RaceRouterTest, CancelAbandonsBothArmsWithoutCallbacks) {
   advertise_and_ingest(s, key, s.ref(0));
   const sim::Time before = s.simulator().now();
 
-  RaceRouter router(s.network(), s.node(9), s.dht(9), s.routing_config());
+  RaceRouter router(s.dht(9).transport(), s.dht(9), s.routing_config());
   bool fired = false;
   const auto id =
       router.find_providers(key, [&](FindResult) { fired = true; }, 0);
@@ -255,13 +255,13 @@ TEST(RaceRouterTest, CancelAbandonsBothArmsWithoutCallbacks) {
 TEST(RoutingConfigTest, MakeRouterSelectsTheConfiguredMode) {
   scenario::Scenario s = make_swarm(2, 1);
   const auto dht_only =
-      make_router(s.network(), s.node(1), s.dht(1),
+      make_router(s.dht(1).transport(), s.dht(1),
                   RoutingConfig{}.with_mode(RoutingConfig::Mode::kDht));
   const auto indexer_only =
-      make_router(s.network(), s.node(1), s.dht(1),
+      make_router(s.dht(1).transport(), s.dht(1),
                   RoutingConfig{}.with_mode(RoutingConfig::Mode::kIndexer));
   const auto race =
-      make_router(s.network(), s.node(1), s.dht(1),
+      make_router(s.dht(1).transport(), s.dht(1),
                   RoutingConfig{}.with_mode(RoutingConfig::Mode::kRace));
   EXPECT_NE(dynamic_cast<DhtRouter*>(dht_only.get()), nullptr);
   EXPECT_NE(dynamic_cast<IndexerRouter*>(indexer_only.get()), nullptr);

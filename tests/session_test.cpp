@@ -68,7 +68,7 @@ TEST_F(SessionTest, StripesBlocksAcrossPeers) {
   const auto data = random_bytes(2 * 1024 * 1024, 1);  // 8 chunks
   const auto root = seed_providers(data, 3);
 
-  Session session(*requester_, network_);
+  Session session(*requester_);
   for (int i = 0; i < 3; ++i) session.add_peer(provider_nodes_[i]);
   EXPECT_EQ(session.peer_count(), 3u);
 
@@ -101,7 +101,7 @@ TEST_F(SessionTest, MultiPathBeatsSinglePath) {
   // Session fetch over three providers (fresh store so nothing is local).
   blockstore::BlockStore session_store;
   Bitswap session_bitswap(network_, requester_node_, session_store);
-  Session session(session_bitswap, network_);
+  Session session(session_bitswap);
   for (int i = 0; i < 3; ++i) session.add_peer(provider_nodes_[i]);
   SessionFetchStats multi;
   session.fetch_dag(root, [&](SessionFetchStats s) { multi = s; });
@@ -119,7 +119,7 @@ TEST_F(SessionTest, RetriesBlocksOnFailingPeers) {
   // the session (a stale provider record).
   const auto root = seed_providers(data, 2);
 
-  Session session(*requester_, network_);
+  Session session(*requester_);
   for (int i = 0; i < 3; ++i) session.add_peer(provider_nodes_[i]);
 
   SessionFetchStats stats;
@@ -138,7 +138,7 @@ TEST_F(SessionTest, FailsWhenNoPeerHasTheContent) {
   blockstore::BlockStore elsewhere;
   const auto root = merkledag::import_bytes(elsewhere, data).root;
 
-  Session session(*requester_, network_);
+  Session session(*requester_);
   for (int i = 0; i < 3; ++i) session.add_peer(provider_nodes_[i]);
   SessionFetchStats stats;
   stats.ok = true;
@@ -148,7 +148,7 @@ TEST_F(SessionTest, FailsWhenNoPeerHasTheContent) {
 }
 
 TEST_F(SessionTest, EmptySessionFailsImmediately) {
-  Session session(*requester_, network_);
+  Session session(*requester_);
   bool called = false;
   session.fetch_dag(multiformats::Cid::from_data(
                         multiformats::Multicodec::kRaw, random_bytes(8, 5)),
@@ -163,7 +163,7 @@ TEST_F(SessionTest, SurvivesConnectionResetMidTransfer) {
   const auto data = random_bytes(2 * 1024 * 1024, 7);  // 8 chunks
   const auto root = seed_providers(data, 3);
 
-  Session session(*requester_, network_);
+  Session session(*requester_);
   for (int i = 0; i < 3; ++i) session.add_peer(provider_nodes_[i]);
 
   SessionFetchStats stats;
@@ -187,7 +187,7 @@ TEST_F(SessionTest, SurvivesPeerCrashMidTransfer) {
   const auto data = random_bytes(2 * 1024 * 1024, 8);
   const auto root = seed_providers(data, 3);
 
-  Session session(*requester_, network_);
+  Session session(*requester_);
   for (int i = 0; i < 3; ++i) session.add_peer(provider_nodes_[i]);
 
   SessionFetchStats stats;
@@ -208,7 +208,7 @@ TEST_F(SessionTest, AllProvidersCrashingFailsWithTypedError) {
   const auto data = random_bytes(8 * 1024 * 1024, 9);  // 32 chunks
   const auto root = seed_providers(data, 3);
 
-  Session session(*requester_, network_);
+  Session session(*requester_);
   for (int i = 0; i < 3; ++i) session.add_peer(provider_nodes_[i]);
 
   int completions = 0;
@@ -241,7 +241,7 @@ TEST_F(SessionTest, RestartedPeerKeepsBlockstoreAndServesAgain) {
                    [](bool, sim::Duration) {});
   sim_.run();
 
-  Session session(*requester_, network_);
+  Session session(*requester_);
   session.add_peer(provider_nodes_[0]);
   SessionFetchStats stats;
   session.fetch_dag(root, [&](SessionFetchStats s) { stats = s; });
@@ -257,7 +257,7 @@ TEST_F(SessionTest, RestartedPeerKeepsBlockstoreAndServesAgain) {
 TEST_F(SessionTest, SinglePeerSessionStillWorks) {
   const auto data = random_bytes(600 * 1024, 6);
   const auto root = seed_providers(data, 1);
-  Session session(*requester_, network_);
+  Session session(*requester_);
   session.add_peer(provider_nodes_[0]);
   SessionFetchStats stats;
   session.fetch_dag(root, [&](SessionFetchStats s) { stats = s; });
@@ -286,7 +286,7 @@ TEST_F(SessionTest, SharedDagLinksAreFetchedExactlyOnce) {
     provider_stores_[i].put(root);
   }
 
-  Session session(*requester_, network_);
+  Session session(*requester_);
   for (int i = 0; i < kProviders; ++i) session.add_peer(provider_nodes_[i]);
   SessionFetchStats stats;
   session.fetch_dag(root.cid, [&](SessionFetchStats s) { stats = s; });
