@@ -4,6 +4,12 @@
 # derives the same root CID locally and retrieves it through DHT provider
 # resolution + Bitswap — all over real UDP sockets on loopback.
 #
+# Leg 2 (ISSUE 9 satellite) reruns the cluster with the publisher on a
+# persistent store (--store-dir): publish, kill -9 mid-serve, relaunch
+# from the same directory WITHOUT --publish, and a fresh fetcher must
+# still retrieve the content — served from the log-structured store the
+# restart recovered (the "restored N blocks" line is asserted).
+#
 # Usage: scripts/daemon_smoke.sh [path-to-ipfsd] [artifact-dir]
 set -euo pipefail
 
@@ -64,6 +70,77 @@ for node in node1 node2; do
 done
 if ! grep -q '"ok":true' "$OUT/node2.jsonl"; then
   echo "daemon_smoke: FAIL (fetcher summary not ok)" >&2
+  exit 1
+fi
+
+echo "daemon_smoke: leg 1 OK"
+
+# --- Leg 2: kill -9 the publisher, restart from its --store-dir ----------
+Q0=$((BASE_PORT + 10)); Q1=$((BASE_PORT + 11)); Q2=$((BASE_PORT + 12))
+STORE="$OUT/store1"
+rm -rf "$STORE"
+LEG2_SERVE_MS=25000
+
+"$IPFSD" --index 0 --port "$Q0" --peer "1:$Q1" --peer "2:$Q2" \
+  --serve-ms "$LEG2_SERVE_MS" \
+  >"$OUT/node0b.log" 2>&1 &
+QID0=$!
+sleep 0.3
+
+"$IPFSD" --index 1 --port "$Q1" --peer "0:$Q0" --peer "2:$Q2" \
+  --bootstrap 0 --publish "$CONTENT" --store-dir "$STORE" \
+  --serve-ms "$LEG2_SERVE_MS" \
+  >"$OUT/node1b.log" 2>&1 &
+QID1=$!
+
+# Wait for the publish to be acked (add() flushes the store before the
+# trace fires), then simulate power loss.
+for _ in $(seq 1 100); do
+  grep -q "published" "$OUT/node1b.log" && break
+  sleep 0.1
+done
+if ! grep -q "published" "$OUT/node1b.log"; then
+  echo "daemon_smoke: FAIL (leg 2 publisher never published)" >&2
+  kill "$QID0" "$QID1" 2>/dev/null || true
+  exit 1
+fi
+kill -9 "$QID1" 2>/dev/null || true
+set +e; wait "$QID1" 2>/dev/null; set -e
+
+# Relaunch from the same store directory — no --publish: the blocks must
+# come back from the recovered log, and the provider record node 0 still
+# holds points the fetcher here.
+"$IPFSD" --index 1 --port "$Q1" --peer "0:$Q0" --peer "2:$Q2" \
+  --bootstrap 0 --store-dir "$STORE" \
+  --serve-ms 15000 \
+  >"$OUT/node1c.log" 2>&1 &
+QID1=$!
+sleep 0.3
+
+set +e
+"$IPFSD" --index 2 --port "$Q2" --peer "0:$Q0" --peer "1:$Q1" \
+  --bootstrap 0 --fetch "$CONTENT" \
+  --serve-ms 15000 --metrics "$OUT/node2b.jsonl" \
+  >"$OUT/node2b.log" 2>&1
+FETCH2_RC=$?
+kill "$QID0" "$QID1" 2>/dev/null
+wait "$QID0" "$QID1" 2>/dev/null
+set -e
+
+echo "--- node1b (publisher, killed) ---"; cat "$OUT/node1b.log"
+echo "--- node1c (restarted) ---"; cat "$OUT/node1c.log"
+echo "--- node2b (fetcher) ---"; cat "$OUT/node2b.log"
+
+if [[ $FETCH2_RC -ne 0 ]]; then
+  echo "daemon_smoke: FAIL (leg 2 fetch after publisher restart rc=$FETCH2_RC)" >&2
+  exit 1
+fi
+if ! grep -Eq 'restored [1-9][0-9]* blocks' "$OUT/node1c.log"; then
+  echo "daemon_smoke: FAIL (restarted publisher recovered no blocks)" >&2
+  exit 1
+fi
+if ! grep -q '"ok":true' "$OUT/node2b.jsonl"; then
+  echo "daemon_smoke: FAIL (leg 2 fetcher summary not ok)" >&2
   exit 1
 fi
 

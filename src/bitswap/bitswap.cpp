@@ -34,32 +34,44 @@ std::string Bitswap::want_key(const Cid& cid) {
 bool Bitswap::handle_request(
     sim::NodeId from, const sim::MessagePtr& message,
     const std::function<void(sim::MessagePtr, std::size_t)>& respond) {
-  if (const auto* want_have =
-          dynamic_cast<const WantHaveRequest*>(message.get())) {
-    auto response = std::make_shared<HaveResponse>();
-    response->have = store_.has(want_have->cid);
-    respond(std::move(response), kHaveMessageBytes);
-    return true;
-  }
-  if (const auto* want_block =
-          dynamic_cast<const WantBlockRequest*>(message.get())) {
-    auto response = std::make_shared<BlockResponse>();
-    response->block = store_.get(want_block->cid);
-    std::size_t size = kBlockOverheadBytes;
-    if (response->block) {
-      size += response->block->data.size();
-      Ledger& ledger = ledgers_[from];
-      ledger.bytes_sent += response->block->data.size();
-      ++ledger.blocks_sent;
-      transport_.metrics().counter("bitswap.blocks_sent").inc();
-      transport_.metrics()
-          .counter("bitswap.bytes_sent")
-          .inc(response->block->data.size());
+  metrics::Registry& metrics = transport_.metrics();
+  switch (message->kind()) {
+    case sim::MessageKind::kWantHaveRequest: {
+      const auto* want_have =
+          static_cast<const WantHaveRequest*>(message.get());
+      metrics.counter("bitswap.want_have.rx").inc();
+      auto response = std::make_shared<HaveResponse>();
+      response->have = store_.has(want_have->cid);
+      if (!response->have) metrics.counter("bitswap.dont_have.tx").inc();
+      respond(std::move(response), kHaveMessageBytes);
+      return true;
     }
-    respond(std::move(response), size);
-    return true;
+    case sim::MessageKind::kWantBlockRequest: {
+      const auto* want_block =
+          static_cast<const WantBlockRequest*>(message.get());
+      metrics.counter("bitswap.want_block.rx").inc();
+      auto response = std::make_shared<BlockResponse>();
+      response->cid = want_block->cid;
+      response->data = store_.get(want_block->cid);
+      std::size_t size = kBlockOverheadBytes;
+      if (response->data) {
+        size += response->data->size();
+        Ledger& ledger = ledgers_[from];
+        ledger.bytes_sent += response->data->size();
+        ++ledger.blocks_sent;
+        metrics.counter("bitswap.blocks_sent").inc();
+        metrics.counter("bitswap.bytes_sent").inc(response->data->size());
+      } else {
+        response->dont_have = want_block->send_dont_have;
+        if (response->dont_have)
+          metrics.counter("bitswap.dont_have.tx").inc();
+      }
+      respond(std::move(response), size);
+      return true;
+    }
+    default:
+      return false;
   }
-  return false;
 }
 
 struct Bitswap::Discovery {
@@ -113,18 +125,22 @@ void Bitswap::discover(const Cid& cid, sim::Duration timeout,
   for (const sim::NodeId peer : peers) {
     auto request = std::make_shared<WantHaveRequest>();
     request->cid = cid;
+    metrics.counter("bitswap.want_have.tx").inc();
     transport_.request(
         peer, std::move(request), kWantMessageBytes, timeout,
-        [state, finish, peer, early_exit](sim::RpcStatus status,
-                                          const sim::MessagePtr& message) {
+        [this, state, finish, peer, early_exit](
+            sim::RpcStatus status, const sim::MessagePtr& message) {
           if (state->finished) return;
           ++state->answered;
-          if (status == sim::RpcStatus::kOk) {
-            const auto* have = dynamic_cast<const HaveResponse*>(message.get());
-            if (have != nullptr && have->have) {
+          if (status == sim::RpcStatus::kOk && message != nullptr &&
+              message->kind() == sim::MessageKind::kHaveResponse) {
+            const auto* have =
+                static_cast<const HaveResponse*>(message.get());
+            if (have->have) {
               finish(peer);
               return;
             }
+            transport_.metrics().counter("bitswap.dont_have.rx").inc();
           }
           if (early_exit && state->answered == state->total)
             finish(std::nullopt);
@@ -132,45 +148,73 @@ void Bitswap::discover(const Cid& cid, sim::Duration timeout,
   }
 }
 
+void Bitswap::probe_have(sim::NodeId peer, const Cid& cid,
+                         std::function<void(bool, bool)> done) {
+  auto request = std::make_shared<WantHaveRequest>();
+  request->cid = cid;
+  transport_.metrics().counter("bitswap.want_have.tx").inc();
+  transport_.request(
+      peer, std::move(request), kWantMessageBytes, kDiscoveryTimeout,
+      [this, done = std::move(done)](sim::RpcStatus status,
+                                     const sim::MessagePtr& message) {
+        if (status != sim::RpcStatus::kOk || message == nullptr ||
+            message->kind() != sim::MessageKind::kHaveResponse) {
+          done(false, false);
+          return;
+        }
+        const auto* have = static_cast<const HaveResponse*>(message.get());
+        if (!have->have)
+          transport_.metrics().counter("bitswap.dont_have.rx").inc();
+        done(have->have, true);
+      });
+}
+
 void Bitswap::fetch_block(sim::NodeId peer, const Cid& cid,
-                          std::function<void(std::optional<Block>)> done) {
+                          std::function<void(BlockResult)> done) {
   wantlist_.insert(want_key(cid));
   auto request = std::make_shared<WantBlockRequest>();
   request->cid = cid;
+  request->send_dont_have = true;
+  transport_.metrics().counter("bitswap.want_block.tx").inc();
   transport_.request(
       peer, std::move(request), kWantMessageBytes, kBlockTimeout,
       [this, peer, cid, done = std::move(done)](sim::RpcStatus status,
                                                 const sim::MessagePtr& message) {
         wantlist_.erase(want_key(cid));
-        if (status != sim::RpcStatus::kOk) {
+        BlockResult result;
+        if (status != sim::RpcStatus::kOk || message == nullptr ||
+            message->kind() != sim::MessageKind::kBlockResponse) {
           transport_.metrics().counter("bitswap.block_fetch_failures").inc();
-          done(std::nullopt);
+          done(std::move(result));
           return;
         }
         const auto* response =
-            dynamic_cast<const BlockResponse*>(message.get());
-        if (response == nullptr || !response->block) {
+            static_cast<const BlockResponse*>(message.get());
+        if (!response->data) {
+          if (response->dont_have)
+            transport_.metrics().counter("bitswap.dont_have.rx").inc();
+          result.dont_have = response->dont_have;
           transport_.metrics().counter("bitswap.block_fetch_failures").inc();
-          done(std::nullopt);
+          done(std::move(result));
           return;
         }
         // Verify against the CID before accepting (Section 2.1:
         // self-certification removes the need to trust the provider).
-        if (!response->block->cid.hash().verifies(response->block->data) ||
-            response->block->cid != cid) {
+        if (response->cid != cid || !cid.hash().verifies(*response->data)) {
           transport_.metrics().counter("bitswap.block_fetch_failures").inc();
-          done(std::nullopt);
+          done(std::move(result));
           return;
         }
         Ledger& ledger = ledgers_[peer];
-        ledger.bytes_received += response->block->data.size();
+        ledger.bytes_received += response->data->size();
         ++ledger.blocks_received;
         transport_.metrics().counter("bitswap.blocks_received").inc();
         transport_.metrics()
             .counter("bitswap.bytes_received")
-            .inc(response->block->data.size());
-        store_.put(*response->block);
-        done(response->block);
+            .inc(response->data->size());
+        store_.put(cid, response->data);
+        result.data = response->data;
+        done(std::move(result));
       });
 }
 
@@ -215,7 +259,7 @@ void Bitswap::pump_dag_fetch(sim::NodeId peer,
     if (!local) break;
     state->pending.pop_back();
     if (next.content_codec() == multiformats::Multicodec::kDagPb) {
-      if (const auto node = merkledag::DagNode::decode(local->data)) {
+      if (const auto node = merkledag::DagNode::decode(*local)) {
         for (const auto& link : node->links) {
           if (state->mark_new(link.cid))
             state->pending.push_back(link.cid);
@@ -244,18 +288,18 @@ void Bitswap::pump_dag_fetch(sim::NodeId peer,
     state->pending.pop_back();
     ++state->in_flight;
     fetch_block(peer, next,
-                [this, peer, next, state](std::optional<Block> block) {
+                [this, peer, next, state](BlockResult block) {
                   --state->in_flight;
                   if (state->finished) return;
                   if (!block) {
                     state->failed = true;
                   } else {
                     ++state->stats.blocks;
-                    state->stats.bytes += block->data.size();
+                    state->stats.bytes += block.data->size();
                     if (next.content_codec() ==
                         multiformats::Multicodec::kDagPb) {
                       if (const auto node =
-                              merkledag::DagNode::decode(block->data)) {
+                              merkledag::DagNode::decode(*block.data)) {
                         for (const auto& link : node->links) {
                           if (state->mark_new(link.cid))
                             state->pending.push_back(link.cid);

@@ -1,7 +1,10 @@
 // Bitswap (paper Section 3.2, "Content Exchange"): a chunk exchange
-// protocol. Requests announce interest in CIDs via wantlists: WANT_HAVE
-// probes who holds a block, HAVE/DONT_HAVE answer, WANT_BLOCK pulls the
-// block itself.
+// protocol, here at the 1.2.0 protocol level. Requests announce
+// interest in CIDs via wantlists: WANT_HAVE probes who holds a block,
+// HAVE/DONT_HAVE answer, WANT_BLOCK pulls the block itself. A
+// WANT_BLOCK may ask for an explicit DONT_HAVE reply instead of
+// silence, which is what lets sessions (session.h) re-route a want to
+// another provider immediately instead of burning the block timeout.
 //
 // Bitswap is also IPFS's opportunistic discovery mechanism: before a DHT
 // walk, a requester broadcasts WANT_HAVE to every *connected* peer and
@@ -21,6 +24,7 @@
 namespace ipfs::bitswap {
 
 using blockstore::Block;
+using blockstore::BlockData;
 using multiformats::Cid;
 
 // Discovery falls back to the DHT after this timeout (Section 3.2).
@@ -30,18 +34,39 @@ constexpr sim::Duration kBlockTimeout = sim::seconds(30);
 
 struct WantHaveRequest : sim::Message {
   Cid cid;
+  sim::MessageKind kind() const override {
+    return sim::MessageKind::kWantHaveRequest;
+  }
 };
 
 struct HaveResponse : sim::Message {
   bool have = false;  // HAVE or DONT_HAVE
+  sim::MessageKind kind() const override {
+    return sim::MessageKind::kHaveResponse;
+  }
 };
 
 struct WantBlockRequest : sim::Message {
   Cid cid;
+  // Bitswap 1.2.0: ask the responder to answer a miss with an explicit
+  // DONT_HAVE (dont_have flag on the BlockResponse) instead of an empty
+  // reply, so the requester can re-route without waiting out a timeout.
+  bool send_dont_have = false;
+  sim::MessageKind kind() const override {
+    return sim::MessageKind::kWantBlockRequest;
+  }
 };
 
 struct BlockResponse : sim::Message {
-  std::optional<Block> block;
+  Cid cid;
+  // Shared payload (nullptr on a miss): the responder hands out the
+  // blockstore's allocation, the wire layer copies exactly once, and an
+  // in-process sim delivery copies never.
+  BlockData data;
+  bool dont_have = false;  // explicit miss (send_dont_have was set)
+  sim::MessageKind kind() const override {
+    return sim::MessageKind::kBlockResponse;
+  }
 };
 
 // Per-peer accounting of exchanged bytes (the Bitswap "ledger").
@@ -57,6 +82,15 @@ struct FetchStats {
   sim::Duration elapsed = 0;
   std::size_t blocks = 0;
   std::uint64_t bytes = 0;
+};
+
+// Outcome of one fetch_block: `data` set on success; `dont_have` set
+// when the peer answered an explicit DONT_HAVE (so the caller can tell
+// an honest miss from a transport failure/timeout).
+struct BlockResult {
+  BlockData data;
+  bool dont_have = false;
+  explicit operator bool() const { return data != nullptr; }
 };
 
 class Bitswap {
@@ -85,10 +119,15 @@ class Bitswap {
                 std::function<void(std::optional<sim::NodeId>)> done,
                 bool early_exit = false);
 
-  // Pulls one block from `peer` (WANT_BLOCK). Verified against the CID and
-  // stored locally on success.
+  // WANT_HAVE probe of a single peer: reports (have, answered). Sessions
+  // use it to rank providers before committing WANT_BLOCKs.
+  void probe_have(sim::NodeId peer, const Cid& cid,
+                  std::function<void(bool have, bool answered)> done);
+
+  // Pulls one block from `peer` (WANT_BLOCK, send_dont_have set).
+  // Verified against the CID and stored locally on success.
   void fetch_block(sim::NodeId peer, const Cid& cid,
-                   std::function<void(std::optional<Block>)> done);
+                   std::function<void(BlockResult)> done);
 
   // Fetches the whole DAG below `root` from `peer`, pipelining up to
   // kFetchWindow outstanding WANT_BLOCKs (sessions keep the pipe full so

@@ -1,11 +1,16 @@
 // Bitswap sessions with multi-path transfer (the optimization line of
 // the paper's references [20, 21]: "Accelerating Content Routing with
-// Bitswap: A Multi-Path File Transfer Protocol").
+// Bitswap: A Multi-Path File Transfer Protocol"), upgraded to the
+// 1.2.0 want tiers.
 //
 // A session tracks a set of peers known (or believed) to hold an object
-// and stripes WANT_BLOCK requests across them, preferring peers that
-// answer fastest. Blocks a peer fails to deliver are retried on the
-// remaining peers, so a session survives individual provider failures.
+// and stripes WANT_BLOCK requests across them. Peers are ranked by a
+// score fed from three observations — HAVE-probe latency, delivered
+// block throughput, and the DONT_HAVE ratio — so WANT_BLOCKs flow to
+// the peers most likely to answer fast. An explicit DONT_HAVE re-routes
+// the want to the next-best peer immediately (no block timeout burned),
+// and blocks a peer fails to deliver are retried on the remaining
+// peers, so a session survives individual provider failures.
 #pragma once
 
 #include <functional>
@@ -16,31 +21,50 @@
 
 namespace ipfs::bitswap {
 
+struct SessionConfig {
+  // Total WANT_BLOCKs in flight across the session.
+  int window = 32;
+  // Cap per peer, so one fast provider cannot absorb the whole window
+  // (parallelism across providers is the point of a session).
+  int per_peer_window = Bitswap::kFetchWindow;
+  // WANT_HAVE-probe every peer for the root before the first WANT_BLOCK;
+  // seeds the latency score and demotes peers that answer DONT_HAVE.
+  bool probe_want_have = true;
+  // A peer is dropped from the rotation after this many transport
+  // failures (timeouts / resets). Honest DONT_HAVEs never kill a peer —
+  // they only raise its score.
+  std::uint64_t max_peer_failures = 3;
+};
+
 struct SessionPeerStats {
   std::uint64_t blocks = 0;
   std::uint64_t bytes = 0;
-  std::uint64_t failures = 0;
-  double ewma_latency_ms = 0.0;  // exponential moving average
+  std::uint64_t failures = 0;    // transport failures (timeout/reset)
+  std::uint64_t dont_haves = 0;  // explicit DONT_HAVE answers
+  std::uint64_t wants_sent = 0;  // WANT_BLOCKs dispatched to this peer
+  double ewma_latency_ms = 0.0;  // block delivery, exponential moving avg
+  double have_latency_ms = 0.0;  // WANT_HAVE probe round trip (0 = none)
 };
 
 struct SessionFetchStats : FetchStats {
   std::map<sim::NodeId, SessionPeerStats> per_peer;
   std::size_t retried_blocks = 0;
+  std::size_t dont_have_reroutes = 0;
 };
 
 class Session {
  public:
   // The session shares its Bitswap's transport (clock, metrics).
-  explicit Session(Bitswap& bitswap);
+  explicit Session(Bitswap& bitswap, SessionConfig config = {});
 
   // Adds a candidate provider. Duplicates are ignored.
   void add_peer(sim::NodeId peer);
   std::size_t peer_count() const { return peers_.size(); }
 
   // Fetches the DAG below `root`, striping block requests over the
-  // session peers (up to Bitswap::kFetchWindow in flight in total,
-  // assigned to the least-loaded / fastest peers). Fails only when a
-  // block cannot be delivered by ANY session peer.
+  // session peers (up to SessionConfig::window in flight in total,
+  // assigned to the best-scoring peers). Fails only when a block cannot
+  // be delivered by ANY session peer.
   void fetch_dag(const multiformats::Cid& root,
                  std::function<void(SessionFetchStats)> done);
 
@@ -48,17 +72,29 @@ class Session {
   struct PeerState {
     sim::NodeId node;
     int in_flight = 0;
-    bool dead = false;  // exhausted: repeated failures
+    bool dead = false;       // exhausted: repeated transport failures
+    bool answered_dont_have_root = false;  // probe said DONT_HAVE
     SessionPeerStats stats;
   };
 
   struct Fetch;
   void pump(std::shared_ptr<Fetch> fetch);
+  void start_wants(std::shared_ptr<Fetch> fetch);
   PeerState* pick_peer(const std::vector<sim::NodeId>& exclude);
+  // Lower is better: expected wait for the next block from this peer.
+  // Blends block latency (or the HAVE probe's until a block lands), a
+  // DONT_HAVE-ratio penalty, and the queue already in flight there.
+  double score(const PeerState& peer) const;
 
   Bitswap& bitswap_;
   transport::Transport& transport_;
+  SessionConfig config_;
   std::vector<PeerState> peers_;
+  // Session-wide average block service time (EWMA, ms). A HAVE probe
+  // measures the wire, not the payload, so peers that have not delivered
+  // a block yet are scored no better than this average — one slow first
+  // block must not banish a peer the probes never load-tested.
+  double avg_block_ms_ = 0.0;
 };
 
 }  // namespace ipfs::bitswap

@@ -9,18 +9,23 @@ Block Block::from_data(multiformats::Multicodec codec,
 }
 
 PutStatus BlockStore::put(Block block) {
-  if (!block.cid.hash().verifies(block.data)) return PutStatus::kCidMismatch;
-  const auto [it, inserted] =
-      blocks_.try_emplace(block.cid, std::move(block.data));
+  return put(block.cid, std::make_shared<const std::vector<std::uint8_t>>(
+                            std::move(block.data)));
+}
+
+PutStatus BlockStore::put(const Cid& cid, BlockData data) {
+  if (data == nullptr || !cid.hash().verifies(*data))
+    return PutStatus::kCidMismatch;
+  const auto [it, inserted] = blocks_.try_emplace(cid, std::move(data));
   if (!inserted) return PutStatus::kAlreadyPresent;
-  total_bytes_ += it->second.size();
+  total_bytes_ += it->second->size();
   return PutStatus::kStored;
 }
 
-std::optional<Block> BlockStore::get(const Cid& cid) const {
+BlockData BlockStore::get(const Cid& cid) const {
   const auto it = blocks_.find(cid);
-  if (it == blocks_.end()) return std::nullopt;
-  return Block{cid, it->second};
+  if (it == blocks_.end()) return nullptr;
+  return it->second;
 }
 
 bool BlockStore::has(const Cid& cid) const { return blocks_.contains(cid); }
@@ -29,7 +34,7 @@ bool BlockStore::remove(const Cid& cid) {
   if (pinned(cid)) return false;
   const auto it = blocks_.find(cid);
   if (it == blocks_.end()) return false;
-  total_bytes_ -= it->second.size();
+  total_bytes_ -= it->second->size();
   blocks_.erase(it);
   return true;
 }
@@ -49,8 +54,8 @@ std::uint64_t BlockStore::collect_garbage() {
       ++it;
       continue;
     }
-    reclaimed += it->second.size();
-    total_bytes_ -= it->second.size();
+    reclaimed += it->second->size();
+    total_bytes_ -= it->second->size();
     it = blocks_.erase(it);
   }
   return reclaimed;

@@ -35,31 +35,56 @@ struct Block {
 
 enum class PutStatus { kStored, kAlreadyPresent, kCidMismatch };
 
-// In-memory content-addressed store with pinning and GC, mirroring the
-// go-ipfs node store semantics the paper relies on (Section 3.4).
+// Content-addressed store with pinning and GC, mirroring the go-ipfs
+// node store semantics the paper relies on (Section 3.4). The base class
+// is the in-memory implementation every node uses by default; the
+// virtual surface lets persistent backends (blockstore/persist) slot in
+// behind the same interface — node, Bitswap and merkledag code holds a
+// BlockStore& and never knows which backend serves it.
 class BlockStore {
  public:
+  BlockStore() = default;
+  virtual ~BlockStore() = default;
+
   // Verifies the CID against the data before storing.
-  PutStatus put(Block block);
+  virtual PutStatus put(Block block);
+  // Shared-ownership insert: callers that already hold the payload as
+  // BlockData (Bitswap responses, cache tiers) store it without a copy.
+  // Verifies like put(Block); null data is rejected as a mismatch.
+  virtual PutStatus put(const Cid& cid, BlockData data);
 
-  std::optional<Block> get(const Cid& cid) const;
-  bool has(const Cid& cid) const;
-  bool remove(const Cid& cid);  // refuses to remove pinned blocks
+  // Shared payload, nullptr on miss. Never copies: every hit aliases the
+  // allocation made at insert time (content is immutable by CID).
+  virtual BlockData get(const Cid& cid) const;
+  virtual bool has(const Cid& cid) const;
+  virtual bool remove(const Cid& cid);  // refuses to remove pinned blocks
 
-  void pin(const Cid& cid);
-  void unpin(const Cid& cid);
-  bool pinned(const Cid& cid) const;
+  virtual void pin(const Cid& cid);
+  virtual void unpin(const Cid& cid);
+  virtual bool pinned(const Cid& cid) const;
 
   // Drops every unpinned block; returns bytes reclaimed.
-  std::uint64_t collect_garbage();
+  virtual std::uint64_t collect_garbage();
 
-  std::size_t block_count() const { return blocks_.size(); }
-  std::uint64_t total_bytes() const { return total_bytes_; }
+  virtual std::size_t block_count() const { return blocks_.size(); }
+  virtual std::uint64_t total_bytes() const { return total_bytes_; }
+
+  // Durability barrier: returns once every previously accepted put is
+  // crash-safe. The in-memory store has no crash safety to offer — a
+  // no-op here; the async persistent store drains its write-behind
+  // queue and fsyncs (persist/async_store.h).
+  virtual void flush() {}
+
+  // Power-loss hook for the fault layer (sim/faults.h): persistent
+  // backends drop un-flushed state and replay their on-disk log. The
+  // in-memory store models the paper's nodes whose pinned store
+  // "survives on disk" across a crash, so the base hook keeps all state.
+  virtual void handle_crash() {}
 
  private:
   // Both containers key by Cid directly (Cid is totally ordered), so pin
   // checks cost no re-encoding.
-  std::map<Cid, std::vector<std::uint8_t>> blocks_;
+  std::map<Cid, BlockData> blocks_;
   std::set<Cid> pinned_;
   std::uint64_t total_bytes_ = 0;
 };

@@ -56,19 +56,31 @@ struct LookupRequestBase : sim::Message {
 
 struct FindNodeRequest : LookupRequestBase {
   Key target;
+  sim::MessageKind kind() const override {
+    return sim::MessageKind::kFindNodeRequest;
+  }
 };
 
 struct FindNodeResponse : sim::Message {
   std::vector<PeerRef> closer;
+  sim::MessageKind kind() const override {
+    return sim::MessageKind::kFindNodeResponse;
+  }
 };
 
 struct GetProvidersRequest : LookupRequestBase {
   Key key;
+  sim::MessageKind kind() const override {
+    return sim::MessageKind::kGetProvidersRequest;
+  }
 };
 
 struct GetProvidersResponse : sim::Message {
   std::vector<ProviderRecord> providers;
   std::vector<PeerRef> closer;
+  sim::MessageKind kind() const override {
+    return sim::MessageKind::kGetProvidersResponse;
+  }
 };
 
 // "Fire and forget": the publisher does not wait for this to be answered
@@ -76,36 +88,62 @@ struct GetProvidersResponse : sim::Message {
 struct AddProviderRequest : sim::Message {
   Key key;
   PeerRef provider;
+  sim::MessageKind kind() const override {
+    return sim::MessageKind::kAddProviderRequest;
+  }
 };
 
 struct PutValueRequest : sim::Message {
   Key key;
   ValueRecord record;
+  sim::MessageKind kind() const override {
+    return sim::MessageKind::kPutValueRequest;
+  }
 };
 
 struct GetValueRequest : LookupRequestBase {
   Key key;
+  sim::MessageKind kind() const override {
+    return sim::MessageKind::kGetValueRequest;
+  }
 };
 
 struct GetValueResponse : sim::Message {
   std::optional<ValueRecord> record;
   std::vector<PeerRef> closer;
+  sim::MessageKind kind() const override {
+    return sim::MessageKind::kGetValueResponse;
+  }
 };
 
 // Crawler RPC (paper Section 4.1): the crawler asks a peer for all
 // entries in its k-buckets. The real crawler recovers this with a sweep
 // of per-bucket FIND_NODE queries; one RPC stands in for that sweep.
-struct ListBucketsRequest : sim::Message {};
+struct ListBucketsRequest : sim::Message {
+  sim::MessageKind kind() const override {
+    return sim::MessageKind::kListBucketsRequest;
+  }
+};
 
 struct ListBucketsResponse : sim::Message {
   std::vector<PeerRef> peers;
+  sim::MessageKind kind() const override {
+    return sim::MessageKind::kListBucketsResponse;
+  }
 };
 
 // AutoNAT (paper Section 2.3): a joining peer asks others to dial back.
-struct DialBackRequest : sim::Message {};
+struct DialBackRequest : sim::Message {
+  sim::MessageKind kind() const override {
+    return sim::MessageKind::kDialBackRequest;
+  }
+};
 
 struct DialBackResponse : sim::Message {
   bool reachable = false;
+  sim::MessageKind kind() const override {
+    return sim::MessageKind::kDialBackResponse;
+  }
 };
 
 inline std::size_t response_size_for(std::size_t peer_refs,

@@ -18,15 +18,24 @@ namespace ipfs::indexer {
 struct AdvertiseMessage : sim::Message {
   dht::Key key;
   dht::PeerRef provider;
+  sim::MessageKind kind() const override {
+    return sim::MessageKind::kAdvertiseMessage;
+  }
 };
 
 // One-RTT delegated provider lookup.
 struct QueryRequest : sim::Message {
   dht::Key key;
+  sim::MessageKind kind() const override {
+    return sim::MessageKind::kQueryRequest;
+  }
 };
 
 struct QueryResponse : sim::Message {
   std::vector<dht::ProviderRecord> providers;
+  sim::MessageKind kind() const override {
+    return sim::MessageKind::kQueryResponse;
+  }
 };
 
 constexpr std::size_t kAdvertiseBytes =

@@ -88,48 +88,97 @@ void store_block(BlockStore& store, Block block, ImportResult& result) {
 
 }  // namespace
 
+StreamingImporter::StreamingImporter(BlockStore& store,
+                                     std::size_t chunk_size)
+    : store_(store), chunk_size_(chunk_size) {}
+
+void StreamingImporter::write(std::span<const std::uint8_t> data) {
+  while (!data.empty()) {
+    // Fast path: with no partial chunk buffered, full chunks are emitted
+    // straight from the caller's span — no copy into buffer_.
+    if (buffer_.empty() && data.size() >= chunk_size_) {
+      emit_leaf(data.first(chunk_size_));
+      data = data.subspan(chunk_size_);
+      continue;
+    }
+    const std::size_t take =
+        std::min(chunk_size_ - buffer_.size(), data.size());
+    buffer_.insert(buffer_.end(), data.begin(), data.begin() + take);
+    data = data.subspan(take);
+    if (buffer_.size() == chunk_size_) {
+      emit_leaf(buffer_);
+      buffer_.clear();
+    }
+  }
+}
+
+void StreamingImporter::emit_leaf(std::span<const std::uint8_t> piece) {
+  result_.content_bytes += piece.size();
+  ++result_.chunk_count;
+  Block block = Block::from_data(Multicodec::kRaw, piece);
+  const DagLink link{block.cid, piece.size()};
+  store_block(store_, std::move(block), result_);
+  push_link(0, link);
+}
+
+void StreamingImporter::push_link(std::size_t level, DagLink link) {
+  if (levels_.size() <= level) levels_.resize(level + 1);
+  levels_[level].push_back(std::move(link));
+  // Eager cascade at exactly kMaxLinkDegree links reproduces the batch
+  // builder's consecutive grouping, level by level.
+  if (levels_[level].size() == kMaxLinkDegree) collapse_level(level);
+}
+
+void StreamingImporter::collapse_level(std::size_t level) {
+  DagNode node;
+  node.links = std::move(levels_[level]);
+  levels_[level].clear();
+  const std::uint64_t subtree_size = node.total_content_size();
+  Block block = Block::from_data(Multicodec::kDagPb, node.encode());
+  const DagLink link{block.cid, subtree_size};
+  store_block(store_, std::move(block), result_);
+  push_link(level + 1, link);
+}
+
+ImportResult StreamingImporter::finish() {
+  if (finished_) return result_;
+  finished_ = true;
+
+  // Tail chunk; empty content is one empty chunk (matches chunk()).
+  if (!buffer_.empty() || result_.chunk_count == 0) {
+    emit_leaf(buffer_);
+    buffer_.clear();
+  }
+
+  // Single raw chunk: the block itself is the object (raw-leaves style).
+  if (levels_.size() == 1 && levels_[0].size() == 1) {
+    result_.root = levels_[0][0].cid;
+    return result_;
+  }
+
+  // Collapse the pending remainder of each level bottom-up. A level's
+  // remainder becomes one parent — even a single link gets a parent when
+  // a higher level exists, exactly like the batch builder's last group.
+  for (std::size_t level = 0; level < levels_.size(); ++level) {
+    if (levels_[level].empty()) continue;
+    const bool top = level + 1 == levels_.size();
+    if (top && levels_[level].size() == 1) {
+      result_.root = levels_[level][0].cid;
+      return result_;
+    }
+    collapse_level(level);
+  }
+  // Unreachable: collapse_level always extends levels_ with a final
+  // single-link top level.
+  return result_;
+}
+
 ImportResult import_bytes(BlockStore& store,
                           std::span<const std::uint8_t> data,
                           std::size_t chunk_size) {
-  ImportResult result;
-  result.content_bytes = data.size();
-
-  const auto chunks = chunk(data, chunk_size);
-  result.chunk_count = chunks.size();
-
-  // Leaf level: each chunk is a raw block.
-  std::vector<DagLink> level;
-  level.reserve(chunks.size());
-  for (const auto& piece : chunks) {
-    Block block = Block::from_data(Multicodec::kRaw, piece);
-    level.push_back(DagLink{block.cid, piece.size()});
-    store_block(store, std::move(block), result);
-  }
-
-  // Single chunk: the raw block itself is the object (raw-leaves style).
-  if (level.size() == 1) {
-    result.root = level[0].cid;
-    return result;
-  }
-
-  // Build the balanced tree bottom-up, kMaxLinkDegree links per node.
-  while (level.size() > 1) {
-    std::vector<DagLink> parents;
-    parents.reserve((level.size() + kMaxLinkDegree - 1) / kMaxLinkDegree);
-    for (std::size_t i = 0; i < level.size(); i += kMaxLinkDegree) {
-      DagNode node;
-      const std::size_t end = std::min(i + kMaxLinkDegree, level.size());
-      node.links.assign(level.begin() + i, level.begin() + end);
-      const std::uint64_t subtree_size = node.total_content_size();
-      Block block = Block::from_data(Multicodec::kDagPb, node.encode());
-      parents.push_back(DagLink{block.cid, subtree_size});
-      store_block(store, std::move(block), result);
-    }
-    level = std::move(parents);
-  }
-
-  result.root = level[0].cid;
-  return result;
+  StreamingImporter importer(store, chunk_size);
+  importer.write(data);
+  return importer.finish();
 }
 
 namespace {
@@ -139,10 +188,10 @@ bool cat_recursive(const BlockStore& store, const Cid& cid,
   const auto block = store.get(cid);
   if (!block) return false;
   if (cid.content_codec() == Multicodec::kRaw) {
-    out.insert(out.end(), block->data.begin(), block->data.end());
+    out.insert(out.end(), block->begin(), block->end());
     return true;
   }
-  const auto node = DagNode::decode(block->data);
+  const auto node = DagNode::decode(*block);
   if (!node) return false;
   out.insert(out.end(), node->data.begin(), node->data.end());
   for (const auto& link : node->links)
@@ -156,7 +205,7 @@ bool enumerate_recursive(const BlockStore& store, const Cid& cid,
   if (!block) return false;
   out.push_back(cid);
   if (cid.content_codec() == Multicodec::kRaw) return true;
-  const auto node = DagNode::decode(block->data);
+  const auto node = DagNode::decode(*block);
   if (!node) return false;
   for (const auto& link : node->links)
     if (!enumerate_recursive(store, link.cid, out)) return false;

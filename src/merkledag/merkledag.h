@@ -55,8 +55,44 @@ struct ImportResult {
 std::vector<std::span<const std::uint8_t>> chunk(
     std::span<const std::uint8_t> data, std::size_t chunk_size);
 
+// Incremental DAG builder: feed bytes in arbitrary-size pieces via
+// write(), close with finish(). Blocks stream into the store as soon as
+// a chunk or a full 174-link level fills, so a multi-GB import holds at
+// most one chunk plus O(log n) levels of pending links in memory — the
+// whole object is never materialized.
+//
+// The resulting DAG (and root CID) is byte-identical to import_bytes on
+// the concatenated input: chunk boundaries are positional and the
+// balanced builder groups consecutive links, so cascading eagerly
+// produces exactly the batch grouping.
+class StreamingImporter {
+ public:
+  explicit StreamingImporter(BlockStore& store,
+                             std::size_t chunk_size = kDefaultChunkSize);
+
+  void write(std::span<const std::uint8_t> data);
+
+  // Flushes the partial tail chunk and collapses the pending levels into
+  // the root. Call exactly once; write() is invalid afterwards.
+  ImportResult finish();
+
+ private:
+  void emit_leaf(std::span<const std::uint8_t> piece);
+  void push_link(std::size_t level, DagLink link);
+  // Builds one internal node from the pending links of `level`.
+  void collapse_level(std::size_t level);
+
+  BlockStore& store_;
+  std::size_t chunk_size_;
+  std::vector<std::uint8_t> buffer_;  // partial chunk, < chunk_size_
+  std::vector<std::vector<DagLink>> levels_;  // [0] = leaves, ascending
+  ImportResult result_;
+  bool finished_ = false;
+};
+
 // Imports content into `store`, building the Merkle DAG and returning its
 // root CID. Single-chunk content becomes one raw block (raw-leaves style).
+// One-shot convenience over StreamingImporter.
 ImportResult import_bytes(BlockStore& store, std::span<const std::uint8_t> data,
                           std::size_t chunk_size = kDefaultChunkSize);
 

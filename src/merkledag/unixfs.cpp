@@ -52,7 +52,7 @@ std::optional<std::vector<DirectoryEntry>> read_directory(
     return std::nullopt;
   const auto block = store.get(cid);
   if (!block) return std::nullopt;
-  const auto node = DagNode::decode(block->data);
+  const auto node = DagNode::decode(*block);
   if (!node || node->data.empty() || node->data[0] != kDirectoryMarker)
     return std::nullopt;
 

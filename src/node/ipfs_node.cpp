@@ -49,10 +49,11 @@ IpfsNode::IpfsNode(transport::Transport& transport,
       node_(transport.local()),
       config_(config),
       keypair_(derive_keypair(config.identity_seed)),
+      store_(blockstore::make_store(config.store, &transport.metrics())),
       dht_(transport, peer_id_for(keypair_),
            {listen_address_for(config.identity_seed)}),
       router_(routing::make_router(transport, dht_, config.routing)),
-      bitswap_(transport, store_),
+      bitswap_(transport, *store_),
       conn_manager_(transport, config.conn_manager) {
   dht_.set_provider_quorum(config.provider_quorum);
   if (config.bucket_diversity_cap > 0)
@@ -83,6 +84,15 @@ IpfsNode::IpfsNode(transport::Transport& transport,
                                      dht_.self());
     });
   }
+  if (config_.store.flush_interval_us > 0) arm_flush_timer();
+}
+
+void IpfsNode::arm_flush_timer() {
+  flush_timer_ = transport_.schedule_daemon_after(
+      sim::microseconds(config_.store.flush_interval_us), [this] {
+        store_->flush();
+        arm_flush_timer();
+      });
 }
 
 IpfsNode::IpfsNode(std::unique_ptr<transport::Transport> transport,
@@ -110,8 +120,11 @@ void IpfsNode::bootstrap(std::vector<dht::PeerRef> seeds,
 }
 
 merkledag::ImportResult IpfsNode::add(std::span<const std::uint8_t> data) {
-  auto result = merkledag::import_bytes(store_, data);
-  store_.pin(result.root);
+  auto result = merkledag::import_bytes(*store_, data);
+  store_->pin(result.root);
+  // Publication durability: an add() is the node acking the content, so
+  // the write-behind queue drains and fsyncs before we hand out the CID.
+  store_->flush();
   return result;
 }
 
@@ -192,7 +205,7 @@ void IpfsNode::retrieve(const Cid& cid,
                                             cid.to_string());
 
   // Phase 0: the object may be complete locally.
-  if (merkledag::cat(store_, cid).has_value()) {
+  if (merkledag::cat(*store_, cid).has_value()) {
     ctx->trace.ok = true;
     ctx->trace.local_hit = true;
     finish(ctx, done);
@@ -424,7 +437,7 @@ void IpfsNode::fetch_from(std::shared_ptr<RetrievalCtx> ctx, sim::NodeId peer,
               if (config_.provide_after_fetch) {
                 // Become a temporary provider (Section 3.1), without
                 // affecting the measured retrieval.
-                store_.pin(ctx->trace.cid);
+                store_->pin(ctx->trace.cid);
                 dht_.provide(dht::Key::for_cid(ctx->trace.cid),
                              [](dht::DhtNode::ProvideResult) {});
               }
@@ -461,6 +474,9 @@ void IpfsNode::handle_crash() {
   router_->handle_crash();
   dht_.handle_crash();
   bitswap_.handle_crash();
+  // Persistent backends drop their un-flushed tail and replay the log;
+  // the in-memory store keeps everything (base-class no-op).
+  store_->handle_crash();
   if (pubsub_) pubsub_->handle_crash();
   if (name_resolver_) name_resolver_->handle_crash();
   address_book_ = AddressBook(address_book_.capacity());

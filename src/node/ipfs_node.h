@@ -11,6 +11,7 @@
 
 #include "bitswap/bitswap.h"
 #include "blockstore/blockstore.h"
+#include "blockstore/store_config.h"
 #include "crypto/ed25519.h"
 #include "dht/dht_node.h"
 #include "ipns/ipns_pubsub.h"
@@ -58,6 +59,11 @@ struct IpfsNodeConfig {
   // protocol.
   std::size_t provider_quorum = 1;
   std::size_t bucket_diversity_cap = 0;
+  // Block store backend (docs/BLOCKSTORE.md). Defaults to the in-memory
+  // store; kPersistentSync/kPersistentAsync put the node's blocks in a
+  // log-structured store (on real files when `store.directory` is set,
+  // e.g. ipfsd --store-dir) that survives handle_crash().
+  blockstore::StoreConfig store;
 };
 
 // Timing decomposition of one publication (Figure 9a-c).
@@ -186,7 +192,7 @@ class IpfsNode {
 
   dht::DhtNode& dht() { return dht_; }
   bitswap::Bitswap& bitswap() { return bitswap_; }
-  blockstore::BlockStore& store() { return store_; }
+  blockstore::BlockStore& store() { return *store_; }
   AddressBook& address_book() { return address_book_; }
   ConnectionManager& connection_manager() { return conn_manager_; }
   pubsub::Pubsub* pubsub() { return pubsub_.get(); }
@@ -253,7 +259,8 @@ class IpfsNode {
   sim::NodeId node_;
   IpfsNodeConfig config_;
   crypto::Ed25519KeyPair keypair_;
-  blockstore::BlockStore store_;
+  // Pointer, not value: the backend is chosen at runtime (store_config).
+  std::unique_ptr<blockstore::BlockStore> store_;
   dht::DhtNode dht_;
   // References dht_, so member order is load-bearing.
   std::unique_ptr<routing::ContentRouter> router_;
@@ -264,6 +271,10 @@ class IpfsNode {
   // dht_ and *pubsub_, so member order is load-bearing.
   std::unique_ptr<pubsub::Pubsub> pubsub_;
   std::unique_ptr<ipns::PubsubResolver> name_resolver_;
+
+  // Write-behind flush cadence (async persistent stores only).
+  void arm_flush_timer();
+  transport::Timer flush_timer_;
 };
 
 }  // namespace ipfs::node

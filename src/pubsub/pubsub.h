@@ -108,6 +108,10 @@ struct GossipRpc : sim::Message {
            iwant.empty() && graft.empty() && prune.empty();
   }
 
+  sim::MessageKind kind() const override {
+    return sim::MessageKind::kGossipRpc;
+  }
+
   // Approximate serialized size, used for bandwidth modelling.
   std::size_t wire_bytes() const;
 };

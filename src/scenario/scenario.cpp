@@ -114,6 +114,11 @@ ScenarioBuilder& ScenarioBuilder::gateway_fleet(gateway::FleetConfig config) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::node_store(blockstore::StoreConfig config) {
+  node_store_ = std::move(config);
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::faults(sim::FaultConfig config) {
   fault_config_ = config;
   return *this;
@@ -297,6 +302,7 @@ Scenario ScenarioBuilder::build() const {
   // leaves pre-existing node ids and rng streams bit-identical. They
   // draw no randomness of their own.
   scenario.routing_.mode = routing_mode_;
+  scenario.store_ = node_store_;
   for (std::size_t i = 0; i < indexer_count_; ++i) {
     scenario.indexers_.push_back(std::make_unique<indexer::Indexer>(
         *scenario.network_, indexer_config_));
@@ -309,6 +315,7 @@ Scenario ScenarioBuilder::build() const {
   if (gateway_fleet_config_) {
     gateway::FleetConfig fleet_config = *gateway_fleet_config_;
     fleet_config.replica.node.routing = scenario.routing_;
+    fleet_config.replica.node.store = node_store_;
     scenario.gateway_fleet_ = std::make_unique<gateway::GatewayFleet>(
         *scenario.network_, fleet_config);
   }

@@ -114,6 +114,10 @@ class Scenario {
   // is constructed un-bootstrapped; call gateway_fleet()->bootstrap().
   gateway::GatewayFleet* gateway_fleet() { return gateway_fleet_.get(); }
 
+  // The builder's node_store() choice — what an IpfsNodeConfig::store
+  // wants when a test or bench adds its own nodes to this scenario.
+  const blockstore::StoreConfig& store_config() const { return store_; }
+
  private:
   friend class ScenarioBuilder;
 
@@ -138,6 +142,7 @@ class Scenario {
   // attacker nodes last, so it must unwind before the fabric.
   std::unique_ptr<adversary::AttackPlan> attack_;
   routing::RoutingConfig routing_;
+  blockstore::StoreConfig store_;
 };
 
 class ScenarioBuilder {
@@ -196,6 +201,12 @@ class ScenarioBuilder {
   // The replica template's node.routing is overwritten with the built
   // scenario's routing_config(), so indexers()/routing() compose.
   ScenarioBuilder& gateway_fleet(gateway::FleetConfig config);
+
+  // Block-store backend for every IpfsNode the scenario stack constructs
+  // (docs/BLOCKSTORE.md): applied to gateway-fleet replicas and exposed
+  // through Scenario::store_config() for call sites that build their own
+  // nodes on the fabric. Defaults to the in-memory map store.
+  ScenarioBuilder& node_store(blockstore::StoreConfig config);
 
   // Constructs (but does not arm) a FaultPlan over the built network.
   ScenarioBuilder& faults(sim::FaultConfig config);
@@ -261,6 +272,7 @@ class ScenarioBuilder {
   std::size_t indexer_count_ = 0;
   indexer::IndexerConfig indexer_config_{};
   std::optional<gateway::FleetConfig> gateway_fleet_config_;
+  blockstore::StoreConfig node_store_{};
   routing::RoutingConfig::Mode routing_mode_ = routing::RoutingConfig::Mode::kDht;
 
   bool enable_churn_ = true;

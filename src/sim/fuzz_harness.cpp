@@ -122,6 +122,12 @@ ScheduleParams make_schedule(std::uint64_t seed) {
   // combinations; apply_attack_constraints then normalizes the result
   // (kNone switches the defenses off, keeping historical seeds
   // bit-identical to their pre-adversary schedules).
+  // Persistent-store knobs: own fork, same bit-identical-replay rule.
+  sim::Rng persist_rng = sim::Rng(seed).fork("schedule-persist");
+  params.persist_stores = persist_rng.chance(0.5);
+  params.persist_flush_batch =
+      static_cast<std::size_t>(persist_rng.uniform_int(1, 128));
+
   sim::Rng adversary_rng = sim::Rng(seed).fork("schedule-adversary");
   const bool attacked = adversary_rng.chance(0.4);
   const auto attack_draw = adversary_rng.uniform_int(1, 5);
@@ -239,6 +245,8 @@ std::string ScheduleParams::describe() const {
       << " indexers=" << indexer_count
       << " indexer_ingest_lag_s=" << sim::to_seconds(indexer_ingest_lag)
       << " indexer_crashes=" << (indexer_crashes ? 1 : 0)
+      << " persist_stores=" << (persist_stores ? 1 : 0)
+      << " persist_flush_batch=" << persist_flush_batch
       << " attack=" << attack_name(attack)
       << " diversity_cap=" << diversity_cap
       << " provider_quorum=" << provider_quorum
@@ -380,6 +388,15 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
     // defaults (cap 0, quorum 1), so the config stays bit-identical.
     config.provider_quorum = params.provider_quorum;
     config.bucket_diversity_cap = params.diversity_cap;
+    if (params.persist_stores) {
+      config.store.backend = blockstore::StoreConfig::Backend::kPersistentAsync;
+      config.store.flush_batch_blocks = params.persist_flush_batch;
+      // Small segments so crash replays walk several files, and a
+      // per-node crash seed so each restart tears a different tail.
+      config.store.segment_bytes = 256 * 1024;
+      config.store.crash_seed =
+          params.seed ^ (0xda3e39cb94b95bdbULL * (i + 1));
+    }
     bool stable = true;
     if (i >= kBootstrapCount) {
       if (world_rng.chance(params.nat_fraction)) {
@@ -1196,6 +1213,26 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
             << params.diversity_cap << ")";
         violations.push_back(out.str());
       }
+    }
+  }
+
+  // (14) Acked-put durability: add() flushed the publisher's store
+  // before the publish op was recorded as locally published, so the
+  // object's blocks are acked — they must survive every crash/restart
+  // cycle (and, on persist schedules, every torn write-behind tail).
+  for (std::size_t oi = 0; oi < params.publish_count; ++oi) {
+    const FuzzObject& object = objects[oi];
+    if (!object.published_locally) continue;
+    const auto bytes =
+        merkledag::cat(nodes[object.publisher]->store(), object.cid);
+    if (!bytes || *bytes != object.data) {
+      std::ostringstream out;
+      out << "acked put lost: publisher " << object.publisher << " of obj="
+          << oi << " (" << object.data.size() << " bytes, "
+          << crash_times[object.publisher].size()
+          << " crash(es)) cannot reassemble its own published object "
+          << (bytes ? "(bytes differ)" : "(blocks missing)");
+      violations.push_back(out.str());
     }
   }
 

@@ -56,6 +56,12 @@
 //  13. Sybil containment: with a per-bucket diversity cap D armed, no
 //      routing-table bucket on any node holds more than D adversarial
 //      entries — the flood is bounded by the defense, not by luck.
+//  14. Acked-put durability: IpfsNode::add flushes the block store before
+//      returning, so a locally published object is acked. Every acked
+//      object must still reassemble from its publisher's store at the end
+//      of the run — no matter how many crash/restart cycles the publisher
+//      went through, and (on persist_stores schedules) how much unsynced
+//      write-behind data each crash tore off the log.
 //
 // Any violation message embeds ScheduleParams::describe(), which includes
 // the seed and a one-command replay line.
@@ -119,6 +125,15 @@ struct ScheduleParams {
   // retrievals spread across the horizon, exercising the 12 h republish
   // and the expiry sweeps under faults.
   bool long_horizon = false;
+
+  // Persistent data plane (docs/BLOCKSTORE.md): when set, every
+  // population node runs the log-structured store behind the async
+  // write-behind queue (over in-memory Storage, so FaultPlan crashes
+  // exercise the drop-unsynced truncation + log-replay recovery path,
+  // invariant 14). Drawn from a dedicated "schedule-persist" fork, so
+  // persist-off seeds replay their pre-persist schedules bit-identically.
+  bool persist_stores = false;
+  std::size_t persist_flush_batch = 64;
 
   // Fault intensity in [0, 1]; the derived per-fault rates live in
   // `faults`. 0 means a clean run (the injector is installed but draws

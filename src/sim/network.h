@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "metrics/metrics.h"
+#include "sim/message_kind.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
@@ -117,6 +118,11 @@ struct NodeConfig {
 class Message {
  public:
   virtual ~Message() = default;
+
+  // Wire tag of the concrete type (sim/message_kind.h). Dispatch and the
+  // socket codec switch on this; kUnknown marks test-local structs that
+  // never cross a real wire.
+  virtual MessageKind kind() const { return MessageKind::kUnknown; }
 };
 
 using MessagePtr = std::shared_ptr<const Message>;

@@ -14,29 +14,11 @@
 namespace ipfs::transport {
 namespace {
 
-// Per-type tags. Stable wire constants: append only, never renumber.
-enum class Tag : std::uint16_t {
-  kFindNodeRequest = 1,
-  kFindNodeResponse = 2,
-  kGetProvidersRequest = 3,
-  kGetProvidersResponse = 4,
-  kAddProviderRequest = 5,
-  kPutValueRequest = 6,
-  kGetValueRequest = 7,
-  kGetValueResponse = 8,
-  kListBucketsRequest = 9,
-  kListBucketsResponse = 10,
-  kDialBackRequest = 11,
-  kDialBackResponse = 12,
-  kWantHaveRequest = 20,
-  kHaveResponse = 21,
-  kWantBlockRequest = 22,
-  kBlockResponse = 23,
-  kGossipRpc = 30,
-  kAdvertiseMessage = 40,
-  kQueryRequest = 41,
-  kQueryResponse = 42,
-};
+// Wire tags are sim::MessageKind values (sim/message_kind.h): the same
+// constant a message reports via kind() is what goes on the wire, so
+// encode dispatch is a switch instead of a dynamic_cast chain and the
+// two layers cannot drift apart.
+using Tag = sim::MessageKind;
 
 // Upper bound on any single length prefix. Untrusted input can claim any
 // u32; rejecting early keeps a hostile 4 GB claim from turning into an
@@ -337,102 +319,124 @@ sim::MessagePtr decode_gossip_rpc(Reader& r) {
 std::optional<std::vector<std::uint8_t>> encode_message(
     const sim::Message& message) {
   Writer w;
-  if (const auto* m = dynamic_cast<const dht::FindNodeRequest*>(&message)) {
-    w.u16(static_cast<std::uint16_t>(Tag::kFindNodeRequest));
-    w.requester(*m);
-    w.key(m->target);
-  } else if (const auto* m =
-                 dynamic_cast<const dht::FindNodeResponse*>(&message)) {
-    w.u16(static_cast<std::uint16_t>(Tag::kFindNodeResponse));
-    w.u32(static_cast<std::uint32_t>(m->closer.size()));
-    for (const auto& ref : m->closer) w.peer_ref(ref);
-  } else if (const auto* m =
-                 dynamic_cast<const dht::GetProvidersRequest*>(&message)) {
-    w.u16(static_cast<std::uint16_t>(Tag::kGetProvidersRequest));
-    w.requester(*m);
-    w.key(m->key);
-  } else if (const auto* m =
-                 dynamic_cast<const dht::GetProvidersResponse*>(&message)) {
-    w.u16(static_cast<std::uint16_t>(Tag::kGetProvidersResponse));
-    w.u32(static_cast<std::uint32_t>(m->providers.size()));
-    for (const auto& record : m->providers) w.provider_record(record);
-    w.u32(static_cast<std::uint32_t>(m->closer.size()));
-    for (const auto& ref : m->closer) w.peer_ref(ref);
-  } else if (const auto* m =
-                 dynamic_cast<const dht::AddProviderRequest*>(&message)) {
-    w.u16(static_cast<std::uint16_t>(Tag::kAddProviderRequest));
-    w.key(m->key);
-    w.peer_ref(m->provider);
-  } else if (const auto* m =
-                 dynamic_cast<const dht::PutValueRequest*>(&message)) {
-    w.u16(static_cast<std::uint16_t>(Tag::kPutValueRequest));
-    w.key(m->key);
-    w.value_record(m->record);
-  } else if (const auto* m =
-                 dynamic_cast<const dht::GetValueRequest*>(&message)) {
-    w.u16(static_cast<std::uint16_t>(Tag::kGetValueRequest));
-    w.requester(*m);
-    w.key(m->key);
-  } else if (const auto* m =
-                 dynamic_cast<const dht::GetValueResponse*>(&message)) {
-    w.u16(static_cast<std::uint16_t>(Tag::kGetValueResponse));
-    w.boolean(m->record.has_value());
-    if (m->record) w.value_record(*m->record);
-    w.u32(static_cast<std::uint32_t>(m->closer.size()));
-    for (const auto& ref : m->closer) w.peer_ref(ref);
-  } else if (dynamic_cast<const dht::ListBucketsRequest*>(&message) !=
-             nullptr) {
-    w.u16(static_cast<std::uint16_t>(Tag::kListBucketsRequest));
-  } else if (const auto* m =
-                 dynamic_cast<const dht::ListBucketsResponse*>(&message)) {
-    w.u16(static_cast<std::uint16_t>(Tag::kListBucketsResponse));
-    w.u32(static_cast<std::uint32_t>(m->peers.size()));
-    for (const auto& ref : m->peers) w.peer_ref(ref);
-  } else if (dynamic_cast<const dht::DialBackRequest*>(&message) != nullptr) {
-    w.u16(static_cast<std::uint16_t>(Tag::kDialBackRequest));
-  } else if (const auto* m =
-                 dynamic_cast<const dht::DialBackResponse*>(&message)) {
-    w.u16(static_cast<std::uint16_t>(Tag::kDialBackResponse));
-    w.boolean(m->reachable);
-  } else if (const auto* m =
-                 dynamic_cast<const bitswap::WantHaveRequest*>(&message)) {
-    w.u16(static_cast<std::uint16_t>(Tag::kWantHaveRequest));
-    w.cid(m->cid);
-  } else if (const auto* m =
-                 dynamic_cast<const bitswap::HaveResponse*>(&message)) {
-    w.u16(static_cast<std::uint16_t>(Tag::kHaveResponse));
-    w.boolean(m->have);
-  } else if (const auto* m =
-                 dynamic_cast<const bitswap::WantBlockRequest*>(&message)) {
-    w.u16(static_cast<std::uint16_t>(Tag::kWantBlockRequest));
-    w.cid(m->cid);
-  } else if (const auto* m =
-                 dynamic_cast<const bitswap::BlockResponse*>(&message)) {
-    w.u16(static_cast<std::uint16_t>(Tag::kBlockResponse));
-    w.boolean(m->block.has_value());
-    if (m->block) {
-      w.cid(m->block->cid);
-      w.bytes(m->block->data);
+  const Tag tag = message.kind();
+  w.u16(static_cast<std::uint16_t>(tag));
+  switch (tag) {
+    case Tag::kFindNodeRequest: {
+      const auto& m = static_cast<const dht::FindNodeRequest&>(message);
+      w.requester(m);
+      w.key(m.target);
+      break;
     }
-  } else if (const auto* m = dynamic_cast<const pubsub::GossipRpc*>(&message)) {
-    w.u16(static_cast<std::uint16_t>(Tag::kGossipRpc));
-    encode_gossip_rpc(w, *m);
-  } else if (const auto* m =
-                 dynamic_cast<const indexer::AdvertiseMessage*>(&message)) {
-    w.u16(static_cast<std::uint16_t>(Tag::kAdvertiseMessage));
-    w.key(m->key);
-    w.peer_ref(m->provider);
-  } else if (const auto* m =
-                 dynamic_cast<const indexer::QueryRequest*>(&message)) {
-    w.u16(static_cast<std::uint16_t>(Tag::kQueryRequest));
-    w.key(m->key);
-  } else if (const auto* m =
-                 dynamic_cast<const indexer::QueryResponse*>(&message)) {
-    w.u16(static_cast<std::uint16_t>(Tag::kQueryResponse));
-    w.u32(static_cast<std::uint32_t>(m->providers.size()));
-    for (const auto& record : m->providers) w.provider_record(record);
-  } else {
-    return std::nullopt;
+    case Tag::kFindNodeResponse: {
+      const auto& m = static_cast<const dht::FindNodeResponse&>(message);
+      w.u32(static_cast<std::uint32_t>(m.closer.size()));
+      for (const auto& ref : m.closer) w.peer_ref(ref);
+      break;
+    }
+    case Tag::kGetProvidersRequest: {
+      const auto& m = static_cast<const dht::GetProvidersRequest&>(message);
+      w.requester(m);
+      w.key(m.key);
+      break;
+    }
+    case Tag::kGetProvidersResponse: {
+      const auto& m = static_cast<const dht::GetProvidersResponse&>(message);
+      w.u32(static_cast<std::uint32_t>(m.providers.size()));
+      for (const auto& record : m.providers) w.provider_record(record);
+      w.u32(static_cast<std::uint32_t>(m.closer.size()));
+      for (const auto& ref : m.closer) w.peer_ref(ref);
+      break;
+    }
+    case Tag::kAddProviderRequest: {
+      const auto& m = static_cast<const dht::AddProviderRequest&>(message);
+      w.key(m.key);
+      w.peer_ref(m.provider);
+      break;
+    }
+    case Tag::kPutValueRequest: {
+      const auto& m = static_cast<const dht::PutValueRequest&>(message);
+      w.key(m.key);
+      w.value_record(m.record);
+      break;
+    }
+    case Tag::kGetValueRequest: {
+      const auto& m = static_cast<const dht::GetValueRequest&>(message);
+      w.requester(m);
+      w.key(m.key);
+      break;
+    }
+    case Tag::kGetValueResponse: {
+      const auto& m = static_cast<const dht::GetValueResponse&>(message);
+      w.boolean(m.record.has_value());
+      if (m.record) w.value_record(*m.record);
+      w.u32(static_cast<std::uint32_t>(m.closer.size()));
+      for (const auto& ref : m.closer) w.peer_ref(ref);
+      break;
+    }
+    case Tag::kListBucketsRequest:
+      break;
+    case Tag::kListBucketsResponse: {
+      const auto& m = static_cast<const dht::ListBucketsResponse&>(message);
+      w.u32(static_cast<std::uint32_t>(m.peers.size()));
+      for (const auto& ref : m.peers) w.peer_ref(ref);
+      break;
+    }
+    case Tag::kDialBackRequest:
+      break;
+    case Tag::kDialBackResponse: {
+      const auto& m = static_cast<const dht::DialBackResponse&>(message);
+      w.boolean(m.reachable);
+      break;
+    }
+    case Tag::kWantHaveRequest: {
+      const auto& m = static_cast<const bitswap::WantHaveRequest&>(message);
+      w.cid(m.cid);
+      break;
+    }
+    case Tag::kHaveResponse: {
+      const auto& m = static_cast<const bitswap::HaveResponse&>(message);
+      w.boolean(m.have);
+      break;
+    }
+    case Tag::kWantBlockRequest: {
+      const auto& m = static_cast<const bitswap::WantBlockRequest&>(message);
+      w.cid(m.cid);
+      w.boolean(m.send_dont_have);
+      break;
+    }
+    case Tag::kBlockResponse: {
+      const auto& m = static_cast<const bitswap::BlockResponse&>(message);
+      w.cid(m.cid);
+      w.boolean(m.data != nullptr);
+      if (m.data) w.bytes(*m.data);
+      w.boolean(m.dont_have);
+      break;
+    }
+    case Tag::kGossipRpc: {
+      const auto& m = static_cast<const pubsub::GossipRpc&>(message);
+      encode_gossip_rpc(w, m);
+      break;
+    }
+    case Tag::kAdvertiseMessage: {
+      const auto& m = static_cast<const indexer::AdvertiseMessage&>(message);
+      w.key(m.key);
+      w.peer_ref(m.provider);
+      break;
+    }
+    case Tag::kQueryRequest: {
+      const auto& m = static_cast<const indexer::QueryRequest&>(message);
+      w.key(m.key);
+      break;
+    }
+    case Tag::kQueryResponse: {
+      const auto& m = static_cast<const indexer::QueryResponse&>(message);
+      w.u32(static_cast<std::uint32_t>(m.providers.size()));
+      for (const auto& record : m.providers) w.provider_record(record);
+      break;
+    }
+    default:
+      return std::nullopt;  // kUnknown or an unregistered message type
   }
   return w.take();
 }
@@ -541,18 +545,19 @@ sim::MessagePtr decode_message(std::span<const std::uint8_t> bytes) {
     case Tag::kWantBlockRequest: {
       auto m = std::make_shared<bitswap::WantBlockRequest>();
       m->cid = r.cid();
+      m->send_dont_have = r.boolean();
       out = std::move(m);
       break;
     }
     case Tag::kBlockResponse: {
       auto m = std::make_shared<bitswap::BlockResponse>();
+      m->cid = r.cid();
       if (r.boolean()) {
-        blockstore::Block block;
-        block.cid = r.cid();
         const auto view = r.bytes();
-        block.data.assign(view.begin(), view.end());
-        m->block = std::move(block);
+        m->data = std::make_shared<const std::vector<std::uint8_t>>(
+            view.begin(), view.end());
       }
+      m->dont_have = r.boolean();
       out = std::move(m);
       break;
     }

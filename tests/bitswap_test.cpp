@@ -62,14 +62,12 @@ TEST_F(BitswapTest, FetchBlockTransfersAndVerifies) {
       multiformats::Multicodec::kRaw, random_bytes(1000, 1));
   store_b_.put(block);
 
-  std::optional<blockstore::Block> fetched;
+  blockstore::BlockData fetched;
   bitswap_a_->fetch_block(node_b_, block.cid,
-                          [&](std::optional<blockstore::Block> b) {
-                            fetched = std::move(b);
-                          });
+                          [&](BlockResult b) { fetched = std::move(b.data); });
   sim_.run();
-  ASSERT_TRUE(fetched.has_value());
-  EXPECT_EQ(fetched->data, block.data);
+  ASSERT_TRUE(fetched != nullptr);
+  EXPECT_EQ(*fetched, block.data);
   EXPECT_TRUE(store_a_.has(block.cid));  // stored locally after fetch
 }
 
@@ -77,23 +75,21 @@ TEST_F(BitswapTest, FetchMissingBlockReturnsNothing) {
   const auto cid = multiformats::Cid::from_data(
       multiformats::Multicodec::kRaw, random_bytes(10, 2));
   bool called = false;
-  std::optional<blockstore::Block> fetched;
-  bitswap_a_->fetch_block(node_b_, cid,
-                          [&](std::optional<blockstore::Block> b) {
-                            called = true;
-                            fetched = std::move(b);
-                          });
+  blockstore::BlockData fetched;
+  bitswap_a_->fetch_block(node_b_, cid, [&](BlockResult b) {
+    called = true;
+    fetched = std::move(b.data);
+  });
   sim_.run();
   EXPECT_TRUE(called);
-  EXPECT_FALSE(fetched.has_value());
+  EXPECT_TRUE(fetched == nullptr);
 }
 
 TEST_F(BitswapTest, LedgersTrackExchangedBytes) {
   const auto block = blockstore::Block::from_data(
       multiformats::Multicodec::kRaw, random_bytes(2048, 3));
   store_b_.put(block);
-  bitswap_a_->fetch_block(node_b_, block.cid,
-                          [](std::optional<blockstore::Block>) {});
+  bitswap_a_->fetch_block(node_b_, block.cid, [](BlockResult) {});
   sim_.run();
   EXPECT_EQ(bitswap_a_->ledger_for(node_b_).bytes_received, 2048u);
   EXPECT_EQ(bitswap_a_->ledger_for(node_b_).blocks_received, 1u);
@@ -192,8 +188,7 @@ TEST_F(BitswapTest, WantlistReflectsInFlightRequests) {
   const auto block = blockstore::Block::from_data(
       multiformats::Multicodec::kRaw, random_bytes(100, 10));
   store_b_.put(block);
-  bitswap_a_->fetch_block(node_b_, block.cid,
-                          [](std::optional<blockstore::Block>) {});
+  bitswap_a_->fetch_block(node_b_, block.cid, [](BlockResult) {});
   EXPECT_EQ(bitswap_a_->wantlist().size(), 1u);
   sim_.run();
   EXPECT_TRUE(bitswap_a_->wantlist().empty());

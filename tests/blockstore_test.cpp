@@ -16,8 +16,8 @@ TEST(BlockStoreTest, PutGetRoundTrip) {
   const auto block = Block::from_data(Multicodec::kRaw, bytes_of("data"));
   EXPECT_EQ(store.put(block), PutStatus::kStored);
   const auto fetched = store.get(block.cid);
-  ASSERT_TRUE(fetched.has_value());
-  EXPECT_EQ(fetched->data, bytes_of("data"));
+  ASSERT_TRUE(fetched != nullptr);
+  EXPECT_EQ(*fetched, bytes_of("data"));
   EXPECT_EQ(store.block_count(), 1u);
   EXPECT_EQ(store.total_bytes(), 4u);
 }

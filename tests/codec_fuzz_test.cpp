@@ -175,16 +175,20 @@ sim::MessagePtr make_message(Fuzz& fuzz, std::size_t pick) {
     case 14: {
       auto m = std::make_shared<bitswap::WantBlockRequest>();
       m->cid = fuzz.cid();
+      m->send_dont_have = fuzz.boolean();
       return m;
     }
     case 15: {
       auto m = std::make_shared<bitswap::BlockResponse>();
+      m->cid = fuzz.cid();
       if (fuzz.boolean()) {
-        blockstore::Block block;
-        block.data = fuzz.bytes(512);
-        block.cid = multiformats::Cid::from_data(
-            multiformats::Multicodec::kRaw, block.data);
-        m->block = std::move(block);
+        auto data = fuzz.bytes(512);
+        m->cid = multiformats::Cid::from_data(
+            multiformats::Multicodec::kRaw, data);
+        m->data = std::make_shared<const std::vector<std::uint8_t>>(
+            std::move(data));
+      } else {
+        m->dont_have = fuzz.boolean();
       }
       return m;
     }
@@ -296,20 +300,21 @@ TEST(CodecFuzzTest, DecodedFieldsMatch) {
             request->requester.addresses.size());
 
   auto response = std::make_shared<bitswap::BlockResponse>();
-  blockstore::Block block;
-  block.data = {1, 2, 3, 4, 5};
-  block.cid =
-      multiformats::Cid::from_data(multiformats::Multicodec::kRaw, block.data);
-  response->block = block;
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  response->cid =
+      multiformats::Cid::from_data(multiformats::Multicodec::kRaw, payload);
+  response->data =
+      std::make_shared<const std::vector<std::uint8_t>>(payload);
   const auto encoded_block = encode_message(*response);
   ASSERT_TRUE(encoded_block.has_value());
   const auto decoded_block =
       std::dynamic_pointer_cast<const bitswap::BlockResponse>(
           decode_message(*encoded_block));
   ASSERT_NE(decoded_block, nullptr);
-  ASSERT_TRUE(decoded_block->block.has_value());
-  EXPECT_EQ(decoded_block->block->data, block.data);
-  EXPECT_EQ(decoded_block->block->cid.encode(), block.cid.encode());
+  ASSERT_TRUE(decoded_block->data != nullptr);
+  EXPECT_EQ(*decoded_block->data, payload);
+  EXPECT_EQ(decoded_block->cid.encode(), response->cid.encode());
+  EXPECT_FALSE(decoded_block->dont_have);
 }
 
 // A message type the codec does not know is reported, not mis-encoded.

@@ -148,5 +148,82 @@ TEST(EnumerateTest, RootFirstOrder) {
   EXPECT_EQ(cids->front(), result.root);
 }
 
+
+// ---- StreamingImporter equivalence ---------------------------------------
+// The streaming builder must produce the byte-identical DAG (same root,
+// same block set) as the one-shot import, for any write() segmentation.
+
+TEST(StreamingTest, MatchesBatchAcrossPieceSizes) {
+  const std::size_t chunk_size = 1024;
+  for (const std::size_t total :
+       {std::size_t{0}, std::size_t{1}, std::size_t{1023}, std::size_t{1024},
+        std::size_t{1025}, std::size_t{10 * 1024 + 13},
+        std::size_t{300 * 1024}}) {
+    const auto data = random_bytes(total, 40 + total);
+    BlockStore batch_store;
+    const auto batch = import_bytes(batch_store, data, chunk_size);
+
+    for (const std::size_t piece :
+         {std::size_t{1}, std::size_t{7}, std::size_t{1024},
+          std::size_t{4096 + 1}, total + 1}) {
+      BlockStore stream_store;
+      StreamingImporter importer(stream_store, chunk_size);
+      for (std::size_t off = 0; off < data.size(); off += piece)
+        importer.write(std::span(data).subspan(
+            off, std::min(piece, data.size() - off)));
+      const auto streamed = importer.finish();
+      EXPECT_EQ(streamed.root, batch.root)
+          << "total=" << total << " piece=" << piece;
+      EXPECT_EQ(streamed.chunk_count, batch.chunk_count);
+      EXPECT_EQ(streamed.content_bytes, batch.content_bytes);
+      EXPECT_EQ(stream_store.block_count(), batch_store.block_count());
+      EXPECT_EQ(cat(stream_store, streamed.root), data);
+    }
+  }
+}
+
+TEST(StreamingTest, MatchesBatchAtLinkDegreeBoundaries) {
+  // 174 leaves fill exactly one internal node; 175 force a second level
+  // whose remainder handling is the subtle case the cascade must match.
+  const std::size_t chunk_size = 256;
+  for (const std::size_t leaves :
+       {kMaxLinkDegree - 1, kMaxLinkDegree, kMaxLinkDegree + 1,
+        2 * kMaxLinkDegree, 2 * kMaxLinkDegree + 1}) {
+    const auto data = random_bytes(leaves * chunk_size, 50 + leaves);
+    BlockStore batch_store;
+    const auto batch = import_bytes(batch_store, data, chunk_size);
+
+    BlockStore stream_store;
+    StreamingImporter importer(stream_store, chunk_size);
+    // Deliberately misaligned pieces.
+    const std::size_t piece = chunk_size * 3 + 17;
+    for (std::size_t off = 0; off < data.size(); off += piece)
+      importer.write(std::span(data).subspan(
+          off, std::min(piece, data.size() - off)));
+    const auto streamed = importer.finish();
+    EXPECT_EQ(streamed.root, batch.root) << "leaves=" << leaves;
+    EXPECT_EQ(stream_store.block_count(), batch_store.block_count());
+    EXPECT_EQ(cat(stream_store, streamed.root), data);
+  }
+}
+
+TEST(StreamingTest, DeduplicatesLikeBatch) {
+  // Repeating chunks dedupe identically in both builders.
+  const std::size_t chunk_size = 512;
+  std::vector<std::uint8_t> data;
+  const auto unit = random_bytes(chunk_size, 60);
+  for (int i = 0; i < 8; ++i) data.insert(data.end(), unit.begin(), unit.end());
+
+  BlockStore batch_store;
+  const auto batch = import_bytes(batch_store, data, chunk_size);
+  BlockStore stream_store;
+  StreamingImporter importer(stream_store, chunk_size);
+  importer.write(data);
+  const auto streamed = importer.finish();
+  EXPECT_EQ(streamed.root, batch.root);
+  EXPECT_EQ(streamed.deduplicated_blocks, batch.deduplicated_blocks);
+  EXPECT_EQ(streamed.new_blocks, batch.new_blocks);
+}
+
 }  // namespace
 }  // namespace ipfs::merkledag

@@ -113,12 +113,41 @@ TEST_F(SessionTest, MultiPathBeatsSinglePath) {
   EXPECT_LT(multi.elapsed, single.elapsed);
 }
 
-TEST_F(SessionTest, RetriesBlocksOnFailingPeers) {
+TEST_F(SessionTest, ReroutesWantsOffStaleProviderViaDontHave) {
   const auto data = random_bytes(1536 * 1024, 3);  // 6 chunks
   // Providers 0 and 1 have the content; provider 2 has NOTHING but is in
   // the session (a stale provider record).
   const auto root = seed_providers(data, 2);
 
+  // Probes off: WANT_BLOCKs reach the empty peer, which answers with an
+  // explicit DONT_HAVE (1.2.0) instead of leaving the want to time out.
+  SessionConfig config;
+  config.probe_want_have = false;
+  Session session(*requester_, config);
+  for (int i = 0; i < 3; ++i) session.add_peer(provider_nodes_[i]);
+
+  SessionFetchStats stats;
+  session.fetch_dag(root, [&](SessionFetchStats s) { stats = s; });
+  sim_.run();
+
+  ASSERT_TRUE(stats.ok);
+  EXPECT_EQ(merkledag::cat(requester_store_, root), data);
+  // Wants landing on the empty peer were answered DONT_HAVE and rerouted
+  // to the peers that have the content — an honest miss, not a transport
+  // failure, so the peer is penalized in score but never marked dead.
+  EXPECT_GT(stats.dont_have_reroutes, 0u);
+  EXPECT_GT(stats.per_peer[provider_nodes_[2]].dont_haves, 0u);
+  EXPECT_EQ(stats.per_peer[provider_nodes_[2]].failures, 0u);
+  EXPECT_EQ(stats.per_peer[provider_nodes_[2]].blocks, 0u);
+}
+
+TEST_F(SessionTest, ProbePhaseAvoidsStaleProviderEntirely) {
+  const auto data = random_bytes(1536 * 1024, 3);  // 6 chunks
+  const auto root = seed_providers(data, 2);
+
+  // Default config: WANT_HAVE probes run first. The empty peer answers
+  // DONT_HAVE for the root and is demoted before any WANT_BLOCK reaches
+  // it — no wants are wasted on a peer known not to have the content.
   Session session(*requester_);
   for (int i = 0; i < 3; ++i) session.add_peer(provider_nodes_[i]);
 
@@ -128,9 +157,9 @@ TEST_F(SessionTest, RetriesBlocksOnFailingPeers) {
 
   ASSERT_TRUE(stats.ok);
   EXPECT_EQ(merkledag::cat(requester_store_, root), data);
-  // Blocks assigned to the empty peer were retried elsewhere.
-  EXPECT_GT(stats.retried_blocks, 0u);
-  EXPECT_GT(stats.per_peer[provider_nodes_[2]].failures, 0u);
+  EXPECT_GT(stats.per_peer[provider_nodes_[2]].dont_haves, 0u);
+  EXPECT_EQ(stats.per_peer[provider_nodes_[2]].wants_sent, 0u);
+  EXPECT_EQ(stats.per_peer[provider_nodes_[2]].blocks, 0u);
 }
 
 TEST_F(SessionTest, FailsWhenNoPeerHasTheContent) {

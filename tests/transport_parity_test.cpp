@@ -127,8 +127,8 @@ ParityOutcome run_scenario(
         }
         rigs[2]->bitswap.fetch_block(
             transports[1]->local(), cid,
-            [&](std::optional<blockstore::Block> block) {
-              if (block.has_value()) outcome.block_data = block->data;
+            [&](bitswap::BlockResult block) {
+              if (block.data) outcome.block_data = *block.data;
               fetch_done = true;
             });
       });
