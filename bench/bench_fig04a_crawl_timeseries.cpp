@@ -8,8 +8,11 @@
 //   IPFS_BENCH_PEERS=100000 IPFS_BENCH_ROUNDS=1 ./bench_fig04a_crawl_timeseries
 //   IPFS_BENCH_TRIALS=8 IPFS_BENCH_THREADS=8 ...   # multi-trial fold
 //   IPFS_BENCH_WALL_BUDGET_S=60 ...                # fail if wall-clock exceeds
+//   IPFS_BENCH_SHARDS=4 ...                        # sharded event core
+//   IPFS_BENCH_ARTIFACT=census.jsonl ...           # per-phase JSONL dump
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -27,7 +30,16 @@ struct CensusTrial {
   std::size_t final_total = 0;       // last round's census
   std::size_t final_dialable = 0;
   std::vector<double> dialable_shares;  // one per round, for folding
+  double build_seconds = 0.0;        // world construction wall time
+  double event_seconds = 0.0;        // crawl rounds wall time (event loop)
+  std::uint64_t events_executed = 0; // events the crawl rounds executed
 };
+
+double elapsed_s(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       since)
+      .count();
+}
 
 }  // namespace
 
@@ -53,16 +65,18 @@ int main() {
 
   const auto results = bench::run_trials(
       trials, bench::run_seed(), [&](std::uint64_t seed) {
+        const auto build_start = std::chrono::steady_clock::now();
         const auto world = bench::scenario_builder(peers, seed)
                                .max_routing_entries(routing_entries)
                                .build_world();
+        CensusTrial trial;
+        trial.build_seconds = elapsed_s(build_start);
 
         const sim::NodeId self = world->network().add_node(
             sim::NodeConfig()
                 .with_region(world::kEuCentral)
                 .with_bandwidth(100.0 * 1024 * 1024, 100.0 * 1024 * 1024));
 
-        CensusTrial trial;
         std::ostringstream out;
         for (std::size_t round = 0; round < rounds; ++round) {
           crawler::Crawler crawler(world->network(), self,
@@ -70,7 +84,9 @@ int main() {
           crawler::CrawlResult result;
           crawler.crawl(
               [&](crawler::CrawlResult r) { result = std::move(r); });
-          world->simulator().run();
+          const auto round_start = std::chrono::steady_clock::now();
+          trial.events_executed += world->run();
+          trial.event_seconds += elapsed_s(round_start);
 
           const double share =
               static_cast<double>(result.dialable()) /
@@ -87,7 +103,9 @@ int main() {
           trial.final_total = result.total();
           trial.final_dialable = result.dialable();
 
-          world->simulator().run_until(world->simulator().now() + interval);
+          const auto advance_start = std::chrono::steady_clock::now();
+          trial.events_executed += world->run_until(world->now() + interval);
+          trial.event_seconds += elapsed_s(advance_start);
         }
         trial.rendered = out.str();
         return trial;
@@ -114,9 +132,40 @@ int main() {
                 cdf.percentile(50) * 100.0, cdf.percentile(90) * 100.0);
   }
 
+  const std::size_t shards = bench::env_shards();
+  double build_seconds = 0.0, event_seconds = 0.0;
+  std::uint64_t events_executed = 0;
+  for (const auto& trial : results) {
+    build_seconds += trial.result.build_seconds;
+    event_seconds += trial.result.event_seconds;
+    events_executed += trial.result.events_executed;
+  }
   std::printf("\ncensus: %zu peers, %zu round(s), %zu trial(s), "
-              "wall-clock %.1f s\n",
-              peers, rounds, trials, wall_seconds);
+              "%zu shard(s), wall-clock %.1f s\n",
+              peers, rounds, trials, shards, wall_seconds);
+  std::printf("phases: build %.1f s, events %.1f s "
+              "(%llu events, %.0f events/s)\n",
+              build_seconds, event_seconds,
+              static_cast<unsigned long long>(events_executed),
+              event_seconds > 0.0
+                  ? static_cast<double>(events_executed) / event_seconds
+                  : 0.0);
+
+  if (const char* artifact_env = std::getenv("IPFS_BENCH_ARTIFACT");
+      artifact_env != nullptr && artifact_env[0] != '\0') {
+    std::ofstream artifact(artifact_env, std::ios::trunc);
+    artifact << "{\"bench\":\"fig04a_census\",\"peers\":" << peers
+             << ",\"rounds\":" << rounds << ",\"trials\":" << trials
+             << ",\"shards\":" << shards
+             << ",\"build_s\":" << build_seconds
+             << ",\"event_s\":" << event_seconds
+             << ",\"events\":" << events_executed
+             << ",\"wall_s\":" << wall_seconds
+             << ",\"final_total\":" << results[0].result.final_total
+             << ",\"final_dialable\":" << results[0].result.final_dialable
+             << "}\n";
+    std::printf("artifact: %s\n", artifact_env);
+  }
 
   if (const std::size_t budget = bench::env_size("IPFS_BENCH_WALL_BUDGET_S", 0);
       budget > 0 && wall_seconds > static_cast<double>(budget)) {

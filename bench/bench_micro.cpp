@@ -9,6 +9,7 @@
 #include "multiformats/cid.h"
 #include "multiformats/multiaddr.h"
 #include "scenario/scenario.h"
+#include "sim/parallel/shard_engine.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
 #include "world/world.h"
@@ -181,6 +182,50 @@ void BM_SchedulerDrain(benchmark::State& state) {
 BENCHMARK(BM_SchedulerDrain)
     ->Args({100'000, 0})
     ->Args({100'000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// --- sharded parallel event core (src/sim/parallel) ------------------
+//
+// Drain throughput of the sharded engine at 1/2/4/8 shards against the
+// legacy Simulator (Arg 0). Same synthetic workload as the scheduler
+// drain: events spread over 1024 origins and a 30 s horizon, each a
+// trivial callback, so the number measures pure event-core overhead
+// (slab allocation, heap merge, window barriers).
+
+void BM_ShardEngineDrain(benchmark::State& state) {
+  constexpr std::size_t kEvents = 100'000;
+  constexpr std::uint32_t kOrigins = 1024;
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Rng rng(14);
+    if (shards == 0) {
+      sim::Simulator simulator;
+      for (std::size_t i = 0; i < kEvents; ++i) {
+        simulator.schedule_after(
+            sim::milliseconds(rng.uniform(0.0, 30'000.0)), [] {});
+      }
+      benchmark::DoNotOptimize(simulator.run());
+    } else {
+      sim::parallel::ShardEngine engine(shards, sim::milliseconds(15),
+                                        nullptr);
+      for (std::size_t i = 0; i < kEvents; ++i) {
+        const auto origin = static_cast<std::uint32_t>(i % kOrigins);
+        engine.post(origin, origin % shards,
+                    sim::milliseconds(rng.uniform(0.0, 30'000.0)),
+                    /*daemon=*/false, [] {});
+      }
+      benchmark::DoNotOptimize(engine.run());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kEvents));
+}
+BENCHMARK(BM_ShardEngineDrain)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 void BM_WorldConstruction(benchmark::State& state) {

@@ -142,7 +142,7 @@ bool AttackPlan::is_adversarial_id(const multiformats::PeerId& id) const {
 void AttackPlan::arm() {
   if (armed_) return;
   armed_ = true;
-  armed_at_ = network_.simulator().now();
+  armed_at_ = network_.now();
 
   if (config_.partition && !config_.partition->groups.empty()) {
     inner_ = network_.fault_injector();
@@ -169,7 +169,7 @@ void AttackPlan::arm() {
   }
 
   if (config_.eclipse_target) {
-    event_timers_.push_back(network_.simulator().schedule_after(
+    event_timers_.push_back(network_.schedule_after(
         config_.eclipse.announce_at, [this] { announce_eclipse(); }));
   }
 
@@ -179,7 +179,7 @@ void AttackPlan::arm() {
       const sim::Duration at =
           flash.start + uniform_duration(flash_rng_, 0, flash.window);
       event_timers_.push_back(
-          network_.simulator().schedule_after(at, [this, slot] {
+          network_.schedule_after(at, [this, slot] {
             ++counters_.flash_requests;
             if (flash_handler_) flash_handler_(slot);
           }));
@@ -195,8 +195,8 @@ void AttackPlan::arm() {
           storm_rng_, storm.start, storm.start + storm.window);
       const sim::Duration downtime = uniform_duration(
           storm_rng_, storm.min_downtime, storm.max_downtime);
-      storm_timers_.push_back(network_.simulator().schedule_daemon_after(
-          crash_at, [this, i, downtime] {
+      storm_timers_.push_back(network_.schedule_daemon_for(
+          storm_managed_[i], crash_at, [this, i, downtime] {
             const sim::NodeId node = storm_managed_[i];
             // Another fault source (an overlapping FaultPlan) may already
             // hold the node down; leave its bookkeeping alone.
@@ -206,8 +206,8 @@ void AttackPlan::arm() {
             ++counters_.storm_crashes;
             notify(node, false);
             storm_timers_.push_back(
-                network_.simulator().schedule_daemon_after(
-                    downtime, [this, i] {
+                network_.schedule_daemon_for(
+                    node, downtime, [this, i] {
                       if (!storm_down_[i]) return;
                       storm_down_[i] = false;
                       const sim::NodeId restored = storm_managed_[i];
@@ -250,7 +250,7 @@ void AttackPlan::schedule_flood_round(std::size_t round) {
   const SybilConfig& sybil = *config_.sybil;
   const sim::Duration at =
       sybil.start + static_cast<sim::Duration>(round) * sybil.interval;
-  event_timers_.push_back(network_.simulator().schedule_after(at, [this] {
+  event_timers_.push_back(network_.schedule_after(at, [this] {
     for (std::size_t v = 0; v < victims_.size(); ++v) {
       const dht::PeerRef& victim = victims_[v];
       if (victim.node == sim::kInvalidNode || !network_.online(victim.node))
@@ -330,7 +330,7 @@ void AttackPlan::handle_attacker_request(
       if (config_.eclipse.serve_poisoned_records) {
         dht::ProviderRecord record;
         record.provider = ghost_ref_;
-        record.received_at = network_.simulator().now();
+        record.received_at = network_.now();
         response->providers.push_back(std::move(record));
         ++counters_.poisoned_records_served;
       }
@@ -366,7 +366,7 @@ void AttackPlan::notify(sim::NodeId node, bool online) {
 
 bool AttackPlan::partition_active() const {
   if (!armed_ || !config_.partition) return false;
-  const sim::Time now = network_.simulator().now();
+  const sim::Time now = network_.now();
   return now >= armed_at_ + config_.partition->start &&
          now < armed_at_ + config_.partition->heal_at;
 }

@@ -47,19 +47,21 @@ struct Crawler::Run : std::enable_shared_from_this<Crawler::Run> {
   std::function<void(CrawlResult)> done;
 
   std::deque<dht::PeerRef> frontier;
-  std::unordered_set<std::string> seen;  // binary PeerIDs
+  // Visited set keyed by the dense sim NodeId (unique per peer), as a
+  // bitmap over the id space. The crawl graph hands us every peer ~64
+  // times (once per routing table listing it), so this dedup runs
+  // millions of times per census — encoding PeerIDs into a string set
+  // here used to dominate the whole event phase.
+  std::vector<std::uint8_t> seen;
   CrawlResult result;
   int in_flight = 0;
   bool finished = false;
 
-  static std::string key_of(const multiformats::PeerId& id) {
-    const auto bytes = id.encode();
-    return std::string(bytes.begin(), bytes.end());
-  }
-
   void enqueue(const dht::PeerRef& peer) {
     if (peer.node == self) return;
-    if (!seen.insert(key_of(peer.id)).second) return;
+    if (peer.node >= seen.size()) seen.resize(peer.node + 1, 0);
+    if (seen[peer.node] != 0) return;
+    seen[peer.node] = 1;
     frontier.push_back(peer);
   }
 
@@ -72,7 +74,7 @@ struct Crawler::Run : std::enable_shared_from_this<Crawler::Run> {
     }
     if (in_flight == 0 && frontier.empty()) {
       finished = true;
-      result.finished_at = network->simulator().now();
+      result.finished_at = network->now();
       done(std::move(result));
     }
   }
@@ -80,7 +82,7 @@ struct Crawler::Run : std::enable_shared_from_this<Crawler::Run> {
   void visit(dht::PeerRef peer) {
     ++in_flight;
     auto self_ptr = shared_from_this();
-    const sim::Time connect_start = network->simulator().now();
+    const sim::Time connect_start = network->now();
     network->connect(
         self, peer.node,
         [self_ptr, peer, connect_start](bool ok, sim::Duration elapsed) {
@@ -95,7 +97,7 @@ struct Crawler::Run : std::enable_shared_from_this<Crawler::Run> {
             self_ptr->pump();
             return;
           }
-          const sim::Time rpc_start = self_ptr->network->simulator().now();
+          const sim::Time rpc_start = self_ptr->network->now();
           self_ptr->network->request(
               self_ptr->self, peer.node,
               std::make_shared<dht::ListBucketsRequest>(),
@@ -107,7 +109,7 @@ struct Crawler::Run : std::enable_shared_from_this<Crawler::Run> {
                 obs.connect_duration =
                     rpc_start - connect_start;
                 obs.crawl_duration =
-                    self_ptr->network->simulator().now() - rpc_start;
+                    self_ptr->network->now() - rpc_start;
                 obs.ip_addresses = extract_ips(peer);
                 if (status == sim::RpcStatus::kOk) {
                   obs.reached = true;
@@ -141,7 +143,7 @@ void Crawler::crawl(std::function<void(CrawlResult)> done) {
   run->self = self_;
   run->concurrency = concurrency_;
   run->done = std::move(done);
-  run->result.started_at = network_.simulator().now();
+  run->result.started_at = network_.now();
   for (const auto& peer : bootstrap_) run->enqueue(peer);
   run->pump();
 }

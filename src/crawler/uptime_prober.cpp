@@ -22,11 +22,11 @@ void UptimeProber::schedule_probe(std::size_t index) {
   sim::Duration interval = kMinProbeInterval;
   if (entry.online) {
     const sim::Duration uptime =
-        network_.simulator().now() - entry.session_start;
+        network_.now() - entry.session_start;
     interval = std::clamp(uptime / 2, kMinProbeInterval, kMaxProbeInterval);
   }
-  entry.timer = network_.simulator().schedule_daemon_after(
-      interval, [this, index] { probe(index); });
+  entry.timer = network_.schedule_daemon_for(
+      self_, interval, [this, index] { probe(index); });
 }
 
 void UptimeProber::probe(std::size_t index) {
@@ -52,7 +52,7 @@ void UptimeProber::probe(std::size_t index) {
 void UptimeProber::on_probe_result(std::size_t index, bool reachable) {
   if (finished_) return;
   Tracked& entry = tracked_[index];
-  const sim::Time now = network_.simulator().now();
+  const sim::Time now = network_.now();
   if (reachable && !entry.online) {
     entry.online = true;
     entry.session_start = now;
@@ -67,7 +67,7 @@ void UptimeProber::on_probe_result(std::size_t index, bool reachable) {
 void UptimeProber::finish() {
   if (finished_) return;
   finished_ = true;
-  const sim::Time now = network_.simulator().now();
+  const sim::Time now = network_.now();
   for (auto& entry : tracked_) {
     entry.timer.cancel();
     if (entry.online) {

@@ -51,9 +51,11 @@ bool RoutingTable::upsert(const PeerRef& peer, const Key& key) {
   Bucket& bucket = ensure_bucket(bucket_index(key));
   auto& entries = bucket.entries;
 
+  // Dedup on the cached key (SHA-256 of the PeerID, injective over ids):
+  // an inline 32-byte compare instead of chasing the id's digest buffer.
   const auto it = std::find_if(entries.begin(), entries.end(),
                                [&](const Entry& entry) {
-                                 return entry.peer.id == peer.id;
+                                 return entry.key == key;
                                });
   if (it != entries.end()) {
     // Refresh: move to the tail (most recently seen) and update addresses.

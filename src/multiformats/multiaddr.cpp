@@ -141,7 +141,13 @@ std::string ip6_to_string(std::span<const std::uint8_t> bytes) {
 }  // namespace
 
 Multiaddr::Multiaddr(std::vector<MultiaddrComponent> components)
-    : components_(std::move(components)) {}
+    : components_(std::make_shared<const std::vector<MultiaddrComponent>>(
+          std::move(components))) {}
+
+const std::vector<MultiaddrComponent>& Multiaddr::empty_components() {
+  static const std::vector<MultiaddrComponent> empty;
+  return empty;
+}
 
 std::optional<Multiaddr> Multiaddr::parse(std::string_view text) {
   if (text.empty() || text[0] != '/') return std::nullopt;
@@ -256,7 +262,7 @@ std::optional<Multiaddr> Multiaddr::decode(
 
 std::vector<std::uint8_t> Multiaddr::encode() const {
   std::vector<std::uint8_t> out;
-  for (const auto& component : components_) {
+  for (const auto& component : components()) {
     varint_encode(static_cast<std::uint64_t>(component.protocol), out);
     const ProtocolSpec* spec =
         spec_by_code(static_cast<std::uint64_t>(component.protocol));
@@ -269,7 +275,7 @@ std::vector<std::uint8_t> Multiaddr::encode() const {
 
 std::string Multiaddr::to_string() const {
   std::string out;
-  for (const auto& component : components_) {
+  for (const auto& component : components()) {
     const ProtocolSpec* spec =
         spec_by_code(static_cast<std::uint64_t>(component.protocol));
     out.push_back('/');
@@ -301,16 +307,16 @@ std::string Multiaddr::to_string() const {
 
 std::optional<std::vector<std::uint8_t>> Multiaddr::value_for(
     MultiaddrProtocol protocol) const {
-  for (const auto& component : components_)
+  for (const auto& component : components())
     if (component.protocol == protocol) return component.value;
   return std::nullopt;
 }
 
 Multiaddr Multiaddr::with(MultiaddrProtocol protocol,
                           std::vector<std::uint8_t> value) const {
-  auto components = components_;
-  components.push_back({protocol, std::move(value)});
-  return Multiaddr(std::move(components));
+  auto copy = components();
+  copy.push_back({protocol, std::move(value)});
+  return Multiaddr(std::move(copy));
 }
 
 bool Multiaddr::is_relayed() const {

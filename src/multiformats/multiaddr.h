@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -33,6 +34,10 @@ struct MultiaddrComponent {
   bool operator==(const MultiaddrComponent&) const = default;
 };
 
+// Addresses are immutable after construction and copied with every
+// PeerRef that flows through routing tables, DHT messages and crawl
+// results, so the component list lives behind a shared buffer: a copy is
+// a refcount bump rather than a fresh allocation per component payload.
 class Multiaddr {
  public:
   Multiaddr() = default;
@@ -48,9 +53,9 @@ class Multiaddr {
   std::string to_string() const;
 
   const std::vector<MultiaddrComponent>& components() const {
-    return components_;
+    return components_ ? *components_ : empty_components();
   }
-  bool empty() const { return components_.empty(); }
+  bool empty() const { return components().empty(); }
 
   // First component payload for `protocol`, if present.
   std::optional<std::vector<std::uint8_t>> value_for(
@@ -63,10 +68,15 @@ class Multiaddr {
   // True if the address contains a relay hop (p2p-circuit).
   bool is_relayed() const;
 
-  bool operator==(const Multiaddr&) const = default;
+  bool operator==(const Multiaddr& other) const {
+    return components_ == other.components_ ||
+           components() == other.components();
+  }
 
  private:
-  std::vector<MultiaddrComponent> components_;
+  static const std::vector<MultiaddrComponent>& empty_components();
+
+  std::shared_ptr<const std::vector<MultiaddrComponent>> components_;
 };
 
 // Convenience constructors used across the simulator.

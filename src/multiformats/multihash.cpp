@@ -9,7 +9,14 @@
 namespace ipfs::multiformats {
 
 Multihash::Multihash(Multicodec code, std::vector<std::uint8_t> digest)
-    : code_(code), digest_(std::move(digest)) {}
+    : code_(code),
+      digest_(std::make_shared<const std::vector<std::uint8_t>>(
+          std::move(digest))) {}
+
+const std::vector<std::uint8_t>& Multihash::empty_digest() {
+  static const std::vector<std::uint8_t> empty;
+  return empty;
+}
 
 Multihash Multihash::sha2_256(std::span<const std::uint8_t> data) {
   const auto digest = crypto::sha256(data);
@@ -34,37 +41,37 @@ std::optional<Multihash> Multihash::decode(std::span<const std::uint8_t> data,
   // Defensive cap: digests beyond 512 bits are not legal in this codebase.
   if (length->value > 64) return std::nullopt;
 
-  Multihash out;
-  out.code_ = static_cast<Multicodec>(code->value);
-  out.digest_.assign(rest.begin(), rest.begin() + length->value);
   if (consumed != nullptr)
     *consumed = code->consumed + length->consumed + length->value;
-  return out;
+  return Multihash(
+      static_cast<Multicodec>(code->value),
+      std::vector<std::uint8_t>(rest.begin(), rest.begin() + length->value));
 }
 
 std::vector<std::uint8_t> Multihash::encode() const {
   std::vector<std::uint8_t> out;
   varint_encode(static_cast<std::uint64_t>(code_), out);
-  varint_encode(digest_.size(), out);
-  out.insert(out.end(), digest_.begin(), digest_.end());
+  varint_encode(digest().size(), out);
+  out.insert(out.end(), digest().begin(), digest().end());
   return out;
 }
 
 bool Multihash::verifies(std::span<const std::uint8_t> data) const {
+  const auto& bytes = digest();
   switch (code_) {
     case Multicodec::kSha2_256: {
       const auto digest = crypto::sha256(data);
-      return digest_.size() == digest.size() &&
-             std::equal(digest_.begin(), digest_.end(), digest.begin());
+      return bytes.size() == digest.size() &&
+             std::equal(bytes.begin(), bytes.end(), digest.begin());
     }
     case Multicodec::kSha2_512: {
       const auto digest = crypto::sha512(data);
-      return digest_.size() == digest.size() &&
-             std::equal(digest_.begin(), digest_.end(), digest.begin());
+      return bytes.size() == digest.size() &&
+             std::equal(bytes.begin(), bytes.end(), digest.begin());
     }
     case Multicodec::kIdentity:
-      return digest_.size() == data.size() &&
-             std::equal(digest_.begin(), digest_.end(), data.begin());
+      return bytes.size() == data.size() &&
+             std::equal(bytes.begin(), bytes.end(), data.begin());
     default:
       return false;
   }

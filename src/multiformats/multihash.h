@@ -2,7 +2,9 @@
 // varint><digest>. The paper's Figure 1 shows a Multihash embedded in a CID.
 #pragma once
 
+#include <compare>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -11,6 +13,10 @@
 
 namespace ipfs::multiformats {
 
+// The digest is held behind a shared immutable buffer: PeerIDs (which wrap
+// a Multihash) are copied tens of millions of times in a large-world
+// census (routing-table entries, DHT messages, crawl observations), and a
+// copy must be a refcount bump, not a heap allocation.
 class Multihash {
  public:
   Multihash() = default;
@@ -31,18 +37,32 @@ class Multihash {
   std::vector<std::uint8_t> encode() const;
 
   Multicodec code() const { return code_; }
-  const std::vector<std::uint8_t>& digest() const { return digest_; }
+  const std::vector<std::uint8_t>& digest() const {
+    return digest_ ? *digest_ : empty_digest();
+  }
 
   // True if this multihash matches `data` (re-hashes with the same
   // function). Identity hashes compare bytes directly.
   bool verifies(std::span<const std::uint8_t> data) const;
 
-  bool operator==(const Multihash& other) const = default;
-  auto operator<=>(const Multihash& other) const = default;
+  // Same order as the pre-COW defaulted comparisons: (code, digest bytes).
+  // Copies share the digest buffer, so the common same-peer compare is a
+  // pointer check.
+  bool operator==(const Multihash& other) const {
+    return code_ == other.code_ &&
+           (digest_ == other.digest_ || digest() == other.digest());
+  }
+  std::strong_ordering operator<=>(const Multihash& other) const {
+    if (const auto order = code_ <=> other.code_; order != 0) return order;
+    if (digest_ == other.digest_) return std::strong_ordering::equal;
+    return digest() <=> other.digest();
+  }
 
  private:
+  static const std::vector<std::uint8_t>& empty_digest();
+
   Multicodec code_ = Multicodec::kIdentity;
-  std::vector<std::uint8_t> digest_;
+  std::shared_ptr<const std::vector<std::uint8_t>> digest_;
 };
 
 }  // namespace ipfs::multiformats

@@ -475,7 +475,9 @@ void IpfsNode::handle_crash() {
   dht_.handle_crash();
   bitswap_.handle_crash();
   // Persistent backends drop their un-flushed tail and replay the log;
-  // the in-memory store keeps everything (base-class no-op).
+  // the in-memory store keeps everything (base-class no-op). A crashed
+  // process's flush daemon dies with it — restart re-arms it.
+  flush_timer_.cancel();
   store_->handle_crash();
   if (pubsub_) pubsub_->handle_crash();
   if (name_resolver_) name_resolver_->handle_crash();
@@ -491,6 +493,7 @@ void IpfsNode::handle_restart(std::vector<dht::PeerRef> seeds,
   // subscriptions announce to the re-added bootstrap candidates.
   bootstrap(std::move(seeds), std::move(done));
   if (name_resolver_) name_resolver_->handle_restart();
+  if (config_.store.flush_interval_us > 0) arm_flush_timer();
 }
 
 void IpfsNode::reset_for_next_measurement() {

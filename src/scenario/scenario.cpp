@@ -39,6 +39,11 @@ ScenarioBuilder& ScenarioBuilder::scheduler(sim::SchedulerBackend backend) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::shards(std::size_t n) {
+  shards_ = n;
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::regions(
     std::vector<std::vector<double>> one_way_ms, double jitter_low,
     double jitter_high) {
@@ -221,6 +226,7 @@ Scenario ScenarioBuilder::build() const {
           : sim::LatencyModel(latency_matrix_, jitter_low_, jitter_high_));
   scenario.network_ = std::make_unique<sim::Network>(
       *scenario.simulator_, *scenario.latency_, seed_);
+  scenario.network_->enable_sharding(shards_);
   if (trace_capacity_ > 0)
     scenario.network_->metrics().set_trace_capacity(trace_capacity_);
 
@@ -346,6 +352,7 @@ world::WorldConfig ScenarioBuilder::world_config() const {
     config.population.undialable_share = *undialable_fraction_;
   config.seed = seed_;
   config.scheduler = scheduler_;
+  config.shards = shards_;
   config.enable_churn = enable_churn_;
   config.bootstrap_count = bootstrap_count_;
   config.max_routing_entries = max_routing_entries_;

@@ -12,6 +12,9 @@
 namespace ipfs::sim {
 
 class Simulator;
+namespace parallel {
+class ShardEngine;
+}
 
 // Handle for cancelling a scheduled event.
 //
@@ -32,11 +35,16 @@ class Timer {
  private:
   friend class Simulator;
   friend class TimerWheel;
+  friend class parallel::ShardEngine;
   friend struct Event;
   struct State {
     bool alive = true;
     bool daemon = false;
-    Simulator* simulator = nullptr;
+    // Owning scheduler's live-foreground-event count, decremented when a
+    // non-daemon event is cancelled. A plain pointer (not a Simulator*)
+    // so the sharded engine's per-run accounting reuses the same handle
+    // type without the schedulers knowing about each other.
+    std::size_t* foreground_pending = nullptr;
   };
   explicit Timer(std::shared_ptr<State> state) : state_(std::move(state)) {}
   std::shared_ptr<State> state_;

@@ -117,7 +117,7 @@ bool FaultPlan::fail_dial(NodeId, NodeId) {
 
 double FaultPlan::latency_factor(NodeId a, NodeId b) {
   if (spike_until_.empty()) return 1.0;
-  const Time now = network_.simulator().now();
+  const Time now = network_.now();
   const auto spiking = [&](NodeId node) {
     const auto it = spike_until_.find(node);
     return it != spike_until_.end() && it->second > now;
@@ -134,20 +134,20 @@ void FaultPlan::notify(NodeId node, bool online) {
 }
 
 void FaultPlan::schedule_spike() {
-  spike_timer_ = network_.simulator().schedule_daemon_after(
+  spike_timer_ = network_.schedule_daemon_after(
       poisson_wait(proc_rng_, config_.latency_spikes_per_hour), [this] {
         if (!armed_) return;
         const NodeId victim = static_cast<NodeId>(proc_rng_.uniform_int(
             0, static_cast<std::int64_t>(network_.slot_count()) - 1));
         spike_until_[victim] =
-            network_.simulator().now() + config_.latency_spike_duration;
+            network_.now() + config_.latency_spike_duration;
         ++counters_.latency_spikes;
         schedule_spike();
       });
 }
 
 void FaultPlan::schedule_reset() {
-  reset_timer_ = network_.simulator().schedule_daemon_after(
+  reset_timer_ = network_.schedule_daemon_after(
       poisson_wait(proc_rng_, config_.connection_resets_per_hour), [this] {
         if (!armed_) return;
         const NodeId victim = static_cast<NodeId>(proc_rng_.uniform_int(
@@ -167,8 +167,8 @@ void FaultPlan::schedule_reset() {
 }
 
 void FaultPlan::schedule_crash(std::size_t index) {
-  crash_timers_[index] = network_.simulator().schedule_daemon_after(
-      poisson_wait(proc_rng_, config_.crashes_per_hour_per_node),
+  crash_timers_[index] = network_.schedule_daemon_for(
+      managed_[index], poisson_wait(proc_rng_, config_.crashes_per_hour_per_node),
       [this, index] {
         if (!armed_) return;
         const NodeId node = managed_[index];
@@ -184,8 +184,8 @@ void FaultPlan::schedule_crash(std::size_t index) {
         const Duration downtime = static_cast<Duration>(proc_rng_.uniform(
             static_cast<double>(config_.min_downtime),
             static_cast<double>(config_.max_downtime)));
-        crash_timers_[index] = network_.simulator().schedule_daemon_after(
-            downtime, [this, index] { restart(index); });
+        crash_timers_[index] = network_.schedule_daemon_for(
+            node, downtime, [this, index] { restart(index); });
       });
 }
 

@@ -128,6 +128,14 @@ ScheduleParams make_schedule(std::uint64_t seed) {
   params.persist_flush_batch =
       static_cast<std::size_t>(persist_rng.uniform_int(1, 128));
 
+  // Write-behind drain cadence: own fork, appended after every earlier
+  // one (bit-identical historical replays). Half the persist schedules
+  // arm the periodic daemon flush; the rest rely on batch-size flushes
+  // alone so that path stays covered too.
+  sim::Rng flush_rng = sim::Rng(seed).fork("schedule-flush");
+  params.persist_flush_interval_us =
+      flush_rng.chance(0.5) ? flush_rng.uniform_int(50'000, 500'000) : 0;
+
   sim::Rng adversary_rng = sim::Rng(seed).fork("schedule-adversary");
   const bool attacked = adversary_rng.chance(0.4);
   const auto attack_draw = adversary_rng.uniform_int(1, 5);
@@ -247,6 +255,8 @@ std::string ScheduleParams::describe() const {
       << " indexer_crashes=" << (indexer_crashes ? 1 : 0)
       << " persist_stores=" << (persist_stores ? 1 : 0)
       << " persist_flush_batch=" << persist_flush_batch
+      << " persist_flush_interval_us=" << persist_flush_interval_us
+      << " shards=" << shards
       << " attack=" << attack_name(attack)
       << " diversity_cap=" << diversity_cap
       << " provider_quorum=" << provider_quorum
@@ -349,6 +359,7 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
       scenario::ScenarioBuilder()
           .seed(params.seed)
           .scheduler(params.scheduler)
+          .shards(params.shards)
           .regions(fuzz_latency_matrix())
           .trace_capacity(200'000)
           .indexers(params.indexer_count)
@@ -356,7 +367,6 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
               params.indexer_ingest_lag))
           .routing(routing::RoutingConfig::Mode::kRace)
           .build();
-  sim::Simulator& simulator = fabric.simulator();
   sim::Network& network = fabric.network();
 
   // The builder appends indexer nodes before the population below, so
@@ -391,6 +401,7 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
     if (params.persist_stores) {
       config.store.backend = blockstore::StoreConfig::Backend::kPersistentAsync;
       config.store.flush_batch_blocks = params.persist_flush_batch;
+      config.store.flush_interval_us = params.persist_flush_interval_us;
       // Small segments so crash replays walk several files, and a
       // per-node crash seed so each restart tears a different tail.
       config.store.segment_bytes = 256 * 1024;
@@ -455,14 +466,14 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
                       [](bool, sim::Duration) {});
   }
   for (std::size_t i = kBootstrapCount; i < node_count; ++i) {
-    simulator.schedule_after(
+    network.schedule_after(
         sim::milliseconds(200.0 * static_cast<double>(i)), [&, i] {
           nodes[i]->bootstrap(seeds_for(i), [&, i](bool ok) {
             bootstrap_ok[i] = ok ? 1 : 0;
           });
         });
   }
-  stats.events_executed += simulator.run();
+  stats.events_executed += network.run();
   for (std::size_t i = 0; i < node_count; ++i) {
     if (bootstrap_ok[i] != 1) {
       std::ostringstream out;
@@ -555,8 +566,8 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
   // few heartbeat rounds explicitly.
   const sim::Duration mesh_settle =
       4 * nodes[0]->pubsub()->config().heartbeat_interval + sim::seconds(5);
-  stats.events_executed += simulator.run_until(simulator.now() + mesh_settle);
-  stats.events_executed += simulator.run();
+  stats.events_executed += network.run_until(network.now() + mesh_settle);
+  stats.events_executed += network.run();
   if (std::getenv("IPFS_FUZZ_DEBUG_PUBSUB") != nullptr) {
     for (std::size_t i = 0; i < node_count; ++i) {
       std::fprintf(stderr, "node %2zu id=%u stable=%d topics:", i,
@@ -583,7 +594,7 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
   const auto on_crash_transition = [&](sim::NodeId node_id, bool online) {
     const std::size_t index = node_index(node_id);
     if (!online) {
-      crash_times[index].push_back(simulator.now());
+      crash_times[index].push_back(network.now());
       nodes[index]->handle_crash();
       // The crash wiped the engine's dedup cache, so one redelivery of
       // anything seen before the crash is legitimate: reset the
@@ -616,12 +627,12 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
           0.0, sim::to_seconds(params.workload_window)));
       const sim::Duration downtime =
           sim::seconds(indexer_rng.uniform(10.0, 60.0));
-      simulator.schedule_after(crash_at, [&, i, downtime] {
+      network.schedule_after(crash_at, [&, i, downtime] {
         const sim::NodeId id = fabric.indexer(i).node();
         network.set_online(id, false);
         fabric.indexer(i).handle_crash();
         ++stats.indexer_crashes;
-        simulator.schedule_after(downtime, [&, i, id] {
+        network.schedule_after(downtime, [&, i, id] {
           network.set_online(id, true);
           fabric.indexer(i).handle_restart();
         });
@@ -651,7 +662,7 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
   std::vector<std::vector<PlannedRetrieval>> planned(params.publish_count);
 
   const sim::Duration window = params.workload_window;
-  const sim::Time workload_start = simulator.now();
+  const sim::Time workload_start = network.now();
   for (std::size_t oi = 0; oi < params.publish_count; ++oi) {
     FuzzObject& object = objects[oi];
     const auto size = static_cast<std::size_t>(workload_rng.uniform_int(
@@ -688,10 +699,10 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
 
     const sim::Duration publish_offset =
         sim::seconds(workload_rng.uniform(0.0, sim::to_seconds(window) / 4.0));
-    simulator.schedule_at(workload_start + publish_offset, [&, oi] {
+    network.schedule_at(workload_start + publish_offset, [&, oi] {
       FuzzObject& obj = objects[oi];
       OpRecord& op = stats.ops[oi];
-      op.start = simulator.now();
+      op.start = network.now();
       if (!network.online(nodes[obj.publisher]->node())) return;  // crashed
       op.attempted = true;
       obj.cid = nodes[obj.publisher]->add(obj.data).root;
@@ -706,15 +717,15 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
         }
         publish_op.completed = true;
         publish_op.ok = trace.ok;
-        publish_op.elapsed = simulator.now() - publish_op.start;
+        publish_op.elapsed = network.now() - publish_op.start;
 
         // Retrievals chase the publish (never race it): schedule them
         // only once the provider records are out.
         for (const PlannedRetrieval& retrieval : planned[oi]) {
-          simulator.schedule_after(retrieval.delay_after_publish, [&, oi,
+          network.schedule_after(retrieval.delay_after_publish, [&, oi,
                                                                    retrieval] {
             OpRecord& op = stats.ops[retrieval.op_index];
-            op.start = simulator.now();
+            op.start = network.now();
             const auto& node = nodes[retrieval.retriever];
             if (!network.online(node->node())) return;  // crashed right now
             op.attempted = true;
@@ -730,7 +741,7 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
               }
               op.completed = true;
               op.ok = trace.ok;
-              op.elapsed = simulator.now() - op.start;
+              op.elapsed = network.now() - op.start;
               stats.bytes_fetched += trace.bytes;
               const bool via_indexer =
                   trace.routing_source == routing::Source::kIndexer;
@@ -861,7 +872,7 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
       flash_gateway =
           std::make_unique<gateway::Gateway>(network, gateway_config);
       flash_gateway->bootstrap(seeds_for(node_count), [](bool) {});
-      stats.events_executed += simulator.run();
+      stats.events_executed += network.run();
 
       attack->set_flash_request_handler([&](std::size_t slot) {
         flash_fired[slot] = 1;
@@ -878,7 +889,7 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
               // pipeline) should answer it.
               flash_repeat_fired[slot] = 1;
               ++stats.flash_repeat_fired;
-              simulator.schedule_after(sim::seconds(5), [&, slot] {
+              network.schedule_after(sim::seconds(5), [&, slot] {
                 flash_gateway->handle_get(
                     flash_cid, [&, slot](gateway::GatewayResponse repeat) {
                       ++flash_repeat_completed[slot];
@@ -918,7 +929,7 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
         static_cast<std::size_t>(pubsub_rng.uniform_int(16, 256)), pubsub_rng);
   }
   for (std::size_t pi = 0; pi < pubsub_ops.size(); ++pi) {
-    simulator.schedule_at(workload_start + pubsub_ops[pi].offset, [&, pi] {
+    network.schedule_at(workload_start + pubsub_ops[pi].offset, [&, pi] {
       PubsubPublishOp& op = pubsub_ops[pi];
       if (!network.online(nodes[op.publisher]->node())) return;  // crashed
       op.attempted = true;
@@ -939,18 +950,18 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
       params.long_horizon
           ? workload_start + sim::hours(26)
           : workload_start + window + sim::seconds(60);
-  stats.events_executed += simulator.run_until(horizon);
+  stats.events_executed += network.run_until(horizon);
 
   // ---- Phase 3: disarm background faults and drain -----------------------
   if (attack) attack->disarm();
   plan.disarm();
-  stats.events_executed += simulator.run();
+  stats.events_executed += network.run();
   stats.faults = plan.counters();
   const std::uint64_t storm_crashes =
       attack ? attack->counters().storm_crashes : 0;
 
   // ---- Invariant checks ---------------------------------------------------
-  const sim::Time end = simulator.now();
+  const sim::Time end = network.now();
 
   // (2) Completion: attempted ops completed exactly once unless the
   // requester crashed after the op started. (Double completion is caught
@@ -971,9 +982,9 @@ ScheduleReport run_schedule(const ScheduleParams& params) {
   }
 
   // (3) No leaked simulator events or pending exchanges.
-  if (simulator.foreground_pending() != 0) {
+  if (network.foreground_pending() != 0) {
     std::ostringstream out;
-    out << simulator.foreground_pending()
+    out << network.foreground_pending()
         << " live foreground event(s) leaked after the drain";
     violations.push_back(out.str());
   }

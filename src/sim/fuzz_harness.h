@@ -84,6 +84,13 @@ struct ScheduleParams {
   // a schedule can be replayed under both and fingerprint-compared.
   sim::SchedulerBackend scheduler = sim::SchedulerBackend::kTimerWheel;
 
+  // Sharded parallel engine (src/sim/parallel): 0 keeps the sequential
+  // Simulator; N >= 1 partitions the fabric into N per-shard event
+  // queues with lookahead windows. The shard-determinism test replays
+  // every schedule at shards=1 vs shards=4 and asserts byte-identical
+  // fingerprints and (par.*-stripped) trace streams.
+  std::size_t shards = 0;
+
   // Serialize the trace stream into ScheduleReport::trace_jsonl even on
   // clean runs (normally only violations pay the serialization cost).
   // The backend-determinism test compares these byte-for-byte.
@@ -134,6 +141,9 @@ struct ScheduleParams {
   // persist-off seeds replay their pre-persist schedules bit-identically.
   bool persist_stores = false;
   std::size_t persist_flush_batch = 64;
+  // Periodic write-behind drain cadence for the node daemon tick
+  // (StoreConfig::flush_interval_us); 0 leaves only batch-size flushes.
+  std::int64_t persist_flush_interval_us = 0;
 
   // Fault intensity in [0, 1]; the derived per-fault rates live in
   // `faults`. 0 means a clean run (the injector is installed but draws

@@ -47,7 +47,72 @@ Network::Network(Simulator& simulator, const LatencyModel& latency,
     : simulator_(simulator),
       latency_(latency),
       rng_(Rng(seed).fork("network")),
-      metrics_([this] { return simulator_.now(); }) {}
+      metrics_([this] { return now(); }) {}
+
+void Network::enable_sharding(std::size_t shards) {
+  if (shards == 0) return;  // 0 = legacy sequential scheduler
+  assert(engine_ == nullptr && "sharding already enabled");
+  assert(simulator_.now() == 0 && simulator_.pending_events() == 0 &&
+         "enable_sharding must precede any scheduling");
+  // Conservative lookahead: no sampled one-way latency is below the
+  // matrix floor times the jitter floor. A zero floor (tests with
+  // zero-latency matrices) leaves no safe window, so fall back to a
+  // single shard — still the engine, but with no cross-shard traffic.
+  const Duration floor =
+      milliseconds(latency_.min_base_ms() * latency_.jitter_low());
+  if (floor <= 0) shards = 1;
+  engine_ = std::make_unique<parallel::ShardEngine>(
+      shards, std::max<Duration>(floor, 1), &metrics_);
+}
+
+Timer Network::schedule_for(NodeId node, Duration delay,
+                            std::function<void()> fn) {
+  if (engine_)
+    return engine_->schedule(node, shard_of(node), engine_->now() + delay,
+                             /*daemon=*/false, std::move(fn));
+  return simulator_.schedule_after(delay, std::move(fn));
+}
+
+Timer Network::schedule_daemon_for(NodeId node, Duration delay,
+                                   std::function<void()> fn) {
+  if (engine_)
+    return engine_->schedule(node, shard_of(node), engine_->now() + delay,
+                             /*daemon=*/true, std::move(fn));
+  return simulator_.schedule_daemon_after(delay, std::move(fn));
+}
+
+Timer Network::schedule_daemon_at_for(NodeId node, Time when,
+                                      std::function<void()> fn) {
+  if (engine_)
+    return engine_->schedule(node, shard_of(node), when, /*daemon=*/true,
+                             std::move(fn));
+  return simulator_.schedule_daemon_at(when, std::move(fn));
+}
+
+Timer Network::schedule_at(Time when, std::function<void()> fn) {
+  if (engine_)
+    return engine_->schedule(parallel::kVirtualOrigin,
+                             engine_->current_shard(), when,
+                             /*daemon=*/false, std::move(fn));
+  return simulator_.schedule_at(when, std::move(fn));
+}
+
+Timer Network::schedule_after(Duration delay, std::function<void()> fn) {
+  return schedule_at(now() + delay, std::move(fn));
+}
+
+Timer Network::schedule_daemon_at(Time when, std::function<void()> fn) {
+  if (engine_)
+    return engine_->schedule(parallel::kVirtualOrigin,
+                             engine_->current_shard(), when,
+                             /*daemon=*/true, std::move(fn));
+  return simulator_.schedule_daemon_at(when, std::move(fn));
+}
+
+Timer Network::schedule_daemon_after(Duration delay,
+                                     std::function<void()> fn) {
+  return schedule_daemon_at(now() + delay, std::move(fn));
+}
 
 NodeId Network::add_node(const NodeConfig& config) {
   assert(config.region >= 0 && config.region < latency_.regions());
@@ -139,9 +204,9 @@ Duration Network::transfer_time(NodeId from, NodeId to,
 Duration Network::queued_transfer_delay(NodeId from, NodeId to,
                                         std::size_t bytes) {
   const Duration service = transfer_time(from, to, bytes);
-  const Time start = std::max(simulator_.now(), uplink_free_at_[from]);
+  const Time start = std::max(now(), uplink_free_at_[from]);
   uplink_free_at_[from] = start + service;
-  return (start + service) - simulator_.now();
+  return (start + service) - now();
 }
 
 void Network::link(NodeId a, NodeId b) {
@@ -157,7 +222,7 @@ void Network::unlink(NodeId a, NodeId b) {
 void Network::connect(NodeId from, NodeId to, DialCallback cb) {
   assert(from != to);
   ++dials_attempted_;
-  metrics_.counter("net.dials_attempted").inc();
+  hot_counter(c_dials_attempted_, "net.dials_attempted").inc();
   if (online_[from] == 0) return;  // an offline node observes nothing
 
   if (connected(from, to)) {
@@ -174,7 +239,7 @@ void Network::connect(NodeId from, NodeId to, DialCallback cb) {
   const NodeConfig& dst = configs_[to];
   const Transport transport = dst.transport;
   const std::uint64_t epoch = epochs_[from];
-  const Time start = simulator_.now();
+  const Time start = now();
 
   // NAT'ed peers with a relay are reachable via the relay (DCUtR): the
   // dial traverses both legs, then tries to hole-punch a direct path.
@@ -188,7 +253,7 @@ void Network::connect(NodeId from, NodeId to, DialCallback cb) {
     // latency differs. Model both as a connection after the setup time,
     // with an extra round of coordination when the punch succeeds.
     const Duration setup = via_relay + (upgraded ? one_way(from, to) * 2 : 0);
-    simulator_.schedule_after(
+    post_for(from, from,
         setup, [this, from, to, epoch, cb, start, dial_span] {
           // The dial outcome is real telemetry even when the requester has
           // since churned out, so the span ends before the liveness check.
@@ -197,12 +262,12 @@ void Network::connect(NodeId from, NodeId to, DialCallback cb) {
           if (!callback_alive(from, epoch)) return;
           if (!ok) {
             ++dials_failed_;
-            metrics_.counter("net.dials_failed").inc();
-            cb(false, simulator_.now() - start);
+            hot_counter(c_dials_failed_, "net.dials_failed").inc();
+            cb(false, now() - start);
             return;
           }
           link(from, to);
-          cb(true, simulator_.now() - start);
+          cb(true, now() - start);
         });
     return;
   }
@@ -213,7 +278,7 @@ void Network::connect(NodeId from, NodeId to, DialCallback cb) {
       (injector_ != nullptr && injector_->fail_dial(from, to)) ||
       !rng_.chance(dst.dial_success_prob)) {
     ++dials_failed_;
-    metrics_.counter("net.dials_failed").inc();
+    hot_counter(c_dials_failed_, "net.dials_failed").inc();
     // Offline-but-dialable hosts usually refuse quickly (RST / ICMP);
     // NAT'ed and flaky targets hang until the transport gives up.
     Duration fail_after =
@@ -223,18 +288,18 @@ void Network::connect(NodeId from, NodeId to, DialCallback cb) {
         rng_.chance(kFastFailProbability)) {
       fail_after = one_way(from, to) * 2;  // one round trip to the RST
     }
-    simulator_.schedule_after(fail_after,
-                              [this, from, epoch, cb, start, dial_span] {
-                                metrics_.end_span(dial_span, false);
-                                if (!callback_alive(from, epoch)) return;
-                                cb(false, simulator_.now() - start);
-                              });
+    post_for(from, from, fail_after,
+             [this, from, epoch, cb, start, dial_span] {
+               metrics_.end_span(dial_span, false);
+               if (!callback_alive(from, epoch)) return;
+               cb(false, now() - start);
+             });
     return;
   }
 
   const Duration rtt = one_way(from, to) * 2;
   const Duration handshake = rtt * handshake_round_trips(transport);
-  simulator_.schedule_after(
+  post_for(from, from,
       handshake, [this, from, to, epoch, cb, start, dial_span] {
         const bool ok = online_[to] != 0;
         metrics_.end_span(dial_span, ok);
@@ -242,12 +307,12 @@ void Network::connect(NodeId from, NodeId to, DialCallback cb) {
         if (!ok) {
           // Peer churned out mid-handshake; surface as a (slow) failure.
           ++dials_failed_;
-          metrics_.counter("net.dials_failed").inc();
-          cb(false, simulator_.now() - start);
+          hot_counter(c_dials_failed_, "net.dials_failed").inc();
+          cb(false, now() - start);
           return;
         }
         link(from, to);
-        cb(true, simulator_.now() - start);
+        cb(true, now() - start);
       });
 }
 
@@ -262,10 +327,10 @@ void Network::send(NodeId from, NodeId to, MessagePtr message,
                    std::size_t bytes) {
   if (online_[from] == 0 || !connected(from, to)) return;
   // Bytes hit the wire even when the injector then loses them in transit.
-  metrics_.counter("net.messages_sent").inc();
-  metrics_.counter("net.bytes_sent").inc(bytes);
-  metrics_.counter("transport.tx.messages").inc();
-  metrics_.counter("transport.tx.bytes").inc(bytes);
+  hot_counter(c_messages_sent_, "net.messages_sent").inc();
+  hot_counter(c_bytes_sent_, "net.bytes_sent").inc(bytes);
+  hot_counter(c_tx_messages_, "transport.tx.messages").inc();
+  hot_counter(c_tx_bytes_, "transport.tx.bytes").inc(bytes);
   if (injector_ != nullptr && injector_->drop_message(from, to)) return;
   Duration delay = one_way(from, to) + queued_transfer_delay(from, to, bytes);
   bool duplicate = false;
@@ -276,13 +341,12 @@ void Network::send(NodeId from, NodeId to, MessagePtr message,
   auto deliver = [this, from, to, bytes, message = std::move(message)] {
     if (online_[to] == 0 || !configs_[to].responsive) return;
     ++messages_delivered_;
-    metrics_.counter("transport.rx.messages").inc();
-    metrics_.counter("transport.rx.bytes").inc(bytes);
+    hot_counter(c_rx_messages_, "transport.rx.messages").inc();
+    hot_counter(c_rx_bytes_, "transport.rx.bytes").inc(bytes);
     if (message_handlers_[to]) message_handlers_[to](from, message);
   };
-  if (duplicate)
-    simulator_.schedule_after(delay + milliseconds(1), deliver);
-  simulator_.schedule_after(delay, std::move(deliver));
+  if (duplicate) post_for(from, to, delay + milliseconds(1), deliver);
+  post_for(from, to, delay, std::move(deliver));
 }
 
 void Network::request(NodeId from, NodeId to, MessagePtr request,
@@ -290,17 +354,17 @@ void Network::request(NodeId from, NodeId to, MessagePtr request,
                       ResponseCallback cb) {
   if (online_[from] == 0) return;
   if (!connected(from, to)) {
-    metrics_.counter("net.rpcs_sent").inc();
-    metrics_.counter("net.rpcs_unreachable").inc();
+    hot_counter(c_rpcs_sent_, "net.rpcs_sent").inc();
+    hot_counter(c_rpcs_unreachable_, "net.rpcs_unreachable").inc();
     metrics_.end_span(metrics_.begin_span("net.rpc", from, {}, 0, to), false);
     cb(RpcStatus::kUnreachable, nullptr);
     return;
   }
 
-  metrics_.counter("net.rpcs_sent").inc();
-  metrics_.counter("net.bytes_sent").inc(request_bytes);
-  metrics_.counter("transport.tx.messages").inc();
-  metrics_.counter("transport.tx.bytes").inc(request_bytes);
+  hot_counter(c_rpcs_sent_, "net.rpcs_sent").inc();
+  hot_counter(c_bytes_sent_, "net.bytes_sent").inc(request_bytes);
+  hot_counter(c_tx_messages_, "transport.tx.messages").inc();
+  hot_counter(c_tx_bytes_, "transport.tx.bytes").inc(request_bytes);
   const std::uint64_t request_id = next_request_id_++;
   PendingRequest pending;
   pending.from = from;
@@ -309,12 +373,12 @@ void Network::request(NodeId from, NodeId to, MessagePtr request,
   pending.cb = std::move(cb);
   pending.span = metrics_.begin_span("net.rpc", from, {}, 0, to);
   pending.timeout_timer =
-      simulator_.schedule_after(timeout, [this, request_id] {
+      schedule_for(from, timeout, [this, request_id] {
         const auto it = pending_.find(request_id);
         if (it == pending_.end()) return;
         PendingRequest entry = std::move(it->second);
         pending_.erase(it);
-        metrics_.counter("net.rpc_timeouts").inc();
+        hot_counter(c_rpc_timeouts_, "net.rpc_timeouts").inc();
         metrics_.end_span(entry.span, false);
         if (!callback_alive(entry.from, entry.from_epoch)) return;
         entry.cb(RpcStatus::kTimeout, nullptr);
@@ -340,25 +404,25 @@ void Network::request(NodeId from, NodeId to, MessagePtr request,
         !request_handlers_[to])
       return;
     ++messages_delivered_;
-    metrics_.counter("transport.rx.messages").inc();
-    metrics_.counter("transport.rx.bytes").inc(request_bytes);
+    hot_counter(c_rx_messages_, "transport.rx.messages").inc();
+    hot_counter(c_rx_bytes_, "transport.rx.bytes").inc(request_bytes);
     auto respond = [this, to, from, request_id](MessagePtr response,
                                                 std::size_t bytes) {
       // Response travels back if the responder is still online.
       if (online_[to] == 0) return;
-      metrics_.counter("net.bytes_sent").inc(bytes);
-      metrics_.counter("transport.tx.messages").inc();
-      metrics_.counter("transport.tx.bytes").inc(bytes);
+      hot_counter(c_bytes_sent_, "net.bytes_sent").inc(bytes);
+      hot_counter(c_tx_messages_, "transport.tx.messages").inc();
+      hot_counter(c_tx_bytes_, "transport.tx.bytes").inc(bytes);
       if (injector_ != nullptr && injector_->drop_message(to, from)) return;
       Duration back =
           one_way(to, from) + queued_transfer_delay(to, from, bytes);
       if (injector_ != nullptr) back += injector_->reorder_delay(to, from);
-      simulator_.schedule_after(
+      post_for(to, from,
           back, [this, request_id, bytes, response = std::move(response)] {
             const auto it = pending_.find(request_id);
             if (it == pending_.end()) return;  // already timed out
-            metrics_.counter("transport.rx.messages").inc();
-            metrics_.counter("transport.rx.bytes").inc(bytes);
+            hot_counter(c_rx_messages_, "transport.rx.messages").inc();
+            hot_counter(c_rx_bytes_, "transport.rx.bytes").inc(bytes);
             PendingRequest entry = std::move(it->second);
             pending_.erase(it);
             entry.timeout_timer.cancel();
@@ -373,9 +437,8 @@ void Network::request(NodeId from, NodeId to, MessagePtr request,
   // finds the pending entry consumed and is ignored, but the responder's
   // side effects (ledger counts, record stores) happen twice — exactly
   // the at-least-once delivery real retransmissions produce.
-  if (duplicate)
-    simulator_.schedule_after(delay + milliseconds(1), deliver);
-  simulator_.schedule_after(delay, std::move(deliver));
+  if (duplicate) post_for(from, to, delay + milliseconds(1), deliver);
+  post_for(from, to, delay, std::move(deliver));
 }
 
 void Network::reset_connection(NodeId a, NodeId b) {
@@ -394,9 +457,9 @@ void Network::reset_connection(NodeId a, NodeId b) {
     PendingRequest entry = std::move(it->second);
     pending_.erase(it);
     entry.timeout_timer.cancel();
-    metrics_.counter("net.rpc_resets").inc();
+    hot_counter(c_rpc_resets_, "net.rpc_resets").inc();
     metrics_.end_span(entry.span, false);
-    simulator_.schedule_after(0, [this, entry]() {
+    post_for(entry.to, entry.from, 0, [this, entry]() {
       if (!callback_alive(entry.from, entry.from_epoch)) return;
       entry.cb(RpcStatus::kReset, nullptr);
     });

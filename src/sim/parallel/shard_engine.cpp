@@ -1,0 +1,239 @@
+#include "sim/parallel/shard_engine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "metrics/metrics.h"
+
+namespace ipfs::sim::parallel {
+
+namespace {
+
+// Min-heap comparator over (when, key): std::push_heap et al. build a
+// max-heap, so "after" inverts the order.
+struct After {
+  bool operator()(const ShardEngine::Item& a,
+                  const ShardEngine::Item& b) const {
+    if (a.when != b.when) return a.when > b.when;
+    return a.key > b.key;
+  }
+};
+
+constexpr Time kNoDeadline = std::numeric_limits<Time>::max();
+
+}  // namespace
+
+ShardEngine::ShardEngine(std::size_t shards, Duration lookahead,
+                         metrics::Registry* registry)
+    : shards_(std::max<std::size_t>(1, shards)),
+      lookahead_(std::max<Duration>(1, lookahead)),
+      registry_(registry) {}
+
+ShardEngine::~ShardEngine() = default;
+
+std::size_t ShardEngine::pending_events() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_)
+    total += shard.heap.size() + shard.inbox.size();
+  return total;
+}
+
+ShardEngine::Slot ShardEngine::allocate(std::size_t shard) {
+  Shard& s = shards_[shard];
+  std::uint32_t index;
+  if (!s.free_slots.empty()) {
+    index = s.free_slots.back();
+    s.free_slots.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(s.slab.size() * kChunkSize);
+    s.slab.push_back(std::make_unique<PEvent[]>(kChunkSize));
+    // Hand out the rest of the fresh chunk through the free list.
+    for (std::uint32_t i = static_cast<std::uint32_t>(kChunkSize) - 1; i >= 1;
+         --i)
+      s.free_slots.push_back(index + i);
+  }
+  return Slot{&at(s, index), index};
+}
+
+std::uint64_t ShardEngine::next_key(std::uint32_t origin) {
+  if (origin == kVirtualOrigin)
+    return (std::uint64_t{kVirtualOrigin} << 32) | virtual_seq_++;
+  if (origin >= seq_.size()) seq_.resize(origin + 1, 0);
+  return (std::uint64_t{origin} << 32) | seq_[origin]++;
+}
+
+void ShardEngine::enqueue(std::size_t shard, std::uint32_t slot,
+                          std::uint32_t origin, Time when, bool daemon) {
+  assert(when >= now_ && "cannot schedule into the past");
+  const Item item{when, next_key(origin), slot};
+  Shard& dest = shards_[shard];
+  if (running_ && shard != cur_shard_ && when >= window_end_) {
+    // Beyond the lookahead horizon: stage in the destination's inbox and
+    // merge at the window barrier. The (when, key) total order makes the
+    // merge independent of emission order across shards.
+    dest.inbox.push_back(item);
+    ++xshard_batched_;
+    if (emit_xshard_markers_ && registry_ != nullptr)
+      registry_->instant("par.xshard", origin, {}, shard);
+  } else {
+    // Same shard, not running, or a sub-lookahead cross-shard event. The
+    // last case would deadlock a truly parallel executor; under the
+    // single-threaded merge it is a plain insert, counted so the future
+    // threading work knows how often the conservative bound is violated
+    // by synchronous cross-node calls (drivers invoking another shard's
+    // node directly).
+    if (running_ && shard != cur_shard_) ++xshard_fast_;
+    dest.heap.push_back(item);
+    std::push_heap(dest.heap.begin(), dest.heap.end(), After{});
+  }
+  if (!daemon) ++foreground_pending_;
+}
+
+Timer ShardEngine::schedule(std::uint32_t origin, std::size_t dest_shard,
+                            Time when, bool daemon,
+                            std::function<void()> fn) {
+  Slot s = allocate(dest_shard);
+  auto state = std::make_shared<Timer::State>();
+  state->daemon = daemon;
+  state->foreground_pending = &foreground_pending_;
+  s.event->daemon = daemon;
+  s.event->state = state;
+  s.event->task.bind(std::move(fn));
+  enqueue(dest_shard, s.index, origin, when, daemon);
+  return Timer(std::move(state));
+}
+
+void ShardEngine::merge_inboxes() {
+  for (Shard& shard : shards_) {
+    if (shard.inbox.empty()) continue;
+    for (const Item& item : shard.inbox) {
+      shard.heap.push_back(item);
+      std::push_heap(shard.heap.begin(), shard.heap.end(), After{});
+    }
+    shard.inbox.clear();
+  }
+}
+
+int ShardEngine::min_shard() {
+  int best = -1;
+  Time best_when = 0;
+  std::uint64_t best_key = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = shards_[i];
+    // Prune cancelled heads lazily, releasing their slots.
+    while (!shard.heap.empty()) {
+      PEvent& head = at(shard, shard.heap.front().slot);
+      if (head.state == nullptr || head.state->alive) break;
+      head.task.reset();
+      head.state.reset();
+      shard.free_slots.push_back(shard.heap.front().slot);
+      std::pop_heap(shard.heap.begin(), shard.heap.end(), After{});
+      shard.heap.pop_back();
+    }
+    if (shard.heap.empty()) continue;
+    const Item& top = shard.heap.front();
+    if (best < 0 || top.when < best_when ||
+        (top.when == best_when && top.key < best_key)) {
+      best = static_cast<int>(i);
+      best_when = top.when;
+      best_key = top.key;
+    }
+  }
+  return best;
+}
+
+std::uint64_t ShardEngine::run_window(Time window_end, Time deadline,
+                                      bool bounded, bool until_drained) {
+  std::uint64_t executed = 0;
+  window_end_ = window_end;
+  for (;;) {
+    const int s = min_shard();
+    if (s < 0) break;
+    Shard& shard = shards_[static_cast<std::size_t>(s)];
+    const Item top = shard.heap.front();
+    if (top.when >= window_end) break;
+    if (bounded && top.when > deadline) break;
+    std::pop_heap(shard.heap.begin(), shard.heap.end(), After{});
+    shard.heap.pop_back();
+
+    PEvent& event = at(shard, top.slot);
+    if (event.state != nullptr) event.state->alive = false;  // consumed
+    if (!event.daemon) --foreground_pending_;
+    now_ = top.when;
+    cur_shard_ = static_cast<std::size_t>(s);
+    ++shard.executed;
+    ++executed;
+    event.task();
+    // Release the slot only after the callback returns: the slab is
+    // chunked (stable addresses), so callbacks scheduling new events
+    // cannot invalidate `event` mid-call.
+    event.task.reset();
+    event.state.reset();
+    shard.free_slots.push_back(top.slot);
+
+    if (until_drained && foreground_pending_ == 0) break;
+  }
+  cur_shard_ = 0;
+  events_executed_ += executed;
+  return executed;
+}
+
+std::uint64_t ShardEngine::run() {
+  std::uint64_t executed = 0;
+  running_ = true;
+  while (foreground_pending_ > 0) {
+    merge_inboxes();
+    const int s = min_shard();
+    if (s < 0) break;  // only cancelled entries remained
+    const Time gvt = shards_[static_cast<std::size_t>(s)].heap.front().when;
+    ++windows_;
+    executed += run_window(gvt + lookahead_, 0, /*bounded=*/false,
+                           /*until_drained=*/true);
+  }
+  running_ = false;
+  flush_stats();
+  return executed;
+}
+
+std::uint64_t ShardEngine::run_until(Time deadline) {
+  std::uint64_t executed = 0;
+  running_ = true;
+  for (;;) {
+    merge_inboxes();
+    const int s = min_shard();
+    if (s < 0) break;
+    const Time gvt = shards_[static_cast<std::size_t>(s)].heap.front().when;
+    if (gvt > deadline) break;
+    ++windows_;
+    executed += run_window(gvt + lookahead_, deadline, /*bounded=*/true,
+                           /*until_drained=*/false);
+  }
+  running_ = false;
+  if (now_ < deadline && deadline != kNoDeadline) now_ = deadline;
+  flush_stats();
+  return executed;
+}
+
+void ShardEngine::flush_stats() {
+  if (registry_ == nullptr) return;
+  const auto delta = [](std::uint64_t& flushed, std::uint64_t total) {
+    const std::uint64_t d = total - flushed;
+    flushed = total;
+    return d;
+  };
+  if (const auto d = delta(flushed_events_, events_executed_); d > 0)
+    registry_->counter("par.events").inc(d);
+  if (const auto d = delta(flushed_windows_, windows_); d > 0)
+    registry_->counter("par.windows").inc(d);
+  if (const auto d = delta(flushed_batched_, xshard_batched_); d > 0)
+    registry_->counter("par.xshard.batched").inc(d);
+  if (const auto d = delta(flushed_fast_, xshard_fast_); d > 0)
+    registry_->counter("par.xshard.fast").inc(d);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = shards_[i];
+    if (const auto d = delta(shard.flushed_executed, shard.executed); d > 0)
+      registry_->counter("par.shard" + std::to_string(i) + ".events").inc(d);
+  }
+}
+
+}  // namespace ipfs::sim::parallel

@@ -1,0 +1,233 @@
+// Sharded event core: the simulator partitioned into per-shard event
+// queues with conservative-lookahead windows and a deterministic
+// cross-shard merge.
+//
+// Peers map to shards by id (node % shards). Each shard owns a slab
+// arena of events and a binary min-heap of 24-byte (when, key, slot)
+// records. Execution proceeds in lookahead windows derived from the
+// region latency-matrix floor: a message crossing shards cannot arrive
+// sooner than the minimum one-way latency L, so events a shard emits for
+// another shard with delay >= L are staged in the destination's inbox
+// and merged at the window barrier instead of touching the destination
+// heap mid-window. Within a window the engine executes the globally
+// minimal (when, key) head across all shard heaps, where
+//
+//   key = (origin node id << 32) | per-origin sequence number
+//
+// i.e. events are totally ordered by (timestamp, sender id, sequence).
+// Because the heap merge respects this total order, the executed event
+// sequence — and therefore every rng draw, counter and trace record —
+// is byte-identical at any shard count. That is the determinism
+// contract: the 1-shard engine is the oracle for the N-shard engine
+// (docs/SCALING.md, "Sharded core").
+//
+// Execution is single-threaded: shards structure the event space (per-
+// shard arenas, windowed barriers, batched cross-shard merges) rather
+// than the thread space. The window/inbox seam is exactly where worker
+// threads would detach — each shard's intra-window events touch only
+// state reachable from its own nodes once sub-lookahead cross-shard
+// fast-path inserts (counted in par.xshard.fast) are eliminated.
+//
+// The engine is dramatically cheaper per event than sim::Simulator:
+// events live in recycled slab slots (no per-event shared_ptr control
+// block; cancellable timers are the only events that allocate a
+// Timer::State), and callbacks are stored in an 80-byte in-place task
+// buffer instead of std::function (libstdc++ heap-allocates any capture
+// over 16 bytes — nearly every fabric closure).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sim/event.h"
+#include "sim/time.h"
+
+namespace ipfs::metrics {
+class Registry;
+class Counter;
+}  // namespace ipfs::metrics
+
+namespace ipfs::sim::parallel {
+
+// Origin id used for events not attributable to a node (harness drivers,
+// fault processes). Sorts after all real nodes at equal timestamps.
+constexpr std::uint32_t kVirtualOrigin = 0xffffffffu;
+
+// Move-free callable with in-place storage. Events never move once
+// slotted (heap records carry slot indices, the slab has stable
+// addresses), so only invoke + destroy are needed. Captures larger than
+// the buffer fall back to one heap allocation.
+class InlineTask {
+ public:
+  static constexpr std::size_t kInlineBytes = 80;
+
+  InlineTask() = default;
+  InlineTask(const InlineTask&) = delete;
+  InlineTask& operator=(const InlineTask&) = delete;
+  ~InlineTask() { reset(); }
+
+  template <typename F>
+  void bind(F&& fn) {
+    reset();
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
+      invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+      destroy_ = [](void* p) { static_cast<Fn*>(p)->~Fn(); };
+    } else {
+      *reinterpret_cast<Fn**>(buf_) = new Fn(std::forward<F>(fn));
+      invoke_ = [](void* p) { (**static_cast<Fn**>(p))(); };
+      destroy_ = [](void* p) { delete *static_cast<Fn**>(p); };
+    }
+  }
+
+  void operator()() { invoke_(buf_); }
+
+  void reset() {
+    if (destroy_ != nullptr) destroy_(buf_);
+    invoke_ = nullptr;
+    destroy_ = nullptr;
+  }
+
+ private:
+  void (*invoke_)(void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+};
+
+class ShardEngine {
+ public:
+  // `lookahead` must be >= 1 µs (the caller derives it from the latency
+  // matrix floor and falls back to a single shard when the floor is 0).
+  // `registry` (optional) receives the par.* counters on run end.
+  ShardEngine(std::size_t shards, Duration lookahead,
+              metrics::Registry* registry);
+  ~ShardEngine();
+
+  Time now() const { return now_; }
+  std::size_t shard_count() const { return shards_.size(); }
+  Duration lookahead() const { return lookahead_; }
+  std::size_t foreground_pending() const { return foreground_pending_; }
+  std::size_t pending_events() const;  // includes cancelled + staged
+
+  // Shard currently executing (0 outside run). Node-less schedules land
+  // here so delay-0 continuations stay in causal order.
+  std::size_t current_shard() const { return cur_shard_; }
+
+  // Runs until no live non-daemon event remains. Returns events executed.
+  std::uint64_t run();
+  // Runs every event (daemons included) up to `deadline` inclusive, then
+  // advances the clock to it (matching sim::Simulator::run_until).
+  std::uint64_t run_until(Time deadline);
+
+  // Fire-and-forget event: no Timer handle, no Timer::State allocation.
+  // This is the fabric's hot path (message/dial deliveries discard their
+  // handles). `origin` orders the event among same-timestamp peers;
+  // `dest_shard` picks the owning heap.
+  template <typename F>
+  void post(std::uint32_t origin, std::size_t dest_shard, Time when,
+            bool daemon, F&& fn) {
+    Slot s = allocate(dest_shard);
+    s.event->daemon = daemon;
+    s.event->task.bind(std::forward<F>(fn));
+    enqueue(dest_shard, s.index, origin, when, daemon);
+  }
+
+  // Cancellable variant: allocates the shared Timer::State.
+  Timer schedule(std::uint32_t origin, std::size_t dest_shard, Time when,
+                 bool daemon, std::function<void()> fn);
+
+  // Emits an `par.xshard` instant (node = origin, value = dest shard) for
+  // every inbox-routed cross-shard event. Off by default: the markers
+  // legitimately differ across shard counts, so determinism comparisons
+  // strip or disable them.
+  void set_emit_xshard_markers(bool on) { emit_xshard_markers_ = on; }
+
+  // Introspection for tests and benches (totals since construction).
+  std::uint64_t events_executed() const { return events_executed_; }
+  std::uint64_t windows() const { return windows_; }
+  std::uint64_t cross_shard_batched() const { return xshard_batched_; }
+  std::uint64_t cross_shard_fast() const { return xshard_fast_; }
+  std::uint64_t shard_events(std::size_t shard) const {
+    return shards_[shard].executed;
+  }
+
+  // Heap record: everything the merge needs without touching the slab.
+  struct Item {
+    Time when;
+    std::uint64_t key;
+    std::uint32_t slot;
+  };
+
+ private:
+  struct PEvent {
+    InlineTask task;
+    std::shared_ptr<Timer::State> state;  // null for post()ed events
+    bool daemon = false;
+  };
+  static constexpr std::size_t kChunkShift = 9;  // 512 events per chunk
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+
+  struct Shard {
+    std::vector<Item> heap;                        // min-heap by (when, key)
+    std::vector<std::unique_ptr<PEvent[]>> slab;   // stable-address chunks
+    std::vector<std::uint32_t> free_slots;
+    std::vector<Item> inbox;  // cross-shard arrivals staged until barrier
+    std::uint64_t executed = 0;
+    std::uint64_t flushed_executed = 0;  // already exported to registry
+  };
+
+  struct Slot {
+    PEvent* event;
+    std::uint32_t index;
+  };
+
+  Slot allocate(std::size_t shard);
+  void enqueue(std::size_t shard, std::uint32_t slot, std::uint32_t origin,
+               Time when, bool daemon);
+  PEvent& at(Shard& shard, std::uint32_t slot) {
+    return shard.slab[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  }
+  std::uint64_t next_key(std::uint32_t origin);
+  void merge_inboxes();
+  // Index of the shard holding the globally minimal live head, pruning
+  // cancelled entries; -1 when every heap is empty.
+  int min_shard();
+  // Executes heads with when < window_end (and <= deadline when
+  // bounded); returns executed count. Stops early once the foreground
+  // drains if `until_drained`.
+  std::uint64_t run_window(Time window_end, Time deadline, bool bounded,
+                           bool until_drained);
+  void flush_stats();
+
+  std::vector<Shard> shards_;
+  Duration lookahead_;
+  metrics::Registry* registry_;
+  Time now_ = 0;
+  std::size_t cur_shard_ = 0;
+  std::size_t foreground_pending_ = 0;
+  bool running_ = false;
+  Time window_end_ = 0;  // valid only while running_
+  std::vector<std::uint32_t> seq_;  // per-origin sequence numbers
+  std::uint32_t virtual_seq_ = 0;
+  bool emit_xshard_markers_ = false;
+
+  std::uint64_t events_executed_ = 0;
+  std::uint64_t windows_ = 0;
+  std::uint64_t xshard_batched_ = 0;
+  std::uint64_t xshard_fast_ = 0;
+  std::uint64_t flushed_events_ = 0;
+  std::uint64_t flushed_windows_ = 0;
+  std::uint64_t flushed_batched_ = 0;
+  std::uint64_t flushed_fast_ = 0;
+};
+
+}  // namespace ipfs::sim::parallel

@@ -9,8 +9,8 @@ namespace ipfs::sim {
 void Timer::cancel() {
   if (!state_ || !state_->alive) return;
   state_->alive = false;
-  if (!state_->daemon && state_->simulator != nullptr)
-    --state_->simulator->foreground_pending_;
+  if (!state_->daemon && state_->foreground_pending != nullptr)
+    --*state_->foreground_pending;
 }
 
 bool Timer::active() const { return state_ && state_->alive; }
@@ -20,7 +20,7 @@ Timer Simulator::schedule_event(Time when, std::function<void()> fn,
   assert(when >= now_ && "cannot schedule into the past");
   auto state = std::make_shared<Timer::State>();
   state->daemon = daemon;
-  state->simulator = this;
+  state->foreground_pending = &foreground_pending_;
   Event event{when, next_sequence_++, std::move(fn), state};
   if (backend_ == SchedulerBackend::kTimerWheel)
     wheel_.insert(std::move(event));

@@ -25,7 +25,7 @@ class SimTransport final : public Transport {
   PeerAddr local() const override { return node_; }
   bool online() const override { return network_.online(node_); }
 
-  sim::Time now() const override { return network_.simulator().now(); }
+  sim::Time now() const override { return network_.now(); }
   Timer schedule_after(sim::Duration delay, std::function<void()> fn) override;
   Timer schedule_daemon_after(sim::Duration delay,
                               std::function<void()> fn) override;

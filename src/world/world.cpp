@@ -1,6 +1,7 @@
 #include "world/world.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "bitswap/bitswap.h"
 #include "crypto/sha256.h"
@@ -25,6 +26,7 @@ World::World(const WorldConfig& config)
                                       sim::Rng(config.seed).fork("population"))),
       rng_(sim::Rng(config.seed).fork("world")) {
   network_ = std::make_unique<sim::Network>(simulator_, latency_, config.seed);
+  network_->enable_sharding(config.shards);
   churn_ = std::make_unique<sim::ChurnProcess>(simulator_, *network_,
                                                config.seed);
   // Designate the first bootstrap_count peers as the canonical bootstrap
@@ -211,9 +213,24 @@ void World::seed_routing_tables() {
                                                hi_it - sorted.begin());
   };
 
-  for (std::size_t i = 0; i < dht_nodes_.size(); ++i) {
+  // Planning (bucket allocation and every rng draw) stays sequential in
+  // node order, so the seeded draw stream — and with it every seeded
+  // world — is bit-identical to the single-threaded seeder. The
+  // expensive part, copying PeerRefs into k-bucket entries, touches only
+  // the owning node's table, so blocks of finished plans fan out across
+  // worker threads; the result is independent of the worker count.
+  const std::size_t node_total = dht_nodes_.size();
+  const std::size_t workers = std::max<std::size_t>(
+      1, std::min<std::size_t>(std::thread::hardware_concurrency(),
+                               node_total / 1024));
+  constexpr std::size_t kPlanBlock = 8192;
+  std::vector<std::vector<std::uint32_t>> plans(
+      std::min(kPlanBlock, node_total));
+
+  const auto plan_node = [&](std::size_t i,
+                             std::vector<std::uint32_t>& plan) {
+    plan.clear();
     const auto key = dht::Key::for_peer(dht_nodes_[i]->self().id).bytes();
-    auto& table = dht_nodes_[i]->routing_table();
     const std::size_t budget = config_.max_routing_entries;
 
     auto [lo_prev, hi_prev] = prefix_range(key, 0);
@@ -329,9 +346,37 @@ void World::seed_routing_tables() {
                              static_cast<std::int64_t>(total - pick) - 1));
         const std::size_t chosen = value_at(swap_with);
         set_at(swap_with, value_at(pick));
-        const Keyed& keyed = sorted[chosen];
-        table.upsert(dht_nodes_[keyed.index]->self(), dht::Key(keyed.key));
+        plan.push_back(static_cast<std::uint32_t>(chosen));
       }
+    }
+  };
+
+  const auto seed_node = [&](std::size_t i,
+                             const std::vector<std::uint32_t>& plan) {
+    auto& table = dht_nodes_[i]->routing_table();
+    for (const std::uint32_t chosen : plan) {
+      const Keyed& keyed = sorted[chosen];
+      table.upsert(dht_nodes_[keyed.index]->self(), dht::Key(keyed.key));
+    }
+  };
+
+  for (std::size_t block = 0; block < node_total; block += kPlanBlock) {
+    const std::size_t block_end = std::min(node_total, block + kPlanBlock);
+    for (std::size_t i = block; i < block_end; ++i)
+      plan_node(i, plans[i - block]);
+    if (workers <= 1) {
+      for (std::size_t i = block; i < block_end; ++i)
+        seed_node(i, plans[i - block]);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (std::size_t w = 0; w < workers; ++w) {
+        pool.emplace_back([&, w] {
+          for (std::size_t i = block + w; i < block_end; i += workers)
+            seed_node(i, plans[i - block]);
+        });
+      }
+      for (auto& thread : pool) thread.join();
     }
   }
 }

@@ -2,6 +2,7 @@
 // publication/retrieval pipelines with their timing decompositions.
 #include <gtest/gtest.h>
 
+#include "blockstore/persist/async_store.h"
 #include "node/ipfs_node.h"
 #include "transport/sim_transport.h"
 #include "node/pinning_service.h"
@@ -353,6 +354,56 @@ TEST_F(IpfsNodeTest, PinningServicePinsExistingCid) {
   service.unpin(publish_trace.cid);
   EXPECT_FALSE(retriever_->store().pinned(publish_trace.cid));
   EXPECT_EQ(service.pinned_count(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Write-behind flush daemon (StoreConfig::flush_interval_us)
+// --------------------------------------------------------------------------
+
+TEST(IpfsNodeStoreTest, FlushTimerDrainsWriteBehindQueueAcrossRestarts) {
+  // flush_interval_us arms a daemon tick that drains the async store's
+  // write-behind queue on a cadence, so queued blocks become durable even
+  // when puts never reach the batch threshold. The daemon must die with a
+  // crashed process and come back with the restart.
+  testutil::TestSwarm swarm(20, /*seed=*/13);
+  IpfsNodeConfig config;
+  config.net.region = 0;
+  config.identity_seed = 5;
+  config.store.backend = blockstore::StoreConfig::Backend::kPersistentAsync;
+  config.store.flush_batch_blocks = 1000;  // never drain by count
+  config.store.flush_interval_us = 200'000;
+  IpfsNode node(swarm.network(), config);
+  auto& store =
+      dynamic_cast<blockstore::persist::AsyncBlockStore&>(node.store());
+
+  sim::Rng rng(3);
+  const auto put_one = [&] {
+    store.put(blockstore::Block::from_data(multiformats::Multicodec::kRaw,
+                                           random_bytes(256, rng.next())));
+  };
+  for (int i = 0; i < 3; ++i) put_one();
+  ASSERT_EQ(store.queued_blocks(), 3u);
+
+  // One interval later the daemon tick has flushed (drain + fsync).
+  swarm.network().run_until(swarm.network().now() +
+                            sim::microseconds(250'000));
+  EXPECT_EQ(store.queued_blocks(), 0u);
+  EXPECT_EQ(store.base().block_count(), 3u);
+
+  // A crashed process takes its flush daemon with it: nothing drains.
+  node.handle_crash();
+  put_one();
+  swarm.network().run_until(swarm.network().now() +
+                            sim::microseconds(600'000));
+  EXPECT_EQ(store.queued_blocks(), 1u);
+
+  // Restart re-arms the cadence.
+  std::vector<dht::PeerRef> seeds;
+  for (int i = 0; i < 4; ++i) seeds.push_back(swarm.ref(i));
+  node.handle_restart(seeds, [](bool) {});
+  swarm.network().run_until(swarm.network().now() +
+                            sim::microseconds(250'000));
+  EXPECT_EQ(store.queued_blocks(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,303 @@
+// Sharded parallel event core (src/sim/parallel): cross-shard merge
+// order, lookahead windowing edge cases, cancellation/run semantics
+// matching the sequential Simulator, per-shard metric conservation, and
+// the network-level determinism contract (an N-shard fabric replays the
+// 1-shard trace byte-identically).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dht/dht_node.h"
+#include "metrics/metrics.h"
+#include "scenario/scenario.h"
+#include "sim/network.h"
+#include "sim/parallel/shard_engine.h"
+#include "stats/jsonl.h"
+
+namespace ipfs::sim::parallel {
+namespace {
+
+metrics::Registry* null_registry() { return nullptr; }
+
+// --------------------------------------------------------------------------
+// Merge order
+// --------------------------------------------------------------------------
+
+TEST(ShardEngineTest, MergesByTimestampThenOriginThenSequence) {
+  ShardEngine engine(4, milliseconds(1), null_registry());
+  std::vector<std::string> order;
+  const auto post = [&](std::uint32_t origin, Time when,
+                        const std::string& tag) {
+    engine.post(origin, origin % 4, when, /*daemon=*/false,
+                [&order, tag] { order.push_back(tag); });
+  };
+  // Insertion order deliberately scrambled: the merge must sort by
+  // (when, origin, per-origin sequence), not by insertion.
+  post(3, milliseconds(10), "t10-o3-a");
+  post(1, milliseconds(10), "t10-o1");
+  post(2, milliseconds(5), "t5-o2");
+  post(3, milliseconds(10), "t10-o3-b");
+  post(0, milliseconds(10), "t10-o0");
+  engine.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"t5-o2", "t10-o0", "t10-o1",
+                                             "t10-o3-a", "t10-o3-b"}));
+  EXPECT_EQ(engine.now(), milliseconds(10));
+}
+
+TEST(ShardEngineTest, ExecutionOrderIsShardCountInvariant) {
+  // One event program, replayed at 1/2/4 shards: callbacks fan out more
+  // events across origins (so cross-shard staging and the fast path both
+  // fire at N > 1), and the observed (time, tag) log must not change.
+  const auto run_at = [](std::size_t shards) {
+    ShardEngine engine(shards, milliseconds(5), null_registry());
+    std::vector<std::pair<Time, std::string>> log;
+    for (std::uint32_t origin = 0; origin < 6; ++origin) {
+      engine.post(
+          origin, origin % engine.shard_count(), milliseconds(1 + origin),
+          false, [&, origin] {
+            log.emplace_back(engine.now(), "root-" + std::to_string(origin));
+            for (std::uint32_t peer = 0; peer < 6; ++peer) {
+              const Duration delay =
+                  peer == origin ? 0 : milliseconds(3 + (peer + origin) % 7);
+              engine.post(origin, peer % engine.shard_count(),
+                          engine.now() + delay, false, [&, origin, peer] {
+                            log.emplace_back(
+                                engine.now(),
+                                std::to_string(origin) + "->" +
+                                    std::to_string(peer));
+                          });
+            }
+          });
+    }
+    engine.run();
+    return log;
+  };
+  const auto baseline = run_at(1);
+  EXPECT_EQ(baseline.size(), 42u);
+  EXPECT_EQ(run_at(2), baseline);
+  EXPECT_EQ(run_at(4), baseline);
+}
+
+// --------------------------------------------------------------------------
+// Lookahead edge cases
+// --------------------------------------------------------------------------
+
+TEST(ShardEngineTest, ZeroDelaySelfSendRunsInsideTheCurrentWindow) {
+  // A delay-0 continuation on the executing shard must run immediately
+  // after its parent (same timestamp, later sequence) — it cannot wait
+  // for a window barrier or the causal chain would stall.
+  ShardEngine engine(4, milliseconds(1), null_registry());
+  std::vector<std::string> order;
+  engine.post(2, 2, milliseconds(4), false, [&] {
+    order.push_back("parent");
+    engine.post(2, 2, engine.now(), false,
+                [&] { order.push_back("self-send"); });
+    // A sibling on another shard at a later-but-in-window time still
+    // sorts after the self-send.
+  });
+  engine.post(3, 3, milliseconds(4), false, [&] { order.push_back("peer"); });
+  engine.run();
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"parent", "self-send", "peer"}));
+}
+
+TEST(ShardEngineTest, ArrivalAtWindowBoundaryIsStagedAndStillOrdered) {
+  // Lookahead L: a cross-shard event landing at exactly window_end is the
+  // min-RTT boundary case — it must be staged in the destination inbox
+  // (not inserted mid-window) and still execute in global order.
+  ShardEngine engine(2, milliseconds(10), null_registry());
+  std::vector<std::string> order;
+  engine.post(0, 0, 0, false, [&] {
+    order.push_back("t0");
+    // Window is [0, 10ms). Exactly at the boundary: staged.
+    engine.post(0, 1, milliseconds(10), false,
+                [&] { order.push_back("boundary"); });
+    // Below the boundary to the other shard: fast-path insert.
+    engine.post(0, 1, milliseconds(9), false,
+                [&] { order.push_back("in-window"); });
+  });
+  engine.post(1, 1, milliseconds(12), false, [&] { order.push_back("t12"); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"t0", "in-window", "boundary",
+                                             "t12"}));
+  EXPECT_EQ(engine.cross_shard_batched(), 1u);
+  EXPECT_EQ(engine.cross_shard_fast(), 1u);
+}
+
+TEST(ShardEngineTest, SingleShardStagesNothing) {
+  ShardEngine engine(1, milliseconds(10), null_registry());
+  int fired = 0;
+  engine.post(0, 0, 0, false, [&] {
+    ++fired;
+    engine.post(0, 0, seconds(5), false, [&] { ++fired; });
+  });
+  engine.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(engine.cross_shard_batched(), 0u);
+  EXPECT_EQ(engine.cross_shard_fast(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Simulator-parity semantics
+// --------------------------------------------------------------------------
+
+TEST(ShardEngineTest, CancelledEventsDoNotFireAndRunReturns) {
+  ShardEngine engine(2, milliseconds(1), null_registry());
+  bool fired = false;
+  Timer timer =
+      engine.schedule(0, 0, seconds(1), false, [&] { fired = true; });
+  EXPECT_TRUE(timer.active());
+  timer.cancel();
+  EXPECT_FALSE(timer.active());
+  EXPECT_EQ(engine.foreground_pending(), 0u);
+  EXPECT_EQ(engine.run(), 0u);
+  EXPECT_FALSE(fired);
+}
+
+TEST(ShardEngineTest, RunUntilIsInclusiveAndAdvancesTheClock) {
+  ShardEngine engine(2, milliseconds(1), null_registry());
+  int count = 0;
+  engine.post(0, 0, seconds(1), false, [&] { ++count; });
+  engine.post(1, 1, seconds(5), false, [&] { ++count; });  // == deadline
+  engine.post(0, 0, seconds(10), false, [&] { ++count; });
+  EXPECT_EQ(engine.run_until(seconds(5)), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(engine.now(), seconds(5));
+  engine.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(ShardEngineTest, DaemonsDoNotKeepRunAlive) {
+  ShardEngine engine(2, milliseconds(1), null_registry());
+  int foreground = 0;
+  int daemon = 0;
+  engine.post(1, 1, seconds(2), true, [&] { ++daemon; });
+  engine.post(0, 0, seconds(1), false, [&] { ++foreground; });
+  engine.run();
+  EXPECT_EQ(foreground, 1);
+  EXPECT_EQ(daemon, 0);  // still pending, run() stopped at the drain
+  EXPECT_EQ(engine.pending_events(), 1u);
+  engine.run_until(seconds(3));
+  EXPECT_EQ(daemon, 1);
+}
+
+TEST(ShardEngineTest, LargeCapturesFallBackToTheHeapPath) {
+  // Closures above InlineTask::kInlineBytes take the heap fallback;
+  // behaviour must be identical.
+  ShardEngine engine(1, milliseconds(1), null_registry());
+  std::array<std::uint64_t, 24> big{};  // 192 bytes of capture
+  big[23] = 7;
+  std::uint64_t seen = 0;
+  engine.post(0, 0, seconds(1), false, [&seen, big] { seen = big[23]; });
+  engine.run();
+  EXPECT_EQ(seen, 7u);
+}
+
+// --------------------------------------------------------------------------
+// Per-shard metrics conservation
+// --------------------------------------------------------------------------
+
+TEST(ShardEngineTest, PerShardEventCountersSumToAggregate) {
+  metrics::Registry registry([] { return Time{0}; });
+  ShardEngine engine(4, milliseconds(1), &registry);
+  for (std::uint32_t origin = 0; origin < 32; ++origin)
+    engine.post(origin, origin % 4, milliseconds(origin), false, [] {});
+  engine.run();
+
+  const std::uint64_t total = registry.counter("par.events").value();
+  EXPECT_EQ(total, engine.events_executed());
+  EXPECT_EQ(total, 32u);
+  std::uint64_t per_shard_sum = 0;
+  for (std::size_t i = 0; i < engine.shard_count(); ++i) {
+    const std::uint64_t shard_total =
+        registry.counter("par.shard" + std::to_string(i) + ".events").value();
+    EXPECT_EQ(shard_total, engine.shard_events(i));
+    EXPECT_GT(shard_total, 0u);
+    per_shard_sum += shard_total;
+  }
+  EXPECT_EQ(per_shard_sum, total);
+  EXPECT_GT(registry.counter("par.windows").value(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Network integration
+// --------------------------------------------------------------------------
+
+TEST(ShardEngineTest, ZeroLatencyFloorFallsBackToOneShard) {
+  // A zero-latency matrix admits no safe lookahead: enable_sharding must
+  // degrade to the sequential single-shard configuration.
+  Simulator simulator;
+  LatencyModel latency({{0.0}}, 1.0, 1.0);
+  Network network(simulator, latency, 42);
+  network.enable_sharding(8);
+  EXPECT_TRUE(network.sharded());
+  EXPECT_EQ(network.shard_count(), 1u);
+}
+
+TEST(ShardEngineTest, NetworkMapsPeersToShardsById) {
+  Simulator simulator;
+  LatencyModel latency({{20.0, 60.0}, {60.0, 15.0}}, 0.95, 1.25);
+  Network network(simulator, latency, 42);
+  network.enable_sharding(4);
+  EXPECT_EQ(network.shard_count(), 4u);
+  EXPECT_EQ(network.shard_of(0), 0u);
+  EXPECT_EQ(network.shard_of(5), 1u);
+  EXPECT_EQ(network.shard_of(11), 3u);
+  // Lookahead = floor(min one-way x jitter_low) = 15ms * 0.95.
+  EXPECT_EQ(network.engine()->lookahead(), milliseconds(15.0 * 0.95));
+}
+
+// Strips the engine's own par.* records, which legitimately differ with
+// the shard count (window counts, per-shard distributions).
+std::string strip_par_lines(const std::string& jsonl) {
+  std::istringstream in(jsonl);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line))
+    if (line.find("par.") == std::string::npos) out << line << '\n';
+  return out.str();
+}
+
+// Full-fabric determinism gate: the same seeded swarm workload, run at 1
+// vs 2 vs 4 shards, must export a byte-identical metrics/trace stream
+// (par.* aside). This is the small-scale oracle check docs/SCALING.md
+// promises: shard count changes the engine's internals, never the
+// simulation.
+std::string sharded_swarm_trace(std::size_t shards) {
+  scenario::Scenario swarm = scenario::ScenarioBuilder()
+                                 .peers(12)
+                                 .seed(1234)
+                                 .regions({{20.0, 60.0, 120.0},
+                                           {60.0, 15.0, 90.0},
+                                           {120.0, 90.0, 25.0}})
+                                 .dht_servers(true)
+                                 .shards(shards)
+                                 .build();
+  sim::Network& network = swarm.network();
+  int done = 0;
+  for (std::size_t i = 0; i < swarm.size(); ++i) {
+    swarm.dht(i).lookup_closest(
+        dht::Key::for_peer(swarm.ref((i + 5) % swarm.size()).id),
+        [&](dht::LookupResult) { ++done; });
+  }
+  network.run();
+  network.run_until(network.now() + seconds(30));
+  EXPECT_EQ(done, 12);
+  std::ostringstream out;
+  stats::export_registry_jsonl(network.metrics(), out);
+  return out.str();
+}
+
+TEST(ShardEngineTest, ShardedSwarmTraceIsByteIdenticalToSingleShard) {
+  const std::string oracle = strip_par_lines(sharded_swarm_trace(1));
+  EXPECT_FALSE(oracle.empty());
+  EXPECT_EQ(strip_par_lines(sharded_swarm_trace(2)), oracle);
+  EXPECT_EQ(strip_par_lines(sharded_swarm_trace(4)), oracle);
+}
+
+}  // namespace
+}  // namespace ipfs::sim::parallel

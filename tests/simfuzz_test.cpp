@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <sstream>
 #include <string>
 
 #include "sim/fuzz_harness.h"
@@ -75,6 +76,48 @@ TEST(SimFuzz, SchedulerBackendsProduceIdenticalTraceStreams) {
   EXPECT_EQ(wheel.stats.fingerprint(), heap.stats.fingerprint());
   ASSERT_FALSE(wheel.trace_jsonl.empty());
   EXPECT_EQ(wheel.trace_jsonl, heap.trace_jsonl);
+}
+
+// The sharded engine's own bookkeeping records (par.windows, per-shard
+// event counts, ...) legitimately vary with the shard count; everything
+// else in the trace must not.
+std::string strip_par_lines(const std::string& jsonl) {
+  std::istringstream in(jsonl);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line))
+    if (line.find("par.") == std::string::npos) out << line << '\n';
+  return out.str();
+}
+
+TEST(SimFuzz, ShardCountsProduceIdenticalTraceStreams) {
+  // Determinism gate for the sharded parallel event core
+  // (src/sim/parallel): every randomized schedule replayed at 1 shard
+  // (the sequential oracle) and at 4 shards must produce byte-identical
+  // fingerprints and — modulo the engine's own par.* records — a
+  // byte-identical trace stream. Shard count may change the engine's
+  // internals, never the simulation.
+  const std::uint64_t base_seed = env_u64("IPFS_FUZZ_SEED", 909090);
+  const std::uint64_t schedules = env_u64("IPFS_FUZZ_SHARD_SCHEDULES", 25);
+
+  for (std::uint64_t i = 0; i < schedules; ++i) {
+    ScheduleParams params = make_schedule(base_seed + i);
+    params.capture_trace = true;
+
+    params.shards = 1;
+    const ScheduleReport oracle = run_schedule(params);
+    params.shards = 4;
+    const ScheduleReport sharded = run_schedule(params);
+
+    ASSERT_TRUE(oracle.ok()) << oracle.failure_summary();
+    ASSERT_TRUE(sharded.ok()) << sharded.failure_summary();
+    ASSERT_EQ(oracle.stats.fingerprint(), sharded.stats.fingerprint())
+        << "shard-count divergence: " << params.describe();
+    ASSERT_FALSE(oracle.trace_jsonl.empty());
+    ASSERT_EQ(strip_par_lines(oracle.trace_jsonl),
+              strip_par_lines(sharded.trace_jsonl))
+        << "shard-count trace divergence: " << params.describe();
+  }
 }
 
 TEST(SimFuzz, FailureMessagesCarryReplaySeed) {
